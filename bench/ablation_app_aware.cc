@@ -1,0 +1,91 @@
+// Ablation: application-aware vs hardware-aware orchestration
+// (paper §6, Insights I and IV).
+//
+// Eight clients join a two-replica-capable scAtteR++ deployment. Three
+// orchestration policies race:
+//   none      — static deployment,
+//   hardware  — scale a stage when GPU occupancy crosses 70% (what
+//               Kubernetes-style orchestrators can see),
+//   app-aware — scale the stage whose sidecar reports >10% queue drops
+//               (the proposed virtualization-boundary hook).
+//
+// Expected: the overloaded pipeline keeps hardware utilization LOW
+// (stalls, drops), so the hardware policy reacts little or late, while
+// the app-aware policy scales the right stage and recovers FPS.
+#include <cstdio>
+
+#include "bench/fig_util.h"
+#include "expt/autoscaler.h"
+
+using namespace mar;
+using namespace mar::bench;
+
+namespace {
+
+struct Outcome {
+  double fps = 0.0;
+  std::size_t scale_actions = 0;
+  std::string scaled_stages;
+};
+
+Outcome run_policy(const char* policy, int clients) {
+  ExperimentConfig cfg;
+  cfg.mode = core::PipelineMode::kScatterPP;
+  cfg.placement = SymbolicPlacement::single(Site::kE2);
+  cfg.num_clients = clients;
+  cfg.warmup = seconds(2.0);
+  cfg.duration = seconds(60.0);
+  cfg.seed = 15000 + static_cast<std::uint64_t>(clients);
+
+  expt::Experiment e(cfg);
+  e.build();
+
+  std::unique_ptr<expt::AutoScaler> scaler;
+  if (std::string(policy) != "none") {
+    expt::AutoScaler::Config sc;
+    if (std::string(policy) == "hardware") {
+      sc.signal = expt::AutoScaler::Signal::kHardware;
+      sc.threshold = 0.70;
+    } else {
+      sc.signal = expt::AutoScaler::Signal::kApplication;
+      sc.threshold = 0.10;
+    }
+    scaler = std::make_unique<expt::AutoScaler>(e.deployment(), sc);
+    scaler->start();
+  }
+  e.run();
+
+  Outcome out;
+  out.fps = e.result().fps_mean;
+  if (scaler) {
+    out.scale_actions = scaler->events().size();
+    for (const auto& ev : scaler->events()) {
+      if (!out.scaled_stages.empty()) out.scaled_stages += ",";
+      out.scaled_stages += to_string(ev.stage);
+    }
+  }
+  if (out.scaled_stages.empty()) out.scaled_stages = "-";
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: orchestration policy under overload (scAtteR++, base C2)\n");
+
+  for (int clients : {6, 8}) {
+    expt::print_banner("clients = " + std::to_string(clients));
+    Table t({"policy", "FPS/client", "scale actions", "stages scaled"});
+    for (const char* policy : {"none", "hardware", "app-aware"}) {
+      const Outcome o = run_policy(policy, clients);
+      t.add_row({policy, Table::num(o.fps, 1), std::to_string(o.scale_actions),
+                 o.scaled_stages});
+    }
+    t.print();
+  }
+  std::printf(
+      "\nInsight IV: the hardware-only policy cannot see the application-level\n"
+      "drops, so it reacts weakly; the app-aware policy scales the stages that\n"
+      "actually shed load.\n");
+  return 0;
+}

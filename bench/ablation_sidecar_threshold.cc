@@ -1,0 +1,43 @@
+// Ablation: the sidecar's staleness threshold (scAtteR++ uses 100 ms,
+// the XR latency budget). Sweeping it shows the trade-off the paper's
+// design point sits on: a tight threshold sheds more frames but keeps
+// delivered frames fresh; a loose one maximizes throughput at the cost
+// of stale (high-E2E) deliveries.
+#include <cstdio>
+
+#include "bench/fig_util.h"
+
+using namespace mar;
+using namespace mar::bench;
+
+int main() {
+  std::printf("Ablation: sidecar staleness threshold (scAtteR++, C2, 4 & 8 clients)\n");
+
+  const struct {
+    const char* name;
+    SimDuration value;
+  } thresholds[] = {
+      {"25 ms", millis(25.0)},   {"50 ms", millis(50.0)},   {"100 ms (paper)", millis(100.0)},
+      {"200 ms", millis(200.0)}, {"unbounded", 0},
+  };
+
+  for (int clients : {4, 8}) {
+    expt::print_banner("clients = " + std::to_string(clients));
+    Table t({"threshold", "FPS/client", "E2E ms (mean)", "E2E ms (p95)", "stale drop %"});
+    for (const auto& th : thresholds) {
+      ExperimentConfig cfg;
+      cfg.mode = core::PipelineMode::kScatterPP;
+      cfg.placement = SymbolicPlacement::replicated({1, 2, 2, 1, 2});
+      cfg.num_clients = clients;
+      cfg.costs.sidecar_threshold = th.value;
+      cfg.seed = 14000 + static_cast<std::uint64_t>(clients);
+      const ExperimentResult r = expt::run_experiment(cfg);
+      double stale = 0.0;
+      for (Stage s : kStages) stale += r.stage_drop_ratio(s);
+      t.add_row({th.name, Table::num(r.fps_mean, 1), Table::num(r.e2e_ms_mean, 1),
+                 Table::num(r.e2e_ms_p95, 1), Table::num(stale / kNumStages * 100.0, 1)});
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 10 (appendix): inter-frame receive jitter for (a) the baseline
+// edge placements, (b) the scAtteR service-scalability configs, and
+// (c) the cloud-only deployment.
+//
+// Expected shape: jitter grows with concurrent clients (frame drops
+// create irregular result spacing); baseline edge reaches the highest
+// values; the cloud adds network-induced jitter even at low load.
+#include <cstdio>
+
+#include "bench/fig_util.h"
+
+using namespace mar;
+using namespace mar::bench;
+
+int main() {
+  std::printf("Figure 10: result jitter (ms) vs concurrent clients\n");
+
+  auto sweep = [](const std::vector<NamedPlacement>& configs, core::PipelineMode mode,
+                  std::uint64_t seed_base) {
+    std::vector<std::string> cols{"clients"};
+    for (const auto& c : configs) cols.push_back(c.name);
+    Table t(cols);
+    for (int n = 1; n <= 4; ++n) {
+      std::vector<std::string> row{std::to_string(n)};
+      for (std::size_t p = 0; p < configs.size(); ++p) {
+        ExperimentConfig cfg;
+        cfg.mode = mode;
+        cfg.placement = configs[p].placement;
+        cfg.num_clients = n;
+        cfg.seed = seed_base + p * 10 + static_cast<std::uint64_t>(n);
+        row.push_back(Table::num(expt::run_experiment(cfg).jitter_ms, 2));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+  };
+
+  expt::print_banner("(a) baseline edge");
+  sweep(baseline_placements(), core::PipelineMode::kScatter, 10100);
+
+  expt::print_banner("(b) service scalability");
+  sweep({{"[2,2,1,1,1]", SymbolicPlacement::replicated({2, 2, 1, 1, 1})},
+         {"[1,2,1,1,2]", SymbolicPlacement::replicated({1, 2, 1, 1, 2})},
+         {"[1,2,2,1,2]", SymbolicPlacement::replicated({1, 2, 2, 1, 2})}},
+        core::PipelineMode::kScatter, 10200);
+
+  expt::print_banner("(c) cloud-only");
+  sweep({{"cloud", SymbolicPlacement::single(Site::kCloud)}}, core::PipelineMode::kScatter,
+        10300);
+
+  return 0;
+}

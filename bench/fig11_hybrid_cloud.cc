@@ -1,0 +1,57 @@
+// Figure 11 (appendix A.1.2): hybrid edge-cloud deployment
+// [E1, C, C, C, C] — primary at the local edge, the rest on the cloud
+// VM, with the pipeline's large frames crossing the public Internet.
+//
+// Expected shape: severe degradation versus cloud-only — FPS well below
+// the cloud deployment and roughly 2x its service latency — driven by
+// frame drops on the edge->cloud path (fragmented 180 KB frames over a
+// lossy Internet link).
+#include <cstdio>
+
+#include "bench/fig_util.h"
+
+using namespace mar;
+using namespace mar::bench;
+
+int main() {
+  std::printf("Figure 11: scAtteR hybrid edge-cloud deployment [E1,C,C,C,C]\n");
+
+  expt::print_banner("QoS and per-service latency");
+  Table t({"clients", "FPS", "E2E ms", "success %", "primary ms", "sift ms", "encoding ms",
+           "lsh ms", "matching ms"});
+  std::vector<ExperimentResult> hybrid;
+  for (int n = 1; n <= 4; ++n) {
+    ExperimentConfig cfg;
+    cfg.mode = core::PipelineMode::kScatter;
+    cfg.placement = SymbolicPlacement::per_stage(
+        {Site::kE1, Site::kCloud, Site::kCloud, Site::kCloud, Site::kCloud});
+    cfg.num_clients = n;
+    cfg.seed = 11000 + static_cast<std::uint64_t>(n);
+    hybrid.push_back(expt::run_experiment(cfg));
+    const ExperimentResult& r = hybrid.back();
+    std::vector<std::string> row{std::to_string(n), Table::num(r.fps_mean, 1),
+                                 Table::num(r.e2e_ms_mean, 1),
+                                 Table::num(r.success_rate * 100.0, 1)};
+    for (Stage s : kStages) row.push_back(Table::num(r.stage_service_ms(s), 1));
+    t.add_row(std::move(row));
+  }
+  t.print();
+
+  // Contrast with cloud-only (fig. 4's deployment) at the same loads.
+  expt::print_banner("Reference: cloud-only FPS / E2E");
+  Table c({"clients", "cloud FPS", "cloud E2E ms", "hybrid FPS", "hybrid E2E ms"});
+  for (int n = 1; n <= 4; ++n) {
+    ExperimentConfig cfg;
+    cfg.mode = core::PipelineMode::kScatter;
+    cfg.placement = SymbolicPlacement::single(Site::kCloud);
+    cfg.num_clients = n;
+    cfg.seed = 11100 + static_cast<std::uint64_t>(n);
+    const ExperimentResult r = expt::run_experiment(cfg);
+    c.add_row({std::to_string(n), Table::num(r.fps_mean, 1), Table::num(r.e2e_ms_mean, 1),
+               Table::num(hybrid[static_cast<std::size_t>(n - 1)].fps_mean, 1),
+               Table::num(hybrid[static_cast<std::size_t>(n - 1)].e2e_ms_mean, 1)});
+  }
+  c.print();
+
+  return 0;
+}

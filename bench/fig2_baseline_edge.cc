@@ -1,0 +1,88 @@
+// Figure 2: baseline scAtteR performance on the edge.
+//
+// Reproduces the six panels — FPS, E2E latency, service latency (and
+// per-service memory, CPU%, GPU% stacked by service) — for the four
+// placements C1, C2, C12, C21 with 1-4 concurrent clients.
+//
+// Expected shape (paper §4): all configs reach >=25 FPS at ~40 ms E2E
+// with one client; FPS collapses with concurrent clients because of the
+// sift<->matching dependency loop; CPU/GPU utilization *declines* under
+// overload while sift's memory grows from orphaned state.
+#include <cstdio>
+
+#include "bench/fig_util.h"
+
+using namespace mar;
+using namespace mar::bench;
+
+int main() {
+  std::printf("Figure 2: scAtteR baseline on edge (placements x 1-4 clients)\n");
+
+  const auto placements = baseline_placements();
+  constexpr int kMaxClients = 4;
+
+  // results[placement][clients-1]
+  std::vector<std::vector<ExperimentResult>> results(placements.size());
+  for (std::size_t p = 0; p < placements.size(); ++p) {
+    for (int n = 1; n <= kMaxClients; ++n) {
+      ExperimentConfig cfg;
+      cfg.mode = core::PipelineMode::kScatter;
+      cfg.placement = placements[p].placement;
+      cfg.num_clients = n;
+      cfg.seed = 1000 + p * 10 + static_cast<std::size_t>(n);
+      results[p].push_back(expt::run_experiment(cfg));
+    }
+  }
+
+  auto qos_table = [&](const char* title, auto metric, int precision) {
+    expt::print_banner(title);
+    std::vector<std::string> cols{"clients"};
+    for (const auto& np : placements) cols.push_back(np.name);
+    Table t(cols);
+    for (int n = 1; n <= kMaxClients; ++n) {
+      std::vector<std::string> row{std::to_string(n)};
+      for (std::size_t p = 0; p < placements.size(); ++p) {
+        row.push_back(Table::num(metric(results[p][n - 1]), precision));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+  };
+
+  qos_table("FPS (successful frames/s per client)",
+            [](const ExperimentResult& r) { return r.fps_mean; }, 1);
+  qos_table("E2E latency (ms, mean)",
+            [](const ExperimentResult& r) { return r.e2e_ms_mean; }, 1);
+  qos_table("Service latency (ms, sum of per-stage means)",
+            [](const ExperimentResult& r) {
+              double sum = 0.0;
+              for (Stage s : kStages) sum += r.stage_service_ms(s);
+              return sum;
+            },
+            1);
+  qos_table("Frame success rate (%)",
+            [](const ExperimentResult& r) { return r.success_rate * 100.0; }, 1);
+
+  // Stacked per-service hardware panels, one table per placement.
+  for (std::size_t p = 0; p < placements.size(); ++p) {
+    expt::print_banner("Per-service resources — " + placements[p].name);
+    Table t(service_columns("clients/metric"));
+    for (int n = 1; n <= kMaxClients; ++n) {
+      const ExperimentResult& r = results[p][n - 1];
+      std::vector<std::string> mem{"n=" + std::to_string(n) + " mem(GB)"};
+      std::vector<std::string> cpu{"n=" + std::to_string(n) + " cpu(%)"};
+      std::vector<std::string> gpu{"n=" + std::to_string(n) + " gpu(%)"};
+      for (Stage s : kStages) {
+        mem.push_back(Table::num(r.stage_mem_gb(s), 2));
+        cpu.push_back(Table::num(r.stage_cpu_share(s) * 100.0, 2));
+        gpu.push_back(Table::num(r.stage_gpu_share(s) * 100.0, 2));
+      }
+      t.add_row(std::move(mem));
+      t.add_row(std::move(cpu));
+      t.add_row(std::move(gpu));
+    }
+    t.print();
+  }
+
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 4: scAtteR cloud-only deployment.
+//
+// All five services on the AWS GPU VM (+15 ms client RTT, virtualized
+// V100 not matched by the container's sm target).
+//
+// Expected shape (paper §4): median ~18 FPS vs 25 on edge, success rate
+// ~64%, E2E ~+20 ms over the edge, hardware far from saturated (<5%
+// CPU, <25% GPU, <2% memory of the VM), slightly higher jitter.
+#include <cstdio>
+
+#include "bench/fig_util.h"
+
+using namespace mar;
+using namespace mar::bench;
+
+int main() {
+  std::printf("Figure 4: scAtteR cloud-only deployment (1-4 clients)\n");
+
+  constexpr int kMaxClients = 4;
+  std::vector<ExperimentResult> results;
+  for (int n = 1; n <= kMaxClients; ++n) {
+    ExperimentConfig cfg;
+    cfg.mode = core::PipelineMode::kScatter;
+    cfg.placement = SymbolicPlacement::single(Site::kCloud);
+    cfg.num_clients = n;
+    cfg.seed = 4000 + static_cast<std::size_t>(n);
+    results.push_back(expt::run_experiment(cfg));
+  }
+
+  expt::print_banner("QoS");
+  Table t({"clients", "FPS", "FPS median", "E2E ms", "success %", "jitter ms"});
+  for (int n = 1; n <= kMaxClients; ++n) {
+    const ExperimentResult& r = results[n - 1];
+    t.add_row({std::to_string(n), Table::num(r.fps_mean, 1), Table::num(r.fps_median, 1),
+               Table::num(r.e2e_ms_mean, 1), Table::num(r.success_rate * 100.0, 1),
+               Table::num(r.jitter_ms, 2)});
+  }
+  t.print();
+
+  expt::print_banner("Per-service resources (cloud VM)");
+  Table h(service_columns("clients/metric"));
+  for (int n = 1; n <= kMaxClients; ++n) {
+    const ExperimentResult& r = results[n - 1];
+    std::vector<std::string> mem{"n=" + std::to_string(n) + " mem(GB)"};
+    std::vector<std::string> cpu{"n=" + std::to_string(n) + " cpu(%)"};
+    std::vector<std::string> gpu{"n=" + std::to_string(n) + " gpu(%)"};
+    for (Stage s : kStages) {
+      mem.push_back(Table::num(r.stage_mem_gb(s), 2));
+      cpu.push_back(Table::num(r.stage_cpu_share(s) * 100.0, 2));
+      gpu.push_back(Table::num(r.stage_gpu_share(s) * 100.0, 2));
+    }
+    h.add_row(std::move(mem));
+    h.add_row(std::move(cpu));
+    h.add_row(std::move(gpu));
+  }
+  h.print();
+
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 8: sidecar analytics — per-service ingress FPS and queue drop
+// ratio as clients join one per minute (1 -> 10), config [1,3,2,1,3].
+//
+// Expected shape (paper §5): ingress FPS of the later stages plateaus
+// around 4 clients (~90 FPS); matching's drop rate starts climbing at 3
+// clients (10% -> 40%); sift's reaches ~50% at 8-10 clients, halving
+// the ingress FPS of the latest stages; primary tops out near 240 FPS.
+#include <cstdio>
+
+#include "bench/fig_util.h"
+
+using namespace mar;
+using namespace mar::bench;
+
+int main() {
+  std::printf("Figure 8: scAtteR++ sidecar analytics, clients joining 1/min\n");
+
+  constexpr int kClients = 10;
+  const SimDuration kInterval = seconds(60.0);
+
+  ExperimentConfig cfg;
+  cfg.mode = core::PipelineMode::kScatterPP;
+  cfg.placement = SymbolicPlacement::replicated({1, 3, 2, 1, 3});
+  cfg.num_clients = kClients;
+  cfg.client_stagger = kInterval;
+  cfg.warmup = 0;
+  cfg.duration = kInterval * kClients;
+  cfg.seed = 8001;
+
+  expt::Experiment e(cfg);
+  e.run();
+
+  // Aggregate the per-second ingress/drop series of each stage across
+  // its replicas into one row per one-minute interval.
+  Table in_t(service_columns("clients"));
+  Table drop_t(service_columns("clients"));
+
+  for (int m = 0; m < kClients; ++m) {
+    std::vector<std::string> in_row{std::to_string(m + 1)};
+    std::vector<std::string> drop_row{std::to_string(m + 1)};
+    for (Stage s : kStages) {
+      double ingress = 0.0, drops = 0.0;
+      for (dsp::ServiceHost* host : e.deployment().hosts_of(s)) {
+        const auto& in_series = host->stats().ingress_per_sec;
+        const auto& drop_series = host->stats().drops_per_sec;
+        for (int sec = m * 60; sec < (m + 1) * 60; ++sec) {
+          ingress += static_cast<double>(in_series.count_at(static_cast<std::size_t>(sec)));
+          drops += static_cast<double>(drop_series.count_at(static_cast<std::size_t>(sec)));
+        }
+      }
+      in_row.push_back(Table::num(ingress / 60.0, 1));
+      drop_row.push_back(ingress > 0 ? Table::pct(drops / ingress) : "0.0%");
+    }
+    in_t.add_row(std::move(in_row));
+    drop_t.add_row(std::move(drop_row));
+  }
+  expt::print_banner("Ingress FPS per service (per one-minute interval)");
+  in_t.print();
+  expt::print_banner("Queue drop ratio per service (per one-minute interval)");
+  drop_t.print();
+
+  return 0;
+}

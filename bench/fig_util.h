@@ -1,0 +1,47 @@
+// Shared helpers for the per-figure benchmark binaries.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "expt/experiment.h"
+#include "expt/table.h"
+
+namespace mar::bench {
+
+using expt::ExperimentConfig;
+using expt::ExperimentResult;
+using expt::Site;
+using expt::SymbolicPlacement;
+using expt::Table;
+
+// The paper's four baseline placements (§4, Fig. 2), pipeline order
+// [primary, sift, encoding, lsh, matching].
+struct NamedPlacement {
+  std::string name;
+  SymbolicPlacement placement;
+};
+
+inline std::vector<NamedPlacement> baseline_placements() {
+  return {
+      {"C1 (all E1)", SymbolicPlacement::single(Site::kE1)},
+      {"C2 (all E2)", SymbolicPlacement::single(Site::kE2)},
+      {"C12 [E1,E1,E2,E2,E2]",
+       SymbolicPlacement::per_stage({Site::kE1, Site::kE1, Site::kE2, Site::kE2, Site::kE2})},
+      {"C21 [E2,E2,E1,E1,E1]",
+       SymbolicPlacement::per_stage({Site::kE2, Site::kE2, Site::kE1, Site::kE1, Site::kE1})},
+  };
+}
+
+inline const std::array<Stage, kNumStages> kStages = {
+    Stage::kPrimary, Stage::kSift, Stage::kEncoding, Stage::kLsh, Stage::kMatching};
+
+// Per-service columns ("primary", "sift", ...) after a leading label column.
+inline std::vector<std::string> service_columns(const std::string& first) {
+  std::vector<std::string> cols{first};
+  for (Stage s : kStages) cols.emplace_back(to_string(s));
+  return cols;
+}
+
+}  // namespace mar::bench

@@ -1,0 +1,79 @@
+// Headline comparison (abstract & §5): scAtteR++ vs scAtteR.
+//
+//   * framerate improvement at 4 concurrent clients (paper: ~2.5-4x),
+//   * single-client FPS delta (paper: +9 %) and success-rate delta,
+//   * client capacity: the most concurrent clients each system can
+//     serve at or above a 10 FPS floor (paper: ~2.75-2.8x).
+//
+// scAtteR runs its best fixed placement (C2); scAtteR++ additionally
+// scales out ([1,2,2,1,2]), which statefulness denies scAtteR.
+#include <cstdio>
+
+#include "bench/fig_util.h"
+
+using namespace mar;
+using namespace mar::bench;
+
+namespace {
+
+ExperimentResult run(core::PipelineMode mode, const SymbolicPlacement& placement, int clients,
+                     std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.mode = mode;
+  cfg.placement = placement;
+  cfg.num_clients = clients;
+  cfg.seed = seed;
+  return expt::run_experiment(cfg);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 1 (headline): scAtteR++ vs scAtteR\n");
+  constexpr double kFpsFloor = 10.0;
+  constexpr int kMaxClients = 12;
+
+  const SymbolicPlacement scatter_best = SymbolicPlacement::single(Site::kE2);
+  const SymbolicPlacement pp_scaled = SymbolicPlacement::replicated({1, 2, 2, 1, 2});
+
+  expt::print_banner("FPS per client by load");
+  Table t({"clients", "scAtteR (C2)", "scAtteR++ (C2)", "scAtteR++ [1,2,2,1,2]"});
+  std::vector<double> fps_scatter, fps_pp, fps_pp_scaled;
+  for (int n = 1; n <= kMaxClients; ++n) {
+    const auto seed = static_cast<std::uint64_t>(n);
+    fps_scatter.push_back(
+        run(core::PipelineMode::kScatter, scatter_best, n, 12000 + seed).fps_mean);
+    fps_pp.push_back(
+        run(core::PipelineMode::kScatterPP, scatter_best, n, 12100 + seed).fps_mean);
+    fps_pp_scaled.push_back(
+        run(core::PipelineMode::kScatterPP, pp_scaled, n, 12200 + seed).fps_mean);
+    t.add_row({std::to_string(n), Table::num(fps_scatter.back(), 1),
+               Table::num(fps_pp.back(), 1), Table::num(fps_pp_scaled.back(), 1)});
+  }
+  t.print();
+
+  auto capacity = [&](const std::vector<double>& fps) {
+    int cap = 0;
+    for (int n = 1; n <= kMaxClients; ++n) {
+      if (fps[static_cast<std::size_t>(n - 1)] >= kFpsFloor) cap = n;
+    }
+    return cap;
+  };
+  const int cap_scatter = capacity(fps_scatter);
+  const int cap_pp = capacity(fps_pp_scaled);
+
+  expt::print_banner("Headline numbers");
+  Table h({"metric", "scAtteR", "scAtteR++", "ratio", "paper"});
+  h.add_row({"FPS @ 4 clients", Table::num(fps_scatter[3], 1), Table::num(fps_pp_scaled[3], 1),
+             Table::num(fps_scatter[3] > 0 ? fps_pp_scaled[3] / fps_scatter[3] : 0, 2) + "x",
+             "~2.5-4x"});
+  h.add_row({"clients @ >=10 FPS", std::to_string(cap_scatter), std::to_string(cap_pp),
+             Table::num(cap_scatter ? static_cast<double>(cap_pp) / cap_scatter : 0, 2) + "x",
+             "~2.75x"});
+  h.add_row({"FPS @ 1 client", Table::num(fps_scatter[0], 1), Table::num(fps_pp[0], 1),
+             Table::num(fps_scatter[0] > 0 ? fps_pp[0] / fps_scatter[0] : 0, 2) + "x",
+             "+9%"});
+  h.print();
+
+  return 0;
+}

@@ -1,0 +1,31 @@
+
+
+function(mar_bench name)
+  # benches include "bench/fig_util.h" relative to the repo root
+
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+  target_link_libraries(${name} PRIVATE mar_expt mar_core mar_orchestra)
+  target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR})
+endfunction()
+
+mar_bench(fig2_baseline_edge)
+mar_bench(fig3_scalability)
+mar_bench(fig4_cloud)
+mar_bench(fig6_scatterpp_edge)
+mar_bench(fig7_scatterpp_scaling)
+mar_bench(fig8_sidecar_analytics)
+mar_bench(fig9_network_conditions)
+mar_bench(fig10_jitter)
+mar_bench(fig11_hybrid_cloud)
+mar_bench(fig12_sidecar_all_e1)
+mar_bench(table1_headline)
+
+mar_bench(ablation_scatterpp_parts)
+mar_bench(ablation_sidecar_threshold)
+mar_bench(ablation_app_aware)
+mar_bench(ablation_vertical_scaling)
+
+add_executable(vision_microbench ${CMAKE_SOURCE_DIR}/bench/vision_microbench.cc)
+set_target_properties(vision_microbench PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+target_link_libraries(vision_microbench PRIVATE mar_vision mar_video benchmark::benchmark Threads::Threads)

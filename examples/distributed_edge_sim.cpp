@@ -1,0 +1,46 @@
+// Distributed deployment study in the simulator.
+//
+// Deploys the five-service pipeline on the simulated E1/E2/cloud
+// testbed under the Oakestra-like orchestrator and compares scAtteR
+// (stateful sift, drop-when-busy) against scAtteR++ (stateless sift +
+// sidecar queues) at increasing client load — a minimal version of the
+// paper's §4/§5 experiments using the public experiment API.
+//
+// Build & run:  ./build/examples/distributed_edge_sim
+#include <cstdio>
+
+#include "expt/experiment.h"
+#include "expt/table.h"
+
+using namespace mar;
+using namespace mar::expt;
+
+int main() {
+  std::printf("Distributed AR on the simulated edge testbed\n");
+  std::printf("placement: C2 (all services on edge server E2), 1-4 clients\n");
+
+  Table t({"clients", "scAtteR FPS", "scAtteR E2E ms", "scAtteR++ FPS", "scAtteR++ E2E ms"});
+  for (int n = 1; n <= 4; ++n) {
+    ExperimentConfig cfg;
+    cfg.placement = SymbolicPlacement::single(Site::kE2);
+    cfg.num_clients = n;
+    cfg.duration = seconds(30.0);
+    cfg.seed = 500 + static_cast<std::uint64_t>(n);
+
+    cfg.mode = core::PipelineMode::kScatter;
+    const ExperimentResult scatter = run_experiment(cfg);
+    cfg.mode = core::PipelineMode::kScatterPP;
+    const ExperimentResult pp = run_experiment(cfg);
+
+    t.add_row({std::to_string(n), Table::num(scatter.fps_mean, 1),
+               Table::num(scatter.e2e_ms_mean, 1), Table::num(pp.fps_mean, 1),
+               Table::num(pp.e2e_ms_mean, 1)});
+  }
+  t.print();
+
+  std::printf(
+      "\nThe stateful sift<->matching loop collapses scAtteR under load;\n"
+      "scAtteR++'s in-band state and sidecar queues keep the framerate up.\n"
+      "Run the bench/fig* binaries for the full paper reproduction.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Parameterized experiment runner: configure a deployment from the
+// command line, run it, and print (or export) the paper's metrics.
+//
+//   ./build/examples/experiment_cli --mode scatterpp --placement
+//       1,2,2,1,2 --clients 6 --duration 60 --seed 7 --out result.json
+//   (one line; wrapped here for width)
+//
+//   --mode       scatter | scatterpp            (default scatter)
+//   --placement  e1 | e2 | cloud | hybrid | a,b,c,d,e replica counts
+//   --clients    concurrent clients             (default 1)
+//   --fps        client framerate               (default 30)
+//   --duration   measurement seconds            (default 60)
+//   --threshold  sidecar threshold ms           (default 100)
+//   --fast-sift  use the accelerator cost model
+//   --seed       RNG seed                       (default 1)
+//   --out        write a .csv/.json report
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "expt/experiment.h"
+#include "expt/report.h"
+#include "expt/table.h"
+
+using namespace mar;
+using namespace mar::expt;
+
+namespace {
+
+SymbolicPlacement parse_placement(const std::string& spec) {
+  if (spec == "e1") return SymbolicPlacement::single(Site::kE1);
+  if (spec == "e2") return SymbolicPlacement::single(Site::kE2);
+  if (spec == "cloud") return SymbolicPlacement::single(Site::kCloud);
+  if (spec == "hybrid") {
+    return SymbolicPlacement::per_stage(
+        {Site::kE1, Site::kCloud, Site::kCloud, Site::kCloud, Site::kCloud});
+  }
+  // Replica-count vector "a,b,c,d,e".
+  std::array<int, kNumStages> counts{1, 1, 1, 1, 1};
+  std::size_t pos = 0;
+  for (int i = 0; i < kNumStages && pos < spec.size(); ++i) {
+    counts[static_cast<std::size_t>(i)] = std::max(1, std::atoi(spec.c_str() + pos));
+    const std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return SymbolicPlacement::replicated(counts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExperimentConfig cfg;
+  std::string out_path;
+  std::string placement_spec = "e2";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg == "--mode") {
+      cfg.mode = std::strcmp(next(), "scatterpp") == 0 ? core::PipelineMode::kScatterPP
+                                                       : core::PipelineMode::kScatter;
+    } else if (arg == "--placement") {
+      placement_spec = next();
+    } else if (arg == "--clients") {
+      cfg.num_clients = std::atoi(next());
+    } else if (arg == "--fps") {
+      cfg.client_fps = std::atof(next());
+    } else if (arg == "--duration") {
+      cfg.duration = seconds(std::atof(next()));
+    } else if (arg == "--threshold") {
+      cfg.costs.sidecar_threshold = millis(std::atof(next()));
+    } else if (arg == "--fast-sift") {
+      const SimDuration threshold = cfg.costs.sidecar_threshold;
+      cfg.costs = hw::CostModel::fast_detector();
+      cfg.costs.sidecar_threshold = threshold;
+    } else if (arg == "--seed") {
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--help") {
+      std::printf("see the header of examples/experiment_cli.cpp for usage\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  cfg.placement = parse_placement(placement_spec);
+
+  std::printf("running %s on %s with %d client(s), %.0f s window...\n",
+              to_string(cfg.mode), cfg.placement.to_label().c_str(), cfg.num_clients,
+              to_seconds(cfg.duration));
+  const ExperimentResult r = run_experiment(cfg);
+
+  Table qos({"FPS/client", "E2E ms", "p95 ms", "success %", "jitter ms"});
+  qos.add_row({Table::num(r.fps_mean, 1), Table::num(r.e2e_ms_mean, 1),
+               Table::num(r.e2e_ms_p95, 1), Table::num(r.success_rate * 100.0, 1),
+               Table::num(r.jitter_ms, 2)});
+  qos.print();
+
+  Table per_service(
+      {"service", "machine", "svc ms", "queue ms", "mem GB", "gpu %", "drop %"});
+  for (const auto& s : r.services) {
+    per_service.add_row({std::string(to_string(s.stage)) + "#" +
+                             std::to_string(s.replica_index),
+                         s.machine, Table::num(s.service_ms_mean, 1),
+                         Table::num(s.queue_ms_mean, 1), Table::num(s.mem_gb_mean, 2),
+                         Table::num(s.gpu_share * 100.0, 1),
+                         Table::num(s.drop_ratio * 100.0, 1)});
+  }
+  per_service.print();
+
+  if (!out_path.empty()) {
+    if (write_report(r, out_path)) {
+      std::printf("wrote %s\n", out_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

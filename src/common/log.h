@@ -1,0 +1,48 @@
+// Leveled logging with a global verbosity switch. Benchmarks run with
+// logging off; examples enable kInfo to narrate pipeline activity.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mar {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+namespace internal {
+void log_write(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace mar
+
+#define MAR_LOG(level)                           \
+  if (static_cast<int>(level) < static_cast<int>(::mar::log_level())) { \
+  } else                                         \
+    ::mar::internal::LogLine(level)
+
+#define MAR_DEBUG MAR_LOG(::mar::LogLevel::kDebug)
+#define MAR_INFO MAR_LOG(::mar::LogLevel::kInfo)
+#define MAR_WARN MAR_LOG(::mar::LogLevel::kWarn)
+#define MAR_ERROR MAR_LOG(::mar::LogLevel::kError)

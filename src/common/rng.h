@@ -1,0 +1,51 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of the simulator (service time noise, link
+// jitter, packet loss) draws from an explicitly seeded Rng so experiment
+// runs are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace mar {
+
+// xoshiro256** with a splitmix64 seeder. Small, fast, and good enough for
+// simulation noise; NOT cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Standard normal via Marsaglia polar method.
+  double next_gaussian();
+
+  // Gaussian with the given mean/stddev.
+  double gaussian(double mean, double stddev);
+
+  // True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  // Exponentially distributed value with the given mean.
+  double exponential(double mean);
+
+  // Derive an independent child stream (for per-entity RNGs).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace mar

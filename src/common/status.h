@@ -1,0 +1,81 @@
+// Minimal status/result types. The library avoids exceptions on hot
+// paths (per-frame processing); fallible setup APIs return Status or
+// Result<T> instead.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace mar {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kUnavailable,
+  kResourceExhausted,
+  kInternal,
+  kDeadlineExceeded,
+};
+
+[[nodiscard]] constexpr const char* to_string(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+  }
+  return "?";
+}
+
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    if (is_ok()) return "ok";
+    return std::string(mar::to_string(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  [[nodiscard]] bool is_ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+  [[nodiscard]] const T& value() const& { return *value_; }
+  [[nodiscard]] T& value() & { return *value_; }
+  [[nodiscard]] T&& value() && { return std::move(*value_); }
+
+ private:
+  std::optional<T> value_;
+  Status status_{StatusCode::kInternal, "unset"};
+};
+
+}  // namespace mar

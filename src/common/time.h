@@ -1,0 +1,36 @@
+// Simulation time. All simulated timestamps and durations are signed
+// 64-bit nanosecond counts; helpers convert to/from human units.
+#pragma once
+
+#include <cstdint>
+
+namespace mar {
+
+// Absolute simulated time (ns since simulation start).
+using SimTime = std::int64_t;
+// Simulated duration in ns.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1'000;
+inline constexpr SimDuration kMillisecond = 1'000'000;
+inline constexpr SimDuration kSecond = 1'000'000'000;
+
+[[nodiscard]] constexpr SimDuration micros(double us) {
+  return static_cast<SimDuration>(us * static_cast<double>(kMicrosecond));
+}
+[[nodiscard]] constexpr SimDuration millis(double ms) {
+  return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond));
+}
+[[nodiscard]] constexpr SimDuration seconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+
+[[nodiscard]] constexpr double to_millis(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+[[nodiscard]] constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+}  // namespace mar

@@ -1,0 +1,104 @@
+// Strong identifier types shared across the library.
+//
+// The pipeline routes frames between clients, services, machines, and
+// endpoints; using distinct wrapper types prevents the classic bug of
+// passing a client id where a frame number was expected.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace mar {
+
+// CRTP-free strongly typed integer id. Distinct Tag types produce distinct,
+// non-convertible id types with value semantics and ordering.
+template <typename Tag, typename Rep = std::uint64_t>
+class Id {
+ public:
+  using rep_type = Rep;
+
+  constexpr Id() = default;
+  constexpr explicit Id(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+  static constexpr Rep kInvalid = static_cast<Rep>(-1);
+  static constexpr Id invalid() { return Id{kInvalid}; }
+
+ private:
+  Rep value_ = kInvalid;
+};
+
+struct ClientIdTag {};
+struct FrameIdTag {};
+struct ServiceIdTag {};
+struct InstanceIdTag {};
+struct MachineIdTag {};
+struct EndpointIdTag {};
+struct GpuIdTag {};
+
+// A logical AR client (one video stream).
+using ClientId = Id<ClientIdTag, std::uint32_t>;
+// Monotone per-client frame number.
+using FrameId = Id<FrameIdTag, std::uint64_t>;
+// A logical pipeline service (primary, sift, ...).
+using ServiceId = Id<ServiceIdTag, std::uint32_t>;
+// One deployed replica of a service.
+using InstanceId = Id<InstanceIdTag, std::uint32_t>;
+// A physical (simulated) machine.
+using MachineId = Id<MachineIdTag, std::uint32_t>;
+// A datagram endpoint (client socket or service ingress).
+using EndpointId = Id<EndpointIdTag, std::uint32_t>;
+// A GPU device on a machine.
+using GpuId = Id<GpuIdTag, std::uint32_t>;
+
+// The five pipeline stages, in pipeline order. `kResult` marks a frame that
+// has completed the pipeline and is being returned to the client.
+enum class Stage : std::uint8_t {
+  kPrimary = 0,
+  kSift = 1,
+  kEncoding = 2,
+  kLsh = 3,
+  kMatching = 4,
+  kResult = 5,
+};
+
+inline constexpr int kNumStages = 5;
+
+[[nodiscard]] constexpr const char* to_string(Stage s) {
+  switch (s) {
+    case Stage::kPrimary:
+      return "primary";
+    case Stage::kSift:
+      return "sift";
+    case Stage::kEncoding:
+      return "encoding";
+    case Stage::kLsh:
+      return "lsh";
+    case Stage::kMatching:
+      return "matching";
+    case Stage::kResult:
+      return "result";
+  }
+  return "?";
+}
+
+// Next stage in the linear pipeline; kMatching -> kResult.
+[[nodiscard]] constexpr Stage next_stage(Stage s) {
+  return static_cast<Stage>(static_cast<std::uint8_t>(s) + 1);
+}
+
+}  // namespace mar
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<mar::Id<Tag, Rep>> {
+  size_t operator()(mar::Id<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,86 @@
+#include "core/client.h"
+
+#include <cmath>
+
+namespace mar::core {
+
+ArClient::ArClient(dsp::Runtime& rt, hw::Machine& machine, dsp::Router& router,
+                   ClientConfig config, Rng rng)
+    : rt_(rt), router_(router), config_(config), rng_(rng) {
+  endpoint_ = rt_.make_endpoint(machine.id(),
+                                [this](wire::FramePacket pkt) { on_result(pkt); });
+}
+
+ArClient::~ArClient() { stop(); }
+
+void ArClient::start() {
+  if (running_) return;
+  running_ = true;
+  next_send_event_ = rt_.schedule_after(config_.phase_offset, [this] { send_frame(); });
+}
+
+void ArClient::stop() {
+  if (!running_) return;
+  running_ = false;
+  rt_.cancel(next_send_event_);
+}
+
+void ArClient::send_frame() {
+  if (!running_) return;
+
+  wire::FramePacket pkt;
+  pkt.header.client = config_.id;
+  pkt.header.frame = FrameId{next_frame_++};
+  pkt.header.stage = Stage::kPrimary;
+  pkt.header.kind = wire::MessageKind::kFrameData;
+  pkt.header.capture_ts = rt_.now();
+  pkt.header.client_endpoint = endpoint_;
+  pkt.header.payload_bytes = payload_for_hop(Stage::kPrimary, false);
+  rt_.send(endpoint_, router_.resolve(Stage::kPrimary, pkt.header), std::move(pkt));
+  ++stats_.frames_sent;
+
+  // Camera pacing with sub-millisecond sensor timing noise.
+  const auto interval = static_cast<SimDuration>(kSecond / config_.fps);
+  const auto noise =
+      static_cast<SimDuration>(rng_.gaussian(0.0, 100.0 * static_cast<double>(kMicrosecond)));
+  next_send_event_ = rt_.schedule_after(interval + noise, [this] { send_frame(); });
+}
+
+void ArClient::on_result(const wire::FramePacket& pkt) {
+  if (pkt.header.kind != wire::MessageKind::kResult) return;
+  ++stats_.results_received;
+  if (!pkt.header.match_ok) return;
+
+  ++stats_.successes;
+  const SimTime now = rt_.now();
+  stats_.e2e_ms.add(to_millis(now - pkt.header.capture_ts));
+  stats_.success_per_sec.add(now);
+
+  // Fold in the sidecar telemetry that rode back with the result.
+  for (const wire::HopRecord& hop : pkt.hops) {
+    const auto idx = static_cast<std::size_t>(hop.stage);
+    if (idx >= kNumStages) continue;
+    stats_.hop_queue_ms[idx].add(to_millis(hop.queue_time));
+    stats_.hop_process_ms[idx].add(to_millis(hop.process_time));
+  }
+
+  if (last_result_ts_ >= 0 && last_result_frame_.valid() &&
+      pkt.header.frame.value() == last_result_frame_.value() + 1) {
+    // Consecutive camera frames both delivered: their arrival gap
+    // should equal the camera's inter-frame time; the deviation is the
+    // network+pipeline jitter.
+    const SimDuration gap = now - last_result_ts_;
+    const auto inter_frame = static_cast<SimDuration>(kSecond / config_.fps);
+    stats_.jitter_ms.add(std::abs(to_millis(gap - inter_frame)));
+  }
+  last_result_ts_ = now;
+  last_result_frame_ = pkt.header.frame;
+}
+
+double ArClient::fps_since(SimTime window_start) const {
+  const double elapsed = to_seconds(rt_.now() - window_start);
+  if (elapsed <= 0.0) return 0.0;
+  return static_cast<double>(stats_.successes) / elapsed;
+}
+
+}  // namespace mar::core

@@ -1,0 +1,105 @@
+// Simulated AR client: replays a pre-recorded video (paper: 10 s,
+// 30 FPS, 720p workplace scene, looped) into the pipeline ingress and
+// collects QoS statistics from returned results.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/frame_flow.h"
+#include "dsp/runtime.h"
+#include "hw/machine.h"
+#include "telemetry/histogram.h"
+#include "telemetry/stats.h"
+#include "telemetry/timeseries.h"
+
+namespace mar::core {
+
+struct ClientConfig {
+  ClientId id;
+  double fps = 30.0;
+  // Small per-client phase offset so concurrent clients do not send in
+  // lockstep (virtual clients start at different instants in reality).
+  SimDuration phase_offset = 0;
+};
+
+struct ClientStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t results_received = 0;
+  std::uint64_t successes = 0;  // results with a recognized, posed object
+
+  telemetry::Histogram e2e_ms;  // capture -> result, successful frames
+  // Inter-frame receive jitter: |arrival gap - camera inter-frame time|
+  // measured over consecutively-numbered delivered frames, so frame
+  // drops don't masquerade as jitter.
+  telemetry::Accumulator jitter_ms;
+  telemetry::TimeSeries success_per_sec{kSecond};
+
+  // Per-stage telemetry carried back in-band by the scAtteR++ sidecars
+  // (HopRecords attached to the data's state, paper §5/A.2): the
+  // client-side view of where delivered frames spent their time.
+  std::array<telemetry::Accumulator, kNumStages> hop_queue_ms;
+  std::array<telemetry::Accumulator, kNumStages> hop_process_ms;
+
+  // Measured over the window since the last reset().
+  [[nodiscard]] double success_rate() const {
+    return frames_sent ? static_cast<double>(successes) / static_cast<double>(frames_sent) : 0.0;
+  }
+
+  void reset() {
+    frames_sent = 0;
+    results_received = 0;
+    successes = 0;
+    e2e_ms.reset();
+    jitter_ms.reset();
+    success_per_sec.reset();
+    for (auto& acc : hop_queue_ms) acc.reset();
+    for (auto& acc : hop_process_ms) acc.reset();
+  }
+};
+
+class ArClient {
+ public:
+  ArClient(dsp::Runtime& rt, hw::Machine& machine, dsp::Router& router, ClientConfig config,
+           Rng rng);
+  ~ArClient();
+
+  ArClient(const ArClient&) = delete;
+  ArClient& operator=(const ArClient&) = delete;
+
+  // Start streaming frames; keeps sending until stop().
+  void start();
+  void stop();
+
+  [[nodiscard]] ClientStats& stats() { return stats_; }
+  [[nodiscard]] const ClientStats& stats() const { return stats_; }
+  [[nodiscard]] ClientId id() const { return config_.id; }
+  [[nodiscard]] EndpointId endpoint() const { return endpoint_; }
+
+  // Achieved framerate (successful frames / window) since `window_start`.
+  [[nodiscard]] double fps_since(SimTime window_start) const;
+
+ private:
+  void send_frame();
+  void on_result(const wire::FramePacket& pkt);
+
+  dsp::Runtime& rt_;
+  dsp::Router& router_;
+  ClientConfig config_;
+  Rng rng_;
+  EndpointId endpoint_;
+
+  bool running_ = false;
+  std::uint64_t next_frame_ = 0;
+  sim::EventId next_send_event_{};
+
+  // Jitter tracking: arrival time of the last delivered frame.
+  SimTime last_result_ts_ = -1;
+  FrameId last_result_frame_ = FrameId::invalid();
+
+  ClientStats stats_;
+};
+
+}  // namespace mar::core

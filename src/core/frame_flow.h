@@ -1,0 +1,59 @@
+// Frame flow helpers: pipeline mode and per-hop payload sizing.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "wire/message.h"
+
+namespace mar::core {
+
+// Which system is deployed.
+enum class PipelineMode {
+  kScatter,    // stateful sift, drop-when-busy ingress
+  kScatterPP,  // stateless sift, sidecar ingress (scAtteR++)
+};
+
+[[nodiscard]] constexpr const char* to_string(PipelineMode m) {
+  return m == PipelineMode::kScatter ? "scAtteR" : "scAtteR++";
+}
+
+// scAtteR++ bundles two independent mechanisms; the ablation benches
+// toggle them separately to attribute the gains.
+struct PipelineFeatures {
+  // Carry sift's feature state in-band (no fetch loop, larger frames).
+  bool stateless_sift = false;
+  // Sidecar ingress queue with filtering and the staleness threshold.
+  bool sidecar = false;
+
+  static constexpr PipelineFeatures for_mode(PipelineMode m) {
+    return m == PipelineMode::kScatterPP ? PipelineFeatures{true, true}
+                                         : PipelineFeatures{false, false};
+  }
+};
+
+// Extra bytes per message when the SIFT feature state rides in-band
+// (scAtteR++): the paper's 180 KB -> 480 KB growth of sift's output.
+inline constexpr std::uint32_t kInBandStateBytes =
+    wire::sizes::kSiftOutStateful - wire::sizes::kSiftOut;
+
+// On-wire payload for the hop *into* `to`.
+[[nodiscard]] constexpr std::uint32_t payload_for_hop(Stage to, bool carries_state) {
+  switch (to) {
+    case Stage::kPrimary:
+      return wire::sizes::kClientFrame;
+    case Stage::kSift:
+      return wire::sizes::kPreprocessed;
+    case Stage::kEncoding:
+      return carries_state ? wire::sizes::kSiftOutStateful : wire::sizes::kSiftOut;
+    case Stage::kLsh:
+      return wire::sizes::kFisherVector + (carries_state ? kInBandStateBytes : 0);
+    case Stage::kMatching:
+      return wire::sizes::kNnCandidates + (carries_state ? kInBandStateBytes : 0);
+    case Stage::kResult:
+      return wire::sizes::kResult;
+  }
+  return 0;
+}
+
+}  // namespace mar::core

@@ -1,0 +1,226 @@
+#include "core/services.h"
+
+#include <utility>
+
+namespace mar::core {
+namespace {
+
+// matching's compute splits into a pre-match part (descriptor matching
+// against the NN candidates) and a pose part (homography + tracking),
+// separated in scAtteR by the state fetch round-trip to sift.
+constexpr double kPrematchGpuFraction = 0.45;
+
+}  // namespace
+
+// --------------------------------------------------------------------
+// primary
+
+void PrimaryService::process(wire::FramePacket pkt) {
+  host().compute().run_stage(host().costs(), Stage::kPrimary,
+                             [this, pkt = std::move(pkt)]() mutable {
+                               pkt.header.stage = Stage::kSift;
+                               pkt.header.payload_bytes =
+                                   payload_for_hop(Stage::kSift, /*carries_state=*/false);
+                               pkt.payload.clear();
+                               host().send(env_.router->resolve(Stage::kSift, pkt.header),
+                                           std::move(pkt));
+                               host().finish_current();
+                             });
+}
+
+// --------------------------------------------------------------------
+// sift
+
+void SiftService::on_attached() {
+  if (!env_.features.stateless_sift) {
+    store_ = std::make_unique<dsp::StateStore>(host(), host().costs().state_timeout,
+                                               host().costs().state_entry_bytes);
+  }
+}
+
+void SiftService::process(wire::FramePacket pkt) {
+  if (pkt.header.kind == wire::MessageKind::kStateFetchRequest) {
+    handle_fetch(std::move(pkt));
+  } else {
+    handle_frame(std::move(pkt));
+  }
+}
+
+void SiftService::handle_frame(wire::FramePacket pkt) {
+  host().compute().run_stage(
+      host().costs(), Stage::kSift, [this, pkt = std::move(pkt)]() mutable {
+        const bool stateful = !env_.features.stateless_sift;
+        if (stateful) {
+          // Keep the frame's features in memory until matching fetches
+          // them (or the state timeout evicts the orphan).
+          store_->put(pkt.header.client, pkt.header.frame);
+          pkt.header.sift_instance = host().instance();
+        } else {
+          // scAtteR++: package the feature state into the frame itself.
+          pkt.header.carries_state = true;
+        }
+        pkt.header.stage = Stage::kEncoding;
+        pkt.header.payload_bytes = payload_for_hop(Stage::kEncoding, pkt.header.carries_state);
+        host().send(env_.router->resolve(Stage::kEncoding, pkt.header), std::move(pkt));
+        host().finish_current();
+      });
+}
+
+void SiftService::handle_fetch(wire::FramePacket pkt) {
+  // Serving a fetch occupies the (single-threaded) service just like an
+  // extraction does — this is why sift sees 2x request load in scAtteR.
+  const auto& costs = host().costs();
+  host().compute().run(costs.state_fetch_cpu, 0, costs.stage(Stage::kSift).noise_cv,
+                       [this, pkt = std::move(pkt)]() mutable {
+                         if (store_ != nullptr &&
+                             store_->take(pkt.header.client, pkt.header.frame)) {
+                           ++fetch_hits_;
+                           wire::FramePacket resp;
+                           resp.header = pkt.header;
+                           resp.header.kind = wire::MessageKind::kStateFetchResponse;
+                           resp.header.payload_bytes = wire::sizes::kStateFetchResp;
+                           host().send(pkt.header.reply_to, std::move(resp));
+                         } else {
+                           // Missing/expired state: no reply; the
+                           // requester times out.
+                           ++fetch_misses_;
+                         }
+                         host().finish_current();
+                       });
+}
+
+// --------------------------------------------------------------------
+// encoding / lsh
+
+void ForwardService::process(wire::FramePacket pkt) {
+  host().compute().run_stage(host().costs(), stage_, [this, pkt = std::move(pkt)]() mutable {
+    const Stage next = next_stage(stage_);
+    pkt.header.stage = next;
+    pkt.header.payload_bytes = payload_for_hop(next, pkt.header.carries_state);
+    host().send(env_.router->resolve(next, pkt.header), std::move(pkt));
+    host().finish_current();
+  });
+}
+
+// --------------------------------------------------------------------
+// matching
+
+void MatchingService::process(wire::FramePacket pkt) {
+  const auto& cost = host().costs().stage(Stage::kMatching);
+  if (pkt.header.carries_state) {
+    // Stateless pipeline: everything needed is in-band; one compute pass.
+    host().compute().run(cost.cpu_time, cost.gpu_time, cost.noise_cv,
+                         [this, pkt = std::move(pkt)]() mutable {
+                           finish_frame(std::move(pkt));
+                         });
+    return;
+  }
+  // scAtteR: match against NN candidates, then fetch the frame's stored
+  // features from the sift replica that extracted them.
+  const auto prematch_gpu =
+      static_cast<SimDuration>(static_cast<double>(cost.gpu_time) * kPrematchGpuFraction);
+  host().compute().run(cost.cpu_time / 2, prematch_gpu, cost.noise_cv,
+                       [this, pkt = std::move(pkt)]() mutable {
+                         request_state(std::move(pkt));
+                       });
+}
+
+void MatchingService::request_state(wire::FramePacket pkt) {
+  wire::FramePacket req;
+  req.header = pkt.header;
+  req.header.kind = wire::MessageKind::kStateFetchRequest;
+  req.header.stage = Stage::kSift;
+  req.header.payload_bytes = wire::sizes::kStateFetchReq;
+  req.header.reply_to = host().ingress();
+
+  const EndpointId sift_ep = env_.router->endpoint_of(pkt.header.sift_instance);
+  PendingFetch pending;
+  pending.client = pkt.header.client;
+  pending.frame = pkt.header.frame;
+  pending.pkt = std::move(pkt);
+  // Busy-wait with a deadline: while waiting, matching stays busy and
+  // its ingress drops new lsh results (the paper's backpressure loop).
+  pending.timeout_event = host().runtime().schedule_after(
+      host().costs().state_fetch_timeout, [this] {
+        if (!pending_) return;
+        ++fetch_timeouts_;
+        pending_.reset();
+        host().finish_current();
+      });
+  pending_ = std::move(pending);
+  host().send(sift_ep, std::move(req));
+}
+
+bool MatchingService::consume_inline(wire::FramePacket& pkt) {
+  if (pkt.header.kind != wire::MessageKind::kStateFetchResponse) return false;
+  if (!pending_ || pending_->client != pkt.header.client ||
+      pending_->frame != pkt.header.frame) {
+    return true;  // stale response for a timed-out frame; swallow it
+  }
+  host().runtime().cancel(pending_->timeout_event);
+  wire::FramePacket frame = std::move(pending_->pkt);
+  pending_.reset();
+
+  const auto& cost = host().costs().stage(Stage::kMatching);
+  const auto pose_gpu = static_cast<SimDuration>(static_cast<double>(cost.gpu_time) *
+                                                 (1.0 - kPrematchGpuFraction));
+  host().compute().run(cost.cpu_time / 2, pose_gpu, cost.noise_cv,
+                       [this, frame = std::move(frame)]() mutable {
+                         finish_frame(std::move(frame));
+                       });
+  return true;
+}
+
+void MatchingService::finish_frame(wire::FramePacket pkt) {
+  emit_result(pkt);
+  host().finish_current();
+}
+
+void MatchingService::emit_result(const wire::FramePacket& pkt) {
+  wire::FramePacket result;
+  result.header = pkt.header;
+  result.header.stage = Stage::kResult;
+  result.header.kind = wire::MessageKind::kResult;
+  result.header.payload_bytes = wire::sizes::kResult;
+  result.header.carries_state = false;
+  // Vision-level recognition can fail independently of system load
+  // (insufficient inliers / pose rejected).
+  result.header.match_ok =
+      !host().rng().bernoulli(host().costs().recognition_failure_prob);
+  result.hops = pkt.hops;
+  host().send(pkt.header.client_endpoint, std::move(result));
+}
+
+// --------------------------------------------------------------------
+
+std::unique_ptr<dsp::Servicelet> make_servicelet(const PipelineEnv& env, Stage stage) {
+  switch (stage) {
+    case Stage::kPrimary:
+      return std::make_unique<PrimaryService>(env);
+    case Stage::kSift:
+      return std::make_unique<SiftService>(env);
+    case Stage::kEncoding:
+    case Stage::kLsh:
+      return std::make_unique<ForwardService>(env, stage);
+    case Stage::kMatching:
+      return std::make_unique<MatchingService>(env);
+    case Stage::kResult:
+      break;
+  }
+  return nullptr;
+}
+
+dsp::HostConfig host_config_for(PipelineMode mode, Stage stage) {
+  return host_config_for(PipelineFeatures::for_mode(mode), stage);
+}
+
+dsp::HostConfig host_config_for(const PipelineFeatures& features, Stage stage) {
+  dsp::HostConfig cfg;
+  cfg.stage = stage;
+  cfg.uses_gpu = stage != Stage::kPrimary;  // all services but primary are GPU-bound
+  cfg.mode = features.sidecar ? dsp::IngressMode::kSidecar : dsp::IngressMode::kDropWhenBusy;
+  cfg.queue_capacity = 256;
+  return cfg;
+}
+
+}  // namespace mar::core

@@ -1,0 +1,116 @@
+// The five scAtteR pipeline services (paper §3.1, Fig. 1), written as
+// servicelets over the DSP framework:
+//
+//   primary  — pre-processing (grayscale + dimension reduction), CPU-only
+//   sift     — object detection / SIFT feature extraction; STATEFUL in
+//              scAtteR (stores per-frame features until matching fetches
+//              them), stateless in scAtteR++ (features ride in-band)
+//   encoding — PCA + Fisher encoding of descriptors
+//   lsh      — locality-sensitive-hash nearest-neighbour lookup
+//   matching — feature matching + pose estimation + tracking; in scAtteR
+//              it calls back into sift to fetch the frame's stored state
+//              (the dependency loop behind the paper's backpressure
+//              findings), in scAtteR++ it reads the in-band state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/types.h"
+#include "core/frame_flow.h"
+#include "dsp/runtime.h"
+#include "dsp/service_host.h"
+#include "dsp/servicelet.h"
+#include "dsp/state_store.h"
+
+namespace mar::core {
+
+// Shared pipeline wiring handed to every servicelet. The router is the
+// orchestrator's semantic-addressing layer; it is installed before any
+// traffic flows.
+struct PipelineEnv {
+  PipelineMode mode = PipelineMode::kScatter;
+  PipelineFeatures features = PipelineFeatures::for_mode(PipelineMode::kScatter);
+  dsp::Router* router = nullptr;
+};
+
+class PrimaryService final : public dsp::Servicelet {
+ public:
+  explicit PrimaryService(const PipelineEnv& env) : env_(env) {}
+  void process(wire::FramePacket pkt) override;
+
+ private:
+  const PipelineEnv& env_;
+};
+
+class SiftService final : public dsp::Servicelet {
+ public:
+  explicit SiftService(const PipelineEnv& env) : env_(env) {}
+  void process(wire::FramePacket pkt) override;
+
+  // scAtteR telemetry: state store occupancy and fetch accounting.
+  [[nodiscard]] const dsp::StateStore* store() const { return store_.get(); }
+  [[nodiscard]] std::uint64_t fetch_hits() const { return fetch_hits_; }
+  [[nodiscard]] std::uint64_t fetch_misses() const { return fetch_misses_; }
+
+ protected:
+  void on_attached() override;
+
+ private:
+  void handle_frame(wire::FramePacket pkt);
+  void handle_fetch(wire::FramePacket pkt);
+
+  const PipelineEnv& env_;
+  std::unique_ptr<dsp::StateStore> store_;  // scAtteR only
+  std::uint64_t fetch_hits_ = 0;
+  std::uint64_t fetch_misses_ = 0;
+};
+
+// encoding and lsh share the "compute, then forward" shape.
+class ForwardService final : public dsp::Servicelet {
+ public:
+  ForwardService(const PipelineEnv& env, Stage stage) : env_(env), stage_(stage) {}
+  void process(wire::FramePacket pkt) override;
+
+ private:
+  const PipelineEnv& env_;
+  Stage stage_;
+};
+
+class MatchingService final : public dsp::Servicelet {
+ public:
+  explicit MatchingService(const PipelineEnv& env) : env_(env) {}
+  void process(wire::FramePacket pkt) override;
+  bool consume_inline(wire::FramePacket& pkt) override;
+
+  // scAtteR telemetry: fetches that never got a response in time.
+  [[nodiscard]] std::uint64_t fetch_timeouts() const { return fetch_timeouts_; }
+
+ private:
+  void request_state(wire::FramePacket pkt);
+  void finish_frame(wire::FramePacket pkt);
+  void emit_result(const wire::FramePacket& pkt);
+
+  struct PendingFetch {
+    ClientId client;
+    FrameId frame;
+    wire::FramePacket pkt;      // the lsh output being completed
+    sim::EventId timeout_event;
+  };
+
+  const PipelineEnv& env_;
+  std::optional<PendingFetch> pending_;
+  std::uint64_t fetch_timeouts_ = 0;
+};
+
+// Factory used by deployments: builds the right servicelet for `stage`.
+[[nodiscard]] std::unique_ptr<dsp::Servicelet> make_servicelet(const PipelineEnv& env,
+                                                               Stage stage);
+
+// Host configuration matching the pipeline mode: primary is the only
+// CPU-only service; scAtteR++ replicas get a sidecar ingress.
+[[nodiscard]] dsp::HostConfig host_config_for(PipelineMode mode, Stage stage);
+[[nodiscard]] dsp::HostConfig host_config_for(const PipelineFeatures& features, Stage stage);
+
+}  // namespace mar::core

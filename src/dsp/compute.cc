@@ -1,0 +1,66 @@
+#include "dsp/compute.h"
+
+#include <utility>
+
+namespace mar::dsp {
+
+ComputeContext::ComputeContext(Runtime& rt, hw::Machine& machine, bool uses_gpu, Rng rng)
+    : rt_(rt), machine_(machine), uses_gpu_(uses_gpu && machine.num_gpus() > 0), rng_(rng) {
+  if (uses_gpu_) gpu_index_ = machine_.pin_service_to_gpu();
+}
+
+void ComputeContext::run(SimDuration cpu_mean, SimDuration gpu_mean, double noise_cv,
+                         std::function<void()> done) {
+  // Scale reference times to this machine, then add execution noise.
+  const auto scaled_cpu =
+      static_cast<SimDuration>(static_cast<double>(cpu_mean) * machine_.cpu_time_scale());
+  const auto scaled_gpu = static_cast<SimDuration>(
+      static_cast<double>(gpu_mean) *
+      (uses_gpu_ ? machine_.gpu_time_scale(gpu_index_) : machine_.cpu_time_scale() * 4.0));
+  const SimDuration cpu_time = hw::CostModel::sample(scaled_cpu, noise_cv, rng_);
+  const SimDuration gpu_time = hw::CostModel::sample(scaled_gpu, noise_cv, rng_);
+
+  // Hold one core for the whole operation; the GPU (if any) only for
+  // the kernel portion. GPU-less machines run kernels on the CPU at a
+  // 4x penalty (already applied above).
+  machine_.cpu().acquire(1, [this, cpu_time, gpu_time, done = std::move(done)]() mutable {
+    const SimTime cpu_start = rt_.now();
+    rt_.schedule_after(cpu_time, [this, cpu_start, gpu_time, done = std::move(done)]() mutable {
+      if (gpu_time <= 0) {
+        cpu_busy_ += rt_.now() - cpu_start;
+        machine_.cpu().release(1);
+        done();
+        return;
+      }
+      auto finish_gpu = [this, cpu_start, done = std::move(done)](SimTime gpu_start) mutable {
+        gpu_busy_ += rt_.now() - gpu_start;
+        cpu_busy_ += rt_.now() - cpu_start;
+        machine_.cpu().release(1);
+        done();
+      };
+      if (uses_gpu_) {
+        machine_.gpu(gpu_index_).acquire(1, [this, gpu_time,
+                                             finish = std::move(finish_gpu)]() mutable {
+          const SimTime gpu_start = rt_.now();
+          rt_.schedule_after(gpu_time, [this, gpu_start, finish = std::move(finish)]() mutable {
+            machine_.gpu(gpu_index_).release(1);
+            finish(gpu_start);
+          });
+        });
+      } else {
+        const SimTime gpu_start = rt_.now();
+        rt_.schedule_after(gpu_time, [gpu_start, finish = std::move(finish_gpu)]() mutable {
+          finish(gpu_start);
+        });
+      }
+    });
+  });
+}
+
+void ComputeContext::run_stage(const hw::CostModel& costs, Stage stage,
+                               std::function<void()> done) {
+  const hw::StageCost& c = costs.stage(stage);
+  run(c.cpu_time, c.gpu_time, c.noise_cv, std::move(done));
+}
+
+}  // namespace mar::dsp

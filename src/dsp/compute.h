@@ -1,0 +1,54 @@
+// Models a service's per-frame compute against the machine's CPU/GPU
+// pools: one CPU core is held for the whole operation, the pinned GPU
+// exclusively for the kernel portion. Contention between co-located
+// services emerges from pool queueing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "hw/cost_model.h"
+#include "hw/machine.h"
+#include "dsp/runtime.h"
+
+namespace mar::dsp {
+
+class ComputeContext {
+ public:
+  // `uses_gpu` services are pinned to a GPU chosen at placement time.
+  ComputeContext(Runtime& rt, hw::Machine& machine, bool uses_gpu, Rng rng);
+
+  // Run a modeled computation of `cpu_mean`/`gpu_mean` (speed-1.0
+  // reference times, scaled by this machine and noised), then `done`.
+  void run(SimDuration cpu_mean, SimDuration gpu_mean, double noise_cv,
+           std::function<void()> done);
+
+  // Convenience: run the cost model's entry for `stage`.
+  void run_stage(const hw::CostModel& costs, Stage stage, std::function<void()> done);
+
+  [[nodiscard]] hw::Machine& machine() { return machine_; }
+  [[nodiscard]] std::size_t gpu_index() const { return gpu_index_; }
+  [[nodiscard]] bool uses_gpu() const { return uses_gpu_; }
+
+  // Busy-time integrals attributed to this service instance, for the
+  // paper's per-service stacked utilization plots.
+  [[nodiscard]] SimDuration cpu_busy() const { return cpu_busy_; }
+  [[nodiscard]] SimDuration gpu_busy() const { return gpu_busy_; }
+  void reset_busy() {
+    cpu_busy_ = 0;
+    gpu_busy_ = 0;
+  }
+
+ private:
+  Runtime& rt_;
+  hw::Machine& machine_;
+  bool uses_gpu_;
+  std::size_t gpu_index_ = 0;
+  Rng rng_;
+  SimDuration cpu_busy_ = 0;
+  SimDuration gpu_busy_ = 0;
+};
+
+}  // namespace mar::dsp

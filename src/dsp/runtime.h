@@ -1,0 +1,79 @@
+// Execution substrate abstraction for the service framework.
+//
+// Services, sidecars, and clients are written against Runtime so that
+// identical pipeline logic runs on the discrete-event simulator (for
+// the benchmark harness) and on a wall-clock/in-process or UDP
+// substrate (for the live examples).
+#pragma once
+
+#include <functional>
+
+#include "common/time.h"
+#include "common/types.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+#include "wire/message.h"
+
+namespace mar::dsp {
+
+using DatagramHandler = std::function<void(wire::FramePacket)>;
+
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  [[nodiscard]] virtual SimTime now() const = 0;
+  virtual sim::EventId schedule_after(SimDuration delay, std::function<void()> fn) = 0;
+  virtual void cancel(sim::EventId id) = 0;
+
+  virtual EndpointId make_endpoint(MachineId machine, DatagramHandler handler) = 0;
+  virtual void rebind_endpoint(EndpointId ep, DatagramHandler handler) = 0;
+  virtual void send(EndpointId from, EndpointId to, wire::FramePacket pkt) = 0;
+};
+
+// Runtime backed by the discrete-event simulator.
+class SimRuntime final : public Runtime {
+ public:
+  SimRuntime(sim::EventLoop& loop, sim::SimNetwork& net) : loop_(loop), net_(net) {}
+
+  [[nodiscard]] SimTime now() const override { return loop_.now(); }
+  sim::EventId schedule_after(SimDuration delay, std::function<void()> fn) override {
+    return loop_.schedule_after(delay, std::move(fn));
+  }
+  void cancel(sim::EventId id) override { loop_.cancel(id); }
+
+  EndpointId make_endpoint(MachineId machine, DatagramHandler handler) override {
+    return net_.create_endpoint(machine, std::move(handler));
+  }
+  void rebind_endpoint(EndpointId ep, DatagramHandler handler) override {
+    net_.rebind(ep, std::move(handler));
+  }
+  void send(EndpointId from, EndpointId to, wire::FramePacket pkt) override {
+    net_.send(from, to, std::move(pkt));
+  }
+
+  [[nodiscard]] sim::EventLoop& loop() { return loop_; }
+  [[nodiscard]] sim::SimNetwork& network() { return net_; }
+
+ private:
+  sim::EventLoop& loop_;
+  sim::SimNetwork& net_;
+};
+
+// Resolves the next pipeline hop. Implemented by the orchestrator's
+// semantic-addressing layer (round-robin over replicas, paper §3.2).
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  // Endpoint of a replica of `stage` for the next hop of this frame.
+  // Load-balanced (round-robin) across ready replicas.
+  virtual EndpointId resolve(Stage stage, const wire::FrameHeader& header) = 0;
+
+  // Endpoint of a specific instance (state-tied fetches cannot be
+  // re-balanced: frames stay pinned to the sift replica that holds
+  // their state).
+  virtual EndpointId endpoint_of(InstanceId instance) = 0;
+};
+
+}  // namespace mar::dsp

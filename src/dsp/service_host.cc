@@ -1,0 +1,208 @@
+#include "dsp/service_host.h"
+
+#include <utility>
+
+namespace mar::dsp {
+
+ServiceHost::ServiceHost(Runtime& rt, hw::Machine& machine, InstanceId instance,
+                         HostConfig config, const hw::CostModel& costs,
+                         std::unique_ptr<Servicelet> servicelet, Rng rng)
+    : rt_(rt),
+      machine_(machine),
+      instance_(instance),
+      config_(config),
+      costs_(costs),
+      servicelet_(std::move(servicelet)),
+      rng_(rng),
+      compute_(rt, machine, config.uses_gpu, rng_.fork()) {
+  ingress_ = rt_.make_endpoint(machine_.id(),
+                               [this](wire::FramePacket pkt) { handle_datagram(std::move(pkt)); });
+  base_memory_ = costs_.stage(config_.stage).base_memory_bytes;
+  machine_.memory().allocate(base_memory_);
+  servicelet_->attach(*this);
+}
+
+ServiceHost::~ServiceHost() {
+  machine_.memory().free(base_memory_ + app_memory_);
+}
+
+void ServiceHost::alloc_app_memory(std::uint64_t bytes) {
+  app_memory_ += bytes;
+  machine_.memory().allocate(bytes);
+}
+
+void ServiceHost::free_app_memory(std::uint64_t bytes) {
+  const std::uint64_t actual = bytes > app_memory_ ? app_memory_ : bytes;
+  app_memory_ -= actual;
+  machine_.memory().free(actual);
+}
+
+void ServiceHost::handle_datagram(wire::FramePacket pkt) {
+  ++stats_.received;
+  stats_.ingress_per_sec.add(rt_.now());
+
+  if (down_) {
+    ++stats_.dropped_down;
+    stats_.drops_per_sec.add(rt_.now());
+    return;
+  }
+
+  // Awaited responses (e.g. matching waiting on sift's state) bypass
+  // the ingress policy entirely.
+  if (servicelet_->consume_inline(pkt)) return;
+
+  if (config_.mode == IngressMode::kDropWhenBusy) {
+    if (busy_) {
+      // Busy service: the kernel socket buffer absorbs a little. Small
+      // control datagrams (state fetches) get a couple of slots; large
+      // frames fit at most one — beyond that, outstanding requests are
+      // dropped, per the scAtteR design.
+      const bool control = pkt.wire_size() <= kControlMessageBytes;
+      std::size_t frames_waiting = 0;
+      for (const Queued& q : queue_) {
+        if (q.pkt.wire_size() > kControlMessageBytes) ++frames_waiting;
+      }
+      const std::size_t controls_waiting = queue_.size() - frames_waiting;
+      const bool admit = control ? controls_waiting < config_.busy_buffer_capacity
+                                 : frames_waiting < kBusyFrameBufferCapacity;
+      if (admit) {
+        queue_.push_back(Queued{std::move(pkt), rt_.now()});
+      } else {
+        ++stats_.dropped_busy;
+        stats_.drops_per_sec.add(rt_.now());
+      }
+      return;
+    }
+    dispatch(std::move(pkt), /*queue_time=*/0);
+    return;
+  }
+
+  // Sidecar mode: queue and filter. The filter keeps only the newest
+  // outstanding frame per client: a newer frame supersedes an older
+  // queued one from the same stream (superseded frames count as queue
+  // drops). Without this, FIFO + staleness threshold degenerates at
+  // overload — the head of the queue is always nearly expired and
+  // nothing survives the downstream stages.
+  if (pkt.header.kind == wire::MessageKind::kFrameData) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->pkt.header.kind == wire::MessageKind::kFrameData &&
+          it->pkt.header.client == pkt.header.client) {
+        const std::uint64_t old_bytes = it->pkt.wire_size();
+        queue_bytes_ = old_bytes > queue_bytes_ ? 0 : queue_bytes_ - old_bytes;
+        free_app_memory(old_bytes);
+        queue_.erase(it);
+        ++stats_.dropped_stale;
+        stats_.drops_per_sec.add(rt_.now());
+        break;
+      }
+    }
+  }
+  if (config_.queue_capacity != 0 && queue_.size() >= config_.queue_capacity) {
+    ++stats_.dropped_overflow;
+    stats_.drops_per_sec.add(rt_.now());
+    return;
+  }
+  // The sidecar pre-allocates per-stream buffers on first contact.
+  if (known_clients_.insert(pkt.header.client.value()).second) {
+    alloc_app_memory(costs_.sidecar_client_buffer_bytes);
+  }
+  const std::uint64_t bytes = pkt.wire_size();
+  queue_bytes_ += bytes;
+  alloc_app_memory(bytes);
+  queue_.push_back(Queued{std::move(pkt), rt_.now()});
+  pump();
+}
+
+void ServiceHost::pump() {
+  if (busy_ || down_ || pump_scheduled_) return;
+  while (!queue_.empty()) {
+    Queued q = std::move(queue_.front());
+    queue_.pop_front();
+    const std::uint64_t bytes = q.pkt.wire_size();
+    queue_bytes_ = bytes > queue_bytes_ ? 0 : queue_bytes_ - bytes;
+    free_app_memory(bytes);
+
+    // Staleness filter: the sidecar tracks its own queueing time and
+    // drops frames whose wait exceeded the timing threshold (the
+    // paper's 100 ms budget) at dequeue.
+    const SimDuration age = rt_.now() - q.enqueued_at;
+    if (costs_.sidecar_threshold > 0 && age > costs_.sidecar_threshold) {
+      ++stats_.dropped_stale;
+      stats_.drops_per_sec.add(rt_.now());
+      continue;
+    }
+
+    const SimDuration queue_time = rt_.now() - q.enqueued_at;
+    stats_.queue_time_ms.add(to_millis(queue_time));
+
+    // gRPC hand-off from sidecar to service. The hand-off time counts
+    // toward the observed per-service latency (the paper's "slightly
+    // higher per service latency" in scAtteR++).
+    busy_ = true;
+    pump_scheduled_ = true;
+    const SimTime handoff_start = rt_.now();
+    rt_.schedule_after(costs_.sidecar_rpc_overhead,
+                       [this, pkt = std::move(q.pkt), queue_time, handoff_start]() mutable {
+                         pump_scheduled_ = false;
+                         busy_ = false;  // dispatch() re-asserts
+                         dispatch(std::move(pkt), queue_time, handoff_start);
+                       });
+    return;
+  }
+}
+
+void ServiceHost::dispatch(wire::FramePacket pkt, SimDuration queue_time, SimTime dispatch_ts) {
+  busy_ = true;
+  dispatch_ts_ = dispatch_ts < 0 ? rt_.now() : dispatch_ts;
+  ++stats_.dispatched;
+
+  // Record the hop telemetry scAtteR++ attaches to the data's state;
+  // process_time is filled in at finish_current().
+  if (config_.mode == IngressMode::kSidecar) {
+    pkt.hops.push_back(wire::HopRecord{config_.stage, queue_time, 0});
+  }
+  servicelet_->process(std::move(pkt));
+}
+
+void ServiceHost::finish_current() {
+  if (!busy_) return;
+  busy_ = false;
+  ++stats_.completed;
+  stats_.process_time_ms.add(to_millis(rt_.now() - dispatch_ts_));
+  if (config_.mode == IngressMode::kSidecar) {
+    // Defer the pump one event-loop turn to avoid re-entrant dispatch
+    // from inside a servicelet callback.
+    rt_.schedule_after(0, [this] { pump(); });
+  } else if (!queue_.empty()) {
+    // Drain the socket buffer: read the next waiting datagram.
+    rt_.schedule_after(0, [this] {
+      if (busy_ || down_ || queue_.empty()) return;
+      Queued q = std::move(queue_.front());
+      queue_.pop_front();
+      const SimDuration waited = rt_.now() - q.enqueued_at;
+      stats_.queue_time_ms.add(to_millis(waited));
+      dispatch(std::move(q.pkt), waited);
+    });
+  }
+}
+
+void ServiceHost::kill() {
+  down_ = true;
+  busy_ = false;
+  if (config_.mode == IngressMode::kSidecar) {
+    // Sidecar queue entries are accounted as app memory; return them.
+    for (const Queued& q : queue_) {
+      const std::uint64_t bytes = q.pkt.wire_size();
+      queue_bytes_ = bytes > queue_bytes_ ? 0 : queue_bytes_ - bytes;
+      free_app_memory(bytes);
+    }
+  }
+  queue_.clear();
+}
+
+void ServiceHost::restart() {
+  down_ = false;
+  pump();
+}
+
+}  // namespace mar::dsp

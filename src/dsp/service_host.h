@@ -1,0 +1,183 @@
+// ServiceHost: one deployed replica of a pipeline service.
+//
+// Owns the ingress endpoint, the ingress policy, the compute context,
+// and all per-replica telemetry. Two ingress modes reproduce the two
+// systems in the paper:
+//
+//  * kDropWhenBusy (scAtteR): each service processes one frame at a
+//    time; requests arriving while busy are dropped (§3.1).
+//  * kSidecar (scAtteR++): a sidecar queues and filters incoming
+//    requests, drops frames older than the staleness threshold at
+//    dequeue time, and hands frames to the service over an
+//    accounted RPC hop in FIFO order (§5).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "dsp/compute.h"
+#include "dsp/runtime.h"
+#include "dsp/servicelet.h"
+#include "hw/cost_model.h"
+#include "hw/machine.h"
+#include "telemetry/histogram.h"
+#include "telemetry/timeseries.h"
+
+namespace mar::dsp {
+
+enum class IngressMode {
+  kDropWhenBusy,  // scAtteR
+  kSidecar,       // scAtteR++
+};
+
+struct HostStats {
+  std::uint64_t received = 0;
+  std::uint64_t dispatched = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t dropped_busy = 0;      // scAtteR: arrived while busy
+  std::uint64_t dropped_stale = 0;     // scAtteR++: exceeded threshold at dequeue
+  std::uint64_t dropped_overflow = 0;  // scAtteR++: queue capacity exceeded
+  std::uint64_t dropped_down = 0;      // replica was down (failure injection)
+
+  telemetry::Histogram queue_time_ms;    // sidecar queueing delay
+  telemetry::Histogram process_time_ms;  // dispatch -> finish (incl. RPC overhead)
+  telemetry::TimeSeries ingress_per_sec{kSecond};  // arrivals (ingress FPS)
+  telemetry::TimeSeries drops_per_sec{kSecond};    // all drops
+
+  [[nodiscard]] std::uint64_t dropped_total() const {
+    return dropped_busy + dropped_stale + dropped_overflow + dropped_down;
+  }
+
+  // Clear counters and latency histograms for a fresh measurement
+  // window; the per-second time series keep accumulating (they are
+  // time-indexed over the whole run, used by the sidecar analytics).
+  void reset_window() {
+    received = dispatched = completed = 0;
+    dropped_busy = dropped_stale = dropped_overflow = dropped_down = 0;
+    queue_time_ms.reset();
+    process_time_ms.reset();
+  }
+  // Fraction of received requests dropped by this replica.
+  [[nodiscard]] double drop_ratio() const {
+    return received ? static_cast<double>(dropped_total()) / static_cast<double>(received) : 0.0;
+  }
+};
+
+struct HostConfig {
+  Stage stage = Stage::kPrimary;
+  IngressMode mode = IngressMode::kDropWhenBusy;
+  bool uses_gpu = false;
+  // Sidecar queue capacity (frames). 0 = unbounded.
+  std::size_t queue_capacity = 256;
+  // kDropWhenBusy: datagrams that arrive while the service is busy sit
+  // in the UDP socket buffer until it overflows — the application
+  // "drops outstanding requests" but the kernel still holds a couple.
+  // This is what makes E2E latency climb under load even without an
+  // application-level queue.
+  std::size_t busy_buffer_capacity = 2;
+};
+
+// Messages at or below this size count as control traffic and may wait
+// in the socket buffer of a busy scAtteR service instead of being
+// dropped (frames are far larger and are dropped outright).
+inline constexpr std::size_t kControlMessageBytes = 4096;
+
+// How many large frames the socket buffer of a busy scAtteR service can
+// hold (a 720p frame nearly fills the default UDP rmem).
+inline constexpr std::size_t kBusyFrameBufferCapacity = 1;
+
+class ServiceHost {
+ public:
+  ServiceHost(Runtime& rt, hw::Machine& machine, InstanceId instance, HostConfig config,
+              const hw::CostModel& costs, std::unique_ptr<Servicelet> servicelet, Rng rng);
+  ~ServiceHost();
+
+  ServiceHost(const ServiceHost&) = delete;
+  ServiceHost& operator=(const ServiceHost&) = delete;
+
+  // --- identity / wiring --------------------------------------------
+  [[nodiscard]] InstanceId instance() const { return instance_; }
+  [[nodiscard]] Stage stage() const { return config_.stage; }
+  [[nodiscard]] IngressMode mode() const { return config_.mode; }
+  [[nodiscard]] EndpointId ingress() const { return ingress_; }
+  [[nodiscard]] hw::Machine& machine() { return machine_; }
+  [[nodiscard]] Runtime& runtime() { return rt_; }
+  [[nodiscard]] ComputeContext& compute() { return compute_; }
+  [[nodiscard]] const hw::CostModel& costs() const { return costs_; }
+  [[nodiscard]] Servicelet& servicelet() { return *servicelet_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  // --- servicelet API -------------------------------------------------
+  // Mark the in-flight packet finished; the host becomes idle and (in
+  // sidecar mode) pumps the next queued request.
+  void finish_current();
+  // Send a packet from this replica's endpoint. In sidecar mode the
+  // outgoing frame's hop record is stamped with the processing time
+  // spent at this stage so far (the telemetry scAtteR++ attaches to
+  // the data's state).
+  void send(EndpointId to, wire::FramePacket pkt) {
+    if (config_.mode == IngressMode::kSidecar && busy_ && !pkt.hops.empty()) {
+      wire::HopRecord& hop = pkt.hops.back();
+      if (hop.stage == config_.stage && hop.process_time == 0) {
+        hop.process_time = rt_.now() - dispatch_ts_;
+      }
+    }
+    rt_.send(ingress_, to, std::move(pkt));
+  }
+  // Attribute application memory (state entries, buffers) to this
+  // replica and the machine.
+  void alloc_app_memory(std::uint64_t bytes);
+  void free_app_memory(std::uint64_t bytes);
+
+  // --- failure injection ---------------------------------------------
+  [[nodiscard]] bool is_down() const { return down_; }
+  void kill();     // stop handling traffic, drop queue
+  void restart();  // resume handling traffic
+
+  // --- telemetry -------------------------------------------------------
+  [[nodiscard]] HostStats& stats() { return stats_; }
+  [[nodiscard]] const HostStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
+  // Resident bytes attributed to this replica (base + app).
+  [[nodiscard]] std::uint64_t memory_used() const { return base_memory_ + app_memory_; }
+  [[nodiscard]] bool busy() const { return busy_; }
+
+ private:
+  struct Queued {
+    wire::FramePacket pkt;
+    SimTime enqueued_at;
+  };
+
+  void handle_datagram(wire::FramePacket pkt);
+  // dispatch_ts < 0 means "now".
+  void dispatch(wire::FramePacket pkt, SimDuration queue_time, SimTime dispatch_ts = -1);
+  void pump();
+
+  Runtime& rt_;
+  hw::Machine& machine_;
+  InstanceId instance_;
+  HostConfig config_;
+  const hw::CostModel& costs_;
+  std::unique_ptr<Servicelet> servicelet_;
+  Rng rng_;
+  ComputeContext compute_;
+  EndpointId ingress_;
+
+  bool busy_ = false;
+  bool down_ = false;
+  bool pump_scheduled_ = false;
+  SimTime dispatch_ts_ = 0;
+  std::deque<Queued> queue_;
+  std::uint64_t queue_bytes_ = 0;
+  std::unordered_set<std::uint32_t> known_clients_;
+
+  std::uint64_t base_memory_ = 0;
+  std::uint64_t app_memory_ = 0;
+  HostStats stats_;
+};
+
+}  // namespace mar::dsp

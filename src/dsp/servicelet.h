@@ -1,0 +1,46 @@
+// Servicelet: the application logic of one pipeline service replica.
+//
+// The surrounding ServiceHost owns the ingress endpoint and policy
+// (drop-when-busy for scAtteR, sidecar queue for scAtteR++); the
+// servicelet only implements what to do with a dispatched packet. It
+// must call host().finish_current() exactly once per dispatched packet,
+// possibly after asynchronous compute and network round-trips.
+#pragma once
+
+#include "wire/message.h"
+
+namespace mar::dsp {
+
+class ServiceHost;
+
+class Servicelet {
+ public:
+  virtual ~Servicelet() = default;
+
+  // Called once by the host after construction.
+  void attach(ServiceHost& host) {
+    host_ = &host;
+    on_attached();
+  }
+
+  // Handle a dispatched packet. The service is considered busy until
+  // finish_current() is called on the host.
+  virtual void process(wire::FramePacket pkt) = 0;
+
+  // Offer a packet to the servicelet even while it is busy. Return
+  // true to consume it (e.g. matching consuming an awaited sift state
+  // response); false routes it through the normal ingress policy.
+  virtual bool consume_inline(wire::FramePacket& pkt) {
+    (void)pkt;
+    return false;
+  }
+
+ protected:
+  virtual void on_attached() {}
+  [[nodiscard]] ServiceHost& host() { return *host_; }
+
+ private:
+  ServiceHost* host_ = nullptr;
+};
+
+}  // namespace mar::dsp

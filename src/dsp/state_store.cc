@@ -1,0 +1,66 @@
+#include "dsp/state_store.h"
+
+#include "dsp/service_host.h"
+
+namespace mar::dsp {
+
+namespace {
+constexpr SimDuration kSweepInterval = millis(250.0);
+}
+
+StateStore::StateStore(ServiceHost& host, SimDuration timeout, std::uint64_t entry_bytes)
+    : host_(host), timeout_(timeout), entry_bytes_(entry_bytes) {}
+
+StateStore::~StateStore() { *alive_ = false; }
+
+void StateStore::put(ClientId client, FrameId frame) {
+  auto [it, inserted] = entries_.try_emplace(key(client, frame), host_.runtime().now() + timeout_);
+  if (!inserted) {
+    it->second = host_.runtime().now() + timeout_;
+    return;
+  }
+  host_.alloc_app_memory(entry_bytes_);
+  if (!sweep_scheduled_) {
+    sweep_scheduled_ = true;
+    host_.runtime().schedule_after(kSweepInterval, [this, alive = alive_] {
+      if (*alive) sweep();
+    });
+  }
+}
+
+bool StateStore::take(ClientId client, FrameId frame) {
+  auto it = entries_.find(key(client, frame));
+  if (it == entries_.end()) return false;
+  if (it->second < host_.runtime().now()) {
+    // Expired but not yet swept: treat as gone.
+    entries_.erase(it);
+    host_.free_app_memory(entry_bytes_);
+    ++orphaned_;
+    return false;
+  }
+  entries_.erase(it);
+  host_.free_app_memory(entry_bytes_);
+  return true;
+}
+
+void StateStore::sweep() {
+  const SimTime now = host_.runtime().now();
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second < now) {
+      it = entries_.erase(it);
+      host_.free_app_memory(entry_bytes_);
+      ++orphaned_;
+    } else {
+      ++it;
+    }
+  }
+  if (entries_.empty()) {
+    sweep_scheduled_ = false;
+    return;
+  }
+  host_.runtime().schedule_after(kSweepInterval, [this, alive = alive_] {
+    if (*alive) sweep();
+  });
+}
+
+}  // namespace mar::dsp

@@ -1,0 +1,59 @@
+// In-memory frame-state store for the stateful sift service (scAtteR).
+//
+// sift keeps each frame's extracted features in memory until matching
+// fetches them for pose estimation, or until a timeout evicts them.
+// When downstream drops a frame, its state is orphaned and sits in
+// memory for the full timeout — the mechanism behind the paper's
+// multi-gigabyte memory growth under load (§4, Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/time.h"
+#include "common/types.h"
+
+namespace mar::dsp {
+
+class ServiceHost;
+
+class StateStore {
+ public:
+  // `entry_bytes` is the modeled in-memory size of one frame's state.
+  StateStore(ServiceHost& host, SimDuration timeout, std::uint64_t entry_bytes);
+  ~StateStore();
+
+  StateStore(const StateStore&) = delete;
+  StateStore& operator=(const StateStore&) = delete;
+
+  // Store state for (client, frame). Overwrites an existing entry.
+  void put(ClientId client, FrameId frame);
+
+  // Fetch-and-erase. Returns false when missing (never stored, already
+  // fetched, or evicted by timeout).
+  bool take(ClientId client, FrameId frame);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t bytes() const { return entry_bytes_ * entries_.size(); }
+  // Entries that timed out without ever being fetched.
+  [[nodiscard]] std::uint64_t orphaned() const { return orphaned_; }
+
+ private:
+  static std::uint64_t key(ClientId c, FrameId f) {
+    return (static_cast<std::uint64_t>(c.value()) << 40) ^ f.value();
+  }
+
+  void sweep();
+
+  ServiceHost& host_;
+  SimDuration timeout_;
+  std::uint64_t entry_bytes_;
+  std::unordered_map<std::uint64_t, SimTime> entries_;  // key -> expiry
+  std::uint64_t orphaned_ = 0;
+  bool sweep_scheduled_ = false;
+  // Guards the sweep timer against firing after destruction.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace mar::dsp

@@ -1,0 +1,111 @@
+#include "expt/autoscaler.h"
+
+namespace mar::expt {
+
+AutoScaler::AutoScaler(Deployment& deployment, Config config)
+    : deployment_(deployment), config_(config) {}
+
+AutoScaler::~AutoScaler() { *alive_ = false; }
+
+void AutoScaler::start() {
+  if (running_) return;
+  running_ = true;
+  deployment_.testbed().runtime().schedule_after(config_.interval, [this, alive = alive_] {
+    if (*alive) tick();
+  });
+}
+
+MachineId AutoScaler::spill_machine() const {
+  switch (config_.spill_site) {
+    case Site::kE1:
+      return deployment_.testbed().e1();
+    case Site::kE2:
+      return deployment_.testbed().e2();
+    case Site::kCloud:
+      return deployment_.testbed().cloud();
+  }
+  return deployment_.testbed().e1();
+}
+
+void AutoScaler::tick() {
+  auto& orch = deployment_.testbed().orchestrator();
+
+  Stage worst_stage = Stage::kPrimary;
+  double worst_signal = 0.0;
+
+  if (config_.signal == Signal::kApplication) {
+    // Per-stage drop ratio over the last interval, from the sidecar's
+    // application metrics.
+    for (int s = 0; s < kNumStages; ++s) {
+      const auto stage = static_cast<Stage>(s);
+      std::uint64_t received = 0, dropped = 0;
+      for (dsp::ServiceHost* host : deployment_.hosts_of(stage)) {
+        received += host->stats().received;
+        dropped += host->stats().dropped_total();
+      }
+      StageCounters& prev = last_[static_cast<std::size_t>(s)];
+      if (received < prev.received || dropped < prev.dropped) {
+        // Stats window was reset (warmup boundary); resynchronize.
+        prev = StageCounters{received, dropped};
+        continue;
+      }
+      const std::uint64_t d_recv = received - prev.received;
+      const std::uint64_t d_drop = dropped - prev.dropped;
+      prev.received = received;
+      prev.dropped = dropped;
+      if (d_recv == 0) continue;
+      const double ratio = static_cast<double>(d_drop) / static_cast<double>(d_recv);
+      if (ratio > worst_signal) {
+        worst_signal = ratio;
+        worst_stage = stage;
+      }
+    }
+  } else {
+    // Hardware-only view: instantaneous normalized GPU occupancy per
+    // machine; attribute the signal to the busiest stage on the
+    // busiest machine (the orchestrator cannot do better than that).
+    double busiest = 0.0;
+    MachineId busiest_machine = MachineId::invalid();
+    for (std::size_t m = 0; m < orch.num_machines(); ++m) {
+      hw::Machine& machine = orch.machine(MachineId{static_cast<std::uint32_t>(m)});
+      double occupancy = 0.0;
+      for (std::size_t g = 0; g < machine.num_gpus(); ++g) {
+        occupancy += static_cast<double>(machine.gpu(g).in_use()) / machine.gpu(g).capacity();
+      }
+      if (machine.num_gpus()) occupancy /= static_cast<double>(machine.num_gpus());
+      if (occupancy > busiest) {
+        busiest = occupancy;
+        busiest_machine = machine.id();
+      }
+    }
+    if (busiest_machine.valid()) {
+      worst_signal = busiest;
+      // Blindly scale the heaviest-by-utilization stage on that machine.
+      double best_share = -1.0;
+      for (InstanceId id : deployment_.instances()) {
+        dsp::ServiceHost& host = orch.host(id);
+        if (host.machine().id() != busiest_machine) continue;
+        const auto share = static_cast<double>(host.compute().gpu_busy());
+        if (share > best_share) {
+          best_share = share;
+          worst_stage = host.stage();
+        }
+      }
+    }
+  }
+
+  if (worst_signal >= config_.threshold && worst_stage != Stage::kPrimary) {
+    const std::size_t replicas = deployment_.hosts_of(worst_stage).size();
+    if (replicas < static_cast<std::size_t>(config_.max_replicas_per_stage)) {
+      deployment_.add_replica(worst_stage, spill_machine());
+      events_.push_back(
+          ScaleEvent{deployment_.testbed().runtime().now(), worst_stage, worst_signal});
+    }
+  }
+
+  deployment_.testbed().runtime().schedule_after(config_.interval, [this, alive = alive_] {
+    if (*alive) tick();
+  });
+}
+
+}  // namespace mar::expt

@@ -1,0 +1,68 @@
+// Auto-scaling controllers, for the application-aware orchestration
+// study (paper §6 and Insights I/IV).
+//
+// Two policies over the same actuation (add a replica of the worst
+// stage):
+//  * kHardware   — what today's orchestrators can see: scale when a
+//    machine's GPU occupancy crosses a threshold. Under scAtteR-style
+//    overload utilization stays LOW (services stall on drops), so this
+//    scaler never reacts.
+//  * kApplication — reads the sidecar's QoS metrics (queue drop ratio)
+//    through the proposed virtualization-boundary hook and scales the
+//    stage that is actually shedding load.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "expt/deployment.h"
+#include "expt/experiment.h"
+
+namespace mar::expt {
+
+class AutoScaler {
+ public:
+  enum class Signal { kHardware, kApplication };
+
+  struct Config {
+    Signal signal = Signal::kApplication;
+    // kHardware: mean normalized GPU occupancy that triggers a scale-up.
+    // kApplication: per-stage drop ratio (drops/received per interval).
+    double threshold = 0.10;
+    SimDuration interval = seconds(2.0);
+    int max_replicas_per_stage = 3;
+    // Machine that receives spilled replicas.
+    Site spill_site = Site::kE1;
+  };
+
+  struct ScaleEvent {
+    SimTime t;
+    Stage stage;
+    double observed_signal;
+  };
+
+  AutoScaler(Deployment& deployment, Config config);
+  ~AutoScaler();
+
+  void start();
+  [[nodiscard]] const std::vector<ScaleEvent>& events() const { return events_; }
+
+ private:
+  void tick();
+  [[nodiscard]] MachineId spill_machine() const;
+
+  Deployment& deployment_;
+  Config config_;
+  std::vector<ScaleEvent> events_;
+  // Per-stage counters at the previous tick (delta-based signals).
+  struct StageCounters {
+    std::uint64_t received = 0;
+    std::uint64_t dropped = 0;
+  };
+  std::array<StageCounters, kNumStages> last_{};
+  bool running_ = false;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace mar::expt

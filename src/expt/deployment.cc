@@ -1,0 +1,63 @@
+#include "expt/deployment.h"
+
+namespace mar::expt {
+
+PlacementConfig PlacementConfig::single(MachineId m) {
+  PlacementConfig cfg;
+  for (auto& r : cfg.replicas) r = {m};
+  return cfg;
+}
+
+PlacementConfig PlacementConfig::per_stage(const std::array<MachineId, kNumStages>& machines) {
+  PlacementConfig cfg;
+  for (std::size_t i = 0; i < kNumStages; ++i) cfg.replicas[i] = {machines[i]};
+  return cfg;
+}
+
+PlacementConfig PlacementConfig::replicated(const std::array<int, kNumStages>& counts,
+                                            MachineId primary_site, MachineId secondary_site) {
+  PlacementConfig cfg;
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    for (int r = 0; r < counts[i]; ++r) {
+      cfg.replicas[i].push_back(r % 2 == 0 ? primary_site : secondary_site);
+    }
+  }
+  return cfg;
+}
+
+Deployment::Deployment(Testbed& testbed, core::PipelineMode mode,
+                       const PlacementConfig& placement, const hw::CostModel& costs,
+                       std::optional<core::PipelineFeatures> features)
+    : testbed_(testbed), costs_(costs) {
+  env_.mode = mode;
+  env_.features = features.value_or(core::PipelineFeatures::for_mode(mode));
+  env_.router = &testbed_.orchestrator();
+
+  for (int s = 0; s < kNumStages; ++s) {
+    const auto stage = static_cast<Stage>(s);
+    for (MachineId m : placement.of(stage)) {
+      const InstanceId id = testbed_.orchestrator().deploy(
+          stage, m, core::host_config_for(env_.features, stage), costs_,
+          [this, stage] { return core::make_servicelet(env_, stage); });
+      instances_.push_back(id);
+    }
+  }
+}
+
+InstanceId Deployment::add_replica(Stage stage, MachineId target) {
+  const InstanceId id = testbed_.orchestrator().deploy(
+      stage, target, core::host_config_for(env_.features, stage), costs_,
+      [this, stage] { return core::make_servicelet(env_, stage); });
+  instances_.push_back(id);
+  return id;
+}
+
+std::vector<dsp::ServiceHost*> Deployment::hosts_of(Stage stage) {
+  std::vector<dsp::ServiceHost*> out;
+  for (InstanceId id : testbed_.orchestrator().instances_of(stage)) {
+    out.push_back(&testbed_.orchestrator().host(id));
+  }
+  return out;
+}
+
+}  // namespace mar::expt

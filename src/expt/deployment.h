@@ -1,0 +1,74 @@
+// Pipeline deployment over the testbed: placement vectors in the
+// paper's notation, ordered [primary, sift, encoding, lsh, matching].
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/services.h"
+#include "expt/testbed.h"
+#include "hw/cost_model.h"
+
+namespace mar::expt {
+
+struct PlacementConfig {
+  // One entry per replica of each stage, naming its machine.
+  std::array<std::vector<MachineId>, kNumStages> replicas;
+
+  [[nodiscard]] std::vector<MachineId>& of(Stage s) {
+    return replicas[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] const std::vector<MachineId>& of(Stage s) const {
+    return replicas[static_cast<std::size_t>(s)];
+  }
+
+  // All five services on one machine (C1, C2, cloud-only).
+  static PlacementConfig single(MachineId m);
+
+  // Per-stage machines, e.g. C12 = {E1,E1,E2,E2,E2}.
+  static PlacementConfig per_stage(const std::array<MachineId, kNumStages>& machines);
+
+  // Replica-count vector (paper's [1,2,2,1,2] notation): the first
+  // replica of each stage goes on `primary_site`, additional replicas
+  // alternate E1-style secondary then back (fig. 3 runs the base
+  // pipeline on E2 with extra replicas on E1).
+  static PlacementConfig replicated(const std::array<int, kNumStages>& counts,
+                                    MachineId primary_site, MachineId secondary_site);
+};
+
+// A deployed pipeline: replicas placed via the orchestrator, wired to
+// the semantic-addressing router.
+class Deployment {
+ public:
+  // `features` overrides the mode's default mechanisms (used by the
+  // ablation benches to toggle stateless sift and the sidecar
+  // independently).
+  Deployment(Testbed& testbed, core::PipelineMode mode, const PlacementConfig& placement,
+             const hw::CostModel& costs,
+             std::optional<core::PipelineFeatures> features = std::nullopt);
+
+  [[nodiscard]] core::PipelineEnv& env() { return env_; }
+  [[nodiscard]] core::PipelineMode mode() const { return env_.mode; }
+  [[nodiscard]] const hw::CostModel& costs() const { return costs_; }
+  [[nodiscard]] orchestra::Orchestrator& orchestrator() { return testbed_.orchestrator(); }
+  [[nodiscard]] Testbed& testbed() { return testbed_; }
+
+  // Deploy an additional replica of `stage` at runtime (scaling).
+  InstanceId add_replica(Stage stage, MachineId target);
+
+  [[nodiscard]] const std::vector<InstanceId>& instances() const { return instances_; }
+  [[nodiscard]] std::vector<dsp::ServiceHost*> hosts_of(Stage stage);
+  [[nodiscard]] dsp::ServiceHost& host(InstanceId id) {
+    return testbed_.orchestrator().host(id);
+  }
+
+ private:
+  Testbed& testbed_;
+  const hw::CostModel& costs_;
+  core::PipelineEnv env_;
+  std::vector<InstanceId> instances_;
+};
+
+}  // namespace mar::expt

@@ -1,0 +1,273 @@
+#include "expt/experiment.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "telemetry/histogram.h"
+
+namespace mar::expt {
+namespace {
+
+constexpr SimDuration kReplicaSampleInterval = millis(500.0);
+constexpr double kBytesPerGiB = 1024.0 * 1024.0 * 1024.0;
+
+MachineId site_to_machine(Site s, const Testbed& tb) {
+  switch (s) {
+    case Site::kE1:
+      return tb.e1();
+    case Site::kE2:
+      return tb.e2();
+    case Site::kCloud:
+      return tb.cloud();
+  }
+  return tb.e1();
+}
+
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2.0;
+}
+
+}  // namespace
+
+SymbolicPlacement SymbolicPlacement::single(Site site) {
+  SymbolicPlacement p;
+  for (auto& r : p.replicas) r = {site};
+  return p;
+}
+
+SymbolicPlacement SymbolicPlacement::per_stage(const std::array<Site, kNumStages>& sites) {
+  SymbolicPlacement p;
+  for (std::size_t i = 0; i < kNumStages; ++i) p.replicas[i] = {sites[i]};
+  return p;
+}
+
+SymbolicPlacement SymbolicPlacement::replicated(const std::array<int, kNumStages>& counts,
+                                                Site primary_site, Site secondary_site) {
+  SymbolicPlacement p;
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    for (int r = 0; r < counts[i]; ++r) {
+      p.replicas[i].push_back(r % 2 == 0 ? primary_site : secondary_site);
+    }
+  }
+  return p;
+}
+
+PlacementConfig SymbolicPlacement::resolve(const Testbed& tb) const {
+  PlacementConfig cfg;
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    for (Site s : replicas[i]) cfg.replicas[i].push_back(site_to_machine(s, tb));
+  }
+  return cfg;
+}
+
+std::string SymbolicPlacement::to_label() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    if (i) out += ",";
+    if (replicas[i].size() == 1) {
+      out += to_string(replicas[i][0]);
+    } else {
+      out += std::to_string(replicas[i].size());
+    }
+  }
+  return out + "]";
+}
+
+Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {}
+
+Experiment::~Experiment() { *alive_ = false; }
+
+void Experiment::build() {
+  if (testbed_ != nullptr) return;
+  TestbedConfig tb_cfg = config_.testbed;
+  tb_cfg.seed = config_.seed;
+  testbed_ = std::make_unique<Testbed>(tb_cfg);
+  deployment_ = std::make_unique<Deployment>(*testbed_, config_.mode,
+                                             config_.placement.resolve(*testbed_),
+                                             config_.costs, config_.features);
+  if (config_.monitor) testbed_->orchestrator().start_monitor(seconds(1.0));
+
+  Rng client_rng(config_.seed ^ 0xc11e57);
+  for (int i = 0; i < config_.num_clients; ++i) {
+    core::ClientConfig cc;
+    cc.id = ClientId{static_cast<std::uint32_t>(i)};
+    cc.fps = config_.client_fps;
+    cc.phase_offset = static_cast<SimDuration>(i) * millis(3.7) +
+                      static_cast<SimDuration>(i) * config_.client_stagger;
+    auto client = std::make_unique<core::ArClient>(
+        testbed_->runtime(), testbed_->orchestrator().machine(testbed_->client_machine()),
+        testbed_->orchestrator(), cc, client_rng.fork());
+    client->start();
+    clients_.push_back(std::move(client));
+  }
+
+  replica_memory_bytes_.resize(deployment_->instances().size());
+  testbed_->loop().schedule_after(kReplicaSampleInterval, [this, alive = alive_] {
+    if (*alive) sample_replicas();
+  });
+}
+
+void Experiment::run() {
+  build();
+  // Warm-up: run, then reset every measurement window.
+  testbed_->loop().run_until(config_.warmup);
+  for (auto& c : clients_) c->stats().reset();
+  for (InstanceId id : deployment_->instances()) {
+    dsp::ServiceHost& host = deployment_->host(id);
+    host.stats().reset_window();
+    host.compute().reset_busy();
+  }
+  for (std::size_t m = 0; m < testbed_->orchestrator().num_machines(); ++m) {
+    testbed_->orchestrator().machine(MachineId{static_cast<std::uint32_t>(m)}).reset_windows();
+  }
+  for (auto& acc : replica_memory_bytes_) acc.reset();
+  window_start_ = testbed_->loop().now();
+
+  testbed_->loop().run_until(config_.warmup + config_.duration);
+  for (auto& c : clients_) c->stop();
+  ran_ = true;
+}
+
+void Experiment::sample_replicas() {
+  // Autoscalers may add replicas mid-run.
+  if (replica_memory_bytes_.size() < deployment_->instances().size()) {
+    replica_memory_bytes_.resize(deployment_->instances().size());
+  }
+  for (std::size_t i = 0; i < deployment_->instances().size(); ++i) {
+    replica_memory_bytes_[i].add(
+        static_cast<double>(deployment_->host(deployment_->instances()[i]).memory_used()));
+  }
+  testbed_->loop().schedule_after(kReplicaSampleInterval, [this, alive = alive_] {
+    if (*alive) sample_replicas();
+  });
+}
+
+ExperimentResult Experiment::result() const {
+  ExperimentResult res;
+  if (!ran_) return res;
+  const double window_s = to_seconds(config_.duration);
+
+  telemetry::Histogram e2e_all;
+  telemetry::Accumulator jitter;
+  std::uint64_t sent = 0, ok = 0;
+  for (const auto& c : clients_) {
+    const core::ClientStats& s = c->stats();
+    res.per_client_fps.push_back(static_cast<double>(s.successes) / window_s);
+    e2e_all.merge(s.e2e_ms);
+    if (s.jitter_ms.count()) jitter.add(s.jitter_ms.mean());
+    sent += s.frames_sent;
+    ok += s.successes;
+  }
+  if (!res.per_client_fps.empty()) {
+    res.fps_mean = std::accumulate(res.per_client_fps.begin(), res.per_client_fps.end(), 0.0) /
+                   static_cast<double>(res.per_client_fps.size());
+    res.fps_median = median_of(res.per_client_fps);
+  }
+  res.e2e_ms_mean = e2e_all.mean();
+  res.e2e_ms_median = e2e_all.median();
+  res.e2e_ms_p95 = e2e_all.percentile(95.0);
+  res.success_rate = sent ? static_cast<double>(ok) / static_cast<double>(sent) : 0.0;
+  res.jitter_ms = jitter.mean();
+
+  // Per-replica reports, replica index counted within its stage.
+  std::array<int, kNumStages> replica_counter{};
+  auto& orch = testbed_->orchestrator();
+  for (std::size_t i = 0; i < deployment_->instances().size(); ++i) {
+    const InstanceId id = deployment_->instances()[i];
+    const dsp::ServiceHost& host = orch.host(id);
+    auto& mutable_host = const_cast<dsp::ServiceHost&>(host);
+    hw::Machine& machine = mutable_host.machine();
+
+    ServiceReport r;
+    r.stage = host.stage();
+    r.replica_index = replica_counter[static_cast<std::size_t>(host.stage())]++;
+    r.machine = machine.spec().name;
+    r.service_ms_mean = host.stats().process_time_ms.mean();
+    r.queue_ms_mean = host.stats().queue_time_ms.mean();
+    r.mem_gb_mean = (i < replica_memory_bytes_.size() && replica_memory_bytes_[i].count())
+                        ? replica_memory_bytes_[i].mean() / kBytesPerGiB
+                        : static_cast<double>(host.memory_used()) / kBytesPerGiB;
+    const double window_ns = static_cast<double>(config_.duration);
+    r.cpu_share = static_cast<double>(mutable_host.compute().cpu_busy()) /
+                  (window_ns * machine.spec().cpu_cores);
+    const double n_gpus = std::max<std::size_t>(machine.num_gpus(), 1);
+    r.gpu_share =
+        static_cast<double>(mutable_host.compute().gpu_busy()) / (window_ns * n_gpus);
+    r.drop_ratio = host.stats().drop_ratio();
+    r.received = host.stats().received;
+    r.ingress_fps = static_cast<double>(host.stats().received) / window_s;
+    res.services.push_back(r);
+  }
+
+  for (std::size_t m = 0; m < orch.num_machines(); ++m) {
+    hw::Machine& machine = orch.machine(MachineId{static_cast<std::uint32_t>(m)});
+    MachineReport mr;
+    mr.name = machine.spec().name;
+    mr.cpu_util = machine.cpu().utilization();
+    double gpu = 0.0;
+    for (std::size_t g = 0; g < machine.num_gpus(); ++g) gpu += machine.gpu(g).utilization();
+    mr.gpu_util = machine.num_gpus() ? gpu / static_cast<double>(machine.num_gpus()) : 0.0;
+    mr.mem_gb_mean = machine.memory().mean_used() / kBytesPerGiB;
+    res.machines.push_back(mr);
+  }
+  return res;
+}
+
+double ExperimentResult::stage_mem_gb(Stage stage) const {
+  double out = 0.0;
+  for (const auto& s : services) {
+    if (s.stage == stage) out += s.mem_gb_mean;
+  }
+  return out;
+}
+
+double ExperimentResult::stage_cpu_share(Stage stage) const {
+  double out = 0.0;
+  for (const auto& s : services) {
+    if (s.stage == stage) out += s.cpu_share;
+  }
+  return out;
+}
+
+double ExperimentResult::stage_gpu_share(Stage stage) const {
+  double out = 0.0;
+  for (const auto& s : services) {
+    if (s.stage == stage) out += s.gpu_share;
+  }
+  return out;
+}
+
+double ExperimentResult::stage_service_ms(Stage stage) const {
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& s : services) {
+    if (s.stage == stage && s.service_ms_mean > 0.0) {
+      sum += s.service_ms_mean;
+      ++n;
+    }
+  }
+  return n ? sum / n : 0.0;
+}
+
+double ExperimentResult::stage_drop_ratio(Stage stage) const {
+  std::uint64_t received = 0;
+  double dropped = 0.0;
+  for (const auto& s : services) {
+    if (s.stage == stage) {
+      received += s.received;
+      dropped += s.drop_ratio * static_cast<double>(s.received);
+    }
+  }
+  return received ? dropped / static_cast<double>(received) : 0.0;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  Experiment e(config);
+  e.run();
+  return e.result();
+}
+
+}  // namespace mar::expt

@@ -1,0 +1,152 @@
+// Experiment runner: builds a testbed, deploys a pipeline, streams N
+// concurrent clients, and reports the paper's metrics (§3.2): FPS, E2E
+// latency, per-service latency, jitter, frame success rate, and
+// normalized CPU/GPU/memory utilization per service and machine.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/client.h"
+#include "core/frame_flow.h"
+#include "expt/deployment.h"
+#include "expt/testbed.h"
+#include "hw/cost_model.h"
+#include "telemetry/stats.h"
+
+namespace mar::expt {
+
+// Machine-independent placement description, resolved against a
+// Testbed at run time.
+enum class Site { kE1, kE2, kCloud };
+
+[[nodiscard]] constexpr const char* to_string(Site s) {
+  switch (s) {
+    case Site::kE1:
+      return "E1";
+    case Site::kE2:
+      return "E2";
+    case Site::kCloud:
+      return "C";
+  }
+  return "?";
+}
+
+struct SymbolicPlacement {
+  std::array<std::vector<Site>, kNumStages> replicas;
+
+  static SymbolicPlacement single(Site site);
+  static SymbolicPlacement per_stage(const std::array<Site, kNumStages>& sites);
+  // Paper's replica-count notation (fig. 3/7): base pipeline on
+  // `primary_site`, extra replicas alternating onto `secondary_site`.
+  static SymbolicPlacement replicated(const std::array<int, kNumStages>& counts,
+                                      Site primary_site = Site::kE2,
+                                      Site secondary_site = Site::kE1);
+
+  [[nodiscard]] PlacementConfig resolve(const Testbed& tb) const;
+  [[nodiscard]] std::string to_label() const;
+};
+
+struct ExperimentConfig {
+  core::PipelineMode mode = core::PipelineMode::kScatter;
+  // Overrides the mode's mechanism bundle (ablations).
+  std::optional<core::PipelineFeatures> features;
+  SymbolicPlacement placement = SymbolicPlacement::single(Site::kE1);
+  int num_clients = 1;
+  double client_fps = 30.0;
+  // Warm-up excluded from all metrics; `duration` is the measurement
+  // window (the paper runs 5-minute experiments; 60 s of simulated time
+  // gives statistically equivalent steady-state numbers far faster).
+  SimDuration warmup = seconds(5.0);
+  SimDuration duration = seconds(60.0);
+  // > 0: client i starts at i * stagger (sidecar-analytics figures).
+  SimDuration client_stagger = 0;
+  hw::CostModel costs = hw::CostModel::standard();
+  TestbedConfig testbed;
+  std::uint64_t seed = 1;
+  bool monitor = false;  // enable the orchestrator's hardware monitor
+};
+
+struct ServiceReport {
+  Stage stage = Stage::kPrimary;
+  int replica_index = 0;
+  std::string machine;
+  double service_ms_mean = 0.0;  // per-frame processing latency
+  double queue_ms_mean = 0.0;    // sidecar queueing delay (scAtteR++)
+  double mem_gb_mean = 0.0;      // resident memory attributed to the replica
+  double cpu_share = 0.0;        // busy CPU time / (window * machine cores)
+  double gpu_share = 0.0;        // busy GPU time / (window * machine GPUs)
+  double drop_ratio = 0.0;
+  std::uint64_t received = 0;
+  double ingress_fps = 0.0;
+};
+
+struct MachineReport {
+  std::string name;
+  double cpu_util = 0.0;
+  double gpu_util = 0.0;
+  double mem_gb_mean = 0.0;
+};
+
+struct ExperimentResult {
+  double fps_mean = 0.0;    // per-client successful FPS, mean over clients
+  double fps_median = 0.0;  // median over clients
+  double e2e_ms_mean = 0.0;
+  double e2e_ms_median = 0.0;
+  double e2e_ms_p95 = 0.0;
+  double success_rate = 0.0;
+  double jitter_ms = 0.0;
+  std::vector<double> per_client_fps;
+  std::vector<ServiceReport> services;
+  std::vector<MachineReport> machines;
+
+  // Sum of a per-service metric across replicas of `stage`.
+  [[nodiscard]] double stage_mem_gb(Stage stage) const;
+  [[nodiscard]] double stage_cpu_share(Stage stage) const;
+  [[nodiscard]] double stage_gpu_share(Stage stage) const;
+  [[nodiscard]] double stage_service_ms(Stage stage) const;  // mean over replicas
+  [[nodiscard]] double stage_drop_ratio(Stage stage) const;  // weighted by received
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+  ~Experiment();
+
+  // Construct the testbed, deployment, and clients without advancing
+  // the clock — lets callers schedule custom events (failure
+  // injection, scaling actions) before the run starts.
+  void build();
+
+  // Build (if needed), warm up, and run the measurement window.
+  void run();
+
+  [[nodiscard]] ExperimentResult result() const;
+
+  [[nodiscard]] Testbed& testbed() { return *testbed_; }
+  [[nodiscard]] Deployment& deployment() { return *deployment_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<core::ArClient>>& clients() const {
+    return clients_;
+  }
+  [[nodiscard]] SimTime window_start() const { return window_start_; }
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+
+ private:
+  void sample_replicas();
+
+  ExperimentConfig config_;
+  std::unique_ptr<Testbed> testbed_;
+  std::unique_ptr<Deployment> deployment_;
+  std::vector<std::unique_ptr<core::ArClient>> clients_;
+  std::vector<telemetry::Accumulator> replica_memory_bytes_;
+  SimTime window_start_ = 0;
+  bool ran_ = false;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+// Convenience wrapper for the common "configure, run, report" path.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace mar::expt

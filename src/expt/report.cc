@@ -1,0 +1,86 @@
+#include "expt/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace mar::expt {
+namespace {
+
+std::string fmt(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_csv(const ExperimentResult& result) {
+  std::ostringstream out;
+  out << "section,key,value\n";
+  out << "qos,fps_mean," << fmt(result.fps_mean) << '\n';
+  out << "qos,fps_median," << fmt(result.fps_median) << '\n';
+  out << "qos,e2e_ms_mean," << fmt(result.e2e_ms_mean) << '\n';
+  out << "qos,e2e_ms_median," << fmt(result.e2e_ms_median) << '\n';
+  out << "qos,e2e_ms_p95," << fmt(result.e2e_ms_p95) << '\n';
+  out << "qos,success_rate," << fmt(result.success_rate) << '\n';
+  out << "qos,jitter_ms," << fmt(result.jitter_ms) << '\n';
+
+  out << "\nstage,replica,machine,service_ms,queue_ms,mem_gb,cpu_share,gpu_share,"
+         "drop_ratio,received,ingress_fps\n";
+  for (const ServiceReport& s : result.services) {
+    out << to_string(s.stage) << ',' << s.replica_index << ',' << s.machine << ','
+        << fmt(s.service_ms_mean) << ',' << fmt(s.queue_ms_mean) << ',' << fmt(s.mem_gb_mean)
+        << ',' << fmt(s.cpu_share) << ',' << fmt(s.gpu_share) << ',' << fmt(s.drop_ratio)
+        << ',' << s.received << ',' << fmt(s.ingress_fps) << '\n';
+  }
+
+  out << "\nmachine,cpu_util,gpu_util,mem_gb\n";
+  for (const MachineReport& m : result.machines) {
+    out << m.name << ',' << fmt(m.cpu_util) << ',' << fmt(m.gpu_util) << ','
+        << fmt(m.mem_gb_mean) << '\n';
+  }
+  return out.str();
+}
+
+std::string to_json(const ExperimentResult& result) {
+  std::ostringstream out;
+  out << "{\n  \"qos\": {"
+      << "\"fps_mean\": " << fmt(result.fps_mean)
+      << ", \"fps_median\": " << fmt(result.fps_median)
+      << ", \"e2e_ms_mean\": " << fmt(result.e2e_ms_mean)
+      << ", \"e2e_ms_p95\": " << fmt(result.e2e_ms_p95)
+      << ", \"success_rate\": " << fmt(result.success_rate)
+      << ", \"jitter_ms\": " << fmt(result.jitter_ms) << "},\n  \"services\": [";
+  for (std::size_t i = 0; i < result.services.size(); ++i) {
+    const ServiceReport& s = result.services[i];
+    out << (i ? ",\n    " : "\n    ") << "{\"stage\": \"" << to_string(s.stage)
+        << "\", \"replica\": " << s.replica_index << ", \"machine\": \"" << s.machine
+        << "\", \"service_ms\": " << fmt(s.service_ms_mean)
+        << ", \"queue_ms\": " << fmt(s.queue_ms_mean)
+        << ", \"mem_gb\": " << fmt(s.mem_gb_mean) << ", \"cpu_share\": " << fmt(s.cpu_share)
+        << ", \"gpu_share\": " << fmt(s.gpu_share)
+        << ", \"drop_ratio\": " << fmt(s.drop_ratio) << ", \"received\": " << s.received
+        << "}";
+  }
+  out << "\n  ],\n  \"machines\": [";
+  for (std::size_t i = 0; i < result.machines.size(); ++i) {
+    const MachineReport& m = result.machines[i];
+    out << (i ? ",\n    " : "\n    ") << "{\"name\": \"" << m.name
+        << "\", \"cpu_util\": " << fmt(m.cpu_util) << ", \"gpu_util\": " << fmt(m.gpu_util)
+        << ", \"mem_gb\": " << fmt(m.mem_gb_mean) << "}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+bool write_report(const ExperimentResult& result, const std::string& path) {
+  const bool json = path.size() >= 5 && path.substr(path.size() - 5) == ".json";
+  const std::string body = json ? to_json(result) : to_csv(result);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace mar::expt

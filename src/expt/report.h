@@ -1,0 +1,20 @@
+// Machine-readable experiment exports (CSV / JSON) so results can be
+// plotted or diffed outside the harness.
+#pragma once
+
+#include <string>
+
+#include "expt/experiment.h"
+
+namespace mar::expt {
+
+// One CSV row per service replica plus a client-QoS header block.
+[[nodiscard]] std::string to_csv(const ExperimentResult& result);
+
+// Compact JSON object with QoS, per-service, and per-machine sections.
+[[nodiscard]] std::string to_json(const ExperimentResult& result);
+
+// Write either format based on the path suffix (.csv / .json).
+bool write_report(const ExperimentResult& result, const std::string& path);
+
+}  // namespace mar::expt

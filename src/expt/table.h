@@ -1,0 +1,32 @@
+// Fixed-width text tables for the benchmark harness output: each bench
+// prints the rows/series of one paper figure or table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mar::expt {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Numeric convenience: formats with the given precision.
+  static std::string num(double v, int precision = 1);
+  static std::string pct(double fraction, int precision = 1);  // 0.123 -> "12.3%"
+
+  // Render with aligned columns and a header separator.
+  [[nodiscard]] std::string to_string() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Section banner used between figure panels.
+void print_banner(const std::string& title);
+
+}  // namespace mar::expt

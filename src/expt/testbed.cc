@@ -1,0 +1,87 @@
+#include "expt/testbed.h"
+
+namespace mar::expt {
+namespace {
+constexpr double kGbps = 1e9 / 8.0;  // bytes per second
+}
+
+sim::LinkModel TestbedConfig::default_client_e1() {
+  sim::LinkModel m = sim::LinkModel::with_rtt(millis(1.0), /*loss=*/0.0, 1.0 * kGbps);
+  m.jitter_stddev = micros(50.0);
+  return m;
+}
+
+sim::LinkModel TestbedConfig::default_e1_e2() {
+  sim::LinkModel m = sim::LinkModel::with_rtt(millis(3.0), /*loss=*/0.0, 10.0 * kGbps);
+  m.jitter_stddev = micros(150.0);
+  return m;
+}
+
+sim::LinkModel TestbedConfig::default_client_cloud() {
+  // Per-datagram Internet loss; frames fragment into ~180 packets, so
+  // 0.2% packet loss loses ~30% of 250 KB frames — the cloud success
+  // rate the paper reports (64%) without any hardware bottleneck.
+  sim::LinkModel m = sim::LinkModel::with_rtt(millis(15.0), /*loss=*/0.002, 1.0 * kGbps);
+  // Paper: "slightly higher jitter ... latency fluctuations between
+  // client(s) and the cloud machine".
+  m.jitter_stddev = millis(1.2);
+  return m;
+}
+
+sim::LinkModel TestbedConfig::default_edge_cloud() {
+  // Public Internet path between the edge LAN and AWS: modest
+  // per-packet loss plus a shared ~150 Mbps bottleneck. The hybrid
+  // deployment (§A.1.2) pushes 180 KB frames per client over this path,
+  // saturating it and producing the bufferbloat + frame-drop collapse
+  // the paper observes.
+  sim::LinkModel m = sim::LinkModel::with_rtt(millis(14.0), /*loss=*/0.004, 0.075 * kGbps);
+  m.max_queue_delay = millis(100.0);
+  m.jitter_stddev = millis(2.0);
+  return m;
+}
+
+sim::LinkModel TestbedConfig::access_custom(SimDuration rtt, double loss, bool mobility) {
+  sim::LinkModel m = sim::LinkModel::with_rtt(rtt, loss, 1.0 * kGbps);
+  m.jitter_stddev = micros(200.0);
+  if (mobility) {
+    m.oscillation_delay = millis(10.0);
+    m.oscillation_prob = 0.20;
+  }
+  return m;
+}
+
+sim::LinkModel TestbedConfig::access_lte() { return access_custom(millis(40.0), 0.0008); }
+sim::LinkModel TestbedConfig::access_5g() { return access_custom(millis(10.0), 0.0001); }
+sim::LinkModel TestbedConfig::access_wifi6() { return access_custom(millis(5.0), 0.0001); }
+
+Testbed::Testbed(TestbedConfig config) : config_(config), rng_(config.seed) {
+  network_ = std::make_unique<sim::SimNetwork>(loop_, rng_.fork());
+  runtime_ = std::make_unique<dsp::SimRuntime>(loop_, *network_);
+  orchestrator_ = std::make_unique<orchestra::Orchestrator>(*runtime_, rng_.fork());
+
+  e1_ = orchestrator_->add_machine(hw::MachineSpec::edge1());
+  hw::MachineSpec e2_spec = hw::MachineSpec::edge2();
+  if (!config_.e2_gpus.empty()) e2_spec.gpus = config_.e2_gpus;
+  e2_ = orchestrator_->add_machine(std::move(e2_spec));
+  cloud_ = orchestrator_->add_machine(hw::MachineSpec::cloud());
+  clients_ = orchestrator_->add_machine(hw::MachineSpec::client_nuc());
+
+  network_->set_link(clients_, e1_, config_.client_e1);
+  network_->set_link(e1_, e2_, config_.e1_e2);
+  network_->set_link(clients_, cloud_, config_.client_cloud);
+  network_->set_link(e1_, cloud_, config_.edge_cloud);
+  network_->set_link(e2_, cloud_, config_.edge_cloud);
+
+  // Clients reach E2 through E1's LAN: access + LAN in series.
+  sim::LinkModel client_e2 = config_.e1_e2;
+  client_e2.latency += config_.client_e1.latency;
+  client_e2.jitter_stddev += config_.client_e1.jitter_stddev;
+  client_e2.loss_rate =
+      1.0 - (1.0 - config_.client_e1.loss_rate) * (1.0 - config_.e1_e2.loss_rate);
+  client_e2.bandwidth_bytes_per_sec = config_.client_e1.bandwidth_bytes_per_sec;
+  client_e2.oscillation_delay = config_.client_e1.oscillation_delay;
+  client_e2.oscillation_prob = config_.client_e1.oscillation_prob;
+  network_->set_link(clients_, e2_, client_e2);
+}
+
+}  // namespace mar::expt

@@ -1,0 +1,80 @@
+// The simulated edge-cloud testbed (paper §3.2).
+//
+//   clients (NUCs) --(Ethernet, <=1 ms RTT)-- E1
+//   E1 --(LAN, 2-4 hops, ~3 ms RTT)-- E2
+//   clients/E1/E2 --(public Internet, ~15 ms RTT)-- Cloud (AWS)
+//
+// Link parameters are configurable so the §A.1.1 mobile-connectivity
+// experiments (LTE / 5G / WiFi-6 via tc-style emulation) reuse the same
+// testbed with swapped client access links.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "dsp/runtime.h"
+#include "hw/machine.h"
+#include "orchestra/orchestrator.h"
+#include "sim/event_loop.h"
+#include "sim/link.h"
+#include "sim/network.h"
+
+namespace mar::expt {
+
+struct TestbedConfig {
+  // Client access link to the local edge (Ethernet by default).
+  sim::LinkModel client_e1 = default_client_e1();
+  // Edge LAN between E1 and E2.
+  sim::LinkModel e1_e2 = default_e1_e2();
+  // Public Internet paths to the cloud VM.
+  sim::LinkModel client_cloud = default_client_cloud();
+  sim::LinkModel edge_cloud = default_edge_cloud();
+
+  std::uint64_t seed = 42;
+
+  // Vertical-scaling knob: overrides E2's GPU complement when
+  // non-empty (the paper's §6 "hardware configurations can be extended
+  // to explore vertical scalability and resource contention").
+  std::vector<hw::GpuModel> e2_gpus;
+
+  static sim::LinkModel default_client_e1();
+  static sim::LinkModel default_e1_e2();
+  static sim::LinkModel default_client_cloud();
+  static sim::LinkModel default_edge_cloud();
+
+  // §A.1.1 access-network presets (tc-emulated in the paper).
+  static sim::LinkModel access_lte();     // 40 ms RTT, 0.08 % loss
+  static sim::LinkModel access_5g();      // 10 ms RTT, 1e-5..1e-2 % loss
+  static sim::LinkModel access_wifi6();   // 5 ms RTT, 1e-5..1e-2 % loss
+  // Generic tc-style knob: RTT + loss + the paper's mobility emulation
+  // (+10 ms oscillation with 20 % probability).
+  static sim::LinkModel access_custom(SimDuration rtt, double loss, bool mobility = true);
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config = {});
+
+  [[nodiscard]] sim::EventLoop& loop() { return loop_; }
+  [[nodiscard]] sim::SimNetwork& network() { return *network_; }
+  [[nodiscard]] dsp::SimRuntime& runtime() { return *runtime_; }
+  [[nodiscard]] orchestra::Orchestrator& orchestrator() { return *orchestrator_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] const TestbedConfig& config() const { return config_; }
+
+  [[nodiscard]] MachineId e1() const { return e1_; }
+  [[nodiscard]] MachineId e2() const { return e2_; }
+  [[nodiscard]] MachineId cloud() const { return cloud_; }
+  [[nodiscard]] MachineId client_machine() const { return clients_; }
+
+ private:
+  TestbedConfig config_;
+  Rng rng_;
+  sim::EventLoop loop_;
+  std::unique_ptr<sim::SimNetwork> network_;
+  std::unique_ptr<dsp::SimRuntime> runtime_;
+  std::unique_ptr<orchestra::Orchestrator> orchestrator_;
+  MachineId e1_, e2_, cloud_, clients_;
+};
+
+}  // namespace mar::expt

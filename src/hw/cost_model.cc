@@ -1,0 +1,55 @@
+#include "hw/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mar::hw {
+namespace {
+constexpr std::uint64_t MiB = 1024ULL * 1024ULL;
+constexpr std::uint64_t GiB = 1024ULL * MiB;
+}  // namespace
+
+CostModel CostModel::standard() {
+  CostModel m;
+  // Calibration targets (paper §4, single client on one edge server):
+  //   sum of service times ~32 ms -> E2E ~40 ms with network + queueing,
+  //   sift the heaviest stage, primary CPU-only.
+  m.stage_mut(Stage::kPrimary) = StageCost{millis(3.4), 0, 0.12, 400 * MiB};
+  m.stage_mut(Stage::kSift) = StageCost{millis(1.5), millis(11.0), 0.20, 1600 * MiB};
+  m.stage_mut(Stage::kEncoding) = StageCost{millis(0.8), millis(8.5), 0.15, 1000 * MiB};
+  m.stage_mut(Stage::kLsh) = StageCost{millis(0.5), millis(2.5), 0.15, 600 * MiB};
+  m.stage_mut(Stage::kMatching) = StageCost{millis(1.0), millis(8.5), 0.18, 1100 * MiB};
+
+  m.state_fetch_cpu = millis(1.2);
+  m.state_fetch_timeout = millis(22.0);
+  m.state_timeout = seconds(4.0);
+  m.state_entry_bytes = 24 * MiB;
+
+  m.sidecar_rpc_overhead = micros(700.0);
+  m.sidecar_threshold = millis(100.0);
+  m.sidecar_client_buffer_bytes = 1 * GiB;
+
+  m.recognition_failure_prob = 0.10;
+  return m;
+}
+
+CostModel CostModel::fast_detector() {
+  CostModel m = standard();
+  // An accelerator-style SIFT (paper §5, [59]) at ~2.5x the extraction
+  // rate; descriptors unchanged so downstream stages keep their costs.
+  m.stage_mut(Stage::kSift).gpu_time = millis(4.5);
+  m.stage_mut(Stage::kSift).cpu_time = millis(1.0);
+  return m;
+}
+
+SimDuration CostModel::sample(SimDuration mean, double cv, Rng& rng) {
+  if (mean <= 0) return 0;
+  if (cv <= 0.0) return mean;
+  const double m = static_cast<double>(mean);
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(m) - sigma2 / 2.0;
+  const double x = std::exp(mu + std::sqrt(sigma2) * rng.next_gaussian());
+  return static_cast<SimDuration>(std::clamp(x, 0.3 * m, 5.0 * m));
+}
+
+}  // namespace mar::hw

@@ -1,0 +1,102 @@
+#include "hw/machine.h"
+
+#include <algorithm>
+
+namespace mar::hw {
+namespace {
+constexpr std::uint64_t GiB = 1024ULL * 1024ULL * 1024ULL;
+}
+
+MachineSpec MachineSpec::edge1() {
+  MachineSpec s;
+  s.name = "E1";
+  s.cpu_cores = 16;  // Intel i9
+  s.cpu_speed_factor = 1.0;
+  s.memory_bytes = 128 * GiB;
+  s.gpus = {GpuModel{"geforce-rtx", 1.0}, GpuModel{"geforce-rtx", 1.0}};
+  return s;
+}
+
+MachineSpec MachineSpec::edge2() {
+  MachineSpec s;
+  s.name = "E2";
+  s.cpu_cores = 32;  // 2x EPYC 7302 (16C each)
+  s.cpu_speed_factor = 1.05;
+  s.memory_bytes = 264 * GiB;
+  s.gpus = {GpuModel{"ampere", 1.25}, GpuModel{"ampere", 1.25}};
+  return s;
+}
+
+MachineSpec MachineSpec::cloud() {
+  MachineSpec s;
+  s.name = "Cloud";
+  s.cpu_cores = 4;  // Broadwell E5-2686 v4 vCPUs
+  s.cpu_speed_factor = 0.85;
+  s.memory_bytes = 64 * GiB;
+  // V100 is fast hardware; the sm-architecture mismatch and
+  // virtualization penalties are applied separately, leaving it a net
+  // ~1.0x of the RTX baseline (paper §4 Insight V).
+  s.gpus = {GpuModel{"tesla", 2.6, 2}};
+  s.virtualized = true;
+  return s;
+}
+
+MachineSpec MachineSpec::client_nuc() {
+  MachineSpec s;
+  s.name = "NUC";
+  s.cpu_cores = 4;
+  s.cpu_speed_factor = 0.7;
+  s.memory_bytes = 32 * GiB;
+  return s;
+}
+
+Machine::Machine(sim::EventLoop& loop, MachineId id, MachineSpec spec)
+    : loop_(loop),
+      id_(id),
+      spec_(std::move(spec)),
+      cpu_(loop, spec_.cpu_cores),
+      memory_(loop, spec_.memory_bytes) {
+  gpus_.reserve(spec_.gpus.size());
+  for (std::size_t i = 0; i < spec_.gpus.size(); ++i) {
+    gpus_.push_back(std::make_unique<ResourcePool>(loop_, spec_.gpus[i].slots));
+    gpu_pin_counts_.push_back(0);
+  }
+}
+
+std::size_t Machine::pin_service_to_gpu() {
+  if (gpus_.empty()) return 0;
+  const auto it = std::min_element(gpu_pin_counts_.begin(), gpu_pin_counts_.end());
+  const std::size_t idx = static_cast<std::size_t>(it - gpu_pin_counts_.begin());
+  ++gpu_pin_counts_[idx];
+  return idx;
+}
+
+double Machine::cpu_time_scale() const {
+  double scale = 1.0 / spec_.cpu_speed_factor;
+  if (spec_.virtualized) scale *= kVirtualizationPenalty;
+  return scale;
+}
+
+double Machine::gpu_time_scale(std::size_t gpu_index) const {
+  if (gpu_index >= spec_.gpus.size()) return cpu_time_scale();
+  double scale = 1.0 / spec_.gpus[gpu_index].speed_factor;
+  if (spec_.virtualized) scale *= kVirtualizationPenalty;
+  // GPU multi-tenancy: co-locating several services on one GPU costs
+  // context switching and cache pressure beyond pure queueing (the
+  // paper's single-machine C1/C2 deployments "consume considerably
+  // more CPU and GPU" and run slower than the distributed C21).
+  const std::uint32_t pinned = gpu_pin_counts_[gpu_index];
+  if (pinned > 1) {
+    scale *= std::min(1.0 + kGpuColocationPenalty * static_cast<double>(pinned - 1),
+                      kGpuColocationPenaltyCap);
+  }
+  return scale;
+}
+
+void Machine::reset_windows() {
+  cpu_.reset_window();
+  for (auto& g : gpus_) g->reset_window();
+  memory_.reset_window();
+}
+
+}  // namespace mar::hw

@@ -1,0 +1,90 @@
+// Machine models for the paper's testbed.
+//
+// E1: Intel i9, 2x NVIDIA RTX 2080, 128 GB.
+// E2: 2x AMD EPYC 7302, 2x NVIDIA A40, 264 GB.
+// Cloud: 4x Broadwell vCPU, NVIDIA Tesla V100 (virtualized), 64 GB.
+//
+// GPU architecture differences become per-architecture speed factors
+// (paper Insight V: QoS varies with the underlying GPU/CPU architecture
+// even with identical container images). The cloud V100 factor is below
+// 1.0: the paper attributes part of the cloud slowdown to the image not
+// being optimized for the Tesla sm architecture.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "hw/resource.h"
+#include "sim/event_loop.h"
+
+namespace mar::hw {
+
+struct GpuModel {
+  std::string arch;           // "geforce-rtx", "ampere", "tesla"
+  double speed_factor = 1.0;  // relative to the RTX 2080 baseline
+  // Concurrent kernel slots (large datacenter GPUs run several CUDA
+  // contexts side by side via MPS; consumer cards effectively one).
+  std::uint32_t slots = 1;
+};
+
+struct MachineSpec {
+  std::string name;
+  std::uint32_t cpu_cores = 1;
+  double cpu_speed_factor = 1.0;
+  std::uint64_t memory_bytes = 0;
+  std::vector<GpuModel> gpus;
+  // True for cloud VMs: adds virtualization overhead to compute times.
+  bool virtualized = false;
+
+  static MachineSpec edge1();
+  static MachineSpec edge2();
+  static MachineSpec cloud();
+  static MachineSpec client_nuc();
+};
+
+// A running machine in the simulator: CPU pool, one pool per GPU,
+// memory accounting.
+class Machine {
+ public:
+  Machine(sim::EventLoop& loop, MachineId id, MachineSpec spec);
+
+  [[nodiscard]] MachineId id() const { return id_; }
+  [[nodiscard]] const MachineSpec& spec() const { return spec_; }
+
+  [[nodiscard]] ResourcePool& cpu() { return cpu_; }
+  [[nodiscard]] std::size_t num_gpus() const { return gpus_.size(); }
+  [[nodiscard]] ResourcePool& gpu(std::size_t i) { return *gpus_.at(i); }
+  [[nodiscard]] const GpuModel& gpu_model(std::size_t i) const { return spec_.gpus.at(i); }
+  [[nodiscard]] MemoryAccount& memory() { return memory_; }
+
+  // Pick the GPU with the fewest pinned services (placement-time
+  // assignment; services stay pinned to their GPU).
+  std::size_t pin_service_to_gpu();
+
+  // Compute-time multiplier for work on this machine: divides by the
+  // speed factor and applies the virtualization penalty.
+  [[nodiscard]] double cpu_time_scale() const;
+  [[nodiscard]] double gpu_time_scale(std::size_t gpu_index) const;
+
+  void reset_windows();
+
+ private:
+  sim::EventLoop& loop_;
+  MachineId id_;
+  MachineSpec spec_;
+  ResourcePool cpu_;
+  std::vector<std::unique_ptr<ResourcePool>> gpus_;
+  std::vector<std::uint32_t> gpu_pin_counts_;
+  MemoryAccount memory_;
+};
+
+inline constexpr double kVirtualizationPenalty = 1.18;  // +18 % compute time
+// Extra GPU kernel time per additional service sharing the same GPU,
+// capped (CUDA context switching overhead saturates).
+inline constexpr double kGpuColocationPenalty = 0.15;
+inline constexpr double kGpuColocationPenaltyCap = 1.30;
+
+}  // namespace mar::hw

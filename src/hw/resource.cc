@@ -1,0 +1,85 @@
+#include "hw/resource.h"
+
+#include <utility>
+
+namespace mar::hw {
+
+void ResourcePool::account() {
+  const SimTime now = loop_.now();
+  busy_integral_ += static_cast<double>(in_use_) * static_cast<double>(now - last_change_);
+  last_change_ = now;
+}
+
+void ResourcePool::acquire(std::uint32_t units, Grant on_grant) {
+  if (units > capacity_) return;  // can never be satisfied; drop silently
+  if (in_use_ + units <= capacity_ && waiters_.empty()) {
+    account();
+    in_use_ += units;
+    on_grant();
+    return;
+  }
+  waiters_.push_back(Waiter{units, std::move(on_grant)});
+}
+
+void ResourcePool::release(std::uint32_t units) {
+  account();
+  in_use_ = units > in_use_ ? 0 : in_use_ - units;
+  while (!waiters_.empty() && in_use_ + waiters_.front().units <= capacity_) {
+    Waiter w = std::move(waiters_.front());
+    waiters_.pop_front();
+    in_use_ += w.units;
+    w.on_grant();
+  }
+}
+
+void ResourcePool::reset_window() {
+  account();
+  window_start_ = loop_.now();
+  last_change_ = window_start_;
+  busy_integral_ = 0.0;
+}
+
+double ResourcePool::utilization() const {
+  const SimTime now = loop_.now();
+  const double elapsed = static_cast<double>(now - window_start_);
+  if (elapsed <= 0.0 || capacity_ == 0) return 0.0;
+  const double integral =
+      busy_integral_ + static_cast<double>(in_use_) * static_cast<double>(now - last_change_);
+  return integral / (elapsed * static_cast<double>(capacity_));
+}
+
+void MemoryAccount::account() {
+  const SimTime now = loop_.now();
+  usage_integral_ += static_cast<double>(used_) * static_cast<double>(now - last_change_);
+  last_change_ = now;
+}
+
+void MemoryAccount::allocate(std::uint64_t bytes) {
+  account();
+  used_ += bytes;
+  if (used_ > peak_) peak_ = used_;
+}
+
+void MemoryAccount::free(std::uint64_t bytes) {
+  account();
+  used_ = bytes > used_ ? 0 : used_ - bytes;
+}
+
+void MemoryAccount::reset_window() {
+  account();
+  window_start_ = loop_.now();
+  last_change_ = window_start_;
+  usage_integral_ = 0.0;
+  peak_ = used_;
+}
+
+double MemoryAccount::mean_used() const {
+  const SimTime now = loop_.now();
+  const double elapsed = static_cast<double>(now - window_start_);
+  if (elapsed <= 0.0) return static_cast<double>(used_);
+  const double integral =
+      usage_integral_ + static_cast<double>(used_) * static_cast<double>(now - last_change_);
+  return integral / elapsed;
+}
+
+}  // namespace mar::hw

@@ -1,0 +1,93 @@
+// Simulated machine resources.
+//
+// A ResourcePool models a pool of identical units (CPU cores, or a GPU
+// treated as one exclusive unit). Acquisition is asynchronous and FIFO:
+// when no unit is free the request queues, which is how compute
+// contention between co-located services arises in the simulator. The
+// pool also integrates busy-time so experiments can report utilization
+// normalized by capacity, exactly like the paper's CPU%/GPU% metrics.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/time.h"
+#include "sim/event_loop.h"
+
+namespace mar::hw {
+
+class ResourcePool {
+ public:
+  using Grant = std::function<void()>;
+
+  ResourcePool(sim::EventLoop& loop, std::uint32_t capacity)
+      : loop_(loop), capacity_(capacity) {}
+
+  // Request `units` units; `on_grant` runs (possibly immediately, in
+  // virtual time) once they are allocated. Caller must release() later.
+  void acquire(std::uint32_t units, Grant on_grant);
+
+  // Return `units` units and hand them to waiting requests.
+  void release(std::uint32_t units);
+
+  [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint32_t in_use() const { return in_use_; }
+  [[nodiscard]] std::size_t waiting() const { return waiters_.size(); }
+
+  // --- Utilization accounting ---------------------------------------
+  // Restart the measurement window at the current virtual time.
+  void reset_window();
+  // Mean utilization in [window start, now], normalized to capacity [0,1].
+  [[nodiscard]] double utilization() const;
+
+ private:
+  struct Waiter {
+    std::uint32_t units;
+    Grant on_grant;
+  };
+
+  void account();  // fold busy-time since last change into the integral
+
+  sim::EventLoop& loop_;
+  std::uint32_t capacity_;
+  std::uint32_t in_use_ = 0;
+  std::deque<Waiter> waiters_;
+
+  SimTime window_start_ = 0;
+  SimTime last_change_ = 0;
+  double busy_integral_ = 0.0;  // sum of in_use * dt (unit: units * ns)
+};
+
+// Memory accounting for one machine: tracks current, peak, and a
+// time-weighted mean over the measurement window.
+class MemoryAccount {
+ public:
+  MemoryAccount(sim::EventLoop& loop, std::uint64_t capacity_bytes)
+      : loop_(loop), capacity_(capacity_bytes) {}
+
+  void allocate(std::uint64_t bytes);
+  void free(std::uint64_t bytes);
+
+  [[nodiscard]] std::uint64_t used() const { return used_; }
+  [[nodiscard]] std::uint64_t peak() const { return peak_; }
+  [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
+
+  void reset_window();
+  // Time-weighted mean usage in bytes over the window.
+  [[nodiscard]] double mean_used() const;
+
+ private:
+  void account();
+
+  sim::EventLoop& loop_;
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::uint64_t peak_ = 0;
+
+  SimTime window_start_ = 0;
+  SimTime last_change_ = 0;
+  double usage_integral_ = 0.0;
+};
+
+}  // namespace mar::hw

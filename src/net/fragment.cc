@@ -1,0 +1,78 @@
+#include "net/fragment.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+
+namespace mar::net {
+namespace {
+constexpr std::uint8_t kFragMagic = 0xF7;
+}
+
+std::vector<std::vector<std::uint8_t>> fragment_message(std::span<const std::uint8_t> message,
+                                                        std::uint32_t message_id) {
+  std::vector<std::vector<std::uint8_t>> out;
+  const std::size_t count =
+      message.empty() ? 1 : (message.size() + kMaxFragmentPayload - 1) / kMaxFragmentPayload;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t offset = i * kMaxFragmentPayload;
+    const std::size_t len = std::min(kMaxFragmentPayload, message.size() - offset);
+    ByteWriter w(kFragmentHeaderBytes + len);
+    w.put_u8(kFragMagic);
+    w.put_u32(message_id);
+    w.put_u16(static_cast<std::uint16_t>(i));
+    w.put_u16(static_cast<std::uint16_t>(count));
+    w.put_u32(static_cast<std::uint32_t>(len));
+    w.put_bytes(message.subspan(offset, len));
+    out.push_back(std::move(w).take());
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> Reassembler::add(
+    std::span<const std::uint8_t> datagram) {
+  ByteReader r(datagram);
+  if (r.get_u8() != kFragMagic) return std::nullopt;
+  const std::uint32_t id = r.get_u32();
+  const std::uint16_t index = r.get_u16();
+  const std::uint16_t count = r.get_u16();
+  const std::uint32_t len = r.get_u32();
+  if (!r.ok() || count == 0 || index >= count || len != r.remaining()) return std::nullopt;
+
+  Partial& p = partial_[id];
+  if (p.fragments.empty()) {
+    p.fragments.resize(count);
+    p.first_seen = std::chrono::steady_clock::now();
+  }
+  if (p.fragments.size() != count) {
+    partial_.erase(id);  // inconsistent metadata; drop the message
+    return std::nullopt;
+  }
+  if (p.fragments[index].empty()) {
+    p.fragments[index] = r.get_bytes(len);
+    ++p.received;
+  }
+  if (p.received < count) return std::nullopt;
+
+  std::vector<std::uint8_t> message;
+  for (const auto& frag : p.fragments) {
+    message.insert(message.end(), frag.begin(), frag.end());
+  }
+  partial_.erase(id);
+  return message;
+}
+
+void Reassembler::garbage_collect() {
+  const auto now = std::chrono::steady_clock::now();
+  for (auto it = partial_.begin(); it != partial_.end();) {
+    if (now - it->second.first_seen > timeout_) {
+      it = partial_.erase(it);
+      ++expired_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace mar::net

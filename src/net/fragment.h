@@ -1,0 +1,53 @@
+// Datagram fragmentation/reassembly for large frames.
+//
+// A serialized FramePacket can exceed 400 KB; UDP datagrams top out
+// near 64 KB, so the live transport splits messages into numbered
+// fragments and reassembles them on the far side. Incomplete messages
+// are garbage-collected after a timeout — a lost fragment loses the
+// whole frame, mirroring the simulator's fragment-level loss model.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace mar::net {
+
+inline constexpr std::size_t kMaxFragmentPayload = 60 * 1024;
+inline constexpr std::size_t kFragmentHeaderBytes = 13;
+
+// Split `message` into fragment datagrams (each ready to send).
+[[nodiscard]] std::vector<std::vector<std::uint8_t>> fragment_message(
+    std::span<const std::uint8_t> message, std::uint32_t message_id);
+
+class Reassembler {
+ public:
+  explicit Reassembler(std::chrono::milliseconds timeout = std::chrono::milliseconds(500))
+      : timeout_(timeout) {}
+
+  // Feed one received datagram; returns the full message when this
+  // fragment completes it.
+  std::optional<std::vector<std::uint8_t>> add(std::span<const std::uint8_t> datagram);
+
+  // Drop partial messages older than the timeout.
+  void garbage_collect();
+
+  [[nodiscard]] std::size_t pending() const { return partial_.size(); }
+  [[nodiscard]] std::uint64_t expired() const { return expired_; }
+
+ private:
+  struct Partial {
+    std::vector<std::vector<std::uint8_t>> fragments;
+    std::size_t received = 0;
+    std::chrono::steady_clock::time_point first_seen;
+  };
+
+  std::chrono::milliseconds timeout_;
+  std::unordered_map<std::uint32_t, Partial> partial_;
+  std::uint64_t expired_ = 0;
+};
+
+}  // namespace mar::net

@@ -1,0 +1,34 @@
+#include "net/frame_channel.h"
+
+namespace mar::net {
+
+Status FrameChannel::send(const wire::FramePacket& pkt, const SockAddr& dst) {
+  const std::vector<std::uint8_t> message = wire::serialize(pkt);
+  const auto fragments = fragment_message(message, next_message_id_++);
+  for (const auto& frag : fragments) {
+    const auto result = socket_.send_to(frag, dst);
+    if (!result.is_ok()) return result.status();
+  }
+  ++sent_;
+  return Status::ok();
+}
+
+std::optional<FrameChannel::Received> FrameChannel::poll(int timeout_ms) {
+  if (!socket_.is_open()) return std::nullopt;
+  if (timeout_ms > 0 && !socket_.wait_readable(timeout_ms)) {
+    reassembler_.garbage_collect();
+    return std::nullopt;
+  }
+  while (auto datagram = socket_.receive()) {
+    if (auto message = reassembler_.add(datagram->data)) {
+      if (auto pkt = wire::parse(*message)) {
+        ++received_;
+        return Received{std::move(*pkt), datagram->from};
+      }
+    }
+  }
+  reassembler_.garbage_collect();
+  return std::nullopt;
+}
+
+}  // namespace mar::net

@@ -1,0 +1,46 @@
+// FrameChannel: FramePacket transport over a real UDP socket —
+// serialize, fragment, send; receive, reassemble, parse. This is the
+// live-mode counterpart of the simulator's SimNetwork::send.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+#include "net/fragment.h"
+#include "net/udp.h"
+#include "wire/message.h"
+
+namespace mar::net {
+
+class FrameChannel {
+ public:
+  // Bind to `port` (0 = ephemeral).
+  Status open(std::uint16_t port = 0) { return socket_.open(port); }
+  [[nodiscard]] Result<SockAddr> local_addr() const { return socket_.local_addr(); }
+  [[nodiscard]] bool is_open() const { return socket_.is_open(); }
+
+  // Serialize + fragment + transmit. Returns the first send error, if any.
+  Status send(const wire::FramePacket& pkt, const SockAddr& dst);
+
+  struct Received {
+    wire::FramePacket packet;
+    SockAddr from;
+  };
+  // Wait up to `timeout_ms` and return the next complete packet, if
+  // one finishes reassembly. Partial messages are GC'd on the way.
+  std::optional<Received> poll(int timeout_ms);
+
+  [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t messages_received() const { return received_; }
+  [[nodiscard]] std::uint64_t reassembly_expired() const { return reassembler_.expired(); }
+
+ private:
+  UdpSocket socket_;
+  Reassembler reassembler_;
+  std::uint32_t next_message_id_ = 1;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace mar::net

@@ -1,0 +1,129 @@
+#include "net/udp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mar::net {
+namespace {
+
+sockaddr_in to_sockaddr(const SockAddr& a) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(a.ip);
+  sa.sin_port = htons(a.port);
+  return sa;
+}
+
+SockAddr from_sockaddr(const sockaddr_in& sa) {
+  return SockAddr{ntohl(sa.sin_addr.s_addr), ntohs(sa.sin_port)};
+}
+
+}  // namespace
+
+std::string SockAddr::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u:%u", (ip >> 24) & 0xFF, (ip >> 16) & 0xFF,
+                (ip >> 8) & 0xFF, ip & 0xFF, port);
+  return buf;
+}
+
+UdpSocket::~UdpSocket() { close(); }
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status UdpSocket::open(std::uint16_t bind_port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) return {StatusCode::kInternal, std::strerror(errno)};
+
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+    const Status s{StatusCode::kInternal, std::strerror(errno)};
+    close();
+    return s;
+  }
+  // Frames burst in ~60 KB fragments; give the kernel room.
+  const int rcvbuf = 4 * 1024 * 1024;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+
+  sockaddr_in addr = to_sockaddr(SockAddr::loopback(bind_port));
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status s{StatusCode::kUnavailable, std::strerror(errno)};
+    close();
+    return s;
+  }
+  return Status::ok();
+}
+
+void UdpSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<SockAddr> UdpSocket::local_addr() const {
+  if (fd_ < 0) return Status{StatusCode::kUnavailable, "socket not open"};
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&sa), &len) < 0) {
+    return Status{StatusCode::kInternal, std::strerror(errno)};
+  }
+  SockAddr out = from_sockaddr(sa);
+  if (out.ip == 0) out.ip = 0x7F000001u;  // INADDR_ANY binds report 0.0.0.0
+  return out;
+}
+
+Result<std::size_t> UdpSocket::send_to(std::span<const std::uint8_t> data,
+                                       const SockAddr& dst) {
+  if (fd_ < 0) return Status{StatusCode::kUnavailable, "socket not open"};
+  const sockaddr_in sa = to_sockaddr(dst);
+  const ssize_t n = ::sendto(fd_, data.data(), data.size(), 0,
+                             reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status{StatusCode::kResourceExhausted, "send buffer full"};
+    }
+    return Status{StatusCode::kInternal, std::strerror(errno)};
+  }
+  return static_cast<std::size_t>(n);
+}
+
+std::optional<UdpSocket::Datagram> UdpSocket::receive() {
+  if (fd_ < 0) return std::nullopt;
+  Datagram d;
+  d.data.resize(65536);
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  const ssize_t n = ::recvfrom(fd_, d.data.data(), d.data.size(), 0,
+                               reinterpret_cast<sockaddr*>(&sa), &len);
+  if (n < 0) return std::nullopt;
+  d.data.resize(static_cast<std::size_t>(n));
+  d.from = from_sockaddr(sa);
+  return d;
+}
+
+bool UdpSocket::wait_readable(int timeout_ms) const {
+  if (fd_ < 0) return false;
+  pollfd pfd{fd_, POLLIN, 0};
+  return ::poll(&pfd, 1, timeout_ms) > 0 && (pfd.revents & POLLIN) != 0;
+}
+
+}  // namespace mar::net

@@ -1,0 +1,61 @@
+// Thin RAII wrapper over POSIX UDP sockets (IPv4, non-blocking), used
+// by the live pipeline examples to move real frames between real
+// processes/threads — same wire format as the simulator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mar::net {
+
+struct SockAddr {
+  std::uint32_t ip = 0;  // host byte order; 127.0.0.1 = 0x7F000001
+  std::uint16_t port = 0;
+
+  static SockAddr loopback(std::uint16_t port) { return SockAddr{0x7F000001u, port}; }
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const SockAddr&, const SockAddr&) = default;
+};
+
+class UdpSocket {
+ public:
+  UdpSocket() = default;
+  ~UdpSocket();
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  // Open a non-blocking socket, optionally bound to `bind_port`
+  // (0 = ephemeral). Enlarges the receive buffer for frame bursts.
+  Status open(std::uint16_t bind_port = 0);
+  void close();
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  // Local address after bind (resolves ephemeral ports).
+  [[nodiscard]] Result<SockAddr> local_addr() const;
+
+  // Non-blocking send; returns bytes sent or a status on error.
+  Result<std::size_t> send_to(std::span<const std::uint8_t> data, const SockAddr& dst);
+
+  // Non-blocking receive; nullopt when nothing is pending.
+  struct Datagram {
+    std::vector<std::uint8_t> data;
+    SockAddr from;
+  };
+  [[nodiscard]] std::optional<Datagram> receive();
+
+  // Block up to `timeout_ms` for readability (poll).
+  [[nodiscard]] bool wait_readable(int timeout_ms) const;
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace mar::net

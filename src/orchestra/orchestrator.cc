@@ -1,0 +1,170 @@
+#include "orchestra/orchestrator.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace mar::orchestra {
+
+Orchestrator::Orchestrator(dsp::SimRuntime& rt, Rng rng) : rt_(rt), rng_(rng) {}
+
+Orchestrator::~Orchestrator() { *alive_ = false; }
+
+MachineId Orchestrator::add_machine(hw::MachineSpec spec) {
+  const MachineId id{static_cast<std::uint32_t>(machines_.size())};
+  machines_.push_back(std::make_unique<hw::Machine>(rt_.loop(), id, std::move(spec)));
+  return id;
+}
+
+Result<MachineId> Orchestrator::schedule(const ServiceSla& sla) const {
+  const InstanceRecord* unused = nullptr;
+  (void)unused;
+  MachineId best = MachineId::invalid();
+  std::size_t best_replicas = std::numeric_limits<std::size_t>::max();
+  std::uint64_t best_free_mem = 0;
+
+  for (const auto& m : machines_) {
+    const hw::MachineSpec& spec = m->spec();
+    if (sla.needs_gpu) {
+      if (spec.gpus.empty()) continue;
+      if (!sla.gpu_archs.empty()) {
+        const bool compatible = std::any_of(
+            spec.gpus.begin(), spec.gpus.end(), [&](const hw::GpuModel& g) {
+              return std::find(sla.gpu_archs.begin(), sla.gpu_archs.end(), g.arch) !=
+                     sla.gpu_archs.end();
+            });
+        if (!compatible) continue;
+      }
+    }
+    const std::uint64_t free_mem =
+        m->memory().capacity() - std::min(m->memory().capacity(), m->memory().used());
+    if (free_mem < sla.memory_bytes) continue;
+
+    const auto replicas = static_cast<std::size_t>(
+        std::count_if(instances_.begin(), instances_.end(),
+                      [&](const InstanceRecord& r) { return r.machine == m->id(); }));
+    if (replicas < best_replicas ||
+        (replicas == best_replicas && free_mem > best_free_mem)) {
+      best = m->id();
+      best_replicas = replicas;
+      best_free_mem = free_mem;
+    }
+  }
+  if (!best.valid()) {
+    return Status{StatusCode::kResourceExhausted, "no feasible machine for SLA"};
+  }
+  return best;
+}
+
+InstanceId Orchestrator::deploy(Stage stage, MachineId target, dsp::HostConfig config,
+                                const hw::CostModel& costs, ServiceletFactory make) {
+  const InstanceId id{static_cast<std::uint32_t>(instances_.size())};
+  InstanceRecord rec;
+  rec.stage = stage;
+  rec.machine = target;
+  rec.host = std::make_unique<dsp::ServiceHost>(rt_, machine(target), id, config, costs,
+                                                make(), rng_.fork());
+  instances_.push_back(std::move(rec));
+  return id;
+}
+
+std::vector<InstanceId> Orchestrator::instances_of(Stage stage) const {
+  std::vector<InstanceId> out;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (instances_[i].stage == stage) out.push_back(InstanceId{static_cast<std::uint32_t>(i)});
+  }
+  return out;
+}
+
+EndpointId Orchestrator::resolve(Stage stage, const wire::FrameHeader& header) {
+  (void)header;
+  // Round-robin over ready replicas: Oakestra's semantic addressing
+  // gives each stage a stable service address and balances requests
+  // across its instances.
+  std::vector<const InstanceRecord*> ready;
+  for (const auto& rec : instances_) {
+    if (rec.stage == stage && !rec.host->is_down()) ready.push_back(&rec);
+  }
+  if (ready.empty()) return EndpointId::invalid();
+  auto& counter = rr_counters_[static_cast<std::size_t>(stage)];
+  const InstanceRecord* pick = ready[counter % ready.size()];
+  ++counter;
+  return pick->host->ingress();
+}
+
+EndpointId Orchestrator::endpoint_of(InstanceId instance) {
+  if (instance.value() >= instances_.size()) return EndpointId::invalid();
+  return instances_[instance.value()].host->ingress();
+}
+
+void Orchestrator::start_monitor(SimDuration interval) {
+  monitor_interval_ = interval;
+  if (monitoring_) return;
+  monitoring_ = true;
+  rt_.schedule_after(interval, [this, alive = alive_] {
+    if (*alive) monitor_tick();
+  });
+}
+
+void Orchestrator::stop_monitor() { monitoring_ = false; }
+
+void Orchestrator::monitor_tick() {
+  if (!monitoring_) return;
+  MonitorSample sample;
+  sample.t = rt_.now();
+  for (const auto& m : machines_) {
+    MachineSample ms;
+    ms.machine = m->id();
+    ms.cpu_util = m->cpu().capacity()
+                      ? static_cast<double>(m->cpu().in_use()) / m->cpu().capacity()
+                      : 0.0;
+    double gpu_sum = 0.0;
+    for (std::size_t g = 0; g < m->num_gpus(); ++g) {
+      gpu_sum += static_cast<double>(m->gpu(g).in_use());
+    }
+    ms.gpu_util = m->num_gpus() ? gpu_sum / static_cast<double>(m->num_gpus()) : 0.0;
+    ms.memory_used = m->memory().used();
+    sample.machines.push_back(ms);
+  }
+  samples_.push_back(std::move(sample));
+  rt_.schedule_after(monitor_interval_, [this, alive = alive_] {
+    if (*alive) monitor_tick();
+  });
+}
+
+void Orchestrator::enable_auto_restart(SimDuration detection_interval,
+                                       SimDuration redeploy_delay) {
+  detection_interval_ = detection_interval;
+  redeploy_delay_ = redeploy_delay;
+  if (watchdog_enabled_) return;
+  watchdog_enabled_ = true;
+  rt_.schedule_after(detection_interval_, [this, alive = alive_] {
+    if (*alive) watchdog_tick();
+  });
+}
+
+void Orchestrator::watchdog_tick() {
+  if (!watchdog_enabled_) return;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    InstanceRecord& rec = instances_[i];
+    if (rec.host->is_down() && !rec.restart_pending) {
+      rec.restart_pending = true;
+      rt_.schedule_after(redeploy_delay_, [this, i, alive = alive_] {
+        if (!*alive) return;
+        instances_[i].host->restart();
+        instances_[i].restart_pending = false;
+        ++redeploys_;
+      });
+    }
+  }
+  rt_.schedule_after(detection_interval_, [this, alive = alive_] {
+    if (*alive) watchdog_tick();
+  });
+}
+
+void Orchestrator::kill_instance(InstanceId id) {
+  if (id.value() >= instances_.size()) return;
+  instances_[id.value()].host->kill();
+}
+
+}  // namespace mar::orchestra

@@ -1,0 +1,117 @@
+// Edge-native orchestrator modeled on Oakestra (paper §3.2).
+//
+// Responsibilities reproduced here:
+//  * cluster registry of heterogeneous machines,
+//  * SLA-constrained placement of service replicas,
+//  * semantic addressing: senders resolve a *stage*, the orchestrator
+//    round-robins across ready replicas (the paper's load balancing),
+//  * hardware-only monitoring — the orchestrator samples CPU/GPU/memory
+//    but cannot see application QoS (the blindness Insights I and IV
+//    are about),
+//  * failure detection and automatic re-deployment of dead replicas.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "dsp/runtime.h"
+#include "dsp/service_host.h"
+#include "hw/cost_model.h"
+#include "hw/machine.h"
+#include "orchestra/sla.h"
+
+namespace mar::orchestra {
+
+using ServiceletFactory = std::function<std::unique_ptr<dsp::Servicelet>()>;
+
+// One hardware-metric snapshot per machine (what Oakestra can see).
+struct MachineSample {
+  MachineId machine;
+  double cpu_util = 0.0;  // normalized to total cores, [0,1]
+  double gpu_util = 0.0;  // mean across GPUs, [0,1]
+  std::uint64_t memory_used = 0;
+};
+
+struct MonitorSample {
+  SimTime t = 0;
+  std::vector<MachineSample> machines;
+};
+
+class Orchestrator final : public dsp::Router {
+ public:
+  explicit Orchestrator(dsp::SimRuntime& rt, Rng rng = Rng{42});
+  ~Orchestrator() override;
+
+  // --- cluster ---------------------------------------------------------
+  MachineId add_machine(hw::MachineSpec spec);
+  [[nodiscard]] hw::Machine& machine(MachineId id) { return *machines_.at(id.value()); }
+  [[nodiscard]] std::size_t num_machines() const { return machines_.size(); }
+
+  // --- placement -------------------------------------------------------
+  // Pick a feasible machine for `sla`: GPU present and architecture
+  // compatible, requested memory available; prefers the machine with
+  // the fewest deployed replicas, then most free memory.
+  [[nodiscard]] Result<MachineId> schedule(const ServiceSla& sla) const;
+
+  // Deploy one replica of `stage` onto `target`.
+  InstanceId deploy(Stage stage, MachineId target, dsp::HostConfig config,
+                    const hw::CostModel& costs, ServiceletFactory make);
+
+  [[nodiscard]] dsp::ServiceHost& host(InstanceId id) { return *instances_.at(id.value()).host; }
+  [[nodiscard]] const dsp::ServiceHost& host(InstanceId id) const {
+    return *instances_.at(id.value()).host;
+  }
+  [[nodiscard]] std::vector<InstanceId> instances_of(Stage stage) const;
+  [[nodiscard]] std::size_t instance_count() const { return instances_.size(); }
+
+  // --- semantic addressing (Router) -------------------------------------
+  EndpointId resolve(Stage stage, const wire::FrameHeader& header) override;
+  EndpointId endpoint_of(InstanceId instance) override;
+
+  // --- monitoring --------------------------------------------------------
+  void start_monitor(SimDuration interval);
+  void stop_monitor();
+  [[nodiscard]] const std::vector<MonitorSample>& monitor_samples() const { return samples_; }
+
+  // --- failure handling ---------------------------------------------------
+  // Watchdog: poll replica liveness every `detection_interval`; dead
+  // replicas are re-deployed (restarted) after `redeploy_delay`.
+  void enable_auto_restart(SimDuration detection_interval, SimDuration redeploy_delay);
+  void kill_instance(InstanceId id);
+  [[nodiscard]] std::uint64_t redeploy_count() const { return redeploys_; }
+
+ private:
+  struct InstanceRecord {
+    Stage stage;
+    MachineId machine;
+    std::unique_ptr<dsp::ServiceHost> host;
+    bool restart_pending = false;
+  };
+
+  void monitor_tick();
+  void watchdog_tick();
+
+  dsp::SimRuntime& rt_;
+  Rng rng_;
+  std::vector<std::unique_ptr<hw::Machine>> machines_;
+  std::vector<InstanceRecord> instances_;
+  std::array<std::uint64_t, kNumStages> rr_counters_{};
+
+  SimDuration monitor_interval_ = 0;
+  bool monitoring_ = false;
+  std::vector<MonitorSample> samples_;
+
+  bool watchdog_enabled_ = false;
+  SimDuration detection_interval_ = 0;
+  SimDuration redeploy_delay_ = 0;
+  std::uint64_t redeploys_ = 0;
+
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace mar::orchestra

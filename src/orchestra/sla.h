@@ -1,0 +1,28 @@
+// Service-level-agreement descriptors for orchestrated deployment.
+//
+// Mirrors how the paper deploys scAtteR through Oakestra: each service
+// declares high-level hardware constraints (GPU required, memory
+// demand, compatible GPU architectures — container images are compiled
+// per sm architecture and are not portable across them, §3.2) and the
+// orchestrator picks a feasible machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mar::orchestra {
+
+struct ServiceSla {
+  Stage stage = Stage::kPrimary;
+  bool needs_gpu = true;
+  // Requested resident memory.
+  std::uint64_t memory_bytes = 0;
+  // GPU architectures this service's image was compiled for; empty
+  // means the image runs anywhere (e.g. the CPU-only primary).
+  std::vector<std::string> gpu_archs;
+};
+
+}  // namespace mar::orchestra

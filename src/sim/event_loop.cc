@@ -1,0 +1,55 @@
+#include "sim/event_loop.h"
+
+#include <limits>
+#include <utility>
+
+namespace mar::sim {
+
+EventId EventLoop::schedule_at(SimTime t, Callback fn) {
+  auto ev = std::make_shared<Event>();
+  ev->time = t < now_ ? now_ : t;
+  ev->seq = next_seq_++;
+  ev->fn = std::move(fn);
+  live_.emplace(ev->seq, ev);
+  queue_.push(std::move(ev));
+  return EventId{next_seq_ - 1};
+}
+
+void EventLoop::cancel(EventId id) {
+  auto it = live_.find(id.seq);
+  if (it == live_.end()) return;
+  if (auto ev = it->second.lock()) ev->cancelled = true;
+  live_.erase(it);
+}
+
+bool EventLoop::fire_next(SimTime deadline, bool bounded) {
+  while (!queue_.empty()) {
+    std::shared_ptr<Event> ev = queue_.top();
+    if (ev->cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (bounded && ev->time > deadline) return false;
+    queue_.pop();
+    live_.erase(ev->seq);
+    now_ = ev->time;
+    ev->fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventLoop::run() {
+  std::size_t fired = 0;
+  while (fire_next(std::numeric_limits<SimTime>::max(), /*bounded=*/false)) ++fired;
+  return fired;
+}
+
+std::size_t EventLoop::run_until(SimTime deadline) {
+  std::size_t fired = 0;
+  while (fire_next(deadline, /*bounded=*/true)) ++fired;
+  if (now_ < deadline) now_ = deadline;
+  return fired;
+}
+
+}  // namespace mar::sim

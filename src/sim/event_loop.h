@@ -1,0 +1,79 @@
+// Discrete-event simulation loop.
+//
+// A single-threaded virtual-time scheduler: events fire in timestamp
+// order (FIFO among equal timestamps), and `now()` jumps instantly
+// between events, so a five-minute ten-client experiment completes in
+// milliseconds of wall time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+
+namespace mar::sim {
+
+// Token for cancelling a scheduled event.
+struct EventId {
+  std::uint64_t seq = 0;
+  [[nodiscard]] bool valid() const { return seq != 0; }
+};
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // Schedule `fn` at absolute time `t` (clamped to `now()` if in the past).
+  EventId schedule_at(SimTime t, Callback fn);
+
+  // Schedule `fn` after a relative delay.
+  EventId schedule_after(SimDuration delay, Callback fn) {
+    return schedule_at(now_ + (delay > 0 ? delay : 0), std::move(fn));
+  }
+
+  // Cancel a pending event. Safe to call on already-fired or invalid ids.
+  void cancel(EventId id);
+
+  // Run until the queue drains. Returns the number of events fired.
+  std::size_t run();
+
+  // Fire events with timestamp <= deadline, then set now() = deadline.
+  std::size_t run_until(SimTime deadline);
+
+  // Number of pending (non-cancelled) events.
+  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Callback fn;
+    bool cancelled = false;
+  };
+  struct Order {
+    bool operator()(const std::shared_ptr<Event>& a, const std::shared_ptr<Event>& b) const {
+      if (a->time != b->time) return a->time > b->time;
+      return a->seq > b->seq;  // FIFO among ties
+    }
+  };
+
+  // Fires the next non-cancelled event, if any. Returns false when drained.
+  bool fire_next(SimTime deadline, bool bounded);
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::priority_queue<std::shared_ptr<Event>, std::vector<std::shared_ptr<Event>>, Order> queue_;
+  std::unordered_map<std::uint64_t, std::weak_ptr<Event>> live_;
+};
+
+}  // namespace mar::sim

@@ -1,0 +1,88 @@
+// Network link models.
+//
+// Each (src machine, dst machine) pair has a LinkModel describing
+// propagation latency, Gaussian jitter, Bernoulli loss, serialization
+// bandwidth, and the paper's mobility emulation (a +10 ms delay
+// oscillation applied with 20 % probability, §A.1.1).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace mar::sim {
+
+struct LinkModel {
+  // One-way propagation delay (RTT / 2 for symmetric links).
+  SimDuration latency = 0;
+  // Std-dev of zero-mean Gaussian jitter added per datagram.
+  SimDuration jitter_stddev = 0;
+  // Independent per-datagram loss probability in [0, 1].
+  double loss_rate = 0.0;
+  // Serialization bandwidth; <= 0 means infinite. Bandwidth is a
+  // *shared* bottleneck per link direction: concurrent senders queue
+  // behind each other (bufferbloat), and datagrams whose queueing
+  // backlog would exceed `max_queue_delay` are tail-dropped.
+  double bandwidth_bytes_per_sec = 0.0;
+  SimDuration max_queue_delay = millis(200.0);
+  // Mobility emulation: extra delay added with `oscillation_prob`.
+  SimDuration oscillation_delay = 0;
+  double oscillation_prob = 0.0;
+
+  // Loopback (intra-machine) link: effectively free, lossless.
+  static LinkModel loopback() {
+    LinkModel m;
+    m.latency = 20'000;  // 20 us kernel/loopback cost
+    return m;
+  }
+
+  // Symmetric link with the given RTT.
+  static LinkModel with_rtt(SimDuration rtt, double loss = 0.0,
+                            double bandwidth_bytes_per_sec = 0.0) {
+    LinkModel m;
+    m.latency = rtt / 2;
+    m.loss_rate = loss;
+    m.bandwidth_bytes_per_sec = bandwidth_bytes_per_sec;
+    return m;
+  }
+
+  // Whether a message of `bytes` bytes survives the link. Loss is per
+  // UDP datagram: a 250 KB frame fragments into ~180 MTU-sized packets
+  // and the frame is lost if ANY fragment is — which is why even small
+  // per-packet loss rates devastate large-frame hops (the paper's
+  // hybrid edge-cloud pathology, §A.1.2).
+  [[nodiscard]] bool survives(std::size_t bytes, Rng& rng) const {
+    if (loss_rate <= 0.0) return true;
+    const auto fragments = static_cast<double>((bytes + kMtuBytes - 1) / kMtuBytes);
+    const double survival = std::pow(1.0 - loss_rate, fragments);
+    return rng.bernoulli(survival);
+  }
+
+  static constexpr std::size_t kMtuBytes = 1400;
+
+  // Propagation + jitter + mobility delay for one datagram (the
+  // bandwidth/serialization part is handled by the network's shared
+  // per-link serializer, see SimNetwork::send).
+  [[nodiscard]] SimDuration propagation_delay(Rng& rng) const {
+    double d = static_cast<double>(latency);
+    if (jitter_stddev > 0) {
+      d += rng.gaussian(0.0, static_cast<double>(jitter_stddev));
+    }
+    if (oscillation_prob > 0.0 && rng.bernoulli(oscillation_prob)) {
+      d += static_cast<double>(oscillation_delay);
+    }
+    return std::max<SimDuration>(static_cast<SimDuration>(d), 1'000);  // >= 1 us
+  }
+
+  // Time to push `bytes` onto the wire at this link's bandwidth.
+  [[nodiscard]] SimDuration serialization_delay(std::size_t bytes) const {
+    if (bandwidth_bytes_per_sec <= 0.0) return 0;
+    return static_cast<SimDuration>(static_cast<double>(bytes) / bandwidth_bytes_per_sec *
+                                    static_cast<double>(kSecond));
+  }
+};
+
+}  // namespace mar::sim

@@ -1,0 +1,79 @@
+#include "sim/network.h"
+
+#include <utility>
+
+namespace mar::sim {
+EndpointId SimNetwork::create_endpoint(MachineId machine, DatagramHandler handler) {
+  endpoints_.push_back(Endpoint{machine, std::move(handler), /*alive=*/true});
+  return EndpointId{static_cast<std::uint32_t>(endpoints_.size() - 1)};
+}
+
+void SimNetwork::rebind(EndpointId ep, DatagramHandler handler) {
+  if (ep.value() >= endpoints_.size()) return;
+  endpoints_[ep.value()].handler = std::move(handler);
+  endpoints_[ep.value()].alive = true;
+}
+
+void SimNetwork::destroy_endpoint(EndpointId ep) {
+  if (ep.value() >= endpoints_.size()) return;
+  endpoints_[ep.value()].alive = false;
+  endpoints_[ep.value()].handler = nullptr;
+}
+
+void SimNetwork::set_link(MachineId a, MachineId b, const LinkModel& model) {
+  links_[link_key(a, b)] = model;
+  links_[link_key(b, a)] = model;
+}
+
+const LinkModel& SimNetwork::link_between(MachineId a, MachineId b) const {
+  if (a == b) {
+    static const LinkModel kLoopback = LinkModel::loopback();
+    return kLoopback;
+  }
+  auto it = links_.find(link_key(a, b));
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+void SimNetwork::send(EndpointId from, EndpointId to, wire::FramePacket pkt) {
+  if (from.value() >= endpoints_.size() || to.value() >= endpoints_.size()) return;
+  ++sent_;
+  const std::size_t bytes = pkt.wire_size();
+  bytes_ += bytes;
+  const MachineId src = endpoints_[from.value()].machine;
+  const MachineId dst_machine = endpoints_[to.value()].machine;
+  const LinkModel& link = link_between(src, dst_machine);
+  if (!link.survives(bytes, rng_)) {
+    ++lost_;
+    return;
+  }
+
+  // Shared serialization: all traffic in one link direction queues
+  // behind the same transmitter. A datagram whose queueing backlog
+  // would exceed the link's buffer budget is tail-dropped (bufferbloat
+  // followed by loss — the hybrid edge-cloud pathology).
+  SimDuration serialization = link.serialization_delay(bytes);
+  if (serialization > 0 && src != dst_machine) {
+    SimTime& next_free = tx_free_at_[link_key(src, dst_machine)];
+    const SimTime now = loop_.now();
+    const SimTime start = next_free > now ? next_free : now;
+    if (start - now > link.max_queue_delay) {
+      ++lost_;
+      return;
+    }
+    next_free = start + serialization;
+    serialization = (start - now) + serialization;
+  }
+
+  const SimDuration delay = link.propagation_delay(rng_) + serialization;
+  loop_.schedule_after(delay, [this, to, p = std::move(pkt)]() mutable {
+    Endpoint& dst = endpoints_[to.value()];
+    if (dst.alive && dst.handler) dst.handler(std::move(p));
+  });
+}
+
+MachineId SimNetwork::machine_of(EndpointId ep) const {
+  if (ep.value() >= endpoints_.size()) return MachineId::invalid();
+  return endpoints_[ep.value()].machine;
+}
+
+}  // namespace mar::sim

@@ -1,0 +1,76 @@
+// Simulated datagram network.
+//
+// Endpoints live on machines; sending resolves the (src-machine,
+// dst-machine) link model, applies loss and delay, and schedules
+// delivery on the event loop. Semantics mirror UDP: unreliable,
+// unordered under jitter, fire-and-forget.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/event_loop.h"
+#include "sim/link.h"
+#include "wire/message.h"
+
+namespace mar::sim {
+
+class SimNetwork {
+ public:
+  using DatagramHandler = std::function<void(wire::FramePacket)>;
+
+  SimNetwork(EventLoop& loop, Rng rng) : loop_(loop), rng_(rng) {}
+
+  // Register an endpoint bound to `machine`; `handler` is invoked (in
+  // virtual time) for each delivered datagram.
+  EndpointId create_endpoint(MachineId machine, DatagramHandler handler);
+
+  // Rebind an endpoint's handler (used when a service replica restarts).
+  void rebind(EndpointId ep, DatagramHandler handler);
+
+  // Remove an endpoint; in-flight datagrams to it are dropped on arrival.
+  void destroy_endpoint(EndpointId ep);
+
+  // Install a symmetric link between two machines (both directions).
+  void set_link(MachineId a, MachineId b, const LinkModel& model);
+
+  // Send `pkt` from `from` to `to`. Unknown endpoints drop silently
+  // (like UDP to a closed port).
+  void send(EndpointId from, EndpointId to, wire::FramePacket pkt);
+
+  [[nodiscard]] MachineId machine_of(EndpointId ep) const;
+
+  // Telemetry.
+  [[nodiscard]] std::uint64_t datagrams_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t datagrams_lost() const { return lost_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
+
+ private:
+  struct Endpoint {
+    MachineId machine;
+    DatagramHandler handler;
+    bool alive = true;
+  };
+
+  [[nodiscard]] const LinkModel& link_between(MachineId a, MachineId b) const;
+
+  static std::uint64_t link_key(MachineId a, MachineId b) {
+    return (static_cast<std::uint64_t>(a.value()) << 32) | b.value();
+  }
+
+  EventLoop& loop_;
+  Rng rng_;
+  std::vector<Endpoint> endpoints_;
+  std::unordered_map<std::uint64_t, LinkModel> links_;  // key: a<<32|b
+  // Per-directed-link transmitter availability (shared bandwidth).
+  std::unordered_map<std::uint64_t, SimTime> tx_free_at_;
+  LinkModel default_link_ = LinkModel::loopback();
+  std::uint64_t sent_ = 0;
+  std::uint64_t lost_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace mar::sim

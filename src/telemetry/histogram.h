@@ -1,0 +1,51 @@
+// Sample-retaining histogram with exact percentile queries.
+//
+// Experiments produce at most a few hundred thousand samples per metric,
+// so retaining them and sorting on demand is simpler and exact.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "telemetry/stats.h"
+
+namespace mar::telemetry {
+
+class Histogram {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+    acc_.add(x);
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const { return acc_.mean(); }
+  [[nodiscard]] double stddev() const { return acc_.stddev(); }
+  [[nodiscard]] double min() const { return acc_.min(); }
+  [[nodiscard]] double max() const { return acc_.max(); }
+
+  // Exact percentile (nearest-rank with linear interpolation); p in [0,100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+  // Fold another histogram's samples into this one.
+  void merge(const Histogram& other) {
+    for (double s : other.samples_) add(s);
+  }
+
+  void reset() {
+    samples_.clear();
+    acc_.reset();
+    sorted_ = false;
+  }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  Accumulator acc_;
+};
+
+}  // namespace mar::telemetry

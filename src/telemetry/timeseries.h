@@ -1,0 +1,58 @@
+// Fixed-interval bucketed time series (e.g. per-second throughput,
+// drop ratio over experiment time for the sidecar analytics figures).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/time.h"
+
+namespace mar::telemetry {
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(SimDuration bucket_width = kSecond) : width_(bucket_width) {}
+
+  // Add `value` to the bucket containing time `t`.
+  void add(SimTime t, double value = 1.0) {
+    const std::size_t idx = bucket_index(t);
+    if (idx >= sums_.size()) {
+      sums_.resize(idx + 1, 0.0);
+      counts_.resize(idx + 1, 0);
+    }
+    sums_[idx] += value;
+    ++counts_[idx];
+  }
+
+  [[nodiscard]] std::size_t buckets() const { return sums_.size(); }
+  [[nodiscard]] SimDuration bucket_width() const { return width_; }
+
+  // Sum of values in bucket i (0 if out of range).
+  [[nodiscard]] double sum_at(std::size_t i) const { return i < sums_.size() ? sums_[i] : 0.0; }
+  [[nodiscard]] std::uint64_t count_at(std::size_t i) const {
+    return i < counts_.size() ? counts_[i] : 0;
+  }
+  [[nodiscard]] double mean_at(std::size_t i) const {
+    return count_at(i) ? sum_at(i) / static_cast<double>(count_at(i)) : 0.0;
+  }
+  // Event rate (count / bucket width in seconds) — e.g. FPS.
+  [[nodiscard]] double rate_at(std::size_t i) const {
+    return static_cast<double>(count_at(i)) / to_seconds(width_);
+  }
+
+  [[nodiscard]] std::size_t bucket_index(SimTime t) const {
+    return t < 0 ? 0 : static_cast<std::size_t>(t / width_);
+  }
+
+  void reset() {
+    sums_.clear();
+    counts_.clear();
+  }
+
+ private:
+  SimDuration width_;
+  std::vector<double> sums_;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace mar::telemetry

@@ -1,0 +1,164 @@
+#include "video/scene.h"
+
+#include <cmath>
+
+namespace mar::video {
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+// Deterministic integer hash -> [0,1) (value-noise lattice).
+float hash01(int x, int y, std::uint32_t salt) {
+  std::uint32_t h = static_cast<std::uint32_t>(x) * 374761393u +
+                    static_cast<std::uint32_t>(y) * 668265263u + salt * 2246822519u;
+  h = (h ^ (h >> 13)) * 1274126177u;
+  h ^= h >> 16;
+  return static_cast<float>(h & 0xFFFFFFu) / static_cast<float>(0x1000000u);
+}
+
+// Smooth value noise at (x, y) with unit lattice.
+float value_noise(float x, float y, std::uint32_t salt) {
+  const int x0 = static_cast<int>(std::floor(x));
+  const int y0 = static_cast<int>(std::floor(y));
+  const float fx = x - static_cast<float>(x0);
+  const float fy = y - static_cast<float>(y0);
+  const float sx = fx * fx * (3.0f - 2.0f * fx);
+  const float sy = fy * fy * (3.0f - 2.0f * fy);
+  const float v00 = hash01(x0, y0, salt);
+  const float v10 = hash01(x0 + 1, y0, salt);
+  const float v01 = hash01(x0, y0 + 1, salt);
+  const float v11 = hash01(x0 + 1, y0 + 1, salt);
+  const float top = v00 * (1 - sx) + v10 * sx;
+  const float bot = v01 * (1 - sx) + v11 * sx;
+  return top * (1 - sy) + bot * sy;
+}
+
+}  // namespace
+
+WorkplaceScene::WorkplaceScene(int width, int height) : width_(width), height_(height) {
+  // Scene coordinates == frame coordinates at the neutral camera pose.
+  // A desk: table surface across the lower half, monitor upper middle,
+  // keyboard front-center.
+  placements_ = {
+      {SceneObject::kTable, 60.0f, 380.0f, 1160.0f, 300.0f},
+      {SceneObject::kMonitor, 420.0f, 90.0f, 440.0f, 280.0f},
+      {SceneObject::kKeyboard, 470.0f, 450.0f, 360.0f, 140.0f},
+  };
+}
+
+float WorkplaceScene::texture(SceneObject object, float u, float v) const {
+  // u, v in [0,1] across the object's face. Each texture mixes strong
+  // structure (edges/corners for SIFT) with fine noise.
+  switch (object) {
+    case SceneObject::kMonitor: {
+      // Dark bezel, bright "window" blocks on the screen.
+      const float bezel = 0.06f;
+      if (u < bezel || u > 1 - bezel || v < bezel || v > 1 - bezel) return 0.12f;
+      const float su = (u - bezel) / (1 - 2 * bezel);
+      const float sv = (v - bezel) / (1 - 2 * bezel);
+      // Two overlapping windows + a taskbar.
+      float val = 0.25f + 0.1f * value_noise(su * 24, sv * 24, 11);
+      if (su > 0.08f && su < 0.55f && sv > 0.1f && sv < 0.7f) {
+        val = 0.82f - 0.25f * value_noise(su * 40, sv * 40, 12);
+        if (sv < 0.16f) val = 0.55f;  // title bar
+      }
+      if (su > 0.45f && su < 0.93f && sv > 0.3f && sv < 0.85f) {
+        val = 0.68f - 0.3f * value_noise(su * 32, sv * 32, 13);
+        if (sv < 0.36f) val = 0.45f;
+      }
+      if (sv > 0.94f) val = 0.3f + 0.3f * ((std::fmod(su * 12.0f, 1.0f) < 0.5f) ? 1.0f : 0.0f);
+      return val;
+    }
+    case SceneObject::kKeyboard: {
+      // Key grid: bright keycaps with dark gaps.
+      const float cols = 14.0f, rows = 5.0f;
+      const float fu = std::fmod(u * cols, 1.0f);
+      const float fv = std::fmod(v * rows, 1.0f);
+      const bool gap = fu < 0.12f || fu > 0.88f || fv < 0.15f || fv > 0.85f;
+      if (gap) return 0.1f;
+      const int kx = static_cast<int>(u * cols);
+      const int ky = static_cast<int>(v * rows);
+      return 0.55f + 0.35f * hash01(kx, ky, 21) -
+             0.15f * value_noise(u * 60, v * 60, 22);
+    }
+    case SceneObject::kTable: {
+      // Wood: directional stripes + grain noise + strong border.
+      if (u < 0.015f || u > 0.985f || v < 0.03f || v > 0.97f) return 0.08f;
+      const float stripes = 0.5f + 0.22f * std::sin(v * 46.0f + 3.0f * value_noise(u * 6, v * 6, 31));
+      return stripes + 0.18f * value_noise(u * 90, v * 90, 32) - 0.1f;
+    }
+  }
+  return 0.0f;
+}
+
+float WorkplaceScene::background(float x, float y) const {
+  // Wall gradient with low-frequency mottling.
+  const float g = 0.35f + 0.25f * (y / static_cast<float>(height_));
+  return g + 0.06f * value_noise(x / 97.0f, y / 97.0f, 41);
+}
+
+CameraPose WorkplaceScene::camera_at(double t_seconds) const {
+  CameraPose pose;
+  const auto t = static_cast<float>(t_seconds);
+  // Smooth handheld-style pan (one slow loop per 10 s clip) + zoom sway.
+  pose.offset_x = 60.0f * std::sin(2.0f * kPi * t / 10.0f);
+  pose.offset_y = 25.0f * std::sin(2.0f * kPi * t / 7.3f + 0.9f);
+  pose.zoom = 1.0f + 0.06f * std::sin(2.0f * kPi * t / 8.1f + 2.1f);
+  return pose;
+}
+
+vision::Image WorkplaceScene::render(double t_seconds) const {
+  const CameraPose cam = camera_at(t_seconds);
+  vision::Image out(width_, height_);
+  const float cx = static_cast<float>(width_) / 2.0f;
+  const float cy = static_cast<float>(height_) / 2.0f;
+
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      // Inverse camera map: frame pixel -> scene coordinates.
+      const float sx = (static_cast<float>(x) - cx) / cam.zoom + cx + cam.offset_x;
+      const float sy = (static_cast<float>(y) - cy) / cam.zoom + cy + cam.offset_y;
+
+      float val = background(sx, sy);
+      // Later placements draw on top (monitor/keyboard over table).
+      for (const ScenePlacement& p : placements_) {
+        if (sx >= p.x && sx < p.x + p.width && sy >= p.y && sy < p.y + p.height) {
+          val = texture(p.object, (sx - p.x) / p.width, (sy - p.y) / p.height);
+        }
+      }
+      out.at(x, y) = val;
+    }
+  }
+  return out;
+}
+
+vision::Image WorkplaceScene::render_reference(SceneObject object, int width,
+                                               int height) const {
+  vision::Image out(width, height);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      out.at(x, y) = texture(object, (static_cast<float>(x) + 0.5f) / static_cast<float>(width),
+                             (static_cast<float>(y) + 0.5f) / static_cast<float>(height));
+    }
+  }
+  return out;
+}
+
+std::array<float, 4> WorkplaceScene::object_bbox_at(SceneObject object,
+                                                    double t_seconds) const {
+  const CameraPose cam = camera_at(t_seconds);
+  const float cx = static_cast<float>(width_) / 2.0f;
+  const float cy = static_cast<float>(height_) / 2.0f;
+  for (const ScenePlacement& p : placements_) {
+    if (p.object != object) continue;
+    // Scene -> frame (forward camera map).
+    const float x0 = (p.x - cam.offset_x - cx) * cam.zoom + cx;
+    const float y0 = (p.y - cam.offset_y - cy) * cam.zoom + cy;
+    const float x1 = (p.x + p.width - cam.offset_x - cx) * cam.zoom + cx;
+    const float y1 = (p.y + p.height - cam.offset_y - cy) * cam.zoom + cy;
+    return {x0, y0, x1, y1};
+  }
+  return {0, 0, 0, 0};
+}
+
+}  // namespace mar::video

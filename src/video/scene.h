@@ -1,0 +1,108 @@
+// Deterministic synthetic "workplace" video (paper §3.2: a 10 s,
+// 30 FPS, 720p clip of a desk with a monitor, keyboard, and table).
+//
+// Objects are textured planar rectangles in scene coordinates; a
+// slowly panning/zooming camera produces the frames. Reference images
+// for training come from the same texture functions, so the vision
+// pipeline (SIFT -> ... -> pose) genuinely recognizes and tracks them.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vision/image.h"
+
+namespace mar::video {
+
+enum class SceneObject : std::uint32_t {
+  kMonitor = 0,
+  kKeyboard = 1,
+  kTable = 2,
+};
+inline constexpr int kNumSceneObjects = 3;
+
+[[nodiscard]] constexpr const char* to_string(SceneObject o) {
+  switch (o) {
+    case SceneObject::kMonitor:
+      return "monitor";
+    case SceneObject::kKeyboard:
+      return "keyboard";
+    case SceneObject::kTable:
+      return "table";
+  }
+  return "?";
+}
+
+struct ScenePlacement {
+  SceneObject object;
+  float x, y;          // top-left in scene coordinates
+  float width, height;
+};
+
+struct CameraPose {
+  float offset_x = 0.0f;
+  float offset_y = 0.0f;
+  float zoom = 1.0f;
+};
+
+class WorkplaceScene {
+ public:
+  // Frame dimensions default to 720p.
+  explicit WorkplaceScene(int width = 1280, int height = 720);
+
+  // Canonical (frontal) reference image of one object, for training.
+  [[nodiscard]] vision::Image render_reference(SceneObject object, int width,
+                                               int height) const;
+
+  // Camera pose at time `t_seconds` (smooth deterministic pan + zoom).
+  [[nodiscard]] CameraPose camera_at(double t_seconds) const;
+
+  // Render the frame seen at time `t_seconds`.
+  [[nodiscard]] vision::Image render(double t_seconds) const;
+
+  // Ground truth: the object's corner positions in the frame at time t
+  // (scene rect mapped through the camera), for accuracy tests.
+  [[nodiscard]] std::array<float, 4> object_bbox_at(SceneObject object,
+                                                    double t_seconds) const;
+
+  [[nodiscard]] const std::vector<ScenePlacement>& placements() const { return placements_; }
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+
+ private:
+  [[nodiscard]] float texture(SceneObject object, float u, float v) const;
+  [[nodiscard]] float background(float x, float y) const;
+
+  int width_;
+  int height_;
+  std::vector<ScenePlacement> placements_;
+};
+
+// Replayable source: loops a fixed-length clip at a fixed framerate.
+class VideoSource {
+ public:
+  VideoSource(WorkplaceScene scene, double fps = 30.0, double clip_seconds = 10.0)
+      : scene_(std::move(scene)), fps_(fps), clip_seconds_(clip_seconds) {}
+
+  [[nodiscard]] vision::Image frame(std::uint64_t index) const {
+    const double t = static_cast<double>(index) / fps_;
+    const double looped = clip_seconds_ > 0 ? std::fmod(t, clip_seconds_) : t;
+    return scene_.render(looped);
+  }
+
+  [[nodiscard]] double fps() const { return fps_; }
+  [[nodiscard]] std::uint64_t frames_per_loop() const {
+    return static_cast<std::uint64_t>(fps_ * clip_seconds_);
+  }
+  [[nodiscard]] const WorkplaceScene& scene() const { return scene_; }
+
+ private:
+  WorkplaceScene scene_;
+  double fps_;
+  double clip_seconds_;
+};
+
+}  // namespace mar::video

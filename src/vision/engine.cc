@@ -1,0 +1,168 @@
+#include "vision/engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace mar::vision {
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+ArEngine::ArEngine(EngineParams params)
+    : params_(params),
+      rng_(params.seed),
+      detector_(params.sift),
+      fast_detector_(params.fast),
+      tracker_(params.tracker) {}
+
+FeatureList ArEngine::run_detector(const Image& image) const {
+  return params_.detector == DetectorKind::kFast ? fast_detector_.detect(image)
+                                                 : detector_.detect(image);
+}
+
+ArEngine::~ArEngine() = default;
+
+std::uint32_t ArEngine::add_reference(const std::string& label, const Image& image) {
+  Reference ref;
+  ref.id = static_cast<std::uint32_t>(references_.size());
+  ref.label = label;
+  ref.features = run_detector(image);
+  ref.width = static_cast<float>(image.width());
+  ref.height = static_cast<float>(image.height());
+  references_.push_back(std::move(ref));
+  trained_ = false;
+  return references_.back().id;
+}
+
+bool ArEngine::finalize_training() {
+  trained_ = false;
+  std::vector<std::vector<float>> all_desc;
+  for (const Reference& ref : references_) {
+    for (const Feature& f : ref.features) {
+      all_desc.emplace_back(f.descriptor.begin(), f.descriptor.end());
+    }
+  }
+  if (all_desc.size() < static_cast<std::size_t>(params_.gmm.components) * 4) return false;
+
+  pca_.fit(all_desc, params_.pca_components);
+  const auto reduced = pca_.transform(all_desc);
+  if (!gmm_.fit(reduced, params_.gmm, rng_)) return false;
+  fisher_.set_model(&gmm_);
+
+  index_ = std::make_unique<LshIndex>(fisher_.output_dim(), params_.lsh, rng_);
+  for (Reference& ref : references_) {
+    ref.fisher = fisher_.encode(reduced_descriptors(ref.features));
+    index_->insert(ref.id, ref.fisher);
+  }
+  trained_ = true;
+  return true;
+}
+
+std::vector<std::vector<float>> ArEngine::reduced_descriptors(
+    const FeatureList& features) const {
+  std::vector<std::vector<float>> out;
+  out.reserve(features.size());
+  for (const Feature& f : features) {
+    out.push_back(pca_.transform(std::vector<float>(f.descriptor.begin(), f.descriptor.end())));
+  }
+  return out;
+}
+
+Image ArEngine::preprocess(const Image& frame) const {
+  if (frame.width() <= params_.working_width) return frame;
+  const int new_h = frame.height() * params_.working_width / frame.width();
+  return resize(frame, params_.working_width, new_h);
+}
+
+ExtractedFeatures ArEngine::extract(const Image& preprocessed,
+                                    const Image& original_size_hint) const {
+  ExtractedFeatures out;
+  out.features = run_detector(preprocessed);
+  out.scale_x = preprocessed.width() > 0 ? static_cast<float>(original_size_hint.width()) /
+                                               static_cast<float>(preprocessed.width())
+                                         : 1.0f;
+  out.scale_y = preprocessed.height() > 0 ? static_cast<float>(original_size_hint.height()) /
+                                                static_cast<float>(preprocessed.height())
+                                          : 1.0f;
+  return out;
+}
+
+std::vector<float> ArEngine::encode(const FeatureList& features) const {
+  if (!trained_) return {};
+  return fisher_.encode(reduced_descriptors(features));
+}
+
+std::vector<std::uint32_t> ArEngine::lookup(const std::vector<float>& fisher) const {
+  if (!trained_ || index_ == nullptr || fisher.empty()) return {};
+  return index_->nearest(fisher, params_.nn_candidates);
+}
+
+std::vector<Detection> ArEngine::match_and_pose(const ExtractedFeatures& features,
+                                                const std::vector<std::uint32_t>& candidates) {
+  std::vector<Detection> detections;
+  for (std::uint32_t id : candidates) {
+    if (id >= references_.size()) continue;
+    const Reference& ref = references_[id];
+    const auto matches = match_features(features.features, ref.features, params_.matcher);
+    if (matches.size() < static_cast<std::size_t>(params_.ransac.min_inliers)) continue;
+
+    std::vector<Point2f> src, dst;
+    src.reserve(matches.size());
+    dst.reserve(matches.size());
+    for (const Match& m : matches) {
+      const Keypoint& rk = ref.features[static_cast<std::size_t>(m.train_index)].keypoint;
+      const Keypoint& qk = features.features[static_cast<std::size_t>(m.query_index)].keypoint;
+      src.push_back(Point2f{rk.x, rk.y});
+      dst.push_back(Point2f{qk.x * features.scale_x, qk.y * features.scale_y});
+    }
+    const auto ransac = find_homography_ransac(src, dst, params_.ransac, rng_);
+    if (!ransac) continue;
+
+    Detection det;
+    det.object_id = ref.id;
+    det.label = ref.label;
+    det.pose = ransac->homography;
+    det.corners = project_corners(ransac->homography, ref.width, ref.height);
+    det.inliers = static_cast<int>(ransac->inliers.size());
+    det.score = matches.empty()
+                    ? 0.0f
+                    : static_cast<float>(ransac->inliers.size()) / static_cast<float>(matches.size());
+    detections.push_back(std::move(det));
+  }
+  return detections;
+}
+
+FrameResult ArEngine::process(const Image& frame) {
+  FrameResult result;
+  if (!trained_) return result;
+
+  auto t0 = std::chrono::steady_clock::now();
+  const Image pre = preprocess(frame);
+  result.timings.preprocess_ms = ms_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  const ExtractedFeatures features = extract(pre, frame);
+  result.feature_count = features.features.size();
+  result.timings.extract_ms = ms_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  const std::vector<float> fisher = encode(features.features);
+  result.timings.encode_ms = ms_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  const std::vector<std::uint32_t> candidates = lookup(fisher);
+  result.timings.lookup_ms = ms_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  result.detections = match_and_pose(features, candidates);
+  result.tracks = tracker_.update(result.detections);
+  result.timings.match_ms = ms_since(t0);
+  return result;
+}
+
+}  // namespace mar::vision

@@ -1,0 +1,140 @@
+// ArEngine: the complete single-process AR pipeline — the same five
+// stages the distributed system deploys as microservices, exposed as a
+// clean library API. Examples and the live UDP demo run this for real;
+// the simulator charges calibrated costs for the identical stage graph.
+//
+//   preprocess -> extract (SIFT) -> encode (PCA+Fisher) ->
+//   lookup (LSH NN) -> match & pose (+ tracking)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "vision/fast_detector.h"
+#include "vision/fisher.h"
+#include "vision/gmm.h"
+#include "vision/image.h"
+#include "vision/lsh.h"
+#include "vision/matcher.h"
+#include "vision/pca.h"
+#include "vision/pose.h"
+#include "vision/sift.h"
+
+namespace mar::vision {
+
+// Which feature extractor backs the sift stage: classic SIFT, or the
+// fast FAST+BRIEF-style extractor (the paper's §5 "substituting SIFT
+// with a faster model" direction).
+enum class DetectorKind { kSift, kFast };
+
+struct EngineParams {
+  DetectorKind detector = DetectorKind::kSift;
+  SiftParams sift;
+  FastParams fast;
+  int working_width = 480;   // primary downscales frames to this width
+  int pca_components = 32;
+  GmmParams gmm;             // Fisher codebook
+  LshParams lsh;
+  MatcherParams matcher;
+  RansacParams ransac;
+  int nn_candidates = 2;     // reference objects shortlisted per frame
+  ObjectTracker::Params tracker;
+  std::uint64_t seed = 7;
+
+  EngineParams() {
+    gmm.components = 8;
+    sift.max_features = 400;
+    ransac.min_inliers = 8;
+  }
+};
+
+struct StageTimings {
+  double preprocess_ms = 0.0;
+  double extract_ms = 0.0;
+  double encode_ms = 0.0;
+  double lookup_ms = 0.0;
+  double match_ms = 0.0;
+  [[nodiscard]] double total_ms() const {
+    return preprocess_ms + extract_ms + encode_ms + lookup_ms + match_ms;
+  }
+};
+
+struct FrameResult {
+  std::vector<Detection> detections;
+  std::vector<ObjectTracker::Track> tracks;
+  std::size_t feature_count = 0;
+  StageTimings timings;
+};
+
+// Intermediate per-stage artifacts, exposed so the distributed example
+// can run each stage in a different process.
+struct ExtractedFeatures {
+  FeatureList features;
+  float scale_x = 1.0f;  // working -> original frame coordinates
+  float scale_y = 1.0f;
+};
+
+class ArEngine {
+ public:
+  explicit ArEngine(EngineParams params = {});
+  ~ArEngine();
+
+  ArEngine(const ArEngine&) = delete;
+  ArEngine& operator=(const ArEngine&) = delete;
+
+  // --- training -------------------------------------------------------
+  // Register a reference object; returns its object id. Call
+  // finalize_training() once after the last add.
+  std::uint32_t add_reference(const std::string& label, const Image& image);
+  // Builds PCA, the GMM codebook, per-object Fisher vectors, and the
+  // LSH index. Returns false when there is not enough feature data.
+  bool finalize_training();
+  [[nodiscard]] bool trained() const { return trained_; }
+  [[nodiscard]] std::size_t num_references() const { return references_.size(); }
+
+  // --- whole-pipeline processing ---------------------------------------
+  [[nodiscard]] FrameResult process(const Image& frame);
+
+  // --- stage-wise API (mirrors the five services) -----------------------
+  [[nodiscard]] Image preprocess(const Image& frame) const;
+  [[nodiscard]] ExtractedFeatures extract(const Image& preprocessed,
+                                          const Image& original_size_hint) const;
+  [[nodiscard]] std::vector<float> encode(const FeatureList& features) const;
+  [[nodiscard]] std::vector<std::uint32_t> lookup(const std::vector<float>& fisher) const;
+  [[nodiscard]] std::vector<Detection> match_and_pose(
+      const ExtractedFeatures& features, const std::vector<std::uint32_t>& candidates);
+
+  [[nodiscard]] const EngineParams& params() const { return params_; }
+  [[nodiscard]] ObjectTracker& tracker() { return tracker_; }
+
+ private:
+  struct Reference {
+    std::uint32_t id;
+    std::string label;
+    FeatureList features;
+    std::vector<float> fisher;
+    float width;
+    float height;
+  };
+
+  [[nodiscard]] std::vector<std::vector<float>> reduced_descriptors(
+      const FeatureList& features) const;
+  [[nodiscard]] FeatureList run_detector(const Image& image) const;
+
+  EngineParams params_;
+  mutable Rng rng_;
+  SiftDetector detector_;
+  FastDetector fast_detector_;
+  std::vector<Reference> references_;
+  Pca pca_;
+  Gmm gmm_;
+  FisherEncoder fisher_;
+  std::unique_ptr<LshIndex> index_;
+  ObjectTracker tracker_;
+  bool trained_ = false;
+};
+
+}  // namespace mar::vision

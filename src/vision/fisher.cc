@@ -1,0 +1,71 @@
+#include "vision/fisher.h"
+
+#include <cmath>
+
+namespace mar::vision {
+
+std::vector<float> FisherEncoder::encode(
+    const std::vector<std::vector<float>>& descriptors) const {
+  if (gmm_ == nullptr || gmm_->components() == 0) return {};
+  const int k = gmm_->components();
+  const int d = gmm_->dim();
+  std::vector<double> fv(static_cast<std::size_t>(2 * k * d), 0.0);
+  if (descriptors.empty()) return std::vector<float>(fv.begin(), fv.end());
+
+  const auto& means = gmm_->means();
+  const auto& vars = gmm_->variances();
+  const auto& weights = gmm_->weights();
+
+  for (const auto& x : descriptors) {
+    const std::vector<double> gamma = gmm_->posteriors(x);
+    for (int c = 0; c < k; ++c) {
+      const double g = gamma[static_cast<std::size_t>(c)];
+      if (g < 1e-8) continue;
+      for (int j = 0; j < d; ++j) {
+        const double sigma = std::sqrt(vars[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)]);
+        const double u = (x[static_cast<std::size_t>(j)] -
+                          means[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)]) /
+                         sigma;
+        fv[static_cast<std::size_t>(c * d + j)] += g * u;                    // d/d mean
+        fv[static_cast<std::size_t>(k * d + c * d + j)] += g * (u * u - 1);  // d/d sigma
+      }
+    }
+  }
+
+  // Fisher information normalization.
+  const double n = static_cast<double>(descriptors.size());
+  for (int c = 0; c < k; ++c) {
+    const double wk = weights[static_cast<std::size_t>(c)];
+    const double norm_mean = 1.0 / (n * std::sqrt(wk));
+    const double norm_sigma = 1.0 / (n * std::sqrt(2.0 * wk));
+    for (int j = 0; j < d; ++j) {
+      fv[static_cast<std::size_t>(c * d + j)] *= norm_mean;
+      fv[static_cast<std::size_t>(k * d + c * d + j)] *= norm_sigma;
+    }
+  }
+
+  // Improved FV: signed square root, then L2 normalization.
+  for (double& v : fv) v = (v >= 0 ? 1.0 : -1.0) * std::sqrt(std::fabs(v));
+  double norm = 0.0;
+  for (double v : fv) norm += v * v;
+  norm = std::sqrt(norm);
+  std::vector<float> out(fv.size());
+  for (std::size_t i = 0; i < fv.size(); ++i) {
+    out[i] = norm > 1e-12 ? static_cast<float>(fv[i] / norm) : 0.0f;
+  }
+  return out;
+}
+
+float cosine_similarity(const std::vector<float>& a, const std::vector<float>& b) {
+  if (a.size() != b.size() || a.empty()) return 0.0f;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0f;
+  return static_cast<float>(dot / std::sqrt(na * nb));
+}
+
+}  // namespace mar::vision

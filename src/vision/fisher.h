@@ -1,0 +1,35 @@
+// Fisher vector encoding (Perronnin et al., CVPR 2010) over a diagonal
+// GMM: the encoding service compresses a frame's set of PCA-reduced
+// SIFT descriptors into one fixed-length vector (2 * K * D dims),
+// with the standard power- and L2-normalization ("improved FV").
+#pragma once
+
+#include <vector>
+
+#include "vision/gmm.h"
+
+namespace mar::vision {
+
+class FisherEncoder {
+ public:
+  explicit FisherEncoder(const Gmm* gmm = nullptr) : gmm_(gmm) {}
+
+  void set_model(const Gmm* gmm) { gmm_ = gmm; }
+
+  // Encode a set of descriptors into one Fisher vector of size
+  // 2 * K * D (gradients w.r.t. means and standard deviations).
+  [[nodiscard]] std::vector<float> encode(
+      const std::vector<std::vector<float>>& descriptors) const;
+
+  [[nodiscard]] int output_dim() const {
+    return gmm_ == nullptr ? 0 : 2 * gmm_->components() * gmm_->dim();
+  }
+
+ private:
+  const Gmm* gmm_;
+};
+
+// Cosine similarity between two encoded vectors (used by retrieval).
+[[nodiscard]] float cosine_similarity(const std::vector<float>& a, const std::vector<float>& b);
+
+}  // namespace mar::vision

@@ -1,0 +1,172 @@
+#include "vision/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "vision/kmeans.h"
+
+namespace mar::vision {
+namespace {
+constexpr double kLog2Pi = 1.8378770664093453;
+}
+
+bool Gmm::fit(const std::vector<std::vector<float>>& data, const GmmParams& params, Rng& rng) {
+  weights_.clear();
+  means_.clear();
+  variances_.clear();
+  log_norms_.clear();
+  if (data.empty() || params.components <= 0 ||
+      data.size() < static_cast<std::size_t>(params.components)) {
+    return false;
+  }
+  const std::size_t n = data.size();
+  const std::size_t dim = data[0].size();
+  const auto k = static_cast<std::size_t>(params.components);
+
+  // Init from k-means.
+  KMeansParams kmp;
+  kmp.k = params.components;
+  kmp.max_iterations = 20;
+  const KMeansResult km = kmeans(data, kmp, rng);
+
+  weights_.assign(k, 1.0 / static_cast<double>(k));
+  means_.assign(k, std::vector<double>(dim, 0.0));
+  variances_.assign(k, std::vector<double>(dim, 1.0));
+  std::vector<std::size_t> counts(k, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = static_cast<std::size_t>(km.assignment[i]);
+    ++counts[c];
+    for (std::size_t d = 0; d < dim; ++d) means_[c][d] += data[i][d];
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (counts[c] == 0) {
+      for (std::size_t d = 0; d < dim; ++d) means_[c][d] = km.centers[c][d];
+      continue;
+    }
+    for (std::size_t d = 0; d < dim; ++d) means_[c][d] /= static_cast<double>(counts[c]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = static_cast<std::size_t>(km.assignment[i]);
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double diff = data[i][d] - means_[c][d];
+      variances_[c][d] += diff * diff;
+    }
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    const double denom = std::max<double>(static_cast<double>(counts[c]), 2.0);
+    for (std::size_t d = 0; d < dim; ++d) {
+      variances_[c][d] = std::max(variances_[c][d] / denom, params.variance_floor);
+    }
+    weights_[c] = std::max(static_cast<double>(counts[c]) / static_cast<double>(n), 1e-6);
+  }
+
+  auto refresh_norms = [this, dim] {
+    log_norms_.assign(weights_.size(), 0.0);
+    for (std::size_t c = 0; c < weights_.size(); ++c) {
+      double sum_log_var = 0.0;
+      for (std::size_t d = 0; d < dim; ++d) sum_log_var += std::log(variances_[c][d]);
+      log_norms_[c] = -0.5 * (static_cast<double>(dim) * kLog2Pi + sum_log_var);
+    }
+  };
+  refresh_norms();
+
+  // EM.
+  std::vector<std::vector<double>> resp(n, std::vector<double>(k, 0.0));
+  double prev_ll = -std::numeric_limits<double>::max();
+  for (int iter = 0; iter < params.max_iterations; ++iter) {
+    // E-step.
+    double total_ll = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double max_log = -std::numeric_limits<double>::max();
+      std::vector<double> logs(k);
+      for (std::size_t c = 0; c < k; ++c) {
+        logs[c] = std::log(weights_[c]) + log_gaussian(static_cast<int>(c), data[i]);
+        max_log = std::max(max_log, logs[c]);
+      }
+      double sum = 0.0;
+      for (std::size_t c = 0; c < k; ++c) sum += std::exp(logs[c] - max_log);
+      const double log_px = max_log + std::log(sum);
+      total_ll += log_px;
+      for (std::size_t c = 0; c < k; ++c) resp[i][c] = std::exp(logs[c] - log_px);
+    }
+
+    // M-step.
+    for (std::size_t c = 0; c < k; ++c) {
+      double nk = 0.0;
+      std::vector<double> mean(dim, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        nk += resp[i][c];
+        for (std::size_t d = 0; d < dim; ++d) mean[d] += resp[i][c] * data[i][d];
+      }
+      if (nk < 1e-8) continue;  // degenerate component: keep old params
+      for (std::size_t d = 0; d < dim; ++d) mean[d] /= nk;
+      std::vector<double> var(dim, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t d = 0; d < dim; ++d) {
+          const double diff = data[i][d] - mean[d];
+          var[d] += resp[i][c] * diff * diff;
+        }
+      }
+      for (std::size_t d = 0; d < dim; ++d) {
+        variances_[c][d] = std::max(var[d] / nk, params.variance_floor);
+      }
+      means_[c] = std::move(mean);
+      weights_[c] = nk / static_cast<double>(n);
+    }
+    // Renormalize weights (numerical drift).
+    double wsum = 0.0;
+    for (double w : weights_) wsum += w;
+    for (double& w : weights_) w /= wsum;
+    refresh_norms();
+
+    if (iter > 0 &&
+        std::fabs(total_ll - prev_ll) <= params.tolerance * std::fabs(prev_ll)) {
+      break;
+    }
+    prev_ll = total_ll;
+  }
+  return true;
+}
+
+double Gmm::log_gaussian(int k, const std::vector<float>& x) const {
+  const auto c = static_cast<std::size_t>(k);
+  double quad = 0.0;
+  for (std::size_t d = 0; d < means_[c].size(); ++d) {
+    const double diff = x[d] - means_[c][d];
+    quad += diff * diff / variances_[c][d];
+  }
+  return log_norms_[c] - 0.5 * quad;
+}
+
+std::vector<double> Gmm::posteriors(const std::vector<float>& x) const {
+  const std::size_t k = weights_.size();
+  std::vector<double> logs(k);
+  double max_log = -std::numeric_limits<double>::max();
+  for (std::size_t c = 0; c < k; ++c) {
+    logs[c] = std::log(weights_[c]) + log_gaussian(static_cast<int>(c), x);
+    max_log = std::max(max_log, logs[c]);
+  }
+  double sum = 0.0;
+  for (std::size_t c = 0; c < k; ++c) {
+    logs[c] = std::exp(logs[c] - max_log);
+    sum += logs[c];
+  }
+  for (double& v : logs) v /= sum;
+  return logs;
+}
+
+double Gmm::log_likelihood(const std::vector<float>& x) const {
+  const std::size_t k = weights_.size();
+  double max_log = -std::numeric_limits<double>::max();
+  std::vector<double> logs(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    logs[c] = std::log(weights_[c]) + log_gaussian(static_cast<int>(c), x);
+    max_log = std::max(max_log, logs[c]);
+  }
+  double sum = 0.0;
+  for (std::size_t c = 0; c < k; ++c) sum += std::exp(logs[c] - max_log);
+  return max_log + std::log(sum);
+}
+
+}  // namespace mar::vision

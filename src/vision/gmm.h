@@ -1,0 +1,46 @@
+// Diagonal-covariance Gaussian mixture model trained with EM,
+// initialized from k-means. The Fisher encoder differentiates the GMM
+// log-likelihood with respect to its parameters.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mar::vision {
+
+struct GmmParams {
+  int components = 16;
+  int max_iterations = 30;
+  double tolerance = 1e-4;       // relative log-likelihood improvement
+  double variance_floor = 1e-4;  // keeps the model well-conditioned
+};
+
+class Gmm {
+ public:
+  // Fit on row-major data. Returns false when the data is unusable
+  // (empty, or fewer points than components).
+  bool fit(const std::vector<std::vector<float>>& data, const GmmParams& params, Rng& rng);
+
+  // Posterior responsibilities gamma_k(x) for one point.
+  [[nodiscard]] std::vector<double> posteriors(const std::vector<float>& x) const;
+  // Log-likelihood of one point under the mixture.
+  [[nodiscard]] double log_likelihood(const std::vector<float>& x) const;
+
+  [[nodiscard]] int components() const { return static_cast<int>(weights_.size()); }
+  [[nodiscard]] int dim() const { return weights_.empty() ? 0 : static_cast<int>(means_[0].size()); }
+  [[nodiscard]] const std::vector<double>& weights() const { return weights_; }
+  [[nodiscard]] const std::vector<std::vector<double>>& means() const { return means_; }
+  [[nodiscard]] const std::vector<std::vector<double>>& variances() const { return variances_; }
+
+ private:
+  // Per-component log N(x | mean_k, var_k), diagonal covariance.
+  [[nodiscard]] double log_gaussian(int k, const std::vector<float>& x) const;
+
+  std::vector<double> weights_;
+  std::vector<std::vector<double>> means_;
+  std::vector<std::vector<double>> variances_;
+  std::vector<double> log_norms_;  // precomputed -0.5*(d*log(2pi)+sum(log var))
+};
+
+}  // namespace mar::vision

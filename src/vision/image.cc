@@ -1,0 +1,133 @@
+#include "vision/image.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace mar::vision {
+
+float Image::at_clamped(int x, int y) const {
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return at(x, y);
+}
+
+float Image::sample(float x, float y) const {
+  x = std::clamp(x, 0.0f, static_cast<float>(width_ - 1));
+  y = std::clamp(y, 0.0f, static_cast<float>(height_ - 1));
+  const int x0 = static_cast<int>(x);
+  const int y0 = static_cast<int>(y);
+  const int x1 = std::min(x0 + 1, width_ - 1);
+  const int y1 = std::min(y0 + 1, height_ - 1);
+  const float fx = x - static_cast<float>(x0);
+  const float fy = y - static_cast<float>(y0);
+  const float top = at(x0, y0) * (1.0f - fx) + at(x1, y0) * fx;
+  const float bot = at(x0, y1) * (1.0f - fx) + at(x1, y1) * fx;
+  return top * (1.0f - fy) + bot * fy;
+}
+
+Image gaussian_blur(const Image& src, float sigma) {
+  if (sigma <= 0.0f || src.empty()) return src;
+  const int radius = std::max(1, static_cast<int>(std::ceil(3.0f * sigma)));
+  std::vector<float> kernel(static_cast<std::size_t>(2 * radius + 1));
+  float sum = 0.0f;
+  for (int i = -radius; i <= radius; ++i) {
+    const float v = std::exp(-static_cast<float>(i * i) / (2.0f * sigma * sigma));
+    kernel[static_cast<std::size_t>(i + radius)] = v;
+    sum += v;
+  }
+  for (float& k : kernel) k /= sum;
+
+  const int w = src.width(), h = src.height();
+  Image tmp(w, h);
+  // Horizontal pass.
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int i = -radius; i <= radius; ++i) {
+        acc += kernel[static_cast<std::size_t>(i + radius)] * src.at_clamped(x + i, y);
+      }
+      tmp.at(x, y) = acc;
+    }
+  }
+  // Vertical pass.
+  Image out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int i = -radius; i <= radius; ++i) {
+        acc += kernel[static_cast<std::size_t>(i + radius)] * tmp.at_clamped(x, y + i);
+      }
+      out.at(x, y) = acc;
+    }
+  }
+  return out;
+}
+
+Image resize(const Image& src, int new_width, int new_height) {
+  Image out(new_width, new_height);
+  if (src.empty() || new_width <= 0 || new_height <= 0) return out;
+  const float sx = static_cast<float>(src.width()) / static_cast<float>(new_width);
+  const float sy = static_cast<float>(src.height()) / static_cast<float>(new_height);
+  for (int y = 0; y < new_height; ++y) {
+    for (int x = 0; x < new_width; ++x) {
+      out.at(x, y) = src.sample((static_cast<float>(x) + 0.5f) * sx - 0.5f,
+                                (static_cast<float>(y) + 0.5f) * sy - 0.5f);
+    }
+  }
+  return out;
+}
+
+Image half_size(const Image& src) {
+  Image out(std::max(1, src.width() / 2), std::max(1, src.height() / 2));
+  for (int y = 0; y < out.height(); ++y) {
+    for (int x = 0; x < out.width(); ++x) {
+      out.at(x, y) = src.at(std::min(2 * x, src.width() - 1), std::min(2 * y, src.height() - 1));
+    }
+  }
+  return out;
+}
+
+Image double_size(const Image& src) {
+  Image out(src.width() * 2, src.height() * 2);
+  for (int y = 0; y < out.height(); ++y) {
+    for (int x = 0; x < out.width(); ++x) {
+      out.at(x, y) = src.sample(static_cast<float>(x) / 2.0f, static_cast<float>(y) / 2.0f);
+    }
+  }
+  return out;
+}
+
+Image subtract(const Image& a, const Image& b) {
+  Image out(a.width(), a.height());
+  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] = a.data()[i] - b.data()[i];
+  return out;
+}
+
+Image from_bytes(const std::uint8_t* data, int width, int height) {
+  Image out(width, height);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = static_cast<float>(data[i]) / 255.0f;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> to_bytes(const Image& img) {
+  std::vector<std::uint8_t> out(img.size());
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>(std::clamp(img.data()[i], 0.0f, 1.0f) * 255.0f + 0.5f);
+  }
+  return out;
+}
+
+bool write_pgm(const Image& img, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fprintf(f, "P5\n%d %d\n255\n", img.width(), img.height());
+  const auto bytes = to_bytes(img);
+  const bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace mar::vision

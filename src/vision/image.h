@@ -1,0 +1,70 @@
+// Grayscale float image container and basic operations.
+//
+// The AR pipeline's primary service works on single-channel 8-bit or
+// float images; everything downstream (SIFT, tracking) is float.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mar::vision {
+
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, float fill = 0.0f)
+      : width_(width), height_(height), data_(static_cast<std::size_t>(width * height), fill) {}
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] float& at(int x, int y) {
+    return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] float at(int x, int y) const {
+    return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+  }
+  // Clamped access (border replicate).
+  [[nodiscard]] float at_clamped(int x, int y) const;
+  // Bilinear sample at floating-point coordinates (clamped).
+  [[nodiscard]] float sample(float x, float y) const;
+
+  [[nodiscard]] const std::vector<float>& data() const { return data_; }
+  [[nodiscard]] std::vector<float>& data() { return data_; }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<float> data_;
+};
+
+// --- operations --------------------------------------------------------
+
+// Separable Gaussian blur with the given sigma (kernel radius 3*sigma).
+[[nodiscard]] Image gaussian_blur(const Image& src, float sigma);
+
+// Bilinear resize to (new_width, new_height).
+[[nodiscard]] Image resize(const Image& src, int new_width, int new_height);
+
+// Downsample by 2 (every other pixel).
+[[nodiscard]] Image half_size(const Image& src);
+
+// 2x upsample (bilinear), used for SIFT's -1 octave.
+[[nodiscard]] Image double_size(const Image& src);
+
+// Per-pixel difference a - b (same dimensions required).
+[[nodiscard]] Image subtract(const Image& a, const Image& b);
+
+// Convert 8-bit buffer (row-major, single channel) to float [0,1].
+[[nodiscard]] Image from_bytes(const std::uint8_t* data, int width, int height);
+[[nodiscard]] std::vector<std::uint8_t> to_bytes(const Image& img);
+
+// Minimal PGM (P5) I/O so examples can dump inspectable frames.
+bool write_pgm(const Image& img, const std::string& path);
+
+}  // namespace mar::vision

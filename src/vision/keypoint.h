@@ -1,0 +1,39 @@
+// Keypoints and SIFT descriptors.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace mar::vision {
+
+inline constexpr int kDescriptorDim = 128;
+using Descriptor = std::array<float, kDescriptorDim>;
+
+struct Keypoint {
+  float x = 0.0f;  // image coordinates at base resolution
+  float y = 0.0f;
+  float scale = 1.0f;      // absolute scale (sigma at base resolution)
+  float angle = 0.0f;      // dominant orientation, radians in [0, 2pi)
+  float response = 0.0f;   // |DoG| at the extremum
+  int octave = 0;
+};
+
+struct Feature {
+  Keypoint keypoint;
+  Descriptor descriptor{};
+};
+
+// Euclidean distance between two descriptors.
+[[nodiscard]] inline float descriptor_distance(const Descriptor& a, const Descriptor& b) {
+  float d2 = 0.0f;
+  for (int i = 0; i < kDescriptorDim; ++i) {
+    const float d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return std::sqrt(d2);
+}
+
+using FeatureList = std::vector<Feature>;
+
+}  // namespace mar::vision

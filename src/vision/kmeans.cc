@@ -1,0 +1,102 @@
+#include "vision/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mar::vision {
+namespace {
+
+double sq_dist(const std::vector<float>& a, const std::vector<float>& b) {
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    d2 += d * d;
+  }
+  return d2;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const std::vector<std::vector<float>>& points, const KMeansParams& params,
+                    Rng& rng) {
+  KMeansResult result;
+  if (points.empty() || params.k <= 0) return result;
+  const int k = std::min<int>(params.k, static_cast<int>(points.size()));
+  const std::size_t n = points.size();
+
+  // k-means++ seeding.
+  result.centers.push_back(points[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(n) - 1))]);
+  std::vector<double> min_d2(n, std::numeric_limits<double>::max());
+  while (static_cast<int>(result.centers.size()) < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      min_d2[i] = std::min(min_d2[i], sq_dist(points[i], result.centers.back()));
+      total += min_d2[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with a center; duplicate one.
+      result.centers.push_back(points[0]);
+      continue;
+    }
+    double target = rng.next_double() * total;
+    std::size_t pick = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      target -= min_d2[i];
+      if (target <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    result.centers.push_back(points[pick]);
+  }
+
+  result.assignment.assign(n, 0);
+  double prev_inertia = std::numeric_limits<double>::max();
+  for (int iter = 0; iter < params.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assign.
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      int best_c = 0;
+      for (int c = 0; c < k; ++c) {
+        const double d2 = sq_dist(points[i], result.centers[static_cast<std::size_t>(c)]);
+        if (d2 < best) {
+          best = d2;
+          best_c = c;
+        }
+      }
+      result.assignment[i] = best_c;
+      inertia += best;
+    }
+    result.inertia = inertia;
+
+    // Update.
+    const std::size_t dim = points[0].size();
+    std::vector<std::vector<double>> sums(static_cast<std::size_t>(k),
+                                          std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(static_cast<std::size_t>(k), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<std::size_t>(result.assignment[i]);
+      ++counts[c];
+      for (std::size_t d = 0; d < dim; ++d) sums[c][d] += points[i][d];
+    }
+    for (std::size_t c = 0; c < static_cast<std::size_t>(k); ++c) {
+      if (counts[c] == 0) continue;  // keep the old center for empty clusters
+      for (std::size_t d = 0; d < dim; ++d) {
+        result.centers[c][d] = static_cast<float>(sums[c][d] / static_cast<double>(counts[c]));
+      }
+    }
+
+    if (prev_inertia < std::numeric_limits<double>::max() &&
+        std::fabs(prev_inertia - inertia) <= params.tolerance * std::max(prev_inertia, 1e-12)) {
+      break;
+    }
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+}  // namespace mar::vision

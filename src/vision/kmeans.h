@@ -1,0 +1,30 @@
+// k-means clustering (k-means++ init), used to seed the GMM for Fisher
+// encoding and as a standalone vocabulary builder.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mar::vision {
+
+struct KMeansResult {
+  // centers[k]: flattened center vectors, k * dim values.
+  std::vector<std::vector<float>> centers;
+  std::vector<int> assignment;  // per input point
+  double inertia = 0.0;         // sum of squared distances to centers
+  int iterations = 0;
+};
+
+struct KMeansParams {
+  int k = 16;
+  int max_iterations = 50;
+  double tolerance = 1e-4;  // relative inertia improvement to stop
+};
+
+// `points` is row-major: points[i] is one vector; all must share `dim`.
+[[nodiscard]] KMeansResult kmeans(const std::vector<std::vector<float>>& points,
+                                  const KMeansParams& params, Rng& rng);
+
+}  // namespace mar::vision

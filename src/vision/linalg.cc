@@ -1,0 +1,56 @@
+#include "vision/linalg.h"
+
+#include <cmath>
+
+namespace mar::vision {
+
+void jacobi_eigen_sym(std::vector<double>& a, int n, std::vector<double>& values,
+                      std::vector<double>& vectors) {
+  vectors.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) vectors[static_cast<std::size_t>(i) * n + i] = 1.0;
+
+  auto A = [&a, n](int r, int c) -> double& { return a[static_cast<std::size_t>(r) * n + c]; };
+  auto V = [&vectors, n](int r, int c) -> double& {
+    return vectors[static_cast<std::size_t>(r) * n + c];
+  };
+
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    double off = 0.0;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) off += A(p, q) * A(p, q);
+    }
+    if (off < 1e-18) break;
+
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = A(p, q);
+        if (std::fabs(apq) < 1e-30) continue;
+        const double theta = (A(q, q) - A(p, p)) / (2.0 * apq);
+        const double t =
+            (theta >= 0 ? 1.0 : -1.0) / (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (int i = 0; i < n; ++i) {
+          const double aip = A(i, p), aiq = A(i, q);
+          A(i, p) = c * aip - s * aiq;
+          A(i, q) = s * aip + c * aiq;
+        }
+        for (int i = 0; i < n; ++i) {
+          const double api = A(p, i), aqi = A(q, i);
+          A(p, i) = c * api - s * aqi;
+          A(q, i) = s * api + c * aqi;
+        }
+        for (int i = 0; i < n; ++i) {
+          const double vip = V(i, p), viq = V(i, q);
+          V(i, p) = c * vip - s * viq;
+          V(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+  values.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) values[static_cast<std::size_t>(i)] = A(i, i);
+}
+
+}  // namespace mar::vision

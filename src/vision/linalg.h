@@ -1,0 +1,15 @@
+// Small dense linear-algebra helpers shared by PCA and homography
+// estimation: symmetric eigen-decomposition via cyclic Jacobi.
+#pragma once
+
+#include <vector>
+
+namespace mar::vision {
+
+// Eigen-decomposition of a symmetric n x n matrix `a` (row-major;
+// destroyed in place). On return `values[i]` holds the i-th eigenvalue
+// (unsorted) and column i of `vectors` the matching eigenvector.
+void jacobi_eigen_sym(std::vector<double>& a, int n, std::vector<double>& values,
+                      std::vector<double>& vectors);
+
+}  // namespace mar::vision

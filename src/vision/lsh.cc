@@ -1,0 +1,80 @@
+#include "vision/lsh.h"
+
+#include <algorithm>
+
+#include "vision/fisher.h"
+
+namespace mar::vision {
+
+LshIndex::LshIndex(int dim, LshParams params, Rng& rng) : dim_(dim), params_(params) {
+  const int total = params_.tables * params_.bits_per_table;
+  hyperplanes_.reserve(static_cast<std::size_t>(total));
+  for (int i = 0; i < total; ++i) {
+    std::vector<float> plane(static_cast<std::size_t>(dim_));
+    for (float& v : plane) v = static_cast<float>(rng.next_gaussian());
+    hyperplanes_.push_back(std::move(plane));
+  }
+  buckets_.resize(static_cast<std::size_t>(params_.tables));
+}
+
+std::uint64_t LshIndex::hash_in_table(int table, const std::vector<float>& v) const {
+  std::uint64_t h = 0;
+  for (int b = 0; b < params_.bits_per_table; ++b) {
+    const auto& plane = hyperplanes_[static_cast<std::size_t>(table * params_.bits_per_table + b)];
+    double dot = 0.0;
+    const std::size_t n = std::min(v.size(), plane.size());
+    for (std::size_t i = 0; i < n; ++i) dot += static_cast<double>(v[i]) * plane[i];
+    h = (h << 1) | (dot >= 0.0 ? 1u : 0u);
+  }
+  return h;
+}
+
+void LshIndex::insert(std::uint32_t id, const std::vector<float>& v) {
+  for (int t = 0; t < params_.tables; ++t) {
+    buckets_[static_cast<std::size_t>(t)][hash_in_table(t, v)].push_back(id);
+  }
+  items_[id] = v;
+}
+
+std::vector<LshIndex::Candidate> LshIndex::query(const std::vector<float>& v) const {
+  std::unordered_map<std::uint32_t, int> counts;
+  for (int t = 0; t < params_.tables; ++t) {
+    const auto it = buckets_[static_cast<std::size_t>(t)].find(hash_in_table(t, v));
+    if (it == buckets_[static_cast<std::size_t>(t)].end()) continue;
+    for (std::uint32_t id : it->second) ++counts[id];
+  }
+  std::vector<Candidate> out;
+  out.reserve(counts.size());
+  for (const auto& [id, c] : counts) out.push_back(Candidate{id, c});
+  std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.collisions != b.collisions) return a.collisions > b.collisions;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+std::vector<std::uint32_t> LshIndex::nearest(const std::vector<float>& v, int k) const {
+  std::vector<std::pair<float, std::uint32_t>> scored;
+  const auto candidates = query(v);
+  if (!candidates.empty()) {
+    for (const Candidate& c : candidates) {
+      scored.emplace_back(cosine_similarity(items_.at(c.id), v), c.id);
+    }
+  } else {
+    // Degenerate case: no bucket collisions; scan everything.
+    for (const auto& [id, item] : items_) {
+      scored.emplace_back(cosine_similarity(item, v), id);
+    }
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < scored.size() && static_cast<int>(i) < k; ++i) {
+    out.push_back(scored[i].second);
+  }
+  return out;
+}
+
+}  // namespace mar::vision

@@ -1,0 +1,54 @@
+// Locality-sensitive hashing with random hyperplanes (sign hashes):
+// the lsh service maps Fisher vectors into hash tables to shortlist
+// nearest-neighbour reference objects for the matching service.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mar::vision {
+
+struct LshParams {
+  int tables = 8;          // independent hash tables
+  int bits_per_table = 12;  // hyperplanes per table
+};
+
+class LshIndex {
+ public:
+  // `dim` is the vector dimensionality (e.g. the Fisher vector size).
+  LshIndex(int dim, LshParams params, Rng& rng);
+
+  // Insert a vector under an integer item id.
+  void insert(std::uint32_t id, const std::vector<float>& v);
+
+  // Candidate ids whose buckets collide with v in any table, with
+  // collision counts (more tables agreeing = stronger candidate),
+  // sorted by descending count.
+  struct Candidate {
+    std::uint32_t id;
+    int collisions;
+  };
+  [[nodiscard]] std::vector<Candidate> query(const std::vector<float>& v) const;
+
+  // Exact top-k by cosine similarity among LSH candidates; falls back
+  // to a linear scan when the tables return nothing.
+  [[nodiscard]] std::vector<std::uint32_t> nearest(const std::vector<float>& v, int k) const;
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] int dim() const { return dim_; }
+
+ private:
+  [[nodiscard]] std::uint64_t hash_in_table(int table, const std::vector<float>& v) const;
+
+  int dim_;
+  LshParams params_;
+  // hyperplanes_[t * bits + b] is one plane normal of length dim_.
+  std::vector<std::vector<float>> hyperplanes_;
+  std::vector<std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>> buckets_;
+  std::unordered_map<std::uint32_t, std::vector<float>> items_;
+};
+
+}  // namespace mar::vision

@@ -1,0 +1,32 @@
+#include "vision/matcher.h"
+
+#include <limits>
+
+namespace mar::vision {
+
+std::vector<Match> match_features(const FeatureList& query, const FeatureList& train,
+                                  const MatcherParams& params) {
+  std::vector<Match> matches;
+  if (train.size() < 2) return matches;
+  for (std::size_t qi = 0; qi < query.size(); ++qi) {
+    float best = std::numeric_limits<float>::max();
+    float second = std::numeric_limits<float>::max();
+    int best_ti = -1;
+    for (std::size_t ti = 0; ti < train.size(); ++ti) {
+      const float d = descriptor_distance(query[qi].descriptor, train[ti].descriptor);
+      if (d < best) {
+        second = best;
+        best = d;
+        best_ti = static_cast<int>(ti);
+      } else if (d < second) {
+        second = d;
+      }
+    }
+    if (best_ti >= 0 && best <= params.max_distance && best < params.ratio * second) {
+      matches.push_back(Match{static_cast<int>(qi), best_ti, best});
+    }
+  }
+  return matches;
+}
+
+}  // namespace mar::vision

@@ -1,0 +1,27 @@
+// Descriptor matching with Lowe's ratio test: the matching service
+// correlates frame features with a shortlisted reference object.
+#pragma once
+
+#include <vector>
+
+#include "vision/keypoint.h"
+
+namespace mar::vision {
+
+struct Match {
+  int query_index = 0;  // index into the query FeatureList
+  int train_index = 0;  // index into the reference FeatureList
+  float distance = 0.0f;
+};
+
+struct MatcherParams {
+  float ratio = 0.75f;      // best/second-best distance ratio
+  float max_distance = 0.7f;  // absolute distance cutoff
+};
+
+// Brute-force nearest + second-nearest with the ratio test.
+[[nodiscard]] std::vector<Match> match_features(const FeatureList& query,
+                                                const FeatureList& train,
+                                                const MatcherParams& params = {});
+
+}  // namespace mar::vision

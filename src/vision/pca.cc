@@ -1,0 +1,105 @@
+#include "vision/pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "vision/linalg.h"
+
+namespace mar::vision {
+
+void Pca::fit(const std::vector<std::vector<float>>& data, int components) {
+  mean_.clear();
+  basis_.clear();
+  eigenvalues_.clear();
+  total_variance_ = 0.0;
+  if (data.empty()) return;
+  const int dim = static_cast<int>(data[0].size());
+  components = std::clamp(components, 1, dim);
+  const double n = static_cast<double>(data.size());
+
+  mean_.assign(static_cast<std::size_t>(dim), 0.0f);
+  for (const auto& row : data) {
+    for (int d = 0; d < dim; ++d) mean_[static_cast<std::size_t>(d)] += row[static_cast<std::size_t>(d)];
+  }
+  for (float& m : mean_) m = static_cast<float>(m / n);
+
+  // Covariance (upper triangle mirrored).
+  std::vector<double> cov(static_cast<std::size_t>(dim) * static_cast<std::size_t>(dim), 0.0);
+  for (const auto& row : data) {
+    for (int i = 0; i < dim; ++i) {
+      const double xi = row[static_cast<std::size_t>(i)] - mean_[static_cast<std::size_t>(i)];
+      for (int j = i; j < dim; ++j) {
+        const double xj = row[static_cast<std::size_t>(j)] - mean_[static_cast<std::size_t>(j)];
+        cov[static_cast<std::size_t>(i) * dim + j] += xi * xj;
+      }
+    }
+  }
+  const double denom = std::max(n - 1.0, 1.0);
+  for (int i = 0; i < dim; ++i) {
+    for (int j = i; j < dim; ++j) {
+      const double v = cov[static_cast<std::size_t>(i) * dim + j] / denom;
+      cov[static_cast<std::size_t>(i) * dim + j] = v;
+      cov[static_cast<std::size_t>(j) * dim + i] = v;
+    }
+  }
+  for (int i = 0; i < dim; ++i) total_variance_ += cov[static_cast<std::size_t>(i) * dim + i];
+
+  std::vector<double> values, vecs;
+  jacobi_eigen_sym(cov, dim, values, vecs);
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<int> order(static_cast<std::size_t>(dim));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&values](int a, int b) { return values[static_cast<std::size_t>(a)] > values[static_cast<std::size_t>(b)]; });
+
+  basis_.reserve(static_cast<std::size_t>(components));
+  eigenvalues_.reserve(static_cast<std::size_t>(components));
+  for (int c = 0; c < components; ++c) {
+    const int col = order[static_cast<std::size_t>(c)];
+    std::vector<float> vec(static_cast<std::size_t>(dim));
+    for (int r = 0; r < dim; ++r) {
+      vec[static_cast<std::size_t>(r)] = static_cast<float>(vecs[static_cast<std::size_t>(r) * dim + col]);
+    }
+    basis_.push_back(std::move(vec));
+    eigenvalues_.push_back(static_cast<float>(std::max(values[static_cast<std::size_t>(col)], 0.0)));
+  }
+}
+
+std::vector<float> Pca::transform(const std::vector<float>& x) const {
+  std::vector<float> out(basis_.size(), 0.0f);
+  for (std::size_t c = 0; c < basis_.size(); ++c) {
+    double acc = 0.0;
+    for (std::size_t d = 0; d < mean_.size(); ++d) {
+      acc += static_cast<double>(x[d] - mean_[d]) * basis_[c][d];
+    }
+    out[c] = static_cast<float>(acc);
+  }
+  return out;
+}
+
+std::vector<std::vector<float>> Pca::transform(
+    const std::vector<std::vector<float>>& data) const {
+  std::vector<std::vector<float>> out;
+  out.reserve(data.size());
+  for (const auto& row : data) out.push_back(transform(row));
+  return out;
+}
+
+std::vector<float> Pca::inverse_transform(const std::vector<float>& z) const {
+  std::vector<float> out(mean_.begin(), mean_.end());
+  for (std::size_t c = 0; c < basis_.size() && c < z.size(); ++c) {
+    for (std::size_t d = 0; d < out.size(); ++d) out[d] += z[c] * basis_[c][d];
+  }
+  return out;
+}
+
+double Pca::explained_variance_ratio() const {
+  if (total_variance_ <= 0.0) return 0.0;
+  double kept = 0.0;
+  for (float v : eigenvalues_) kept += v;
+  return kept / total_variance_;
+}
+
+}  // namespace mar::vision

@@ -1,0 +1,43 @@
+// Principal component analysis for descriptor compression (the
+// encoding service reduces 128-d SIFT descriptors before Fisher
+// encoding, following Perronnin et al. 2010).
+//
+// Eigen-decomposition of the covariance matrix via cyclic Jacobi
+// rotations — exact, dependency-free, and fast enough for the 128x128
+// matrices involved.
+#pragma once
+
+#include <vector>
+
+namespace mar::vision {
+
+class Pca {
+ public:
+  // Fit on row-major data (each inner vector is one sample). Keeps the
+  // top `components` principal directions.
+  void fit(const std::vector<std::vector<float>>& data, int components);
+
+  // Project one vector (must match the training dimension).
+  [[nodiscard]] std::vector<float> transform(const std::vector<float>& x) const;
+  [[nodiscard]] std::vector<std::vector<float>> transform(
+      const std::vector<std::vector<float>>& data) const;
+
+  // Reconstruct from the reduced space back to the original dimension.
+  [[nodiscard]] std::vector<float> inverse_transform(const std::vector<float>& z) const;
+
+  [[nodiscard]] bool fitted() const { return !basis_.empty(); }
+  [[nodiscard]] int input_dim() const { return static_cast<int>(mean_.size()); }
+  [[nodiscard]] int output_dim() const { return static_cast<int>(basis_.size()); }
+  // Eigenvalues of the kept components, descending.
+  [[nodiscard]] const std::vector<float>& explained_variance() const { return eigenvalues_; }
+  // Fraction of total variance captured by the kept components.
+  [[nodiscard]] double explained_variance_ratio() const;
+
+ private:
+  std::vector<float> mean_;
+  std::vector<std::vector<float>> basis_;  // basis_[c] = c-th eigenvector
+  std::vector<float> eigenvalues_;
+  double total_variance_ = 0.0;
+};
+
+}  // namespace mar::vision

@@ -1,0 +1,64 @@
+#include "vision/pose.h"
+
+#include <cmath>
+
+namespace mar::vision {
+
+std::array<Point2f, 4> project_corners(const Homography& pose, float width, float height) {
+  return {pose.apply({0.0f, 0.0f}), pose.apply({width, 0.0f}), pose.apply({width, height}),
+          pose.apply({0.0f, height})};
+}
+
+const std::vector<ObjectTracker::Track>& ObjectTracker::update(
+    const std::vector<Detection>& detections) {
+  std::vector<bool> used(detections.size(), false);
+
+  for (Track& track : tracks_) {
+    // Find the closest unused detection of the same object.
+    int best = -1;
+    float best_dist = params_.max_center_jump;
+    const Point2f tc = track.detection.center();
+    for (std::size_t i = 0; i < detections.size(); ++i) {
+      if (used[i] || detections[i].object_id != track.detection.object_id) continue;
+      const Point2f dc = detections[i].center();
+      const float dist = std::hypot(dc.x - tc.x, dc.y - tc.y);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best >= 0) {
+      used[static_cast<std::size_t>(best)] = true;
+      const Detection& d = detections[static_cast<std::size_t>(best)];
+      const float a = params_.smoothing;
+      for (int c = 0; c < 4; ++c) {
+        auto& tc2 = track.detection.corners[static_cast<std::size_t>(c)];
+        const auto& dc2 = d.corners[static_cast<std::size_t>(c)];
+        tc2.x = a * tc2.x + (1.0f - a) * dc2.x;
+        tc2.y = a * tc2.y + (1.0f - a) * dc2.y;
+      }
+      track.detection.pose = d.pose;
+      track.detection.inliers = d.inliers;
+      track.detection.score = d.score;
+      track.missed = 0;
+    } else {
+      ++track.missed;
+    }
+    ++track.age;
+  }
+
+  // New tracks for unmatched detections.
+  for (std::size_t i = 0; i < detections.size(); ++i) {
+    if (used[i]) continue;
+    Track t;
+    t.track_id = next_track_id_++;
+    t.detection = detections[i];
+    tracks_.push_back(std::move(t));
+  }
+
+  // Expire stale tracks.
+  std::erase_if(tracks_, [this](const Track& t) { return t.missed > params_.max_missed; });
+  return tracks_;
+}
+
+}  // namespace mar::vision

@@ -1,0 +1,73 @@
+// Object pose (planar) and cross-frame tracking.
+//
+// matching projects the reference object's corners through the
+// estimated homography to obtain the frame bounding quad, and the
+// tracker smooths/associates detections across frames (the "tracking
+// objects across multiple frames" half of the pipeline's job).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "vision/homography.h"
+
+namespace mar::vision {
+
+struct Detection {
+  std::uint32_t object_id = 0;
+  std::string label;
+  std::array<Point2f, 4> corners{};  // projected reference quad, clockwise
+  Homography pose;                   // reference -> frame
+  int inliers = 0;
+  float score = 0.0f;  // inlier ratio
+
+  [[nodiscard]] Point2f center() const {
+    Point2f c;
+    for (const Point2f& p : corners) {
+      c.x += p.x / 4.0f;
+      c.y += p.y / 4.0f;
+    }
+    return c;
+  }
+};
+
+// Project the rectangle (0,0)-(w,h) through `pose`.
+[[nodiscard]] std::array<Point2f, 4> project_corners(const Homography& pose, float width,
+                                                     float height);
+
+// Simple IoU-free tracker: detections associate to tracks of the same
+// object id by center distance; corners are exponentially smoothed;
+// tracks expire after `max_missed` frames without support.
+class ObjectTracker {
+ public:
+  struct Params {
+    float smoothing = 0.6f;       // weight of the previous estimate
+    float max_center_jump = 120.0f;  // px; larger jumps start a new track
+    int max_missed = 10;
+  };
+
+  struct Track {
+    std::uint64_t track_id = 0;
+    Detection detection;
+    int age = 0;     // frames since track start
+    int missed = 0;  // consecutive frames without a matching detection
+  };
+
+  ObjectTracker() : ObjectTracker(Params{}) {}
+  explicit ObjectTracker(Params params) : params_(params) {}
+
+  // Feed one frame's detections; returns the updated live tracks.
+  const std::vector<Track>& update(const std::vector<Detection>& detections);
+
+  [[nodiscard]] const std::vector<Track>& tracks() const { return tracks_; }
+  void reset() { tracks_.clear(); }
+
+ private:
+  Params params_;
+  std::vector<Track> tracks_;
+  std::uint64_t next_track_id_ = 1;
+};
+
+}  // namespace mar::vision

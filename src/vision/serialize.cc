@@ -1,0 +1,117 @@
+#include "vision/serialize.h"
+
+#include "common/bytes.h"
+
+namespace mar::vision {
+
+std::vector<std::uint8_t> serialize_features(const FeatureList& features) {
+  ByteWriter w(16 + features.size() * (24 + kDescriptorDim * 4));
+  w.put_u32(static_cast<std::uint32_t>(features.size()));
+  for (const Feature& f : features) {
+    w.put_f32(f.keypoint.x);
+    w.put_f32(f.keypoint.y);
+    w.put_f32(f.keypoint.scale);
+    w.put_f32(f.keypoint.angle);
+    w.put_f32(f.keypoint.response);
+    w.put_u32(static_cast<std::uint32_t>(f.keypoint.octave));
+    for (float d : f.descriptor) w.put_f32(d);
+  }
+  return std::move(w).take();
+}
+
+std::optional<FeatureList> parse_features(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  const std::uint32_t n = r.get_u32();
+  if (!r.ok() || n > 1'000'000) return std::nullopt;
+  FeatureList out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Feature f;
+    f.keypoint.x = r.get_f32();
+    f.keypoint.y = r.get_f32();
+    f.keypoint.scale = r.get_f32();
+    f.keypoint.angle = r.get_f32();
+    f.keypoint.response = r.get_f32();
+    f.keypoint.octave = static_cast<int>(r.get_u32());
+    for (float& d : f.descriptor) d = r.get_f32();
+    if (!r.ok()) return std::nullopt;
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> serialize_floats(const std::vector<float>& v) {
+  ByteWriter w(4 + v.size() * 4);
+  w.put_u32(static_cast<std::uint32_t>(v.size()));
+  for (float x : v) w.put_f32(x);
+  return std::move(w).take();
+}
+
+std::optional<std::vector<float>> parse_floats(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  const std::uint32_t n = r.get_u32();
+  if (!r.ok() || n > 10'000'000) return std::nullopt;
+  std::vector<float> out(n);
+  for (float& x : out) x = r.get_f32();
+  if (!r.ok()) return std::nullopt;
+  return out;
+}
+
+std::vector<std::uint8_t> serialize_ids(const std::vector<std::uint32_t>& ids) {
+  ByteWriter w(4 + ids.size() * 4);
+  w.put_u32(static_cast<std::uint32_t>(ids.size()));
+  for (std::uint32_t id : ids) w.put_u32(id);
+  return std::move(w).take();
+}
+
+std::optional<std::vector<std::uint32_t>> parse_ids(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  const std::uint32_t n = r.get_u32();
+  if (!r.ok() || n > 1'000'000) return std::nullopt;
+  std::vector<std::uint32_t> out(n);
+  for (std::uint32_t& id : out) id = r.get_u32();
+  if (!r.ok()) return std::nullopt;
+  return out;
+}
+
+std::vector<std::uint8_t> serialize_detections(const std::vector<Detection>& detections) {
+  ByteWriter w(4 + detections.size() * 128);
+  w.put_u32(static_cast<std::uint32_t>(detections.size()));
+  for (const Detection& d : detections) {
+    w.put_u32(d.object_id);
+    w.put_string(d.label);
+    for (const Point2f& c : d.corners) {
+      w.put_f32(c.x);
+      w.put_f32(c.y);
+    }
+    for (double h : d.pose.h) w.put_f64(h);
+    w.put_u32(static_cast<std::uint32_t>(d.inliers));
+    w.put_f32(d.score);
+  }
+  return std::move(w).take();
+}
+
+std::optional<std::vector<Detection>> parse_detections(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  const std::uint32_t n = r.get_u32();
+  if (!r.ok() || n > 100'000) return std::nullopt;
+  std::vector<Detection> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Detection d;
+    d.object_id = r.get_u32();
+    d.label = r.get_string();
+    for (Point2f& c : d.corners) {
+      c.x = r.get_f32();
+      c.y = r.get_f32();
+    }
+    for (double& h : d.pose.h) h = r.get_f64();
+    d.inliers = static_cast<int>(r.get_u32());
+    d.score = r.get_f32();
+    if (!r.ok()) return std::nullopt;
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace mar::vision

@@ -1,0 +1,32 @@
+// Payload (de)serialization for the live distributed pipeline: feature
+// lists, Fisher vectors, NN candidate lists, and detections travel as
+// FramePacket payloads between real services.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "vision/keypoint.h"
+#include "vision/pose.h"
+
+namespace mar::vision {
+
+[[nodiscard]] std::vector<std::uint8_t> serialize_features(const FeatureList& features);
+[[nodiscard]] std::optional<FeatureList> parse_features(std::span<const std::uint8_t> bytes);
+
+[[nodiscard]] std::vector<std::uint8_t> serialize_floats(const std::vector<float>& v);
+[[nodiscard]] std::optional<std::vector<float>> parse_floats(
+    std::span<const std::uint8_t> bytes);
+
+[[nodiscard]] std::vector<std::uint8_t> serialize_ids(const std::vector<std::uint32_t>& ids);
+[[nodiscard]] std::optional<std::vector<std::uint32_t>> parse_ids(
+    std::span<const std::uint8_t> bytes);
+
+[[nodiscard]] std::vector<std::uint8_t> serialize_detections(
+    const std::vector<Detection>& detections);
+[[nodiscard]] std::optional<std::vector<Detection>> parse_detections(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace mar::vision

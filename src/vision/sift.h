@@ -1,0 +1,40 @@
+// SIFT feature detector and descriptor (Lowe 2004), from scratch.
+//
+// Pipeline: Gaussian scale-space pyramid -> difference-of-Gaussians ->
+// 3x3x3 extrema -> quadratic subpixel refinement with contrast and
+// edge-response rejection -> gradient-orientation histogram for the
+// dominant angle(s) -> 4x4x8 gradient descriptor with trilinear
+// binning, clipped at 0.2 and renormalized.
+#pragma once
+
+#include <vector>
+
+#include "vision/image.h"
+#include "vision/keypoint.h"
+
+namespace mar::vision {
+
+struct SiftParams {
+  int octaves = 4;                 // capped further by image size
+  int scales_per_octave = 3;       // s: DoG layers used for extrema
+  float base_sigma = 1.6f;
+  float contrast_threshold = 0.03f;
+  float edge_threshold = 10.0f;    // Hessian ratio limit
+  bool upsample_first_octave = false;
+  int max_features = 800;          // keep strongest N (0 = unlimited)
+};
+
+class SiftDetector {
+ public:
+  explicit SiftDetector(SiftParams params = {}) : params_(params) {}
+
+  // Detect keypoints and compute descriptors for a grayscale image.
+  [[nodiscard]] FeatureList detect(const Image& image) const;
+
+  [[nodiscard]] const SiftParams& params() const { return params_; }
+
+ private:
+  SiftParams params_;
+};
+
+}  // namespace mar::vision

@@ -1,0 +1,67 @@
+#include "wire/message.h"
+
+namespace mar::wire {
+namespace {
+constexpr std::uint8_t kMagic = 0xA7;
+constexpr std::uint8_t kVersion = 1;
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const FramePacket& pkt) {
+  ByteWriter w(FramePacket::kHeaderWireBytes + pkt.hops.size() * FramePacket::kHopWireBytes +
+               pkt.payload.size() + 16);
+  w.put_u8(kMagic);
+  w.put_u8(kVersion);
+  w.put_u32(pkt.header.client.value());
+  w.put_u64(pkt.header.frame.value());
+  w.put_u8(static_cast<std::uint8_t>(pkt.header.stage));
+  w.put_u8(static_cast<std::uint8_t>(pkt.header.kind));
+  w.put_i64(pkt.header.capture_ts);
+  w.put_u32(pkt.header.client_endpoint.value());
+  w.put_u32(pkt.header.reply_to.value());
+  w.put_u32(pkt.header.sift_instance.value());
+  w.put_u32(pkt.header.payload_bytes);
+  w.put_u8(pkt.header.carries_state ? 1 : 0);
+  w.put_u8(pkt.header.match_ok ? 1 : 0);
+  w.put_u16(static_cast<std::uint16_t>(pkt.hops.size()));
+  for (const HopRecord& h : pkt.hops) {
+    w.put_u8(static_cast<std::uint8_t>(h.stage));
+    w.put_i64(h.queue_time);
+    w.put_i64(h.process_time);
+  }
+  w.put_u32(static_cast<std::uint32_t>(pkt.payload.size()));
+  w.put_bytes(pkt.payload);
+  return std::move(w).take();
+}
+
+std::optional<FramePacket> parse(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  if (r.get_u8() != kMagic || r.get_u8() != kVersion) return std::nullopt;
+  FramePacket pkt;
+  pkt.header.client = ClientId{r.get_u32()};
+  pkt.header.frame = FrameId{r.get_u64()};
+  pkt.header.stage = static_cast<Stage>(r.get_u8());
+  pkt.header.kind = static_cast<MessageKind>(r.get_u8());
+  pkt.header.capture_ts = r.get_i64();
+  pkt.header.client_endpoint = EndpointId{r.get_u32()};
+  pkt.header.reply_to = EndpointId{r.get_u32()};
+  pkt.header.sift_instance = InstanceId{r.get_u32()};
+  pkt.header.payload_bytes = r.get_u32();
+  pkt.header.carries_state = r.get_u8() != 0;
+  pkt.header.match_ok = r.get_u8() != 0;
+  const std::uint16_t n_hops = r.get_u16();
+  pkt.hops.reserve(n_hops);
+  for (std::uint16_t i = 0; i < n_hops; ++i) {
+    HopRecord h;
+    h.stage = static_cast<Stage>(r.get_u8());
+    h.queue_time = r.get_i64();
+    h.process_time = r.get_i64();
+    pkt.hops.push_back(h);
+  }
+  const std::uint32_t n_payload = r.get_u32();
+  if (n_payload > r.remaining()) return std::nullopt;
+  pkt.payload = r.get_bytes(n_payload);
+  if (!r.ok()) return std::nullopt;
+  return pkt;
+}
+
+}  // namespace mar::wire

@@ -1,0 +1,120 @@
+// Wire format for inter-service datagrams.
+//
+// Every message travelling between the client and the five pipeline
+// services is a FramePacket: a fixed header carrying routing state
+// (client id, frame number, current pipeline step, return address --
+// exactly the fields the paper lists as intermediary results), a list of
+// per-hop telemetry records (the sidecar metrics scAtteR++ attaches to
+// the data's state), and an opaque payload.
+//
+// In the simulator the payload is usually absent and only
+// `payload_bytes` (the modeled on-wire size) matters; in live mode the
+// payload holds real serialized feature data and `payload_bytes` must
+// equal `payload.size()`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/time.h"
+#include "common/types.h"
+
+namespace mar::wire {
+
+// What a datagram means to the receiving service.
+enum class MessageKind : std::uint8_t {
+  // A frame (or derived feature data) moving down the pipeline.
+  kFrameData = 0,
+  // matching -> sift: request the stored features for a frame (scAtteR).
+  kStateFetchRequest = 1,
+  // sift -> matching: stored features (scAtteR).
+  kStateFetchResponse = 2,
+  // matching -> client: final augmented result.
+  kResult = 3,
+};
+
+[[nodiscard]] constexpr const char* to_string(MessageKind k) {
+  switch (k) {
+    case MessageKind::kFrameData:
+      return "frame_data";
+    case MessageKind::kStateFetchRequest:
+      return "state_fetch_req";
+    case MessageKind::kStateFetchResponse:
+      return "state_fetch_resp";
+    case MessageKind::kResult:
+      return "result";
+  }
+  return "?";
+}
+
+// One sidecar/service hop record (scAtteR++ telemetry carried in-band).
+struct HopRecord {
+  Stage stage = Stage::kPrimary;
+  SimDuration queue_time = 0;    // time spent in the sidecar queue
+  SimDuration process_time = 0;  // service compute time
+};
+
+struct FrameHeader {
+  ClientId client;
+  FrameId frame;
+  Stage stage = Stage::kPrimary;  // pipeline step this message targets
+  MessageKind kind = MessageKind::kFrameData;
+  // Capture timestamp at the client; basis for E2E latency and the
+  // scAtteR++ staleness threshold.
+  SimTime capture_ts = 0;
+  // Return address for the final result.
+  EndpointId client_endpoint;
+  // Reply address for request/response exchanges (state fetches).
+  EndpointId reply_to;
+  // Which sift replica holds this frame's state (scAtteR only): fetches
+  // are tied to that instance and cannot be load-balanced.
+  InstanceId sift_instance;
+  // Modeled on-wire size of this message in bytes.
+  std::uint32_t payload_bytes = 0;
+  // True when the frame carries the SIFT feature state in-band
+  // (scAtteR++ statelessness; inflates payload 180 KB -> 480 KB).
+  bool carries_state = false;
+  // Result messages: whether the object was recognized and posed.
+  bool match_ok = false;
+};
+
+struct FramePacket {
+  FrameHeader header;
+  std::vector<HopRecord> hops;
+  std::vector<std::uint8_t> payload;  // real data in live mode; often empty in sim
+
+  // Total serialized size used for transmission-delay modeling. Falls
+  // back to header.payload_bytes when no real payload is attached.
+  [[nodiscard]] std::size_t wire_size() const {
+    return kHeaderWireBytes + hops.size() * kHopWireBytes +
+           (payload.empty() ? header.payload_bytes : payload.size());
+  }
+
+  static constexpr std::size_t kHeaderWireBytes = 56;
+  static constexpr std::size_t kHopWireBytes = 17;
+};
+
+// Serialize/parse for live (UDP) transport. The format is
+// little-endian and versioned by a magic byte.
+[[nodiscard]] std::vector<std::uint8_t> serialize(const FramePacket& pkt);
+[[nodiscard]] std::optional<FramePacket> parse(std::span<const std::uint8_t> bytes);
+
+// Canonical payload sizes (bytes) used by the simulator; see DESIGN.md.
+// The 180 KB / 480 KB values are the paper's own numbers for sift output
+// without/with in-band state.
+namespace sizes {
+inline constexpr std::uint32_t kClientFrame = 250 * 1024;    // client -> primary
+inline constexpr std::uint32_t kPreprocessed = 180 * 1024;   // primary -> sift
+inline constexpr std::uint32_t kSiftOut = 180 * 1024;        // sift -> encoding (scAtteR)
+inline constexpr std::uint32_t kSiftOutStateful = 480 * 1024;  // scAtteR++ in-band state
+inline constexpr std::uint32_t kFisherVector = 32 * 1024;    // encoding -> lsh
+inline constexpr std::uint32_t kNnCandidates = 16 * 1024;    // lsh -> matching
+inline constexpr std::uint32_t kStateFetchReq = 256;         // matching -> sift
+inline constexpr std::uint32_t kStateFetchResp = 300 * 1024;  // sift -> matching
+inline constexpr std::uint32_t kResult = 20 * 1024;          // matching -> client
+}  // namespace sizes
+
+}  // namespace mar::wire

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "expt/autoscaler.h"
+#include "expt/experiment.h"
+#include "expt/report.h"
+
+namespace mar::expt {
+namespace {
+
+ExperimentConfig overloaded_config(int clients = 6) {
+  ExperimentConfig cfg;
+  cfg.mode = core::PipelineMode::kScatterPP;
+  cfg.placement = SymbolicPlacement::single(Site::kE2);
+  cfg.num_clients = clients;
+  cfg.warmup = seconds(1.0);
+  cfg.duration = seconds(20.0);
+  cfg.seed = 900;
+  return cfg;
+}
+
+TEST(AutoScaler, AppAwareScalesUnderOverload) {
+  Experiment e(overloaded_config());
+  e.build();
+  AutoScaler::Config sc;
+  sc.signal = AutoScaler::Signal::kApplication;
+  sc.threshold = 0.10;
+  AutoScaler scaler(e.deployment(), sc);
+  scaler.start();
+  e.run();
+  EXPECT_GT(scaler.events().size(), 0u);
+  // More than the initial 5 replicas must now exist.
+  EXPECT_GT(e.deployment().instances().size(), 5u);
+}
+
+TEST(AutoScaler, AppAwareImprovesFps) {
+  const ExperimentResult base = run_experiment(overloaded_config());
+
+  Experiment e(overloaded_config());
+  e.build();
+  AutoScaler::Config sc;
+  sc.signal = AutoScaler::Signal::kApplication;
+  AutoScaler scaler(e.deployment(), sc);
+  scaler.start();
+  e.run();
+  EXPECT_GT(e.result().fps_mean, base.fps_mean * 1.1);
+}
+
+TEST(AutoScaler, IdleSystemNeverScales) {
+  ExperimentConfig cfg = overloaded_config(/*clients=*/1);
+  Experiment e(cfg);
+  e.build();
+  AutoScaler::Config sc;
+  sc.signal = AutoScaler::Signal::kApplication;
+  AutoScaler scaler(e.deployment(), sc);
+  scaler.start();
+  e.run();
+  EXPECT_EQ(scaler.events().size(), 0u);
+  EXPECT_EQ(e.deployment().instances().size(), 5u);
+}
+
+TEST(AutoScaler, RespectsReplicaCap) {
+  Experiment e(overloaded_config(10));
+  e.build();
+  AutoScaler::Config sc;
+  sc.signal = AutoScaler::Signal::kApplication;
+  sc.max_replicas_per_stage = 2;
+  sc.interval = millis(500.0);
+  AutoScaler scaler(e.deployment(), sc);
+  scaler.start();
+  e.run();
+  for (int s = 0; s < kNumStages; ++s) {
+    EXPECT_LE(e.deployment().hosts_of(static_cast<Stage>(s)).size(), 2u);
+  }
+}
+
+TEST(AutoScaler, HardwareSignalReactsToOccupancyOnly) {
+  Experiment e(overloaded_config());
+  e.build();
+  AutoScaler::Config sc;
+  sc.signal = AutoScaler::Signal::kHardware;
+  sc.threshold = 1.01;  // impossible occupancy: must never fire
+  AutoScaler scaler(e.deployment(), sc);
+  scaler.start();
+  e.run();
+  EXPECT_EQ(scaler.events().size(), 0u);
+}
+
+TEST(Deployment, AddReplicaJoinsRouting) {
+  ExperimentConfig cfg = overloaded_config(1);
+  Experiment e(cfg);
+  e.build();
+  const InstanceId added = e.deployment().add_replica(Stage::kSift, e.testbed().e1());
+  e.run();
+  // The new replica received traffic through the round-robin router.
+  EXPECT_GT(e.testbed().orchestrator().host(added).stats().received, 0u);
+  EXPECT_EQ(e.deployment().hosts_of(Stage::kSift).size(), 2u);
+}
+
+// --- report export ---------------------------------------------------------
+
+TEST(Report, CsvContainsAllSections) {
+  ExperimentConfig cfg = overloaded_config(1);
+  cfg.duration = seconds(5.0);
+  const ExperimentResult r = run_experiment(cfg);
+  const std::string csv = to_csv(r);
+  EXPECT_NE(csv.find("qos,fps_mean,"), std::string::npos);
+  EXPECT_NE(csv.find("sift,"), std::string::npos);
+  EXPECT_NE(csv.find("matching,"), std::string::npos);
+  EXPECT_NE(csv.find("E2,"), std::string::npos);
+}
+
+TEST(Report, JsonIsStructured) {
+  ExperimentConfig cfg = overloaded_config(1);
+  cfg.duration = seconds(5.0);
+  const ExperimentResult r = run_experiment(cfg);
+  const std::string json = to_json(r);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"qos\""), std::string::npos);
+  EXPECT_NE(json.find("\"services\""), std::string::npos);
+  EXPECT_NE(json.find("\"machines\""), std::string::npos);
+  // Balanced braces (cheap structural check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Report, WritesFileByExtension) {
+  ExperimentConfig cfg = overloaded_config(1);
+  cfg.duration = seconds(3.0);
+  const ExperimentResult r = run_experiment(cfg);
+  const std::string path = "/tmp/mar_report_test.json";
+  ASSERT_TRUE(write_report(r, path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char c = 0;
+  ASSERT_EQ(std::fread(&c, 1, 1, f), 1u);
+  EXPECT_EQ(c, '{');
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mar::expt

@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/bytes.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "common/types.h"
+
+namespace mar {
+namespace {
+
+// --- ids ----------------------------------------------------------------
+
+TEST(Id, DefaultIsInvalid) {
+  ClientId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, ClientId::invalid());
+}
+
+TEST(Id, ValueRoundTrip) {
+  const ClientId id{42};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 42u);
+}
+
+TEST(Id, Ordering) {
+  EXPECT_LT(ClientId{1}, ClientId{2});
+  EXPECT_EQ(ClientId{7}, ClientId{7});
+  EXPECT_NE(ClientId{7}, ClientId{8});
+}
+
+TEST(Id, Hashable) {
+  std::unordered_set<ClientId> set;
+  set.insert(ClientId{1});
+  set.insert(ClientId{2});
+  set.insert(ClientId{1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Stage, NamesAndOrder) {
+  EXPECT_STREQ(to_string(Stage::kPrimary), "primary");
+  EXPECT_STREQ(to_string(Stage::kMatching), "matching");
+  EXPECT_EQ(next_stage(Stage::kPrimary), Stage::kSift);
+  EXPECT_EQ(next_stage(Stage::kMatching), Stage::kResult);
+  EXPECT_EQ(kNumStages, 5);
+}
+
+// --- time ----------------------------------------------------------------
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(millis(1.0), 1'000'000);
+  EXPECT_EQ(seconds(1.0), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(to_millis(millis(12.5)), 12.5);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(3.0)), 3.0);
+}
+
+TEST(Time, SubMillisecondPrecision) {
+  EXPECT_EQ(micros(250.0), 250'000);
+  EXPECT_DOUBLE_EQ(to_millis(micros(500.0)), 0.5);
+}
+
+// --- rng ------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1'000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all values hit
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(1);
+  EXPECT_EQ(rng.uniform_int(3, 3), 3);
+  EXPECT_EQ(rng.uniform_int(5, 2), 5);  // inverted range clamps to lo
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_gaussian();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaled) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(19);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-1.0));
+  EXPECT_TRUE(rng.bernoulli(2.0));
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  // Child stream should differ from the parent's continued stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+// Property sweep: moments hold across seeds.
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UnitIntervalAndMean) {
+  Rng rng(GetParam());
+  double sum = 0.0;
+  for (int i = 0; i < 20'000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20'000, 0.5, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 0xDEADBEEFULL,
+                                           0xFFFFFFFFFFFFFFFFULL));
+
+// --- bytes ------------------------------------------------------------------
+
+TEST(Bytes, ScalarRoundTrip) {
+  ByteWriter w;
+  w.put_u8(0xAB);
+  w.put_u16(0x1234);
+  w.put_u32(0xDEADBEEF);
+  w.put_u64(0x0123456789ABCDEFULL);
+  w.put_i64(-42);
+  w.put_f32(3.5f);
+  w.put_f64(-2.25);
+  const auto buf = std::move(w).take();
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.get_u8(), 0xAB);
+  EXPECT_EQ(r.get_u16(), 0x1234);
+  EXPECT_EQ(r.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.get_i64(), -42);
+  EXPECT_FLOAT_EQ(r.get_f32(), 3.5f);
+  EXPECT_DOUBLE_EQ(r.get_f64(), -2.25);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, StringRoundTrip) {
+  ByteWriter w;
+  w.put_string("hello");
+  w.put_string("");
+  const auto buf = std::move(w).take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Bytes, ReadPastEndFails) {
+  ByteWriter w;
+  w.put_u16(7);
+  const auto buf = std::move(w).take();
+  ByteReader r(buf);
+  (void)r.get_u32();  // wants 4 bytes, only 2 available
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, TruncatedStringFails) {
+  ByteWriter w;
+  w.put_u32(100);  // claims 100 bytes, provides none
+  const auto buf = std::move(w).take();
+  ByteReader r(buf);
+  (void)r.get_string();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, BytesRoundTrip) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  ByteWriter w;
+  w.put_bytes(payload);
+  const auto buf = std::move(w).take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.get_bytes(5), payload);
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  ByteWriter w;
+  w.put_u32(0x01020304);
+  const auto buf = std::move(w).take();
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[3], 0x01);
+}
+
+// --- status -------------------------------------------------------------------
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  Status s(StatusCode::kNotFound, "missing thing");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_NE(s.to_string().find("missing thing"), std::string::npos);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsStatus) {
+  Result<int> r = Status{StatusCode::kUnavailable, "down"};
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+// --- log -----------------------------------------------------------------------
+
+TEST(Log, LevelGate) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // These must compile and not crash even when filtered out.
+  MAR_DEBUG << "invisible";
+  MAR_INFO << "invisible " << 42;
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace mar

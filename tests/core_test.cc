@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "core/client.h"
+#include "core/frame_flow.h"
+#include "core/services.h"
+#include "expt/deployment.h"
+#include "expt/experiment.h"
+#include "expt/testbed.h"
+
+namespace mar::core {
+namespace {
+
+// --- frame flow ---------------------------------------------------------------
+
+TEST(FrameFlow, PayloadSizesFollowPaper) {
+  EXPECT_EQ(payload_for_hop(Stage::kEncoding, false), wire::sizes::kSiftOut);
+  EXPECT_EQ(payload_for_hop(Stage::kEncoding, true), wire::sizes::kSiftOutStateful);
+  // In-band state inflates every downstream hop.
+  EXPECT_GT(payload_for_hop(Stage::kLsh, true), payload_for_hop(Stage::kLsh, false));
+  EXPECT_GT(payload_for_hop(Stage::kMatching, true), payload_for_hop(Stage::kMatching, false));
+  EXPECT_EQ(payload_for_hop(Stage::kResult, false), wire::sizes::kResult);
+}
+
+TEST(FrameFlow, ModeNames) {
+  EXPECT_STREQ(to_string(PipelineMode::kScatter), "scAtteR");
+  EXPECT_STREQ(to_string(PipelineMode::kScatterPP), "scAtteR++");
+}
+
+TEST(FrameFlow, HostConfigMatchesMode) {
+  const dsp::HostConfig scatter = host_config_for(PipelineMode::kScatter, Stage::kSift);
+  EXPECT_EQ(scatter.mode, dsp::IngressMode::kDropWhenBusy);
+  const dsp::HostConfig pp = host_config_for(PipelineMode::kScatterPP, Stage::kSift);
+  EXPECT_EQ(pp.mode, dsp::IngressMode::kSidecar);
+  // Only primary is CPU-only.
+  EXPECT_FALSE(host_config_for(PipelineMode::kScatter, Stage::kPrimary).uses_gpu);
+  EXPECT_TRUE(host_config_for(PipelineMode::kScatter, Stage::kMatching).uses_gpu);
+}
+
+TEST(FrameFlow, ServiceletFactoryCoversAllStages) {
+  PipelineEnv env;
+  for (int s = 0; s < kNumStages; ++s) {
+    EXPECT_NE(make_servicelet(env, static_cast<Stage>(s)), nullptr);
+  }
+  EXPECT_EQ(make_servicelet(env, Stage::kResult), nullptr);
+}
+
+// --- end-to-end pipelines in the simulator ----------------------------------------
+
+struct PipelineFixture : ::testing::Test {
+  // Deploys one pipeline and one client, runs for `run_for` seconds.
+  void run_pipeline(PipelineMode mode, double run_for = 5.0) {
+    testbed = std::make_unique<expt::Testbed>();
+    deployment = std::make_unique<expt::Deployment>(
+        *testbed, mode, expt::PlacementConfig::single(testbed->e1()), costs);
+    ClientConfig cc;
+    cc.id = ClientId{1};
+    client = std::make_unique<ArClient>(
+        testbed->runtime(), testbed->orchestrator().machine(testbed->client_machine()),
+        testbed->orchestrator(), cc, Rng{5});
+    client->start();
+    testbed->loop().run_until(seconds(run_for));
+    client->stop();
+  }
+
+  hw::CostModel costs = hw::CostModel::standard();
+  std::unique_ptr<expt::Testbed> testbed;
+  std::unique_ptr<expt::Deployment> deployment;
+  std::unique_ptr<ArClient> client;
+};
+
+TEST_F(PipelineFixture, ScatterDeliversResults) {
+  run_pipeline(PipelineMode::kScatter);
+  const ClientStats& s = client->stats();
+  EXPECT_GT(s.frames_sent, 140u);  // ~30 fps for 5 s
+  EXPECT_GT(s.results_received, 100u);
+  EXPECT_GT(s.successes, 80u);
+  EXPECT_GT(s.e2e_ms.mean(), 20.0);
+  EXPECT_LT(s.e2e_ms.mean(), 100.0);
+}
+
+TEST_F(PipelineFixture, ScatterPPDeliversResults) {
+  run_pipeline(PipelineMode::kScatterPP);
+  EXPECT_GT(client->stats().successes, 80u);
+}
+
+TEST_F(PipelineFixture, ScatterSiftStoresAndServesState) {
+  run_pipeline(PipelineMode::kScatter);
+  auto* sift = dynamic_cast<SiftService*>(
+      &deployment->hosts_of(Stage::kSift)[0]->servicelet());
+  ASSERT_NE(sift, nullptr);
+  ASSERT_NE(sift->store(), nullptr);
+  EXPECT_GT(sift->fetch_hits(), 80u);  // matching fetched state
+  // sift saw ~2x load: extractions + fetches.
+  const auto& stats = deployment->hosts_of(Stage::kSift)[0]->stats();
+  EXPECT_GT(stats.received, client->stats().results_received * 3 / 2);
+}
+
+TEST_F(PipelineFixture, ScatterPPSiftIsStateless) {
+  run_pipeline(PipelineMode::kScatterPP);
+  auto* sift = dynamic_cast<SiftService*>(
+      &deployment->hosts_of(Stage::kSift)[0]->servicelet());
+  ASSERT_NE(sift, nullptr);
+  EXPECT_EQ(sift->store(), nullptr);
+  EXPECT_EQ(sift->fetch_hits(), 0u);
+  // sift load equals frame load (no fetch amplification).
+  const auto& sift_stats = deployment->hosts_of(Stage::kSift)[0]->stats();
+  const auto& primary_stats = deployment->hosts_of(Stage::kPrimary)[0]->stats();
+  EXPECT_LE(sift_stats.received, primary_stats.received);
+}
+
+TEST_F(PipelineFixture, ScatterPPCarriesStateInBand) {
+  run_pipeline(PipelineMode::kScatterPP, 2.0);
+  auto* matching = dynamic_cast<MatchingService*>(
+      &deployment->hosts_of(Stage::kMatching)[0]->servicelet());
+  ASSERT_NE(matching, nullptr);
+  EXPECT_EQ(matching->fetch_timeouts(), 0u);  // never needs a fetch
+}
+
+TEST_F(PipelineFixture, ClientJitterTracked) {
+  run_pipeline(PipelineMode::kScatter);
+  EXPECT_GT(client->stats().jitter_ms.count(), 50u);
+  EXPECT_GE(client->stats().jitter_ms.mean(), 0.0);
+}
+
+TEST_F(PipelineFixture, ClientSuccessRateBelowOne) {
+  run_pipeline(PipelineMode::kScatter);
+  // Recognition failures exist even unloaded.
+  EXPECT_LT(client->stats().success_rate(), 0.99);
+  EXPECT_GT(client->stats().success_rate(), 0.6);
+}
+
+TEST_F(PipelineFixture, ClientStopsCleanly) {
+  run_pipeline(PipelineMode::kScatter, 1.0);
+  const auto sent = client->stats().frames_sent;
+  testbed->loop().run_until(seconds(3.0));
+  EXPECT_EQ(client->stats().frames_sent, sent);  // no sends after stop
+}
+
+TEST_F(PipelineFixture, ScatterPPHopTelemetryReachesClient) {
+  run_pipeline(PipelineMode::kScatterPP, 3.0);
+  const ClientStats& s = client->stats();
+  // Every delivered frame carries one hop record per sidecar stage.
+  for (int st = 0; st < kNumStages; ++st) {
+    EXPECT_GT(s.hop_process_ms[static_cast<std::size_t>(st)].count(), 40u)
+        << to_string(static_cast<Stage>(st));
+  }
+  // Stage processing times reflect the cost model's ordering: sift is
+  // the heaviest GPU stage.
+  const double sift_ms = s.hop_process_ms[static_cast<std::size_t>(Stage::kSift)].mean();
+  EXPECT_GT(sift_ms, s.hop_process_ms[static_cast<std::size_t>(Stage::kLsh)].mean());
+  EXPECT_GT(sift_ms, 5.0);
+}
+
+TEST_F(PipelineFixture, ScatterHasNoHopTelemetry) {
+  run_pipeline(PipelineMode::kScatter, 2.0);
+  // Drop-when-busy services attach no sidecar hop records.
+  for (int st = 0; st < kNumStages; ++st) {
+    EXPECT_EQ(client->stats().hop_process_ms[static_cast<std::size_t>(st)].count(), 0u);
+  }
+}
+
+TEST_F(PipelineFixture, FpsSinceWindow) {
+  run_pipeline(PipelineMode::kScatter, 4.0);
+  const double fps = client->fps_since(0);
+  EXPECT_GT(fps, 15.0);
+  EXPECT_LT(fps, 31.0);
+}
+
+}  // namespace
+}  // namespace mar::core

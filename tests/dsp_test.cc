@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dsp/runtime.h"
+#include "dsp/service_host.h"
+#include "dsp/servicelet.h"
+#include "dsp/state_store.h"
+#include "hw/cost_model.h"
+#include "hw/machine.h"
+
+namespace mar::dsp {
+namespace {
+
+// Servicelet that stays busy for a fixed duration, then finishes.
+class TimedServicelet : public Servicelet {
+ public:
+  explicit TimedServicelet(SimDuration busy_for) : busy_for_(busy_for) {}
+
+  void process(wire::FramePacket pkt) override {
+    ++processed_;
+    last_ = pkt;
+    host().runtime().schedule_after(busy_for_, [this] { host().finish_current(); });
+  }
+
+  int processed_ = 0;
+  wire::FramePacket last_;
+
+ private:
+  SimDuration busy_for_;
+};
+
+struct HostFixture : ::testing::Test {
+  HostFixture()
+      : net(loop, Rng{1}),
+        rt(loop, net),
+        machine(loop, MachineId{0}, hw::MachineSpec::edge1()),
+        costs(hw::CostModel::standard()) {}
+
+  ServiceHost& make_host(IngressMode mode, SimDuration busy_for = millis(10.0),
+                         Stage stage = Stage::kSift) {
+    HostConfig cfg;
+    cfg.stage = stage;
+    cfg.mode = mode;
+    cfg.uses_gpu = false;
+    auto servicelet = std::make_unique<TimedServicelet>(busy_for);
+    servicelet_ = servicelet.get();
+    host_ = std::make_unique<ServiceHost>(rt, machine, InstanceId{0}, cfg, costs,
+                                          std::move(servicelet), Rng{2});
+    return *host_;
+  }
+
+  // Sends a frame packet to the host through the network.
+  void send_frame(ServiceHost& host, std::uint64_t frame, std::uint32_t payload = 100'000,
+                  ClientId client = ClientId{1}, SimTime capture_ts = -1) {
+    wire::FramePacket pkt;
+    pkt.header.client = client;
+    pkt.header.frame = FrameId{frame};
+    pkt.header.kind = wire::MessageKind::kFrameData;
+    pkt.header.capture_ts = capture_ts < 0 ? loop.now() : capture_ts;
+    pkt.header.payload_bytes = payload;
+    net.send(src, host.ingress(), std::move(pkt));
+  }
+
+  sim::EventLoop loop;
+  sim::SimNetwork net;
+  SimRuntime rt;
+  hw::Machine machine;
+  hw::CostModel costs;
+  std::unique_ptr<ServiceHost> host_;
+  TimedServicelet* servicelet_ = nullptr;
+  EndpointId src = net.create_endpoint(MachineId{0}, nullptr);
+};
+
+// --- drop-when-busy (scAtteR) ------------------------------------------------
+
+TEST_F(HostFixture, ProcessesWhenIdle) {
+  ServiceHost& host = make_host(IngressMode::kDropWhenBusy);
+  send_frame(host, 1);
+  loop.run();
+  EXPECT_EQ(servicelet_->processed_, 1);
+  EXPECT_EQ(host.stats().completed, 1u);
+  EXPECT_EQ(host.stats().dropped_total(), 0u);
+}
+
+TEST_F(HostFixture, BusyDropsExcessFrames) {
+  ServiceHost& host = make_host(IngressMode::kDropWhenBusy, millis(10.0));
+  // Three frames arrive back-to-back; one processes, one waits in the
+  // socket buffer, the third is dropped.
+  send_frame(host, 1);
+  send_frame(host, 2);
+  send_frame(host, 3);
+  loop.run();
+  EXPECT_EQ(servicelet_->processed_, 2);
+  EXPECT_EQ(host.stats().dropped_busy, 1u);
+}
+
+TEST_F(HostFixture, ControlMessagesBufferSeparately) {
+  ServiceHost& host = make_host(IngressMode::kDropWhenBusy, millis(10.0));
+  send_frame(host, 1);
+  // Two small control messages while busy: both fit the control buffer.
+  send_frame(host, 2, /*payload=*/100);
+  send_frame(host, 3, /*payload=*/100);
+  loop.run();
+  EXPECT_EQ(servicelet_->processed_, 3);
+  EXPECT_EQ(host.stats().dropped_total(), 0u);
+}
+
+TEST_F(HostFixture, SocketBufferAddsQueueTime) {
+  ServiceHost& host = make_host(IngressMode::kDropWhenBusy, millis(10.0));
+  send_frame(host, 1);
+  send_frame(host, 2);
+  loop.run();
+  ASSERT_EQ(host.stats().queue_time_ms.count(), 1u);
+  EXPECT_GT(host.stats().queue_time_ms.mean(), 5.0);
+}
+
+TEST_F(HostFixture, StatsTrackReceived) {
+  ServiceHost& host = make_host(IngressMode::kDropWhenBusy, millis(1.0));
+  for (int i = 0; i < 5; ++i) {
+    send_frame(host, static_cast<std::uint64_t>(i));
+    loop.run();
+  }
+  EXPECT_EQ(host.stats().received, 5u);
+  EXPECT_EQ(host.stats().dispatched, 5u);
+  EXPECT_NEAR(host.stats().process_time_ms.mean(), 1.0, 0.1);
+}
+
+// --- sidecar (scAtteR++) ---------------------------------------------------------
+
+TEST_F(HostFixture, SidecarQueuesInsteadOfDropping) {
+  ServiceHost& host = make_host(IngressMode::kSidecar, millis(10.0));
+  // Different clients so the per-client filter keeps all of them.
+  for (std::uint32_t c = 1; c <= 4; ++c) {
+    send_frame(host, 1, 100'000, ClientId{c});
+  }
+  loop.run();
+  EXPECT_EQ(servicelet_->processed_, 4);
+  EXPECT_EQ(host.stats().dropped_total(), 0u);
+}
+
+TEST_F(HostFixture, SidecarFiltersSupersededFrames) {
+  ServiceHost& host = make_host(IngressMode::kSidecar, millis(10.0));
+  // Same client: frame 2 supersedes queued frame 1 while 0 processes.
+  send_frame(host, 0);
+  send_frame(host, 1);
+  send_frame(host, 2);
+  loop.run();
+  EXPECT_EQ(servicelet_->processed_, 2);
+  EXPECT_EQ(servicelet_->last_.header.frame, FrameId{2});
+  EXPECT_EQ(host.stats().dropped_stale, 1u);
+}
+
+TEST_F(HostFixture, SidecarDropsStaleAtDequeue) {
+  ServiceHost& host = make_host(IngressMode::kSidecar, millis(300.0));
+  // First frame occupies the service for 300 ms; the queued frames of
+  // other clients exceed the 100 ms threshold while waiting.
+  for (std::uint32_t c = 1; c <= 3; ++c) send_frame(host, 1, 100'000, ClientId{c});
+  loop.run();
+  EXPECT_EQ(servicelet_->processed_, 1);
+  EXPECT_EQ(host.stats().dropped_stale, 2u);
+}
+
+TEST_F(HostFixture, SidecarChargesRpcOverhead) {
+  ServiceHost& host = make_host(IngressMode::kSidecar, millis(5.0));
+  send_frame(host, 1);
+  loop.run();
+  ASSERT_EQ(host.stats().process_time_ms.count(), 1u);
+  // Process time includes the gRPC hand-off.
+  EXPECT_GT(host.stats().process_time_ms.mean(),
+            5.0 + to_millis(costs.sidecar_rpc_overhead) * 0.9);
+}
+
+TEST_F(HostFixture, SidecarRecordsHop) {
+  ServiceHost& host = make_host(IngressMode::kSidecar, millis(5.0));
+  send_frame(host, 1);
+  loop.run();
+  ASSERT_EQ(servicelet_->last_.hops.size(), 1u);
+  EXPECT_EQ(servicelet_->last_.hops[0].stage, Stage::kSift);
+}
+
+TEST_F(HostFixture, SidecarAllocatesClientBuffers) {
+  ServiceHost& host = make_host(IngressMode::kSidecar, millis(1.0));
+  const std::uint64_t base = host.memory_used();
+  send_frame(host, 1, 100'000, ClientId{1});
+  loop.run();
+  const std::uint64_t one_client = host.memory_used();
+  EXPECT_GE(one_client, base + costs.sidecar_client_buffer_bytes);
+  send_frame(host, 1, 100'000, ClientId{2});
+  loop.run();
+  EXPECT_GE(host.memory_used(), one_client + costs.sidecar_client_buffer_bytes);
+  // Same client again: no new buffer.
+  const std::uint64_t two_clients = host.memory_used();
+  send_frame(host, 2, 100'000, ClientId{2});
+  loop.run();
+  EXPECT_EQ(host.memory_used(), two_clients);
+}
+
+TEST_F(HostFixture, SidecarQueueOverflowDrops) {
+  ServiceHost& host = make_host(IngressMode::kSidecar, millis(50.0));
+  // Rebuild with a tiny queue.
+  HostConfig cfg;
+  cfg.stage = Stage::kSift;
+  cfg.mode = IngressMode::kSidecar;
+  cfg.queue_capacity = 2;
+  auto servicelet = std::make_unique<TimedServicelet>(millis(50.0));
+  auto* raw = servicelet.get();
+  ServiceHost small(rt, machine, InstanceId{1}, cfg, costs, std::move(servicelet), Rng{3});
+  (void)host;
+  for (std::uint32_t c = 1; c <= 5; ++c) {
+    wire::FramePacket pkt;
+    pkt.header.client = ClientId{c};
+    pkt.header.frame = FrameId{1};
+    pkt.header.capture_ts = loop.now();
+    pkt.header.payload_bytes = 1000;
+    net.send(src, small.ingress(), std::move(pkt));
+  }
+  loop.run();
+  EXPECT_GT(small.stats().dropped_overflow, 0u);
+  EXPECT_GT(raw->processed_, 0);
+}
+
+// --- failure handling ---------------------------------------------------------------
+
+TEST_F(HostFixture, KilledHostDropsTraffic) {
+  ServiceHost& host = make_host(IngressMode::kSidecar, millis(1.0));
+  host.kill();
+  EXPECT_TRUE(host.is_down());
+  send_frame(host, 1);
+  loop.run();
+  EXPECT_EQ(servicelet_->processed_, 0);
+  EXPECT_EQ(host.stats().dropped_down, 1u);
+}
+
+TEST_F(HostFixture, RestartResumesProcessing) {
+  ServiceHost& host = make_host(IngressMode::kSidecar, millis(1.0));
+  host.kill();
+  send_frame(host, 1);
+  loop.run();
+  host.restart();
+  EXPECT_FALSE(host.is_down());
+  send_frame(host, 2);
+  loop.run();
+  EXPECT_EQ(servicelet_->processed_, 1);
+}
+
+TEST_F(HostFixture, KillReturnsQueueMemory) {
+  ServiceHost& host = make_host(IngressMode::kSidecar, millis(100.0));
+  for (std::uint32_t c = 1; c <= 3; ++c) send_frame(host, 1, 200'000, ClientId{c});
+  loop.run_until(millis(5.0));
+  EXPECT_GT(host.queue_length(), 0u);
+  const std::uint64_t before = host.memory_used();
+  host.kill();
+  EXPECT_LT(host.memory_used(), before);
+  EXPECT_EQ(host.queue_length(), 0u);
+}
+
+// --- window reset ----------------------------------------------------------------------
+
+TEST_F(HostFixture, StatsWindowResetKeepsTimeSeries) {
+  ServiceHost& host = make_host(IngressMode::kDropWhenBusy, millis(1.0));
+  send_frame(host, 1);
+  loop.run();
+  host.stats().reset_window();
+  EXPECT_EQ(host.stats().received, 0u);
+  EXPECT_EQ(host.stats().completed, 0u);
+  // Time series persist for the whole-run analytics figures.
+  EXPECT_EQ(host.stats().ingress_per_sec.count_at(0), 1u);
+}
+
+// --- state store -------------------------------------------------------------------------
+
+TEST_F(HostFixture, StateStorePutTake) {
+  ServiceHost& host = make_host(IngressMode::kDropWhenBusy);
+  StateStore store(host, seconds(1.0), 1024);
+  store.put(ClientId{1}, FrameId{5});
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.take(ClientId{1}, FrameId{5}));
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_FALSE(store.take(ClientId{1}, FrameId{5}));  // already taken
+}
+
+TEST_F(HostFixture, StateStoreMissingKey) {
+  ServiceHost& host = make_host(IngressMode::kDropWhenBusy);
+  StateStore store(host, seconds(1.0), 1024);
+  EXPECT_FALSE(store.take(ClientId{9}, FrameId{9}));
+}
+
+TEST_F(HostFixture, StateStoreChargesMemory) {
+  ServiceHost& host = make_host(IngressMode::kDropWhenBusy);
+  const std::uint64_t base = host.memory_used();
+  StateStore store(host, seconds(1.0), 4096);
+  store.put(ClientId{1}, FrameId{1});
+  store.put(ClientId{1}, FrameId{2});
+  EXPECT_EQ(host.memory_used(), base + 2 * 4096);
+  store.take(ClientId{1}, FrameId{1});
+  EXPECT_EQ(host.memory_used(), base + 4096);
+}
+
+TEST_F(HostFixture, StateStoreEvictsOrphansAfterTimeout) {
+  ServiceHost& host = make_host(IngressMode::kDropWhenBusy);
+  StateStore store(host, millis(500.0), 1024);
+  store.put(ClientId{1}, FrameId{1});
+  loop.run_until(seconds(2.0));
+  loop.run();  // drain the sweep timers
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.orphaned(), 1u);
+  EXPECT_FALSE(store.take(ClientId{1}, FrameId{1}));
+}
+
+TEST_F(HostFixture, StateStoreOverwriteRefreshesExpiry) {
+  ServiceHost& host = make_host(IngressMode::kDropWhenBusy);
+  StateStore store(host, millis(500.0), 1024);
+  store.put(ClientId{1}, FrameId{1});
+  loop.run_until(millis(400.0));
+  store.put(ClientId{1}, FrameId{1});  // refresh
+  loop.run_until(millis(700.0));
+  EXPECT_TRUE(store.take(ClientId{1}, FrameId{1}));
+}
+
+}  // namespace
+}  // namespace mar::dsp

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "expt/experiment.h"
+#include "expt/table.h"
+#include "expt/testbed.h"
+
+namespace mar::expt {
+namespace {
+
+// --- testbed ------------------------------------------------------------------
+
+TEST(Testbed, BuildsPaperTopology) {
+  Testbed tb;
+  EXPECT_EQ(tb.orchestrator().num_machines(), 4u);  // E1, E2, cloud, client NUC
+  EXPECT_EQ(tb.orchestrator().machine(tb.e1()).spec().name, "E1");
+  EXPECT_EQ(tb.orchestrator().machine(tb.e2()).spec().name, "E2");
+  EXPECT_EQ(tb.orchestrator().machine(tb.cloud()).spec().name, "Cloud");
+}
+
+TEST(Testbed, AccessPresetsMatchPaper) {
+  const auto lte = TestbedConfig::access_lte();
+  EXPECT_EQ(lte.latency, millis(20.0));  // 40 ms RTT
+  EXPECT_NEAR(lte.loss_rate, 0.0008, 1e-9);
+  EXPECT_EQ(lte.oscillation_delay, millis(10.0));
+  EXPECT_NEAR(lte.oscillation_prob, 0.2, 1e-9);
+
+  const auto g5 = TestbedConfig::access_5g();
+  EXPECT_EQ(g5.latency, millis(5.0));  // 10 ms RTT
+  const auto wifi = TestbedConfig::access_wifi6();
+  EXPECT_EQ(wifi.latency, millis(2.5));  // 5 ms RTT
+}
+
+TEST(Testbed, CloudPathHasHigherLatencyThanEdge) {
+  const TestbedConfig cfg;
+  EXPECT_GT(cfg.client_cloud.latency, cfg.client_e1.latency * 5);
+  EXPECT_GT(cfg.client_cloud.jitter_stddev, cfg.client_e1.jitter_stddev);
+  EXPECT_GT(cfg.edge_cloud.loss_rate, 0.0);
+}
+
+// --- placements -----------------------------------------------------------------
+
+TEST(Placement, SingleSiteLabel) {
+  const SymbolicPlacement p = SymbolicPlacement::single(Site::kE1);
+  EXPECT_EQ(p.to_label(), "[E1,E1,E1,E1,E1]");
+  for (const auto& r : p.replicas) EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(Placement, PerStage) {
+  const SymbolicPlacement p = SymbolicPlacement::per_stage(
+      {Site::kE1, Site::kE1, Site::kE2, Site::kE2, Site::kCloud});
+  EXPECT_EQ(p.to_label(), "[E1,E1,E2,E2,C]");
+}
+
+TEST(Placement, ReplicatedCountsAndAlternation) {
+  const SymbolicPlacement p = SymbolicPlacement::replicated({1, 3, 2, 1, 2});
+  EXPECT_EQ(p.to_label(), "[E2,3,2,E2,2]");
+  EXPECT_EQ(p.replicas[1].size(), 3u);
+  EXPECT_EQ(p.replicas[1][0], Site::kE2);  // base on E2
+  EXPECT_EQ(p.replicas[1][1], Site::kE1);  // extras alternate to E1
+  EXPECT_EQ(p.replicas[1][2], Site::kE2);
+}
+
+TEST(Placement, ResolvesToMachines) {
+  Testbed tb;
+  const PlacementConfig cfg = SymbolicPlacement::single(Site::kCloud).resolve(tb);
+  for (const auto& r : cfg.replicas) {
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0], tb.cloud());
+  }
+}
+
+// --- experiment ------------------------------------------------------------------
+
+TEST(Experiment, ShortRunProducesConsistentResult) {
+  ExperimentConfig cfg;
+  cfg.num_clients = 2;
+  cfg.warmup = seconds(1.0);
+  cfg.duration = seconds(5.0);
+  cfg.seed = 3;
+  const ExperimentResult r = run_experiment(cfg);
+
+  EXPECT_EQ(r.per_client_fps.size(), 2u);
+  EXPECT_GT(r.fps_mean, 5.0);
+  EXPECT_LE(r.fps_mean, 31.0);
+  EXPECT_GT(r.e2e_ms_mean, 10.0);
+  EXPECT_GT(r.success_rate, 0.3);
+  EXPECT_LE(r.success_rate, 1.0);
+  EXPECT_EQ(r.services.size(), 5u);
+  EXPECT_EQ(r.machines.size(), 4u);
+}
+
+TEST(Experiment, SameSeedIsReproducible) {
+  ExperimentConfig cfg;
+  cfg.num_clients = 2;
+  cfg.duration = seconds(5.0);
+  cfg.seed = 99;
+  const ExperimentResult a = run_experiment(cfg);
+  const ExperimentResult b = run_experiment(cfg);
+  EXPECT_EQ(a.fps_mean, b.fps_mean);
+  EXPECT_EQ(a.e2e_ms_mean, b.e2e_ms_mean);
+  EXPECT_EQ(a.success_rate, b.success_rate);
+}
+
+TEST(Experiment, DifferentSeedsVary) {
+  ExperimentConfig cfg;
+  cfg.num_clients = 2;
+  cfg.duration = seconds(5.0);
+  cfg.seed = 1;
+  const ExperimentResult a = run_experiment(cfg);
+  cfg.seed = 2;
+  const ExperimentResult b = run_experiment(cfg);
+  EXPECT_NE(a.e2e_ms_mean, b.e2e_ms_mean);
+}
+
+TEST(Experiment, ServiceReportsCoverAllStages) {
+  ExperimentConfig cfg;
+  cfg.duration = seconds(3.0);
+  Experiment e(cfg);
+  e.run();
+  const ExperimentResult r = e.result();
+  std::array<int, kNumStages> seen{};
+  for (const auto& s : r.services) ++seen[static_cast<std::size_t>(s.stage)];
+  for (int count : seen) EXPECT_EQ(count, 1);
+  for (const auto& s : r.services) {
+    EXPECT_FALSE(s.machine.empty());
+    EXPECT_GT(s.mem_gb_mean, 0.0);
+  }
+}
+
+TEST(Experiment, StageAggregationSumsReplicas) {
+  ExperimentResult r;
+  ServiceReport a;
+  a.stage = Stage::kSift;
+  a.mem_gb_mean = 1.0;
+  a.cpu_share = 0.1;
+  a.drop_ratio = 0.5;
+  a.received = 100;
+  ServiceReport b = a;
+  b.mem_gb_mean = 2.0;
+  b.drop_ratio = 0.0;
+  b.received = 300;
+  r.services = {a, b};
+  EXPECT_DOUBLE_EQ(r.stage_mem_gb(Stage::kSift), 3.0);
+  EXPECT_DOUBLE_EQ(r.stage_cpu_share(Stage::kSift), 0.2);
+  // Weighted drop ratio: (0.5*100 + 0*300) / 400.
+  EXPECT_DOUBLE_EQ(r.stage_drop_ratio(Stage::kSift), 0.125);
+  EXPECT_EQ(r.stage_mem_gb(Stage::kLsh), 0.0);
+}
+
+TEST(Experiment, StaggeredClientsStartLate) {
+  ExperimentConfig cfg;
+  cfg.num_clients = 3;
+  cfg.warmup = 0;
+  cfg.duration = seconds(10.0);
+  cfg.client_stagger = seconds(3.0);
+  Experiment e(cfg);
+  e.run();
+  // Client 2 starts at ~6 s: it can have sent at most ~4 s of frames.
+  const auto& clients = e.clients();
+  EXPECT_GT(clients[0]->stats().frames_sent, clients[2]->stats().frames_sent * 2);
+}
+
+TEST(Experiment, MonitorFlagCollectsSamples) {
+  ExperimentConfig cfg;
+  cfg.duration = seconds(4.0);
+  cfg.monitor = true;
+  Experiment e(cfg);
+  e.run();
+  EXPECT_GT(e.testbed().orchestrator().monitor_samples().size(), 2u);
+}
+
+// --- table -----------------------------------------------------------------------
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2.5"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, NumAndPctHelpers) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::pct(0.123, 1), "12.3%");
+}
+
+TEST(Table, ShortRowsPad) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NE(t.to_string().find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mar::expt

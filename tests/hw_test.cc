@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "hw/cost_model.h"
+#include "hw/machine.h"
+#include "hw/resource.h"
+#include "sim/event_loop.h"
+
+namespace mar::hw {
+namespace {
+
+// --- ResourcePool ------------------------------------------------------------
+
+struct PoolFixture : ::testing::Test {
+  sim::EventLoop loop;
+};
+
+TEST_F(PoolFixture, ImmediateGrantWhenFree) {
+  ResourcePool pool(loop, 2);
+  bool granted = false;
+  pool.acquire(1, [&] { granted = true; });
+  EXPECT_TRUE(granted);
+  EXPECT_EQ(pool.in_use(), 1u);
+}
+
+TEST_F(PoolFixture, QueuesWhenFull) {
+  ResourcePool pool(loop, 1);
+  int grants = 0;
+  pool.acquire(1, [&] { ++grants; });
+  pool.acquire(1, [&] { ++grants; });
+  EXPECT_EQ(grants, 1);
+  EXPECT_EQ(pool.waiting(), 1u);
+  pool.release(1);
+  EXPECT_EQ(grants, 2);
+  EXPECT_EQ(pool.waiting(), 0u);
+  EXPECT_EQ(pool.in_use(), 1u);
+}
+
+TEST_F(PoolFixture, FifoGrantOrder) {
+  ResourcePool pool(loop, 1);
+  std::vector<int> order;
+  pool.acquire(1, [&] { order.push_back(0); });
+  pool.acquire(1, [&] { order.push_back(1); });
+  pool.acquire(1, [&] { order.push_back(2); });
+  pool.release(1);
+  pool.release(1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(PoolFixture, MultiUnitRequests) {
+  ResourcePool pool(loop, 4);
+  int grants = 0;
+  pool.acquire(3, [&] { ++grants; });
+  pool.acquire(2, [&] { ++grants; });  // won't fit: 3+2 > 4
+  EXPECT_EQ(grants, 1);
+  pool.release(3);
+  EXPECT_EQ(grants, 2);
+}
+
+TEST_F(PoolFixture, OversizedRequestDropped) {
+  ResourcePool pool(loop, 2);
+  bool granted = false;
+  pool.acquire(3, [&] { granted = true; });
+  pool.release(2);
+  EXPECT_FALSE(granted);
+}
+
+TEST_F(PoolFixture, ReleaseClampsAtZero) {
+  ResourcePool pool(loop, 2);
+  pool.release(5);  // spurious
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST_F(PoolFixture, UtilizationIntegratesBusyTime) {
+  ResourcePool pool(loop, 2);
+  pool.reset_window();
+  loop.schedule_at(0, [&] { pool.acquire(1, [] {}); });
+  loop.schedule_at(millis(50.0), [&] { pool.release(1); });
+  loop.run_until(millis(100.0));
+  // 1 of 2 units busy for half the window -> 25%.
+  EXPECT_NEAR(pool.utilization(), 0.25, 0.001);
+}
+
+TEST_F(PoolFixture, UtilizationCountsInFlight) {
+  ResourcePool pool(loop, 1);
+  pool.reset_window();
+  pool.acquire(1, [] {});
+  loop.run_until(millis(10.0));
+  EXPECT_NEAR(pool.utilization(), 1.0, 0.001);
+}
+
+TEST_F(PoolFixture, WindowResetRestartsIntegral) {
+  ResourcePool pool(loop, 1);
+  pool.acquire(1, [] {});
+  loop.run_until(millis(10.0));
+  pool.release(1);
+  pool.reset_window();
+  loop.run_until(millis(20.0));
+  EXPECT_NEAR(pool.utilization(), 0.0, 0.001);
+}
+
+// Property: in_use never exceeds capacity under random operations.
+class PoolRandomOps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PoolRandomOps, InvariantHolds) {
+  sim::EventLoop loop;
+  ResourcePool pool(loop, 3);
+  Rng rng(GetParam());
+  std::uint32_t held = 0;
+  for (int i = 0; i < 1'000; ++i) {
+    if (rng.bernoulli(0.6)) {
+      pool.acquire(static_cast<std::uint32_t>(rng.uniform_int(1, 3)), [&] {});
+    } else if (held < pool.in_use()) {
+      pool.release(1);
+    }
+    ASSERT_LE(pool.in_use(), pool.capacity());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoolRandomOps, ::testing::Range<std::uint64_t>(0, 6));
+
+// --- MemoryAccount --------------------------------------------------------------
+
+TEST_F(PoolFixture, MemoryTracksPeakAndCurrent) {
+  MemoryAccount mem(loop, 1'000);
+  mem.allocate(400);
+  mem.allocate(300);
+  EXPECT_EQ(mem.used(), 700u);
+  EXPECT_EQ(mem.peak(), 700u);
+  mem.free(500);
+  EXPECT_EQ(mem.used(), 200u);
+  EXPECT_EQ(mem.peak(), 700u);
+}
+
+TEST_F(PoolFixture, MemoryFreeClampsAtZero) {
+  MemoryAccount mem(loop, 1'000);
+  mem.allocate(100);
+  mem.free(500);
+  EXPECT_EQ(mem.used(), 0u);
+}
+
+TEST_F(PoolFixture, MemoryTimeWeightedMean) {
+  MemoryAccount mem(loop, 1'000);
+  mem.reset_window();
+  loop.schedule_at(0, [&] { mem.allocate(100); });
+  loop.schedule_at(millis(50.0), [&] { mem.free(100); });
+  loop.run_until(millis(100.0));
+  EXPECT_NEAR(mem.mean_used(), 50.0, 0.5);
+}
+
+// --- Machine ------------------------------------------------------------------------
+
+TEST(MachineSpec, PaperTestbedShapes) {
+  const MachineSpec e1 = MachineSpec::edge1();
+  const MachineSpec e2 = MachineSpec::edge2();
+  const MachineSpec cloud = MachineSpec::cloud();
+  EXPECT_EQ(e1.gpus.size(), 2u);
+  EXPECT_EQ(e2.gpus.size(), 2u);
+  EXPECT_EQ(cloud.gpus.size(), 1u);
+  EXPECT_TRUE(cloud.virtualized);
+  EXPECT_FALSE(e1.virtualized);
+  EXPECT_GT(e2.memory_bytes, e1.memory_bytes);
+  EXPECT_GT(e2.gpus[0].speed_factor, e1.gpus[0].speed_factor);  // A40 > RTX 2080
+}
+
+TEST(Machine, GpuPinningBalances) {
+  sim::EventLoop loop;
+  Machine m(loop, MachineId{0}, MachineSpec::edge1());
+  EXPECT_EQ(m.pin_service_to_gpu(), 0u);
+  EXPECT_EQ(m.pin_service_to_gpu(), 1u);
+  EXPECT_EQ(m.pin_service_to_gpu(), 0u);
+  EXPECT_EQ(m.pin_service_to_gpu(), 1u);
+}
+
+TEST(Machine, ColocationSlowsGpu) {
+  sim::EventLoop loop;
+  Machine m(loop, MachineId{0}, MachineSpec::edge1());
+  m.pin_service_to_gpu();  // one service on gpu0
+  const double alone = m.gpu_time_scale(0);
+  m.pin_service_to_gpu();  // gpu1
+  m.pin_service_to_gpu();  // second on gpu0
+  const double shared = m.gpu_time_scale(0);
+  EXPECT_GT(shared, alone);
+}
+
+TEST(Machine, ColocationPenaltyIsCapped) {
+  sim::EventLoop loop;
+  MachineSpec spec = MachineSpec::edge1();
+  spec.gpus = {GpuModel{"geforce-rtx", 1.0}};
+  Machine m(loop, MachineId{0}, spec);
+  for (int i = 0; i < 10; ++i) m.pin_service_to_gpu();
+  EXPECT_LE(m.gpu_time_scale(0), kGpuColocationPenaltyCap + 1e-9);
+}
+
+TEST(Machine, VirtualizationPenaltyApplied) {
+  sim::EventLoop loop;
+  Machine cloud(loop, MachineId{0}, MachineSpec::cloud());
+  Machine edge(loop, MachineId{1}, MachineSpec::edge1());
+  EXPECT_GT(cloud.cpu_time_scale(), edge.cpu_time_scale() * 1.1);
+}
+
+TEST(Machine, GpuSlotsRespected) {
+  sim::EventLoop loop;
+  Machine cloud(loop, MachineId{0}, MachineSpec::cloud());
+  // V100 exposes multiple concurrent kernel slots.
+  EXPECT_GT(cloud.gpu(0).capacity(), 1u);
+}
+
+// --- CostModel ------------------------------------------------------------------------
+
+TEST(CostModel, SiftIsHeaviestGpuStage) {
+  const CostModel m = CostModel::standard();
+  const SimDuration sift = m.stage(Stage::kSift).gpu_time;
+  for (Stage s : {Stage::kEncoding, Stage::kLsh, Stage::kMatching}) {
+    EXPECT_GE(sift, m.stage(s).gpu_time);
+  }
+  EXPECT_EQ(m.stage(Stage::kPrimary).gpu_time, 0);  // CPU-only
+}
+
+TEST(CostModel, FastDetectorOnlyChangesSift) {
+  const CostModel std_model = CostModel::standard();
+  const CostModel fast = CostModel::fast_detector();
+  EXPECT_LT(fast.stage(Stage::kSift).gpu_time, std_model.stage(Stage::kSift).gpu_time);
+  EXPECT_EQ(fast.stage(Stage::kEncoding).gpu_time, std_model.stage(Stage::kEncoding).gpu_time);
+  EXPECT_EQ(fast.stage(Stage::kMatching).gpu_time, std_model.stage(Stage::kMatching).gpu_time);
+}
+
+TEST(CostModel, SampleIsClampedAroundMean) {
+  Rng rng(7);
+  const SimDuration mean = millis(10.0);
+  for (int i = 0; i < 10'000; ++i) {
+    const SimDuration v = CostModel::sample(mean, 0.2, rng);
+    ASSERT_GE(v, static_cast<SimDuration>(0.3 * mean));
+    ASSERT_LE(v, 5 * mean);
+  }
+}
+
+TEST(CostModel, SampleMeanApproximatesTarget) {
+  Rng rng(11);
+  const SimDuration mean = millis(10.0);
+  double sum = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(CostModel::sample(mean, 0.2, rng));
+  EXPECT_NEAR(sum / n / static_cast<double>(mean), 1.0, 0.02);
+}
+
+TEST(CostModel, ZeroCvIsDeterministic) {
+  Rng rng(13);
+  EXPECT_EQ(CostModel::sample(millis(5.0), 0.0, rng), millis(5.0));
+  EXPECT_EQ(CostModel::sample(0, 0.5, rng), 0);
+}
+
+TEST(CostModel, ScatterPlusPlusKnobsPresent) {
+  const CostModel m = CostModel::standard();
+  EXPECT_EQ(m.sidecar_threshold, millis(100.0));  // paper's XR budget
+  EXPECT_GT(m.sidecar_rpc_overhead, 0);
+  EXPECT_GT(m.state_entry_bytes, 0u);
+  EXPECT_GT(m.state_timeout, 0);
+  EXPECT_GT(m.recognition_failure_prob, 0.0);
+  EXPECT_LT(m.recognition_failure_prob, 0.3);
+}
+
+}  // namespace
+}  // namespace mar::hw

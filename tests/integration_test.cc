@@ -1,0 +1,184 @@
+// System-level invariants from the paper, checked end-to-end in the
+// simulator. These assert the *shape* of the findings — who wins, and
+// in which direction metrics move — not absolute values.
+#include <gtest/gtest.h>
+
+#include "expt/experiment.h"
+
+namespace mar::expt {
+namespace {
+
+ExperimentResult run(core::PipelineMode mode, const SymbolicPlacement& placement, int clients,
+                     std::uint64_t seed, double duration_s = 30.0) {
+  ExperimentConfig cfg;
+  cfg.mode = mode;
+  cfg.placement = placement;
+  cfg.num_clients = clients;
+  cfg.duration = seconds(duration_s);
+  cfg.seed = seed;
+  return run_experiment(cfg);
+}
+
+// Paper abstract: scAtteR++ improves multi-client framerate ~2.5x.
+TEST(PaperInvariants, ScatterPPBeatsScatterAtLoad) {
+  const auto placement = SymbolicPlacement::single(Site::kE2);
+  const ExperimentResult scatter = run(core::PipelineMode::kScatter, placement, 4, 100);
+  const ExperimentResult pp = run(core::PipelineMode::kScatterPP, placement, 4, 100);
+  EXPECT_GT(pp.fps_mean, scatter.fps_mean * 1.5);
+  EXPECT_GT(pp.success_rate, scatter.success_rate * 1.5);
+}
+
+// §4: scAtteR degrades sharply with concurrent clients.
+TEST(PaperInvariants, ScatterCollapsesWithClients) {
+  const auto placement = SymbolicPlacement::single(Site::kE1);
+  const ExperimentResult one = run(core::PipelineMode::kScatter, placement, 1, 101);
+  const ExperimentResult four = run(core::PipelineMode::kScatter, placement, 4, 101);
+  EXPECT_GT(one.fps_mean, 23.0);  // ~25 FPS single client
+  EXPECT_LT(four.fps_mean, one.fps_mean / 2.5);
+}
+
+// §4: sift sees ~2x request load (extractions + fetches) in scAtteR.
+TEST(PaperInvariants, SiftSeesDoubleLoad) {
+  ExperimentConfig cfg;
+  cfg.mode = core::PipelineMode::kScatter;
+  cfg.num_clients = 1;
+  cfg.duration = seconds(20.0);
+  cfg.seed = 102;
+  Experiment e(cfg);
+  e.run();
+  std::uint64_t sift_received = 0, encoding_received = 0;
+  for (const auto& s : e.result().services) {
+    if (s.stage == Stage::kSift) sift_received = s.received;
+    if (s.stage == Stage::kEncoding) encoding_received = s.received;
+  }
+  EXPECT_GT(sift_received, encoding_received * 3 / 2);
+}
+
+// §4: sift's memory grows with load in scAtteR (orphaned state), and
+// dominates the other services.
+TEST(PaperInvariants, StatefulSiftMemoryGrowsWithLoad) {
+  const auto placement = SymbolicPlacement::single(Site::kE2);
+  const ExperimentResult one = run(core::PipelineMode::kScatter, placement, 1, 103);
+  const ExperimentResult four = run(core::PipelineMode::kScatter, placement, 4, 103);
+  EXPECT_GT(four.stage_mem_gb(Stage::kSift), one.stage_mem_gb(Stage::kSift) * 1.3);
+  EXPECT_GT(four.stage_mem_gb(Stage::kSift), four.stage_mem_gb(Stage::kLsh));
+}
+
+// Insight I: hardware utilization does not mirror QoS — under overload
+// FPS collapses while CPU/GPU utilization stays far from saturation.
+TEST(PaperInvariants, UtilizationDoesNotReflectQoS) {
+  const auto placement = SymbolicPlacement::single(Site::kE2);
+  const ExperimentResult four = run(core::PipelineMode::kScatter, placement, 4, 104);
+  double gpu_total = 0.0;
+  for (Stage s : {Stage::kSift, Stage::kEncoding, Stage::kLsh, Stage::kMatching}) {
+    gpu_total += four.stage_gpu_share(s);
+  }
+  EXPECT_LT(four.fps_mean, 12.0);   // QoS collapsed...
+  EXPECT_LT(gpu_total, 0.92);       // ...yet the GPUs are not saturated.
+}
+
+// §5: the sidecar turns request drops into queue/threshold drops and
+// keeps resource use scaling with load.
+TEST(PaperInvariants, SidecarShiftsDropsDownstream) {
+  const auto placement = SymbolicPlacement::single(Site::kE2);
+  const ExperimentResult pp = run(core::PipelineMode::kScatterPP, placement, 4, 105);
+  double stale_drops = 0.0;
+  for (const auto& s : pp.services) stale_drops += s.drop_ratio;
+  EXPECT_GT(stale_drops, 0.0);  // the filter is active at this load
+}
+
+// §5 / fig 7: scaling out helps scAtteR++ (stateless sift) — capacity
+// roughly doubles with the replicated deployment.
+TEST(PaperInvariants, ScalingOutHelpsScatterPP) {
+  const ExperimentResult single =
+      run(core::PipelineMode::kScatterPP, SymbolicPlacement::single(Site::kE2), 6, 106);
+  const ExperimentResult scaled = run(core::PipelineMode::kScatterPP,
+                                      SymbolicPlacement::replicated({1, 2, 2, 1, 2}), 6, 106);
+  EXPECT_GT(scaled.fps_mean, single.fps_mean * 1.2);
+}
+
+// §4 / fig 3: with stateful sift, the replicated-ingress configuration
+// [2,2,1,1,1] is the worst of the replication options.
+TEST(PaperInvariants, ReplicatedIngressIsWorstScalingChoice) {
+  const ExperimentResult ingress = run(core::PipelineMode::kScatter,
+                                       SymbolicPlacement::replicated({2, 2, 1, 1, 1}), 3, 107);
+  const ExperimentResult best = run(core::PipelineMode::kScatter,
+                                    SymbolicPlacement::replicated({1, 2, 2, 1, 2}), 3, 107);
+  EXPECT_GT(best.fps_mean, ingress.fps_mean);
+}
+
+// §4: cloud deployment reaches lower FPS at higher E2E latency than
+// the edge, without saturating its hardware.
+TEST(PaperInvariants, CloudSlowerThanEdge) {
+  const ExperimentResult edge =
+      run(core::PipelineMode::kScatter, SymbolicPlacement::single(Site::kE2), 1, 108);
+  const ExperimentResult cloud =
+      run(core::PipelineMode::kScatter, SymbolicPlacement::single(Site::kCloud), 1, 108);
+  EXPECT_LT(cloud.fps_mean, edge.fps_mean - 3.0);
+  EXPECT_GT(cloud.e2e_ms_mean, edge.e2e_ms_mean);
+  EXPECT_LT(cloud.machines[2].cpu_util, 0.5);  // not hardware-bound
+}
+
+// §A.1.1: packet loss trims FPS but leaves E2E roughly flat; extra
+// latency shifts E2E but leaves FPS roughly flat (no threshold drops in
+// scAtteR).
+TEST(PaperInvariants, NetworkConditionsActIndependently) {
+  ExperimentConfig base;
+  base.placement = SymbolicPlacement::single(Site::kE2);
+  base.num_clients = 1;
+  base.duration = seconds(30.0);
+  base.seed = 109;
+  base.testbed.client_e1 = TestbedConfig::access_custom(millis(1.0), 1e-7, false);
+  const ExperimentResult clean = run_experiment(base);
+
+  base.testbed.client_e1 = TestbedConfig::access_custom(millis(1.0), 8e-4, false);
+  const ExperimentResult lossy = run_experiment(base);
+  EXPECT_LT(lossy.fps_mean, clean.fps_mean - 1.0);
+  EXPECT_NEAR(lossy.e2e_ms_mean, clean.e2e_ms_mean, 8.0);
+
+  base.testbed.client_e1 = TestbedConfig::access_custom(millis(40.0), 1e-7, false);
+  const ExperimentResult slow = run_experiment(base);
+  EXPECT_NEAR(slow.fps_mean, clean.fps_mean, 2.5);
+  EXPECT_GT(slow.e2e_ms_mean, clean.e2e_ms_mean + 30.0);
+}
+
+// §A.1.2: the hybrid split performs worse than cloud-only.
+TEST(PaperInvariants, HybridWorseThanCloudOnly) {
+  const ExperimentResult cloud =
+      run(core::PipelineMode::kScatter, SymbolicPlacement::single(Site::kCloud), 2, 110);
+  const ExperimentResult hybrid = run(
+      core::PipelineMode::kScatter,
+      SymbolicPlacement::per_stage(
+          {Site::kE1, Site::kCloud, Site::kCloud, Site::kCloud, Site::kCloud}),
+      2, 110);
+  EXPECT_LE(hybrid.fps_mean, cloud.fps_mean + 1.0);
+  EXPECT_GT(hybrid.e2e_ms_mean, cloud.e2e_ms_mean);
+}
+
+// Jitter grows with concurrent clients (appendix fig 10).
+TEST(PaperInvariants, JitterGrowsWithLoad) {
+  const auto placement = SymbolicPlacement::single(Site::kE2);
+  const ExperimentResult one = run(core::PipelineMode::kScatter, placement, 1, 111);
+  const ExperimentResult four = run(core::PipelineMode::kScatter, placement, 4, 111);
+  EXPECT_GT(four.jitter_ms, one.jitter_ms);
+}
+
+// The fast-detector variant (§5, substituting SIFT) shifts the
+// saturation point to more clients.
+TEST(PaperInvariants, FasterDetectorShiftsSaturation) {
+  ExperimentConfig cfg;
+  // scAtteR's bottleneck is sift (extraction + fetch serving), so a
+  // faster extractor directly raises multi-client framerate there.
+  cfg.mode = core::PipelineMode::kScatter;
+  cfg.placement = SymbolicPlacement::single(Site::kE2);
+  cfg.num_clients = 3;
+  cfg.duration = seconds(30.0);
+  cfg.seed = 112;
+  const ExperimentResult standard = run_experiment(cfg);
+  cfg.costs = hw::CostModel::fast_detector();
+  const ExperimentResult fast = run_experiment(cfg);
+  EXPECT_GT(fast.fps_mean, standard.fps_mean * 1.05);
+}
+
+}  // namespace
+}  // namespace mar::expt

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.h"
+#include "net/fragment.h"
+#include "net/frame_channel.h"
+#include "net/udp.h"
+
+namespace mar::net {
+namespace {
+
+// --- fragmentation ------------------------------------------------------------
+
+std::vector<std::uint8_t> random_blob(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+TEST(Fragment, SmallMessageIsOneFragment) {
+  const auto msg = random_blob(100, 1);
+  const auto frags = fragment_message(msg, 42);
+  ASSERT_EQ(frags.size(), 1u);
+  Reassembler r;
+  const auto out = r.add(frags[0]);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, msg);
+}
+
+TEST(Fragment, LargeMessageSplitsAndReassembles) {
+  const auto msg = random_blob(480 * 1024, 2);  // the paper's stateful frame size
+  const auto frags = fragment_message(msg, 7);
+  EXPECT_EQ(frags.size(), (msg.size() + kMaxFragmentPayload - 1) / kMaxFragmentPayload);
+  Reassembler r;
+  std::optional<std::vector<std::uint8_t>> out;
+  for (const auto& f : frags) {
+    EXPECT_FALSE(out.has_value());
+    out = r.add(f);
+  }
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, msg);
+}
+
+TEST(Fragment, OutOfOrderReassembly) {
+  const auto msg = random_blob(200'000, 3);
+  auto frags = fragment_message(msg, 9);
+  std::reverse(frags.begin(), frags.end());
+  Reassembler r;
+  std::optional<std::vector<std::uint8_t>> out;
+  for (const auto& f : frags) out = r.add(f);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, msg);
+}
+
+TEST(Fragment, DuplicateFragmentsIgnored) {
+  const auto msg = random_blob(150'000, 4);
+  const auto frags = fragment_message(msg, 11);
+  Reassembler r;
+  r.add(frags[0]);
+  r.add(frags[0]);  // duplicate must not complete or corrupt
+  std::optional<std::vector<std::uint8_t>> out;
+  for (std::size_t i = 1; i < frags.size(); ++i) out = r.add(frags[i]);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, msg);
+}
+
+TEST(Fragment, MissingFragmentNeverCompletes) {
+  const auto msg = random_blob(150'000, 5);
+  const auto frags = fragment_message(msg, 13);
+  Reassembler r;
+  for (std::size_t i = 0; i + 1 < frags.size(); ++i) {
+    EXPECT_FALSE(r.add(frags[i]).has_value());
+  }
+  EXPECT_EQ(r.pending(), 1u);
+}
+
+TEST(Fragment, InterleavedMessages) {
+  const auto m1 = random_blob(100'000, 6);
+  const auto m2 = random_blob(100'000, 7);
+  const auto f1 = fragment_message(m1, 100);
+  const auto f2 = fragment_message(m2, 200);
+  Reassembler r;
+  std::optional<std::vector<std::uint8_t>> out1, out2;
+  for (std::size_t i = 0; i < std::max(f1.size(), f2.size()); ++i) {
+    if (i < f1.size()) {
+      if (auto v = r.add(f1[i])) out1 = v;
+    }
+    if (i < f2.size()) {
+      if (auto v = r.add(f2[i])) out2 = v;
+    }
+  }
+  ASSERT_TRUE(out1.has_value());
+  ASSERT_TRUE(out2.has_value());
+  EXPECT_EQ(*out1, m1);
+  EXPECT_EQ(*out2, m2);
+}
+
+TEST(Fragment, GarbageCollectionExpiresPartials) {
+  Reassembler r(std::chrono::milliseconds(0));
+  const auto frags = fragment_message(random_blob(150'000, 8), 17);
+  r.add(frags[0]);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  r.garbage_collect();
+  EXPECT_EQ(r.pending(), 0u);
+  EXPECT_EQ(r.expired(), 1u);
+}
+
+TEST(Fragment, RejectsCorruptHeader) {
+  Reassembler r;
+  const std::vector<std::uint8_t> junk = {0x00, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  EXPECT_FALSE(r.add(junk).has_value());
+  EXPECT_EQ(r.pending(), 0u);
+}
+
+TEST(Fragment, EmptyMessageRoundTrip) {
+  const auto frags = fragment_message({}, 21);
+  ASSERT_EQ(frags.size(), 1u);
+  Reassembler r;
+  const auto out = r.add(frags[0]);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->empty());
+}
+
+// Property: arbitrary sizes round-trip.
+class FragmentSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FragmentSizeSweep, RoundTrip) {
+  const auto msg = random_blob(GetParam(), GetParam() + 1);
+  Reassembler r;
+  std::optional<std::vector<std::uint8_t>> out;
+  for (const auto& f : fragment_message(msg, 33)) out = r.add(f);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, msg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FragmentSizeSweep,
+                         ::testing::Values(1u, 100u, kMaxFragmentPayload - 1,
+                                           kMaxFragmentPayload, kMaxFragmentPayload + 1,
+                                           3 * kMaxFragmentPayload + 17, 250u * 1024u));
+
+// --- UDP socket -----------------------------------------------------------------
+
+TEST(UdpSocket, OpenBindAndLocalAddr) {
+  UdpSocket sock;
+  ASSERT_TRUE(sock.open(0).is_ok());
+  EXPECT_TRUE(sock.is_open());
+  const auto addr = sock.local_addr();
+  ASSERT_TRUE(addr.is_ok());
+  EXPECT_GT(addr.value().port, 0);
+}
+
+TEST(UdpSocket, LoopbackSendReceive) {
+  UdpSocket a, b;
+  ASSERT_TRUE(a.open(0).is_ok());
+  ASSERT_TRUE(b.open(0).is_ok());
+  const SockAddr b_addr = SockAddr::loopback(b.local_addr().value().port);
+
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4};
+  const auto sent = a.send_to(payload, b_addr);
+  ASSERT_TRUE(sent.is_ok());
+  EXPECT_EQ(sent.value(), 4u);
+
+  ASSERT_TRUE(b.wait_readable(1'000));
+  const auto received = b.receive();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->data, payload);
+}
+
+TEST(UdpSocket, ReceiveOnEmptySocketReturnsNothing) {
+  UdpSocket sock;
+  ASSERT_TRUE(sock.open(0).is_ok());
+  EXPECT_FALSE(sock.receive().has_value());  // non-blocking
+}
+
+TEST(UdpSocket, ClosedSocketRefusesOps) {
+  UdpSocket sock;
+  EXPECT_FALSE(sock.is_open());
+  EXPECT_FALSE(sock.send_to(std::vector<std::uint8_t>{1}, SockAddr::loopback(1)).is_ok());
+  EXPECT_FALSE(sock.local_addr().is_ok());
+}
+
+TEST(UdpSocket, MoveTransfersOwnership) {
+  UdpSocket a;
+  ASSERT_TRUE(a.open(0).is_ok());
+  UdpSocket b = std::move(a);
+  EXPECT_FALSE(a.is_open());
+  EXPECT_TRUE(b.is_open());
+}
+
+TEST(SockAddr, Formatting) {
+  EXPECT_EQ(SockAddr::loopback(8080).to_string(), "127.0.0.1:8080");
+}
+
+// --- FrameChannel --------------------------------------------------------------------
+
+TEST(FrameChannel, RoundTripsLargeFramePacket) {
+  FrameChannel a, b;
+  ASSERT_TRUE(a.open(0).is_ok());
+  ASSERT_TRUE(b.open(0).is_ok());
+  const SockAddr b_addr = SockAddr::loopback(b.local_addr().value().port);
+
+  wire::FramePacket pkt;
+  pkt.header.client = ClientId{5};
+  pkt.header.frame = FrameId{77};
+  pkt.header.stage = Stage::kEncoding;
+  pkt.payload = random_blob(300'000, 9);  // multi-fragment
+  pkt.header.payload_bytes = static_cast<std::uint32_t>(pkt.payload.size());
+  ASSERT_TRUE(a.send(pkt, b_addr).is_ok());
+
+  std::optional<FrameChannel::Received> received;
+  for (int attempt = 0; attempt < 100 && !received; ++attempt) {
+    received = b.poll(50);
+  }
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->packet.header.frame, FrameId{77});
+  EXPECT_EQ(received->packet.payload, pkt.payload);
+  EXPECT_EQ(b.messages_received(), 1u);
+  EXPECT_EQ(a.messages_sent(), 1u);
+}
+
+TEST(FrameChannel, MultipleMessagesInOrderOfArrival) {
+  FrameChannel a, b;
+  ASSERT_TRUE(a.open(0).is_ok());
+  ASSERT_TRUE(b.open(0).is_ok());
+  const SockAddr b_addr = SockAddr::loopback(b.local_addr().value().port);
+
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    wire::FramePacket pkt;
+    pkt.header.frame = FrameId{i};
+    pkt.payload = {static_cast<std::uint8_t>(i)};
+    ASSERT_TRUE(a.send(pkt, b_addr).is_ok());
+  }
+  int got = 0;
+  for (int attempt = 0; attempt < 200 && got < 5; ++attempt) {
+    if (b.poll(20)) ++got;
+  }
+  EXPECT_EQ(got, 5);
+}
+
+}  // namespace
+}  // namespace mar::net

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/services.h"
+#include "orchestra/orchestrator.h"
+
+namespace mar::orchestra {
+namespace {
+
+class NullServicelet : public dsp::Servicelet {
+ public:
+  void process(wire::FramePacket) override { host().finish_current(); }
+};
+
+struct OrchFixture : ::testing::Test {
+  OrchFixture() : net(loop, Rng{1}), rt(loop, net), orch(rt) {
+    e1 = orch.add_machine(hw::MachineSpec::edge1());
+    e2 = orch.add_machine(hw::MachineSpec::edge2());
+    cloud = orch.add_machine(hw::MachineSpec::cloud());
+  }
+
+  InstanceId deploy_null(Stage stage, MachineId target) {
+    dsp::HostConfig cfg;
+    cfg.stage = stage;
+    return orch.deploy(stage, target, cfg, costs,
+                       [] { return std::make_unique<NullServicelet>(); });
+  }
+
+  sim::EventLoop loop;
+  sim::SimNetwork net;
+  dsp::SimRuntime rt;
+  Orchestrator orch;
+  hw::CostModel costs = hw::CostModel::standard();
+  MachineId e1, e2, cloud;
+};
+
+// --- placement / SLA ---------------------------------------------------------
+
+TEST_F(OrchFixture, SchedulePrefersEmptyMachine) {
+  ServiceSla sla;
+  sla.needs_gpu = true;
+  const auto first = orch.schedule(sla);
+  ASSERT_TRUE(first.is_ok());
+  deploy_null(Stage::kSift, first.value());
+  const auto second = orch.schedule(sla);
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_NE(second.value(), first.value());  // least-loaded first
+}
+
+TEST_F(OrchFixture, ScheduleRespectsGpuArchConstraint) {
+  ServiceSla sla;
+  sla.needs_gpu = true;
+  sla.gpu_archs = {"tesla"};  // only the cloud VM has a Tesla GPU
+  const auto placed = orch.schedule(sla);
+  ASSERT_TRUE(placed.is_ok());
+  EXPECT_EQ(placed.value(), cloud);
+}
+
+TEST_F(OrchFixture, ScheduleRejectsImpossibleArch) {
+  ServiceSla sla;
+  sla.needs_gpu = true;
+  sla.gpu_archs = {"tpu-v9"};
+  const auto placed = orch.schedule(sla);
+  EXPECT_FALSE(placed.is_ok());
+  EXPECT_EQ(placed.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(OrchFixture, ScheduleRespectsMemoryDemand) {
+  ServiceSla sla;
+  sla.needs_gpu = false;
+  sla.memory_bytes = 200ULL * 1024 * 1024 * 1024;  // 200 GB: only E2 fits
+  const auto placed = orch.schedule(sla);
+  ASSERT_TRUE(placed.is_ok());
+  EXPECT_EQ(placed.value(), e2);
+}
+
+TEST_F(OrchFixture, CpuOnlySlaIgnoresGpus) {
+  ServiceSla sla;
+  sla.needs_gpu = false;
+  sla.gpu_archs = {"whatever"};
+  EXPECT_TRUE(orch.schedule(sla).is_ok());
+}
+
+// --- semantic addressing --------------------------------------------------------
+
+TEST_F(OrchFixture, ResolveRoundRobinsAcrossReplicas) {
+  const InstanceId a = deploy_null(Stage::kSift, e1);
+  const InstanceId b = deploy_null(Stage::kSift, e2);
+  wire::FrameHeader header;
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 4; ++i) seen.insert(orch.resolve(Stage::kSift, header).value());
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_TRUE(seen.count(orch.endpoint_of(a).value()));
+  EXPECT_TRUE(seen.count(orch.endpoint_of(b).value()));
+}
+
+TEST_F(OrchFixture, ResolveSkipsDeadReplicas) {
+  const InstanceId a = deploy_null(Stage::kSift, e1);
+  const InstanceId b = deploy_null(Stage::kSift, e2);
+  orch.kill_instance(a);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(orch.resolve(Stage::kSift, {}), orch.endpoint_of(b));
+  }
+}
+
+TEST_F(OrchFixture, ResolveWithNoReplicasIsInvalid) {
+  EXPECT_FALSE(orch.resolve(Stage::kLsh, {}).valid());
+}
+
+TEST_F(OrchFixture, EndpointOfUnknownInstanceIsInvalid) {
+  EXPECT_FALSE(orch.endpoint_of(InstanceId{99}).valid());
+}
+
+TEST_F(OrchFixture, InstancesOfFiltersByStage) {
+  deploy_null(Stage::kSift, e1);
+  deploy_null(Stage::kSift, e2);
+  deploy_null(Stage::kEncoding, e1);
+  EXPECT_EQ(orch.instances_of(Stage::kSift).size(), 2u);
+  EXPECT_EQ(orch.instances_of(Stage::kEncoding).size(), 1u);
+  EXPECT_EQ(orch.instances_of(Stage::kMatching).size(), 0u);
+  EXPECT_EQ(orch.instance_count(), 3u);
+}
+
+// --- deployment side effects --------------------------------------------------------
+
+TEST_F(OrchFixture, DeployChargesBaseMemory) {
+  const std::uint64_t before = orch.machine(e1).memory().used();
+  deploy_null(Stage::kSift, e1);
+  EXPECT_EQ(orch.machine(e1).memory().used(),
+            before + costs.stage(Stage::kSift).base_memory_bytes);
+}
+
+// --- monitoring ---------------------------------------------------------------------
+
+TEST_F(OrchFixture, MonitorSamplesHardwareOnly) {
+  deploy_null(Stage::kSift, e1);
+  orch.start_monitor(seconds(1.0));
+  loop.run_until(seconds(5.0));
+  ASSERT_GE(orch.monitor_samples().size(), 4u);
+  const MonitorSample& s = orch.monitor_samples().front();
+  ASSERT_EQ(s.machines.size(), 3u);
+  // Hardware counters are visible; idle services show ~0 utilization
+  // but nonzero resident memory (Insight I's blind spot).
+  EXPECT_EQ(s.machines[0].cpu_util, 0.0);
+  EXPECT_GT(s.machines[0].memory_used, 0u);
+}
+
+TEST_F(OrchFixture, MonitorStops) {
+  orch.start_monitor(seconds(1.0));
+  loop.run_until(seconds(2.5));
+  const std::size_t count = orch.monitor_samples().size();
+  orch.stop_monitor();
+  loop.run_until(seconds(10.0));
+  EXPECT_EQ(orch.monitor_samples().size(), count);
+}
+
+// --- failure recovery ------------------------------------------------------------------
+
+TEST_F(OrchFixture, WatchdogRedeploysDeadInstance) {
+  const InstanceId a = deploy_null(Stage::kSift, e1);
+  orch.enable_auto_restart(millis(500.0), seconds(1.0));
+  loop.run_until(seconds(1.0));
+  orch.kill_instance(a);
+  EXPECT_TRUE(orch.host(a).is_down());
+  loop.run_until(seconds(4.0));
+  EXPECT_FALSE(orch.host(a).is_down());
+  EXPECT_EQ(orch.redeploy_count(), 1u);
+}
+
+TEST_F(OrchFixture, WatchdogHandlesRepeatedFailures) {
+  const InstanceId a = deploy_null(Stage::kSift, e1);
+  orch.enable_auto_restart(millis(500.0), millis(500.0));
+  for (int round = 0; round < 3; ++round) {
+    orch.kill_instance(a);
+    loop.run_until(loop.now() + seconds(3.0));
+    EXPECT_FALSE(orch.host(a).is_down()) << "round " << round;
+  }
+  EXPECT_EQ(orch.redeploy_count(), 3u);
+}
+
+}  // namespace
+}  // namespace mar::orchestra

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/event_loop.h"
+#include "sim/link.h"
+#include "sim/network.h"
+
+namespace mar::sim {
+namespace {
+
+// --- event loop --------------------------------------------------------
+
+TEST(EventLoop, FiresInTimestampOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(30, [&] { order.push_back(3); });
+  loop.schedule_at(10, [&] { order.push_back(1); });
+  loop.schedule_at(20, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30);
+}
+
+TEST(EventLoop, FifoAmongEqualTimestamps) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventLoop, ScheduleAfterIsRelative) {
+  EventLoop loop;
+  SimTime fired_at = -1;
+  loop.schedule_at(100, [&] {
+    loop.schedule_after(50, [&] { fired_at = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(EventLoop, PastEventsClampToNow) {
+  EventLoop loop;
+  SimTime fired_at = -1;
+  loop.schedule_at(100, [&] {
+    loop.schedule_at(10, [&] { fired_at = loop.now(); });  // in the past
+  });
+  loop.run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(EventLoop, CancelPreventsFiring) {
+  EventLoop loop;
+  bool fired = false;
+  const EventId id = loop.schedule_at(10, [&] { fired = true; });
+  loop.cancel(id);
+  loop.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, CancelIsIdempotentAndSafeAfterFire) {
+  EventLoop loop;
+  const EventId id = loop.schedule_at(10, [] {});
+  loop.run();
+  loop.cancel(id);  // already fired: no-op
+  loop.cancel(EventId{});  // invalid: no-op
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(10, [&] { ++fired; });
+  loop.schedule_at(20, [&] { ++fired; });
+  loop.schedule_at(30, [&] { ++fired; });
+  EXPECT_EQ(loop.run_until(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(loop.now(), 20);
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventLoop, RunUntilAdvancesTimeWithoutEvents) {
+  EventLoop loop;
+  loop.run_until(1'000);
+  EXPECT_EQ(loop.now(), 1'000);
+}
+
+TEST(EventLoop, CascadingEventsAllFire) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) loop.schedule_after(1, recurse);
+  };
+  loop.schedule_at(0, recurse);
+  loop.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(loop.now(), 99);
+}
+
+TEST(EventLoop, TimeNeverGoesBackwards) {
+  EventLoop loop;
+  Rng rng(5);
+  SimTime last_seen = 0;
+  bool monotone = true;
+  for (int i = 0; i < 500; ++i) {
+    loop.schedule_at(rng.uniform_int(0, 10'000), [&] {
+      if (loop.now() < last_seen) monotone = false;
+      last_seen = loop.now();
+    });
+  }
+  loop.run();
+  EXPECT_TRUE(monotone);
+}
+
+// --- link model -----------------------------------------------------------
+
+TEST(LinkModel, LoopbackIsCheapAndLossless) {
+  const LinkModel m = LinkModel::loopback();
+  Rng rng(1);
+  EXPECT_TRUE(m.survives(1'000'000, rng));
+  EXPECT_LT(m.propagation_delay(rng), millis(1.0));
+}
+
+TEST(LinkModel, WithRttHalvesLatency) {
+  const LinkModel m = LinkModel::with_rtt(millis(10.0));
+  EXPECT_EQ(m.latency, millis(5.0));
+}
+
+TEST(LinkModel, FragmentLossCompoundsWithSize) {
+  LinkModel m;
+  m.loss_rate = 0.001;  // per 1400-byte fragment
+  Rng rng(3);
+  int survived_small = 0, survived_large = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    survived_small += m.survives(500, rng) ? 1 : 0;
+    survived_large += m.survives(250 * 1024, rng) ? 1 : 0;
+  }
+  // One fragment: ~99.9% survival. 180 fragments: ~83%.
+  EXPECT_GT(survived_small, 19'800);
+  EXPECT_LT(survived_large, 17'500);
+  EXPECT_GT(survived_large, 15'500);
+}
+
+TEST(LinkModel, ZeroLossAlwaysSurvives) {
+  LinkModel m;
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(m.survives(1 << 20, rng));
+}
+
+TEST(LinkModel, SerializationDelayScalesWithBytes) {
+  LinkModel m;
+  m.bandwidth_bytes_per_sec = 125'000'000.0;  // 1 Gbps
+  EXPECT_EQ(m.serialization_delay(125'000'000), kSecond);
+  EXPECT_EQ(m.serialization_delay(0), 0);
+  LinkModel unlimited;
+  EXPECT_EQ(unlimited.serialization_delay(1 << 30), 0);
+}
+
+TEST(LinkModel, OscillationAddsDelaySometimes) {
+  LinkModel m;
+  m.latency = millis(5.0);
+  m.oscillation_delay = millis(10.0);
+  m.oscillation_prob = 0.2;
+  Rng rng(5);
+  int oscillated = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    if (m.propagation_delay(rng) > millis(12.0)) ++oscillated;
+  }
+  EXPECT_NEAR(oscillated / 10'000.0, 0.2, 0.02);
+}
+
+// --- network ------------------------------------------------------------------
+
+struct NetFixture : ::testing::Test {
+  EventLoop loop;
+  SimNetwork net{loop, Rng{99}};
+  MachineId m0{0}, m1{1};
+};
+
+TEST_F(NetFixture, DeliversToHandler) {
+  wire::FramePacket received;
+  int count = 0;
+  const EndpointId a = net.create_endpoint(m0, nullptr);
+  const EndpointId b = net.create_endpoint(m1, [&](wire::FramePacket p) {
+    received = std::move(p);
+    ++count;
+  });
+  net.set_link(m0, m1, LinkModel::with_rtt(millis(4.0)));
+
+  wire::FramePacket pkt;
+  pkt.header.frame = FrameId{7};
+  net.send(a, b, pkt);
+  loop.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(received.header.frame, FrameId{7});
+  EXPECT_GE(loop.now(), millis(2.0));  // one-way latency applied
+}
+
+TEST_F(NetFixture, IntraMachineUsesLoopback) {
+  int count = 0;
+  const EndpointId a = net.create_endpoint(m0, nullptr);
+  const EndpointId b = net.create_endpoint(m0, [&](wire::FramePacket) { ++count; });
+  net.send(a, b, {});
+  loop.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_LT(loop.now(), millis(1.0));
+}
+
+TEST_F(NetFixture, DestroyedEndpointDropsSilently) {
+  int count = 0;
+  const EndpointId a = net.create_endpoint(m0, nullptr);
+  const EndpointId b = net.create_endpoint(m0, [&](wire::FramePacket) { ++count; });
+  net.destroy_endpoint(b);
+  net.send(a, b, {});
+  loop.run();
+  EXPECT_EQ(count, 0);
+}
+
+TEST_F(NetFixture, RebindRestoresDelivery) {
+  int count = 0;
+  const EndpointId a = net.create_endpoint(m0, nullptr);
+  const EndpointId b = net.create_endpoint(m0, nullptr);
+  net.rebind(b, [&](wire::FramePacket) { ++count; });
+  net.send(a, b, {});
+  loop.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(NetFixture, InvalidEndpointsIgnored) {
+  const EndpointId a = net.create_endpoint(m0, nullptr);
+  net.send(a, EndpointId::invalid(), {});
+  net.send(EndpointId::invalid(), a, {});
+  loop.run();  // must not crash
+  EXPECT_EQ(net.datagrams_sent(), 0u);
+}
+
+TEST_F(NetFixture, LossyLinkDropsSomeFrames) {
+  int count = 0;
+  const EndpointId a = net.create_endpoint(m0, nullptr);
+  const EndpointId b = net.create_endpoint(m1, [&](wire::FramePacket) { ++count; });
+  LinkModel lossy = LinkModel::with_rtt(millis(2.0));
+  lossy.loss_rate = 0.001;
+  net.set_link(m0, m1, lossy);
+
+  wire::FramePacket pkt;
+  pkt.header.payload_bytes = 250 * 1024;  // ~183 fragments
+  for (int i = 0; i < 2'000; ++i) net.send(a, b, pkt);
+  loop.run();
+  EXPECT_LT(count, 1'900);  // ~17% frame loss expected
+  EXPECT_GT(count, 1'400);
+  EXPECT_EQ(net.datagrams_lost(), 2'000u - static_cast<std::uint64_t>(count));
+}
+
+TEST_F(NetFixture, SharedBandwidthQueuesAndTailDrops) {
+  int count = 0;
+  SimTime last_delivery = 0;
+  const EndpointId a = net.create_endpoint(m0, nullptr);
+  const EndpointId b = net.create_endpoint(m1, [&](wire::FramePacket) {
+    ++count;
+    last_delivery = loop.now();
+  });
+  LinkModel narrow = LinkModel::with_rtt(millis(2.0));
+  narrow.bandwidth_bytes_per_sec = 1'000'000.0;  // 8 Mbps
+  narrow.max_queue_delay = millis(50.0);
+  net.set_link(m0, m1, narrow);
+
+  wire::FramePacket pkt;
+  pkt.header.payload_bytes = 10'000;  // 10 ms serialization each
+  for (int i = 0; i < 20; ++i) net.send(a, b, pkt);  // 200 ms of backlog
+  loop.run();
+  // Only ~6 frames fit within the 50 ms queue budget (+1 in service).
+  EXPECT_LT(count, 10);
+  EXPECT_GT(count, 2);
+  // Deliveries spread out by the serializer, not all at t=latency.
+  EXPECT_GT(last_delivery, millis(30.0));
+}
+
+TEST_F(NetFixture, ByteAndSendCountersAdvance) {
+  const EndpointId a = net.create_endpoint(m0, nullptr);
+  const EndpointId b = net.create_endpoint(m0, [](wire::FramePacket) {});
+  wire::FramePacket pkt;
+  pkt.header.payload_bytes = 100;
+  net.send(a, b, pkt);
+  EXPECT_EQ(net.datagrams_sent(), 1u);
+  EXPECT_EQ(net.bytes_sent(), pkt.wire_size());
+  EXPECT_EQ(net.machine_of(a), m0);
+}
+
+}  // namespace
+}  // namespace mar::sim

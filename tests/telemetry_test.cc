@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "telemetry/histogram.h"
+#include "telemetry/stats.h"
+#include "telemetry/timeseries.h"
+
+namespace mar::telemetry {
+namespace {
+
+// --- Accumulator -----------------------------------------------------------
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator a;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(v);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_NEAR(a.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_EQ(a.min(), 2.0);
+  EXPECT_EQ(a.max(), 9.0);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, SingleSample) {
+  Accumulator a;
+  a.add(3.5);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.5);
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_EQ(a.min(), 3.5);
+  EXPECT_EQ(a.max(), 3.5);
+}
+
+TEST(Accumulator, HandlesNegatives) {
+  Accumulator a;
+  a.add(-5.0);
+  a.add(5.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.min(), -5.0);
+}
+
+TEST(Accumulator, ResetClears) {
+  Accumulator a;
+  a.add(1.0);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+}
+
+TEST(RatioCounter, Basics) {
+  RatioCounter r;
+  EXPECT_EQ(r.ratio(), 0.0);
+  r.hit();
+  r.hit();
+  r.miss();
+  r.miss();
+  EXPECT_DOUBLE_EQ(r.ratio(), 0.5);
+  EXPECT_EQ(r.hits(), 2u);
+  EXPECT_EQ(r.total(), 4u);
+  r.reset();
+  EXPECT_EQ(r.total(), 0u);
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+TEST(Histogram, EmptyPercentileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.percentile(50.0), 0.0);
+}
+
+TEST(Histogram, ExactPercentiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_NEAR(h.median(), 50.5, 1e-9);
+  EXPECT_NEAR(h.percentile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(h.percentile(100.0), 100.0, 1e-9);
+  EXPECT_NEAR(h.percentile(95.0), 95.05, 1e-9);
+}
+
+TEST(Histogram, PercentileClampsInput) {
+  Histogram h;
+  h.add(1.0);
+  h.add(2.0);
+  EXPECT_EQ(h.percentile(-5.0), 1.0);
+  EXPECT_EQ(h.percentile(200.0), 2.0);
+}
+
+TEST(Histogram, InterleavedAddAndQuery) {
+  Histogram h;
+  h.add(3.0);
+  EXPECT_EQ(h.median(), 3.0);
+  h.add(1.0);  // must re-sort internally
+  EXPECT_EQ(h.percentile(0.0), 1.0);
+  h.add(2.0);
+  EXPECT_EQ(h.median(), 2.0);
+}
+
+TEST(Histogram, Merge) {
+  Histogram a, b;
+  a.add(1.0);
+  a.add(2.0);
+  b.add(3.0);
+  b.add(4.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+  EXPECT_EQ(a.max(), 4.0);
+}
+
+TEST(Histogram, MeanTracksAccumulator) {
+  Histogram h;
+  Rng rng(3);
+  Accumulator ref;
+  for (int i = 0; i < 1'000; ++i) {
+    const double v = rng.gaussian(10.0, 3.0);
+    h.add(v);
+    ref.add(v);
+  }
+  EXPECT_NEAR(h.mean(), ref.mean(), 1e-9);
+  EXPECT_NEAR(h.stddev(), ref.stddev(), 1e-9);
+}
+
+// Property: percentiles agree with a sorted reference across
+// distributions.
+class HistogramDistributionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramDistributionSweep, MatchesSortedReference) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Histogram h;
+  std::vector<double> ref;
+  for (int i = 0; i < 2'000; ++i) {
+    double v = 0.0;
+    switch (GetParam() % 3) {
+      case 0:
+        v = rng.uniform(0.0, 100.0);
+        break;
+      case 1:
+        v = rng.gaussian(50.0, 10.0);
+        break;
+      default:
+        v = rng.exponential(20.0);
+        break;
+    }
+    h.add(v);
+    ref.push_back(v);
+  }
+  std::sort(ref.begin(), ref.end());
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    const double rank = p / 100.0 * static_cast<double>(ref.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - std::floor(rank);
+    const double expected = ref[lo] * (1 - frac) + ref[hi] * frac;
+    EXPECT_NEAR(h.percentile(p), expected, 1e-9) << "p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, HistogramDistributionSweep, ::testing::Range(0, 9));
+
+// --- TimeSeries ------------------------------------------------------------------
+
+TEST(TimeSeries, BucketsByTime) {
+  TimeSeries ts(kSecond);
+  ts.add(0, 1.0);
+  ts.add(millis(500.0), 2.0);
+  ts.add(seconds(1.5), 10.0);
+  EXPECT_EQ(ts.buckets(), 2u);
+  EXPECT_DOUBLE_EQ(ts.sum_at(0), 3.0);
+  EXPECT_EQ(ts.count_at(0), 2u);
+  EXPECT_DOUBLE_EQ(ts.mean_at(0), 1.5);
+  EXPECT_DOUBLE_EQ(ts.sum_at(1), 10.0);
+}
+
+TEST(TimeSeries, RateIsPerSecond) {
+  TimeSeries ts(kSecond);
+  for (int i = 0; i < 30; ++i) ts.add(millis(i * 33.0));
+  EXPECT_DOUBLE_EQ(ts.rate_at(0), 30.0);
+}
+
+TEST(TimeSeries, OutOfRangeReadsAreZero) {
+  TimeSeries ts;
+  EXPECT_EQ(ts.sum_at(99), 0.0);
+  EXPECT_EQ(ts.count_at(99), 0u);
+  EXPECT_EQ(ts.mean_at(99), 0.0);
+}
+
+TEST(TimeSeries, NegativeTimeGoesToFirstBucket) {
+  TimeSeries ts;
+  ts.add(-seconds(5.0), 1.0);
+  EXPECT_EQ(ts.count_at(0), 1u);
+}
+
+TEST(TimeSeries, CustomBucketWidth) {
+  TimeSeries ts(millis(100.0));
+  ts.add(millis(250.0));
+  EXPECT_EQ(ts.bucket_index(millis(250.0)), 2u);
+  EXPECT_EQ(ts.count_at(2), 1u);
+}
+
+TEST(TimeSeries, ResetClears) {
+  TimeSeries ts;
+  ts.add(0);
+  ts.reset();
+  EXPECT_EQ(ts.buckets(), 0u);
+}
+
+}  // namespace
+}  // namespace mar::telemetry

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "video/scene.h"
+
+namespace mar::video {
+namespace {
+
+TEST(Scene, DefaultIs720p) {
+  const WorkplaceScene scene;
+  EXPECT_EQ(scene.width(), 1280);
+  EXPECT_EQ(scene.height(), 720);
+  const auto frame = scene.render(0.0);
+  EXPECT_EQ(frame.width(), 1280);
+  EXPECT_EQ(frame.height(), 720);
+}
+
+TEST(Scene, RenderIsDeterministic) {
+  const WorkplaceScene a(320, 180), b(320, 180);
+  const auto fa = a.render(1.25);
+  const auto fb = b.render(1.25);
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) ASSERT_EQ(fa.data()[i], fb.data()[i]);
+}
+
+TEST(Scene, FramesChangeOverTime) {
+  const WorkplaceScene scene(320, 180);
+  const auto f0 = scene.render(0.0);
+  const auto f1 = scene.render(2.0);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < f0.size(); ++i) {
+    diff += std::abs(f0.data()[i] - f1.data()[i]);
+  }
+  EXPECT_GT(diff / static_cast<double>(f0.size()), 0.005);  // camera moved
+}
+
+TEST(Scene, HasThreeObjects) {
+  const WorkplaceScene scene;
+  EXPECT_EQ(scene.placements().size(), 3u);
+  EXPECT_EQ(kNumSceneObjects, 3);
+}
+
+TEST(Scene, ReferenceImagesDiffer) {
+  const WorkplaceScene scene;
+  const auto monitor = scene.render_reference(SceneObject::kMonitor, 64, 64);
+  const auto keyboard = scene.render_reference(SceneObject::kKeyboard, 64, 64);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < monitor.size(); ++i) {
+    diff += std::abs(monitor.data()[i] - keyboard.data()[i]);
+  }
+  EXPECT_GT(diff / static_cast<double>(monitor.size()), 0.05);
+}
+
+TEST(Scene, ReferenceHasRequestedDims) {
+  const WorkplaceScene scene;
+  const auto img = scene.render_reference(SceneObject::kTable, 100, 40);
+  EXPECT_EQ(img.width(), 100);
+  EXPECT_EQ(img.height(), 40);
+}
+
+TEST(Scene, GroundTruthBboxMovesWithCamera) {
+  const WorkplaceScene scene;
+  const auto b0 = scene.object_bbox_at(SceneObject::kMonitor, 0.0);
+  const auto b1 = scene.object_bbox_at(SceneObject::kMonitor, 2.5);
+  EXPECT_NE(b0[0], b1[0]);  // camera pan shifts the box
+  // Box stays ordered.
+  EXPECT_LT(b0[0], b0[2]);
+  EXPECT_LT(b0[1], b0[3]);
+}
+
+TEST(Scene, CameraIsPeriodicish) {
+  const WorkplaceScene scene;
+  const CameraPose p0 = scene.camera_at(0.0);
+  const CameraPose p10 = scene.camera_at(10.0);
+  EXPECT_NEAR(p0.offset_x, p10.offset_x, 1.0f);  // 10 s pan loop
+}
+
+TEST(Scene, PixelValuesInRange) {
+  const WorkplaceScene scene(320, 180);
+  const auto frame = scene.render(3.7);
+  for (float v : frame.data()) {
+    ASSERT_GE(v, -0.2f);
+    ASSERT_LE(v, 1.3f);
+  }
+}
+
+TEST(VideoSource, LoopsClip) {
+  VideoSource source(WorkplaceScene(160, 90), 30.0, 10.0);
+  EXPECT_EQ(source.frames_per_loop(), 300u);
+  const auto first = source.frame(0);
+  const auto looped = source.frame(300);  // exactly one clip later
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    ASSERT_NEAR(first.data()[i], looped.data()[i], 1e-5f);
+  }
+}
+
+TEST(VideoSource, FpsAccessors) {
+  VideoSource source(WorkplaceScene(160, 90), 25.0, 4.0);
+  EXPECT_DOUBLE_EQ(source.fps(), 25.0);
+  EXPECT_EQ(source.frames_per_loop(), 100u);
+}
+
+}  // namespace
+}  // namespace mar::video

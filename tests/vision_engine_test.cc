@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vision/engine.h"
+#include "vision/serialize.h"
+#include "video/scene.h"
+
+namespace mar::vision {
+namespace {
+
+// Shared trained engine: training is the expensive part, so the
+// integration tests reuse one instance.
+class EngineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scene_ = new video::WorkplaceScene(640, 360);
+    EngineParams params;
+    params.working_width = 320;
+    params.sift.max_features = 250;
+    engine_ = new ArEngine(params);
+    engine_->add_reference("monitor",
+                           scene_->render_reference(video::SceneObject::kMonitor, 220, 140));
+    engine_->add_reference("keyboard",
+                           scene_->render_reference(video::SceneObject::kKeyboard, 180, 70));
+    engine_->add_reference("table",
+                           scene_->render_reference(video::SceneObject::kTable, 290, 75));
+    ASSERT_TRUE(engine_->finalize_training());
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete scene_;
+    engine_ = nullptr;
+    scene_ = nullptr;
+  }
+
+  static video::WorkplaceScene* scene_;
+  static ArEngine* engine_;
+};
+
+video::WorkplaceScene* EngineFixture::scene_ = nullptr;
+ArEngine* EngineFixture::engine_ = nullptr;
+
+TEST_F(EngineFixture, TrainsOnReferences) {
+  EXPECT_TRUE(engine_->trained());
+  EXPECT_EQ(engine_->num_references(), 3u);
+}
+
+TEST_F(EngineFixture, DetectsObjectsInScene) {
+  const FrameResult result = engine_->process(scene_->render(0.0));
+  EXPECT_GT(result.feature_count, 50u);
+  ASSERT_FALSE(result.detections.empty());
+  // Detected centers must match the ground-truth object boxes.
+  for (const Detection& d : result.detections) {
+    const auto bbox = scene_->object_bbox_at(static_cast<video::SceneObject>(d.object_id), 0.0);
+    const Point2f c = d.center();
+    // Frame coords are at the preprocessed working resolution when the
+    // engine downsizes; scale ground truth to compare. The engine
+    // reports in original-frame coordinates via scale factors.
+    EXPECT_GT(c.x, bbox[0] - 60.0f);
+    EXPECT_LT(c.x, bbox[2] + 60.0f);
+    EXPECT_GT(c.y, bbox[1] - 60.0f);
+    EXPECT_LT(c.y, bbox[3] + 60.0f);
+  }
+}
+
+TEST_F(EngineFixture, TracksAcrossFrames) {
+  engine_->tracker().reset();
+  std::uint64_t track_id = 0;
+  int hits = 0;
+  for (int i = 0; i < 5; ++i) {
+    const FrameResult result = engine_->process(scene_->render(i / 30.0));
+    for (const auto& t : result.tracks) {
+      if (track_id == 0) track_id = t.track_id;
+      if (t.track_id == track_id) ++hits;
+    }
+  }
+  // The same physical object keeps the same track id across frames.
+  EXPECT_GE(hits, 4);
+}
+
+TEST_F(EngineFixture, StageWiseMatchesProcess) {
+  const Image frame = scene_->render(0.5);
+  const Image pre = engine_->preprocess(frame);
+  EXPECT_LE(pre.width(), engine_->params().working_width);
+  const ExtractedFeatures features = engine_->extract(pre, frame);
+  EXPECT_GT(features.features.size(), 30u);
+  EXPECT_GT(features.scale_x, 1.5f);  // 640 -> 320
+
+  const auto fisher = engine_->encode(features.features);
+  EXPECT_FALSE(fisher.empty());
+  const auto candidates = engine_->lookup(fisher);
+  EXPECT_FALSE(candidates.empty());
+  EXPECT_LE(candidates.size(),
+            static_cast<std::size_t>(engine_->params().nn_candidates));
+  const auto detections = engine_->match_and_pose(features, candidates);
+  EXPECT_FALSE(detections.empty());
+}
+
+TEST_F(EngineFixture, UntrainedEngineReturnsNothing) {
+  ArEngine fresh;
+  const FrameResult result = fresh.process(scene_->render(0.0));
+  EXPECT_TRUE(result.detections.empty());
+  EXPECT_TRUE(fresh.encode({}).empty());
+  EXPECT_TRUE(fresh.lookup({1.0f, 2.0f}).empty());
+}
+
+TEST_F(EngineFixture, TimingsPopulated) {
+  const FrameResult result = engine_->process(scene_->render(0.2));
+  EXPECT_GT(result.timings.extract_ms, 0.0);
+  EXPECT_GT(result.timings.total_ms(), result.timings.extract_ms);
+}
+
+// --- payload serialization --------------------------------------------------------
+
+TEST(VisionSerialize, FeatureRoundTrip) {
+  FeatureList features;
+  for (int i = 0; i < 5; ++i) {
+    Feature f;
+    f.keypoint = {static_cast<float>(i), 2.0f * i, 1.5f, 0.7f, 0.3f, i % 3};
+    for (std::size_t d = 0; d < f.descriptor.size(); ++d) {
+      f.descriptor[d] = static_cast<float>(d + i) / 128.0f;
+    }
+    features.push_back(f);
+  }
+  const auto parsed = parse_features(serialize_features(features));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 5u);
+  EXPECT_EQ((*parsed)[3].keypoint.x, 3.0f);
+  EXPECT_EQ((*parsed)[3].keypoint.octave, 0);
+  EXPECT_EQ((*parsed)[4].descriptor, features[4].descriptor);
+}
+
+TEST(VisionSerialize, FeatureRejectsGarbage) {
+  const std::vector<std::uint8_t> garbage = {0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3};
+  EXPECT_FALSE(parse_features(garbage).has_value());
+}
+
+TEST(VisionSerialize, FloatsRoundTrip) {
+  const std::vector<float> v = {1.5f, -2.25f, 0.0f, 1e9f};
+  const auto parsed = parse_floats(serialize_floats(v));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, v);
+}
+
+TEST(VisionSerialize, IdsRoundTrip) {
+  const std::vector<std::uint32_t> ids = {0, 7, 0xFFFFFFFF};
+  const auto parsed = parse_ids(serialize_ids(ids));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, ids);
+}
+
+TEST(VisionSerialize, DetectionsRoundTrip) {
+  Detection d;
+  d.object_id = 3;
+  d.label = "keyboard";
+  d.corners = {Point2f{1, 2}, Point2f{3, 4}, Point2f{5, 6}, Point2f{7, 8}};
+  d.pose.h = {1, 0, 10, 0, 1, 20, 0, 0, 1};
+  d.inliers = 12;
+  d.score = 0.75f;
+  const auto parsed = parse_detections(serialize_detections({d}));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].label, "keyboard");
+  EXPECT_EQ((*parsed)[0].corners[2].x, 5.0f);
+  EXPECT_EQ((*parsed)[0].pose.h[2], 10.0);
+  EXPECT_EQ((*parsed)[0].inliers, 12);
+}
+
+TEST(VisionSerialize, EmptyCollections) {
+  EXPECT_TRUE(parse_features(serialize_features({}))->empty());
+  EXPECT_TRUE(parse_floats(serialize_floats({}))->empty());
+  EXPECT_TRUE(parse_ids(serialize_ids({}))->empty());
+  EXPECT_TRUE(parse_detections(serialize_detections({}))->empty());
+}
+
+}  // namespace
+}  // namespace mar::vision

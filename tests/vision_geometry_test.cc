@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "vision/homography.h"
+#include "vision/lsh.h"
+#include "vision/matcher.h"
+#include "vision/pose.h"
+
+namespace mar::vision {
+namespace {
+
+Homography make_similarity(float scale, float angle, float tx, float ty) {
+  Homography h;
+  h.h = {scale * std::cos(angle), -scale * std::sin(angle), tx,
+         scale * std::sin(angle), scale * std::cos(angle),  ty,
+         0.0,                     0.0,                      1.0};
+  return h;
+}
+
+// --- homography -------------------------------------------------------------
+
+TEST(Homography, IdentityMapsPointsToThemselves) {
+  const Homography h = Homography::identity();
+  const Point2f p = h.apply({3.0f, 4.0f});
+  EXPECT_FLOAT_EQ(p.x, 3.0f);
+  EXPECT_FLOAT_EQ(p.y, 4.0f);
+}
+
+TEST(Homography, DltRecoversKnownTransform) {
+  const Homography truth = make_similarity(1.5f, 0.3f, 20.0f, -10.0f);
+  std::vector<Point2f> src, dst;
+  for (float x : {0.0f, 100.0f, 0.0f, 100.0f, 50.0f}) {
+    for (float y : {0.0f, 0.0f, 80.0f, 80.0f, 40.0f}) {
+      src.push_back({x, y});
+      dst.push_back(truth.apply({x, y}));
+    }
+  }
+  const auto estimated = homography_dlt(src, dst);
+  ASSERT_TRUE(estimated.has_value());
+  for (const Point2f& p : src) {
+    const Point2f a = truth.apply(p);
+    const Point2f b = estimated->apply(p);
+    EXPECT_NEAR(a.x, b.x, 0.01f);
+    EXPECT_NEAR(a.y, b.y, 0.01f);
+  }
+}
+
+TEST(Homography, DltNeedsFourPoints) {
+  const std::vector<Point2f> three = {{0, 0}, {1, 0}, {0, 1}};
+  EXPECT_FALSE(homography_dlt(three, three).has_value());
+}
+
+TEST(Homography, DltRejectsSizeMismatch) {
+  const std::vector<Point2f> four = {{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+  const std::vector<Point2f> five = {{0, 0}, {1, 0}, {0, 1}, {1, 1}, {2, 2}};
+  EXPECT_FALSE(homography_dlt(four, five).has_value());
+}
+
+TEST(Ransac, RejectsOutliers) {
+  Rng rng(1);
+  const Homography truth = make_similarity(1.2f, -0.2f, 5.0f, 8.0f);
+  std::vector<Point2f> src, dst;
+  // 40 inliers.
+  for (int i = 0; i < 40; ++i) {
+    const Point2f p{static_cast<float>(rng.uniform(0, 200)),
+                    static_cast<float>(rng.uniform(0, 150))};
+    src.push_back(p);
+    dst.push_back(truth.apply(p));
+  }
+  // 20 gross outliers.
+  for (int i = 0; i < 20; ++i) {
+    src.push_back({static_cast<float>(rng.uniform(0, 200)),
+                   static_cast<float>(rng.uniform(0, 150))});
+    dst.push_back({static_cast<float>(rng.uniform(0, 200)),
+                   static_cast<float>(rng.uniform(0, 150))});
+  }
+  RansacParams params;
+  const auto result = find_homography_ransac(src, dst, params, rng);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GE(result->inliers.size(), 35u);
+  EXPECT_LE(result->inliers.size(), 45u);
+  // Recovered transform agrees with the truth.
+  const Point2f check = result->homography.apply({100.0f, 75.0f});
+  const Point2f expected = truth.apply({100.0f, 75.0f});
+  EXPECT_NEAR(check.x, expected.x, 1.0f);
+  EXPECT_NEAR(check.y, expected.y, 1.0f);
+}
+
+TEST(Ransac, FailsWhenTooFewInliers) {
+  Rng rng(2);
+  std::vector<Point2f> src, dst;
+  for (int i = 0; i < 20; ++i) {
+    src.push_back({static_cast<float>(rng.uniform(0, 100)),
+                   static_cast<float>(rng.uniform(0, 100))});
+    dst.push_back({static_cast<float>(rng.uniform(0, 100)),
+                   static_cast<float>(rng.uniform(0, 100))});
+  }
+  RansacParams params;
+  params.min_inliers = 15;
+  EXPECT_FALSE(find_homography_ransac(src, dst, params, rng).has_value());
+}
+
+// Property sweep: random similarity transforms recovered with noise.
+class RansacTransformSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RansacTransformSweep, RecoversWithNoiseAndOutliers) {
+  Rng rng(GetParam());
+  const Homography truth =
+      make_similarity(static_cast<float>(rng.uniform(0.7, 1.5)),
+                      static_cast<float>(rng.uniform(-0.5, 0.5)),
+                      static_cast<float>(rng.uniform(-30, 30)),
+                      static_cast<float>(rng.uniform(-30, 30)));
+  std::vector<Point2f> src, dst;
+  for (int i = 0; i < 50; ++i) {
+    const Point2f p{static_cast<float>(rng.uniform(0, 300)),
+                    static_cast<float>(rng.uniform(0, 200))};
+    Point2f q = truth.apply(p);
+    q.x += static_cast<float>(rng.gaussian(0, 0.5));
+    q.y += static_cast<float>(rng.gaussian(0, 0.5));
+    src.push_back(p);
+    dst.push_back(q);
+  }
+  for (int i = 0; i < 15; ++i) {
+    src.push_back({static_cast<float>(rng.uniform(0, 300)),
+                   static_cast<float>(rng.uniform(0, 200))});
+    dst.push_back({static_cast<float>(rng.uniform(0, 300)),
+                   static_cast<float>(rng.uniform(0, 200))});
+  }
+  RansacParams params;
+  const auto result = find_homography_ransac(src, dst, params, rng);
+  ASSERT_TRUE(result.has_value());
+  const Point2f check = result->homography.apply({150.0f, 100.0f});
+  const Point2f expected = truth.apply({150.0f, 100.0f});
+  EXPECT_NEAR(check.x, expected.x, 3.0f);
+  EXPECT_NEAR(check.y, expected.y, 3.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Transforms, RansacTransformSweep,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+// --- matcher -------------------------------------------------------------------
+
+Feature feature_with(float fill, int hot_bin) {
+  Feature f;
+  f.descriptor.fill(fill);
+  f.descriptor[static_cast<std::size_t>(hot_bin)] = 1.0f;
+  return f;
+}
+
+TEST(Matcher, FindsObviousMatch) {
+  const FeatureList query = {feature_with(0.0f, 3)};
+  const FeatureList train = {feature_with(0.0f, 3), feature_with(0.0f, 90)};
+  const auto matches = match_features(query, train);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].train_index, 0);
+  EXPECT_NEAR(matches[0].distance, 0.0f, 1e-6);
+}
+
+TEST(Matcher, RatioTestRejectsAmbiguous) {
+  // The query sits equidistant between two train descriptors: the
+  // best/second-best ratio is ~1, so the match must be rejected.
+  FeatureList train = {feature_with(0.0f, 3), feature_with(0.0f, 3)};
+  train[0].descriptor[4] = 0.05f;
+  train[1].descriptor[5] = 0.05f;
+  const FeatureList query = {feature_with(0.0f, 3)};
+  EXPECT_TRUE(match_features(query, train).empty());
+}
+
+TEST(Matcher, DistanceCutoffRejectsFar) {
+  const FeatureList query = {feature_with(0.0f, 3)};
+  const FeatureList train = {feature_with(0.0f, 90), feature_with(0.0f, 50)};
+  MatcherParams params;
+  params.max_distance = 0.5f;
+  EXPECT_TRUE(match_features(query, train, params).empty());
+}
+
+TEST(Matcher, NeedsTwoTrainFeatures) {
+  const FeatureList query = {feature_with(0.0f, 3)};
+  const FeatureList train = {feature_with(0.0f, 3)};
+  EXPECT_TRUE(match_features(query, train).empty());
+}
+
+// --- LSH -----------------------------------------------------------------------------
+
+TEST(Lsh, NearestFindsSelf) {
+  Rng rng(3);
+  LshIndex index(16, LshParams{}, rng);
+  std::vector<std::vector<float>> items;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    std::vector<float> v(16);
+    for (float& x : v) x = static_cast<float>(rng.gaussian(0, 1));
+    index.insert(i, v);
+    items.push_back(std::move(v));
+  }
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    const auto nearest = index.nearest(items[i], 1);
+    ASSERT_EQ(nearest.size(), 1u);
+    EXPECT_EQ(nearest[0], i);
+  }
+}
+
+TEST(Lsh, QueryRanksByCollisions) {
+  Rng rng(4);
+  LshIndex index(8, LshParams{}, rng);
+  std::vector<float> a(8, 1.0f);
+  std::vector<float> near_a = a;
+  near_a[0] = 1.1f;
+  std::vector<float> far(8, -1.0f);
+  index.insert(0, a);
+  index.insert(1, far);
+  const auto candidates = index.query(near_a);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_EQ(candidates[0].id, 0u);
+}
+
+TEST(Lsh, NearestPrefersCloserVector) {
+  Rng rng(5);
+  LshIndex index(12, LshParams{}, rng);
+  std::vector<float> target(12, 0.5f);
+  std::vector<float> close = target;
+  close[3] += 0.05f;
+  std::vector<float> medium = target;
+  for (std::size_t i = 0; i < 6; ++i) medium[i] = -0.2f;
+  index.insert(7, close);
+  index.insert(8, medium);
+  // LSH is approximate: the far vector may not collide in any table,
+  // so only the top result is guaranteed.
+  const auto nearest = index.nearest(target, 2);
+  ASSERT_GE(nearest.size(), 1u);
+  EXPECT_EQ(nearest[0], 7u);
+}
+
+TEST(Lsh, FallsBackToLinearScan) {
+  Rng rng(6);
+  LshParams params;
+  params.tables = 1;
+  params.bits_per_table = 16;  // hard to collide
+  LshIndex index(4, params, rng);
+  index.insert(1, {1.0f, 0.0f, 0.0f, 0.0f});
+  // Query orthogonal-ish vector: likely no bucket collision, but
+  // nearest() must still return something.
+  const auto nearest = index.nearest({-1.0f, 0.2f, 0.0f, 0.0f}, 1);
+  ASSERT_EQ(nearest.size(), 1u);
+}
+
+TEST(Lsh, SizeTracksInsertions) {
+  Rng rng(7);
+  LshIndex index(4, LshParams{}, rng);
+  EXPECT_EQ(index.size(), 0u);
+  index.insert(1, {1, 2, 3, 4});
+  index.insert(2, {4, 3, 2, 1});
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_EQ(index.dim(), 4);
+}
+
+// --- pose / tracker ------------------------------------------------------------------------
+
+TEST(Pose, ProjectCornersIdentity) {
+  const auto corners = project_corners(Homography::identity(), 100.0f, 50.0f);
+  EXPECT_FLOAT_EQ(corners[0].x, 0.0f);
+  EXPECT_FLOAT_EQ(corners[1].x, 100.0f);
+  EXPECT_FLOAT_EQ(corners[2].y, 50.0f);
+  EXPECT_FLOAT_EQ(corners[3].x, 0.0f);
+}
+
+Detection detection_at(std::uint32_t id, float cx, float cy) {
+  Detection d;
+  d.object_id = id;
+  d.corners = {Point2f{cx - 10, cy - 10}, Point2f{cx + 10, cy - 10}, Point2f{cx + 10, cy + 10},
+               Point2f{cx - 10, cy + 10}};
+  d.inliers = 10;
+  d.score = 1.0f;
+  return d;
+}
+
+TEST(Tracker, CreatesTrackPerDetection) {
+  ObjectTracker tracker;
+  const auto& tracks = tracker.update({detection_at(1, 50, 50), detection_at(2, 100, 100)});
+  EXPECT_EQ(tracks.size(), 2u);
+  EXPECT_NE(tracks[0].track_id, tracks[1].track_id);
+}
+
+TEST(Tracker, AssociatesAcrossFrames) {
+  ObjectTracker tracker;
+  tracker.update({detection_at(1, 50, 50)});
+  const auto id = tracker.tracks()[0].track_id;
+  tracker.update({detection_at(1, 55, 52)});  // small motion
+  ASSERT_EQ(tracker.tracks().size(), 1u);
+  EXPECT_EQ(tracker.tracks()[0].track_id, id);
+  EXPECT_EQ(tracker.tracks()[0].missed, 0);
+}
+
+TEST(Tracker, SmoothsCorners) {
+  ObjectTracker::Params params;
+  params.smoothing = 0.5f;
+  ObjectTracker tracker(params);
+  tracker.update({detection_at(1, 50, 50)});
+  tracker.update({detection_at(1, 60, 50)});
+  // Smoothed center is between the two observations.
+  const Point2f c = tracker.tracks()[0].detection.center();
+  EXPECT_GT(c.x, 50.0f);
+  EXPECT_LT(c.x, 60.0f);
+}
+
+TEST(Tracker, LargeJumpStartsNewTrack) {
+  ObjectTracker tracker;
+  tracker.update({detection_at(1, 50, 50)});
+  tracker.update({detection_at(1, 500, 500)});  // beyond max_center_jump
+  EXPECT_EQ(tracker.tracks().size(), 2u);
+}
+
+TEST(Tracker, DifferentObjectsDoNotAssociate) {
+  ObjectTracker tracker;
+  tracker.update({detection_at(1, 50, 50)});
+  tracker.update({detection_at(2, 51, 51)});
+  EXPECT_EQ(tracker.tracks().size(), 2u);
+}
+
+TEST(Tracker, ExpiresAfterMissedFrames) {
+  ObjectTracker::Params params;
+  params.max_missed = 2;
+  ObjectTracker tracker(params);
+  tracker.update({detection_at(1, 50, 50)});
+  for (int i = 0; i < 3; ++i) tracker.update({});
+  EXPECT_TRUE(tracker.tracks().empty());
+}
+
+TEST(Tracker, ResetClearsTracks) {
+  ObjectTracker tracker;
+  tracker.update({detection_at(1, 50, 50)});
+  tracker.reset();
+  EXPECT_TRUE(tracker.tracks().empty());
+}
+
+}  // namespace
+}  // namespace mar::vision

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "vision/image.h"
+
+namespace mar::vision {
+namespace {
+
+Image gradient_image(int w, int h) {
+  Image img(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      img.at(x, y) = static_cast<float>(x) / static_cast<float>(w);
+    }
+  }
+  return img;
+}
+
+TEST(Image, ConstructionAndAccess) {
+  Image img(4, 3, 0.5f);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.size(), 12u);
+  EXPECT_FLOAT_EQ(img.at(2, 1), 0.5f);
+  img.at(2, 1) = 0.9f;
+  EXPECT_FLOAT_EQ(img.at(2, 1), 0.9f);
+}
+
+TEST(Image, EmptyByDefault) {
+  Image img;
+  EXPECT_TRUE(img.empty());
+}
+
+TEST(Image, ClampedAccessReplicatesBorder) {
+  Image img(2, 2);
+  img.at(0, 0) = 1.0f;
+  img.at(1, 1) = 2.0f;
+  EXPECT_FLOAT_EQ(img.at_clamped(-5, -5), 1.0f);
+  EXPECT_FLOAT_EQ(img.at_clamped(10, 10), 2.0f);
+}
+
+TEST(Image, BilinearSampleInterpolates) {
+  Image img(2, 1);
+  img.at(0, 0) = 0.0f;
+  img.at(1, 0) = 1.0f;
+  EXPECT_NEAR(img.sample(0.5f, 0.0f), 0.5f, 1e-6);
+  EXPECT_NEAR(img.sample(0.25f, 0.0f), 0.25f, 1e-6);
+}
+
+TEST(Image, SampleClampsOutside) {
+  Image img(2, 2, 0.7f);
+  EXPECT_FLOAT_EQ(img.sample(-3.0f, -3.0f), 0.7f);
+  EXPECT_FLOAT_EQ(img.sample(99.0f, 99.0f), 0.7f);
+}
+
+TEST(ImageOps, BlurPreservesMeanReducesVariance) {
+  Image img(64, 64);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) img.at(x, y) = ((x + y) % 2) ? 1.0f : 0.0f;
+  }
+  const Image blurred = gaussian_blur(img, 2.0f);
+  double mean_in = 0, mean_out = 0, var_in = 0, var_out = 0;
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    mean_in += img.data()[i];
+    mean_out += blurred.data()[i];
+  }
+  mean_in /= static_cast<double>(img.size());
+  mean_out /= static_cast<double>(img.size());
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    var_in += (img.data()[i] - mean_in) * (img.data()[i] - mean_in);
+    var_out += (blurred.data()[i] - mean_out) * (blurred.data()[i] - mean_out);
+  }
+  EXPECT_NEAR(mean_out, mean_in, 0.01);
+  EXPECT_LT(var_out, var_in * 0.1);
+}
+
+TEST(ImageOps, BlurZeroSigmaIsIdentity) {
+  const Image img = gradient_image(16, 16);
+  const Image out = gaussian_blur(img, 0.0f);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    EXPECT_FLOAT_EQ(out.data()[i], img.data()[i]);
+  }
+}
+
+TEST(ImageOps, ResizeDimensions) {
+  const Image img = gradient_image(100, 50);
+  const Image out = resize(img, 40, 20);
+  EXPECT_EQ(out.width(), 40);
+  EXPECT_EQ(out.height(), 20);
+  // Gradient preserved approximately.
+  EXPECT_LT(out.at(0, 10), out.at(39, 10));
+}
+
+TEST(ImageOps, HalfSizeHalvesDimensions) {
+  const Image img = gradient_image(64, 32);
+  const Image out = half_size(img);
+  EXPECT_EQ(out.width(), 32);
+  EXPECT_EQ(out.height(), 16);
+}
+
+TEST(ImageOps, DoubleSizeDoublesDimensions) {
+  const Image img = gradient_image(16, 16);
+  const Image out = double_size(img);
+  EXPECT_EQ(out.width(), 32);
+  EXPECT_EQ(out.height(), 32);
+}
+
+TEST(ImageOps, SubtractIsPixelwise) {
+  Image a(2, 2, 0.8f), b(2, 2, 0.3f);
+  const Image d = subtract(a, b);
+  EXPECT_NEAR(d.at(0, 0), 0.5f, 1e-6);
+}
+
+TEST(ImageOps, ByteRoundTrip) {
+  const Image img = gradient_image(10, 10);
+  const auto bytes = to_bytes(img);
+  const Image back = from_bytes(bytes.data(), 10, 10);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    EXPECT_NEAR(back.data()[i], img.data()[i], 1.0f / 255.0f);
+  }
+}
+
+TEST(ImageOps, ByteConversionClamps) {
+  Image img(1, 1);
+  img.at(0, 0) = 7.5f;
+  EXPECT_EQ(to_bytes(img)[0], 255);
+  img.at(0, 0) = -2.0f;
+  EXPECT_EQ(to_bytes(img)[0], 0);
+}
+
+TEST(ImageOps, WritePgm) {
+  const Image img = gradient_image(8, 8);
+  const std::string path = "/tmp/mar_test_image.pgm";
+  ASSERT_TRUE(write_pgm(img, path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char header[3] = {};
+  ASSERT_EQ(std::fread(header, 1, 2, f), 2u);
+  EXPECT_EQ(header[0], 'P');
+  EXPECT_EQ(header[1], '5');
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mar::vision

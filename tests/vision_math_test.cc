@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "vision/fisher.h"
+#include "vision/gmm.h"
+#include "vision/kmeans.h"
+#include "vision/pca.h"
+
+namespace mar::vision {
+namespace {
+
+// Draws `n` points from a Gaussian around `center`.
+std::vector<std::vector<float>> cluster(Rng& rng, const std::vector<float>& center, int n,
+                                        double sigma = 0.3) {
+  std::vector<std::vector<float>> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::vector<float> p(center.size());
+    for (std::size_t d = 0; d < p.size(); ++d) {
+      p[d] = center[d] + static_cast<float>(rng.gaussian(0.0, sigma));
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+// --- k-means ----------------------------------------------------------------
+
+TEST(KMeans, RecoversSeparatedClusters) {
+  Rng rng(1);
+  auto data = cluster(rng, {0.0f, 0.0f}, 100);
+  auto c2 = cluster(rng, {10.0f, 10.0f}, 100);
+  data.insert(data.end(), c2.begin(), c2.end());
+
+  KMeansParams params;
+  params.k = 2;
+  const KMeansResult result = kmeans(data, params, rng);
+  ASSERT_EQ(result.centers.size(), 2u);
+  // One center near each true mean.
+  const auto near = [&](float cx, float cy) {
+    return std::any_of(result.centers.begin(), result.centers.end(),
+                       [&](const std::vector<float>& c) {
+                         return std::abs(c[0] - cx) < 1.0f && std::abs(c[1] - cy) < 1.0f;
+                       });
+  };
+  EXPECT_TRUE(near(0.0f, 0.0f));
+  EXPECT_TRUE(near(10.0f, 10.0f));
+  // Assignments are consistent: points 0..99 share a label.
+  for (int i = 1; i < 100; ++i) EXPECT_EQ(result.assignment[0], result.assignment[static_cast<std::size_t>(i)]);
+}
+
+TEST(KMeans, EmptyInput) {
+  Rng rng(2);
+  KMeansParams params;
+  EXPECT_TRUE(kmeans({}, params, rng).centers.empty());
+}
+
+TEST(KMeans, MoreClustersThanPointsClamps) {
+  Rng rng(3);
+  const std::vector<std::vector<float>> data = {{1.0f}, {2.0f}};
+  KMeansParams params;
+  params.k = 10;
+  EXPECT_EQ(kmeans(data, params, rng).centers.size(), 2u);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  Rng rng(4);
+  auto data = cluster(rng, {0.0f, 0.0f}, 60, 2.0);
+  auto c2 = cluster(rng, {8.0f, 0.0f}, 60, 2.0);
+  auto c3 = cluster(rng, {4.0f, 7.0f}, 60, 2.0);
+  data.insert(data.end(), c2.begin(), c2.end());
+  data.insert(data.end(), c3.begin(), c3.end());
+  KMeansParams p1, p3;
+  p1.k = 1;
+  p3.k = 3;
+  Rng r1(5), r3(5);
+  EXPECT_GT(kmeans(data, p1, r1).inertia, kmeans(data, p3, r3).inertia * 2.0);
+}
+
+// --- PCA ----------------------------------------------------------------------
+
+TEST(Pca, RecoversDominantDirection) {
+  Rng rng(6);
+  // Points along y = 2x with small noise: first PC ~ (1,2)/sqrt(5).
+  std::vector<std::vector<float>> data;
+  for (int i = 0; i < 500; ++i) {
+    const float t = static_cast<float>(rng.gaussian(0.0, 3.0));
+    data.push_back({t + static_cast<float>(rng.gaussian(0, 0.05)),
+                    2 * t + static_cast<float>(rng.gaussian(0, 0.05))});
+  }
+  Pca pca;
+  pca.fit(data, 1);
+  ASSERT_TRUE(pca.fitted());
+  const auto z = pca.transform({1.0f, 2.0f});
+  const auto z0 = pca.transform({0.0f, 0.0f});
+  // Projection along the line direction has magnitude sqrt(5).
+  EXPECT_NEAR(std::abs(z[0] - z0[0]), std::sqrt(5.0f), 0.05f);
+  EXPECT_GT(pca.explained_variance_ratio(), 0.99);
+}
+
+TEST(Pca, TransformReducesDimension) {
+  Rng rng(7);
+  auto data = cluster(rng, std::vector<float>(16, 0.0f), 100, 1.0);
+  Pca pca;
+  pca.fit(data, 4);
+  EXPECT_EQ(pca.input_dim(), 16);
+  EXPECT_EQ(pca.output_dim(), 4);
+  EXPECT_EQ(pca.transform(data[0]).size(), 4u);
+  EXPECT_EQ(pca.transform(data).size(), data.size());
+}
+
+TEST(Pca, InverseTransformApproximates) {
+  Rng rng(8);
+  // Rank-2 data embedded in 5-D reconstructs nearly exactly from 2 PCs.
+  std::vector<std::vector<float>> data;
+  for (int i = 0; i < 300; ++i) {
+    const float a = static_cast<float>(rng.gaussian(0, 1));
+    const float b = static_cast<float>(rng.gaussian(0, 1));
+    data.push_back({a, b, a + b, a - b, 2 * a});
+  }
+  Pca pca;
+  pca.fit(data, 2);
+  const auto z = pca.transform(data[0]);
+  const auto back = pca.inverse_transform(z);
+  for (std::size_t d = 0; d < back.size(); ++d) {
+    EXPECT_NEAR(back[d], data[0][d], 0.05f);
+  }
+}
+
+TEST(Pca, EigenvaluesDescending) {
+  Rng rng(9);
+  auto data = cluster(rng, std::vector<float>(8, 0.0f), 200, 1.0);
+  Pca pca;
+  pca.fit(data, 8);
+  const auto& ev = pca.explained_variance();
+  for (std::size_t i = 1; i < ev.size(); ++i) EXPECT_GE(ev[i - 1], ev[i]);
+}
+
+// --- GMM --------------------------------------------------------------------------
+
+TEST(Gmm, RecoversTwoComponents) {
+  Rng rng(10);
+  auto data = cluster(rng, {0.0f, 0.0f}, 300, 0.5);
+  auto c2 = cluster(rng, {6.0f, 6.0f}, 300, 0.5);
+  data.insert(data.end(), c2.begin(), c2.end());
+
+  Gmm gmm;
+  GmmParams params;
+  params.components = 2;
+  ASSERT_TRUE(gmm.fit(data, params, rng));
+  EXPECT_EQ(gmm.components(), 2);
+  EXPECT_EQ(gmm.dim(), 2);
+  // Weights roughly balanced; means near the truth.
+  EXPECT_NEAR(gmm.weights()[0], 0.5, 0.1);
+  const bool found_origin = std::abs(gmm.means()[0][0]) < 0.5 || std::abs(gmm.means()[1][0]) < 0.5;
+  EXPECT_TRUE(found_origin);
+}
+
+TEST(Gmm, PosteriorsSumToOneAndSeparate) {
+  Rng rng(11);
+  auto data = cluster(rng, {0.0f}, 200, 0.4);
+  auto c2 = cluster(rng, {8.0f}, 200, 0.4);
+  data.insert(data.end(), c2.begin(), c2.end());
+  Gmm gmm;
+  GmmParams params;
+  params.components = 2;
+  ASSERT_TRUE(gmm.fit(data, params, rng));
+
+  const auto g0 = gmm.posteriors({0.0f});
+  const auto g8 = gmm.posteriors({8.0f});
+  EXPECT_NEAR(g0[0] + g0[1], 1.0, 1e-9);
+  // A point at one mode is confidently assigned.
+  EXPECT_GT(std::max(g0[0], g0[1]), 0.99);
+  // The two modes prefer different components.
+  const int argmax0 = g0[0] > g0[1] ? 0 : 1;
+  const int argmax8 = g8[0] > g8[1] ? 0 : 1;
+  EXPECT_NE(argmax0, argmax8);
+}
+
+TEST(Gmm, LikelihoodHigherInDenseRegion) {
+  Rng rng(12);
+  auto data = cluster(rng, {0.0f, 0.0f}, 400, 0.5);
+  Gmm gmm;
+  GmmParams params;
+  params.components = 2;
+  ASSERT_TRUE(gmm.fit(data, params, rng));
+  EXPECT_GT(gmm.log_likelihood({0.0f, 0.0f}), gmm.log_likelihood({30.0f, 30.0f}));
+}
+
+TEST(Gmm, RejectsDegenerateInput) {
+  Rng rng(13);
+  Gmm gmm;
+  GmmParams params;
+  params.components = 8;
+  EXPECT_FALSE(gmm.fit({}, params, rng));
+  EXPECT_FALSE(gmm.fit({{1.0f}, {2.0f}}, params, rng));  // fewer points than K
+}
+
+// --- Fisher vectors ------------------------------------------------------------------
+
+struct FisherFixture : ::testing::Test {
+  void SetUp() override {
+    Rng rng(14);
+    auto data = cluster(rng, {0.0f, 0.0f, 0.0f}, 300, 0.5);
+    auto c2 = cluster(rng, {5.0f, 5.0f, 5.0f}, 300, 0.5);
+    data.insert(data.end(), c2.begin(), c2.end());
+    GmmParams params;
+    params.components = 2;
+    ASSERT_TRUE(gmm.fit(data, params, rng));
+    encoder.set_model(&gmm);
+  }
+
+  Gmm gmm;
+  FisherEncoder encoder;
+};
+
+TEST_F(FisherFixture, OutputDimIs2KD) {
+  EXPECT_EQ(encoder.output_dim(), 2 * 2 * 3);
+  Rng rng(15);
+  const auto fv = encoder.encode(cluster(rng, {0.0f, 0.0f, 0.0f}, 20, 0.5));
+  EXPECT_EQ(fv.size(), 12u);
+}
+
+TEST_F(FisherFixture, L2Normalized) {
+  Rng rng(16);
+  const auto fv = encoder.encode(cluster(rng, {1.0f, 1.0f, 1.0f}, 30, 0.5));
+  double norm = 0.0;
+  for (float v : fv) norm += static_cast<double>(v) * v;
+  EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-6);
+}
+
+TEST_F(FisherFixture, SimilarSetsEncodeSimilarly) {
+  Rng rng(17);
+  const auto fv_a = encoder.encode(cluster(rng, {0.0f, 0.0f, 0.0f}, 50, 0.5));
+  const auto fv_b = encoder.encode(cluster(rng, {0.0f, 0.0f, 0.0f}, 50, 0.5));
+  const auto fv_c = encoder.encode(cluster(rng, {5.0f, 5.0f, 5.0f}, 50, 0.5));
+  EXPECT_GT(cosine_similarity(fv_a, fv_b), cosine_similarity(fv_a, fv_c));
+}
+
+TEST_F(FisherFixture, EmptyDescriptorSetIsZeroVector) {
+  const auto fv = encoder.encode({});
+  ASSERT_EQ(fv.size(), 12u);
+  for (float v : fv) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(CosineSimilarity, Basics) {
+  EXPECT_FLOAT_EQ(cosine_similarity({1, 0}, {1, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(cosine_similarity({1, 0}, {0, 1}), 0.0f);
+  EXPECT_FLOAT_EQ(cosine_similarity({1, 0}, {-1, 0}), -1.0f);
+  EXPECT_EQ(cosine_similarity({1, 0}, {1, 0, 0}), 0.0f);  // size mismatch
+  EXPECT_EQ(cosine_similarity({}, {}), 0.0f);
+}
+
+}  // namespace
+}  // namespace mar::vision

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "vision/sift.h"
+
+namespace mar::vision {
+namespace {
+
+// Synthetic test pattern: bright blobs on a dark background give
+// well-localized scale-space extrema.
+Image blob_image(int w, int h, const std::vector<std::pair<float, float>>& centers,
+                 float radius = 6.0f) {
+  Image img(w, h, 0.1f);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      for (const auto& [cx, cy] : centers) {
+        const float dx = static_cast<float>(x) - cx;
+        const float dy = static_cast<float>(y) - cy;
+        img.at(x, y) += 0.8f * std::exp(-(dx * dx + dy * dy) / (2.0f * radius * radius));
+      }
+    }
+  }
+  return img;
+}
+
+// Textured image with plenty of features.
+Image textured_image(int w, int h, std::uint64_t seed = 3) {
+  Rng rng(seed);
+  Image img(w, h);
+  // Random rectangles create corners and edges at multiple scales.
+  for (int i = 0; i < 40; ++i) {
+    const int x0 = static_cast<int>(rng.uniform_int(0, w - 10));
+    const int y0 = static_cast<int>(rng.uniform_int(0, h - 10));
+    const int bw = static_cast<int>(rng.uniform_int(5, 25));
+    const int bh = static_cast<int>(rng.uniform_int(5, 25));
+    const float val = static_cast<float>(rng.uniform(0.2, 1.0));
+    for (int y = y0; y < std::min(h, y0 + bh); ++y) {
+      for (int x = x0; x < std::min(w, x0 + bw); ++x) img.at(x, y) = val;
+    }
+  }
+  return img;
+}
+
+TEST(Sift, FindsBlobNearCenter) {
+  const Image img = blob_image(96, 96, {{48.0f, 48.0f}});
+  SiftDetector detector;
+  const FeatureList features = detector.detect(img);
+  ASSERT_FALSE(features.empty());
+  // The strongest feature should sit on the blob.
+  const auto best = std::max_element(features.begin(), features.end(),
+                                     [](const Feature& a, const Feature& b) {
+                                       return a.keypoint.response < b.keypoint.response;
+                                     });
+  EXPECT_NEAR(best->keypoint.x, 48.0f, 4.0f);
+  EXPECT_NEAR(best->keypoint.y, 48.0f, 4.0f);
+}
+
+TEST(Sift, EmptyOnFlatImage) {
+  const Image img(96, 96, 0.5f);
+  SiftDetector detector;
+  EXPECT_TRUE(detector.detect(img).empty());
+}
+
+TEST(Sift, EmptyOnTinyImage) {
+  const Image img = blob_image(16, 16, {{8.0f, 8.0f}});
+  SiftDetector detector;
+  EXPECT_TRUE(detector.detect(img).empty());
+}
+
+TEST(Sift, TextureYieldsManyFeatures) {
+  const Image img = textured_image(160, 120);
+  SiftDetector detector;
+  EXPECT_GT(detector.detect(img).size(), 50u);
+}
+
+TEST(Sift, DescriptorsAreUnitNorm) {
+  const Image img = textured_image(160, 120);
+  SiftDetector detector;
+  for (const Feature& f : detector.detect(img)) {
+    float norm = 0.0f;
+    float max_component = 0.0f;
+    for (float v : f.descriptor) {
+      norm += v * v;
+      max_component = std::max(max_component, v);
+      ASSERT_GE(v, 0.0f);
+    }
+    ASSERT_NEAR(std::sqrt(norm), 1.0f, 0.01f);
+    // Clipped at 0.2 before the final renormalization, so components
+    // stay well below 1 but can exceed 0.2 for sparse descriptors.
+    ASSERT_LE(max_component, 0.5f);
+  }
+}
+
+TEST(Sift, MaxFeaturesKeepsStrongest) {
+  const Image img = textured_image(160, 120);
+  SiftParams limited;
+  limited.max_features = 20;
+  SiftParams unlimited;
+  unlimited.max_features = 0;
+  const FeatureList few = SiftDetector(limited).detect(img);
+  const FeatureList all = SiftDetector(unlimited).detect(img);
+  ASSERT_EQ(few.size(), 20u);
+  ASSERT_GT(all.size(), few.size());
+  // The kept responses should dominate the overall distribution.
+  float min_kept = 1e9f;
+  for (const Feature& f : few) min_kept = std::min(min_kept, f.keypoint.response);
+  std::vector<float> responses;
+  for (const Feature& f : all) responses.push_back(f.keypoint.response);
+  std::sort(responses.rbegin(), responses.rend());
+  EXPECT_GE(min_kept, responses[25] * 0.9f);
+}
+
+TEST(Sift, TranslationMovesKeypoints) {
+  const Image a = blob_image(128, 128, {{50.0f, 60.0f}});
+  const Image b = blob_image(128, 128, {{70.0f, 60.0f}});  // +20 px in x
+  SiftDetector detector;
+  const FeatureList fa = detector.detect(a);
+  const FeatureList fb = detector.detect(b);
+  ASSERT_FALSE(fa.empty());
+  ASSERT_FALSE(fb.empty());
+  const auto strongest = [](const FeatureList& fl) {
+    return *std::max_element(fl.begin(), fl.end(), [](const Feature& x, const Feature& y) {
+      return x.keypoint.response < y.keypoint.response;
+    });
+  };
+  EXPECT_NEAR(strongest(fb).keypoint.x - strongest(fa).keypoint.x, 20.0f, 4.0f);
+}
+
+TEST(Sift, MatchingDescriptorsAcrossTranslation) {
+  // Descriptors of the same texture patch should match across a shift.
+  Image big = textured_image(200, 150, /*seed=*/9);
+  Image a(160, 120), b(160, 120);
+  for (int y = 0; y < 120; ++y) {
+    for (int x = 0; x < 160; ++x) {
+      a.at(x, y) = big.at(x, y);
+      b.at(x, y) = big.at(x + 15, y + 10);
+    }
+  }
+  SiftDetector detector;
+  const FeatureList fa = detector.detect(a);
+  const FeatureList fb = detector.detect(b);
+  ASSERT_GT(fa.size(), 10u);
+  ASSERT_GT(fb.size(), 10u);
+
+  // For each feature in `a` inside the overlap, the best match in `b`
+  // should frequently be ~(-15, -10) away.
+  int consistent = 0, tested = 0;
+  for (const Feature& f : fa) {
+    if (f.keypoint.x < 20 || f.keypoint.y < 15) continue;
+    float best = 1e9f;
+    const Feature* best_feature = nullptr;
+    for (const Feature& g : fb) {
+      const float d = descriptor_distance(f.descriptor, g.descriptor);
+      if (d < best) {
+        best = d;
+        best_feature = &g;
+      }
+    }
+    if (best_feature == nullptr || best > 0.5f) continue;
+    ++tested;
+    const float dx = f.keypoint.x - best_feature->keypoint.x;
+    const float dy = f.keypoint.y - best_feature->keypoint.y;
+    if (std::abs(dx - 15.0f) < 3.0f && std::abs(dy - 10.0f) < 3.0f) ++consistent;
+  }
+  ASSERT_GT(tested, 5);
+  EXPECT_GT(static_cast<double>(consistent) / tested, 0.6);
+}
+
+TEST(Sift, ScaleRecordedAtOctaves) {
+  const Image img = blob_image(192, 192, {{96.0f, 96.0f}}, /*radius=*/14.0f);
+  SiftDetector detector;
+  const FeatureList features = detector.detect(img);
+  ASSERT_FALSE(features.empty());
+  // A large blob should produce at least one feature beyond octave 0.
+  const bool has_large_scale =
+      std::any_of(features.begin(), features.end(),
+                  [](const Feature& f) { return f.keypoint.scale > 3.0f; });
+  EXPECT_TRUE(has_large_scale);
+}
+
+// Property: detection is deterministic.
+TEST(Sift, Deterministic) {
+  const Image img = textured_image(160, 120);
+  SiftDetector detector;
+  const FeatureList a = detector.detect(img);
+  const FeatureList b = detector.detect(img);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].keypoint.x, b[i].keypoint.x);
+    EXPECT_EQ(a[i].descriptor, b[i].descriptor);
+  }
+}
+
+}  // namespace
+}  // namespace mar::vision

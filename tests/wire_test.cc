@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "wire/message.h"
+
+namespace mar::wire {
+namespace {
+
+FramePacket sample_packet() {
+  FramePacket pkt;
+  pkt.header.client = ClientId{3};
+  pkt.header.frame = FrameId{991};
+  pkt.header.stage = Stage::kEncoding;
+  pkt.header.kind = MessageKind::kFrameData;
+  pkt.header.capture_ts = 123'456'789;
+  pkt.header.client_endpoint = EndpointId{17};
+  pkt.header.reply_to = EndpointId{21};
+  pkt.header.sift_instance = InstanceId{2};
+  pkt.header.payload_bytes = 180 * 1024;
+  pkt.header.carries_state = true;
+  pkt.header.match_ok = true;
+  pkt.hops.push_back(HopRecord{Stage::kPrimary, millis(1.0), millis(3.0)});
+  pkt.hops.push_back(HopRecord{Stage::kSift, millis(2.5), millis(11.0)});
+  pkt.payload = {9, 8, 7, 6};
+  return pkt;
+}
+
+TEST(Wire, SerializeParseRoundTrip) {
+  const FramePacket pkt = sample_packet();
+  const auto bytes = serialize(pkt);
+  const auto parsed = parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+
+  EXPECT_EQ(parsed->header.client, pkt.header.client);
+  EXPECT_EQ(parsed->header.frame, pkt.header.frame);
+  EXPECT_EQ(parsed->header.stage, pkt.header.stage);
+  EXPECT_EQ(parsed->header.kind, pkt.header.kind);
+  EXPECT_EQ(parsed->header.capture_ts, pkt.header.capture_ts);
+  EXPECT_EQ(parsed->header.client_endpoint, pkt.header.client_endpoint);
+  EXPECT_EQ(parsed->header.reply_to, pkt.header.reply_to);
+  EXPECT_EQ(parsed->header.sift_instance, pkt.header.sift_instance);
+  EXPECT_EQ(parsed->header.payload_bytes, pkt.header.payload_bytes);
+  EXPECT_EQ(parsed->header.carries_state, pkt.header.carries_state);
+  EXPECT_EQ(parsed->header.match_ok, pkt.header.match_ok);
+  ASSERT_EQ(parsed->hops.size(), 2u);
+  EXPECT_EQ(parsed->hops[1].stage, Stage::kSift);
+  EXPECT_EQ(parsed->hops[1].queue_time, millis(2.5));
+  EXPECT_EQ(parsed->payload, pkt.payload);
+}
+
+TEST(Wire, EmptyPacketRoundTrip) {
+  FramePacket pkt;
+  const auto parsed = parse(serialize(pkt));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->payload.empty());
+  EXPECT_TRUE(parsed->hops.empty());
+}
+
+TEST(Wire, RejectsBadMagic) {
+  auto bytes = serialize(sample_packet());
+  bytes[0] ^= 0xFF;
+  EXPECT_FALSE(parse(bytes).has_value());
+}
+
+TEST(Wire, RejectsBadVersion) {
+  auto bytes = serialize(sample_packet());
+  bytes[1] = 99;
+  EXPECT_FALSE(parse(bytes).has_value());
+}
+
+TEST(Wire, RejectsTruncation) {
+  const auto bytes = serialize(sample_packet());
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, bytes.size() / 2, bytes.size() - 1}) {
+    EXPECT_FALSE(parse(std::span(bytes.data(), cut)).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(Wire, WireSizeUsesModeledPayloadWhenEmpty) {
+  FramePacket pkt;
+  pkt.header.payload_bytes = 1000;
+  EXPECT_EQ(pkt.wire_size(), FramePacket::kHeaderWireBytes + 1000);
+}
+
+TEST(Wire, WireSizeUsesRealPayloadWhenPresent) {
+  FramePacket pkt;
+  pkt.header.payload_bytes = 1000;  // stale modeled size
+  pkt.payload.assign(64, 0);
+  EXPECT_EQ(pkt.wire_size(), FramePacket::kHeaderWireBytes + 64);
+}
+
+TEST(Wire, WireSizeCountsHops) {
+  FramePacket pkt;
+  pkt.hops.resize(3);
+  EXPECT_EQ(pkt.wire_size(), FramePacket::kHeaderWireBytes + 3 * FramePacket::kHopWireBytes);
+}
+
+TEST(Wire, CanonicalSizesSane) {
+  // The paper's numbers: sift output grows 180 KB -> 480 KB with state.
+  EXPECT_EQ(sizes::kSiftOut, 180u * 1024u);
+  EXPECT_EQ(sizes::kSiftOutStateful, 480u * 1024u);
+  EXPECT_GT(sizes::kClientFrame, sizes::kResult);
+  EXPECT_LT(sizes::kStateFetchReq, 1024u);
+}
+
+TEST(Wire, MessageKindNames) {
+  EXPECT_STREQ(to_string(MessageKind::kFrameData), "frame_data");
+  EXPECT_STREQ(to_string(MessageKind::kResult), "result");
+}
+
+// Property: random packets survive the round trip bit-exactly.
+class WireFuzzRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireFuzzRoundTrip, RandomPacket) {
+  Rng rng(GetParam());
+  FramePacket pkt;
+  pkt.header.client = ClientId{static_cast<std::uint32_t>(rng.next_u64())};
+  pkt.header.frame = FrameId{rng.next_u64() >> 1};
+  pkt.header.stage = static_cast<Stage>(rng.uniform_int(0, 5));
+  pkt.header.kind = static_cast<MessageKind>(rng.uniform_int(0, 3));
+  pkt.header.capture_ts = static_cast<SimTime>(rng.next_u64() >> 2);
+  pkt.header.payload_bytes = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
+  pkt.header.carries_state = rng.bernoulli(0.5);
+  pkt.header.match_ok = rng.bernoulli(0.5);
+  const int n_hops = static_cast<int>(rng.uniform_int(0, 5));
+  for (int i = 0; i < n_hops; ++i) {
+    pkt.hops.push_back(HopRecord{static_cast<Stage>(rng.uniform_int(0, 4)),
+                                 rng.uniform_int(0, millis(100.0)),
+                                 rng.uniform_int(0, millis(50.0))});
+  }
+  const auto n_payload = static_cast<std::size_t>(rng.uniform_int(0, 2048));
+  pkt.payload.resize(n_payload);
+  for (auto& b : pkt.payload) b = static_cast<std::uint8_t>(rng.next_u64());
+
+  const auto parsed = parse(serialize(pkt));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.client, pkt.header.client);
+  EXPECT_EQ(parsed->header.frame, pkt.header.frame);
+  EXPECT_EQ(parsed->header.capture_ts, pkt.header.capture_ts);
+  EXPECT_EQ(parsed->hops.size(), pkt.hops.size());
+  EXPECT_EQ(parsed->payload, pkt.payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, WireFuzzRoundTrip, ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace mar::wire
