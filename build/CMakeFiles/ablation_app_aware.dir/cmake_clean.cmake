@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_app_aware.dir/bench/ablation_app_aware.cc.o"
+  "CMakeFiles/ablation_app_aware.dir/bench/ablation_app_aware.cc.o.d"
+  "bench/ablation_app_aware"
+  "bench/ablation_app_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_app_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scatterpp_parts.dir/bench/ablation_scatterpp_parts.cc.o"
+  "CMakeFiles/ablation_scatterpp_parts.dir/bench/ablation_scatterpp_parts.cc.o.d"
+  "bench/ablation_scatterpp_parts"
+  "bench/ablation_scatterpp_parts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scatterpp_parts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

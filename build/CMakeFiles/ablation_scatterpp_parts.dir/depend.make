@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_scatterpp_parts.
+# This may be replaced when dependencies are built.

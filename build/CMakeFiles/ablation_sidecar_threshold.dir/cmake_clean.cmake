@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sidecar_threshold.dir/bench/ablation_sidecar_threshold.cc.o"
+  "CMakeFiles/ablation_sidecar_threshold.dir/bench/ablation_sidecar_threshold.cc.o.d"
+  "bench/ablation_sidecar_threshold"
+  "bench/ablation_sidecar_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sidecar_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

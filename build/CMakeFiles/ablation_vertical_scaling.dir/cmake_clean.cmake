@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vertical_scaling.dir/bench/ablation_vertical_scaling.cc.o"
+  "CMakeFiles/ablation_vertical_scaling.dir/bench/ablation_vertical_scaling.cc.o.d"
+  "bench/ablation_vertical_scaling"
+  "bench/ablation_vertical_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vertical_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_jitter.dir/bench/fig10_jitter.cc.o"
+  "CMakeFiles/fig10_jitter.dir/bench/fig10_jitter.cc.o.d"
+  "bench/fig10_jitter"
+  "bench/fig10_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_hybrid_cloud.dir/bench/fig11_hybrid_cloud.cc.o"
+  "CMakeFiles/fig11_hybrid_cloud.dir/bench/fig11_hybrid_cloud.cc.o.d"
+  "bench/fig11_hybrid_cloud"
+  "bench/fig11_hybrid_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_hybrid_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_sidecar_all_e1.dir/bench/fig12_sidecar_all_e1.cc.o"
+  "CMakeFiles/fig12_sidecar_all_e1.dir/bench/fig12_sidecar_all_e1.cc.o.d"
+  "bench/fig12_sidecar_all_e1"
+  "bench/fig12_sidecar_all_e1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_sidecar_all_e1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig12_sidecar_all_e1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_baseline_edge.dir/bench/fig2_baseline_edge.cc.o"
+  "CMakeFiles/fig2_baseline_edge.dir/bench/fig2_baseline_edge.cc.o.d"
+  "bench/fig2_baseline_edge"
+  "bench/fig2_baseline_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_baseline_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_scalability.dir/bench/fig3_scalability.cc.o"
+  "CMakeFiles/fig3_scalability.dir/bench/fig3_scalability.cc.o.d"
+  "bench/fig3_scalability"
+  "bench/fig3_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cloud.dir/bench/fig4_cloud.cc.o"
+  "CMakeFiles/fig4_cloud.dir/bench/fig4_cloud.cc.o.d"
+  "bench/fig4_cloud"
+  "bench/fig4_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

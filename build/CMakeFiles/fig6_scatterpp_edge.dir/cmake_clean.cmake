@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_scatterpp_edge.dir/bench/fig6_scatterpp_edge.cc.o"
+  "CMakeFiles/fig6_scatterpp_edge.dir/bench/fig6_scatterpp_edge.cc.o.d"
+  "bench/fig6_scatterpp_edge"
+  "bench/fig6_scatterpp_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_scatterpp_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

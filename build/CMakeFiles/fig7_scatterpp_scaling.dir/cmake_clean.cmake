@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_scatterpp_scaling.dir/bench/fig7_scatterpp_scaling.cc.o"
+  "CMakeFiles/fig7_scatterpp_scaling.dir/bench/fig7_scatterpp_scaling.cc.o.d"
+  "bench/fig7_scatterpp_scaling"
+  "bench/fig7_scatterpp_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_scatterpp_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_sidecar_analytics.dir/bench/fig8_sidecar_analytics.cc.o"
+  "CMakeFiles/fig8_sidecar_analytics.dir/bench/fig8_sidecar_analytics.cc.o.d"
+  "bench/fig8_sidecar_analytics"
+  "bench/fig8_sidecar_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_sidecar_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_network_conditions.dir/bench/fig9_network_conditions.cc.o"
+  "CMakeFiles/fig9_network_conditions.dir/bench/fig9_network_conditions.cc.o.d"
+  "bench/fig9_network_conditions"
+  "bench/fig9_network_conditions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_network_conditions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

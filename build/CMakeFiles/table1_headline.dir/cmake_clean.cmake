@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_headline.dir/bench/table1_headline.cc.o"
+  "CMakeFiles/table1_headline.dir/bench/table1_headline.cc.o.d"
+  "bench/table1_headline"
+  "bench/table1_headline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vision_microbench.dir/bench/vision_microbench.cc.o"
+  "CMakeFiles/vision_microbench.dir/bench/vision_microbench.cc.o.d"
+  "bench/vision_microbench"
+  "bench/vision_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vision_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

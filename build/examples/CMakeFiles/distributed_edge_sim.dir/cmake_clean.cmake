@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_edge_sim.dir/distributed_edge_sim.cpp.o"
+  "CMakeFiles/distributed_edge_sim.dir/distributed_edge_sim.cpp.o.d"
+  "distributed_edge_sim"
+  "distributed_edge_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_edge_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_udp_pipeline.dir/live_udp_pipeline.cpp.o"
+  "CMakeFiles/live_udp_pipeline.dir/live_udp_pipeline.cpp.o.d"
+  "live_udp_pipeline"
+  "live_udp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_udp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

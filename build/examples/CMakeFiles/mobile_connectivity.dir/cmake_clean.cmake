@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_connectivity.dir/mobile_connectivity.cpp.o"
+  "CMakeFiles/mobile_connectivity.dir/mobile_connectivity.cpp.o.d"
+  "mobile_connectivity"
+  "mobile_connectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orchestrated_failover.dir/orchestrated_failover.cpp.o"
+  "CMakeFiles/orchestrated_failover.dir/orchestrated_failover.cpp.o.d"
+  "orchestrated_failover"
+  "orchestrated_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orchestrated_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

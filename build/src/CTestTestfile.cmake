@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("wire")
+subdirs("sim")
+subdirs("net")
+subdirs("vision")
+subdirs("video")
+subdirs("hw")
+subdirs("telemetry")
+subdirs("dsp")
+subdirs("orchestra")
+subdirs("core")
+subdirs("expt")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mar_common.dir/log.cc.o"
+  "CMakeFiles/mar_common.dir/log.cc.o.d"
+  "CMakeFiles/mar_common.dir/rng.cc.o"
+  "CMakeFiles/mar_common.dir/rng.cc.o.d"
+  "libmar_common.a"
+  "libmar_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mar_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mar_core.dir/client.cc.o"
+  "CMakeFiles/mar_core.dir/client.cc.o.d"
+  "CMakeFiles/mar_core.dir/services.cc.o"
+  "CMakeFiles/mar_core.dir/services.cc.o.d"
+  "libmar_core.a"
+  "libmar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

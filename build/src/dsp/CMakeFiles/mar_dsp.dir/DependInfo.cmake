@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/compute.cc" "src/dsp/CMakeFiles/mar_dsp.dir/compute.cc.o" "gcc" "src/dsp/CMakeFiles/mar_dsp.dir/compute.cc.o.d"
+  "/root/repo/src/dsp/service_host.cc" "src/dsp/CMakeFiles/mar_dsp.dir/service_host.cc.o" "gcc" "src/dsp/CMakeFiles/mar_dsp.dir/service_host.cc.o.d"
+  "/root/repo/src/dsp/state_store.cc" "src/dsp/CMakeFiles/mar_dsp.dir/state_store.cc.o" "gcc" "src/dsp/CMakeFiles/mar_dsp.dir/state_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/mar_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mar_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/mar_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

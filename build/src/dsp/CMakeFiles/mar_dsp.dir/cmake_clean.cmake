@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mar_dsp.dir/compute.cc.o"
+  "CMakeFiles/mar_dsp.dir/compute.cc.o.d"
+  "CMakeFiles/mar_dsp.dir/service_host.cc.o"
+  "CMakeFiles/mar_dsp.dir/service_host.cc.o.d"
+  "CMakeFiles/mar_dsp.dir/state_store.cc.o"
+  "CMakeFiles/mar_dsp.dir/state_store.cc.o.d"
+  "libmar_dsp.a"
+  "libmar_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mar_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mar_expt.dir/autoscaler.cc.o"
+  "CMakeFiles/mar_expt.dir/autoscaler.cc.o.d"
+  "CMakeFiles/mar_expt.dir/deployment.cc.o"
+  "CMakeFiles/mar_expt.dir/deployment.cc.o.d"
+  "CMakeFiles/mar_expt.dir/experiment.cc.o"
+  "CMakeFiles/mar_expt.dir/experiment.cc.o.d"
+  "CMakeFiles/mar_expt.dir/report.cc.o"
+  "CMakeFiles/mar_expt.dir/report.cc.o.d"
+  "CMakeFiles/mar_expt.dir/table.cc.o"
+  "CMakeFiles/mar_expt.dir/table.cc.o.d"
+  "CMakeFiles/mar_expt.dir/testbed.cc.o"
+  "CMakeFiles/mar_expt.dir/testbed.cc.o.d"
+  "libmar_expt.a"
+  "libmar_expt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mar_expt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

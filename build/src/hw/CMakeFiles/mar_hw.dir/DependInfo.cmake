@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cost_model.cc" "src/hw/CMakeFiles/mar_hw.dir/cost_model.cc.o" "gcc" "src/hw/CMakeFiles/mar_hw.dir/cost_model.cc.o.d"
+  "/root/repo/src/hw/machine.cc" "src/hw/CMakeFiles/mar_hw.dir/machine.cc.o" "gcc" "src/hw/CMakeFiles/mar_hw.dir/machine.cc.o.d"
+  "/root/repo/src/hw/resource.cc" "src/hw/CMakeFiles/mar_hw.dir/resource.cc.o" "gcc" "src/hw/CMakeFiles/mar_hw.dir/resource.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/mar_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mar_hw.dir/cost_model.cc.o"
+  "CMakeFiles/mar_hw.dir/cost_model.cc.o.d"
+  "CMakeFiles/mar_hw.dir/machine.cc.o"
+  "CMakeFiles/mar_hw.dir/machine.cc.o.d"
+  "CMakeFiles/mar_hw.dir/resource.cc.o"
+  "CMakeFiles/mar_hw.dir/resource.cc.o.d"
+  "libmar_hw.a"
+  "libmar_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mar_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

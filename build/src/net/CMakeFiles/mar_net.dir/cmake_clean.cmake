@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mar_net.dir/fragment.cc.o"
+  "CMakeFiles/mar_net.dir/fragment.cc.o.d"
+  "CMakeFiles/mar_net.dir/frame_channel.cc.o"
+  "CMakeFiles/mar_net.dir/frame_channel.cc.o.d"
+  "CMakeFiles/mar_net.dir/udp.cc.o"
+  "CMakeFiles/mar_net.dir/udp.cc.o.d"
+  "libmar_net.a"
+  "libmar_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mar_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mar_orchestra.dir/orchestrator.cc.o"
+  "CMakeFiles/mar_orchestra.dir/orchestrator.cc.o.d"
+  "libmar_orchestra.a"
+  "libmar_orchestra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mar_orchestra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mar_orchestra.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mar_sim.dir/event_loop.cc.o"
+  "CMakeFiles/mar_sim.dir/event_loop.cc.o.d"
+  "CMakeFiles/mar_sim.dir/network.cc.o"
+  "CMakeFiles/mar_sim.dir/network.cc.o.d"
+  "libmar_sim.a"
+  "libmar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmar_sim.a"
+)

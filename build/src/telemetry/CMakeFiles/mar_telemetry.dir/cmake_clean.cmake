@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mar_telemetry.dir/histogram.cc.o"
+  "CMakeFiles/mar_telemetry.dir/histogram.cc.o.d"
+  "libmar_telemetry.a"
+  "libmar_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mar_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mar_video.dir/scene.cc.o"
+  "CMakeFiles/mar_video.dir/scene.cc.o.d"
+  "libmar_video.a"
+  "libmar_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mar_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

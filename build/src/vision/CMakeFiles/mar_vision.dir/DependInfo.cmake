@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vision/engine.cc" "src/vision/CMakeFiles/mar_vision.dir/engine.cc.o" "gcc" "src/vision/CMakeFiles/mar_vision.dir/engine.cc.o.d"
+  "/root/repo/src/vision/fast_detector.cc" "src/vision/CMakeFiles/mar_vision.dir/fast_detector.cc.o" "gcc" "src/vision/CMakeFiles/mar_vision.dir/fast_detector.cc.o.d"
+  "/root/repo/src/vision/fisher.cc" "src/vision/CMakeFiles/mar_vision.dir/fisher.cc.o" "gcc" "src/vision/CMakeFiles/mar_vision.dir/fisher.cc.o.d"
+  "/root/repo/src/vision/gmm.cc" "src/vision/CMakeFiles/mar_vision.dir/gmm.cc.o" "gcc" "src/vision/CMakeFiles/mar_vision.dir/gmm.cc.o.d"
+  "/root/repo/src/vision/homography.cc" "src/vision/CMakeFiles/mar_vision.dir/homography.cc.o" "gcc" "src/vision/CMakeFiles/mar_vision.dir/homography.cc.o.d"
+  "/root/repo/src/vision/image.cc" "src/vision/CMakeFiles/mar_vision.dir/image.cc.o" "gcc" "src/vision/CMakeFiles/mar_vision.dir/image.cc.o.d"
+  "/root/repo/src/vision/kmeans.cc" "src/vision/CMakeFiles/mar_vision.dir/kmeans.cc.o" "gcc" "src/vision/CMakeFiles/mar_vision.dir/kmeans.cc.o.d"
+  "/root/repo/src/vision/linalg.cc" "src/vision/CMakeFiles/mar_vision.dir/linalg.cc.o" "gcc" "src/vision/CMakeFiles/mar_vision.dir/linalg.cc.o.d"
+  "/root/repo/src/vision/lsh.cc" "src/vision/CMakeFiles/mar_vision.dir/lsh.cc.o" "gcc" "src/vision/CMakeFiles/mar_vision.dir/lsh.cc.o.d"
+  "/root/repo/src/vision/matcher.cc" "src/vision/CMakeFiles/mar_vision.dir/matcher.cc.o" "gcc" "src/vision/CMakeFiles/mar_vision.dir/matcher.cc.o.d"
+  "/root/repo/src/vision/pca.cc" "src/vision/CMakeFiles/mar_vision.dir/pca.cc.o" "gcc" "src/vision/CMakeFiles/mar_vision.dir/pca.cc.o.d"
+  "/root/repo/src/vision/pose.cc" "src/vision/CMakeFiles/mar_vision.dir/pose.cc.o" "gcc" "src/vision/CMakeFiles/mar_vision.dir/pose.cc.o.d"
+  "/root/repo/src/vision/serialize.cc" "src/vision/CMakeFiles/mar_vision.dir/serialize.cc.o" "gcc" "src/vision/CMakeFiles/mar_vision.dir/serialize.cc.o.d"
+  "/root/repo/src/vision/sift.cc" "src/vision/CMakeFiles/mar_vision.dir/sift.cc.o" "gcc" "src/vision/CMakeFiles/mar_vision.dir/sift.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

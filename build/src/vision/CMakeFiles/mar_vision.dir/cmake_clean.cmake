@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mar_vision.dir/engine.cc.o"
+  "CMakeFiles/mar_vision.dir/engine.cc.o.d"
+  "CMakeFiles/mar_vision.dir/fast_detector.cc.o"
+  "CMakeFiles/mar_vision.dir/fast_detector.cc.o.d"
+  "CMakeFiles/mar_vision.dir/fisher.cc.o"
+  "CMakeFiles/mar_vision.dir/fisher.cc.o.d"
+  "CMakeFiles/mar_vision.dir/gmm.cc.o"
+  "CMakeFiles/mar_vision.dir/gmm.cc.o.d"
+  "CMakeFiles/mar_vision.dir/homography.cc.o"
+  "CMakeFiles/mar_vision.dir/homography.cc.o.d"
+  "CMakeFiles/mar_vision.dir/image.cc.o"
+  "CMakeFiles/mar_vision.dir/image.cc.o.d"
+  "CMakeFiles/mar_vision.dir/kmeans.cc.o"
+  "CMakeFiles/mar_vision.dir/kmeans.cc.o.d"
+  "CMakeFiles/mar_vision.dir/linalg.cc.o"
+  "CMakeFiles/mar_vision.dir/linalg.cc.o.d"
+  "CMakeFiles/mar_vision.dir/lsh.cc.o"
+  "CMakeFiles/mar_vision.dir/lsh.cc.o.d"
+  "CMakeFiles/mar_vision.dir/matcher.cc.o"
+  "CMakeFiles/mar_vision.dir/matcher.cc.o.d"
+  "CMakeFiles/mar_vision.dir/pca.cc.o"
+  "CMakeFiles/mar_vision.dir/pca.cc.o.d"
+  "CMakeFiles/mar_vision.dir/pose.cc.o"
+  "CMakeFiles/mar_vision.dir/pose.cc.o.d"
+  "CMakeFiles/mar_vision.dir/serialize.cc.o"
+  "CMakeFiles/mar_vision.dir/serialize.cc.o.d"
+  "CMakeFiles/mar_vision.dir/sift.cc.o"
+  "CMakeFiles/mar_vision.dir/sift.cc.o.d"
+  "libmar_vision.a"
+  "libmar_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mar_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

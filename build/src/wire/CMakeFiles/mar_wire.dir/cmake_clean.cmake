@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mar_wire.dir/message.cc.o"
+  "CMakeFiles/mar_wire.dir/message.cc.o.d"
+  "libmar_wire.a"
+  "libmar_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mar_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expt/CMakeFiles/mar_expt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/orchestra/CMakeFiles/mar_orchestra.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/mar_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/mar_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mar_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/mar_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

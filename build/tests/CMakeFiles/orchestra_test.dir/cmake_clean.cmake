@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orchestra_test.dir/orchestra_test.cc.o"
+  "CMakeFiles/orchestra_test.dir/orchestra_test.cc.o.d"
+  "orchestra_test"
+  "orchestra_test.pdb"
+  "orchestra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orchestra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vision_engine_test.dir/vision_engine_test.cc.o"
+  "CMakeFiles/vision_engine_test.dir/vision_engine_test.cc.o.d"
+  "vision_engine_test"
+  "vision_engine_test.pdb"
+  "vision_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vision_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vision_fast_test.dir/vision_fast_test.cc.o"
+  "CMakeFiles/vision_fast_test.dir/vision_fast_test.cc.o.d"
+  "vision_fast_test"
+  "vision_fast_test.pdb"
+  "vision_fast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vision_fast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

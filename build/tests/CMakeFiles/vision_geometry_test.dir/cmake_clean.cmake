@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vision_geometry_test.dir/vision_geometry_test.cc.o"
+  "CMakeFiles/vision_geometry_test.dir/vision_geometry_test.cc.o.d"
+  "vision_geometry_test"
+  "vision_geometry_test.pdb"
+  "vision_geometry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vision_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vision_image_test.dir/vision_image_test.cc.o"
+  "CMakeFiles/vision_image_test.dir/vision_image_test.cc.o.d"
+  "vision_image_test"
+  "vision_image_test.pdb"
+  "vision_image_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vision_image_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vision_math_test.dir/vision_math_test.cc.o"
+  "CMakeFiles/vision_math_test.dir/vision_math_test.cc.o.d"
+  "vision_math_test"
+  "vision_math_test.pdb"
+  "vision_math_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vision_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vision_sift_test.dir/vision_sift_test.cc.o"
+  "CMakeFiles/vision_sift_test.dir/vision_sift_test.cc.o.d"
+  "vision_sift_test"
+  "vision_sift_test.pdb"
+  "vision_sift_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vision_sift_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
