@@ -4,6 +4,11 @@
 // simulator charges.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "vision/engine.h"
 #include "vision/fisher.h"
@@ -54,7 +59,10 @@ void BM_Preprocess(benchmark::State& state) {
 }
 BENCHMARK(BM_Preprocess)->Unit(benchmark::kMillisecond);
 
+// Kernels below sweep the pool size (second arg) so the per-stage cost
+// trajectory is tracked per thread count; counters label the lanes.
 void BM_SiftDetect(benchmark::State& state) {
+  mar::set_parallel_threads(static_cast<int>(state.range(1)));
   const vision::Image img = frame_480();
   vision::SiftParams params;
   params.max_features = static_cast<int>(state.range(0));
@@ -62,8 +70,38 @@ void BM_SiftDetect(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(detector.detect(img));
   }
+  state.counters["threads"] = static_cast<double>(state.range(1));
+  mar::set_parallel_threads(0);
 }
-BENCHMARK(BM_SiftDetect)->Arg(150)->Arg(300)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SiftDetect)
+    ->ArgNames({"features", "threads"})
+    ->Args({150, 1})
+    ->Args({300, 1})
+    ->Args({300, 2})
+    ->Args({300, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Blur(benchmark::State& state) {
+  mar::set_parallel_threads(static_cast<int>(state.range(0)));
+  const vision::Image img = frame_480();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vision::gaussian_blur(img, 1.6f));
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  mar::set_parallel_threads(0);
+}
+BENCHMARK(BM_Blur)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_Match(benchmark::State& state) {
+  mar::set_parallel_threads(static_cast<int>(state.range(0)));
+  const auto query = features();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vision::match_features(query, query));
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  mar::set_parallel_threads(0);
+}
+BENCHMARK(BM_Match)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_PcaTransform(benchmark::State& state) {
   const auto desc = descriptor_matrix();
@@ -76,6 +114,7 @@ void BM_PcaTransform(benchmark::State& state) {
 BENCHMARK(BM_PcaTransform)->Unit(benchmark::kMillisecond);
 
 void BM_FisherEncode(benchmark::State& state) {
+  mar::set_parallel_threads(static_cast<int>(state.range(0)));
   const auto desc = descriptor_matrix();
   vision::Pca pca;
   pca.fit(desc, 32);
@@ -89,8 +128,10 @@ void BM_FisherEncode(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(encoder.encode(reduced));
   }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  mar::set_parallel_threads(0);
 }
-BENCHMARK(BM_FisherEncode)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FisherEncode)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_LshQuery(benchmark::State& state) {
   Rng rng(2);
@@ -137,4 +178,25 @@ BENCHMARK(BM_SceneRender)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a default JSON summary (BENCH_vision.json in the
+// working directory) so the per-stage perf trajectory is recorded on
+// every run; pass --benchmark_out=... to override.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_vision.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int arg_count = static_cast<int>(args.size());
+  benchmark::Initialize(&arg_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(arg_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

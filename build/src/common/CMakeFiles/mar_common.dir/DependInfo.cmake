@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/log.cc" "src/common/CMakeFiles/mar_common.dir/log.cc.o" "gcc" "src/common/CMakeFiles/mar_common.dir/log.cc.o.d"
+  "/root/repo/src/common/parallel.cc" "src/common/CMakeFiles/mar_common.dir/parallel.cc.o" "gcc" "src/common/CMakeFiles/mar_common.dir/parallel.cc.o.d"
   "/root/repo/src/common/rng.cc" "src/common/CMakeFiles/mar_common.dir/rng.cc.o" "gcc" "src/common/CMakeFiles/mar_common.dir/rng.cc.o.d"
   )
 

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/mar_common.dir/log.cc.o"
   "CMakeFiles/mar_common.dir/log.cc.o.d"
+  "CMakeFiles/mar_common.dir/parallel.cc.o"
+  "CMakeFiles/mar_common.dir/parallel.cc.o.d"
   "CMakeFiles/mar_common.dir/rng.cc.o"
   "CMakeFiles/mar_common.dir/rng.cc.o.d"
   "libmar_common.a"

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vision_parallel_test.dir/vision_parallel_test.cc.o"
+  "CMakeFiles/vision_parallel_test.dir/vision_parallel_test.cc.o.d"
+  "vision_parallel_test"
+  "vision_parallel_test.pdb"
+  "vision_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vision_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

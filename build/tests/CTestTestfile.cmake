@@ -23,3 +23,4 @@ include("/root/repo/build/tests/expt_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")
 include("/root/repo/build/tests/vision_fast_test[1]_include.cmake")
 include("/root/repo/build/tests/autoscaler_test[1]_include.cmake")
+include("/root/repo/build/tests/vision_parallel_test[1]_include.cmake")

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/parallel.h"
+
 namespace mar::vision {
 namespace {
 
@@ -65,11 +67,17 @@ bool ArEngine::finalize_training() {
 
 std::vector<std::vector<float>> ArEngine::reduced_descriptors(
     const FeatureList& features) const {
-  std::vector<std::vector<float>> out;
-  out.reserve(features.size());
-  for (const Feature& f : features) {
-    out.push_back(pca_.transform(std::vector<float>(f.descriptor.begin(), f.descriptor.end())));
-  }
+  // Per-descriptor PCA projections are independent; pre-sized slots
+  // keep the output in feature order regardless of pool size.
+  std::vector<std::vector<float>> out(features.size());
+  parallel_for(0, static_cast<std::int64_t>(features.size()), 32,
+               [&](std::int64_t i0, std::int64_t i1) {
+                 for (std::int64_t i = i0; i < i1; ++i) {
+                   const Feature& f = features[static_cast<std::size_t>(i)];
+                   out[static_cast<std::size_t>(i)] = pca_.transform(
+                       std::vector<float>(f.descriptor.begin(), f.descriptor.end()));
+                 }
+               });
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace mar::vision {
 
 std::vector<float> FisherEncoder::encode(
@@ -9,27 +11,46 @@ std::vector<float> FisherEncoder::encode(
   if (gmm_ == nullptr || gmm_->components() == 0) return {};
   const int k = gmm_->components();
   const int d = gmm_->dim();
-  std::vector<double> fv(static_cast<std::size_t>(2 * k * d), 0.0);
+  const std::size_t fv_dim = static_cast<std::size_t>(2 * k * d);
+  std::vector<double> fv(fv_dim, 0.0);
   if (descriptors.empty()) return std::vector<float>(fv.begin(), fv.end());
 
   const auto& means = gmm_->means();
   const auto& vars = gmm_->variances();
   const auto& weights = gmm_->weights();
 
-  for (const auto& x : descriptors) {
-    const std::vector<double> gamma = gmm_->posteriors(x);
-    for (int c = 0; c < k; ++c) {
-      const double g = gamma[static_cast<std::size_t>(c)];
-      if (g < 1e-8) continue;
-      for (int j = 0; j < d; ++j) {
-        const double sigma = std::sqrt(vars[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)]);
-        const double u = (x[static_cast<std::size_t>(j)] -
-                          means[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)]) /
-                         sigma;
-        fv[static_cast<std::size_t>(c * d + j)] += g * u;                    // d/d mean
-        fv[static_cast<std::size_t>(k * d + c * d + j)] += g * (u * u - 1);  // d/d sigma
+  // Descriptors accumulate into per-chunk partial vectors that are
+  // reduced in chunk-index order. The chunk grid depends only on the
+  // descriptor count and grain — never on the pool size — so the
+  // summation order (and thus the float result) is identical whether
+  // the chunks ran on 1 thread or N.
+  const std::int64_t n_desc = static_cast<std::int64_t>(descriptors.size());
+  constexpr std::int64_t kDescGrain = 32;
+  const std::int64_t nchunks = ThreadPool::num_chunks(0, n_desc, kDescGrain);
+  std::vector<std::vector<double>> partial(static_cast<std::size_t>(nchunks),
+                                           std::vector<double>(fv_dim, 0.0));
+  parallel_for_chunks(0, n_desc, kDescGrain, [&](std::int64_t chunk, std::int64_t i0,
+                                                 std::int64_t i1) {
+    std::vector<double>& acc = partial[static_cast<std::size_t>(chunk)];
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const auto& x = descriptors[static_cast<std::size_t>(i)];
+      const std::vector<double> gamma = gmm_->posteriors(x);
+      for (int c = 0; c < k; ++c) {
+        const double g = gamma[static_cast<std::size_t>(c)];
+        if (g < 1e-8) continue;
+        for (int j = 0; j < d; ++j) {
+          const double sigma = std::sqrt(vars[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)]);
+          const double u = (x[static_cast<std::size_t>(j)] -
+                            means[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)]) /
+                           sigma;
+          acc[static_cast<std::size_t>(c * d + j)] += g * u;                    // d/d mean
+          acc[static_cast<std::size_t>(k * d + c * d + j)] += g * (u * u - 1);  // d/d sigma
+        }
       }
     }
+  });
+  for (const std::vector<double>& acc : partial) {
+    for (std::size_t i = 0; i < fv_dim; ++i) fv[i] += acc[i];
   }
 
   // Fisher information normalization.

@@ -4,7 +4,17 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/parallel.h"
+
 namespace mar::vision {
+namespace {
+
+// Rows per parallel chunk for the per-pixel kernels below. The value
+// only affects scheduling: each output pixel is computed exactly as in
+// the serial code, so results are bit-identical at any pool size.
+constexpr std::int64_t kRowGrain = 16;
+
+}  // namespace
 
 float Image::at_clamped(int x, int y) const {
   x = std::clamp(x, 0, width_ - 1);
@@ -37,30 +47,59 @@ Image gaussian_blur(const Image& src, float sigma) {
     sum += v;
   }
   for (float& k : kernel) k /= sum;
+  const float* kern = kernel.data() + radius;  // kern[i] for i in [-radius, radius]
 
   const int w = src.width(), h = src.height();
+  // Columns [xl, xr) never index outside the row, so the inner loop can
+  // use raw loads; only the border columns pay for clamping.
+  const int xl = std::min(radius, w);
+  const int xr = std::max(xl, w - radius);
+
   Image tmp(w, h);
-  // Horizontal pass.
-  for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      float acc = 0.0f;
-      for (int i = -radius; i <= radius; ++i) {
-        acc += kernel[static_cast<std::size_t>(i + radius)] * src.at_clamped(x + i, y);
+  // Horizontal pass, row-parallel.
+  parallel_for(0, h, kRowGrain, [&](std::int64_t y0, std::int64_t y1) {
+    for (int y = static_cast<int>(y0); y < static_cast<int>(y1); ++y) {
+      const float* srow = src.data().data() + static_cast<std::size_t>(y) * w;
+      float* trow = tmp.data().data() + static_cast<std::size_t>(y) * w;
+      for (int x = 0; x < xl; ++x) {
+        float acc = 0.0f;
+        for (int i = -radius; i <= radius; ++i) acc += kern[i] * src.at_clamped(x + i, y);
+        trow[x] = acc;
       }
-      tmp.at(x, y) = acc;
+      for (int x = xl; x < xr; ++x) {
+        float acc = 0.0f;
+        for (int i = -radius; i <= radius; ++i) acc += kern[i] * srow[x + i];
+        trow[x] = acc;
+      }
+      for (int x = xr; x < w; ++x) {
+        float acc = 0.0f;
+        for (int i = -radius; i <= radius; ++i) acc += kern[i] * src.at_clamped(x + i, y);
+        trow[x] = acc;
+      }
     }
-  }
-  // Vertical pass.
+  });
+
+  // Vertical pass, row-parallel. Row clamping is hoisted out of the
+  // pixel loop: each tap reads one (possibly replicated) source row.
   Image out(w, h);
-  for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      float acc = 0.0f;
+  parallel_for(0, h, kRowGrain, [&](std::int64_t y0, std::int64_t y1) {
+    std::vector<const float*> rows(static_cast<std::size_t>(2 * radius + 1));
+    for (int y = static_cast<int>(y0); y < static_cast<int>(y1); ++y) {
       for (int i = -radius; i <= radius; ++i) {
-        acc += kernel[static_cast<std::size_t>(i + radius)] * tmp.at_clamped(x, y + i);
+        const int py = std::clamp(y + i, 0, h - 1);
+        rows[static_cast<std::size_t>(i + radius)] =
+            tmp.data().data() + static_cast<std::size_t>(py) * w;
       }
-      out.at(x, y) = acc;
+      float* orow = out.data().data() + static_cast<std::size_t>(y) * w;
+      for (int x = 0; x < w; ++x) {
+        float acc = 0.0f;
+        for (int i = 0; i <= 2 * radius; ++i) {
+          acc += kernel[static_cast<std::size_t>(i)] * rows[static_cast<std::size_t>(i)][x];
+        }
+        orow[x] = acc;
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -69,12 +108,14 @@ Image resize(const Image& src, int new_width, int new_height) {
   if (src.empty() || new_width <= 0 || new_height <= 0) return out;
   const float sx = static_cast<float>(src.width()) / static_cast<float>(new_width);
   const float sy = static_cast<float>(src.height()) / static_cast<float>(new_height);
-  for (int y = 0; y < new_height; ++y) {
-    for (int x = 0; x < new_width; ++x) {
-      out.at(x, y) = src.sample((static_cast<float>(x) + 0.5f) * sx - 0.5f,
-                                (static_cast<float>(y) + 0.5f) * sy - 0.5f);
+  parallel_for(0, new_height, kRowGrain, [&](std::int64_t y0, std::int64_t y1) {
+    for (int y = static_cast<int>(y0); y < static_cast<int>(y1); ++y) {
+      for (int x = 0; x < new_width; ++x) {
+        out.at(x, y) = src.sample((static_cast<float>(x) + 0.5f) * sx - 0.5f,
+                                  (static_cast<float>(y) + 0.5f) * sy - 0.5f);
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -90,17 +131,25 @@ Image half_size(const Image& src) {
 
 Image double_size(const Image& src) {
   Image out(src.width() * 2, src.height() * 2);
-  for (int y = 0; y < out.height(); ++y) {
-    for (int x = 0; x < out.width(); ++x) {
-      out.at(x, y) = src.sample(static_cast<float>(x) / 2.0f, static_cast<float>(y) / 2.0f);
+  parallel_for(0, out.height(), kRowGrain, [&](std::int64_t y0, std::int64_t y1) {
+    for (int y = static_cast<int>(y0); y < static_cast<int>(y1); ++y) {
+      for (int x = 0; x < out.width(); ++x) {
+        out.at(x, y) = src.sample(static_cast<float>(x) / 2.0f, static_cast<float>(y) / 2.0f);
+      }
     }
-  }
+  });
   return out;
 }
 
 Image subtract(const Image& a, const Image& b) {
   Image out(a.width(), a.height());
-  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] = a.data()[i] - b.data()[i];
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* po = out.data().data();
+  parallel_for(0, static_cast<std::int64_t>(out.size()), 64 * 1024,
+               [&](std::int64_t i0, std::int64_t i1) {
+                 for (std::int64_t i = i0; i < i1; ++i) po[i] = pa[i] - pb[i];
+               });
   return out;
 }
 

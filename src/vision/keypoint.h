@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace mar::vision {
@@ -24,14 +25,30 @@ struct Feature {
   Descriptor descriptor{};
 };
 
+// Squared Euclidean distance with a running-best early exit: once the
+// partial sum reaches `limit` the pair can no longer beat the caller's
+// current best/second-best, so the scan stops. The returned partial is
+// >= limit in that case, which makes every `< limit` comparison come
+// out exactly as if the full sum had been computed — accumulation
+// order is unchanged, so completed sums are bit-identical to the
+// serial full-sum code.
+[[nodiscard]] inline float descriptor_distance_sq(
+    const Descriptor& a, const Descriptor& b,
+    float limit = std::numeric_limits<float>::max()) {
+  float d2 = 0.0f;
+  for (int i = 0; i < kDescriptorDim; i += 16) {
+    for (int j = i; j < i + 16; ++j) {
+      const float d = a[j] - b[j];
+      d2 += d * d;
+    }
+    if (d2 >= limit) return d2;
+  }
+  return d2;
+}
+
 // Euclidean distance between two descriptors.
 [[nodiscard]] inline float descriptor_distance(const Descriptor& a, const Descriptor& b) {
-  float d2 = 0.0f;
-  for (int i = 0; i < kDescriptorDim; ++i) {
-    const float d = a[i] - b[i];
-    d2 += d * d;
-  }
-  return std::sqrt(d2);
+  return std::sqrt(descriptor_distance_sq(a, b));
 }
 
 using FeatureList = std::vector<Feature>;

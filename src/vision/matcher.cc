@@ -1,6 +1,9 @@
 #include "vision/matcher.h"
 
+#include <cmath>
 #include <limits>
+
+#include "common/parallel.h"
 
 namespace mar::vision {
 
@@ -8,23 +11,44 @@ std::vector<Match> match_features(const FeatureList& query, const FeatureList& t
                                   const MatcherParams& params) {
   std::vector<Match> matches;
   if (train.size() < 2) return matches;
-  for (std::size_t qi = 0; qi < query.size(); ++qi) {
-    float best = std::numeric_limits<float>::max();
-    float second = std::numeric_limits<float>::max();
-    int best_ti = -1;
-    for (std::size_t ti = 0; ti < train.size(); ++ti) {
-      const float d = descriptor_distance(query[qi].descriptor, train[ti].descriptor);
-      if (d < best) {
-        second = best;
-        best = d;
-        best_ti = static_cast<int>(ti);
-      } else if (d < second) {
-        second = d;
-      }
-    }
-    if (best_ti >= 0 && best <= params.max_distance && best < params.ratio * second) {
-      matches.push_back(Match{static_cast<int>(qi), best_ti, best});
-    }
+
+  // All comparisons run in squared-distance space (monotone in the
+  // Euclidean distance), so the per-pair sqrt disappears and
+  // descriptor_distance_sq can early-exit against the running
+  // second-best. One sqrt per accepted match keeps Match::distance
+  // Euclidean.
+  const float max_d2 = params.max_distance * params.max_distance;
+  const float ratio2 = params.ratio * params.ratio;
+
+  // Query descriptors are independent: fill a per-query slot in
+  // parallel, then compact in query order so the output matches the
+  // serial scan exactly.
+  std::vector<Match> slots(query.size(), Match{0, -1, 0.0f});
+  parallel_for(0, static_cast<std::int64_t>(query.size()), 32,
+               [&](std::int64_t q0, std::int64_t q1) {
+                 for (std::int64_t qi = q0; qi < q1; ++qi) {
+                   float best = std::numeric_limits<float>::max();
+                   float second = std::numeric_limits<float>::max();
+                   int best_ti = -1;
+                   const Descriptor& qd = query[static_cast<std::size_t>(qi)].descriptor;
+                   for (std::size_t ti = 0; ti < train.size(); ++ti) {
+                     const float d2 = descriptor_distance_sq(qd, train[ti].descriptor, second);
+                     if (d2 < best) {
+                       second = best;
+                       best = d2;
+                       best_ti = static_cast<int>(ti);
+                     } else if (d2 < second) {
+                       second = d2;
+                     }
+                   }
+                   if (best_ti >= 0 && best <= max_d2 && best < ratio2 * second) {
+                     slots[static_cast<std::size_t>(qi)] =
+                         Match{static_cast<int>(qi), best_ti, std::sqrt(best)};
+                   }
+                 }
+               });
+  for (const Match& m : slots) {
+    if (m.train_index >= 0) matches.push_back(m);
   }
   return matches;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/parallel.h"
 #include "vision/linalg.h"
 
 namespace mar::vision {
@@ -81,9 +82,15 @@ std::vector<float> Pca::transform(const std::vector<float>& x) const {
 
 std::vector<std::vector<float>> Pca::transform(
     const std::vector<std::vector<float>>& data) const {
-  std::vector<std::vector<float>> out;
-  out.reserve(data.size());
-  for (const auto& row : data) out.push_back(transform(row));
+  // Rows project independently; slots are pre-sized so parallel chunks
+  // write disjoint entries and the output order is the input order.
+  std::vector<std::vector<float>> out(data.size());
+  parallel_for(0, static_cast<std::int64_t>(data.size()), 32,
+               [&](std::int64_t i0, std::int64_t i1) {
+                 for (std::int64_t i = i0; i < i1; ++i) {
+                   out[static_cast<std::size_t>(i)] = transform(data[static_cast<std::size_t>(i)]);
+                 }
+               });
   return out;
 }
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
+
+#include "common/parallel.h"
 
 namespace mar::vision {
 namespace {
@@ -299,7 +302,12 @@ FeatureList SiftDetector::detect(const Image& image) const {
 
   const ScaleSpace ss = build_scale_space(image, params_);
   const int s = params_.scales_per_octave;
-  std::vector<float> angles;
+  // Rows per band for the parallel extrema scan. Each band runs the
+  // full extremum -> refine -> orientation -> descriptor chain for its
+  // rows into a private list; bands are concatenated in row order, so
+  // the feature order (and every value) matches the serial y-major
+  // scan exactly at any pool size.
+  constexpr std::int64_t kBandRows = 8;
 
   for (std::size_t o = 0; o < ss.dog.size(); ++o) {
     const auto& dog = ss.dog[o];
@@ -310,53 +318,63 @@ FeatureList SiftDetector::detect(const Image& image) const {
 
     for (int layer = 1; layer <= s; ++layer) {
       const Image& d1 = dog[static_cast<std::size_t>(layer)];
-      for (int y = 1; y < h - 1; ++y) {
-        for (int x = 1; x < w - 1; ++x) {
-          const float v = d1.at(x, y);
-          if (std::fabs(v) < 0.8f * params_.contrast_threshold / static_cast<float>(s)) {
-            continue;
-          }
-          // 26-neighbour extremum test.
-          bool is_max = true, is_min = true;
-          for (int dl = -1; dl <= 1 && (is_max || is_min); ++dl) {
-            const Image& dn = dog[static_cast<std::size_t>(layer + dl)];
-            for (int dy = -1; dy <= 1; ++dy) {
-              for (int dx = -1; dx <= 1; ++dx) {
-                if (dl == 0 && dx == 0 && dy == 0) continue;
-                const float nv = dn.at(x + dx, y + dy);
-                if (nv >= v) is_max = false;
-                if (nv <= v) is_min = false;
+      std::vector<FeatureList> bands(
+          static_cast<std::size_t>(ThreadPool::num_chunks(1, h - 1, kBandRows)));
+      parallel_for_chunks(1, h - 1, kBandRows, [&](std::int64_t band, std::int64_t y0,
+                                                   std::int64_t y1) {
+        FeatureList& band_features = bands[static_cast<std::size_t>(band)];
+        std::vector<float> angles;
+        for (int y = static_cast<int>(y0); y < static_cast<int>(y1); ++y) {
+          for (int x = 1; x < w - 1; ++x) {
+            const float v = d1.at(x, y);
+            if (std::fabs(v) < 0.8f * params_.contrast_threshold / static_cast<float>(s)) {
+              continue;
+            }
+            // 26-neighbour extremum test.
+            bool is_max = true, is_min = true;
+            for (int dl = -1; dl <= 1 && (is_max || is_min); ++dl) {
+              const Image& dn = dog[static_cast<std::size_t>(layer + dl)];
+              for (int dy = -1; dy <= 1; ++dy) {
+                for (int dx = -1; dx <= 1; ++dx) {
+                  if (dl == 0 && dx == 0 && dy == 0) continue;
+                  const float nv = dn.at(x + dx, y + dy);
+                  if (nv >= v) is_max = false;
+                  if (nv <= v) is_min = false;
+                }
               }
             }
-          }
-          if (!is_max && !is_min) continue;
+            if (!is_max && !is_min) continue;
 
-          Keypoint kp;
-          if (!refine_extremum(dog, s, params_.base_sigma, static_cast<int>(o), ss.base_scale,
-                               x, y, layer, params_, kp)) {
-            continue;
-          }
+            Keypoint kp;
+            if (!refine_extremum(dog, s, params_.base_sigma, static_cast<int>(o), ss.base_scale,
+                                 x, y, layer, params_, kp)) {
+              continue;
+            }
 
-          // Orientation and descriptor use the Gaussian image closest
-          // to the keypoint's scale within this octave.
-          const float sigma_rel = kp.scale / oct_scale;
-          int best_layer = static_cast<int>(std::round(
-              std::log2(std::max(sigma_rel / params_.base_sigma, 1e-6f)) *
-              static_cast<float>(s)));
-          best_layer = std::clamp(best_layer, 0, s + 2);
-          const Image& gimg = ss.gauss[o][static_cast<std::size_t>(best_layer)];
-          const float gx = kp.x / oct_scale;
-          const float gy = kp.y / oct_scale;
+            // Orientation and descriptor use the Gaussian image closest
+            // to the keypoint's scale within this octave.
+            const float sigma_rel = kp.scale / oct_scale;
+            int best_layer = static_cast<int>(std::round(
+                std::log2(std::max(sigma_rel / params_.base_sigma, 1e-6f)) *
+                static_cast<float>(s)));
+            best_layer = std::clamp(best_layer, 0, s + 2);
+            const Image& gimg = ss.gauss[o][static_cast<std::size_t>(best_layer)];
+            const float gx = kp.x / oct_scale;
+            const float gy = kp.y / oct_scale;
 
-          compute_orientations(gimg, gx, gy, sigma_rel, angles);
-          for (float ang : angles) {
-            Feature f;
-            f.keypoint = kp;
-            f.keypoint.angle = ang;
-            f.descriptor = compute_descriptor(gimg, gx, gy, sigma_rel, ang);
-            features.push_back(std::move(f));
+            compute_orientations(gimg, gx, gy, sigma_rel, angles);
+            for (float ang : angles) {
+              Feature f;
+              f.keypoint = kp;
+              f.keypoint.angle = ang;
+              f.descriptor = compute_descriptor(gimg, gx, gy, sigma_rel, ang);
+              band_features.push_back(std::move(f));
+            }
           }
         }
+      });
+      for (FeatureList& band : bands) {
+        std::move(band.begin(), band.end(), std::back_inserter(features));
       }
     }
   }

@@ -1,0 +1,380 @@
+// Thread-pool unit tests plus bit-identical determinism checks for the
+// parallel vision kernels: every kernel must produce exactly the same
+// bytes at pool size 1, 2, and hardware_concurrency().
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "vision/engine.h"
+#include "vision/fisher.h"
+#include "vision/gmm.h"
+#include "vision/image.h"
+#include "vision/matcher.h"
+#include "vision/pca.h"
+#include "vision/sift.h"
+#include "video/scene.h"
+
+namespace mar::vision {
+namespace {
+
+// --- thread pool ---------------------------------------------------------------
+
+class PoolTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_parallel_threads(0); }
+};
+
+TEST_F(PoolTest, EmptyRangeNeverInvokes) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.for_range(5, 5, 1, [&](std::int64_t, std::int64_t) { calls.fetch_add(1); });
+  pool.for_range(7, 3, 1, [&](std::int64_t, std::int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST_F(PoolTest, GrainLargerThanRangeIsOneChunk) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  std::int64_t seen_begin = -1, seen_end = -1;
+  pool.for_chunks(2, 9, 100, [&](std::int64_t chunk, std::int64_t i0, std::int64_t i1) {
+    calls.fetch_add(1);
+    EXPECT_EQ(chunk, 0);
+    seen_begin = i0;
+    seen_end = i1;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen_begin, 2);
+  EXPECT_EQ(seen_end, 9);
+}
+
+TEST_F(PoolTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.for_range(0, kN, 7, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << i;
+}
+
+TEST_F(PoolTest, ChunkGridIndependentOfPoolSize) {
+  EXPECT_EQ(ThreadPool::num_chunks(0, 100, 7), 15);
+  EXPECT_EQ(ThreadPool::num_chunks(0, 0, 7), 0);
+  EXPECT_EQ(ThreadPool::num_chunks(3, 4, 100), 1);
+  // The grid is a static property: pools of any size see the same chunks.
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<std::int64_t>> bounds(15);
+    pool.for_chunks(0, 100, 7, [&](std::int64_t chunk, std::int64_t i0, std::int64_t i1) {
+      bounds[static_cast<std::size_t>(chunk)].store(i0 * 1000 + i1);
+    });
+    for (std::int64_t c = 0; c < 15; ++c) {
+      const std::int64_t i0 = c * 7;
+      const std::int64_t i1 = std::min<std::int64_t>(100, (c + 1) * 7);
+      EXPECT_EQ(bounds[static_cast<std::size_t>(c)].load(), i0 * 1000 + i1);
+    }
+  }
+}
+
+TEST_F(PoolTest, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.for_range(0, 100, 1,
+                              [](std::int64_t i0, std::int64_t) {
+                                if (i0 == 42) throw std::runtime_error("boom");
+                              }),
+               std::runtime_error);
+  // The pool must survive a throwing job and run the next one fully.
+  std::atomic<int> count{0};
+  pool.for_range(0, 64, 4, [&](std::int64_t i0, std::int64_t i1) {
+    count.fetch_add(static_cast<int>(i1 - i0));
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST_F(PoolTest, SerialPoolPropagatesException) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.for_range(0, 10, 1,
+                     [](std::int64_t, std::int64_t) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+}
+
+TEST_F(PoolTest, NestedCallRunsSeriallyWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.for_range(0, 8, 1, [&](std::int64_t, std::int64_t) {
+    pool.for_range(0, 10, 2, [&](std::int64_t i0, std::int64_t i1) {
+      inner_total.fetch_add(static_cast<int>(i1 - i0));
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 80);
+}
+
+TEST_F(PoolTest, GlobalPoolIsReusedAcrossCalls) {
+  set_parallel_threads(4);
+  ThreadPool* first = &global_pool();
+  EXPECT_EQ(parallel_threads(), 4);
+
+  // If the pool respawned threads per call, new thread ids would keep
+  // appearing; a fixed worker set stays within `size()` distinct ids.
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  for (int run = 0; run < 20; ++run) {
+    parallel_for(0, 64, 1, [&](std::int64_t, std::int64_t) {
+      std::lock_guard<std::mutex> lk(mu);
+      ids.insert(std::this_thread::get_id());
+    });
+    EXPECT_EQ(&global_pool(), first);
+  }
+  EXPECT_LE(ids.size(), 4u);
+}
+
+TEST_F(PoolTest, MarThreadsEnvOverridesDefault) {
+  ::setenv("MAR_THREADS", "3", 1);
+  set_parallel_threads(0);  // re-derive the default sizing
+  EXPECT_EQ(parallel_threads(), 3);
+  ::unsetenv("MAR_THREADS");
+  set_parallel_threads(0);
+  EXPECT_GE(parallel_threads(), 1);
+}
+
+// --- kernel determinism --------------------------------------------------------
+
+Image test_frame() {
+  static const Image frame = [] {
+    video::WorkplaceScene scene(640, 360);
+    return resize(scene.render(0.0), 480, 270);
+  }();
+  return frame;
+}
+
+std::vector<int> pool_sizes() {
+  const int hc = static_cast<int>(std::thread::hardware_concurrency());
+  return {1, 2, std::max(hc, 1)};
+}
+
+void expect_images_identical(const Image& a, const Image& b) {
+  ASSERT_EQ(a.width(), b.width());
+  ASSERT_EQ(a.height(), b.height());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]) << "pixel " << i;
+  }
+}
+
+void expect_features_identical(const FeatureList& a, const FeatureList& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].keypoint.x, b[i].keypoint.x) << i;
+    ASSERT_EQ(a[i].keypoint.y, b[i].keypoint.y) << i;
+    ASSERT_EQ(a[i].keypoint.scale, b[i].keypoint.scale) << i;
+    ASSERT_EQ(a[i].keypoint.angle, b[i].keypoint.angle) << i;
+    ASSERT_EQ(a[i].keypoint.response, b[i].keypoint.response) << i;
+    ASSERT_EQ(a[i].keypoint.octave, b[i].keypoint.octave) << i;
+    for (int j = 0; j < kDescriptorDim; ++j) {
+      ASSERT_EQ(a[i].descriptor[static_cast<std::size_t>(j)],
+                b[i].descriptor[static_cast<std::size_t>(j)])
+          << "feature " << i << " dim " << j;
+    }
+  }
+}
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_parallel_threads(0); }
+};
+
+TEST_F(DeterminismTest, BlurAndResizeBitIdenticalAcrossPoolSizes) {
+  const Image frame = test_frame();
+  set_parallel_threads(1);
+  const Image blur_serial = gaussian_blur(frame, 1.6f);
+  const Image resize_serial = resize(frame, 123, 77);
+  const Image dog_serial = subtract(blur_serial, frame);
+  for (int n : pool_sizes()) {
+    set_parallel_threads(n);
+    expect_images_identical(blur_serial, gaussian_blur(frame, 1.6f));
+    expect_images_identical(resize_serial, resize(frame, 123, 77));
+    expect_images_identical(dog_serial, subtract(blur_serial, frame));
+  }
+}
+
+TEST_F(DeterminismTest, BlurMatchesClampedReference) {
+  // The interior fast path must reproduce the straightforward
+  // clamp-everywhere convolution bit for bit, including when the
+  // kernel radius exceeds the image (all-border case).
+  for (const auto& [w, h, sigma] : {std::tuple{40, 30, 2.0f}, std::tuple{5, 4, 2.0f}}) {
+    Image img(w, h);
+    Rng rng(11);
+    for (float& v : img.data()) v = static_cast<float>(rng.uniform(0.0, 1.0));
+
+    const int radius = std::max(1, static_cast<int>(std::ceil(3.0f * sigma)));
+    std::vector<float> kernel(static_cast<std::size_t>(2 * radius + 1));
+    float sum = 0.0f;
+    for (int i = -radius; i <= radius; ++i) {
+      const float v = std::exp(-static_cast<float>(i * i) / (2.0f * sigma * sigma));
+      kernel[static_cast<std::size_t>(i + radius)] = v;
+      sum += v;
+    }
+    for (float& kv : kernel) kv /= sum;
+    Image tmp(w, h), ref(w, h);
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        float acc = 0.0f;
+        for (int i = -radius; i <= radius; ++i) {
+          acc += kernel[static_cast<std::size_t>(i + radius)] * img.at_clamped(x + i, y);
+        }
+        tmp.at(x, y) = acc;
+      }
+    }
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        float acc = 0.0f;
+        for (int i = -radius; i <= radius; ++i) {
+          acc += kernel[static_cast<std::size_t>(i + radius)] * tmp.at_clamped(x, y + i);
+        }
+        ref.at(x, y) = acc;
+      }
+    }
+    for (int n : pool_sizes()) {
+      set_parallel_threads(n);
+      expect_images_identical(ref, gaussian_blur(img, sigma));
+    }
+  }
+}
+
+TEST_F(DeterminismTest, SiftFeaturesBitIdenticalAcrossPoolSizes) {
+  const Image frame = test_frame();
+  SiftParams params;
+  params.max_features = 300;
+  const SiftDetector detector(params);
+  set_parallel_threads(1);
+  const FeatureList serial = detector.detect(frame);
+  ASSERT_FALSE(serial.empty());
+  for (int n : pool_sizes()) {
+    set_parallel_threads(n);
+    expect_features_identical(serial, detector.detect(frame));
+  }
+}
+
+TEST_F(DeterminismTest, MatchSetBitIdenticalAndEqualToNaiveReference) {
+  const Image frame = test_frame();
+  SiftParams params;
+  params.max_features = 200;
+  set_parallel_threads(1);
+  const FeatureList features = SiftDetector(params).detect(frame);
+  ASSERT_GE(features.size(), 2u);
+
+  // Naive reference: full Euclidean distances, no early exit.
+  const MatcherParams mp;
+  std::vector<Match> ref;
+  for (std::size_t qi = 0; qi < features.size(); ++qi) {
+    float best = std::numeric_limits<float>::max(), second = best;
+    int best_ti = -1;
+    for (std::size_t ti = 0; ti < features.size(); ++ti) {
+      float d2 = 0.0f;
+      for (int j = 0; j < kDescriptorDim; ++j) {
+        const float d = features[qi].descriptor[static_cast<std::size_t>(j)] -
+                        features[ti].descriptor[static_cast<std::size_t>(j)];
+        d2 += d * d;
+      }
+      const float dist = std::sqrt(d2);
+      if (dist < best) {
+        second = best;
+        best = dist;
+        best_ti = static_cast<int>(ti);
+      } else if (dist < second) {
+        second = dist;
+      }
+    }
+    if (best_ti >= 0 && best <= mp.max_distance && best < mp.ratio * second) {
+      ref.push_back(Match{static_cast<int>(qi), best_ti, best});
+    }
+  }
+
+  for (int n : pool_sizes()) {
+    set_parallel_threads(n);
+    const auto matches = match_features(features, features, mp);
+    ASSERT_EQ(matches.size(), ref.size());
+    for (std::size_t i = 0; i < matches.size(); ++i) {
+      EXPECT_EQ(matches[i].query_index, ref[i].query_index);
+      EXPECT_EQ(matches[i].train_index, ref[i].train_index);
+      EXPECT_NEAR(matches[i].distance, ref[i].distance, 1e-6f);
+    }
+  }
+}
+
+TEST_F(DeterminismTest, FisherAndPcaBitIdenticalAcrossPoolSizes) {
+  const Image frame = test_frame();
+  SiftParams params;
+  params.max_features = 200;
+  set_parallel_threads(1);
+  const FeatureList features = SiftDetector(params).detect(frame);
+  std::vector<std::vector<float>> desc;
+  for (const auto& f : features) desc.emplace_back(f.descriptor.begin(), f.descriptor.end());
+  ASSERT_GE(desc.size(), 64u);
+
+  Pca pca;
+  pca.fit(desc, 16);
+  const auto reduced_serial = pca.transform(desc);
+  Rng rng(1);
+  Gmm gmm;
+  GmmParams gp;
+  gp.components = 4;
+  ASSERT_TRUE(gmm.fit(reduced_serial, gp, rng));
+  const FisherEncoder encoder(&gmm);
+  const auto fv_serial = encoder.encode(reduced_serial);
+  ASSERT_FALSE(fv_serial.empty());
+
+  for (int n : pool_sizes()) {
+    set_parallel_threads(n);
+    const auto reduced = pca.transform(desc);
+    ASSERT_EQ(reduced.size(), reduced_serial.size());
+    for (std::size_t i = 0; i < reduced.size(); ++i) {
+      for (std::size_t j = 0; j < reduced[i].size(); ++j) {
+        ASSERT_EQ(reduced[i][j], reduced_serial[i][j]) << i << "," << j;
+      }
+    }
+    const auto fv = encoder.encode(reduced);
+    ASSERT_EQ(fv.size(), fv_serial.size());
+    for (std::size_t i = 0; i < fv.size(); ++i) ASSERT_EQ(fv[i], fv_serial[i]) << i;
+  }
+}
+
+TEST_F(DeterminismTest, EnginePipelineIdenticalAcrossPoolSizes) {
+  video::WorkplaceScene scene(640, 360);
+  auto build_and_run = [&scene](int threads) {
+    set_parallel_threads(threads);
+    EngineParams params;
+    params.working_width = 320;
+    params.sift.max_features = 250;
+    ArEngine engine(params);
+    engine.add_reference("monitor",
+                         scene.render_reference(video::SceneObject::kMonitor, 220, 140));
+    engine.add_reference("keyboard",
+                         scene.render_reference(video::SceneObject::kKeyboard, 180, 70));
+    engine.add_reference("table",
+                         scene.render_reference(video::SceneObject::kTable, 290, 75));
+    EXPECT_TRUE(engine.finalize_training());
+    const Image pre = engine.preprocess(scene.render(1.0));
+    const ExtractedFeatures feats = engine.extract(pre, scene.render(1.0));
+    return engine.encode(feats.features);
+  };
+  const auto serial = build_and_run(1);
+  ASSERT_FALSE(serial.empty());
+  const auto parallel = build_and_run(std::max(2, static_cast<int>(std::thread::hardware_concurrency())));
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) ASSERT_EQ(serial[i], parallel[i]) << i;
+}
+
+}  // namespace
+}  // namespace mar::vision
