@@ -8,21 +8,61 @@
 // with one client; FPS collapses with concurrent clients because of the
 // sift<->matching dependency loop; CPU/GPU utilization *declines* under
 // overload while sift's memory grows from orphaned state.
+//
+// Every run is traced, and the per-stage service latency derived from
+// matched trace spans is cross-checked against the counter-based
+// HostStats aggregates — the two measurement paths must agree within
+// 1%, which pins the tracer's span boundaries to exactly what the
+// histograms sample. Pass a path argument to also dump the final run's
+// trace (Perfetto-loadable).
+#include <cmath>
 #include <cstdio>
 
 #include "bench/fig_util.h"
+#include "telemetry/trace.h"
 
 using namespace mar;
 using namespace mar::bench;
 
-int main() {
+namespace {
+
+// Trace-derived analogue of ExperimentResult::stage_service_ms(): mean
+// span latency per replica, averaged over the stage's active replicas.
+double trace_stage_service_ms(const telemetry::Tracer& tracer, SimTime window_start,
+                              Stage stage) {
+  const auto per_replica =
+      tracer.replica_spans(telemetry::spans::kService, window_start);
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& r : per_replica) {
+    if (r.stage == stage && r.ms.count() > 0 && r.ms.mean() > 0.0) {
+      sum += r.ms.mean();
+      ++n;
+    }
+  }
+  return n ? sum / n : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   std::printf("Figure 2: scAtteR baseline on edge (placements x 1-4 clients)\n");
+
+  auto& tracer = telemetry::Tracer::instance();
+  tracer.reserve(1u << 20);
+  tracer.set_enabled(true);
 
   const auto placements = baseline_placements();
   constexpr int kMaxClients = 4;
 
   // results[placement][clients-1]
   std::vector<std::vector<ExperimentResult>> results(placements.size());
+  double worst_rel_err = 0.0;
+  std::string worst_label;
+
+  expt::print_banner("Trace vs counter cross-check (per-stage service ms)");
+  Table xcheck({"run", "stage", "counter ms", "trace ms", "delta %"});
+
   for (std::size_t p = 0; p < placements.size(); ++p) {
     for (int n = 1; n <= kMaxClients; ++n) {
       ExperimentConfig cfg;
@@ -30,9 +70,38 @@ int main() {
       cfg.placement = placements[p].placement;
       cfg.num_clients = n;
       cfg.seed = 1000 + p * 10 + static_cast<std::size_t>(n);
-      results[p].push_back(expt::run_experiment(cfg));
+
+      // One trace buffer per run; warmup events stay in the buffer so
+      // spans that straddle the window boundary still pair, mirroring
+      // how the histograms see them.
+      tracer.clear();
+      expt::Experiment e(cfg);
+      e.run();
+      const ExperimentResult r = e.result();
+
+      for (Stage s : kStages) {
+        const double counter_ms = r.stage_service_ms(s);
+        if (counter_ms <= 0.0) continue;
+        const double trace_ms = trace_stage_service_ms(tracer, e.window_start(), s);
+        const double rel = std::abs(trace_ms - counter_ms) / counter_ms;
+        const std::string label =
+            placements[p].name + " n=" + std::to_string(n) + " " + to_string(s);
+        if (rel > worst_rel_err) {
+          worst_rel_err = rel;
+          worst_label = label;
+        }
+        if (rel > 0.01 || (p == 0 && n == 1)) {
+          xcheck.add_row({placements[p].name + " n=" + std::to_string(n), to_string(s),
+                          Table::num(counter_ms, 3), Table::num(trace_ms, 3),
+                          Table::num(rel * 100.0, 3)});
+        }
+      }
+      results[p].push_back(r);
     }
   }
+  xcheck.print();
+  std::printf("worst trace/counter deviation: %.4f%% (%s)\n", worst_rel_err * 100.0,
+              worst_label.empty() ? "-" : worst_label.c_str());
 
   auto qos_table = [&](const char* title, auto metric, int precision) {
     expt::print_banner(title);
@@ -84,5 +153,18 @@ int main() {
     t.print();
   }
 
+  // Optional: dump the final run's trace for Perfetto inspection.
+  if (argc > 1 && tracer.write_chrome_trace(argv[1])) {
+    std::printf("wrote %s (final run, %zu events)\n", argv[1], tracer.size());
+  }
+
+  if (worst_rel_err > 0.01) {
+    std::fprintf(stderr,
+                 "FAIL: trace-derived service latency deviates %.3f%% (> 1%%) from "
+                 "counters (%s)\n",
+                 worst_rel_err * 100.0, worst_label.c_str());
+    return 1;
+  }
+  std::printf("trace/counter cross-check PASSED (<= 1%%)\n");
   return 0;
 }

@@ -13,7 +13,10 @@
 //   --threshold  sidecar threshold ms           (default 100)
 //   --fast-sift  use the accelerator cost model
 //   --seed       RNG seed                       (default 1)
-//   --out        write a .csv/.json report
+//   --out          write a .csv/.json/.prom report
+//   --trace_out    write a Chrome trace-event JSON (Perfetto)
+//   --metrics_out  write span-derived Prometheus text from the tracer
+//   --trace-sample trace every Nth frame per client (default 1)
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -21,6 +24,7 @@
 #include "expt/experiment.h"
 #include "expt/report.h"
 #include "expt/table.h"
+#include "telemetry/trace.h"
 
 using namespace mar;
 using namespace mar::expt;
@@ -52,6 +56,8 @@ SymbolicPlacement parse_placement(const std::string& spec) {
 int main(int argc, char** argv) {
   ExperimentConfig cfg;
   std::string out_path;
+  std::string trace_path;
+  std::string metrics_path;
   std::string placement_spec = "e2";
 
   for (int i = 1; i < argc; ++i) {
@@ -78,6 +84,12 @@ int main(int argc, char** argv) {
       cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--out") {
       out_path = next();
+    } else if (arg == "--trace_out") {
+      trace_path = next();
+    } else if (arg == "--metrics_out") {
+      metrics_path = next();
+    } else if (arg == "--trace-sample") {
+      cfg.trace_sample_every = static_cast<std::uint32_t>(std::atoi(next()));
     } else if (arg == "--help") {
       std::printf("see the header of examples/experiment_cli.cpp for usage\n");
       return 0;
@@ -87,6 +99,9 @@ int main(int argc, char** argv) {
     }
   }
   cfg.placement = parse_placement(placement_spec);
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    telemetry::Tracer::instance().set_enabled(true);
+  }
 
   std::printf("running %s on %s with %d client(s), %.0f s window...\n",
               to_string(cfg.mode), cfg.placement.to_label().c_str(), cfg.num_clients,
@@ -118,6 +133,28 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
       return 1;
     }
+  }
+  auto& tracer = telemetry::Tracer::instance();
+  if (!trace_path.empty()) {
+    if (tracer.write_chrome_trace(trace_path)) {
+      std::printf("wrote %s (%zu events, %llu dropped) — open at https://ui.perfetto.dev\n",
+                  trace_path.c_str(), tracer.size(),
+                  static_cast<unsigned long long>(tracer.dropped()));
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+      return 1;
+    }
+  }
+  if (!metrics_path.empty()) {
+    const std::string text = tracer.prometheus_text();
+    std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+    if (f == nullptr || std::fwrite(text.data(), 1, text.size(), f) != text.size()) {
+      std::fprintf(stderr, "failed to write %s\n", metrics_path.c_str());
+      if (f != nullptr) std::fclose(f);
+      return 1;
+    }
+    std::fclose(f);
+    std::printf("wrote %s\n", metrics_path.c_str());
   }
   return 0;
 }

@@ -6,14 +6,93 @@
 // stages scAtteR deploys as distributed microservices.
 //
 // Build & run:  ./build/examples/quickstart
+//
+// With --trace_out=trace.json the run also records a distributed trace:
+// the vision engine's per-stage timings become spans on an "engine"
+// track, and a short simulated deployment (sidecar ingress + stateful
+// sift, so both the scAtteR++ queue and the scAtteR state-fetch loop
+// appear) adds per-replica service, queue, RPC, link, and end-to-end
+// spans. Open the file at https://ui.perfetto.dev.
+//
+//   --trace_out=PATH   write a Chrome trace-event JSON (Perfetto)
+//   --out_dir=DIR      directory for output artifacts (default: out)
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
 
-#include "vision/engine.h"
+#include "expt/experiment.h"
+#include "telemetry/trace.h"
 #include "video/scene.h"
+#include "vision/engine.h"
 
 using namespace mar;
 
-int main() {
+namespace {
+
+// Replay the simulator's span vocabulary for the single-process engine:
+// each vision stage becomes a complete span on the engine track, laid
+// out sequentially the way the frame actually flowed.
+void trace_engine_frame(std::uint64_t frame, const vision::StageTimings& t,
+                        SimTime* cursor) {
+  auto& tracer = telemetry::Tracer::instance();
+  if (!tracer.enabled()) return;
+  const struct {
+    Stage stage;
+    double ms;
+  } stages[] = {
+      {Stage::kPrimary, t.preprocess_ms}, {Stage::kSift, t.extract_ms},
+      {Stage::kEncoding, t.encode_ms},    {Stage::kLsh, t.lookup_ms},
+      {Stage::kMatching, t.match_ms},
+  };
+  for (const auto& s : stages) {
+    const auto dur = static_cast<SimDuration>(s.ms * static_cast<double>(kMillisecond));
+    tracer.complete(telemetry::kEngineTrack, telemetry::spans::kService, *cursor, dur,
+                    ClientId{0}, FrameId{frame}, s.stage);
+    *cursor += dur;
+  }
+}
+
+// A short simulated deployment so the exported trace shows the
+// distributed side: sidecar queueing, RPC hand-offs, link transit, and
+// matching's state-fetch round trips to sift.
+void run_traced_sim() {
+  expt::ExperimentConfig cfg;
+  cfg.mode = core::PipelineMode::kScatterPP;
+  // Sidecar ingress *and* stateful sift: one run exercises both the
+  // scAtteR++ queue and the scAtteR fetch loop.
+  cfg.features = core::PipelineFeatures{/*stateless_sift=*/false, /*sidecar=*/true};
+  cfg.num_clients = 2;
+  cfg.warmup = seconds(1.0);
+  cfg.duration = seconds(4.0);
+  expt::run_experiment(cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_out;
+  std::string out_dir = "out";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* flag) -> const char* {
+      const std::size_t len = std::strlen(flag);
+      if (arg.compare(0, len, flag) != 0) return nullptr;
+      if (arg.size() > len && arg[len] == '=') return arg.c_str() + len + 1;
+      if (arg.size() == len && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (const char* v = value_of("--trace_out")) {
+      trace_out = v;
+    } else if (const char* v = value_of("--out_dir")) {
+      out_dir = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (see examples/quickstart.cpp)\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (!trace_out.empty()) telemetry::Tracer::instance().set_enabled(true);
+
   std::printf("scAtteR quickstart: single-process AR pipeline\n\n");
 
   // 1) Train the engine on reference images of the scene objects.
@@ -34,12 +113,16 @@ int main() {
   video::VideoSource source(scene, /*fps=*/30.0);
   vision::StageTimings total;
   int frames = 0, frames_with_detections = 0;
+  SimTime engine_cursor = 0;
+  telemetry::Tracer::instance().set_track_name(telemetry::kEngineTrack,
+                                               "engine (single-process)");
 
   for (std::uint64_t i = 0; i < 30; i += 3) {  // every 3rd frame of one second
     const vision::Image frame = source.frame(i);
     const vision::FrameResult result = engine.process(frame);
     ++frames;
     if (!result.detections.empty()) ++frames_with_detections;
+    trace_engine_frame(i, result.timings, &engine_cursor);
 
     std::printf("frame %3llu: %3zu features, %zu detections, %zu live tracks (%.0f ms)\n",
                 static_cast<unsigned long long>(i), result.feature_count,
@@ -64,9 +147,33 @@ int main() {
   std::printf("  matching (pose+track):  %6.1f ms\n", total.match_ms / frames);
   std::printf("frames with detections: %d/%d\n", frames_with_detections, frames);
 
-  // 3) Dump one frame for inspection.
-  if (vision::write_pgm(source.frame(0), "quickstart_frame0.pgm")) {
-    std::printf("wrote quickstart_frame0.pgm\n");
+  // 3) Dump one frame for inspection (outputs stay out of the repo root).
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  const std::string pgm_path = out_dir + "/quickstart_frame0.pgm";
+  if (vision::write_pgm(source.frame(0), pgm_path)) {
+    std::printf("wrote %s\n", pgm_path.c_str());
+  }
+
+  // 4) Optional distributed trace export.
+  if (!trace_out.empty()) {
+    std::printf("\nrunning a short simulated deployment for the trace...\n");
+    run_traced_sim();
+    auto& tracer = telemetry::Tracer::instance();
+    if (!tracer.write_chrome_trace(trace_out)) {
+      std::fprintf(stderr, "failed to write %s\n", trace_out.c_str());
+      return 1;
+    }
+    const auto service = tracer.stage_spans(telemetry::spans::kService);
+    const auto queue = tracer.stage_spans(telemetry::spans::kSidecarQueue);
+    const auto fetch = tracer.stage_spans(telemetry::spans::kStateFetch);
+    std::size_t service_spans = 0, queue_spans = 0;
+    for (const auto& acc : service) service_spans += acc.count();
+    for (const auto& acc : queue) queue_spans += acc.count();
+    std::printf("wrote %s: %zu events (%zu service spans, %zu sidecar-queue spans, "
+                "%zu state-fetch round trips) — open at https://ui.perfetto.dev\n",
+                trace_out.c_str(), tracer.size(), service_spans, queue_spans,
+                static_cast<std::size_t>(fetch[static_cast<int>(Stage::kMatching)].count()));
   }
   return 0;
 }

@@ -1,0 +1,54 @@
+#!/usr/bin/env sh
+# Convenience verification: tier-1 tests + a traced quickstart run.
+#
+# Builds (if needed), runs the full ctest suite, then runs the
+# quickstart with --trace_out and fails if the trace JSON is missing,
+# empty, or malformed. Usage:
+#
+#   scripts/verify.sh [build-dir]     # default: build
+#
+# Also available as a build target:  cmake --build build --target verify
+set -eu
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j"$(nproc 2>/dev/null || echo 2)"
+
+# Tier-1 gate: the full test suite.
+(cd "$BUILD_DIR" && ctest --output-on-failure -j2)
+
+# Traced quickstart: outputs land under out/ (gitignored).
+OUT_DIR="$BUILD_DIR/out"
+TRACE="$OUT_DIR/quickstart_trace.json"
+mkdir -p "$OUT_DIR"
+"$BUILD_DIR/examples/quickstart" --trace_out="$TRACE" --out_dir="$OUT_DIR"
+
+# The trace must exist, be non-empty, and parse as Chrome trace JSON
+# with at least one event. Prefer python3; fall back to grep checks.
+[ -s "$TRACE" ] || { echo "verify: FAIL — $TRACE missing or empty" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$TRACE" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert len(events) > 0, "trace has no events"
+spans = {e.get("name") for e in events if e.get("ph") == "X"}
+for required in ("service", "sidecar_queue", "state_fetch"):
+    assert required in spans, f"trace is missing {required} spans"
+print(f"verify: trace OK ({len(events)} events, span kinds: {sorted(spans)})")
+EOF
+else
+  grep -q '"traceEvents"' "$TRACE" || { echo "verify: FAIL — not a trace JSON" >&2; exit 1; }
+  grep -q '"ph":"X"' "$TRACE" || { echo "verify: FAIL — no complete spans" >&2; exit 1; }
+  for required in service sidecar_queue state_fetch; do
+    grep -q "\"name\":\"$required\"" "$TRACE" || {
+      echo "verify: FAIL — trace missing $required spans" >&2; exit 1; }
+  done
+  echo "verify: trace OK (grep checks)"
+fi
+
+echo "verify: PASSED"

@@ -12,6 +12,9 @@ namespace {
 // instead of deadlocking on the (single-job) pool.
 thread_local bool tl_in_parallel = false;
 
+// Pool-lane id of this thread (0 = not a pool worker); see parallel_lane().
+thread_local int tl_lane = 0;
+
 int default_pool_size() {
   if (const char* env = std::getenv("MAR_THREADS")) {
     char* parse_end = nullptr;
@@ -34,7 +37,7 @@ std::int64_t ThreadPool::num_chunks(std::int64_t begin, std::int64_t end,
 ThreadPool::ThreadPool(int threads) : size_(std::max(1, threads)) {
   workers_.reserve(static_cast<std::size_t>(size_ - 1));
   for (int i = 0; i + 1 < size_; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i + 1); });
   }
 }
 
@@ -47,8 +50,9 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int lane) {
   tl_in_parallel = true;
+  tl_lane = lane;
   std::uint64_t seen = 0;
   for (;;) {
     {
@@ -153,6 +157,8 @@ ThreadPool& global_pool() {
 }
 
 int parallel_threads() { return global_pool().size(); }
+
+int parallel_lane() { return tl_lane; }
 
 void set_parallel_threads(int n) {
   ThreadPool* fresh = new ThreadPool(n <= 0 ? default_pool_size() : n);

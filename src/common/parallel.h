@@ -55,7 +55,7 @@ class ThreadPool {
                  const RangeFn& fn);
 
  private:
-  void worker_loop();
+  void worker_loop(int lane);
   // Claim and execute chunks of the current job until none remain.
   void run_chunks();
 
@@ -84,6 +84,11 @@ class ThreadPool {
 
 // The shared process-wide pool (created on first use).
 ThreadPool& global_pool();
+
+// Stable small id of the calling thread within the pool: 0 for any
+// thread outside the pool (including the submitting thread), 1..N-1
+// for pool workers. Used to tag trace events with the recording lane.
+[[nodiscard]] int parallel_lane();
 
 // Number of lanes in the global pool.
 [[nodiscard]] int parallel_threads();

@@ -9,6 +9,9 @@ ArClient::ArClient(dsp::Runtime& rt, hw::Machine& machine, dsp::Router& router,
     : rt_(rt), router_(router), config_(config), rng_(rng) {
   endpoint_ = rt_.make_endpoint(machine.id(),
                                 [this](wire::FramePacket pkt) { on_result(pkt); });
+  telemetry::Tracer::instance().set_track_name(
+      telemetry::kClientTrackBase + config_.id.value(),
+      "client#" + std::to_string(config_.id.value()));
 }
 
 ArClient::~ArClient() { stop(); }
@@ -36,6 +39,19 @@ void ArClient::send_frame() {
   pkt.header.capture_ts = rt_.now();
   pkt.header.client_endpoint = endpoint_;
   pkt.header.payload_bytes = payload_for_hop(Stage::kPrimary, false);
+
+  // Distributed tracing: stamp every Nth frame with a trace id; the id
+  // propagates through every derived message so each hop can attribute
+  // spans to this frame's timeline.
+  auto& tracer = telemetry::Tracer::instance();
+  if (tracer.enabled() && config_.trace_sample_every != 0 &&
+      pkt.header.frame.value() % config_.trace_sample_every == 0) {
+    pkt.header.trace.trace_id = tracer.next_trace_id();
+    tracer.begin(telemetry::kClientTrackBase + config_.id.value(),
+                 telemetry::spans::kFrameE2e, rt_.now(), pkt.header.client,
+                 pkt.header.frame, Stage::kPrimary);
+  }
+
   rt_.send(endpoint_, router_.resolve(Stage::kPrimary, pkt.header), std::move(pkt));
   ++stats_.frames_sent;
 
@@ -49,6 +65,16 @@ void ArClient::send_frame() {
 void ArClient::on_result(const wire::FramePacket& pkt) {
   if (pkt.header.kind != wire::MessageKind::kResult) return;
   ++stats_.results_received;
+
+  {
+    auto& tracer = telemetry::Tracer::instance();
+    if (tracer.enabled() && pkt.header.trace.active()) {
+      tracer.end(telemetry::kClientTrackBase + config_.id.value(),
+                 telemetry::spans::kFrameE2e, rt_.now(), pkt.header.client,
+                 pkt.header.frame, Stage::kPrimary);
+    }
+  }
+
   if (!pkt.header.match_ok) return;
 
   ++stats_.successes;

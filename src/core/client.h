@@ -14,6 +14,7 @@
 #include "telemetry/histogram.h"
 #include "telemetry/stats.h"
 #include "telemetry/timeseries.h"
+#include "telemetry/trace.h"
 
 namespace mar::core {
 
@@ -23,6 +24,9 @@ struct ClientConfig {
   // Small per-client phase offset so concurrent clients do not send in
   // lockstep (virtual clients start at different instants in reality).
   SimDuration phase_offset = 0;
+  // Distributed tracing: sample every Nth frame for tracing when the
+  // global Tracer is enabled (1 = trace every frame, 0 = never trace).
+  std::uint32_t trace_sample_every = 1;
 };
 
 struct ClientStats {

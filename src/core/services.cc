@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "telemetry/trace.h"
+
 namespace mar::core {
 namespace {
 
@@ -144,10 +146,29 @@ void MatchingService::request_state(wire::FramePacket pkt) {
       host().costs().state_fetch_timeout, [this] {
         if (!pending_) return;
         ++fetch_timeouts_;
+        auto& tracer = telemetry::Tracer::instance();
+        if (tracer.enabled() && pending_->pkt.header.trace.active()) {
+          const auto now = host().runtime().now();
+          tracer.end(host().instance().value(), telemetry::spans::kStateFetch, now,
+                     pending_->client, pending_->frame, Stage::kMatching);
+          tracer.instant(host().instance().value(), telemetry::spans::kFetchTimeout, now,
+                         pending_->client, pending_->frame, Stage::kMatching);
+        }
         pending_.reset();
         host().finish_current();
       });
   pending_ = std::move(pending);
+  {
+    // The state-fetch round trip (matching -> sift -> matching) is the
+    // scAtteR bottleneck the paper calls out; record it as its own span
+    // on matching's track.
+    auto& tracer = telemetry::Tracer::instance();
+    if (tracer.enabled() && req.header.trace.active()) {
+      tracer.begin(host().instance().value(), telemetry::spans::kStateFetch,
+                   host().runtime().now(), req.header.client, req.header.frame,
+                   Stage::kMatching);
+    }
+  }
   host().send(sift_ep, std::move(req));
 }
 
@@ -160,6 +181,15 @@ bool MatchingService::consume_inline(wire::FramePacket& pkt) {
   host().runtime().cancel(pending_->timeout_event);
   wire::FramePacket frame = std::move(pending_->pkt);
   pending_.reset();
+
+  {
+    auto& tracer = telemetry::Tracer::instance();
+    if (tracer.enabled() && frame.header.trace.active()) {
+      tracer.end(host().instance().value(), telemetry::spans::kStateFetch,
+                 host().runtime().now(), frame.header.client, frame.header.frame,
+                 Stage::kMatching);
+    }
+  }
 
   const auto& cost = host().costs().stage(Stage::kMatching);
   const auto pose_gpu = static_cast<SimDuration>(static_cast<double>(cost.gpu_time) *

@@ -17,6 +17,10 @@ ServiceHost::ServiceHost(Runtime& rt, hw::Machine& machine, InstanceId instance,
       compute_(rt, machine, config.uses_gpu, rng_.fork()) {
   ingress_ = rt_.make_endpoint(machine_.id(),
                                [this](wire::FramePacket pkt) { handle_datagram(std::move(pkt)); });
+  telemetry::Tracer::instance().set_track_name(
+      instance_.value(), std::string(to_string(config_.stage)) + "#" +
+                             std::to_string(instance_.value()) + " (" +
+                             machine_.spec().name + ")");
   base_memory_ = costs_.stage(config_.stage).base_memory_bytes;
   machine_.memory().allocate(base_memory_);
   servicelet_->attach(*this);
@@ -44,6 +48,7 @@ void ServiceHost::handle_datagram(wire::FramePacket pkt) {
   if (down_) {
     ++stats_.dropped_down;
     stats_.drops_per_sec.add(rt_.now());
+    trace_instant(telemetry::spans::kDropDown, pkt.header, rt_.now());
     return;
   }
 
@@ -66,10 +71,12 @@ void ServiceHost::handle_datagram(wire::FramePacket pkt) {
       const bool admit = control ? controls_waiting < config_.busy_buffer_capacity
                                  : frames_waiting < kBusyFrameBufferCapacity;
       if (admit) {
+        trace_begin(telemetry::spans::kSocketBuffer, pkt.header, rt_.now());
         queue_.push_back(Queued{std::move(pkt), rt_.now()});
       } else {
         ++stats_.dropped_busy;
         stats_.drops_per_sec.add(rt_.now());
+        trace_instant(telemetry::spans::kDropBusy, pkt.header, rt_.now());
       }
       return;
     }
@@ -90,6 +97,8 @@ void ServiceHost::handle_datagram(wire::FramePacket pkt) {
         const std::uint64_t old_bytes = it->pkt.wire_size();
         queue_bytes_ = old_bytes > queue_bytes_ ? 0 : queue_bytes_ - old_bytes;
         free_app_memory(old_bytes);
+        trace_end(telemetry::spans::kSidecarQueue, it->pkt.header, rt_.now());
+        trace_instant(telemetry::spans::kDropStale, it->pkt.header, rt_.now());
         queue_.erase(it);
         ++stats_.dropped_stale;
         stats_.drops_per_sec.add(rt_.now());
@@ -100,6 +109,7 @@ void ServiceHost::handle_datagram(wire::FramePacket pkt) {
   if (config_.queue_capacity != 0 && queue_.size() >= config_.queue_capacity) {
     ++stats_.dropped_overflow;
     stats_.drops_per_sec.add(rt_.now());
+    trace_instant(telemetry::spans::kDropOverflow, pkt.header, rt_.now());
     return;
   }
   // The sidecar pre-allocates per-stream buffers on first contact.
@@ -109,6 +119,7 @@ void ServiceHost::handle_datagram(wire::FramePacket pkt) {
   const std::uint64_t bytes = pkt.wire_size();
   queue_bytes_ += bytes;
   alloc_app_memory(bytes);
+  trace_begin(telemetry::spans::kSidecarQueue, pkt.header, rt_.now());
   queue_.push_back(Queued{std::move(pkt), rt_.now()});
   pump();
 }
@@ -122,6 +133,8 @@ void ServiceHost::pump() {
     queue_bytes_ = bytes > queue_bytes_ ? 0 : queue_bytes_ - bytes;
     free_app_memory(bytes);
 
+    trace_end(telemetry::spans::kSidecarQueue, q.pkt.header, rt_.now());
+
     // Staleness filter: the sidecar tracks its own queueing time and
     // drops frames whose wait exceeded the timing threshold (the
     // paper's 100 ms budget) at dequeue.
@@ -129,6 +142,7 @@ void ServiceHost::pump() {
     if (costs_.sidecar_threshold > 0 && age > costs_.sidecar_threshold) {
       ++stats_.dropped_stale;
       stats_.drops_per_sec.add(rt_.now());
+      trace_instant(telemetry::spans::kDropStale, q.pkt.header, rt_.now());
       continue;
     }
 
@@ -141,6 +155,14 @@ void ServiceHost::pump() {
     busy_ = true;
     pump_scheduled_ = true;
     const SimTime handoff_start = rt_.now();
+    {
+      auto& tracer = telemetry::Tracer::instance();
+      if (tracer.enabled() && q.pkt.header.trace.active()) {
+        tracer.complete(instance_.value(), telemetry::spans::kRpcHandoff, handoff_start,
+                        costs_.sidecar_rpc_overhead, q.pkt.header.client,
+                        q.pkt.header.frame, config_.stage);
+      }
+    }
     rt_.schedule_after(costs_.sidecar_rpc_overhead,
                        [this, pkt = std::move(q.pkt), queue_time, handoff_start]() mutable {
                          pump_scheduled_ = false;
@@ -155,6 +177,13 @@ void ServiceHost::dispatch(wire::FramePacket pkt, SimDuration queue_time, SimTim
   busy_ = true;
   dispatch_ts_ = dispatch_ts < 0 ? rt_.now() : dispatch_ts;
   ++stats_.dispatched;
+  current_header_ = pkt.header;
+  // The span brackets exactly what process_time_ms samples (dispatch ->
+  // finish, including any RPC hand-off already underway); the message
+  // kind rides in `value` so analysis can split frame work from
+  // state-fetch serving.
+  trace_begin(telemetry::spans::kService, pkt.header, dispatch_ts_,
+              static_cast<double>(pkt.header.kind));
 
   // Record the hop telemetry scAtteR++ attaches to the data's state;
   // process_time is filled in at finish_current().
@@ -169,6 +198,7 @@ void ServiceHost::finish_current() {
   busy_ = false;
   ++stats_.completed;
   stats_.process_time_ms.add(to_millis(rt_.now() - dispatch_ts_));
+  trace_end(telemetry::spans::kService, current_header_, rt_.now());
   if (config_.mode == IngressMode::kSidecar) {
     // Defer the pump one event-loop turn to avoid re-entrant dispatch
     // from inside a servicelet callback.
@@ -181,6 +211,7 @@ void ServiceHost::finish_current() {
       queue_.pop_front();
       const SimDuration waited = rt_.now() - q.enqueued_at;
       stats_.queue_time_ms.add(to_millis(waited));
+      trace_end(telemetry::spans::kSocketBuffer, q.pkt.header, rt_.now());
       dispatch(std::move(q.pkt), waited);
     });
   }

@@ -26,6 +26,8 @@
 #include "hw/machine.h"
 #include "telemetry/histogram.h"
 #include "telemetry/timeseries.h"
+#include "telemetry/trace.h"
+#include "wire/message.h"
 
 namespace mar::dsp {
 
@@ -157,6 +159,27 @@ class ServiceHost {
   void dispatch(wire::FramePacket pkt, SimDuration queue_time, SimTime dispatch_ts = -1);
   void pump();
 
+  // Tracing: record an event on this replica's track for a traced frame.
+  void trace_begin(const char* name, const wire::FrameHeader& h, SimTime ts,
+                   double value = 0.0) {
+    auto& tracer = telemetry::Tracer::instance();
+    if (tracer.enabled() && h.trace.active()) {
+      tracer.begin(instance_.value(), name, ts, h.client, h.frame, config_.stage, value);
+    }
+  }
+  void trace_end(const char* name, const wire::FrameHeader& h, SimTime ts) {
+    auto& tracer = telemetry::Tracer::instance();
+    if (tracer.enabled() && h.trace.active()) {
+      tracer.end(instance_.value(), name, ts, h.client, h.frame, config_.stage);
+    }
+  }
+  void trace_instant(const char* name, const wire::FrameHeader& h, SimTime ts) {
+    auto& tracer = telemetry::Tracer::instance();
+    if (tracer.enabled() && h.trace.active()) {
+      tracer.instant(instance_.value(), name, ts, h.client, h.frame, config_.stage);
+    }
+  }
+
   Runtime& rt_;
   hw::Machine& machine_;
   InstanceId instance_;
@@ -171,6 +194,9 @@ class ServiceHost {
   bool down_ = false;
   bool pump_scheduled_ = false;
   SimTime dispatch_ts_ = 0;
+  // Header of the in-flight packet, kept so finish_current() can close
+  // the frame's compute span (the packet itself moved into the servicelet).
+  wire::FrameHeader current_header_;
   std::deque<Queued> queue_;
   std::uint64_t queue_bytes_ = 0;
   std::unordered_set<std::uint32_t> known_clients_;

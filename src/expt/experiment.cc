@@ -97,6 +97,7 @@ void Experiment::build() {
     cc.fps = config_.client_fps;
     cc.phase_offset = static_cast<SimDuration>(i) * millis(3.7) +
                       static_cast<SimDuration>(i) * config_.client_stagger;
+    cc.trace_sample_every = config_.trace_sample_every;
     auto client = std::make_unique<core::ArClient>(
         testbed_->runtime(), testbed_->orchestrator().machine(testbed_->client_machine()),
         testbed_->orchestrator(), cc, client_rng.fork());

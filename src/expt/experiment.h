@@ -67,6 +67,10 @@ struct ExperimentConfig {
   TestbedConfig testbed;
   std::uint64_t seed = 1;
   bool monitor = false;  // enable the orchestrator's hardware monitor
+  // Distributed tracing: trace every Nth frame per client when the
+  // global telemetry::Tracer is enabled (1 = every frame, 0 = none).
+  // Long many-client runs should sample (e.g. 8) to bound trace volume.
+  std::uint32_t trace_sample_every = 1;
 };
 
 struct ServiceReport {

@@ -73,9 +73,89 @@ std::string to_json(const ExperimentResult& result) {
   return out.str();
 }
 
+std::string to_prometheus(const ExperimentResult& result) {
+  std::ostringstream out;
+  out << "# HELP mar_fps Per-client successful frames per second (mean over clients).\n"
+      << "# TYPE mar_fps gauge\n"
+      << "mar_fps{stat=\"mean\"} " << fmt(result.fps_mean) << '\n'
+      << "mar_fps{stat=\"median\"} " << fmt(result.fps_median) << '\n';
+  out << "# HELP mar_e2e_ms End-to-end capture-to-result latency (ms).\n"
+      << "# TYPE mar_e2e_ms gauge\n"
+      << "mar_e2e_ms{stat=\"mean\"} " << fmt(result.e2e_ms_mean) << '\n'
+      << "mar_e2e_ms{stat=\"median\"} " << fmt(result.e2e_ms_median) << '\n'
+      << "mar_e2e_ms{stat=\"p95\"} " << fmt(result.e2e_ms_p95) << '\n';
+  out << "# HELP mar_success_rate Fraction of sent frames returning a recognized pose.\n"
+      << "# TYPE mar_success_rate gauge\n"
+      << "mar_success_rate " << fmt(result.success_rate) << '\n';
+  out << "# HELP mar_jitter_ms Inter-frame receive jitter (ms).\n"
+      << "# TYPE mar_jitter_ms gauge\n"
+      << "mar_jitter_ms " << fmt(result.jitter_ms) << '\n';
+
+  out << "# HELP mar_service_ms Per-frame processing latency per replica (ms).\n"
+      << "# TYPE mar_service_ms gauge\n";
+  for (const ServiceReport& s : result.services) {
+    const std::string labels = std::string("{stage=\"") + to_string(s.stage) +
+                               "\",replica=\"" + std::to_string(s.replica_index) +
+                               "\",machine=\"" + s.machine + "\"}";
+    out << "mar_service_ms" << labels << ' ' << fmt(s.service_ms_mean) << '\n';
+  }
+  out << "# HELP mar_queue_ms Sidecar queueing delay per replica (ms).\n"
+      << "# TYPE mar_queue_ms gauge\n";
+  for (const ServiceReport& s : result.services) {
+    out << "mar_queue_ms{stage=\"" << to_string(s.stage) << "\",replica=\""
+        << s.replica_index << "\"} " << fmt(s.queue_ms_mean) << '\n';
+  }
+  out << "# HELP mar_drop_ratio Fraction of received requests dropped per replica.\n"
+      << "# TYPE mar_drop_ratio gauge\n";
+  for (const ServiceReport& s : result.services) {
+    out << "mar_drop_ratio{stage=\"" << to_string(s.stage) << "\",replica=\""
+        << s.replica_index << "\"} " << fmt(s.drop_ratio) << '\n';
+  }
+  out << "# HELP mar_replica_received_total Requests received per replica in the window.\n"
+      << "# TYPE mar_replica_received_total counter\n";
+  for (const ServiceReport& s : result.services) {
+    out << "mar_replica_received_total{stage=\"" << to_string(s.stage) << "\",replica=\""
+        << s.replica_index << "\"} " << s.received << '\n';
+  }
+  out << "# HELP mar_cpu_share Busy CPU time / (window * machine cores) per replica.\n"
+      << "# TYPE mar_cpu_share gauge\n";
+  for (const ServiceReport& s : result.services) {
+    out << "mar_cpu_share{stage=\"" << to_string(s.stage) << "\",replica=\""
+        << s.replica_index << "\"} " << fmt(s.cpu_share) << '\n';
+  }
+  out << "# HELP mar_gpu_share Busy GPU time / (window * machine GPUs) per replica.\n"
+      << "# TYPE mar_gpu_share gauge\n";
+  for (const ServiceReport& s : result.services) {
+    out << "mar_gpu_share{stage=\"" << to_string(s.stage) << "\",replica=\""
+        << s.replica_index << "\"} " << fmt(s.gpu_share) << '\n';
+  }
+
+  out << "# HELP mar_machine_cpu_util Machine CPU utilization over the window.\n"
+      << "# TYPE mar_machine_cpu_util gauge\n";
+  for (const MachineReport& m : result.machines) {
+    out << "mar_machine_cpu_util{machine=\"" << m.name << "\"} " << fmt(m.cpu_util) << '\n';
+  }
+  out << "# HELP mar_machine_gpu_util Machine GPU utilization over the window.\n"
+      << "# TYPE mar_machine_gpu_util gauge\n";
+  for (const MachineReport& m : result.machines) {
+    out << "mar_machine_gpu_util{machine=\"" << m.name << "\"} " << fmt(m.gpu_util) << '\n';
+  }
+  out << "# HELP mar_machine_mem_gb Mean resident memory per machine (GiB).\n"
+      << "# TYPE mar_machine_mem_gb gauge\n";
+  for (const MachineReport& m : result.machines) {
+    out << "mar_machine_mem_gb{machine=\"" << m.name << "\"} " << fmt(m.mem_gb_mean) << '\n';
+  }
+  return out.str();
+}
+
 bool write_report(const ExperimentResult& result, const std::string& path) {
-  const bool json = path.size() >= 5 && path.substr(path.size() - 5) == ".json";
-  const std::string body = json ? to_json(result) : to_csv(result);
+  const auto has_suffix = [&](const char* suffix) {
+    const std::string s(suffix);
+    return path.size() >= s.size() && path.compare(path.size() - s.size(), s.size(), s) == 0;
+  };
+  const std::string body = has_suffix(".json")   ? to_json(result)
+                           : has_suffix(".prom") ? to_prometheus(result)
+                                                 : to_csv(result);
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();

@@ -14,7 +14,12 @@ namespace mar::expt {
 // Compact JSON object with QoS, per-service, and per-machine sections.
 [[nodiscard]] std::string to_json(const ExperimentResult& result);
 
-// Write either format based on the path suffix (.csv / .json).
+// Prometheus plaintext exposition: the same result as labeled gauges
+// (mar_fps, mar_e2e_ms, mar_service_ms{stage=...,replica=...}, ...),
+// scrapeable or diffable next to the Tracer's span-derived metrics.
+[[nodiscard]] std::string to_prometheus(const ExperimentResult& result);
+
+// Write a format based on the path suffix (.csv / .json / .prom).
 bool write_report(const ExperimentResult& result, const std::string& path);
 
 }  // namespace mar::expt

@@ -1,6 +1,26 @@
 #include "net/frame_channel.h"
 
+#include "telemetry/trace.h"
+
 namespace mar::net {
+namespace {
+
+// Live-mode hop marker: wall-clock instants on the network track, so a
+// UDP deployment produces the same trace shape as the simulator.
+void trace_udp(const wire::FramePacket& pkt, const char* name) {
+  auto& tracer = telemetry::Tracer::instance();
+  if (!tracer.enabled() || !pkt.header.trace.active()) return;
+  static const bool registered = [&tracer] {
+    tracer.set_track_name(telemetry::kNetworkTrack, "network");
+    return true;
+  }();
+  (void)registered;
+  tracer.instant(telemetry::kNetworkTrack, name, telemetry::trace_wallclock_now(),
+                 pkt.header.client, pkt.header.frame, pkt.header.stage,
+                 static_cast<double>(pkt.wire_size()));
+}
+
+}  // namespace
 
 Status FrameChannel::send(const wire::FramePacket& pkt, const SockAddr& dst) {
   const std::vector<std::uint8_t> message = wire::serialize(pkt);
@@ -10,6 +30,7 @@ Status FrameChannel::send(const wire::FramePacket& pkt, const SockAddr& dst) {
     if (!result.is_ok()) return result.status();
   }
   ++sent_;
+  trace_udp(pkt, telemetry::spans::kUdpTx);
   return Status::ok();
 }
 
@@ -23,6 +44,7 @@ std::optional<FrameChannel::Received> FrameChannel::poll(int timeout_ms) {
     if (auto message = reassembler_.add(datagram->data)) {
       if (auto pkt = wire::parse(*message)) {
         ++received_;
+        trace_udp(*pkt, telemetry::spans::kUdpRx);
         return Received{std::move(*pkt), datagram->from};
       }
     }

@@ -2,7 +2,33 @@
 
 #include <utility>
 
+#include "telemetry/trace.h"
+
 namespace mar::sim {
+namespace {
+
+// Record a network-track event for a traced packet. All link traffic
+// shares one track; the span's stage label is the hop's destination.
+void trace_net(const wire::FramePacket& pkt, const char* name, SimTime ts,
+               SimDuration dur) {
+  auto& tracer = telemetry::Tracer::instance();
+  if (!tracer.enabled() || !pkt.header.trace.active()) return;
+  static const bool registered = [&tracer] {
+    tracer.set_track_name(telemetry::kNetworkTrack, "network");
+    return true;
+  }();
+  (void)registered;
+  if (dur >= 0) {
+    tracer.complete(telemetry::kNetworkTrack, name, ts, dur, pkt.header.client,
+                    pkt.header.frame, pkt.header.stage,
+                    static_cast<double>(pkt.wire_size()));
+  } else {
+    tracer.instant(telemetry::kNetworkTrack, name, ts, pkt.header.client,
+                   pkt.header.frame, pkt.header.stage);
+  }
+}
+
+}  // namespace
 EndpointId SimNetwork::create_endpoint(MachineId machine, DatagramHandler handler) {
   endpoints_.push_back(Endpoint{machine, std::move(handler), /*alive=*/true});
   return EndpointId{static_cast<std::uint32_t>(endpoints_.size() - 1)};
@@ -44,6 +70,7 @@ void SimNetwork::send(EndpointId from, EndpointId to, wire::FramePacket pkt) {
   const LinkModel& link = link_between(src, dst_machine);
   if (!link.survives(bytes, rng_)) {
     ++lost_;
+    trace_net(pkt, telemetry::spans::kPacketLoss, loop_.now(), /*dur=*/-1);
     return;
   }
 
@@ -58,6 +85,7 @@ void SimNetwork::send(EndpointId from, EndpointId to, wire::FramePacket pkt) {
     const SimTime start = next_free > now ? next_free : now;
     if (start - now > link.max_queue_delay) {
       ++lost_;
+      trace_net(pkt, telemetry::spans::kTailDrop, now, /*dur=*/-1);
       return;
     }
     next_free = start + serialization;
@@ -65,6 +93,7 @@ void SimNetwork::send(EndpointId from, EndpointId to, wire::FramePacket pkt) {
   }
 
   const SimDuration delay = link.propagation_delay(rng_) + serialization;
+  trace_net(pkt, telemetry::spans::kLink, loop_.now(), delay);
   loop_.schedule_after(delay, [this, to, p = std::move(pkt)]() mutable {
     Endpoint& dst = endpoints_[to.value()];
     if (dst.alive && dst.handler) dst.handler(std::move(p));

@@ -1,0 +1,313 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string_view>
+#include <tuple>
+
+#include "common/parallel.h"
+
+namespace mar::telemetry {
+namespace {
+
+// Pairing key for begin/end events. Names are compared by content (two
+// translation units may hold distinct copies of the same literal).
+using SpanKey = std::tuple<std::uint32_t, std::string_view, std::uint32_t, std::uint64_t,
+                           std::uint8_t>;
+
+SpanKey key_of(const TraceEvent& e) {
+  return {e.track, e.name, e.client, e.frame, static_cast<std::uint8_t>(e.stage)};
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string fmt_us(SimTime ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1000.0);
+  return buf;
+}
+
+std::string fmt_val(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::set_enabled(bool on) {
+  if (on && events_.empty()) reserve(kDefaultCapacity);
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+void Tracer::reserve(std::size_t capacity) {
+  events_.assign(capacity, TraceEvent{});
+  next_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void Tracer::clear() {
+  next_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void Tracer::record(std::uint32_t track, const char* name, SimTime ts, SimDuration dur,
+                    ClientId client, FrameId frame, Stage stage, TracePhase phase,
+                    double value) {
+  if (!enabled()) return;
+  const std::uint64_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= events_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent& e = events_[idx];
+  e.ts = ts;
+  e.dur = dur;
+  e.value = value;
+  e.name = name;
+  e.frame = frame.value();
+  e.client = client.value();
+  e.track = track;
+  e.stage = stage;
+  e.phase = phase;
+  e.lane = static_cast<std::uint16_t>(parallel_lane());
+}
+
+void Tracer::set_track_name(std::uint32_t track, std::string name) {
+  std::lock_guard<std::mutex> lk(meta_mu_);
+  track_names_[track] = std::move(name);
+}
+
+std::string Tracer::track_name(std::uint32_t track) const {
+  std::lock_guard<std::mutex> lk(meta_mu_);
+  auto it = track_names_.find(track);
+  return it == track_names_.end() ? "track#" + std::to_string(track) : it->second;
+}
+
+std::size_t Tracer::size() const {
+  return std::min<std::uint64_t>(next_.load(std::memory_order_relaxed), events_.size());
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  return {events_.begin(), events_.begin() + static_cast<std::ptrdiff_t>(size())};
+}
+
+std::vector<TrackSpanStats> Tracer::replica_spans(const char* name,
+                                                  SimTime min_end_ts) const {
+  // Pair begins with ends per key in record order (spans of one key on
+  // one single-threaded track never overlap, but a stack keeps this
+  // correct even if they did).
+  std::map<SpanKey, std::vector<SimTime>> open;
+  std::map<std::uint32_t, TrackSpanStats> per_track;
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEvent& e = events_[i];
+    if (std::strcmp(e.name, name) != 0) continue;
+    if (e.phase == TracePhase::kBegin) {
+      open[key_of(e)].push_back(e.ts);
+    } else if (e.phase == TracePhase::kEnd || e.phase == TracePhase::kComplete) {
+      SimTime begin_ts = 0;
+      if (e.phase == TracePhase::kComplete) {
+        begin_ts = e.ts;
+      } else {
+        auto it = open.find(key_of(e));
+        if (it == open.end() || it->second.empty()) continue;  // unmatched end
+        begin_ts = it->second.back();
+        it->second.pop_back();
+      }
+      const SimTime end_ts = e.phase == TracePhase::kComplete ? e.ts + e.dur : e.ts;
+      if (end_ts < min_end_ts) continue;
+      TrackSpanStats& t = per_track[e.track];
+      t.track = e.track;
+      t.stage = e.stage;
+      t.ms.add(to_millis(end_ts - begin_ts));
+    }
+  }
+  std::vector<TrackSpanStats> out;
+  out.reserve(per_track.size());
+  for (auto& [_, stats] : per_track) out.push_back(std::move(stats));
+  return out;
+}
+
+std::array<Accumulator, kNumStages> Tracer::stage_spans(const char* name,
+                                                        SimTime min_end_ts) const {
+  std::array<Accumulator, kNumStages> out;
+  std::map<SpanKey, std::vector<SimTime>> open;
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEvent& e = events_[i];
+    if (std::strcmp(e.name, name) != 0) continue;
+    const auto stage_idx = static_cast<std::size_t>(e.stage);
+    if (e.phase == TracePhase::kBegin) {
+      open[key_of(e)].push_back(e.ts);
+    } else if (e.phase == TracePhase::kComplete) {
+      if (stage_idx < kNumStages && e.ts + e.dur >= min_end_ts) {
+        out[stage_idx].add(to_millis(e.dur));
+      }
+    } else if (e.phase == TracePhase::kEnd) {
+      auto it = open.find(key_of(e));
+      if (it == open.end() || it->second.empty()) continue;
+      const SimTime begin_ts = it->second.back();
+      it->second.pop_back();
+      if (stage_idx < kNumStages && e.ts >= min_end_ts) {
+        out[stage_idx].add(to_millis(e.ts - begin_ts));
+      }
+    }
+  }
+  return out;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&]() -> std::ostringstream& {
+    if (!first) out << ",\n";
+    first = false;
+    return out;
+  };
+
+  // Track ("process") names so Perfetto labels each replica's lane.
+  {
+    std::lock_guard<std::mutex> lk(meta_mu_);
+    for (const auto& [track, name] : track_names_) {
+      sep() << "{\"ph\":\"M\",\"pid\":" << track << ",\"tid\":0,\"name\":\"process_name\","
+            << "\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+    }
+  }
+
+  std::map<SpanKey, std::vector<std::size_t>> open;
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEvent& e = events_[i];
+    const char* stage_name = to_string(e.stage);
+    switch (e.phase) {
+      case TracePhase::kBegin:
+        open[key_of(e)].push_back(i);
+        break;
+      case TracePhase::kEnd: {
+        auto it = open.find(key_of(e));
+        if (it == open.end() || it->second.empty()) break;  // clipped begin
+        const TraceEvent& b = events_[it->second.back()];
+        it->second.pop_back();
+        sep() << "{\"ph\":\"X\",\"pid\":" << b.track << ",\"tid\":" << b.lane
+              << ",\"ts\":" << fmt_us(b.ts) << ",\"dur\":" << fmt_us(e.ts - b.ts)
+              << ",\"name\":\"" << b.name << "\",\"cat\":\"" << stage_name
+              << "\",\"args\":{\"client\":" << b.client << ",\"frame\":" << b.frame << "}}";
+        break;
+      }
+      case TracePhase::kComplete:
+        sep() << "{\"ph\":\"X\",\"pid\":" << e.track << ",\"tid\":" << e.lane
+              << ",\"ts\":" << fmt_us(e.ts) << ",\"dur\":" << fmt_us(e.dur)
+              << ",\"name\":\"" << e.name << "\",\"cat\":\"" << stage_name
+              << "\",\"args\":{\"client\":" << e.client << ",\"frame\":" << e.frame << "}}";
+        break;
+      case TracePhase::kInstant:
+        sep() << "{\"ph\":\"i\",\"pid\":" << e.track << ",\"tid\":" << e.lane
+              << ",\"ts\":" << fmt_us(e.ts) << ",\"name\":\"" << e.name
+              << "\",\"cat\":\"" << stage_name << "\",\"s\":\"p\",\"args\":{\"client\":"
+              << e.client << ",\"frame\":" << e.frame << "}}";
+        break;
+      case TracePhase::kCounter:
+        sep() << "{\"ph\":\"C\",\"pid\":" << e.track << ",\"ts\":" << fmt_us(e.ts)
+              << ",\"name\":\"" << e.name << "\",\"args\":{\"value\":" << fmt_val(e.value)
+              << "}}";
+        break;
+    }
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+  return out.str();
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  const std::string body = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+std::string Tracer::prometheus_text() const {
+  std::ostringstream out;
+  out << "# HELP mar_trace_events_total Events recorded by the tracer.\n"
+      << "# TYPE mar_trace_events_total counter\n"
+      << "mar_trace_events_total " << size() << "\n"
+      << "# HELP mar_trace_events_dropped_total Events lost to a full trace buffer.\n"
+      << "# TYPE mar_trace_events_dropped_total counter\n"
+      << "mar_trace_events_dropped_total " << dropped() << "\n";
+
+  static constexpr const char* kSpanNames[] = {
+      spans::kService, spans::kSidecarQueue, spans::kSocketBuffer, spans::kRpcHandoff,
+      spans::kStateFetch, spans::kLink, spans::kFrameE2e,
+  };
+  out << "# HELP mar_trace_span_ms Mean latency of matched trace spans.\n"
+      << "# TYPE mar_trace_span_ms gauge\n"
+      << "# HELP mar_trace_span_count Number of matched trace spans.\n"
+      << "# TYPE mar_trace_span_count gauge\n";
+  for (const char* name : kSpanNames) {
+    const auto per_stage = stage_spans(name);
+    for (std::size_t s = 0; s < kNumStages; ++s) {
+      if (per_stage[s].count() == 0) continue;
+      const char* stage = to_string(static_cast<Stage>(s));
+      out << "mar_trace_span_ms{span=\"" << name << "\",stage=\"" << stage << "\"} "
+          << fmt_val(per_stage[s].mean()) << "\n";
+      out << "mar_trace_span_count{span=\"" << name << "\",stage=\"" << stage << "\"} "
+          << per_stage[s].count() << "\n";
+    }
+  }
+
+  // Instant-event tallies (drops, losses, timeouts) by stage.
+  std::map<std::pair<std::string, std::uint8_t>, std::uint64_t> instants;
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEvent& e = events_[i];
+    if (e.phase != TracePhase::kInstant) continue;
+    ++instants[{e.name, static_cast<std::uint8_t>(e.stage)}];
+  }
+  out << "# HELP mar_trace_instants_total Point events (drops, losses, timeouts).\n"
+      << "# TYPE mar_trace_instants_total counter\n";
+  for (const auto& [key, count] : instants) {
+    out << "mar_trace_instants_total{event=\"" << key.first << "\",stage=\""
+        << to_string(static_cast<Stage>(key.second)) << "\"} " << count << "\n";
+  }
+  return out.str();
+}
+
+SimTime trace_wallclock_now() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace mar::telemetry

@@ -1,0 +1,188 @@
+// Per-frame distributed tracing for the scAtteR pipeline.
+//
+// A low-overhead span recorder: every hop of a traced frame — sidecar
+// enqueue/dequeue, staleness drop, compute start/finish, RPC hand-off,
+// link transit, state-fetch round trip — records an event keyed by
+// {client, frame, stage, name} into one process-wide preallocated
+// buffer. Recording is a single relaxed load when tracing is disabled
+// and an atomic slot claim plus a struct store when enabled, so the
+// tracer can stay compiled into every hot path.
+//
+// Timestamps are caller-supplied SimTime nanoseconds: virtual time in
+// the simulator, wall-clock (trace_wallclock_now()) in live mode. The
+// recorder never allocates after reserve() and never drops silently —
+// events past capacity are counted in dropped().
+//
+// Exporters:
+//  * chrome_trace_json() — Chrome trace-event JSON, loadable in
+//    Perfetto (ui.perfetto.dev); one track ("process") per service
+//    replica, client, or transport, named via set_track_name().
+//  * prometheus_text() — Prometheus-style plaintext gauges aggregated
+//    from the recorded spans (per-stage latency accumulators, drop and
+//    loss counters). Complements expt::to_prometheus(), which exports
+//    the counter-based HostStats view of the same run.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+#include "telemetry/stats.h"
+
+namespace mar::telemetry {
+
+enum class TracePhase : std::uint8_t {
+  kBegin = 0,     // span opens; matched with the next kEnd of the same key
+  kEnd = 1,       // span closes
+  kInstant = 2,   // point event (drops, losses, timeouts)
+  kComplete = 3,  // span with a known duration at record time (link transit)
+  kCounter = 4,   // sampled value (queue depth, bytes)
+};
+
+// Canonical span/event names. Instrumentation sites pass these
+// constants so exporters and tests can match by string content.
+namespace spans {
+inline constexpr const char* kService = "service";            // dispatch -> finish
+inline constexpr const char* kSidecarQueue = "sidecar_queue";  // enqueue -> dequeue
+inline constexpr const char* kSocketBuffer = "socket_buffer";  // scAtteR busy buffer
+inline constexpr const char* kRpcHandoff = "rpc_handoff";      // sidecar -> service RPC
+inline constexpr const char* kStateFetch = "state_fetch";      // matching <-> sift loop
+inline constexpr const char* kLink = "link";                   // network transit
+inline constexpr const char* kFrameE2e = "frame_e2e";          // capture -> result
+inline constexpr const char* kDropBusy = "drop_busy";
+inline constexpr const char* kDropStale = "drop_stale";
+inline constexpr const char* kDropOverflow = "drop_overflow";
+inline constexpr const char* kDropDown = "drop_down";
+inline constexpr const char* kPacketLoss = "pkt_loss";
+inline constexpr const char* kTailDrop = "pkt_taildrop";
+inline constexpr const char* kFetchTimeout = "fetch_timeout";
+inline constexpr const char* kUdpTx = "udp_tx";
+inline constexpr const char* kUdpRx = "udp_rx";
+}  // namespace spans
+
+// Well-known track ids. Service replicas use their InstanceId value as
+// the track, so these start well above any realistic replica count.
+inline constexpr std::uint32_t kNetworkTrack = 9000;
+inline constexpr std::uint32_t kEngineTrack = 9100;    // single-process vision engine
+inline constexpr std::uint32_t kClientTrackBase = 10000;  // + ClientId
+
+struct TraceEvent {
+  SimTime ts = 0;        // ns (virtual or wall-clock)
+  SimDuration dur = 0;   // kComplete only
+  double value = 0.0;    // kCounter value; message-kind tag on spans
+  const char* name = ""; // static-lifetime string (spans:: constants)
+  std::uint64_t frame = FrameId::kInvalid;
+  std::uint32_t client = ClientId::kInvalid;
+  std::uint32_t track = 0;
+  Stage stage = Stage::kPrimary;
+  TracePhase phase = TracePhase::kInstant;
+  std::uint16_t lane = 0;  // thread-pool lane of the recording thread
+};
+
+// Matched begin/end spans of one name on one track, in milliseconds.
+struct TrackSpanStats {
+  std::uint32_t track = 0;
+  Stage stage = Stage::kPrimary;
+  Accumulator ms;
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 19;  // ~29 MB of events
+
+  // The process-wide recorder every instrumentation site writes to.
+  static Tracer& instance();
+
+  // Enabling with an empty buffer reserves kDefaultCapacity.
+  void set_enabled(bool on);
+  [[nodiscard]] bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Preallocate space for `capacity` events. Not thread-safe against
+  // concurrent record() calls; do it before traffic flows.
+  void reserve(std::size_t capacity);
+  // Forget all recorded events (capacity is kept). Same caveat.
+  void clear();
+
+  // --- recording (thread-safe, wait-free) ----------------------------
+  void begin(std::uint32_t track, const char* name, SimTime ts, ClientId client,
+             FrameId frame, Stage stage, double value = 0.0) {
+    record(track, name, ts, 0, client, frame, stage, TracePhase::kBegin, value);
+  }
+  void end(std::uint32_t track, const char* name, SimTime ts, ClientId client,
+           FrameId frame, Stage stage, double value = 0.0) {
+    record(track, name, ts, 0, client, frame, stage, TracePhase::kEnd, value);
+  }
+  void instant(std::uint32_t track, const char* name, SimTime ts, ClientId client,
+               FrameId frame, Stage stage, double value = 0.0) {
+    record(track, name, ts, 0, client, frame, stage, TracePhase::kInstant, value);
+  }
+  void complete(std::uint32_t track, const char* name, SimTime ts, SimDuration dur,
+                ClientId client, FrameId frame, Stage stage, double value = 0.0) {
+    record(track, name, ts, dur, client, frame, stage, TracePhase::kComplete, value);
+  }
+  void counter(std::uint32_t track, const char* name, SimTime ts, double value) {
+    record(track, name, ts, 0, ClientId::invalid(), FrameId::invalid(), Stage::kPrimary,
+           TracePhase::kCounter, value);
+  }
+
+  // Nonzero id for a FrameHeader's TraceContext.
+  [[nodiscard]] std::uint32_t next_trace_id() {
+    const std::uint32_t id = next_trace_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+    return id == 0 ? 1 : id;
+  }
+
+  // --- track metadata -------------------------------------------------
+  void set_track_name(std::uint32_t track, std::string name);
+  [[nodiscard]] std::string track_name(std::uint32_t track) const;
+
+  // --- inspection ------------------------------------------------------
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return events_.size(); }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  // Copy of the recorded events in record order.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  // Matched spans named `name`, grouped per track, restricted to spans
+  // whose END falls at/after `min_end_ts` — the same admission rule as
+  // a histogram that was reset at `min_end_ts`, so trace-derived means
+  // are comparable 1:1 with HostStats means over a measurement window.
+  [[nodiscard]] std::vector<TrackSpanStats> replica_spans(
+      const char* name, SimTime min_end_ts = std::numeric_limits<SimTime>::min()) const;
+
+  // Pooled per-stage latency of matched spans named `name` (ms).
+  [[nodiscard]] std::array<Accumulator, kNumStages> stage_spans(
+      const char* name, SimTime min_end_ts = std::numeric_limits<SimTime>::min()) const;
+
+  // --- exporters --------------------------------------------------------
+  [[nodiscard]] std::string chrome_trace_json() const;
+  bool write_chrome_trace(const std::string& path) const;
+  [[nodiscard]] std::string prometheus_text() const;
+
+ private:
+  void record(std::uint32_t track, const char* name, SimTime ts, SimDuration dur,
+              ClientId client, FrameId frame, Stage stage, TracePhase phase, double value);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint32_t> next_trace_id_{0};
+  std::vector<TraceEvent> events_;  // fixed capacity; slots claimed via next_
+
+  mutable std::mutex meta_mu_;
+  std::unordered_map<std::uint32_t, std::string> track_names_;
+};
+
+// Monotonic wall-clock nanoseconds since the first call, for tracing
+// live (non-simulated) code paths on the same SimTime axis.
+[[nodiscard]] SimTime trace_wallclock_now();
+
+}  // namespace mar::telemetry

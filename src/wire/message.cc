@@ -3,7 +3,7 @@
 namespace mar::wire {
 namespace {
 constexpr std::uint8_t kMagic = 0xA7;
-constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kVersion = 2;  // v2 added TraceContext
 }  // namespace
 
 std::vector<std::uint8_t> serialize(const FramePacket& pkt) {
@@ -22,6 +22,7 @@ std::vector<std::uint8_t> serialize(const FramePacket& pkt) {
   w.put_u32(pkt.header.payload_bytes);
   w.put_u8(pkt.header.carries_state ? 1 : 0);
   w.put_u8(pkt.header.match_ok ? 1 : 0);
+  w.put_u32(pkt.header.trace.trace_id);
   w.put_u16(static_cast<std::uint16_t>(pkt.hops.size()));
   for (const HopRecord& h : pkt.hops) {
     w.put_u8(static_cast<std::uint8_t>(h.stage));
@@ -48,6 +49,7 @@ std::optional<FramePacket> parse(std::span<const std::uint8_t> bytes) {
   pkt.header.payload_bytes = r.get_u32();
   pkt.header.carries_state = r.get_u8() != 0;
   pkt.header.match_ok = r.get_u8() != 0;
+  pkt.header.trace.trace_id = r.get_u32();
   const std::uint16_t n_hops = r.get_u16();
   pkt.hops.reserve(n_hops);
   for (std::uint16_t i = 0; i < n_hops; ++i) {

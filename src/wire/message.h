@@ -50,6 +50,18 @@ enum class MessageKind : std::uint8_t {
   return "?";
 }
 
+// In-band trace context. A client that samples a frame for tracing
+// stamps a nonzero trace id here; every hop the frame (and any derived
+// request/response) takes checks this to decide whether to record
+// spans, so one frame's whole distributed timeline shares an id. Like
+// the HopRecords, it travels with the data's state. Its 4 bytes are
+// accounted inside the modeled kHeaderWireBytes.
+struct TraceContext {
+  std::uint32_t trace_id = 0;  // 0 = frame is not traced
+
+  [[nodiscard]] constexpr bool active() const { return trace_id != 0; }
+};
+
 // One sidecar/service hop record (scAtteR++ telemetry carried in-band).
 struct HopRecord {
   Stage stage = Stage::kPrimary;
@@ -79,6 +91,8 @@ struct FrameHeader {
   bool carries_state = false;
   // Result messages: whether the object was recognized and posed.
   bool match_ok = false;
+  // Distributed-tracing context; propagated to every derived message.
+  TraceContext trace;
 };
 
 struct FramePacket {

@@ -1,0 +1,334 @@
+// Tests for the per-frame distributed tracer: recording semantics,
+// span pairing under the thread pool, exporter well-formedness, and the
+// end-to-end frame flow of a traced simulated experiment.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/parallel.h"
+#include "expt/experiment.h"
+#include "telemetry/trace.h"
+
+namespace mar::telemetry {
+namespace {
+
+// Every test owns the process-wide tracer for its duration.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::instance().reserve(1u << 16);
+    Tracer::instance().set_enabled(true);
+  }
+  void TearDown() override { Tracer::instance().set_enabled(false); }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  auto& t = Tracer::instance();
+  t.set_enabled(false);
+  t.instant(1, spans::kDropBusy, 10, ClientId{0}, FrameId{0}, Stage::kPrimary);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST_F(TraceTest, RecordsAndSnapshotsInOrder) {
+  auto& t = Tracer::instance();
+  t.begin(7, spans::kService, 100, ClientId{1}, FrameId{2}, Stage::kSift);
+  t.end(7, spans::kService, 250, ClientId{1}, FrameId{2}, Stage::kSift);
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, TracePhase::kBegin);
+  EXPECT_EQ(events[1].phase, TracePhase::kEnd);
+  EXPECT_EQ(events[0].track, 7u);
+  EXPECT_EQ(events[0].ts, 100);
+  EXPECT_EQ(events[1].ts, 250);
+}
+
+TEST_F(TraceTest, RingDropsWhenFullAndCounts) {
+  auto& t = Tracer::instance();
+  t.reserve(8);
+  for (int i = 0; i < 20; ++i) {
+    t.instant(1, spans::kDropBusy, i, ClientId{0}, FrameId{0}, Stage::kPrimary);
+  }
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_EQ(t.dropped(), 12u);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+  EXPECT_EQ(t.capacity(), 8u);
+}
+
+TEST_F(TraceTest, SpanPairingAndWindowFilter) {
+  auto& t = Tracer::instance();
+  // Two spans on one track; only the second ends inside the window.
+  t.begin(3, spans::kService, millis(0.0), ClientId{0}, FrameId{0}, Stage::kLsh);
+  t.end(3, spans::kService, millis(5.0), ClientId{0}, FrameId{0}, Stage::kLsh);
+  t.begin(3, spans::kService, millis(8.0), ClientId{0}, FrameId{1}, Stage::kLsh);
+  t.end(3, spans::kService, millis(20.0), ClientId{0}, FrameId{1}, Stage::kLsh);
+
+  const auto all = t.replica_spans(spans::kService);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].track, 3u);
+  EXPECT_EQ(all[0].ms.count(), 2u);
+
+  // min_end_ts admits a span that *began* before the window, matching
+  // how a histogram reset at window start sees it.
+  const auto windowed = t.replica_spans(spans::kService, millis(10.0));
+  ASSERT_EQ(windowed.size(), 1u);
+  EXPECT_EQ(windowed[0].ms.count(), 1u);
+  EXPECT_NEAR(windowed[0].ms.mean(), 12.0, 1e-9);
+
+  const auto by_stage = t.stage_spans(spans::kService);
+  EXPECT_EQ(by_stage[static_cast<int>(Stage::kLsh)].count(), 2u);
+  EXPECT_EQ(by_stage[static_cast<int>(Stage::kSift)].count(), 0u);
+}
+
+TEST_F(TraceTest, CompleteSpansNeedNoPairing) {
+  auto& t = Tracer::instance();
+  t.complete(9, spans::kLink, millis(1.0), millis(3.0), ClientId{2}, FrameId{7},
+             Stage::kEncoding);
+  const auto by_stage = t.stage_spans(spans::kLink);
+  ASSERT_EQ(by_stage[static_cast<int>(Stage::kEncoding)].count(), 1u);
+  EXPECT_NEAR(by_stage[static_cast<int>(Stage::kEncoding)].mean(), 3.0, 1e-9);
+}
+
+TEST_F(TraceTest, UnmatchedEndIsIgnored) {
+  auto& t = Tracer::instance();
+  t.end(4, spans::kService, 100, ClientId{0}, FrameId{0}, Stage::kSift);
+  EXPECT_TRUE(t.replica_spans(spans::kService).empty());
+}
+
+// Concurrent recording from every pool lane must lose nothing and tag
+// each event with the recording lane. (Runs under the tsan label.)
+TEST_F(TraceTest, ParallelRecordingIsLossless) {
+  auto& t = Tracer::instance();
+  constexpr std::int64_t kEvents = 20000;
+  parallel_for(0, kEvents, /*grain=*/64, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      t.instant(1, spans::kDropBusy, i, ClientId{0},
+                FrameId{static_cast<std::uint64_t>(i)}, Stage::kPrimary);
+    }
+  });
+  EXPECT_EQ(t.size(), static_cast<std::size_t>(kEvents));
+  EXPECT_EQ(t.dropped(), 0u);
+
+  // Every index recorded exactly once.
+  std::vector<bool> seen(kEvents, false);
+  int max_lane = 0;
+  for (const TraceEvent& e : t.snapshot()) {
+    ASSERT_LT(e.frame, static_cast<std::uint64_t>(kEvents));
+    EXPECT_FALSE(seen[e.frame]);
+    seen[e.frame] = true;
+    max_lane = std::max<int>(max_lane, e.lane);
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+  if (parallel_threads() > 1) EXPECT_GT(max_lane, 0);
+}
+
+TEST_F(TraceTest, NextTraceIdIsNonzeroAndUnique) {
+  auto& t = Tracer::instance();
+  std::set<std::uint32_t> ids;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint32_t id = t.next_trace_id();
+    EXPECT_NE(id, 0u);
+    ids.insert(id);
+  }
+  EXPECT_EQ(ids.size(), 1000u);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+
+// Minimal structural JSON check: balanced braces/brackets outside of
+// string literals, no trailing comma before a closer.
+void ExpectWellFormedJson(const std::string& s) {
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  char last_significant = '\0';
+  for (char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+        last_significant = '"';
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      continue;
+    }
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') {
+      EXPECT_NE(last_significant, ',') << "trailing comma before closer";
+      --depth;
+      ASSERT_GE(depth, 0);
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) last_significant = c;
+  }
+  EXPECT_FALSE(in_string) << "unterminated string";
+  EXPECT_EQ(depth, 0) << "unbalanced braces";
+}
+
+TEST_F(TraceTest, ChromeTraceExportIsWellFormed) {
+  auto& t = Tracer::instance();
+  t.set_track_name(5, "sift#5 (edge-1 \"gpu\")");  // name needing escapes
+  t.begin(5, spans::kService, millis(1.0), ClientId{0}, FrameId{0}, Stage::kSift);
+  t.end(5, spans::kService, millis(2.0), ClientId{0}, FrameId{0}, Stage::kSift);
+  t.complete(9000, spans::kLink, millis(0.5), millis(0.2), ClientId{0}, FrameId{0},
+             Stage::kSift);
+  t.instant(5, spans::kDropStale, millis(3.0), ClientId{0}, FrameId{1}, Stage::kSift);
+  t.counter(5, "queue_len", millis(3.0), 4.0);
+
+  const std::string json = t.chrome_trace_json();
+  ExpectWellFormedJson(json);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("\\\"gpu\\\""), std::string::npos);  // escaped quote survived
+}
+
+TEST_F(TraceTest, PrometheusTextExport) {
+  auto& t = Tracer::instance();
+  t.begin(5, spans::kService, millis(1.0), ClientId{0}, FrameId{0}, Stage::kSift);
+  t.end(5, spans::kService, millis(4.0), ClientId{0}, FrameId{0}, Stage::kSift);
+  t.instant(5, spans::kDropStale, millis(5.0), ClientId{0}, FrameId{1}, Stage::kSift);
+
+  const std::string text = t.prometheus_text();
+  EXPECT_NE(text.find("mar_trace_events_total 3"), std::string::npos);
+  EXPECT_NE(text.find("mar_trace_span_ms{span=\"service\",stage=\"sift\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("mar_trace_instants_total{event=\"drop_stale\",stage=\"sift\"} 1"),
+            std::string::npos);
+  // Exposition format: every HELP has a TYPE.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n') > 0, true);
+  std::size_t helps = 0, types = 0, pos = 0;
+  while ((pos = text.find("# HELP", pos)) != std::string::npos) ++helps, pos += 6;
+  pos = 0;
+  while ((pos = text.find("# TYPE", pos)) != std::string::npos) ++types, pos += 6;
+  EXPECT_EQ(helps, types);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end frame flow through a simulated deployment
+
+TEST_F(TraceTest, ScatterFrameFlowProducesOneServiceSpanPerStage) {
+  auto& t = Tracer::instance();
+  t.reserve(1u << 18);
+
+  expt::ExperimentConfig cfg;
+  cfg.mode = core::PipelineMode::kScatter;
+  cfg.num_clients = 1;
+  cfg.warmup = seconds(1.0);
+  cfg.duration = seconds(4.0);
+  cfg.seed = 42;
+  expt::run_experiment(cfg);
+
+  // Pair events per (client, frame): a frame whose e2e span closed went
+  // all the way through the pipeline.
+  struct PerFrame {
+    bool e2e_begin = false, e2e_end = false;
+    int frame_service_spans = 0;  // kService spans carrying kFrameData
+    int fetch_begin = 0, fetch_end = 0;
+  };
+  std::map<std::uint64_t, PerFrame> frames;
+  std::map<std::tuple<std::uint32_t, std::uint64_t, int>, int> open_service;
+  for (const TraceEvent& e : t.snapshot()) {
+    PerFrame& f = frames[e.frame];
+    if (std::strcmp(e.name, spans::kFrameE2e) == 0) {
+      if (e.phase == TracePhase::kBegin) f.e2e_begin = true;
+      if (e.phase == TracePhase::kEnd) f.e2e_end = true;
+    } else if (std::strcmp(e.name, spans::kService) == 0) {
+      auto key = std::make_tuple(e.track, e.frame, static_cast<int>(e.stage));
+      if (e.phase == TracePhase::kBegin) {
+        // `value` carries the message kind; 0 == kFrameData.
+        open_service[key] = e.value == 0.0 ? 1 : 0;
+      } else if (e.phase == TracePhase::kEnd) {
+        auto it = open_service.find(key);
+        if (it != open_service.end()) {
+          f.frame_service_spans += it->second;
+          open_service.erase(it);
+        }
+      }
+    } else if (std::strcmp(e.name, spans::kStateFetch) == 0) {
+      if (e.phase == TracePhase::kBegin) ++f.fetch_begin;
+      if (e.phase == TracePhase::kEnd) ++f.fetch_end;
+    }
+  }
+
+  int completed = 0;
+  for (const auto& [frame, f] : frames) {
+    if (!(f.e2e_begin && f.e2e_end)) continue;
+    ++completed;
+    // One compute span at each of the five services...
+    EXPECT_EQ(f.frame_service_spans, kNumStages) << "frame " << frame;
+    // ...plus a completed state-fetch round trip (scAtteR fetch loop).
+    EXPECT_GE(f.fetch_begin, 1) << "frame " << frame;
+    EXPECT_EQ(f.fetch_begin, f.fetch_end) << "frame " << frame;
+  }
+  EXPECT_GT(completed, 10);  // 4 s at 30 FPS: plenty of delivered frames
+
+  // The trace saw real state-fetch latency on matching.
+  const auto fetch = t.stage_spans(spans::kStateFetch);
+  EXPECT_GT(fetch[static_cast<int>(Stage::kMatching)].count(), 0u);
+  EXPECT_GT(fetch[static_cast<int>(Stage::kMatching)].mean(), 0.0);
+}
+
+TEST_F(TraceTest, SidecarFlowRecordsQueueSpans) {
+  auto& t = Tracer::instance();
+  t.reserve(1u << 18);
+
+  expt::ExperimentConfig cfg;
+  cfg.mode = core::PipelineMode::kScatterPP;
+  cfg.num_clients = 2;
+  cfg.warmup = seconds(1.0);
+  cfg.duration = seconds(3.0);
+  cfg.seed = 43;
+  expt::run_experiment(cfg);
+
+  const auto queue = t.stage_spans(spans::kSidecarQueue);
+  std::uint64_t total = 0;
+  for (const auto& acc : queue) total += acc.count();
+  EXPECT_GT(total, 0u);
+
+  const auto handoff = t.stage_spans(spans::kRpcHandoff);
+  std::uint64_t handoffs = 0;
+  for (const auto& acc : handoff) handoffs += acc.count();
+  EXPECT_GT(handoffs, 0u);
+}
+
+TEST_F(TraceTest, SamplingTracesEveryNthFrame) {
+  auto& t = Tracer::instance();
+
+  expt::ExperimentConfig cfg;
+  cfg.mode = core::PipelineMode::kScatter;
+  cfg.num_clients = 1;
+  cfg.warmup = seconds(0.5);
+  cfg.duration = seconds(2.0);
+  cfg.seed = 44;
+  cfg.trace_sample_every = 4;
+  expt::run_experiment(cfg);
+
+  std::set<std::uint64_t> traced_frames;
+  for (const TraceEvent& e : t.snapshot()) {
+    if (std::strcmp(e.name, spans::kFrameE2e) == 0 && e.phase == TracePhase::kBegin) {
+      traced_frames.insert(e.frame);
+    }
+  }
+  ASSERT_FALSE(traced_frames.empty());
+  for (std::uint64_t f : traced_frames) EXPECT_EQ(f % 4, 0u);
+}
+
+}  // namespace
+}  // namespace mar::telemetry

@@ -19,6 +19,7 @@ FramePacket sample_packet() {
   pkt.header.payload_bytes = 180 * 1024;
   pkt.header.carries_state = true;
   pkt.header.match_ok = true;
+  pkt.header.trace.trace_id = 0xBEEF;
   pkt.hops.push_back(HopRecord{Stage::kPrimary, millis(1.0), millis(3.0)});
   pkt.hops.push_back(HopRecord{Stage::kSift, millis(2.5), millis(11.0)});
   pkt.payload = {9, 8, 7, 6};
@@ -42,6 +43,8 @@ TEST(Wire, SerializeParseRoundTrip) {
   EXPECT_EQ(parsed->header.payload_bytes, pkt.header.payload_bytes);
   EXPECT_EQ(parsed->header.carries_state, pkt.header.carries_state);
   EXPECT_EQ(parsed->header.match_ok, pkt.header.match_ok);
+  EXPECT_EQ(parsed->header.trace.trace_id, pkt.header.trace.trace_id);
+  EXPECT_TRUE(parsed->header.trace.active());
   ASSERT_EQ(parsed->hops.size(), 2u);
   EXPECT_EQ(parsed->hops[1].stage, Stage::kSift);
   EXPECT_EQ(parsed->hops[1].queue_time, millis(2.5));
@@ -54,6 +57,8 @@ TEST(Wire, EmptyPacketRoundTrip) {
   ASSERT_TRUE(parsed.has_value());
   EXPECT_TRUE(parsed->payload.empty());
   EXPECT_TRUE(parsed->hops.empty());
+  EXPECT_EQ(parsed->header.trace.trace_id, 0u);
+  EXPECT_FALSE(parsed->header.trace.active());
 }
 
 TEST(Wire, RejectsBadMagic) {
@@ -121,6 +126,7 @@ TEST_P(WireFuzzRoundTrip, RandomPacket) {
   pkt.header.payload_bytes = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
   pkt.header.carries_state = rng.bernoulli(0.5);
   pkt.header.match_ok = rng.bernoulli(0.5);
+  pkt.header.trace.trace_id = static_cast<std::uint32_t>(rng.next_u64());
   const int n_hops = static_cast<int>(rng.uniform_int(0, 5));
   for (int i = 0; i < n_hops; ++i) {
     pkt.hops.push_back(HopRecord{static_cast<Stage>(rng.uniform_int(0, 4)),
@@ -136,6 +142,7 @@ TEST_P(WireFuzzRoundTrip, RandomPacket) {
   EXPECT_EQ(parsed->header.client, pkt.header.client);
   EXPECT_EQ(parsed->header.frame, pkt.header.frame);
   EXPECT_EQ(parsed->header.capture_ts, pkt.header.capture_ts);
+  EXPECT_EQ(parsed->header.trace.trace_id, pkt.header.trace.trace_id);
   EXPECT_EQ(parsed->hops.size(), pkt.hops.size());
   EXPECT_EQ(parsed->payload, pkt.payload);
 }
