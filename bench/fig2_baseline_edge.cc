@@ -17,6 +17,7 @@
 // trace (Perfetto-loadable).
 #include <cmath>
 #include <cstdio>
+#include <sstream>
 
 #include "bench/fig_util.h"
 #include "telemetry/trace.h"
@@ -156,6 +157,29 @@ int main(int argc, char** argv) {
   // Optional: dump the final run's trace for Perfetto inspection.
   if (argc > 1 && tracer.write_chrome_trace(argv[1])) {
     std::printf("wrote %s (final run, %zu events)\n", argv[1], tracer.size());
+  }
+
+  // Machine-readable summary for downstream plotting/regression checks.
+  {
+    std::ostringstream json;
+    json << "{\n  \"figure\": \"fig2_baseline_edge\",\n  \"worst_trace_rel_err\": "
+         << jnum(worst_rel_err) << ",\n  \"placements\": [";
+    for (std::size_t p = 0; p < placements.size(); ++p) {
+      json << (p ? ",\n    " : "\n    ") << "{\"name\": " << jstr(placements[p].name)
+           << ", \"runs\": [";
+      for (int n = 1; n <= kMaxClients; ++n) {
+        const ExperimentResult& r = results[p][static_cast<std::size_t>(n - 1)];
+        json << (n > 1 ? ", " : "") << "{\"clients\": " << n
+             << ", \"fps\": " << jnum(r.fps_mean) << ", \"e2e_ms\": " << jnum(r.e2e_ms_mean)
+             << ", \"success_rate\": " << jnum(r.success_rate)
+             << ", \"sift_mem_gb\": " << jnum(r.stage_mem_gb(Stage::kSift)) << "}";
+      }
+      json << "]}";
+    }
+    json << "\n  ]\n}\n";
+    if (write_text_file("BENCH_fig2_baseline_edge.json", json.str())) {
+      std::printf("wrote BENCH_fig2_baseline_edge.json\n");
+    }
   }
 
   if (worst_rel_err > 0.01) {

@@ -12,6 +12,7 @@
 // (~10-15% FPS gain at 2-3 clients) at the cost of ~30% higher E2E
 // latency from the load-balancing hop.
 #include <cstdio>
+#include <sstream>
 
 #include "bench/fig_util.h"
 
@@ -102,6 +103,25 @@ int main() {
     d.add_row(std::move(row));
   }
   d.print();
+
+  // Machine-readable summary for downstream plotting/regression checks.
+  std::ostringstream json;
+  json << "{\n  \"figure\": \"fig3_scalability\",\n  \"configs\": [";
+  for (std::size_t p = 0; p < configs.size(); ++p) {
+    json << (p ? ",\n    " : "\n    ") << "{\"name\": " << jstr(configs[p].name)
+         << ", \"runs\": [";
+    for (int n = 1; n <= kMaxClients; ++n) {
+      const ExperimentResult& r = results[p][static_cast<std::size_t>(n - 1)];
+      json << (n > 1 ? ", " : "") << "{\"clients\": " << n
+           << ", \"fps\": " << jnum(r.fps_mean) << ", \"e2e_ms\": " << jnum(r.e2e_ms_mean)
+           << ", \"success_rate\": " << jnum(r.success_rate) << "}";
+    }
+    json << "]}";
+  }
+  json << "\n  ]\n}\n";
+  if (write_text_file("BENCH_fig3_scalability.json", json.str())) {
+    std::printf("wrote BENCH_fig3_scalability.json\n");
+  }
 
   return 0;
 }

@@ -1,0 +1,237 @@
+// Figure 5: resource utilization vs concurrent clients, scAtteR vs
+// scAtteR++ on the C2 placement (all services on E2).
+//
+// Reproduces the paper's CPU% / GPU% / memory characterization as the
+// client count climbs past the collapse point:
+//
+//  * scAtteR's sift memory blows up with clients (orphaned feature
+//    state accumulates in the store until the sweep timeout reclaims
+//    it) while every other stage stays flat — and the blow-up is
+//    decoupled from delivered work: GB per delivered FPS explodes as
+//    throughput collapses.
+//  * scAtteR++'s sift memory instead grows by a *constant* per-client
+//    increment (the sidecar's pre-allocated ingress buffers) — big,
+//    but provisioned, not leaked.
+//  * the bottleneck accelerator (sift's GPU) saturates *below* full
+//    under scAtteR and dips past the collapse point (frames die in
+//    queues before reaching compute), while scAtteR++'s sidecar
+//    admission keeps it pinned at capacity.
+//
+// The per-second utilization timelines come from the read-only
+// ResourcePool sampler (ExperimentConfig::utilization_sample_interval),
+// the same data the live /metrics plane exposes; peaks come from the
+// pools' high-water marks. Emits BENCH_fig5_utilization.json.
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/fig_util.h"
+
+using namespace mar;
+using namespace mar::bench;
+
+namespace {
+
+constexpr int kMaxClients = 6;
+
+struct RunSummary {
+  int clients = 0;
+  double fps = 0.0;
+  double e2e_ms = 0.0;
+  double cpu_util = 0.0;      // E2 mean over the window
+  double cpu_peak = 0.0;      // E2 peak cores in use / capacity
+  double gpu_util = 0.0;
+  double mem_gb = 0.0;        // E2 mean resident memory
+  double mem_gb_peak = 0.0;   // E2 high-water
+  double sift_mem_gb = 0.0;   // sift replicas' mean resident memory
+  double other_mem_gb = 0.0;  // every non-sift stage's memory summed
+  expt::MachineTimeline e2_timeline;
+};
+
+const expt::MachineReport* find_machine(const ExperimentResult& r, const std::string& name) {
+  for (const auto& m : r.machines) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+RunSummary run_one(core::PipelineMode mode, int clients, std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.mode = mode;
+  cfg.placement = SymbolicPlacement::single(Site::kE2);
+  cfg.num_clients = clients;
+  cfg.seed = seed;
+  cfg.utilization_sample_interval = seconds(1.0);
+  const ExperimentResult r = expt::run_experiment(cfg);
+
+  RunSummary s;
+  s.clients = clients;
+  s.fps = r.fps_mean;
+  s.e2e_ms = r.e2e_ms_mean;
+  s.sift_mem_gb = r.stage_mem_gb(Stage::kSift);
+  for (Stage st : {Stage::kPrimary, Stage::kEncoding, Stage::kLsh, Stage::kMatching}) {
+    s.other_mem_gb += r.stage_mem_gb(st);
+  }
+  if (const expt::MachineReport* e2 = find_machine(r, "E2")) {
+    s.cpu_util = e2->cpu_util;
+    s.cpu_peak = e2->cpu_peak;
+    s.gpu_util = e2->gpu_util;
+    s.mem_gb = e2->mem_gb_mean;
+    s.mem_gb_peak = e2->mem_gb_peak;
+  }
+  for (const expt::MachineTimeline& t : r.timelines) {
+    if (t.machine == "E2") s.e2_timeline = t;
+  }
+  return s;
+}
+
+std::string timeline_json(const expt::MachineTimeline& t) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < t.points.size(); ++i) {
+    const expt::UtilizationPoint& p = t.points[i];
+    out << (i ? ", " : "") << "{\"t_s\": " << jnum(p.t_s) << ", \"cpu\": " << jnum(p.cpu)
+        << ", \"gpu\": " << jnum(p.gpu) << ", \"mem_gb\": " << jnum(p.mem_gb)
+        << ", \"state_gb\": " << jnum(p.state_gb) << "}";
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 5: CPU/GPU/memory vs clients, scAtteR vs scAtteR++ on C2\n");
+
+  const struct {
+    const char* name;
+    core::PipelineMode mode;
+  } systems[] = {
+      {"scAtteR", core::PipelineMode::kScatter},
+      {"scAtteR++", core::PipelineMode::kScatterPP},
+  };
+
+  std::vector<std::vector<RunSummary>> runs(2);
+  for (std::size_t sys = 0; sys < 2; ++sys) {
+    for (int n = 1; n <= kMaxClients; ++n) {
+      runs[sys].push_back(
+          run_one(systems[sys].mode, n, 5000 + sys * 100 + static_cast<std::uint64_t>(n)));
+    }
+  }
+
+  for (std::size_t sys = 0; sys < 2; ++sys) {
+    expt::print_banner(std::string("E2 utilization — ") + systems[sys].name);
+    Table t({"clients", "fps", "cpu(%)", "cpu peak(%)", "gpu(%)", "mem(GB)", "mem peak(GB)",
+             "sift mem(GB)"});
+    for (const RunSummary& s : runs[sys]) {
+      t.add_row({std::to_string(s.clients), Table::num(s.fps, 1),
+                 Table::num(s.cpu_util * 100.0, 1), Table::num(s.cpu_peak * 100.0, 1),
+                 Table::num(s.gpu_util * 100.0, 1), Table::num(s.mem_gb, 2),
+                 Table::num(s.mem_gb_peak, 2), Table::num(s.sift_mem_gb, 3)});
+    }
+    t.print();
+  }
+
+  // --- Qualitative gates (paper's shape, not exact numbers) ----------
+  const std::vector<RunSummary>& sc = runs[0];    // scAtteR
+  const std::vector<RunSummary>& scpp = runs[1];  // scAtteR++
+  int failures = 0;
+  auto gate = [&](bool ok, const std::string& what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+    if (!ok) ++failures;
+  };
+
+  expt::print_banner("Qualitative gates");
+
+  // 1. scAtteR's sift memory blows up with clients (orphaned state)
+  //    while every other stage stays flat.
+  gate(sc.back().sift_mem_gb >= sc.front().sift_mem_gb * 3.0 &&
+           sc.back().other_mem_gb <= sc.front().other_mem_gb * 1.3 + 0.05,
+       "scAtteR sift memory blows up, other stages flat (sift " +
+           jnum(sc.front().sift_mem_gb) + " -> " + jnum(sc.back().sift_mem_gb) +
+           " GB; others " + jnum(sc.front().other_mem_gb) + " -> " +
+           jnum(sc.back().other_mem_gb) + " GB)");
+
+  // 2. The blow-up is decoupled from delivered work: GB held per
+  //    delivered FPS explodes as throughput collapses.
+  const double gb_per_fps_1 = sc.front().fps > 0 ? sc.front().sift_mem_gb / sc.front().fps : 0;
+  const double gb_per_fps_n = sc.back().fps > 0 ? sc.back().sift_mem_gb / sc.back().fps : 0;
+  gate(gb_per_fps_1 > 0 && gb_per_fps_n >= gb_per_fps_1 * 5.0,
+       "scAtteR sift GB per delivered FPS explodes (" + jnum(gb_per_fps_1) + " -> " +
+           jnum(gb_per_fps_n) + " GB/FPS)");
+
+  // 3. scAtteR++'s sift memory grows by a roughly constant per-client
+  //    increment (the sidecar's pre-allocated ingress buffers) — no
+  //    accelerating orphan growth.
+  double min_marg = 1e9, max_marg = 0.0;
+  for (std::size_t i = 1; i < scpp.size(); ++i) {
+    const double m = scpp[i].sift_mem_gb - scpp[i - 1].sift_mem_gb;
+    min_marg = std::min(min_marg, m);
+    max_marg = std::max(max_marg, m);
+  }
+  gate(min_marg > 0.0 && max_marg <= min_marg * 1.25 + 0.05,
+       "scAtteR++ sift memory grows by a constant per-client buffer (" + jnum(min_marg) +
+           " .. " + jnum(max_marg) + " GB/client)");
+
+  // 4. scAtteR's bottleneck accelerator (sift's GPU) saturates below
+  //    full and dips past the collapse point.
+  bool sc_gpu_dips = false;
+  double sc_gpu_max = 0.0;
+  for (std::size_t i = 0; i < sc.size(); ++i) {
+    sc_gpu_max = std::max(sc_gpu_max, sc[i].gpu_util);
+    if (i > 0 && sc[i].gpu_util < sc[i - 1].gpu_util - 0.01) sc_gpu_dips = true;
+  }
+  gate(sc_gpu_max <= 0.95 && sc_gpu_dips,
+       "scAtteR GPU saturates below full and dips past collapse (max " +
+           jnum(sc_gpu_max * 100.0) + "%)");
+
+  // 5. scAtteR++'s admission keeps the bottleneck fed at full load:
+  //    GPU pinned near capacity, above scAtteR's, CPU near its peak.
+  double scpp_cpu_peak = 0.0;
+  for (const RunSummary& s : scpp) scpp_cpu_peak = std::max(scpp_cpu_peak, s.cpu_util);
+  gate(scpp.back().gpu_util >= 0.95 && scpp.back().gpu_util > sc.back().gpu_util &&
+           scpp.back().cpu_util >= scpp_cpu_peak * 0.9,
+       "scAtteR++ keeps the bottleneck fed at n=" + std::to_string(kMaxClients) + " (GPU " +
+           jnum(scpp.back().gpu_util * 100.0) + "% vs scAtteR " +
+           jnum(sc.back().gpu_util * 100.0) + "%, CPU " + jnum(scpp.back().cpu_util * 100.0) +
+           "%)");
+
+  // 6. The sampler actually produced timelines (one point per second).
+  gate(!sc.back().e2_timeline.points.empty() && !scpp.back().e2_timeline.points.empty(),
+       "utilization timelines populated (" +
+           std::to_string(sc.back().e2_timeline.points.size()) + " points)");
+
+  // --- BENCH_fig5_utilization.json -----------------------------------
+  std::ostringstream json;
+  json << "{\n  \"figure\": \"fig5_utilization\",\n  \"placement\": \"C2\",\n  \"systems\": [";
+  for (std::size_t sys = 0; sys < 2; ++sys) {
+    json << (sys ? ",\n    " : "\n    ") << "{\"name\": " << jstr(systems[sys].name)
+         << ", \"runs\": [";
+    for (std::size_t i = 0; i < runs[sys].size(); ++i) {
+      const RunSummary& s = runs[sys][i];
+      json << (i ? ",\n      " : "\n      ") << "{\"clients\": " << s.clients
+           << ", \"fps\": " << jnum(s.fps) << ", \"e2e_ms\": " << jnum(s.e2e_ms)
+           << ", \"cpu_util\": " << jnum(s.cpu_util) << ", \"cpu_peak\": " << jnum(s.cpu_peak)
+           << ", \"gpu_util\": " << jnum(s.gpu_util) << ", \"mem_gb\": " << jnum(s.mem_gb)
+           << ", \"mem_gb_peak\": " << jnum(s.mem_gb_peak)
+           << ", \"sift_mem_gb\": " << jnum(s.sift_mem_gb)
+           << ", \"other_mem_gb\": " << jnum(s.other_mem_gb)
+           << ", \"e2_timeline\": " << timeline_json(s.e2_timeline) << "}";
+    }
+    json << "\n    ]}";
+  }
+  json << "\n  ],\n  \"gates_failed\": " << failures << "\n}\n";
+  const char* out_path = "BENCH_fig5_utilization.json";
+  if (write_text_file(out_path, json.str())) {
+    std::printf("wrote %s\n", out_path);
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "FAIL: %d qualitative gate(s) violated\n", failures);
+    return 1;
+  }
+  std::printf("all qualitative gates PASSED\n");
+  return 0;
+}

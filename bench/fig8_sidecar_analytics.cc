@@ -16,6 +16,7 @@
 //   fig8_sidecar_analytics [--trace_out PATH] [--metrics_out PATH]
 #include <cstdio>
 #include <cstring>
+#include <sstream>
 #include <string>
 
 #include "bench/fig_util.h"
@@ -61,6 +62,9 @@ int main(int argc, char** argv) {
   // its replicas into one row per one-minute interval.
   Table in_t(service_columns("clients"));
   Table drop_t(service_columns("clients"));
+  // [minute][stage] ingress FPS and drop ratio, kept for the JSON summary.
+  std::vector<std::array<double, kNumStages>> ingress_fps(kClients);
+  std::vector<std::array<double, kNumStages>> drop_ratio(kClients);
 
   for (int m = 0; m < kClients; ++m) {
     std::vector<std::string> in_row{std::to_string(m + 1)};
@@ -75,6 +79,9 @@ int main(int argc, char** argv) {
           drops += static_cast<double>(drop_series.count_at(static_cast<std::size_t>(sec)));
         }
       }
+      ingress_fps[static_cast<std::size_t>(m)][static_cast<std::size_t>(s)] = ingress / 60.0;
+      drop_ratio[static_cast<std::size_t>(m)][static_cast<std::size_t>(s)] =
+          ingress > 0 ? drops / ingress : 0.0;
       in_row.push_back(Table::num(ingress / 60.0, 1));
       drop_row.push_back(ingress > 0 ? Table::pct(drops / ingress) : "0.0%");
     }
@@ -123,6 +130,27 @@ int main(int argc, char** argv) {
       std::fclose(f);
       std::printf("wrote %s\n", metrics_path.c_str());
     }
+  }
+
+  // Machine-readable summary for downstream plotting/regression checks.
+  std::ostringstream json;
+  json << "{\n  \"figure\": \"fig8_sidecar_analytics\",\n  \"minutes\": [";
+  for (int m = 0; m < kClients; ++m) {
+    json << (m ? ",\n    " : "\n    ") << "{\"clients\": " << (m + 1) << ", \"ingress_fps\": {";
+    for (std::size_t s = 0; s < kNumStages; ++s) {
+      json << (s ? ", " : "") << jstr(to_string(kStages[s])) << ": "
+           << jnum(ingress_fps[static_cast<std::size_t>(m)][s]);
+    }
+    json << "}, \"drop_ratio\": {";
+    for (std::size_t s = 0; s < kNumStages; ++s) {
+      json << (s ? ", " : "") << jstr(to_string(kStages[s])) << ": "
+           << jnum(drop_ratio[static_cast<std::size_t>(m)][s]);
+    }
+    json << "}}";
+  }
+  json << "\n  ]\n}\n";
+  if (write_text_file("BENCH_fig8_sidecar_analytics.json", json.str())) {
+    std::printf("wrote BENCH_fig8_sidecar_analytics.json\n");
   }
   return 0;
 }

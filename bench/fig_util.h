@@ -2,6 +2,7 @@
 #pragma once
 
 #include <array>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,35 @@ inline std::vector<std::string> service_columns(const std::string& first) {
   std::vector<std::string> cols{first};
   for (Stage s : kStages) cols.emplace_back(to_string(s));
   return cols;
+}
+
+// --- BENCH_*.json summary output ------------------------------------
+// Each fig bench writes a machine-readable summary next to where it
+// runs (the files are gitignored run artifacts, like BENCH_vision.json).
+// JSON is assembled with ostringstream + these two formatters — the
+// same idiom as expt::to_json.
+
+inline std::string jnum(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+inline std::string jstr(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out + "\"";
+}
+
+inline bool write_text_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
 }
 
 }  // namespace mar::bench

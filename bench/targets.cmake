@@ -12,6 +12,7 @@ endfunction()
 mar_bench(fig2_baseline_edge)
 mar_bench(fig3_scalability)
 mar_bench(fig4_cloud)
+mar_bench(fig5_utilization)
 mar_bench(fig6_scatterpp_edge)
 mar_bench(fig7_scatterpp_scaling)
 mar_bench(fig8_sidecar_analytics)

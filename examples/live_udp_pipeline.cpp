@@ -8,14 +8,27 @@
 // latency of the returned detections.
 //
 // Build & run:  ./build/examples/live_udp_pipeline
+//
+//   --metrics_port=N   serve live /metrics, /healthz, /statusz on port N
+//                      (0 = ephemeral; the bound port is printed). The
+//                      scrape shows per-service latency histograms, frame
+//                      and drop counters, and the process's CPU/RSS from
+//                      /proc — the real-substrate half of the metrics
+//                      plane the simulator also exports.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/bytes.h"
 #include "net/frame_channel.h"
+#include "net/http.h"
+#include "telemetry/procstat.h"
+#include "telemetry/registry.h"
 #include "vision/engine.h"
 #include "vision/serialize.h"
 #include "video/scene.h"
@@ -71,8 +84,56 @@ bool unpack2(std::span<const std::uint8_t> bytes, std::vector<std::uint8_t>& a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int metrics_port = -1;  // -1 = metrics plane off
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics_port=", 0) == 0) {
+      metrics_port = std::atoi(arg.c_str() + std::strlen("--metrics_port="));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
   std::printf("Live UDP pipeline: 5 services + 1 client on loopback\n");
+
+  // Live metrics plane: per-stage latency histograms updated by the
+  // service threads (sharded cells — no contention), frame/drop
+  // counters, and OS-level CPU/RSS gauges from /proc.
+  auto& registry = telemetry::MetricRegistry::instance();
+  const char* stage_names[] = {"primary", "sift", "encoding", "lsh", "matching"};
+  telemetry::FixedHistogram* stage_hist[5];
+  for (int s = 0; s < 5; ++s) {
+    stage_hist[s] = &registry.histogram(
+        "mar_service_ms", "Per-frame service processing latency (ms).",
+        telemetry::FixedHistogram::default_latency_ms_bounds(), {{"stage", stage_names[s]}});
+  }
+  telemetry::FixedHistogram& e2e_hist = registry.histogram(
+      "mar_frame_e2e_ms", "Client-observed capture-to-result latency (ms).",
+      telemetry::FixedHistogram::default_latency_ms_bounds());
+  telemetry::Counter& frames_sent_total =
+      registry.counter("mar_frames_sent_total", "Frames the client sent.");
+  telemetry::Counter& results_total =
+      registry.counter("mar_results_total", "Results delivered to the client.");
+  telemetry::Counter& parse_drops_total = registry.counter(
+      "mar_parse_drops_total", "Packets dropped by a service on a malformed payload.");
+
+  net::HttpServer metrics_server;
+  telemetry::ProcStatSampler proc_sampler(registry);
+  if (metrics_port >= 0) {
+    registry.set_enabled(true);
+    net::serve_metrics(metrics_server, registry);
+    if (auto st = metrics_server.start(static_cast<std::uint16_t>(metrics_port));
+        !st.is_ok()) {
+      std::fprintf(stderr, "metrics server failed: %s\n", st.message().c_str());
+      return 1;
+    }
+    proc_sampler.start(std::chrono::milliseconds(250));
+    std::printf("metrics plane listening on port %u (GET /metrics /healthz /statusz)\n",
+                metrics_server.port());
+    std::fflush(stdout);  // scripts poll a redirected log for this line
+  }
 
   // One shared, pre-trained engine; each stage thread uses only its
   // stage's (const) part, matching owns the tracker.
@@ -116,6 +177,7 @@ int main() {
       auto received = ch.poll(20);
       if (!received) continue;
       wire::FramePacket& pkt = received->packet;
+      const auto t0 = Clock::now();
       switch (static_cast<Stage>(stage)) {
         case Stage::kPrimary: {
           const vision::Image img = decode_image(pkt.payload);
@@ -131,7 +193,10 @@ int main() {
         }
         case Stage::kEncoding: {
           const auto features = vision::parse_features(pkt.payload);
-          if (!features) continue;
+          if (!features) {
+            parse_drops_total.inc();
+            continue;
+          }
           const auto fisher = engine.encode(*features);
           pkt.payload = pack2(vision::serialize_features(*features),
                               vision::serialize_floats(fisher));
@@ -139,19 +204,31 @@ int main() {
         }
         case Stage::kLsh: {
           std::vector<std::uint8_t> feat_blob, fisher_blob;
-          if (!unpack2(pkt.payload, feat_blob, fisher_blob)) continue;
+          if (!unpack2(pkt.payload, feat_blob, fisher_blob)) {
+            parse_drops_total.inc();
+            continue;
+          }
           const auto fisher = vision::parse_floats(fisher_blob);
-          if (!fisher) continue;
+          if (!fisher) {
+            parse_drops_total.inc();
+            continue;
+          }
           const auto candidates = engine.lookup(*fisher);
           pkt.payload = pack2(feat_blob, vision::serialize_ids(candidates));
           break;
         }
         case Stage::kMatching: {
           std::vector<std::uint8_t> feat_blob, id_blob;
-          if (!unpack2(pkt.payload, feat_blob, id_blob)) continue;
+          if (!unpack2(pkt.payload, feat_blob, id_blob)) {
+            parse_drops_total.inc();
+            continue;
+          }
           const auto features = vision::parse_features(feat_blob);
           const auto candidates = vision::parse_ids(id_blob);
-          if (!features || !candidates) continue;
+          if (!features || !candidates) {
+            parse_drops_total.inc();
+            continue;
+          }
           vision::ExtractedFeatures ef;
           ef.features = *features;
           pkt.payload = vision::serialize_detections(engine.match_and_pose(ef, *candidates));
@@ -162,6 +239,8 @@ int main() {
         case Stage::kResult:
           continue;
       }
+      stage_hist[static_cast<std::size_t>(stage)]->observe(
+          std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
       pkt.header.stage = static_cast<Stage>(stage + 1);
       pkt.header.payload_bytes = static_cast<std::uint32_t>(pkt.payload.size());
       ch.send(pkt, next);
@@ -188,6 +267,7 @@ int main() {
       pkt.payload = encode_image(scene.render(static_cast<double>(i) / 4.0));
       pkt.header.payload_bytes = static_cast<std::uint32_t>(pkt.payload.size());
       client_ch.send(pkt, addrs[0]);
+      frames_sent_total.inc();
       std::this_thread::sleep_for(std::chrono::milliseconds(250));
     }
   });
@@ -200,6 +280,8 @@ int main() {
     const double e2e_ms =
         static_cast<double>(now_ns() - received->packet.header.capture_ts) / 1e6;
     total_e2e_ms += e2e_ms;
+    results_total.inc();
+    e2e_hist.observe(e2e_ms);
     const auto detections = vision::parse_detections(received->packet.payload);
     const std::size_t n_det = detections ? detections->size() : 0;
     if (n_det > 0) ++recognized;
@@ -211,6 +293,8 @@ int main() {
   stop.store(true);
   sender.join();
   for (auto& w : workers) w.join();
+  proc_sampler.stop();
+  metrics_server.stop();
 
   std::printf("\ndelivered %d/%d frames, %d with detections, mean E2E %.0f ms\n", results,
               kFrames, recognized, results ? total_e2e_ms / results : 0.0);

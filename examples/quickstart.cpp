@@ -16,12 +16,22 @@
 //
 //   --trace_out=PATH   write a Chrome trace-event JSON (Perfetto)
 //   --out_dir=DIR      directory for output artifacts (default: out)
+//   --metrics_port=N   serve live /metrics, /healthz, /statusz on port N
+//                      (0 = pick an ephemeral port; printed at startup)
+//   --serve_ms=N       keep the metrics server up N ms after the run so
+//                      a scraper can read the final state
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
 
 #include "expt/experiment.h"
+#include "net/http.h"
+#include "telemetry/procstat.h"
+#include "telemetry/registry.h"
 #include "telemetry/trace.h"
 #include "video/scene.h"
 #include "vision/engine.h"
@@ -65,7 +75,7 @@ void run_traced_sim() {
   cfg.num_clients = 2;
   cfg.warmup = seconds(1.0);
   cfg.duration = seconds(4.0);
-  expt::run_experiment(cfg);
+  (void)expt::run_experiment(cfg);
 }
 
 }  // namespace
@@ -73,6 +83,8 @@ void run_traced_sim() {
 int main(int argc, char** argv) {
   std::string trace_out;
   std::string out_dir = "out";
+  int metrics_port = -1;  // -1 = metrics plane off
+  long serve_ms = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value_of = [&](const char* flag) -> const char* {
@@ -86,6 +98,10 @@ int main(int argc, char** argv) {
       trace_out = v;
     } else if (const char* v = value_of("--out_dir")) {
       out_dir = v;
+    } else if (const char* v = value_of("--metrics_port")) {
+      metrics_port = std::atoi(v);
+    } else if (const char* v = value_of("--serve_ms")) {
+      serve_ms = std::atol(v);
     } else {
       std::fprintf(stderr, "unknown flag: %s (see examples/quickstart.cpp)\n", arg.c_str());
       return 2;
@@ -94,6 +110,38 @@ int main(int argc, char** argv) {
   if (!trace_out.empty()) telemetry::Tracer::instance().set_enabled(true);
 
   std::printf("scAtteR quickstart: single-process AR pipeline\n\n");
+
+  // Live metrics plane: lock-free registry + embedded HTTP server.
+  auto& registry = telemetry::MetricRegistry::instance();
+  net::HttpServer metrics_server;
+  telemetry::ProcStatSampler proc_sampler(registry);
+  if (metrics_port >= 0) {
+    registry.set_enabled(true);
+    net::serve_metrics(metrics_server, registry);
+    if (auto st = metrics_server.start(static_cast<std::uint16_t>(metrics_port));
+        !st.is_ok()) {
+      std::fprintf(stderr, "metrics server failed: %s\n", st.message().c_str());
+      return 1;
+    }
+    proc_sampler.start(std::chrono::milliseconds(250));
+    std::printf("metrics plane listening on port %u (GET /metrics /healthz /statusz)\n\n",
+                metrics_server.port());
+    std::fflush(stdout);  // scripts poll a redirected log for this line
+  }
+  const char* stage_names[] = {"primary", "sift", "encoding", "lsh", "matching"};
+  telemetry::FixedHistogram* stage_hist[5];
+  for (int s = 0; s < 5; ++s) {
+    stage_hist[s] = &registry.histogram(
+        "mar_service_ms", "Per-frame service processing latency (ms).",
+        telemetry::FixedHistogram::default_latency_ms_bounds(), {{"stage", stage_names[s]}});
+  }
+  telemetry::FixedHistogram& e2e_hist = registry.histogram(
+      "mar_frame_e2e_ms", "Capture-to-result latency across all stages (ms).",
+      telemetry::FixedHistogram::default_latency_ms_bounds());
+  telemetry::Counter& frames_total =
+      registry.counter("mar_frames_total", "Frames processed by the engine.");
+  telemetry::Counter& detections_total =
+      registry.counter("mar_detections_total", "Object detections produced.");
 
   // 1) Train the engine on reference images of the scene objects.
   video::WorkplaceScene scene;
@@ -123,6 +171,14 @@ int main(int argc, char** argv) {
     ++frames;
     if (!result.detections.empty()) ++frames_with_detections;
     trace_engine_frame(i, result.timings, &engine_cursor);
+
+    frames_total.inc();
+    detections_total.inc(result.detections.size());
+    const double stage_ms[] = {result.timings.preprocess_ms, result.timings.extract_ms,
+                               result.timings.encode_ms, result.timings.lookup_ms,
+                               result.timings.match_ms};
+    for (int s = 0; s < 5; ++s) stage_hist[s]->observe(stage_ms[s]);
+    e2e_hist.observe(result.timings.total_ms());
 
     std::printf("frame %3llu: %3zu features, %zu detections, %zu live tracks (%.0f ms)\n",
                 static_cast<unsigned long long>(i), result.feature_count,
@@ -175,5 +231,14 @@ int main(int argc, char** argv) {
                 trace_out.c_str(), tracer.size(), service_spans, queue_spans,
                 static_cast<std::size_t>(fetch[static_cast<int>(Stage::kMatching)].count()));
   }
+
+  // 5) Hold the metrics plane so a scraper can read the final state.
+  if (metrics_server.running() && serve_ms > 0) {
+    std::printf("\nserving metrics for %ld ms more on port %u...\n", serve_ms,
+                metrics_server.port());
+    std::this_thread::sleep_for(std::chrono::milliseconds(serve_ms));
+  }
+  proc_sampler.stop();
+  metrics_server.stop();
   return 0;
 }

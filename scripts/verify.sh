@@ -1,9 +1,13 @@
 #!/usr/bin/env sh
-# Convenience verification: tier-1 tests + a traced quickstart run.
+# Convenience verification: tier-1 tests + a traced quickstart run +
+# a live /metrics scrape.
 #
-# Builds (if needed), runs the full ctest suite, then runs the
-# quickstart with --trace_out and fails if the trace JSON is missing,
-# empty, or malformed. Usage:
+# Builds (if needed), runs the full ctest suite, runs the quickstart
+# with --trace_out and fails if the trace JSON is missing, empty, or
+# malformed, then re-runs it with --metrics_port=0 and scrapes the
+# embedded HTTP server: /healthz must answer "ok" and /metrics must be
+# Prometheus-parseable with the per-service histograms and procstat
+# gauges present. Usage:
 #
 #   scripts/verify.sh [build-dir]     # default: build
 #
@@ -50,5 +54,68 @@ else
   done
   echo "verify: trace OK (grep checks)"
 fi
+
+# Live metrics plane: background the quickstart on an ephemeral port,
+# grab the bound port from its stdout, and scrape it while it serves.
+METRICS_LOG="$OUT_DIR/quickstart_metrics.log"
+"$BUILD_DIR/examples/quickstart" --metrics_port=0 --serve_ms=15000 \
+    --out_dir="$OUT_DIR" >"$METRICS_LOG" 2>&1 &
+QS_PID=$!
+trap 'kill "$QS_PID" 2>/dev/null || true' EXIT
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/.*metrics plane listening on port \([0-9]*\).*/\1/p' "$METRICS_LOG")"
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "verify: FAIL — quickstart never announced a metrics port" >&2; exit 1; }
+
+fetch() {
+  if command -v curl >/dev/null 2>&1; then
+    curl -sf "http://127.0.0.1:$PORT$1"
+  else
+    python3 -c 'import sys, urllib.request
+print(urllib.request.urlopen(f"http://127.0.0.1:{sys.argv[1]}{sys.argv[2]}").read().decode(), end="")' "$PORT" "$1"
+  fi
+}
+
+HEALTH="$(fetch /healthz)" || { echo "verify: FAIL — /healthz unreachable" >&2; exit 1; }
+[ "$HEALTH" = "ok" ] || { echo "verify: FAIL — /healthz said '$HEALTH'" >&2; exit 1; }
+
+SCRAPE="$OUT_DIR/metrics_scrape.txt"
+fetch /metrics >"$SCRAPE" || { echo "verify: FAIL — /metrics unreachable" >&2; exit 1; }
+[ -s "$SCRAPE" ] || { echo "verify: FAIL — /metrics scrape empty" >&2; exit 1; }
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$SCRAPE" <<'EOF'
+import sys
+names = set()
+with open(sys.argv[1]) as f:
+    for line in f:
+        line = line.rstrip("\n")
+        if not line or line.startswith("#"):
+            continue
+        # Every sample line must be "<name>[{labels}] <value>".
+        head, _, value = line.rpartition(" ")
+        assert head, f"unparseable line: {line!r}"
+        float(value)
+        names.add(head.split("{")[0])
+for required in ("mar_service_ms_bucket", "mar_frame_e2e_ms_bucket",
+                 "mar_process_rss_bytes", "mar_process_cpu_percent"):
+    assert required in names, f"/metrics is missing {required}"
+print(f"verify: /metrics OK ({len(names)} series names, Prometheus-parseable)")
+EOF
+else
+  for required in mar_service_ms_bucket mar_process_rss_bytes; do
+    grep -q "^$required" "$SCRAPE" || {
+      echo "verify: FAIL — /metrics missing $required" >&2; exit 1; }
+  done
+  echo "verify: /metrics OK (grep checks)"
+fi
+
+kill "$QS_PID" 2>/dev/null || true
+wait "$QS_PID" 2>/dev/null || true
+trap - EXIT
 
 echo "verify: PASSED"

@@ -75,11 +75,14 @@ void ArClient::on_result(const wire::FramePacket& pkt) {
     }
   }
 
+  const SimTime now = rt_.now();
+  const double e2e_ms = to_millis(now - pkt.header.capture_ts);
+  if (config_.on_frame) config_.on_frame(now, e2e_ms, pkt.header.match_ok);
+
   if (!pkt.header.match_ok) return;
 
   ++stats_.successes;
-  const SimTime now = rt_.now();
-  stats_.e2e_ms.add(to_millis(now - pkt.header.capture_ts));
+  stats_.e2e_ms.add(e2e_ms);
   stats_.success_per_sec.add(now);
 
   // Fold in the sidecar telemetry that rode back with the result.

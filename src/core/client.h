@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 
 #include "common/rng.h"
 #include "common/types.h"
@@ -27,6 +28,10 @@ struct ClientConfig {
   // Distributed tracing: sample every Nth frame for tracing when the
   // global Tracer is enabled (1 = trace every frame, 0 = never trace).
   std::uint32_t trace_sample_every = 1;
+  // Invoked for every delivered result, after stats are updated:
+  // (arrival time, E2E latency in ms, recognition success). SLO
+  // watchdogs and live exporters hook in here.
+  std::function<void(SimTime, double, bool)> on_frame;
 };
 
 struct ClientStats {

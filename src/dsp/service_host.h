@@ -146,6 +146,10 @@ class ServiceHost {
   [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
   // Resident bytes attributed to this replica (base + app).
   [[nodiscard]] std::uint64_t memory_used() const { return base_memory_ + app_memory_; }
+  // Application/state bytes only (state-store entries, buffers) — the
+  // part that grows with orphaned state, separated out for the
+  // utilization timelines.
+  [[nodiscard]] std::uint64_t app_memory_used() const { return app_memory_; }
   [[nodiscard]] bool busy() const { return busy_; }
 
  private:

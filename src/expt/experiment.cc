@@ -90,6 +90,10 @@ void Experiment::build() {
                                              config_.costs, config_.features);
   if (config_.monitor) testbed_->orchestrator().start_monitor(seconds(1.0));
 
+  if (config_.slo) {
+    slo_ = std::make_unique<SloWatchdog>(*config_.slo, "pipeline", config_.num_clients);
+  }
+
   Rng client_rng(config_.seed ^ 0xc11e57);
   for (int i = 0; i < config_.num_clients; ++i) {
     core::ClientConfig cc;
@@ -98,6 +102,12 @@ void Experiment::build() {
     cc.phase_offset = static_cast<SimDuration>(i) * millis(3.7) +
                       static_cast<SimDuration>(i) * config_.client_stagger;
     cc.trace_sample_every = config_.trace_sample_every;
+    if (slo_) {
+      cc.on_frame = [this](SimTime t, double e2e_ms, bool success) {
+        slo_->observe_frame(t, e2e_ms, success);
+        slo_->evaluate(t);
+      };
+    }
     auto client = std::make_unique<core::ArClient>(
         testbed_->runtime(), testbed_->orchestrator().machine(testbed_->client_machine()),
         testbed_->orchestrator(), cc, client_rng.fork());
@@ -126,6 +136,7 @@ void Experiment::run() {
   }
   for (auto& acc : replica_memory_bytes_) acc.reset();
   window_start_ = testbed_->loop().now();
+  if (config_.utilization_sample_interval > 0) start_utilization_sampling();
 
   testbed_->loop().run_until(config_.warmup + config_.duration);
   for (auto& c : clients_) c->stop();
@@ -144,6 +155,75 @@ void Experiment::sample_replicas() {
   testbed_->loop().schedule_after(kReplicaSampleInterval, [this, alive = alive_] {
     if (*alive) sample_replicas();
   });
+}
+
+void Experiment::start_utilization_sampling() {
+  machine_samplers_.clear();
+  auto& orch = testbed_->orchestrator();
+  const SimTime now = testbed_->loop().now();
+  for (std::size_t m = 0; m < orch.num_machines(); ++m) {
+    const MachineId id{static_cast<std::uint32_t>(m)};
+    hw::Machine& machine = orch.machine(id);
+    MachineSampler s;
+    s.id = id;
+    s.timeline.machine = machine.spec().name;
+    s.last_cpu_integral = machine.cpu().busy_integral();
+    for (std::size_t g = 0; g < machine.num_gpus(); ++g) {
+      s.last_gpu_integrals.push_back(machine.gpu(g).busy_integral());
+    }
+    s.last_t = now;
+    machine_samplers_.push_back(std::move(s));
+  }
+  testbed_->loop().schedule_after(config_.utilization_sample_interval,
+                                  [this, alive = alive_] {
+                                    if (*alive) sample_utilization();
+                                  });
+}
+
+void Experiment::sample_utilization() {
+  // Read-only walk over the pools: never touches RNG or model state, so
+  // the simulation trajectory is identical with sampling on or off.
+  const SimTime now = testbed_->loop().now();
+  auto& orch = testbed_->orchestrator();
+  for (MachineSampler& s : machine_samplers_) {
+    hw::Machine& machine = orch.machine(s.id);
+    const double dt = static_cast<double>(now - s.last_t);
+    if (dt <= 0.0) continue;
+
+    UtilizationPoint p;
+    p.t_s = to_seconds(now - window_start_);
+
+    const double cpu_integral = machine.cpu().busy_integral();
+    p.cpu = (cpu_integral - s.last_cpu_integral) /
+            (dt * std::max<double>(machine.cpu().capacity(), 1.0));
+    s.last_cpu_integral = cpu_integral;
+
+    double gpu = 0.0;
+    for (std::size_t g = 0; g < machine.num_gpus(); ++g) {
+      const double integral = machine.gpu(g).busy_integral();
+      gpu += (integral - s.last_gpu_integrals[g]) /
+             (dt * std::max<double>(machine.gpu(g).capacity(), 1.0));
+      s.last_gpu_integrals[g] = integral;
+    }
+    p.gpu = machine.num_gpus() ? gpu / static_cast<double>(machine.num_gpus()) : 0.0;
+
+    p.mem_gb = static_cast<double>(machine.memory().used()) / kBytesPerGiB;
+    std::uint64_t state_bytes = 0;
+    for (InstanceId id : deployment_->instances()) {
+      dsp::ServiceHost& host = deployment_->host(id);
+      if (host.machine().id().value() == s.id.value()) {
+        state_bytes += host.app_memory_used();
+      }
+    }
+    p.state_gb = static_cast<double>(state_bytes) / kBytesPerGiB;
+
+    s.timeline.points.push_back(p);
+    s.last_t = now;
+  }
+  testbed_->loop().schedule_after(config_.utilization_sample_interval,
+                                  [this, alive = alive_] {
+                                    if (*alive) sample_utilization();
+                                  });
 }
 
 ExperimentResult Experiment::result() const {
@@ -212,7 +292,23 @@ ExperimentResult Experiment::result() const {
     for (std::size_t g = 0; g < machine.num_gpus(); ++g) gpu += machine.gpu(g).utilization();
     mr.gpu_util = machine.num_gpus() ? gpu / static_cast<double>(machine.num_gpus()) : 0.0;
     mr.mem_gb_mean = machine.memory().mean_used() / kBytesPerGiB;
+    mr.cpu_peak = machine.cpu().capacity()
+                      ? static_cast<double>(machine.cpu().peak_in_use()) /
+                            static_cast<double>(machine.cpu().capacity())
+                      : 0.0;
+    mr.mem_gb_peak = static_cast<double>(machine.memory().peak()) / kBytesPerGiB;
     res.machines.push_back(mr);
+  }
+
+  for (const MachineSampler& s : machine_samplers_) res.timelines.push_back(s.timeline);
+
+  if (slo_) {
+    res.slo.enabled = true;
+    res.slo.violating = slo_->violating();
+    res.slo.transitions = slo_->transitions();
+    res.slo.violations_entered = slo_->violations_entered();
+    res.slo.window_fps = slo_->window_fps();
+    res.slo.window_p99_ms = slo_->window_p99_ms();
   }
   return res;
 }

@@ -6,12 +6,14 @@
 
 #include <array>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/client.h"
 #include "core/frame_flow.h"
 #include "expt/deployment.h"
+#include "expt/slo.h"
 #include "expt/testbed.h"
 #include "hw/cost_model.h"
 #include "telemetry/stats.h"
@@ -71,6 +73,15 @@ struct ExperimentConfig {
   // global telemetry::Tracer is enabled (1 = every frame, 0 = none).
   // Long many-client runs should sample (e.g. 8) to bound trace volume.
   std::uint32_t trace_sample_every = 1;
+  // > 0: sample every machine's CPU/GPU busy integrals, resident
+  // memory, and replica state bytes at this interval during the
+  // measurement window, producing ExperimentResult::timelines. The
+  // sampler is read-only (no RNG, no model mutation), so results are
+  // bit-identical whether it runs or not.
+  SimDuration utilization_sample_interval = 0;
+  // When set, every delivered frame feeds an SLO watchdog (scope
+  // "pipeline") and the result carries its final SloReport.
+  std::optional<SloTargets> slo;
 };
 
 struct ServiceReport {
@@ -92,6 +103,34 @@ struct MachineReport {
   double cpu_util = 0.0;
   double gpu_util = 0.0;
   double mem_gb_mean = 0.0;
+  double cpu_peak = 0.0;     // peak cores in use / capacity over the window
+  double mem_gb_peak = 0.0;  // high-water resident memory
+};
+
+// One sample of a machine's utilization timeline: CPU/GPU values are
+// interval means (busy-integral deltas), memory is the instantaneous
+// level at sample time.
+struct UtilizationPoint {
+  double t_s = 0.0;  // seconds since the measurement window started
+  double cpu = 0.0;
+  double gpu = 0.0;
+  double mem_gb = 0.0;
+  double state_gb = 0.0;  // app/state bytes of replicas on this machine
+};
+
+struct MachineTimeline {
+  std::string machine;
+  std::vector<UtilizationPoint> points;
+};
+
+// Final state of the run's SLO watchdog (ExperimentConfig::slo).
+struct SloReport {
+  bool enabled = false;
+  bool violating = false;
+  std::uint64_t transitions = 0;
+  std::uint64_t violations_entered = 0;
+  double window_fps = 0.0;
+  double window_p99_ms = 0.0;
 };
 
 struct ExperimentResult {
@@ -105,6 +144,9 @@ struct ExperimentResult {
   std::vector<double> per_client_fps;
   std::vector<ServiceReport> services;
   std::vector<MachineReport> machines;
+  // Populated when ExperimentConfig::utilization_sample_interval > 0.
+  std::vector<MachineTimeline> timelines;
+  SloReport slo;
 
   // Sum of a per-service metric across replicas of `stage`.
   [[nodiscard]] double stage_mem_gb(Stage stage) const;
@@ -139,12 +181,26 @@ class Experiment {
 
  private:
   void sample_replicas();
+  void start_utilization_sampling();
+  void sample_utilization();
+
+  // Per-machine sampler state: last busy-integral snapshots so each
+  // point reports the interval mean rather than an aliased instant.
+  struct MachineSampler {
+    MachineId id{};
+    double last_cpu_integral = 0.0;
+    std::vector<double> last_gpu_integrals;
+    SimTime last_t = 0;
+    MachineTimeline timeline;
+  };
 
   ExperimentConfig config_;
   std::unique_ptr<Testbed> testbed_;
   std::unique_ptr<Deployment> deployment_;
   std::vector<std::unique_ptr<core::ArClient>> clients_;
   std::vector<telemetry::Accumulator> replica_memory_bytes_;
+  std::vector<MachineSampler> machine_samplers_;
+  std::unique_ptr<SloWatchdog> slo_;
   SimTime window_start_ = 0;
   bool ran_ = false;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);

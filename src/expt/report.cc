@@ -34,10 +34,10 @@ std::string to_csv(const ExperimentResult& result) {
         << ',' << s.received << ',' << fmt(s.ingress_fps) << '\n';
   }
 
-  out << "\nmachine,cpu_util,gpu_util,mem_gb\n";
+  out << "\nmachine,cpu_util,gpu_util,mem_gb,cpu_peak,mem_gb_peak\n";
   for (const MachineReport& m : result.machines) {
     out << m.name << ',' << fmt(m.cpu_util) << ',' << fmt(m.gpu_util) << ','
-        << fmt(m.mem_gb_mean) << '\n';
+        << fmt(m.mem_gb_mean) << ',' << fmt(m.cpu_peak) << ',' << fmt(m.mem_gb_peak) << '\n';
   }
   return out.str();
 }
@@ -67,9 +67,34 @@ std::string to_json(const ExperimentResult& result) {
     const MachineReport& m = result.machines[i];
     out << (i ? ",\n    " : "\n    ") << "{\"name\": \"" << m.name
         << "\", \"cpu_util\": " << fmt(m.cpu_util) << ", \"gpu_util\": " << fmt(m.gpu_util)
-        << ", \"mem_gb\": " << fmt(m.mem_gb_mean) << "}";
+        << ", \"mem_gb\": " << fmt(m.mem_gb_mean) << ", \"cpu_peak\": " << fmt(m.cpu_peak)
+        << ", \"mem_gb_peak\": " << fmt(m.mem_gb_peak) << "}";
   }
-  out << "\n  ]\n}\n";
+  out << "\n  ]";
+  if (!result.timelines.empty()) {
+    out << ",\n  \"timelines\": [";
+    for (std::size_t i = 0; i < result.timelines.size(); ++i) {
+      const MachineTimeline& t = result.timelines[i];
+      out << (i ? ",\n    " : "\n    ") << "{\"machine\": \"" << t.machine
+          << "\", \"points\": [";
+      for (std::size_t j = 0; j < t.points.size(); ++j) {
+        const UtilizationPoint& p = t.points[j];
+        out << (j ? ", " : "") << "{\"t_s\": " << fmt(p.t_s) << ", \"cpu\": " << fmt(p.cpu)
+            << ", \"gpu\": " << fmt(p.gpu) << ", \"mem_gb\": " << fmt(p.mem_gb)
+            << ", \"state_gb\": " << fmt(p.state_gb) << "}";
+      }
+      out << "]}";
+    }
+    out << "\n  ]";
+  }
+  if (result.slo.enabled) {
+    out << ",\n  \"slo\": {\"violating\": " << (result.slo.violating ? "true" : "false")
+        << ", \"transitions\": " << result.slo.transitions
+        << ", \"violations_entered\": " << result.slo.violations_entered
+        << ", \"window_fps\": " << fmt(result.slo.window_fps)
+        << ", \"window_p99_ms\": " << fmt(result.slo.window_p99_ms) << "}";
+  }
+  out << "\n}\n";
   return out.str();
 }
 
@@ -144,6 +169,17 @@ std::string to_prometheus(const ExperimentResult& result) {
       << "# TYPE mar_machine_mem_gb gauge\n";
   for (const MachineReport& m : result.machines) {
     out << "mar_machine_mem_gb{machine=\"" << m.name << "\"} " << fmt(m.mem_gb_mean) << '\n';
+  }
+  out << "# HELP mar_machine_cpu_peak Peak cores in use / capacity per machine.\n"
+      << "# TYPE mar_machine_cpu_peak gauge\n";
+  for (const MachineReport& m : result.machines) {
+    out << "mar_machine_cpu_peak{machine=\"" << m.name << "\"} " << fmt(m.cpu_peak) << '\n';
+  }
+  out << "# HELP mar_machine_mem_gb_peak High-water resident memory per machine (GiB).\n"
+      << "# TYPE mar_machine_mem_gb_peak gauge\n";
+  for (const MachineReport& m : result.machines) {
+    out << "mar_machine_mem_gb_peak{machine=\"" << m.name << "\"} " << fmt(m.mem_gb_peak)
+        << '\n';
   }
   return out.str();
 }

@@ -1,0 +1,106 @@
+#include "expt/slo.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/log.h"
+
+namespace mar::expt {
+
+SloWatchdog::SloWatchdog(SloTargets targets, std::string scope, int clients)
+    : targets_(targets),
+      scope_(std::move(scope)),
+      clients_(clients > 0 ? clients : 1),
+      fps_violation_gauge_(telemetry::MetricRegistry::instance().gauge(
+          "mar_slo_violation", "1 while the SLO target is violated, else 0.",
+          {{"scope", scope_}, {"slo", "fps"}})),
+      latency_violation_gauge_(telemetry::MetricRegistry::instance().gauge(
+          "mar_slo_violation", "1 while the SLO target is violated, else 0.",
+          {{"scope", scope_}, {"slo", "e2e_p99"}})),
+      window_fps_gauge_(telemetry::MetricRegistry::instance().gauge(
+          "mar_slo_window_fps", "Per-client successful FPS over the sliding window.",
+          {{"scope", scope_}})),
+      window_p99_gauge_(telemetry::MetricRegistry::instance().gauge(
+          "mar_slo_window_e2e_p99_ms", "E2E latency p99 over the sliding window.",
+          {{"scope", scope_}})),
+      transition_counter_(telemetry::MetricRegistry::instance().counter(
+          "mar_slo_transitions_total", "SLO state changes (both directions).",
+          {{"scope", scope_}})) {}
+
+void SloWatchdog::observe_frame(SimTime t, double e2e_ms, bool success) {
+  if (first_observation_ < 0) first_observation_ = t;
+  frames_.push_back(Frame{t, e2e_ms, success});
+  trim(t);
+}
+
+void SloWatchdog::trim(SimTime t) {
+  const SimTime cutoff = t - targets_.window;
+  while (!frames_.empty() && frames_.front().t < cutoff) frames_.pop_front();
+}
+
+bool SloWatchdog::evaluate(SimTime t) {
+  trim(t);
+  if (first_observation_ < 0 || t - first_observation_ < targets_.warmup) {
+    return violating_;
+  }
+
+  // Window FPS: successful frames over the elapsed window span, per client.
+  const double span_s =
+      to_seconds(std::min<SimDuration>(targets_.window, t - first_observation_));
+  std::uint64_t successes = 0;
+  std::vector<double> latencies;
+  latencies.reserve(frames_.size());
+  for (const Frame& f : frames_) {
+    if (f.success) successes += 1;
+    latencies.push_back(f.e2e_ms);
+  }
+  window_fps_ = span_s > 0.0
+                    ? static_cast<double>(successes) / span_s / static_cast<double>(clients_)
+                    : 0.0;
+
+  window_p99_ms_ = 0.0;
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    const auto idx = static_cast<std::size_t>(
+        0.99 * static_cast<double>(latencies.size() - 1) + 0.5);
+    window_p99_ms_ = latencies[std::min(idx, latencies.size() - 1)];
+  }
+
+  const bool fps_bad = targets_.min_fps > 0.0 && window_fps_ < targets_.min_fps;
+  const bool latency_bad =
+      targets_.max_e2e_p99_ms > 0.0 && window_p99_ms_ > targets_.max_e2e_p99_ms;
+
+  fps_violation_gauge_.set(fps_bad ? 1.0 : 0.0);
+  latency_violation_gauge_.set(latency_bad ? 1.0 : 0.0);
+  window_fps_gauge_.set(window_fps_);
+  window_p99_gauge_.set(window_p99_ms_);
+
+  const bool now_violating = fps_bad || latency_bad;
+  if (now_violating != violating_) {
+    std::string reason;
+    if (fps_bad) reason = "fps";
+    if (latency_bad) reason += reason.empty() ? "e2e_p99" : "+e2e_p99";
+    set_state(now_violating, t, reason);
+  }
+  return violating_;
+}
+
+void SloWatchdog::set_state(bool violating, SimTime t, const std::string& reason) {
+  violating_ = violating;
+  ++transitions_;
+  if (violating) ++violations_entered_;
+  transition_counter_.inc();
+
+  // One structured line per edge, grep-able key=value fields.
+  if (violating) {
+    MAR_WARN << "slo_state_change scope=" << scope_ << " state=violating reason=" << reason
+             << " t_ms=" << to_millis(t) << " window_fps=" << window_fps_
+             << " target_fps=" << targets_.min_fps << " window_p99_ms=" << window_p99_ms_
+             << " target_p99_ms=" << targets_.max_e2e_p99_ms;
+  } else {
+    MAR_INFO << "slo_state_change scope=" << scope_ << " state=healthy t_ms=" << to_millis(t)
+             << " window_fps=" << window_fps_ << " window_p99_ms=" << window_p99_ms_;
+  }
+}
+
+}  // namespace mar::expt

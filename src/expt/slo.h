@@ -1,0 +1,87 @@
+// Sliding-window SLO evaluation with edge-triggered state reporting.
+//
+// The watchdog ingests delivered frames (timestamp, E2E latency,
+// success) and, on each evaluate() tick, recomputes the window's
+// achieved FPS and E2E p99 against the configured targets. State
+// changes — healthy -> violating and back — are edge-triggered: each
+// transition emits one structured MAR_WARN/MAR_INFO log line and bumps
+// a transition counter, so a log scraper sees exactly one event per
+// incident instead of one per evaluation tick. Current state is also
+// exported as registry gauges (mar_slo_violation{scope,slo}) for the
+// /metrics plane.
+//
+// Time is caller-supplied SimTime nanoseconds, so the same watchdog
+// works over virtual time in the simulator and wall-clock time
+// (trace_wallclock_now()) in live runs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/time.h"
+#include "telemetry/registry.h"
+
+namespace mar::expt {
+
+struct SloTargets {
+  double min_fps = 0.0;         // per-client successful FPS; 0 disables
+  double max_e2e_p99_ms = 0.0;  // E2E latency p99 over the window; 0 disables
+  SimDuration window = seconds(5.0);
+  // Evaluations before the window first fills are skipped (no flapping
+  // on startup); set to 0 to evaluate immediately.
+  SimDuration warmup = seconds(1.0);
+};
+
+class SloWatchdog {
+ public:
+  // `scope` labels the exported gauges and log lines (e.g. "pipeline",
+  // "client_3"). `clients` divides aggregate window FPS into the
+  // per-client figure the targets are expressed in.
+  SloWatchdog(SloTargets targets, std::string scope = "pipeline", int clients = 1);
+
+  // Record one delivered frame (successful or failed) at time `t`.
+  void observe_frame(SimTime t, double e2e_ms, bool success);
+
+  // Re-evaluate targets over [t - window, t]; returns the new state
+  // (true = violating). Logs and counts on state change only.
+  bool evaluate(SimTime t);
+
+  [[nodiscard]] bool violating() const { return violating_; }
+  [[nodiscard]] std::uint64_t transitions() const { return transitions_; }
+  // Entered-violation edges only (transitions() counts both directions).
+  [[nodiscard]] std::uint64_t violations_entered() const { return violations_entered_; }
+  [[nodiscard]] double window_fps() const { return window_fps_; }
+  [[nodiscard]] double window_p99_ms() const { return window_p99_ms_; }
+  [[nodiscard]] const SloTargets& targets() const { return targets_; }
+
+ private:
+  struct Frame {
+    SimTime t;
+    double e2e_ms;
+    bool success;
+  };
+
+  void trim(SimTime t);
+  void set_state(bool violating, SimTime t, const std::string& reason);
+
+  SloTargets targets_;
+  std::string scope_;
+  int clients_;
+  std::deque<Frame> frames_;
+  SimTime first_observation_ = -1;
+
+  bool violating_ = false;
+  std::uint64_t transitions_ = 0;
+  std::uint64_t violations_entered_ = 0;
+  double window_fps_ = 0.0;
+  double window_p99_ms_ = 0.0;
+
+  telemetry::Gauge& fps_violation_gauge_;
+  telemetry::Gauge& latency_violation_gauge_;
+  telemetry::Gauge& window_fps_gauge_;
+  telemetry::Gauge& window_p99_gauge_;
+  telemetry::Counter& transition_counter_;
+};
+
+}  // namespace mar::expt

@@ -10,11 +10,16 @@ void ResourcePool::account() {
   last_change_ = now;
 }
 
+void ResourcePool::take(std::uint32_t units) {
+  in_use_ += units;
+  if (in_use_ > peak_in_use_) peak_in_use_ = in_use_;
+}
+
 void ResourcePool::acquire(std::uint32_t units, Grant on_grant) {
   if (units > capacity_) return;  // can never be satisfied; drop silently
   if (in_use_ + units <= capacity_ && waiters_.empty()) {
     account();
-    in_use_ += units;
+    take(units);
     on_grant();
     return;
   }
@@ -27,7 +32,7 @@ void ResourcePool::release(std::uint32_t units) {
   while (!waiters_.empty() && in_use_ + waiters_.front().units <= capacity_) {
     Waiter w = std::move(waiters_.front());
     waiters_.pop_front();
-    in_use_ += w.units;
+    take(w.units);
     w.on_grant();
   }
 }
@@ -37,6 +42,12 @@ void ResourcePool::reset_window() {
   window_start_ = loop_.now();
   last_change_ = window_start_;
   busy_integral_ = 0.0;
+  peak_in_use_ = in_use_;
+}
+
+double ResourcePool::busy_integral() const {
+  return busy_integral_ +
+         static_cast<double>(in_use_) * static_cast<double>(loop_.now() - last_change_);
 }
 
 double ResourcePool::utilization() const {

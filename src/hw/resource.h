@@ -36,10 +36,18 @@ class ResourcePool {
   [[nodiscard]] std::size_t waiting() const { return waiters_.size(); }
 
   // --- Utilization accounting ---------------------------------------
-  // Restart the measurement window at the current virtual time.
+  // Restart the measurement window at the current virtual time (also
+  // rebases the high-water mark to the current allocation).
   void reset_window();
   // Mean utilization in [window start, now], normalized to capacity [0,1].
   [[nodiscard]] double utilization() const;
+  // Most units simultaneously held since the window start — peak
+  // utilization where utilization() is the mean.
+  [[nodiscard]] std::uint32_t peak_in_use() const { return peak_in_use_; }
+  // Busy-time integral (units * ns) since the window start, including
+  // the in-progress interval; deltas of this give per-interval means
+  // for utilization timelines.
+  [[nodiscard]] double busy_integral() const;
 
  private:
   struct Waiter {
@@ -49,9 +57,12 @@ class ResourcePool {
 
   void account();  // fold busy-time since last change into the integral
 
+  void take(std::uint32_t units);  // in_use_ += units, tracking the peak
+
   sim::EventLoop& loop_;
   std::uint32_t capacity_;
   std::uint32_t in_use_ = 0;
+  std::uint32_t peak_in_use_ = 0;
   std::deque<Waiter> waiters_;
 
   SimTime window_start_ = 0;

@@ -1,0 +1,178 @@
+#include "net/http.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/log.h"
+
+namespace mar::net {
+namespace {
+
+constexpr int kAcceptPollMs = 100;   // stop-flag check cadence
+constexpr int kRequestTimeoutMs = 2000;
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+std::string make_response(int code, const char* reason, const std::string& content_type,
+                          const std::string& body) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << code << ' ' << reason << "\r\n"
+      << "Content-Type: " << content_type << "\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << body;
+  return out.str();
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+// Read until the end of the request head ("\r\n\r\n") or timeout. A
+// scrape request fits in one segment, but don't rely on it.
+bool read_request_head(int fd, std::string* head) {
+  char buf[2048];
+  while (head->size() < kMaxRequestBytes) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, kRequestTimeoutMs) <= 0) return false;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    head->append(buf, static_cast<std::size_t>(n));
+    if (head->find("\r\n\r\n") != std::string::npos ||
+        head->find("\n\n") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// "GET /metrics HTTP/1.1" -> method, path (query string stripped).
+bool parse_request_line(const std::string& head, std::string* method, std::string* path) {
+  const std::size_t eol = head.find_first_of("\r\n");
+  const std::string line = head.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return false;
+  *method = line.substr(0, sp1);
+  *path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t query = path->find('?');
+  if (query != std::string::npos) path->resize(query);
+  return !method->empty() && !path->empty() && path->front() == '/' &&
+         line.compare(sp2 + 1, 5, "HTTP/") == 0;
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(std::string path, std::string content_type, Handler fn) {
+  routes_.push_back(Route{std::move(path), std::move(content_type), std::move(fn)});
+}
+
+Status HttpServer::start(std::uint16_t port) {
+  if (running_.load()) return Status(StatusCode::kInternal, "already running");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status(StatusCode::kInternal, std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const Status err(StatusCode::kUnavailable, std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return err;
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  stop_.store(false);
+  running_.store(true);
+  thread_ = std::thread([this] { serve_loop(); });
+  return Status::ok();
+}
+
+void HttpServer::stop() {
+  if (!running_.load()) return;
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false);
+}
+
+void HttpServer::serve_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kAcceptPollMs);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  std::string head;
+  if (!read_request_head(fd, &head)) return;  // slow or oversized client: drop
+
+  std::string method, path;
+  if (!parse_request_line(head, &method, &path)) {
+    send_all(fd, make_response(400, "Bad Request", "text/plain", "bad request\n"));
+    return;
+  }
+  if (method != "GET") {
+    send_all(fd, make_response(405, "Method Not Allowed", "text/plain",
+                               "only GET is supported\n"));
+    return;
+  }
+  for (const Route& route : routes_) {
+    if (route.path == path) {
+      send_all(fd, make_response(200, "OK", route.content_type, route.fn()));
+      return;
+    }
+  }
+  send_all(fd, make_response(404, "Not Found", "text/plain", "not found: " + path + "\n"));
+}
+
+void serve_metrics(HttpServer& server, telemetry::MetricRegistry& registry,
+                   std::function<std::string()> statusz_extra) {
+  server.handle("/metrics", "text/plain; version=0.0.4; charset=utf-8",
+                [&registry] { return registry.prometheus_text(); });
+  server.handle("/healthz", "text/plain", [] { return std::string("ok\n"); });
+  server.handle("/statusz", "text/plain",
+                [&registry, extra = std::move(statusz_extra)] {
+                  std::string body = registry.statusz_text();
+                  if (extra) {
+                    body += '\n';
+                    body += extra();
+                  }
+                  return body;
+                });
+}
+
+}  // namespace mar::net

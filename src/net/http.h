@@ -1,0 +1,76 @@
+// Minimal from-scratch HTTP/1.1 server for the live metrics plane.
+//
+// One blocking accept thread, one request per connection (keep-alive is
+// deliberately off: a scraper opens, reads, closes), GET-only. Handlers
+// are registered per path before start() and produce the full response
+// body on each request; everything else is a 404. This is not a general
+// web server — it exists so `curl localhost:<port>/metrics` works
+// against any live pipeline process with zero dependencies.
+//
+// serve_metrics() wires the standard trio onto a server:
+//   /metrics  Prometheus exposition from the MetricRegistry
+//   /healthz  "ok" once the process is serving
+//   /statusz  human-readable snapshot (registry + optional extra text)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/registry.h"
+
+namespace mar::net {
+
+class HttpServer {
+ public:
+  using Handler = std::function<std::string()>;
+
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Register a GET handler producing the response body. Call before
+  // start(); `content_type` goes out verbatim in the response header.
+  void handle(std::string path, std::string content_type, Handler fn);
+
+  // Bind (0 = ephemeral), listen, and launch the accept thread.
+  Status start(std::uint16_t port);
+  // Idempotent; joins the accept thread.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_.load(std::memory_order_relaxed); }
+  // Bound port after start() (resolves an ephemeral request).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  struct Route {
+    std::string path;
+    std::string content_type;
+    Handler fn;
+  };
+
+  void serve_loop();
+  void handle_connection(int fd);
+
+  std::vector<Route> routes_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+// Register /metrics, /healthz, and /statusz against `registry`.
+// `statusz_extra` (optional) is appended to the /statusz body — use it
+// for application state the registry does not carry (queue depths,
+// per-service tables).
+void serve_metrics(HttpServer& server, telemetry::MetricRegistry& registry,
+                   std::function<std::string()> statusz_extra = nullptr);
+
+}  // namespace mar::net

@@ -25,15 +25,32 @@ class Histogram {
   [[nodiscard]] double min() const { return acc_.min(); }
   [[nodiscard]] double max() const { return acc_.max(); }
 
-  // Exact percentile (nearest-rank with linear interpolation); p in [0,100].
+  // Exact percentile (nearest-rank with linear interpolation); p in
+  // [0,100]. Empty histograms return a defined 0.0 (as do median(),
+  // mean(), min(), max()) rather than indexing an empty vector.
   [[nodiscard]] double percentile(double p) const;
   [[nodiscard]] double median() const { return percentile(50.0); }
 
   [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
 
-  // Fold another histogram's samples into this one.
+  // Fold another histogram's samples into this one: one bulk append and
+  // a single deferred re-sort on the next percentile query, not a
+  // per-sample add() loop.
   void merge(const Histogram& other) {
-    for (double s : other.samples_) add(s);
+    if (other.samples_.empty()) return;
+    if (this == &other) {
+      // Self-merge doubles the samples; copy first so insert() doesn't
+      // read source iterators its own reallocation invalidated.
+      const std::vector<double> copy = samples_;
+      samples_.insert(samples_.end(), copy.begin(), copy.end());
+      sorted_ = false;
+      acc_.merge(acc_);
+      return;
+    }
+    samples_.reserve(samples_.size() + other.samples_.size());
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    sorted_ = false;
+    acc_.merge(other.acc_);
   }
 
   void reset() {

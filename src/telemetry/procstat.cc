@@ -1,0 +1,139 @@
+#include "telemetry/procstat.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+namespace mar::telemetry {
+namespace {
+
+// Reads /proc/self/stat. The comm field (2) may contain spaces, so
+// parsing starts after the last ')'. Field numbers below are 1-based
+// per proc(5): minflt=10, majflt=12, utime=14, stime=15, threads=20,
+// vsize=23, rss=24 (pages).
+bool read_proc_self_stat(ProcStatSample* out) {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/stat", "r");
+  if (f == nullptr) return false;
+  char buf[1024];
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  if (n == 0) return false;
+  buf[n] = '\0';
+  const char* p = std::strrchr(buf, ')');
+  if (p == nullptr) return false;
+  ++p;  // now at " S ppid ..." — field 3 onwards
+
+  unsigned long long minflt = 0, majflt = 0, utime = 0, stime = 0, vsize = 0;
+  long long rss_pages = 0, threads = 0;
+  // Fields 3..24 after the comm: state + 21 numeric columns.
+  char state = 0;
+  long long skip;
+  const int parsed = std::sscanf(
+      p, " %c %lld %lld %lld %lld %lld %lld %llu %lld %llu %lld %llu %llu %lld %lld %lld %lld "
+         "%lld %lld %lld %llu %lld",
+      &state, &skip, &skip, &skip, &skip, &skip, &skip,  // ppid..tpgid, flags
+      &minflt, &skip, &majflt, &skip,                    // minflt cminflt majflt cmajflt
+      &utime, &stime, &skip, &skip,                      // utime stime cutime cstime
+      &skip, &skip, &threads, &skip,                     // priority nice threads itrealvalue
+      &skip,                                             // starttime
+      &vsize, &rss_pages);
+  if (parsed < 22) return false;
+
+  const double tick = static_cast<double>(sysconf(_SC_CLK_TCK));
+  const auto page = static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE));
+  out->cpu_seconds = (static_cast<double>(utime) + static_cast<double>(stime)) / tick;
+  out->minor_faults = minflt;
+  out->major_faults = majflt;
+  out->num_threads = static_cast<std::uint32_t>(threads > 0 ? threads : 0);
+  out->vsz_bytes = vsize;
+  out->rss_bytes = static_cast<std::uint64_t>(rss_pages > 0 ? rss_pages : 0) * page;
+  return true;
+#else
+  (void)out;
+  return false;
+#endif
+}
+
+// Portable fallback: getrusage gives CPU time and peak (not current) RSS.
+void read_rusage(ProcStatSample* out) {
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return;
+  out->cpu_seconds = static_cast<double>(ru.ru_utime.tv_sec + ru.ru_stime.tv_sec) +
+                     static_cast<double>(ru.ru_utime.tv_usec + ru.ru_stime.tv_usec) / 1e6;
+  out->rss_bytes = static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KB on Linux
+  out->minor_faults = static_cast<std::uint64_t>(ru.ru_minflt);
+  out->major_faults = static_cast<std::uint64_t>(ru.ru_majflt);
+}
+
+}  // namespace
+
+ProcStatSample ProcStatReader::sample() {
+  ProcStatSample s;
+  if (!read_proc_self_stat(&s)) read_rusage(&s);
+  s.ok = s.cpu_seconds > 0.0 || s.rss_bytes > 0;
+
+  const auto now = std::chrono::steady_clock::now();
+  if (last_cpu_seconds_ >= 0.0) {
+    const double wall_s = std::chrono::duration<double>(now - last_wall_).count();
+    if (wall_s > 0.0) {
+      s.cpu_percent = 100.0 * (s.cpu_seconds - last_cpu_seconds_) / wall_s;
+      if (s.cpu_percent < 0.0) s.cpu_percent = 0.0;
+    }
+  }
+  last_cpu_seconds_ = s.cpu_seconds;
+  last_wall_ = now;
+  return s;
+}
+
+ProcStatSampler::ProcStatSampler(MetricRegistry& registry)
+    : registry_(registry),
+      cpu_seconds_(registry.gauge("mar_process_cpu_seconds_total",
+                                  "Cumulative user+system CPU time of this process.")),
+      cpu_percent_(registry.gauge("mar_process_cpu_percent",
+                                  "Process CPU use since the previous sample (percent of "
+                                  "one core).")),
+      rss_bytes_(registry.gauge("mar_process_rss_bytes", "Resident set size.")),
+      vsz_bytes_(registry.gauge("mar_process_vsz_bytes", "Virtual memory size.")),
+      major_faults_(registry.gauge("mar_process_major_faults_total",
+                                   "Major page faults since process start.")),
+      threads_(registry.gauge("mar_process_threads", "OS threads in this process.")) {}
+
+ProcStatSampler::~ProcStatSampler() { stop(); }
+
+void ProcStatSampler::publish() {
+  const ProcStatSample s = reader_.sample();
+  if (!s.ok) return;
+  cpu_seconds_.set(s.cpu_seconds);
+  cpu_percent_.set(s.cpu_percent);
+  rss_bytes_.set(static_cast<double>(s.rss_bytes));
+  vsz_bytes_.set(static_cast<double>(s.vsz_bytes));
+  major_faults_.set(static_cast<double>(s.major_faults));
+  threads_.set(static_cast<double>(s.num_threads));
+}
+
+void ProcStatSampler::start(std::chrono::milliseconds interval) {
+  if (running_.exchange(true)) return;
+  interval_ = interval;
+  stop_.store(false);
+  publish();
+  thread_ = std::thread([this] {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(interval_);
+      if (stop_.load(std::memory_order_relaxed)) break;
+      publish();
+    }
+  });
+}
+
+void ProcStatSampler::stop() {
+  if (!running_.load()) return;
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false);
+}
+
+}  // namespace mar::telemetry

@@ -1,0 +1,75 @@
+// Real-OS resource sampling for live (non-simulated) runs: the process's
+// CPU time, RSS/VSZ, faults, and thread count from /proc/self (Linux),
+// falling back to getrusage() elsewhere. The ProcStatSampler periodically
+// publishes these as registry gauges so a /metrics scrape of a live
+// pipeline shows the same CPU%/memory signals the simulator derives
+// from hw::ResourcePool — one metrics plane across both substrates.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "telemetry/registry.h"
+
+namespace mar::telemetry {
+
+struct ProcStatSample {
+  bool ok = false;
+  double cpu_seconds = 0.0;   // cumulative user+system CPU time
+  double cpu_percent = 0.0;   // CPU time / wall time since the previous sample
+  std::uint64_t rss_bytes = 0;
+  std::uint64_t vsz_bytes = 0;
+  std::uint64_t minor_faults = 0;
+  std::uint64_t major_faults = 0;
+  std::uint32_t num_threads = 0;
+};
+
+// Stateful reader: cpu_percent is the delta against the previous call
+// (0 on the first). Safe to call from one thread at a time.
+class ProcStatReader {
+ public:
+  ProcStatSample sample();
+
+ private:
+  double last_cpu_seconds_ = -1.0;
+  std::chrono::steady_clock::time_point last_wall_{};
+};
+
+// Background sampler feeding the registry:
+//   mar_process_cpu_seconds_total, mar_process_cpu_percent,
+//   mar_process_rss_bytes, mar_process_vsz_bytes,
+//   mar_process_major_faults_total, mar_process_threads
+class ProcStatSampler {
+ public:
+  explicit ProcStatSampler(MetricRegistry& registry = MetricRegistry::instance());
+  ~ProcStatSampler();
+
+  ProcStatSampler(const ProcStatSampler&) = delete;
+  ProcStatSampler& operator=(const ProcStatSampler&) = delete;
+
+  // Start the sampling thread (no-op if already running). Publishes one
+  // sample synchronously before returning so a scrape races nothing.
+  void start(std::chrono::milliseconds interval = std::chrono::milliseconds(500));
+  void stop();
+  [[nodiscard]] bool running() const { return running_.load(std::memory_order_relaxed); }
+
+ private:
+  void publish();
+
+  MetricRegistry& registry_;
+  ProcStatReader reader_;
+  Gauge& cpu_seconds_;
+  Gauge& cpu_percent_;
+  Gauge& rss_bytes_;
+  Gauge& vsz_bytes_;
+  Gauge& major_faults_;
+  Gauge& threads_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::chrono::milliseconds interval_{500};
+  std::thread thread_;
+};
+
+}  // namespace mar::telemetry

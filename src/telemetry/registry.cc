@@ -1,0 +1,257 @@
+#include "telemetry/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace mar::telemetry {
+
+namespace internal {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace internal
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string render_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ",";
+    out += labels[i].first + "=\"" + labels[i].second + "\"";
+  }
+  return out + "}";
+}
+
+// Label text with one extra pair appended (histogram `le` buckets).
+std::string render_labels_plus(const Labels& labels, const std::string& key,
+                               const std::string& value) {
+  Labels all = labels;
+  all.emplace_back(key, value);
+  return render_labels(all);
+}
+
+}  // namespace
+
+const std::vector<double>& FixedHistogram::default_latency_ms_bounds() {
+  static const std::vector<double> bounds = {0.5,  1.0,   2.0,   5.0,   10.0,  20.0,  50.0,
+                                             100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0};
+  return bounds;
+}
+
+FixedHistogram::FixedHistogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  for (auto& s : shards_) {
+    s.buckets = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+std::size_t FixedHistogram::bucket_of(double v) const {
+  // Few dozen buckets at most: a linear scan beats binary search on
+  // branch prediction and keeps the update path trivial.
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  return i;
+}
+
+std::uint64_t FixedHistogram::count() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) {
+    for (const auto& b : s.buckets) n += b.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+double FixedHistogram::sum() const {
+  double total = 0.0;
+  for (const auto& s : shards_) total += s.sum.load();
+  return total;
+}
+
+std::vector<std::uint64_t> FixedHistogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  for (const auto& s : shards_) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+double FixedHistogram::quantile(double q) const {
+  const auto counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const std::uint64_t prev = cumulative;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    // +Inf bucket: report its lower bound (no upper edge to lerp to).
+    if (i == bounds_.size()) return lo;
+    const double hi = bounds_[i];
+    const double frac =
+        (rank - static_cast<double>(prev)) / static_cast<double>(counts[i]);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+void FixedHistogram::reset() {
+  for (auto& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0);
+  }
+}
+
+MetricRegistry& MetricRegistry::instance() {
+  static MetricRegistry registry;
+  return registry;
+}
+
+MetricRegistry::Family& MetricRegistry::family_of(const std::string& name,
+                                                  const std::string& help, Kind kind) {
+  for (auto& fam : families_) {
+    if (fam->name == name) {
+      if (fam->kind != kind) {
+        throw std::logic_error("metric '" + name + "' re-registered with a different type");
+      }
+      return *fam;
+    }
+  }
+  auto fam = std::make_unique<Family>();
+  fam->name = name;
+  fam->help = help;
+  fam->kind = kind;
+  families_.push_back(std::move(fam));
+  return *families_.back();
+}
+
+MetricRegistry::Child& MetricRegistry::child_of(Family& fam, const Labels& labels) {
+  for (auto& child : fam.children) {
+    if (child->labels == labels) return *child;
+  }
+  auto child = std::make_unique<Child>();
+  child->labels = labels;
+  child->label_text = render_labels(labels);
+  fam.children.push_back(std::move(child));
+  return *fam.children.back();
+}
+
+Counter& MetricRegistry::counter(const std::string& name, const std::string& help,
+                                 const Labels& labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Child& child = child_of(family_of(name, help, Kind::kCounter), labels);
+  if (!child.counter) child.counter = std::unique_ptr<Counter>(new Counter());
+  return *child.counter;
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name, const std::string& help,
+                             const Labels& labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Child& child = child_of(family_of(name, help, Kind::kGauge), labels);
+  if (!child.gauge) child.gauge = std::unique_ptr<Gauge>(new Gauge());
+  return *child.gauge;
+}
+
+FixedHistogram& MetricRegistry::histogram(const std::string& name, const std::string& help,
+                                          std::vector<double> bounds, const Labels& labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Child& child = child_of(family_of(name, help, Kind::kHistogram), labels);
+  if (!child.histogram) {
+    child.histogram = std::unique_ptr<FixedHistogram>(new FixedHistogram(std::move(bounds)));
+  }
+  return *child.histogram;
+}
+
+std::string MetricRegistry::prometheus_text() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream out;
+  for (const auto& fam : families_) {
+    const char* type = fam->kind == Kind::kCounter     ? "counter"
+                       : fam->kind == Kind::kGauge     ? "gauge"
+                                                       : "histogram";
+    out << "# HELP " << fam->name << ' ' << fam->help << '\n';
+    out << "# TYPE " << fam->name << ' ' << type << '\n';
+    for (const auto& child : fam->children) {
+      switch (fam->kind) {
+        case Kind::kCounter:
+          out << fam->name << child->label_text << ' ' << child->counter->value() << '\n';
+          break;
+        case Kind::kGauge:
+          out << fam->name << child->label_text << ' ' << fmt(child->gauge->value()) << '\n';
+          break;
+        case Kind::kHistogram: {
+          const FixedHistogram& h = *child->histogram;
+          const auto counts = h.bucket_counts();
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+            cumulative += counts[i];
+            out << fam->name << "_bucket"
+                << render_labels_plus(child->labels, "le", fmt(h.bounds()[i])) << ' '
+                << cumulative << '\n';
+          }
+          cumulative += counts.back();
+          out << fam->name << "_bucket" << render_labels_plus(child->labels, "le", "+Inf")
+              << ' ' << cumulative << '\n';
+          out << fam->name << "_sum" << child->label_text << ' ' << fmt(h.sum()) << '\n';
+          out << fam->name << "_count" << child->label_text << ' ' << cumulative << '\n';
+          break;
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string MetricRegistry::statusz_text() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream out;
+  out << "== metrics snapshot ==\n";
+  for (const auto& fam : families_) {
+    for (const auto& child : fam->children) {
+      out << fam->name << child->label_text << ": ";
+      switch (fam->kind) {
+        case Kind::kCounter:
+          out << child->counter->value();
+          break;
+        case Kind::kGauge:
+          out << fmt(child->gauge->value());
+          break;
+        case Kind::kHistogram: {
+          const FixedHistogram& h = *child->histogram;
+          out << "count=" << h.count() << " mean=" << fmt(h.mean())
+              << " p50=" << fmt(h.quantile(0.50)) << " p99=" << fmt(h.quantile(0.99));
+          break;
+        }
+      }
+      out << '\n';
+    }
+  }
+  return out.str();
+}
+
+void MetricRegistry::reset_values() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& fam : families_) {
+    for (auto& child : fam->children) {
+      if (child->counter) child->counter->reset();
+      if (child->gauge) child->gauge->reset();
+      if (child->histogram) child->histogram->reset();
+    }
+  }
+}
+
+}  // namespace mar::telemetry

@@ -1,0 +1,223 @@
+// Process-wide live metric registry: counters, gauges, and fixed-bucket
+// histograms with lock-free update paths, label support, and Prometheus
+// exposition rendering.
+//
+// The registry is the always-on complement of the Tracer: where the
+// tracer records individual spans for post-mortem analysis, the
+// registry keeps cheap aggregates a scraper (the embedded net::HttpServer
+// at /metrics) can read at any moment during a live run.
+//
+// Update-path contract (mirrors trace.cc): when metrics are disabled the
+// cost of inc()/set()/observe() is a single relaxed atomic load; when
+// enabled, counters and histograms shard their cells per thread-pool
+// lane (parallel_lane(), like the tracer's lane tagging) so concurrent
+// updates from pool workers do not bounce one cache line. Reads sum the
+// shards; totals are exact because every write is a relaxed fetch_add.
+//
+// Metric creation (counter()/gauge()/histogram()) takes a mutex and may
+// allocate — do it once at startup or on a cold path and cache the
+// returned reference, which stays valid for the registry's lifetime.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace mar::telemetry {
+
+namespace internal {
+extern std::atomic<bool> g_metrics_enabled;
+
+// Cache-line-padded shard so lanes update disjoint lines.
+struct alignas(64) CounterShard {
+  std::atomic<std::uint64_t> v{0};
+};
+
+inline constexpr std::size_t kMetricShards = 8;  // power of two
+
+[[nodiscard]] inline std::size_t lane_shard() {
+  return static_cast<std::size_t>(parallel_lane()) & (kMetricShards - 1);
+}
+
+// Atomic double stored as bits; add() is a CAS loop.
+class AtomicDouble {
+ public:
+  void store(double v) { bits_.store(to_bits(v), std::memory_order_relaxed); }
+  void add(double d) {
+    std::uint64_t old = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(old, to_bits(to_double(old) + d),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double load() const { return to_double(bits_.load(std::memory_order_relaxed)); }
+
+ private:
+  static std::uint64_t to_bits(double v) {
+    std::uint64_t b;
+    static_assert(sizeof(b) == sizeof(v));
+    __builtin_memcpy(&b, &v, sizeof(b));
+    return b;
+  }
+  static double to_double(std::uint64_t b) {
+    double v;
+    __builtin_memcpy(&v, &b, sizeof(v));
+    return v;
+  }
+  std::atomic<std::uint64_t> bits_{0};
+};
+}  // namespace internal
+
+// Global switch shared by every metric: one relaxed load per update
+// when off. Flipped by MetricRegistry::set_enabled().
+[[nodiscard]] inline bool metrics_enabled() {
+  return internal::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+// One label set of a metric family, e.g. {{"stage","sift"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+// Monotone event count, sharded per pool lane.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    if (!metrics_enabled()) return;
+    shards_[internal::lane_shard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t sum = 0;
+    for (const auto& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  friend class MetricRegistry;
+  void reset() {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+  std::array<internal::CounterShard, internal::kMetricShards> shards_;
+};
+
+// Last-write-wins sampled value (RSS bytes, CPU %, queue depth).
+class Gauge {
+ public:
+  void set(double v) {
+    if (!metrics_enabled()) return;
+    value_.store(v);
+  }
+  void add(double d) {
+    if (!metrics_enabled()) return;
+    value_.add(d);
+  }
+  [[nodiscard]] double value() const { return value_.load(); }
+
+ private:
+  friend class MetricRegistry;
+  void reset() { value_.store(0.0); }
+  internal::AtomicDouble value_;
+};
+
+// Fixed-bucket histogram: cumulative-bucket Prometheus semantics, bucket
+// cells and the sum/count sharded per pool lane like Counter.
+class FixedHistogram {
+ public:
+  // `bounds` are ascending inclusive upper bounds; the +Inf bucket is
+  // implicit. Defaults cover sub-ms kernels to multi-second stalls.
+  static const std::vector<double>& default_latency_ms_bounds();
+
+  void observe(double v) {
+    if (!metrics_enabled()) return;
+    Shard& s = shards_[internal::lane_shard()];
+    s.buckets[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.add(v);
+  }
+
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double mean() const {
+    const std::uint64_t n = count();
+    return n ? sum() / static_cast<double>(n) : 0.0;
+  }
+  // Per-bucket (non-cumulative) counts, one extra entry for +Inf.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  // Quantile estimate (q in [0,1]) by linear interpolation inside the
+  // bucket that crosses rank q; exact enough for /statusz p50/p99.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  friend class MetricRegistry;
+  explicit FixedHistogram(std::vector<double> bounds);
+  void reset();
+  [[nodiscard]] std::size_t bucket_of(double v) const;
+
+  struct Shard {
+    std::vector<std::atomic<std::uint64_t>> buckets;  // bounds_.size() + 1
+    internal::AtomicDouble sum;
+  };
+  std::vector<double> bounds_;
+  std::array<Shard, internal::kMetricShards> shards_;
+};
+
+// The process-wide registry. Families are created on first use and live
+// forever; children (one per label set) have stable addresses.
+class MetricRegistry {
+ public:
+  static MetricRegistry& instance();
+
+  // Enable/disable every metric's update path (process-wide).
+  void set_enabled(bool on) {
+    internal::g_metrics_enabled.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const { return metrics_enabled(); }
+
+  // Get-or-create. `help` is taken from the first call for a family;
+  // re-registering a family with a different metric type throws.
+  Counter& counter(const std::string& name, const std::string& help,
+                   const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help, const Labels& labels = {});
+  FixedHistogram& histogram(const std::string& name, const std::string& help,
+                            std::vector<double> bounds, const Labels& labels = {});
+
+  // Prometheus plaintext exposition (text/plain; version=0.0.4),
+  // families in registration order, children in creation order.
+  [[nodiscard]] std::string prometheus_text() const;
+  // Human-readable snapshot for /statusz: counters, gauges, and
+  // histogram count/mean/p50/p99 tables.
+  [[nodiscard]] std::string statusz_text() const;
+
+  // Zero every metric's cells (families and children survive). Tests.
+  void reset_values();
+
+ private:
+  MetricRegistry() = default;
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Child {
+    Labels labels;
+    std::string label_text;  // rendered {k="v",...} or ""
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<FixedHistogram> histogram;
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    Kind kind = Kind::kCounter;
+    std::vector<std::unique_ptr<Child>> children;
+  };
+
+  Family& family_of(const std::string& name, const std::string& help, Kind kind);
+  Child& child_of(Family& fam, const Labels& labels);
+
+  mutable std::mutex mu_;  // guards families_ layout, not metric cells
+  std::vector<std::unique_ptr<Family>> families_;
+};
+
+}  // namespace mar::telemetry

@@ -29,6 +29,25 @@ class Accumulator {
   [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
   [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
 
+  // Fold another accumulator in (Chan et al. pairwise combination) —
+  // O(1) instead of replaying the other side's samples.
+  void merge(const Accumulator& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    mean_ += delta * nb / (na + nb);
+    n_ += other.n_;
+    sum_ += other.sum_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
   void reset() { *this = Accumulator{}; }
 
  private:

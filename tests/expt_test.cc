@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "expt/experiment.h"
 #include "expt/table.h"
 #include "expt/testbed.h"
@@ -158,6 +160,86 @@ TEST(Experiment, StaggeredClientsStartLate) {
   // Client 2 starts at ~6 s: it can have sent at most ~4 s of frames.
   const auto& clients = e.clients();
   EXPECT_GT(clients[0]->stats().frames_sent, clients[2]->stats().frames_sent * 2);
+}
+
+TEST(Experiment, UtilizationSamplerPopulatesTimelines) {
+  ExperimentConfig cfg;
+  cfg.duration = seconds(5.0);
+  cfg.utilization_sample_interval = seconds(1.0);
+  const ExperimentResult r = run_experiment(cfg);
+  ASSERT_FALSE(r.timelines.empty());
+  for (const MachineTimeline& t : r.timelines) {
+    EXPECT_FALSE(t.machine.empty());
+    ASSERT_GE(t.points.size(), 4u);
+    for (const UtilizationPoint& p : t.points) {
+      EXPECT_GE(p.cpu, 0.0);
+      EXPECT_LE(p.cpu, 1.0 + 1e-9);
+      EXPECT_GE(p.gpu, 0.0);
+      EXPECT_LE(p.gpu, 1.0 + 1e-9);
+      EXPECT_GE(p.mem_gb, 0.0);
+      EXPECT_GE(p.state_gb, 0.0);
+    }
+    // Sample times advance monotonically through the window.
+    for (std::size_t i = 1; i < t.points.size(); ++i) {
+      EXPECT_GT(t.points[i].t_s, t.points[i - 1].t_s);
+    }
+  }
+  EXPECT_TRUE(std::any_of(r.machines.begin(), r.machines.end(),
+                          [](const MachineReport& m) { return m.cpu_peak > 0.0; }));
+}
+
+TEST(Experiment, SamplerOffLeavesTimelinesEmpty) {
+  ExperimentConfig cfg;
+  cfg.duration = seconds(3.0);
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_TRUE(r.timelines.empty());
+}
+
+// The sampler only reads pool integrals — turning it on must not
+// perturb the simulation itself. Bit-identical QoS, not just close.
+TEST(Experiment, UtilizationSamplerPreservesBitIdentity) {
+  ExperimentConfig base;
+  base.num_clients = 2;
+  base.duration = seconds(5.0);
+  base.seed = 42;
+  const ExperimentResult off = run_experiment(base);
+
+  ExperimentConfig sampled = base;
+  sampled.utilization_sample_interval = millis(250.0);
+  const ExperimentResult on = run_experiment(sampled);
+
+  EXPECT_EQ(off.fps_mean, on.fps_mean);
+  EXPECT_EQ(off.e2e_ms_mean, on.e2e_ms_mean);
+  EXPECT_EQ(off.success_rate, on.success_rate);
+  ASSERT_EQ(off.per_client_fps.size(), on.per_client_fps.size());
+  for (std::size_t i = 0; i < off.per_client_fps.size(); ++i) {
+    EXPECT_EQ(off.per_client_fps[i], on.per_client_fps[i]);
+  }
+}
+
+TEST(Experiment, SloWatchdogReportsThroughResult) {
+  ExperimentConfig cfg;
+  cfg.num_clients = 4;  // overloaded single-E2 placement
+  cfg.placement = SymbolicPlacement::single(Site::kE2);
+  cfg.duration = seconds(10.0);
+  cfg.seed = 7;
+  SloTargets slo;
+  slo.min_fps = 25.0;  // the collapse makes this unattainable at n=4
+  cfg.slo = slo;
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_TRUE(r.slo.enabled);
+  EXPECT_TRUE(r.slo.violating);
+  EXPECT_GE(r.slo.violations_entered, 1u);
+  EXPECT_GE(r.slo.transitions, r.slo.violations_entered);
+  EXPECT_LT(r.slo.window_fps, 25.0);
+}
+
+TEST(Experiment, SloOffByDefault) {
+  ExperimentConfig cfg;
+  cfg.duration = seconds(2.0);
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_FALSE(r.slo.enabled);
+  EXPECT_EQ(r.slo.transitions, 0u);
 }
 
 TEST(Experiment, MonitorFlagCollectsSamples) {

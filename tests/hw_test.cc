@@ -99,6 +99,39 @@ TEST_F(PoolFixture, WindowResetRestartsIntegral) {
   EXPECT_NEAR(pool.utilization(), 0.0, 0.001);
 }
 
+TEST_F(PoolFixture, PeakTracksHighWater) {
+  ResourcePool pool(loop, 4);
+  pool.acquire(2, [] {});
+  pool.acquire(1, [] {});
+  EXPECT_EQ(pool.peak_in_use(), 3u);
+  pool.release(3);
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(pool.peak_in_use(), 3u);  // high-water survives release
+  pool.acquire(1, [] {});
+  EXPECT_EQ(pool.peak_in_use(), 3u);  // lower re-acquire doesn't move it
+}
+
+TEST_F(PoolFixture, PeakCountsWaiterGrants) {
+  ResourcePool pool(loop, 2);
+  pool.acquire(2, [] {});
+  pool.acquire(2, [] {});  // queued
+  EXPECT_EQ(pool.peak_in_use(), 2u);
+  pool.release(2);  // waiter granted through the release path
+  EXPECT_EQ(pool.in_use(), 2u);
+  EXPECT_EQ(pool.peak_in_use(), 2u);
+}
+
+TEST_F(PoolFixture, WindowResetRebasesPeakToCurrent) {
+  ResourcePool pool(loop, 4);
+  pool.acquire(3, [] {});
+  pool.release(2);
+  EXPECT_EQ(pool.peak_in_use(), 3u);
+  pool.reset_window();
+  EXPECT_EQ(pool.peak_in_use(), 1u);  // rebased to what's still held
+  pool.acquire(1, [] {});
+  EXPECT_EQ(pool.peak_in_use(), 2u);
+}
+
 // Property: in_use never exceeds capacity under random operations.
 class PoolRandomOps : public ::testing::TestWithParam<std::uint64_t> {};
 

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "net/http.h"
+#include "telemetry/registry.h"
+
+namespace mar::net {
+namespace {
+
+// Minimal blocking HTTP client: one request over a real socket, read
+// to EOF (the server closes after each response).
+std::string http_get_raw(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << std::strerror(errno);
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string http_get(std::uint16_t port, const std::string& path) {
+  return http_get_raw(port, "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n");
+}
+
+std::string body_of(const std::string& response) {
+  const std::size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+struct HttpFixture : ::testing::Test {
+  void SetUp() override {
+    telemetry::MetricRegistry::instance().reset_values();
+    telemetry::MetricRegistry::instance().set_enabled(true);
+    serve_metrics(server, telemetry::MetricRegistry::instance(),
+                  [] { return std::string("extra-status-line"); });
+    const Status st = server.start(0);  // ephemeral port
+    ASSERT_TRUE(st.is_ok()) << st.message();
+    ASSERT_TRUE(server.running());
+    ASSERT_NE(server.port(), 0);
+  }
+  void TearDown() override {
+    server.stop();
+    telemetry::MetricRegistry::instance().set_enabled(false);
+    telemetry::MetricRegistry::instance().reset_values();
+  }
+  HttpServer server;
+};
+
+TEST_F(HttpFixture, HealthzOverRealSocket) {
+  const std::string response = http_get(server.port(), "/healthz");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_EQ(body_of(response), "ok\n");
+}
+
+TEST_F(HttpFixture, MetricsIsPrometheusParseable) {
+  telemetry::MetricRegistry::instance()
+      .counter("t_http_total", "scrape test", {{"stage", "sift"}})
+      .inc(4);
+  const std::string response = http_get(server.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"), std::string::npos);
+
+  // Every non-comment line must be "<name>[{labels}] <value>" with a
+  // numeric value — the contract a Prometheus scraper relies on.
+  std::istringstream lines(body_of(response));
+  std::string line;
+  int samples = 0;
+  bool saw_ours = false;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    char* end = nullptr;
+    std::strtod(line.c_str() + sp + 1, &end);
+    EXPECT_EQ(*end, '\0') << "unparseable value in: " << line;
+    if (line.compare(0, sp, "t_http_total{stage=\"sift\"}") == 0) {
+      saw_ours = true;
+      EXPECT_EQ(line.substr(sp + 1), "4");
+    }
+    ++samples;
+  }
+  EXPECT_GT(samples, 0);
+  EXPECT_TRUE(saw_ours);
+}
+
+TEST_F(HttpFixture, StatuszIncludesExtraText) {
+  const std::string response = http_get(server.port(), "/statusz");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(body_of(response).find("metrics snapshot"), std::string::npos);
+  EXPECT_NE(body_of(response).find("extra-status-line"), std::string::npos);
+}
+
+TEST_F(HttpFixture, UnknownPathIs404) {
+  const std::string response = http_get(server.port(), "/nope");
+  EXPECT_NE(response.find("HTTP/1.1 404 Not Found"), std::string::npos);
+}
+
+TEST_F(HttpFixture, QueryStringIsStripped) {
+  const std::string response = http_get(server.port(), "/healthz?verbose=1");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+}
+
+TEST_F(HttpFixture, MalformedRequestIs400) {
+  const std::string response = http_get_raw(server.port(), "NONSENSE\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 400 Bad Request"), std::string::npos);
+}
+
+TEST_F(HttpFixture, NonGetIs405) {
+  const std::string response =
+      http_get_raw(server.port(), "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 405 Method Not Allowed"), std::string::npos);
+}
+
+TEST_F(HttpFixture, StopIsIdempotentAndRestartable) {
+  server.stop();
+  server.stop();
+  EXPECT_FALSE(server.running());
+  const Status st = server.start(0);
+  ASSERT_TRUE(st.is_ok()) << st.message();
+  EXPECT_NE(http_get(server.port(), "/healthz").find("200 OK"), std::string::npos);
+}
+
+TEST(HttpServer, StartWhileRunningFails) {
+  HttpServer s;
+  s.handle("/x", "text/plain", [] { return std::string("x"); });
+  ASSERT_TRUE(s.start(0).is_ok());
+  EXPECT_FALSE(s.start(0).is_ok());
+  s.stop();
+}
+
+}  // namespace
+}  // namespace mar::net

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "expt/slo.h"
+
+namespace mar::expt {
+namespace {
+
+// 30 FPS of successful frames over [from, to) at 20 ms E2E.
+void feed_healthy(SloWatchdog& w, SimTime from, SimTime to) {
+  const SimDuration step = millis(1000.0 / 30.0);
+  for (SimTime t = from; t < to; t += step) w.observe_frame(t, 20.0, true);
+}
+
+SloTargets fps_target(double min_fps) {
+  SloTargets t;
+  t.min_fps = min_fps;
+  t.window = seconds(2.0);
+  t.warmup = seconds(1.0);
+  return t;
+}
+
+TEST(SloWatchdog, HealthyStreamNeverTransitions) {
+  SloWatchdog w(fps_target(25.0), "test", 1);
+  feed_healthy(w, 0, seconds(5.0));
+  EXPECT_FALSE(w.evaluate(seconds(5.0)));
+  EXPECT_EQ(w.transitions(), 0u);
+  EXPECT_EQ(w.violations_entered(), 0u);
+  EXPECT_NEAR(w.window_fps(), 30.0, 1.0);
+  EXPECT_NEAR(w.window_p99_ms(), 20.0, 1e-9);
+}
+
+TEST(SloWatchdog, EdgeTriggeredTransitionCycle) {
+  SloWatchdog w(fps_target(25.0), "test", 1);
+
+  // Healthy stream for 4 s.
+  feed_healthy(w, 0, seconds(4.0));
+  EXPECT_FALSE(w.evaluate(seconds(4.0)));
+
+  // Starvation: repeated evaluations while no frames arrive must count
+  // ONE violation edge, not one per tick.
+  for (double t = 4.1; t < 8.0; t += 0.1) {
+    w.evaluate(seconds(t));
+  }
+  EXPECT_TRUE(w.violating());
+  EXPECT_EQ(w.transitions(), 1u);
+  EXPECT_EQ(w.violations_entered(), 1u);
+
+  // Recovery: a fresh healthy window flips back exactly once.
+  feed_healthy(w, seconds(8.0), seconds(11.0));
+  for (double t = 10.0; t < 11.0; t += 0.1) {
+    w.evaluate(seconds(t));
+  }
+  EXPECT_FALSE(w.violating());
+  EXPECT_EQ(w.transitions(), 2u);
+  EXPECT_EQ(w.violations_entered(), 1u);  // recovery is not an "entered" edge
+}
+
+TEST(SloWatchdog, WarmupSuppressesEarlyEvaluation) {
+  SloWatchdog w(fps_target(25.0), "test", 1);
+  // One lonely frame: window FPS is far below target, but the warmup
+  // keeps the watchdog quiet until 1 s after the first observation.
+  w.observe_frame(millis(10.0), 20.0, false);
+  EXPECT_FALSE(w.evaluate(millis(500.0)));
+  EXPECT_EQ(w.transitions(), 0u);
+  EXPECT_TRUE(w.evaluate(seconds(2.0)));
+  EXPECT_EQ(w.violations_entered(), 1u);
+}
+
+TEST(SloWatchdog, FailedFramesDoNotCountTowardFps) {
+  SloTargets targets = fps_target(15.0);
+  SloWatchdog w(targets, "test", 1);
+  // 30 FPS delivered but every second frame failed -> 15 FPS effective,
+  // right at the threshold; all-failed would be 0 and violating.
+  const SimDuration step = millis(1000.0 / 30.0);
+  bool ok = true;
+  for (SimTime t = 0; t < seconds(3.0); t += step) {
+    w.observe_frame(t, 20.0, ok);
+    ok = !ok;
+  }
+  w.evaluate(seconds(3.0));
+  EXPECT_NEAR(w.window_fps(), 15.0, 1.0);
+}
+
+TEST(SloWatchdog, LatencyTargetUsesWindowP99) {
+  SloTargets targets;
+  targets.max_e2e_p99_ms = 50.0;
+  targets.window = seconds(2.0);
+  targets.warmup = 0;
+  SloWatchdog w(targets, "test", 1);
+
+  for (int i = 0; i < 100; ++i) w.observe_frame(millis(10.0 * i), 20.0, true);
+  EXPECT_FALSE(w.evaluate(seconds(1.0)));
+
+  // A burst of 200 ms frames pushes the window p99 over target.
+  for (int i = 0; i < 100; ++i) w.observe_frame(seconds(1.0) + millis(5.0 * i), 200.0, true);
+  EXPECT_TRUE(w.evaluate(seconds(1.5)));
+  EXPECT_GT(w.window_p99_ms(), 50.0);
+  EXPECT_EQ(w.violations_entered(), 1u);
+}
+
+TEST(SloWatchdog, PerClientFpsDivision) {
+  SloTargets targets = fps_target(20.0);
+  targets.warmup = 0;
+  SloWatchdog w(targets, "test", 2);
+  // 30 aggregate FPS over 2 clients = 15 per client < 20 -> violating.
+  feed_healthy(w, 0, seconds(3.0));
+  EXPECT_TRUE(w.evaluate(seconds(3.0)));
+  EXPECT_NEAR(w.window_fps(), 15.0, 1.0);
+}
+
+TEST(SloWatchdog, ZeroTargetsDisableChecks) {
+  SloTargets targets;  // both targets 0 = disabled
+  targets.warmup = 0;
+  SloWatchdog w(targets, "test", 1);
+  w.observe_frame(0, 5000.0, false);
+  EXPECT_FALSE(w.evaluate(seconds(5.0)));
+  EXPECT_EQ(w.transitions(), 0u);
+}
+
+}  // namespace
+}  // namespace mar::expt

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "telemetry/procstat.h"
+#include "telemetry/registry.h"
+
+namespace mar::telemetry {
+namespace {
+
+// The registry is a process-wide singleton; each test uses unique
+// family names, enables updates on entry, and zeroes cells on exit.
+struct RegistryFixture : ::testing::Test {
+  void SetUp() override {
+    reg.reset_values();
+    reg.set_enabled(true);
+  }
+  void TearDown() override {
+    reg.set_enabled(false);
+    reg.reset_values();
+  }
+  MetricRegistry& reg = MetricRegistry::instance();
+};
+
+// --- Counter ---------------------------------------------------------------
+
+TEST_F(RegistryFixture, CounterTotalsAreExactUnderThreads) {
+  Counter& c = reg.counter("t_threads_total", "concurrency test");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kIncs = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kIncs; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kIncs);
+}
+
+TEST_F(RegistryFixture, CounterTotalsAreExactUnderPoolLanes) {
+  // Updates from parallel_for workers shard by lane; the read-side sum
+  // must still be exact.
+  Counter& c = reg.counter("t_lanes_total", "pool lane test");
+  constexpr std::int64_t kN = 100'000;
+  parallel_for(0, kN, 128, [&c](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) c.inc();
+  });
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kN));
+}
+
+TEST_F(RegistryFixture, CounterIncByN) {
+  Counter& c = reg.counter("t_incn_total", "inc(n)");
+  c.inc(5);
+  c.inc(7);
+  EXPECT_EQ(c.value(), 12u);
+}
+
+// --- Gauge -----------------------------------------------------------------
+
+TEST_F(RegistryFixture, GaugeSetAndAdd) {
+  Gauge& g = reg.gauge("t_gauge", "gauge test");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.set(0.25);
+  EXPECT_DOUBLE_EQ(g.value(), 0.25);
+}
+
+TEST_F(RegistryFixture, GaugeConcurrentAddIsExactForRepresentableSteps) {
+  Gauge& g = reg.gauge("t_gauge_cas", "CAS add test");
+  constexpr int kThreads = 4;
+  constexpr int kAdds = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kAdds; ++i) g.add(1.0);  // exact in double
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(kThreads * kAdds));
+}
+
+// --- FixedHistogram --------------------------------------------------------
+
+TEST_F(RegistryFixture, HistogramBucketsSumCount) {
+  FixedHistogram& h = reg.histogram("t_hist_ms", "hist test", {1.0, 10.0});
+  h.observe(0.5);   // <= 1
+  h.observe(5.0);   // <= 10
+  h.observe(100.0);  // +Inf
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 105.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 105.5 / 3.0);
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST_F(RegistryFixture, HistogramCountExactUnderThreads) {
+  FixedHistogram& h =
+      reg.histogram("t_hist_mt_ms", "hist concurrency",
+                    FixedHistogram::default_latency_ms_bounds());
+  constexpr int kThreads = 8;
+  constexpr int kObs = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kObs; ++i) h.observe(static_cast<double>(t));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kObs));
+}
+
+TEST_F(RegistryFixture, HistogramQuantileInterpolates) {
+  FixedHistogram& h = reg.histogram("t_hist_q_ms", "quantiles", {10.0, 20.0, 40.0});
+  for (int i = 0; i < 100; ++i) h.observe(15.0);  // all in (10, 20]
+  EXPECT_EQ(h.quantile(-1.0), h.quantile(0.0));  // clamped
+  const double p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 10.0);
+  EXPECT_LE(p50, 20.0);
+  EXPECT_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST_F(RegistryFixture, HistogramEmptyQuantileIsZero) {
+  FixedHistogram& h = reg.histogram("t_hist_empty_ms", "empty", {1.0});
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+// --- disabled path ---------------------------------------------------------
+
+TEST_F(RegistryFixture, DisabledUpdatesAreNoOps) {
+  Counter& c = reg.counter("t_off_total", "disabled");
+  Gauge& g = reg.gauge("t_off_gauge", "disabled");
+  FixedHistogram& h = reg.histogram("t_off_ms", "disabled", {1.0});
+  reg.set_enabled(false);
+  c.inc();
+  g.set(7.0);
+  h.observe(3.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  reg.set_enabled(true);
+  c.inc();
+  EXPECT_EQ(c.value(), 1u);
+}
+
+// --- families, labels, exposition ------------------------------------------
+
+TEST_F(RegistryFixture, SameNameAndLabelsReturnsSameMetric) {
+  Counter& a = reg.counter("t_same_total", "dedup", {{"stage", "sift"}});
+  Counter& b = reg.counter("t_same_total", "dedup", {{"stage", "sift"}});
+  EXPECT_EQ(&a, &b);
+  Counter& c = reg.counter("t_same_total", "dedup", {{"stage", "matching"}});
+  EXPECT_NE(&a, &c);
+}
+
+TEST_F(RegistryFixture, TypeMismatchThrows) {
+  reg.counter("t_kind_total", "a counter");
+  EXPECT_THROW(reg.gauge("t_kind_total", "as gauge"), std::logic_error);
+  EXPECT_THROW(reg.histogram("t_kind_total", "as hist", {1.0}), std::logic_error);
+}
+
+TEST_F(RegistryFixture, PrometheusExposition) {
+  reg.counter("t_expo_total", "an exposition counter", {{"stage", "sift"}}).inc(3);
+  reg.gauge("t_expo_gauge", "an exposition gauge").set(2.5);
+  FixedHistogram& h = reg.histogram("t_expo_ms", "an exposition histogram", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(100.0);
+
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# HELP t_expo_total an exposition counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE t_expo_total counter"), std::string::npos);
+  EXPECT_NE(text.find("t_expo_total{stage=\"sift\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE t_expo_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("t_expo_gauge 2.5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE t_expo_ms histogram"), std::string::npos);
+  // Buckets are cumulative and end with +Inf == _count.
+  EXPECT_NE(text.find("t_expo_ms_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("t_expo_ms_bucket{le=\"10\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("t_expo_ms_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("t_expo_ms_sum 105.5"), std::string::npos);
+  EXPECT_NE(text.find("t_expo_ms_count 3"), std::string::npos);
+}
+
+TEST_F(RegistryFixture, StatuszSnapshotRendersAllKinds) {
+  reg.counter("t_sz_total", "statusz counter").inc();
+  reg.histogram("t_sz_ms", "statusz hist", {1.0}).observe(0.5);
+  const std::string text = reg.statusz_text();
+  EXPECT_NE(text.find("t_sz_total: 1"), std::string::npos);
+  EXPECT_NE(text.find("count=1"), std::string::npos);
+}
+
+TEST_F(RegistryFixture, ResetValuesKeepsFamilies) {
+  Counter& c = reg.counter("t_reset_total", "reset");
+  c.inc(9);
+  reg.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  // Same reference comes back after reset.
+  EXPECT_EQ(&reg.counter("t_reset_total", "reset"), &c);
+}
+
+// --- procstat --------------------------------------------------------------
+
+TEST(ProcStat, ReaderSmoke) {
+  ProcStatReader reader;
+  const ProcStatSample s = reader.sample();
+  EXPECT_TRUE(s.ok);
+  EXPECT_GT(s.rss_bytes, 0u);
+  EXPECT_GE(s.num_threads, 1u);
+  EXPECT_GE(s.cpu_seconds, 0.0);
+  EXPECT_EQ(s.cpu_percent, 0.0);  // no previous sample yet
+  const ProcStatSample s2 = reader.sample();
+  EXPECT_TRUE(s2.ok);
+  EXPECT_GE(s2.cpu_percent, 0.0);
+  EXPECT_GE(s2.cpu_seconds, s.cpu_seconds);
+}
+
+TEST(ProcStat, SamplerPublishesGauges) {
+  MetricRegistry& reg = MetricRegistry::instance();
+  reg.set_enabled(true);
+  {
+    ProcStatSampler sampler(reg);
+    sampler.start(std::chrono::milliseconds(50));
+    EXPECT_TRUE(sampler.running());
+    // start() publishes synchronously, so the gauges are already live.
+    EXPECT_GT(reg.gauge("mar_process_rss_bytes", "").value(), 0.0);
+    EXPECT_GE(reg.gauge("mar_process_threads", "").value(), 1.0);
+    sampler.stop();
+    EXPECT_FALSE(sampler.running());
+  }
+  reg.set_enabled(false);
+  reg.reset_values();
+}
+
+}  // namespace
+}  // namespace mar::telemetry

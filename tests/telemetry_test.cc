@@ -78,6 +78,16 @@ TEST(Histogram, EmptyPercentileIsZero) {
   EXPECT_EQ(h.percentile(50.0), 0.0);
 }
 
+TEST(Histogram, EmptyQueriesAreAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.median(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.percentile(0.0), 0.0);
+  EXPECT_EQ(h.percentile(100.0), 0.0);
+}
+
 TEST(Histogram, ExactPercentiles) {
   Histogram h;
   for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
@@ -115,6 +125,60 @@ TEST(Histogram, Merge) {
   EXPECT_EQ(a.count(), 4u);
   EXPECT_DOUBLE_EQ(a.mean(), 2.5);
   EXPECT_EQ(a.max(), 4.0);
+}
+
+TEST(Histogram, MergeMatchesPerSampleAdds) {
+  Rng rng(17);
+  Histogram merged, part_a, part_b, reference;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.gaussian(10.0, 4.0);
+    (i % 2 ? part_a : part_b).add(v);
+    reference.add(v);
+  }
+  merged.merge(part_a);
+  merged.merge(part_b);
+  EXPECT_EQ(merged.count(), reference.count());
+  EXPECT_NEAR(merged.mean(), reference.mean(), 1e-9);
+  EXPECT_NEAR(merged.stddev(), reference.stddev(), 1e-9);
+  EXPECT_EQ(merged.min(), reference.min());
+  EXPECT_EQ(merged.max(), reference.max());
+  for (double p : {1.0, 50.0, 99.0}) {
+    EXPECT_NEAR(merged.percentile(p), reference.percentile(p), 1e-9) << "p=" << p;
+  }
+}
+
+TEST(Histogram, MergeEmptyCases) {
+  Histogram a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);  // into empty adopts everything
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.median(), 2.0);
+}
+
+TEST(Histogram, MergeWithSelfDoublesSamples) {
+  Histogram h;
+  h.add(1.0);
+  h.add(5.0);
+  h.merge(h);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.median(), 3.0);
+  EXPECT_EQ(h.max(), 5.0);
+}
+
+TEST(Histogram, MergeAfterQueryKeepsPercentilesExact) {
+  Histogram a, b;
+  a.add(10.0);
+  EXPECT_EQ(a.median(), 10.0);  // forces a sort before the merge
+  b.add(1.0);
+  b.add(2.0);
+  a.merge(b);  // bulk append defers the re-sort
+  EXPECT_EQ(a.percentile(0.0), 1.0);
+  EXPECT_EQ(a.median(), 2.0);
 }
 
 TEST(Histogram, MeanTracksAccumulator) {
