@@ -1,0 +1,250 @@
+// Crash-recovery experiment: kill a sift replica mid-run and measure
+// how each system rides it out (paper §5: statefulness is the fault
+// line between scAtteR and scAtteR++).
+//
+// Setup: C2-ish placement with sift x2 (E2 + E1), 3 clients, heartbeat
+// failover on (200 ms probes, 600 ms suspicion, 800 ms respawn). At
+// t=+10 s into the measurement window the E2 sift replica is killed by
+// a scripted FaultPlan.
+//
+// What the crash does differently per system:
+//  * scAtteR: the dead replica's feature store dies with it. Every
+//    in-flight frame pinned to that replica now *must* miss its state
+//    fetch; matching busy-waits the 22 ms deadline (plus one retry)
+//    per orphan, serializing the stage — the dip is deeper and longer
+//    than the instantaneous frame loss.
+//  * scAtteR++: state rides inside the frames, so the crash costs only
+//    the frames physically inside the replica at that instant; routing
+//    shifts to the survivor on the very next resolve().
+//
+// Measured from the clients' per-second delivered-frame series:
+//  dip depth     — baseline minus the worst post-crash second,
+//  MTTR          — first second >= crash whose next 3 s all clear 90 %
+//                  of baseline,
+//  frames lost   — sum of (baseline - delivered) over the post-crash
+//                  window.
+//
+// Gates: both systems recover; scAtteR++ recovers strictly faster and
+// loses strictly fewer frames; scAtteR loses stored state while
+// scAtteR++ loses none; failover actually evicted + respawned; and a
+// same-seed rerun is bit-identical (determinism of seed + plan).
+// Emits BENCH_fault_recovery.json.
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/fig_util.h"
+#include "fault/fault_plan.h"
+
+using namespace mar;
+using namespace mar::bench;
+
+namespace {
+
+constexpr int kClients = 3;
+constexpr int kDurationS = 40;
+constexpr int kCrashAtS = 10;
+constexpr int kBaselineFromS = 2;
+constexpr int kBaselineToS = 9;  // exclusive
+constexpr double kRecoveredFrac = 0.90;
+constexpr int kRecoveredRunS = 3;
+
+struct RunOutcome {
+  ExperimentResult r;
+  std::vector<double> delivered;  // frames/s summed over clients, window-relative
+  double baseline = 0.0;
+  double dip_depth = 0.0;
+  double mttr_s = -1.0;  // -1 = never recovered
+  double frames_lost = 0.0;
+  bool recovered = false;
+};
+
+RunOutcome run_one(core::PipelineMode mode, std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.mode = mode;
+  // sift x2 so the pipeline survives the crash: replica 0 on E2 (the
+  // victim), replica 1 on E1; everything else on E2.
+  cfg.placement = SymbolicPlacement::replicated({1, 2, 1, 1, 1}, Site::kE2, Site::kE1);
+  cfg.num_clients = kClients;
+  cfg.warmup = seconds(5.0);
+  cfg.duration = seconds(static_cast<double>(kDurationS));
+  cfg.seed = seed;
+  // One bounded retry before a fetch deadline fails the frame.
+  cfg.costs.state_fetch_retries = 1;
+
+  const auto plan = fault::FaultPlan::parse("crash@10s:stage=sift,replica=0");
+  if (!plan.is_ok()) {
+    std::fprintf(stderr, "bad fault plan: %s\n", plan.status().message().c_str());
+    std::exit(2);
+  }
+  cfg.fault_plan = plan.value();
+
+  orchestra::FailoverConfig fo;
+  fo.heartbeat_interval = millis(200.0);
+  fo.suspicion_timeout = millis(600.0);
+  fo.respawn_delay = millis(800.0);
+  cfg.failover = fo;
+
+  expt::Experiment e(cfg);
+  e.run();
+
+  RunOutcome out;
+  out.r = e.result();
+
+  // Delivered frames per window-second, summed over clients. The
+  // per-second series are indexed by absolute sim time; the window
+  // starts at `warmup`.
+  const std::size_t first = static_cast<std::size_t>(e.window_start() / kSecond);
+  out.delivered.assign(kDurationS, 0.0);
+  for (const auto& c : e.clients()) {
+    for (int w = 0; w < kDurationS; ++w) {
+      out.delivered[static_cast<std::size_t>(w)] +=
+          static_cast<double>(c->stats().success_per_sec.count_at(first + static_cast<std::size_t>(w)));
+    }
+  }
+
+  double base_sum = 0.0;
+  for (int w = kBaselineFromS; w < kBaselineToS; ++w) {
+    base_sum += out.delivered[static_cast<std::size_t>(w)];
+  }
+  out.baseline = base_sum / static_cast<double>(kBaselineToS - kBaselineFromS);
+
+  double worst = out.baseline;
+  for (int w = kCrashAtS; w < std::min(kCrashAtS + 8, kDurationS); ++w) {
+    worst = std::min(worst, out.delivered[static_cast<std::size_t>(w)]);
+  }
+  out.dip_depth = out.baseline - worst;
+
+  const double threshold = kRecoveredFrac * out.baseline;
+  for (int w = kCrashAtS; w + kRecoveredRunS <= kDurationS; ++w) {
+    bool ok = true;
+    for (int k = 0; k < kRecoveredRunS; ++k) {
+      if (out.delivered[static_cast<std::size_t>(w + k)] < threshold) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      out.recovered = true;
+      out.mttr_s = static_cast<double>(w - kCrashAtS);
+      break;
+    }
+  }
+
+  for (int w = kCrashAtS; w < kDurationS; ++w) {
+    out.frames_lost +=
+        std::max(0.0, out.baseline - out.delivered[static_cast<std::size_t>(w)]);
+  }
+  return out;
+}
+
+std::string series_json(const std::vector<double>& v) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < v.size(); ++i) out << (i ? ", " : "") << jnum(v[i]);
+  out << "]";
+  return out.str();
+}
+
+bool identical(const RunOutcome& a, const RunOutcome& b) {
+  return a.delivered == b.delivered && a.r.fps_mean == b.r.fps_mean &&
+         a.r.e2e_ms_mean == b.r.e2e_ms_mean && a.r.success_rate == b.r.success_rate &&
+         a.r.fault.state_lost == b.r.fault.state_lost &&
+         a.r.fault.fetch_timeouts == b.r.fault.fetch_timeouts &&
+         a.r.fault.suspected == b.r.fault.suspected &&
+         a.r.fault.respawns == b.r.fault.respawns &&
+         a.r.fault.tx_suppressed == b.r.fault.tx_suppressed &&
+         a.r.fault.routing_failures == b.r.fault.routing_failures;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fault recovery: kill sift[0] at t=+%ds, %d clients, failover on\n", kCrashAtS,
+              kClients);
+
+  constexpr std::uint64_t kSeed = 9100;
+  const RunOutcome sc = run_one(core::PipelineMode::kScatter, kSeed);
+  const RunOutcome pp = run_one(core::PipelineMode::kScatterPP, kSeed);
+  // Determinism witness: the same seed + plan must reproduce scAtteR's
+  // run bit-for-bit.
+  const RunOutcome sc2 = run_one(core::PipelineMode::kScatter, kSeed);
+
+  const struct {
+    const char* name;
+    const RunOutcome* o;
+  } rows[] = {{"scAtteR", &sc}, {"scAtteR++", &pp}};
+
+  expt::print_banner("Crash recovery, per system");
+  Table t({"system", "baseline fps", "dip depth", "MTTR(s)", "frames lost", "state lost",
+           "fetch timeouts", "suspected", "respawns"});
+  for (const auto& row : rows) {
+    const RunOutcome& o = *row.o;
+    t.add_row({row.name, Table::num(o.baseline, 1), Table::num(o.dip_depth, 1),
+               o.recovered ? Table::num(o.mttr_s, 0) : "never", Table::num(o.frames_lost, 1),
+               std::to_string(o.r.fault.state_lost), std::to_string(o.r.fault.fetch_timeouts),
+               std::to_string(o.r.fault.suspected), std::to_string(o.r.fault.respawns)});
+  }
+  t.print();
+
+  int failures = 0;
+  auto gate = [&](bool ok, const std::string& what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+    if (!ok) ++failures;
+  };
+
+  expt::print_banner("Gates");
+  gate(sc.recovered && pp.recovered,
+       "both systems recover to >=90% of baseline (scAtteR " +
+           (sc.recovered ? jnum(sc.mttr_s) + "s" : std::string("never")) + ", scAtteR++ " +
+           (pp.recovered ? jnum(pp.mttr_s) + "s" : std::string("never")) + ")");
+  gate(pp.recovered && sc.recovered && pp.mttr_s < sc.mttr_s,
+       "scAtteR++ recovers strictly faster (MTTR " + jnum(pp.mttr_s) + "s < " +
+           jnum(sc.mttr_s) + "s)");
+  gate(pp.frames_lost < sc.frames_lost,
+       "scAtteR++ loses strictly fewer frames (" + jnum(pp.frames_lost) + " < " +
+           jnum(sc.frames_lost) + ")");
+  gate(sc.r.fault.state_lost > 0 && pp.r.fault.state_lost == 0,
+       "crash drops stored state only under scAtteR (" +
+           std::to_string(sc.r.fault.state_lost) + " entries vs 0)");
+  gate(sc.r.fault.suspected >= 1 && sc.r.fault.respawns >= 1 && pp.r.fault.suspected >= 1 &&
+           pp.r.fault.respawns >= 1,
+       "heartbeat failover evicted and respawned the dead replica in both runs");
+  gate(identical(sc, sc2), "same seed + same plan is bit-identical on rerun");
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"fault_recovery\",\n  \"crash_at_s\": " << kCrashAtS
+       << ",\n  \"clients\": " << kClients << ",\n  \"systems\": [";
+  bool first_sys = true;
+  for (const auto& row : rows) {
+    const RunOutcome& o = *row.o;
+    json << (first_sys ? "\n    " : ",\n    ") << "{\"name\": " << jstr(row.name)
+         << ", \"baseline_fps\": " << jnum(o.baseline)
+         << ", \"dip_depth_fps\": " << jnum(o.dip_depth)
+         << ", \"recovered\": " << (o.recovered ? "true" : "false")
+         << ", \"mttr_s\": " << jnum(o.mttr_s)
+         << ", \"frames_lost\": " << jnum(o.frames_lost)
+         << ", \"state_lost\": " << o.r.fault.state_lost
+         << ", \"fetch_timeouts\": " << o.r.fault.fetch_timeouts
+         << ", \"fetch_retries\": " << o.r.fault.fetch_retries
+         << ", \"suspected\": " << o.r.fault.suspected
+         << ", \"respawns\": " << o.r.fault.respawns
+         << ", \"routing_failures\": " << o.r.fault.routing_failures
+         << ", \"tx_suppressed\": " << o.r.fault.tx_suppressed
+         << ", \"delivered_per_sec\": " << series_json(o.delivered) << "}";
+    first_sys = false;
+  }
+  json << "\n  ],\n  \"deterministic_rerun_identical\": " << (identical(sc, sc2) ? "true" : "false")
+       << ",\n  \"gates_failed\": " << failures << "\n}\n";
+  const char* out_path = "BENCH_fault_recovery.json";
+  if (write_text_file(out_path, json.str())) std::printf("wrote %s\n", out_path);
+
+  if (failures > 0) {
+    std::fprintf(stderr, "FAIL: %d gate(s) violated\n", failures);
+    return 1;
+  }
+  std::printf("all gates PASSED\n");
+  return 0;
+}

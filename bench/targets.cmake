@@ -22,6 +22,8 @@ mar_bench(fig11_hybrid_cloud)
 mar_bench(fig12_sidecar_all_e1)
 mar_bench(table1_headline)
 
+mar_bench(fault_recovery)
+
 mar_bench(ablation_scatterpp_parts)
 mar_bench(ablation_sidecar_threshold)
 mar_bench(ablation_app_aware)

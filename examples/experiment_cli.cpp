@@ -17,6 +17,15 @@
 //   --trace_out    write a Chrome trace-event JSON (Perfetto)
 //   --metrics_out  write span-derived Prometheus text from the tracer
 //   --trace-sample trace every Nth frame per client (default 1)
+//
+// Fault plane (strictly opt-in; see src/fault/fault_plan.h for the
+// plan grammar — times are relative to the measurement window start):
+//   --fault_plan    e.g. "crash@10s:stage=sift,replica=0"
+//   --heartbeat_ms  failover probe interval        (default 250)
+//   --suspicion_ms  missed-ack eviction timeout    (default 750)
+//   --respawn_ms    eviction -> respawn delay      (default 1000)
+// Any of the three timing knobs (or a fault plan with a crash/reboot)
+// enables heartbeat failover.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -59,6 +68,9 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   std::string placement_spec = "e2";
+  std::string fault_plan_text;
+  orchestra::FailoverConfig failover;
+  bool failover_requested = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -90,6 +102,17 @@ int main(int argc, char** argv) {
       metrics_path = next();
     } else if (arg == "--trace-sample") {
       cfg.trace_sample_every = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--fault_plan") {
+      fault_plan_text = next();
+    } else if (arg == "--heartbeat_ms") {
+      failover.heartbeat_interval = millis(std::atof(next()));
+      failover_requested = true;
+    } else if (arg == "--suspicion_ms") {
+      failover.suspicion_timeout = millis(std::atof(next()));
+      failover_requested = true;
+    } else if (arg == "--respawn_ms") {
+      failover.respawn_delay = millis(std::atof(next()));
+      failover_requested = true;
     } else if (arg == "--help") {
       std::printf("see the header of examples/experiment_cli.cpp for usage\n");
       return 0;
@@ -99,6 +122,23 @@ int main(int argc, char** argv) {
     }
   }
   cfg.placement = parse_placement(placement_spec);
+  if (!fault_plan_text.empty()) {
+    auto plan = fault::FaultPlan::parse(fault_plan_text);
+    if (!plan.is_ok()) {
+      std::fprintf(stderr, "--fault_plan: %s\n", plan.status().message().c_str());
+      return 2;
+    }
+    cfg.fault_plan = plan.value();
+    // Crash/reboot experiments are pointless without a detector to
+    // notice and repair them.
+    for (const auto& f : plan.value().faults) {
+      if (f.kind == fault::FaultKind::kInstanceCrash ||
+          f.kind == fault::FaultKind::kMachineReboot) {
+        failover_requested = true;
+      }
+    }
+  }
+  if (failover_requested) cfg.failover = failover;
   if (!trace_path.empty() || !metrics_path.empty()) {
     telemetry::Tracer::instance().set_enabled(true);
   }
@@ -125,6 +165,16 @@ int main(int argc, char** argv) {
                          Table::num(s.drop_ratio * 100.0, 1)});
   }
   per_service.print();
+
+  if (r.fault.enabled) {
+    Table fault_t({"injected", "suspected", "respawns", "route fails", "state lost",
+                   "fetch t/o", "tx suppressed"});
+    fault_t.add_row({std::to_string(r.fault.injected), std::to_string(r.fault.suspected),
+                     std::to_string(r.fault.respawns), std::to_string(r.fault.routing_failures),
+                     std::to_string(r.fault.state_lost), std::to_string(r.fault.fetch_timeouts),
+                     std::to_string(r.fault.tx_suppressed)});
+    fault_t.print();
+  }
 
   if (!out_path.empty()) {
     if (write_report(r, out_path)) {

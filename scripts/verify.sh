@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
-# Convenience verification: tier-1 tests + a traced quickstart run +
-# a live /metrics scrape.
+# Convenience verification: tier-1 tests + the fault-recovery gates +
+# a traced quickstart run + a live /metrics scrape.
 #
 # Builds (if needed), runs the full ctest suite, runs the quickstart
 # with --trace_out and fails if the trace JSON is missing, empty, or
@@ -23,6 +23,15 @@ cmake --build "$BUILD_DIR" -j"$(nproc 2>/dev/null || echo 2)"
 
 # Tier-1 gate: the full test suite.
 (cd "$BUILD_DIR" && ctest --output-on-failure -j2)
+
+# Fault-recovery gate: the crash experiment must pass all of its own
+# gates (scAtteR++ recovers faster and loses less than scAtteR, and a
+# same-seed rerun is bit-identical), recorded in its JSON.
+(cd "$BUILD_DIR/bench" && ./fault_recovery)
+FAULT_JSON="$BUILD_DIR/bench/BENCH_fault_recovery.json"
+grep -q '"gates_failed": 0' "$FAULT_JSON" || {
+  echo "verify: FAIL — fault-recovery gates violated (see $FAULT_JSON)" >&2; exit 1; }
+echo "verify: fault recovery OK"
 
 # Traced quickstart: outputs land under out/ (gitignored).
 OUT_DIR="$BUILD_DIR/out"

@@ -128,48 +128,70 @@ void MatchingService::process(wire::FramePacket pkt) {
 }
 
 void MatchingService::request_state(wire::FramePacket pkt) {
-  wire::FramePacket req;
-  req.header = pkt.header;
-  req.header.kind = wire::MessageKind::kStateFetchRequest;
-  req.header.stage = Stage::kSift;
-  req.header.payload_bytes = wire::sizes::kStateFetchReq;
-  req.header.reply_to = host().ingress();
-
-  const EndpointId sift_ep = env_.router->endpoint_of(pkt.header.sift_instance);
   PendingFetch pending;
   pending.client = pkt.header.client;
   pending.frame = pkt.header.frame;
   pending.pkt = std::move(pkt);
-  // Busy-wait with a deadline: while waiting, matching stays busy and
-  // its ingress drops new lsh results (the paper's backpressure loop).
-  pending.timeout_event = host().runtime().schedule_after(
-      host().costs().state_fetch_timeout, [this] {
-        if (!pending_) return;
-        ++fetch_timeouts_;
-        auto& tracer = telemetry::Tracer::instance();
-        if (tracer.enabled() && pending_->pkt.header.trace.active()) {
-          const auto now = host().runtime().now();
-          tracer.end(host().instance().value(), telemetry::spans::kStateFetch, now,
-                     pending_->client, pending_->frame, Stage::kMatching);
-          tracer.instant(host().instance().value(), telemetry::spans::kFetchTimeout, now,
-                         pending_->client, pending_->frame, Stage::kMatching);
-        }
-        pending_.reset();
-        host().finish_current();
-      });
   pending_ = std::move(pending);
   {
     // The state-fetch round trip (matching -> sift -> matching) is the
     // scAtteR bottleneck the paper calls out; record it as its own span
     // on matching's track.
     auto& tracer = telemetry::Tracer::instance();
-    if (tracer.enabled() && req.header.trace.active()) {
+    if (tracer.enabled() && pending_->pkt.header.trace.active()) {
       tracer.begin(host().instance().value(), telemetry::spans::kStateFetch,
-                   host().runtime().now(), req.header.client, req.header.frame,
+                   host().runtime().now(), pending_->client, pending_->frame,
                    Stage::kMatching);
     }
   }
+  send_fetch();
+}
+
+void MatchingService::send_fetch() {
+  wire::FramePacket req;
+  req.header = pending_->pkt.header;
+  req.header.kind = wire::MessageKind::kStateFetchRequest;
+  req.header.stage = Stage::kSift;
+  req.header.payload_bytes = wire::sizes::kStateFetchReq;
+  req.header.reply_to = host().ingress();
+
+  // Re-resolved on every attempt: after a failover the pinned instance
+  // id maps to the respawned replica (whose store is empty, so the
+  // fetch still misses — state died with the process).
+  const EndpointId sift_ep = env_.router->endpoint_of(req.header.sift_instance);
+  // Busy-wait with a deadline: while waiting, matching stays busy and
+  // its ingress drops new lsh results (the paper's backpressure loop).
+  pending_->timeout_event = host().runtime().schedule_after(
+      host().costs().state_fetch_timeout, [this] { on_fetch_timeout(); });
   host().send(sift_ep, std::move(req));
+}
+
+void MatchingService::on_fetch_timeout() {
+  if (!pending_) return;
+  const auto& costs = host().costs();
+  if (pending_->attempts < costs.state_fetch_retries) {
+    // Bounded retry with backoff: the response (or the replica) may
+    // just be late. The frame keeps occupying matching while it waits.
+    ++pending_->attempts;
+    ++fetch_retries_;
+    pending_->timeout_event = host().runtime().schedule_after(
+        costs.state_fetch_backoff, [this] {
+          if (pending_) send_fetch();
+        });
+    return;
+  }
+  // Deadline + retry budget exhausted: deliberately fail the frame.
+  ++fetch_timeouts_;
+  auto& tracer = telemetry::Tracer::instance();
+  if (tracer.enabled() && pending_->pkt.header.trace.active()) {
+    const auto now = host().runtime().now();
+    tracer.end(host().instance().value(), telemetry::spans::kStateFetch, now,
+               pending_->client, pending_->frame, Stage::kMatching);
+    tracer.instant(host().instance().value(), telemetry::spans::kFetchTimeout, now,
+                   pending_->client, pending_->frame, Stage::kMatching);
+  }
+  pending_.reset();
+  host().finish_current();
 }
 
 bool MatchingService::consume_inline(wire::FramePacket& pkt) {

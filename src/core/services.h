@@ -53,6 +53,16 @@ class SiftService final : public dsp::Servicelet {
   [[nodiscard]] const dsp::StateStore* store() const { return store_.get(); }
   [[nodiscard]] std::uint64_t fetch_hits() const { return fetch_hits_; }
   [[nodiscard]] std::uint64_t fetch_misses() const { return fetch_misses_; }
+  // Stored entries dropped because the replica crashed (scAtteR only).
+  [[nodiscard]] std::uint64_t state_lost() const {
+    return store_ ? store_->lost_to_crash() : 0;
+  }
+
+  // Crash semantics: the store dies with the process. Every in-flight
+  // frame pinned to this replica will now miss its state fetch.
+  void on_killed() override {
+    if (store_) store_->clear();
+  }
 
  protected:
   void on_attached() override;
@@ -84,11 +94,15 @@ class MatchingService final : public dsp::Servicelet {
   void process(wire::FramePacket pkt) override;
   bool consume_inline(wire::FramePacket& pkt) override;
 
-  // scAtteR telemetry: fetches that never got a response in time.
+  // scAtteR telemetry: fetches that exhausted their deadline + retry
+  // budget (the frame is failed), and retries attempted.
   [[nodiscard]] std::uint64_t fetch_timeouts() const { return fetch_timeouts_; }
+  [[nodiscard]] std::uint64_t fetch_retries() const { return fetch_retries_; }
 
  private:
   void request_state(wire::FramePacket pkt);
+  void send_fetch();        // (re)send the pending fetch, arming its deadline
+  void on_fetch_timeout();  // deadline hit: retry with backoff or fail the frame
   void finish_frame(wire::FramePacket pkt);
   void emit_result(const wire::FramePacket& pkt);
 
@@ -97,11 +111,13 @@ class MatchingService final : public dsp::Servicelet {
     FrameId frame;
     wire::FramePacket pkt;      // the lsh output being completed
     sim::EventId timeout_event;
+    std::uint32_t attempts = 0;
   };
 
   const PipelineEnv& env_;
   std::optional<PendingFetch> pending_;
   std::uint64_t fetch_timeouts_ = 0;
+  std::uint64_t fetch_retries_ = 0;
 };
 
 // Factory used by deployments: builds the right servicelet for `stage`.

@@ -27,18 +27,24 @@ ServiceHost::ServiceHost(Runtime& rt, hw::Machine& machine, InstanceId instance,
 }
 
 ServiceHost::~ServiceHost() {
-  machine_.memory().free(base_memory_ + app_memory_);
+  if (!decommissioned_) {
+    machine_.memory().free(base_memory_ + app_memory_);
+    // Unbind the ingress handler: it captures `this`, and datagrams can
+    // still be in flight toward this endpoint when a replica is
+    // replaced (the network drops deliveries to unbound endpoints).
+    rt_.rebind_endpoint(ingress_, nullptr);
+  }
 }
 
 void ServiceHost::alloc_app_memory(std::uint64_t bytes) {
   app_memory_ += bytes;
-  machine_.memory().allocate(bytes);
+  if (!decommissioned_) machine_.memory().allocate(bytes);
 }
 
 void ServiceHost::free_app_memory(std::uint64_t bytes) {
   const std::uint64_t actual = bytes > app_memory_ ? app_memory_ : bytes;
   app_memory_ -= actual;
-  machine_.memory().free(actual);
+  if (!decommissioned_) machine_.memory().free(actual);
 }
 
 void ServiceHost::handle_datagram(wire::FramePacket pkt) {
@@ -218,6 +224,7 @@ void ServiceHost::finish_current() {
 }
 
 void ServiceHost::kill() {
+  if (down_) return;
   down_ = true;
   busy_ = false;
   if (config_.mode == IngressMode::kSidecar) {
@@ -229,11 +236,23 @@ void ServiceHost::kill() {
     }
   }
   queue_.clear();
+  // The crashed process keeps nothing: the servicelet drops any
+  // in-memory state (scAtteR's sift store empties here).
+  servicelet_->on_killed();
 }
 
 void ServiceHost::restart() {
+  if (decommissioned_) return;
   down_ = false;
   pump();
+}
+
+void ServiceHost::decommission() {
+  kill();
+  if (decommissioned_) return;
+  machine_.memory().free(base_memory_ + app_memory_);
+  rt_.rebind_endpoint(ingress_, nullptr);
+  decommissioned_ = true;
 }
 
 }  // namespace mar::dsp

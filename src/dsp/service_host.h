@@ -44,6 +44,8 @@ struct HostStats {
   std::uint64_t dropped_stale = 0;     // scAtteR++: exceeded threshold at dequeue
   std::uint64_t dropped_overflow = 0;  // scAtteR++: queue capacity exceeded
   std::uint64_t dropped_down = 0;      // replica was down (failure injection)
+  std::uint64_t tx_suppressed = 0;     // sends attempted while down (dead replica)
+  std::uint64_t tx_unroutable = 0;     // sends to an unresolved stage (no live replica)
 
   telemetry::Histogram queue_time_ms;    // sidecar queueing delay
   telemetry::Histogram process_time_ms;  // dispatch -> finish (incl. RPC overhead)
@@ -60,6 +62,7 @@ struct HostStats {
   void reset_window() {
     received = dispatched = completed = 0;
     dropped_busy = dropped_stale = dropped_overflow = dropped_down = 0;
+    tx_suppressed = tx_unroutable = 0;
     queue_time_ms.reset();
     process_time_ms.reset();
   }
@@ -122,6 +125,20 @@ class ServiceHost {
   // spent at this stage so far (the telemetry scAtteR++ attaches to
   // the data's state).
   void send(EndpointId to, wire::FramePacket pkt) {
+    // A dead process emits nothing: compute callbacks that were already
+    // in flight when the replica was killed get their sends swallowed
+    // (counted, so failure analyses can see them).
+    if (down_) {
+      ++stats_.tx_suppressed;
+      return;
+    }
+    // The router found no live replica for the next hop: the frame is
+    // deliberately failed here rather than sent into the void.
+    if (!to.valid()) {
+      ++stats_.tx_unroutable;
+      trace_instant(telemetry::spans::kDropDown, pkt.header, rt_.now());
+      return;
+    }
     if (config_.mode == IngressMode::kSidecar && busy_ && !pkt.hops.empty()) {
       wire::HopRecord& hop = pkt.hops.back();
       if (hop.stage == config_.stage && hop.process_time == 0) {
@@ -137,8 +154,14 @@ class ServiceHost {
 
   // --- failure injection ---------------------------------------------
   [[nodiscard]] bool is_down() const { return down_; }
-  void kill();     // stop handling traffic, drop queue
-  void restart();  // resume handling traffic
+  void kill();     // stop handling traffic, drop queue, drop servicelet state
+  void restart();  // resume handling traffic (no-op once decommissioned)
+  // Failover eviction: permanently retire this replica — kill it,
+  // return its resident memory to the machine, and unbind the ingress
+  // handler. The object stays alive (parked by the orchestrator) only
+  // to absorb stray event-loop callbacks already scheduled against it.
+  void decommission();
+  [[nodiscard]] bool is_decommissioned() const { return decommissioned_; }
 
   // --- telemetry -------------------------------------------------------
   [[nodiscard]] HostStats& stats() { return stats_; }
@@ -196,6 +219,7 @@ class ServiceHost {
 
   bool busy_ = false;
   bool down_ = false;
+  bool decommissioned_ = false;
   bool pump_scheduled_ = false;
   SimTime dispatch_ts_ = 0;
   // Header of the in-flight packet, kept so finish_current() can close

@@ -35,6 +35,13 @@ class Servicelet {
     return false;
   }
 
+  // Called by the host when the replica is killed (crash injection /
+  // failover eviction). A crashed process keeps nothing: stateful
+  // servicelets drop their in-memory state here — this is what makes
+  // scAtteR's in-sift frame state die with the replica while
+  // scAtteR++'s in-frame state survives.
+  virtual void on_killed() {}
+
  protected:
   virtual void on_attached() {}
   [[nodiscard]] ServiceHost& host() { return *host_; }

@@ -11,7 +11,11 @@ constexpr SimDuration kSweepInterval = millis(250.0);
 StateStore::StateStore(ServiceHost& host, SimDuration timeout, std::uint64_t entry_bytes)
     : host_(host), timeout_(timeout), entry_bytes_(entry_bytes) {}
 
-StateStore::~StateStore() { *alive_ = false; }
+StateStore::~StateStore() {
+  *alive_ = false;
+  // Return the accounted bytes of any entries still resident.
+  host_.free_app_memory(entry_bytes_ * entries_.size());
+}
 
 void StateStore::put(ClientId client, FrameId frame) {
   auto [it, inserted] = entries_.try_emplace(key(client, frame), host_.runtime().now() + timeout_);
@@ -41,6 +45,15 @@ bool StateStore::take(ClientId client, FrameId frame) {
   entries_.erase(it);
   host_.free_app_memory(entry_bytes_);
   return true;
+}
+
+void StateStore::clear() {
+  host_.free_app_memory(entry_bytes_ * entries_.size());
+  lost_to_crash_ += entries_.size();
+  entries_.clear();
+  // A pending sweep may still fire; it finds an empty map and
+  // unschedules itself (sweep_scheduled_ stays true until then so a
+  // put() in the meantime does not double-schedule).
 }
 
 void StateStore::sweep() {

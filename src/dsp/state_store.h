@@ -34,10 +34,18 @@ class StateStore {
   // fetched, or evicted by timeout).
   bool take(ClientId client, FrameId frame);
 
+  // Crash path: drop every entry at once (the process died). Frees the
+  // accounted memory; entries lost this way are counted separately from
+  // timeout orphans. Subsequent take() calls miss, failing the frames
+  // that depended on the state.
+  void clear();
+
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] std::uint64_t bytes() const { return entry_bytes_ * entries_.size(); }
   // Entries that timed out without ever being fetched.
   [[nodiscard]] std::uint64_t orphaned() const { return orphaned_; }
+  // Entries dropped by clear() — i.e. lost to a replica crash.
+  [[nodiscard]] std::uint64_t lost_to_crash() const { return lost_to_crash_; }
 
  private:
   static std::uint64_t key(ClientId c, FrameId f) {
@@ -51,6 +59,7 @@ class StateStore {
   std::uint64_t entry_bytes_;
   std::unordered_map<std::uint64_t, SimTime> entries_;  // key -> expiry
   std::uint64_t orphaned_ = 0;
+  std::uint64_t lost_to_crash_ = 0;
   bool sweep_scheduled_ = false;
   // Guards the sweep timer against firing after destruction.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "core/services.h"
 #include "telemetry/histogram.h"
 
 namespace mar::expt {
@@ -89,6 +90,7 @@ void Experiment::build() {
                                              config_.placement.resolve(*testbed_),
                                              config_.costs, config_.features);
   if (config_.monitor) testbed_->orchestrator().start_monitor(seconds(1.0));
+  if (config_.failover) testbed_->orchestrator().enable_failover(*config_.failover);
 
   if (config_.slo) {
     slo_ = std::make_unique<SloWatchdog>(*config_.slo, "pipeline", config_.num_clients);
@@ -137,6 +139,13 @@ void Experiment::run() {
   for (auto& acc : replica_memory_bytes_) acc.reset();
   window_start_ = testbed_->loop().now();
   if (config_.utilization_sample_interval > 0) start_utilization_sampling();
+  if (config_.fault_plan && !config_.fault_plan->empty()) {
+    // Armed at the window start: fault times in the plan are relative
+    // to the beginning of the measurement window.
+    injector_ =
+        std::make_unique<fault::FaultInjector>(testbed_->runtime(), testbed_->orchestrator());
+    injector_->arm(*config_.fault_plan);
+  }
 
   testbed_->loop().run_until(config_.warmup + config_.duration);
   for (auto& c : clients_) c->stop();
@@ -310,6 +319,29 @@ ExperimentResult Experiment::result() const {
     res.slo.window_fps = slo_->window_fps();
     res.slo.window_p99_ms = slo_->window_p99_ms();
   }
+
+  // Fault-plane accounting: dead (retired) replicas still carry their
+  // counters — crashes are exactly where those numbers matter.
+  res.fault.enabled = injector_ != nullptr || config_.failover.has_value();
+  if (injector_ != nullptr) res.fault.injected = injector_->injected();
+  res.fault.suspected = orch.failover_suspected();
+  res.fault.respawns = orch.failover_respawns();
+  res.fault.routing_failures = orch.routing_failures();
+  const auto account = [&res](const dsp::ServiceHost& host) {
+    res.fault.tx_suppressed += host.stats().tx_suppressed;
+    res.fault.tx_unroutable += host.stats().tx_unroutable;
+    auto& servicelet = const_cast<dsp::ServiceHost&>(host).servicelet();
+    if (const auto* sift = dynamic_cast<const core::SiftService*>(&servicelet)) {
+      res.fault.state_lost += sift->state_lost();
+    } else if (const auto* match = dynamic_cast<const core::MatchingService*>(&servicelet)) {
+      res.fault.fetch_timeouts += match->fetch_timeouts();
+      res.fault.fetch_retries += match->fetch_retries();
+    }
+  };
+  for (std::size_t i = 0; i < orch.instance_count(); ++i) {
+    account(orch.host(InstanceId{static_cast<std::uint32_t>(i)}));
+  }
+  for (const auto& dead : orch.retired_hosts()) account(*dead);
   return res;
 }
 

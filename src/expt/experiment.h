@@ -15,6 +15,8 @@
 #include "expt/deployment.h"
 #include "expt/slo.h"
 #include "expt/testbed.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
 #include "hw/cost_model.h"
 #include "telemetry/stats.h"
 
@@ -82,6 +84,13 @@ struct ExperimentConfig {
   // When set, every delivered frame feeds an SLO watchdog (scope
   // "pipeline") and the result carries its final SloReport.
   std::optional<SloTargets> slo;
+  // Fault plane (both strictly opt-in: leaving them unset changes
+  // nothing about the run — no extra events, no extra RNG draws).
+  // Faults fire at their scripted times relative to the start of the
+  // measurement window.
+  std::optional<fault::FaultPlan> fault_plan;
+  // Heartbeat-driven failure detection + respawn in the orchestrator.
+  std::optional<orchestra::FailoverConfig> failover;
 };
 
 struct ServiceReport {
@@ -133,6 +142,21 @@ struct SloReport {
   double window_p99_ms = 0.0;
 };
 
+// What the fault plane did to the run (counted over the measurement
+// window, dead replicas included).
+struct FaultReport {
+  bool enabled = false;           // a plan was armed or failover was on
+  std::uint64_t injected = 0;     // faults fired by the injector
+  std::uint64_t suspected = 0;    // replicas evicted after missed heartbeats
+  std::uint64_t respawns = 0;     // replacements placed on surviving machines
+  std::uint64_t routing_failures = 0;  // resolve() found zero live replicas
+  std::uint64_t state_lost = 0;        // sift store entries dropped by crashes
+  std::uint64_t fetch_timeouts = 0;    // frames failed waiting on fetched state
+  std::uint64_t fetch_retries = 0;     // state-fetch retry attempts
+  std::uint64_t tx_suppressed = 0;     // sends swallowed by dead replicas
+  std::uint64_t tx_unroutable = 0;     // sends failed for lack of a next hop
+};
+
 struct ExperimentResult {
   double fps_mean = 0.0;    // per-client successful FPS, mean over clients
   double fps_median = 0.0;  // median over clients
@@ -147,6 +171,7 @@ struct ExperimentResult {
   // Populated when ExperimentConfig::utilization_sample_interval > 0.
   std::vector<MachineTimeline> timelines;
   SloReport slo;
+  FaultReport fault;
 
   // Sum of a per-service metric across replicas of `stage`.
   [[nodiscard]] double stage_mem_gb(Stage stage) const;
@@ -201,6 +226,7 @@ class Experiment {
   std::vector<telemetry::Accumulator> replica_memory_bytes_;
   std::vector<MachineSampler> machine_samplers_;
   std::unique_ptr<SloWatchdog> slo_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   SimTime window_start_ = 0;
   bool ran_ = false;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);

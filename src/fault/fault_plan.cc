@@ -1,0 +1,219 @@
+#include "fault/fault_plan.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace mar::fault {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+bool parse_double(std::string_view s, double& out) {
+  const std::string tmp(s);
+  char* end = nullptr;
+  out = std::strtod(tmp.c_str(), &end);
+  return end != tmp.c_str() && *end == '\0';
+}
+
+// "<float>(us|ms|s)" -> SimDuration.
+bool parse_time(std::string_view s, SimDuration& out) {
+  s = trim(s);
+  double scale = 0.0;
+  if (s.size() > 2 && s.substr(s.size() - 2) == "us") {
+    scale = static_cast<double>(kMicrosecond);
+    s.remove_suffix(2);
+  } else if (s.size() > 2 && s.substr(s.size() - 2) == "ms") {
+    scale = static_cast<double>(kMillisecond);
+    s.remove_suffix(2);
+  } else if (s.size() > 1 && s.back() == 's') {
+    scale = static_cast<double>(kSecond);
+    s.remove_suffix(1);
+  } else {
+    return false;
+  }
+  double v = 0.0;
+  if (!parse_double(s, v)) return false;
+  out = static_cast<SimDuration>(v * scale);
+  return true;
+}
+
+bool parse_kind(std::string_view s, FaultKind& out) {
+  if (s == "crash") out = FaultKind::kInstanceCrash;
+  else if (s == "reboot") out = FaultKind::kMachineReboot;
+  else if (s == "blackout") out = FaultKind::kLinkBlackout;
+  else if (s == "degrade") out = FaultKind::kLinkDegrade;
+  else if (s == "lossburst") out = FaultKind::kLinkLossBurst;
+  else if (s == "brownout") out = FaultKind::kBrownout;
+  else return false;
+  return true;
+}
+
+bool parse_stage(std::string_view s, Stage& out) {
+  for (int i = 0; i <= static_cast<int>(Stage::kResult); ++i) {
+    const auto stage = static_cast<Stage>(i);
+    if (s == to_string(stage)) {
+      out = stage;
+      return true;
+    }
+  }
+  return false;
+}
+
+Status bad(std::string_view entry, const std::string& why) {
+  return Status{StatusCode::kInvalidArgument,
+                "fault plan entry '" + std::string(entry) + "': " + why};
+}
+
+std::string time_str(SimDuration d) {
+  std::ostringstream os;
+  if (d % kSecond == 0) {
+    os << d / kSecond << "s";
+  } else {
+    os << to_millis(d) << "ms";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kInstanceCrash:
+      return "crash";
+    case FaultKind::kMachineReboot:
+      return "reboot";
+    case FaultKind::kLinkBlackout:
+      return "blackout";
+    case FaultKind::kLinkDegrade:
+      return "degrade";
+    case FaultKind::kLinkLossBurst:
+      return "lossburst";
+    case FaultKind::kBrownout:
+      return "brownout";
+  }
+  return "?";
+}
+
+Result<FaultPlan> FaultPlan::parse(std::string_view text) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t end = text.find_first_of(";\n", pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view entry = trim(text.substr(pos, end - pos));
+    pos = end + 1;
+    if (entry.empty()) {
+      if (end == text.size()) break;
+      continue;
+    }
+
+    FaultSpec spec;
+    const std::size_t at_pos = entry.find('@');
+    if (at_pos == std::string_view::npos) return bad(entry, "missing '@<time>'");
+    if (!parse_kind(trim(entry.substr(0, at_pos)), spec.kind)) {
+      return bad(entry, "unknown fault kind");
+    }
+
+    std::string_view rest = entry.substr(at_pos + 1);
+    std::string_view timing = rest;
+    std::string_view argstr;
+    const std::size_t colon = rest.find(':');
+    if (colon != std::string_view::npos) {
+      timing = rest.substr(0, colon);
+      argstr = rest.substr(colon + 1);
+    }
+    const std::size_t plus = timing.find('+');
+    if (plus != std::string_view::npos) {
+      if (!parse_time(timing.substr(plus + 1), spec.duration)) {
+        return bad(entry, "malformed duration");
+      }
+      timing = timing.substr(0, plus);
+    }
+    if (!parse_time(timing, spec.at)) return bad(entry, "malformed time");
+
+    // key=value args, comma-separated.
+    std::size_t apos = 0;
+    while (apos < argstr.size()) {
+      std::size_t aend = argstr.find(',', apos);
+      if (aend == std::string_view::npos) aend = argstr.size();
+      const std::string_view kv = trim(argstr.substr(apos, aend - apos));
+      apos = aend + 1;
+      if (kv.empty()) continue;
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string_view::npos) return bad(entry, "argument without '='");
+      const std::string_view key = trim(kv.substr(0, eq));
+      const std::string_view val = trim(kv.substr(eq + 1));
+      double num = 0.0;
+      if (key == "stage") {
+        if (!parse_stage(val, spec.stage)) return bad(entry, "unknown stage");
+      } else if (key == "replica") {
+        if (!parse_double(val, num)) return bad(entry, "malformed replica");
+        spec.replica = static_cast<std::uint32_t>(num);
+      } else if (key == "machine") {
+        if (!parse_double(val, num)) return bad(entry, "malformed machine");
+        spec.machine_a = static_cast<std::uint32_t>(num);
+      } else if (key == "link") {
+        const std::size_t dash = val.find('-');
+        double a = 0.0;
+        double b = 0.0;
+        if (dash == std::string_view::npos || !parse_double(val.substr(0, dash), a) ||
+            !parse_double(val.substr(dash + 1), b)) {
+          return bad(entry, "malformed link (want a-b)");
+        }
+        spec.machine_a = static_cast<std::uint32_t>(a);
+        spec.machine_b = static_cast<std::uint32_t>(b);
+      } else if (key == "loss") {
+        if (!parse_double(val, spec.loss_rate)) return bad(entry, "malformed loss");
+      } else if (key == "latency") {
+        if (!parse_time(val, spec.extra_latency)) return bad(entry, "malformed latency");
+      } else if (key == "frac") {
+        if (!parse_double(val, spec.capacity_fraction)) return bad(entry, "malformed frac");
+      } else {
+        return bad(entry, "unknown key '" + std::string(key) + "'");
+      }
+    }
+    plan.faults.push_back(spec);
+    if (end == text.size()) break;
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const FaultSpec& f : faults) {
+    if (!first) os << "; ";
+    first = false;
+    os << fault::to_string(f.kind) << "@" << time_str(f.at);
+    if (f.duration > 0) os << "+" << time_str(f.duration);
+    switch (f.kind) {
+      case FaultKind::kInstanceCrash:
+        os << ":stage=" << mar::to_string(f.stage) << ",replica=" << f.replica;
+        break;
+      case FaultKind::kMachineReboot:
+        os << ":machine=" << f.machine_a;
+        break;
+      case FaultKind::kLinkBlackout:
+        os << ":link=" << f.machine_a << "-" << f.machine_b;
+        break;
+      case FaultKind::kLinkDegrade:
+        os << ":link=" << f.machine_a << "-" << f.machine_b << ",loss=" << f.loss_rate
+           << ",latency=" << time_str(f.extra_latency);
+        break;
+      case FaultKind::kLinkLossBurst:
+        os << ":link=" << f.machine_a << "-" << f.machine_b << ",loss=" << f.loss_rate;
+        break;
+      case FaultKind::kBrownout:
+        os << ":machine=" << f.machine_a << ",frac=" << f.capacity_fraction;
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mar::fault

@@ -1,0 +1,85 @@
+// Scripted fault plans.
+//
+// A FaultPlan is an ordered list of faults to inject at fixed virtual
+// times, so a failure experiment is exactly as deterministic as the
+// run it perturbs: same seed + same plan => bit-identical event
+// trajectory. Plans have a small text grammar so the CLI can take
+// them on the command line (and experiments can embed them):
+//
+//   entry    := kind '@' time ['+' duration] [':' key '=' value {',' ...}]
+//   plan     := entry {';' entry}           (newlines also separate)
+//   time     := float ('ms' | 's' | 'us')
+//
+// Kinds and their keys:
+//   crash     — kill one replica.           stage=<name>, replica=<ordinal>
+//   reboot    — machine down, then cold boot. machine=<index>   (+duration)
+//   blackout  — link drops everything.       link=<a>-<b>       (+duration)
+//   degrade   — add loss/latency to a link.  link=<a>-<b>, loss=<p>, latency=<time>
+//   lossburst — loss only, latency intact.   link=<a>-<b>, loss=<p>
+//   brownout  — shrink a machine's CPU pool. machine=<index>, frac=<0..1>
+//
+// Example: "crash@10s:stage=sift,replica=0; degrade@5s+2s:link=0-1,loss=0.05"
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "common/types.h"
+
+namespace mar::fault {
+
+enum class FaultKind : std::uint8_t {
+  kInstanceCrash,
+  kMachineReboot,
+  kLinkBlackout,
+  kLinkDegrade,
+  kLinkLossBurst,
+  kBrownout,
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kInstanceCrash;
+  // Injection time, relative to when the injector is armed (for
+  // experiments: the start of the measurement window).
+  SimDuration at = 0;
+  // Fault window; faults without a natural window (crash) ignore it.
+  SimDuration duration = 0;
+
+  // crash: which replica of which stage (ordinal among that stage's
+  // instances, in deployment order).
+  Stage stage = Stage::kSift;
+  std::uint32_t replica = 0;
+
+  // reboot / brownout: the machine; link faults: both ends.
+  std::uint32_t machine_a = 0;
+  std::uint32_t machine_b = 0;
+
+  // degrade / lossburst: extra per-datagram loss probability and added
+  // one-way latency (degrade only).
+  double loss_rate = 0.0;
+  SimDuration extra_latency = 0;
+
+  // brownout: fraction of CPU capacity that survives, (0, 1].
+  double capacity_fraction = 1.0;
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+
+  [[nodiscard]] bool empty() const { return faults.empty(); }
+
+  // Parse the text grammar above. Unknown kinds/keys and malformed
+  // times are errors (kInvalidArgument) naming the offending entry.
+  [[nodiscard]] static Result<FaultPlan> parse(std::string_view text);
+
+  // Round-trip back to the grammar (stable, for logging/JSON).
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace mar::fault

@@ -1,0 +1,121 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+#include <string>
+
+#include "hw/machine.h"
+#include "sim/network.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
+
+namespace mar::fault {
+namespace {
+
+telemetry::Gauge& active_gauge() {
+  return telemetry::MetricRegistry::instance().gauge(
+      "mar_fault_active", "windowed faults currently in effect");
+}
+
+void count_injected(FaultKind kind) {
+  telemetry::MetricRegistry::instance()
+      .counter("mar_fault_injected_total", "faults injected, by kind",
+               {{"kind", std::string(to_string(kind))}})
+      .inc();
+}
+
+}  // namespace
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  for (const FaultSpec& spec : plan.faults) {
+    rt_.schedule_after(spec.at, [this, spec, alive = alive_] {
+      if (*alive) inject(spec);
+    });
+  }
+}
+
+void FaultInjector::window_opened(const FaultSpec& spec) {
+  ++active_;
+  active_gauge().add(1.0);
+  auto& tracer = telemetry::Tracer::instance();
+  if (tracer.enabled()) {
+    tracer.complete(telemetry::kFaultTrack, telemetry::spans::kFault, rt_.now(),
+                    spec.duration, ClientId{0}, FrameId{0}, spec.stage,
+                    static_cast<double>(spec.kind));
+  }
+}
+
+void FaultInjector::window_closed() {
+  --active_;
+  active_gauge().add(-1.0);
+}
+
+void FaultInjector::inject(const FaultSpec& spec) {
+  ++injected_;
+  count_injected(spec.kind);
+
+  switch (spec.kind) {
+    case FaultKind::kInstanceCrash: {
+      const auto replicas = orch_.instances_of(spec.stage);
+      if (spec.replica >= replicas.size()) return;
+      orch_.kill_instance(replicas[spec.replica]);
+      auto& tracer = telemetry::Tracer::instance();
+      if (tracer.enabled()) {
+        tracer.instant(telemetry::kFaultTrack, telemetry::spans::kFault, rt_.now(),
+                       ClientId{0}, FrameId{0}, spec.stage,
+                       static_cast<double>(spec.kind));
+      }
+      return;
+    }
+
+    case FaultKind::kMachineReboot: {
+      // reboot_machine owns the whole window (down, then cold boot).
+      orch_.reboot_machine(MachineId{spec.machine_a}, spec.duration);
+      window_opened(spec);
+      rt_.schedule_after(spec.duration, [this, alive = alive_] {
+        if (*alive) window_closed();
+      });
+      return;
+    }
+
+    case FaultKind::kLinkBlackout:
+    case FaultKind::kLinkDegrade:
+    case FaultKind::kLinkLossBurst: {
+      const MachineId a{spec.machine_a};
+      const MachineId b{spec.machine_b};
+      sim::SimNetwork& net = rt_.network();
+      sim::LinkModel model = net.base_link(a, b);
+      if (spec.kind == FaultKind::kLinkBlackout) {
+        model.loss_rate = 1.0;
+      } else {
+        model.loss_rate = std::min(1.0, model.loss_rate + spec.loss_rate);
+        if (spec.kind == FaultKind::kLinkDegrade) model.latency += spec.extra_latency;
+      }
+      net.set_link_override(a, b, model);
+      window_opened(spec);
+      rt_.schedule_after(spec.duration, [this, a, b, alive = alive_] {
+        if (!*alive) return;
+        rt_.network().clear_link_override(a, b);
+        window_closed();
+      });
+      return;
+    }
+
+    case FaultKind::kBrownout: {
+      hw::ResourcePool& cpu = orch_.machine(MachineId{spec.machine_a}).cpu();
+      const std::uint32_t full = cpu.capacity();
+      const double frac = std::clamp(spec.capacity_fraction, 0.0, 1.0);
+      const auto reduced = std::max<std::uint32_t>(
+          1, static_cast<std::uint32_t>(static_cast<double>(full) * frac));
+      cpu.set_capacity(reduced);
+      window_opened(spec);
+      rt_.schedule_after(spec.duration, [this, spec, full, alive = alive_] {
+        if (!*alive) return;
+        orch_.machine(MachineId{spec.machine_a}).cpu().set_capacity(full);
+        window_closed();
+      });
+      return;
+    }
+  }
+}
+
+}  // namespace mar::fault

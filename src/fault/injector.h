@@ -1,0 +1,66 @@
+// FaultInjector: plays a FaultPlan against a running deployment.
+//
+// Armed once (usually at the start of the measurement window), it
+// schedules every fault on the simulation event loop at its scripted
+// virtual time. It draws no randomness of its own and perturbs
+// nothing until a fault fires, so a run with an empty plan is
+// bit-identical to a run without an injector, and two runs with the
+// same seed + plan are bit-identical to each other.
+//
+// Fault semantics:
+//   crash     -> Orchestrator::kill_instance (recovery, if any, comes
+//                from the watchdog or the heartbeat failover path)
+//   reboot    -> Orchestrator::reboot_machine (instances cold-boot per
+//                the cost model's reboot_cold_start when it returns)
+//   blackout  -> link override with loss_rate = 1.0 for the window
+//   degrade   -> link override adding loss and latency for the window
+//   lossburst -> link override adding loss only
+//   brownout  -> ResourcePool::set_capacity to a fraction of the CPU
+//                pool for the window (floor of one core)
+//
+// Observability: every injected fault bumps
+// mar_fault_injected_total{kind=...}; windowed faults raise the
+// mar_fault_active gauge for their duration and emit a complete span
+// on the fault-plane trace track.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "dsp/runtime.h"
+#include "fault/fault_plan.h"
+#include "orchestra/orchestrator.h"
+
+namespace mar::fault {
+
+class FaultInjector {
+ public:
+  FaultInjector(dsp::SimRuntime& rt, orchestra::Orchestrator& orch) : rt_(rt), orch_(orch) {}
+  ~FaultInjector() { *alive_ = false; }
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Schedule every fault in `plan` relative to now. May be called once
+  // per plan; faults from multiple arm() calls coexist. Windowed
+  // faults on the same link/machine must not overlap within a plan
+  // (the restore would clobber the other window's baseline).
+  void arm(const FaultPlan& plan);
+
+  // Telemetry (mirrors the registry metrics, for direct assertions).
+  [[nodiscard]] std::uint64_t injected() const { return injected_; }
+  [[nodiscard]] std::uint64_t active_windows() const { return active_; }
+
+ private:
+  void inject(const FaultSpec& spec);
+  void window_opened(const FaultSpec& spec);
+  void window_closed();
+
+  dsp::SimRuntime& rt_;
+  orchestra::Orchestrator& orch_;
+  std::uint64_t injected_ = 0;
+  std::uint64_t active_ = 0;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace mar::fault

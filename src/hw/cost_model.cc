@@ -30,6 +30,15 @@ CostModel CostModel::standard() {
   m.sidecar_client_buffer_bytes = 1 * GiB;
 
   m.recognition_failure_prob = 0.10;
+
+  // Fault plane: a respawned container needs weights + CUDA context
+  // (~600 ms on the testbed's servers); a machine reboot costs on the
+  // order of an OS boot. Retries default off so the no-fault event
+  // trajectory is unchanged.
+  m.instance_cold_start = millis(600.0);
+  m.reboot_cold_start = seconds(2.0);
+  m.state_fetch_retries = 0;
+  m.state_fetch_backoff = millis(4.0);
   return m;
 }
 

@@ -68,6 +68,22 @@ class CostModel {
   // (insufficient matches / pose rejected), independent of load.
   double recognition_failure_prob = 0.0;
 
+  // --- fault / recovery costs ---------------------------------------
+  // Cold start of a (re)spawned service instance: container pull,
+  // process init, CUDA context creation. Charged by the orchestrator's
+  // failover respawn and by post-reboot instance restarts.
+  SimDuration instance_cold_start = 0;
+  // Machine power-cycle + OS boot before any instance can restart
+  // (added by the fault injector to a reboot's outage window).
+  SimDuration reboot_cold_start = 0;
+  // Bounded retry of matching's state fetch after a timeout. 0 keeps
+  // the original fail-on-first-timeout behaviour (and the original
+  // event/RNG trajectory); each retry re-resolves the pinned sift
+  // replica and waits another state_fetch_timeout.
+  std::uint32_t state_fetch_retries = 0;
+  // Backoff between a fetch timeout and its retry.
+  SimDuration state_fetch_backoff = 0;
+
  private:
   std::array<StageCost, kNumStages> stages_{};
 };

@@ -37,6 +37,17 @@ void ResourcePool::release(std::uint32_t units) {
   }
 }
 
+void ResourcePool::set_capacity(std::uint32_t capacity) {
+  account();
+  capacity_ = capacity;
+  while (!waiters_.empty() && in_use_ + waiters_.front().units <= capacity_) {
+    Waiter w = std::move(waiters_.front());
+    waiters_.pop_front();
+    take(w.units);
+    w.on_grant();
+  }
+}
+
 void ResourcePool::reset_window() {
   account();
   window_start_ = loop_.now();

@@ -35,6 +35,13 @@ class ResourcePool {
   [[nodiscard]] std::uint32_t in_use() const { return in_use_; }
   [[nodiscard]] std::size_t waiting() const { return waiters_.size(); }
 
+  // Fault injection ("brownout"): change capacity at runtime. Shrinking
+  // lets current holders finish (in_use_ may exceed the new capacity
+  // until they release); growing immediately drains waiters that now
+  // fit. Requests for more units than the current capacity queue until
+  // capacity is restored.
+  void set_capacity(std::uint32_t capacity);
+
   // --- Utilization accounting ---------------------------------------
   // Restart the measurement window at the current virtual time (also
   // rebases the high-water mark to the current allocation).

@@ -1,5 +1,6 @@
 #include "net/frame_channel.h"
 
+#include "telemetry/registry.h"
 #include "telemetry/trace.h"
 
 namespace mar::net {
@@ -27,7 +28,13 @@ Status FrameChannel::send(const wire::FramePacket& pkt, const SockAddr& dst) {
   const auto fragments = fragment_message(message, next_message_id_++);
   for (const auto& frag : fragments) {
     const auto result = socket_.send_to(frag, dst);
-    if (!result.is_ok()) return result.status();
+    if (!result.is_ok()) {
+      ++send_errors_;
+      telemetry::MetricRegistry::instance()
+          .counter("mar_net_send_errors_total", "FrameChannel messages that failed mid-send")
+          .inc();
+      return result.status();
+    }
   }
   ++sent_;
   trace_udp(pkt, telemetry::spans::kUdpTx);
@@ -47,6 +54,13 @@ std::optional<FrameChannel::Received> FrameChannel::poll(int timeout_ms) {
         trace_udp(*pkt, telemetry::spans::kUdpRx);
         return Received{std::move(*pkt), datagram->from};
       }
+      // Complete reassembly, undecodable bytes: corrupt or foreign
+      // traffic. Counted instead of silently swallowed.
+      ++parse_errors_;
+      telemetry::MetricRegistry::instance()
+          .counter("mar_net_parse_errors_total",
+                   "reassembled messages that failed wire::parse")
+          .inc();
     }
   }
   reassembler_.garbage_collect();

@@ -34,6 +34,12 @@ class FrameChannel {
   [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t messages_received() const { return received_; }
   [[nodiscard]] std::uint64_t reassembly_expired() const { return reassembler_.expired(); }
+  // Messages that failed mid-transmit (some fragments unsent) and
+  // reassembled messages that failed to parse — both also exported as
+  // mar_net_*_errors_total registry counters.
+  [[nodiscard]] std::uint64_t send_errors() const { return send_errors_; }
+  [[nodiscard]] std::uint64_t parse_errors() const { return parse_errors_; }
+  [[nodiscard]] std::uint64_t socket_recv_errors() const { return socket_.recv_errors(); }
 
  private:
   UdpSocket socket_;
@@ -41,6 +47,8 @@ class FrameChannel {
   std::uint32_t next_message_id_ = 1;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
+  std::uint64_t send_errors_ = 0;
+  std::uint64_t parse_errors_ = 0;
 };
 
 }  // namespace mar::net

@@ -98,6 +98,7 @@ Result<std::size_t> UdpSocket::send_to(std::span<const std::uint8_t> data,
   const ssize_t n = ::sendto(fd_, data.data(), data.size(), 0,
                              reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
   if (n < 0) {
+    ++send_errors_;
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
       return Status{StatusCode::kResourceExhausted, "send buffer full"};
     }
@@ -114,7 +115,10 @@ std::optional<UdpSocket::Datagram> UdpSocket::receive() {
   socklen_t len = sizeof(sa);
   const ssize_t n = ::recvfrom(fd_, d.data.data(), d.data.size(), 0,
                                reinterpret_cast<sockaddr*>(&sa), &len);
-  if (n < 0) return std::nullopt;
+  if (n < 0) {
+    if (errno != EAGAIN && errno != EWOULDBLOCK) ++recv_errors_;
+    return std::nullopt;
+  }
   d.data.resize(static_cast<std::size_t>(n));
   d.from = from_sockaddr(sa);
   return d;

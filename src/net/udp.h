@@ -54,8 +54,17 @@ class UdpSocket {
   // Block up to `timeout_ms` for readability (poll).
   [[nodiscard]] bool wait_readable(int timeout_ms) const;
 
+  // Error accounting: failed sendto() calls and recvfrom() errors other
+  // than "nothing pending" (EAGAIN/EWOULDBLOCK). receive() returning
+  // nullopt is ambiguous by design (UDP has no error channel worth
+  // blocking on); these counters disambiguate it for diagnostics.
+  [[nodiscard]] std::uint64_t send_errors() const { return send_errors_; }
+  [[nodiscard]] std::uint64_t recv_errors() const { return recv_errors_; }
+
  private:
   int fd_ = -1;
+  std::uint64_t send_errors_ = 0;
+  std::uint64_t recv_errors_ = 0;
 };
 
 }  // namespace mar::net

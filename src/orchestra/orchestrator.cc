@@ -2,9 +2,29 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 #include <utility>
 
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
+
 namespace mar::orchestra {
+namespace {
+
+void count_event(const char* name, const char* help, Stage stage) {
+  telemetry::MetricRegistry::instance()
+      .counter(name, help, {{"stage", std::string(to_string(stage))}})
+      .inc();
+}
+
+void trace_failover(const char* what, SimTime ts, Stage stage) {
+  auto& tracer = telemetry::Tracer::instance();
+  if (tracer.enabled()) {
+    tracer.instant(telemetry::kFaultTrack, what, ts, ClientId{0}, FrameId{0}, stage);
+  }
+}
+
+}  // namespace
 
 Orchestrator::Orchestrator(dsp::SimRuntime& rt, Rng rng) : rt_(rt), rng_(rng) {}
 
@@ -13,6 +33,7 @@ Orchestrator::~Orchestrator() { *alive_ = false; }
 MachineId Orchestrator::add_machine(hw::MachineSpec spec) {
   const MachineId id{static_cast<std::uint32_t>(machines_.size())};
   machines_.push_back(std::make_unique<hw::Machine>(rt_.loop(), id, std::move(spec)));
+  machine_down_.push_back(false);
   return id;
 }
 
@@ -64,6 +85,10 @@ InstanceId Orchestrator::deploy(Stage stage, MachineId target, dsp::HostConfig c
   rec.machine = target;
   rec.host = std::make_unique<dsp::ServiceHost>(rt_, machine(target), id, config, costs,
                                                 make(), rng_.fork());
+  rec.config = config;
+  rec.costs = &costs;
+  rec.factory = std::move(make);
+  rec.last_ack = rt_.now();
   instances_.push_back(std::move(rec));
   return id;
 }
@@ -83,9 +108,19 @@ EndpointId Orchestrator::resolve(Stage stage, const wire::FrameHeader& header) {
   // across its instances.
   std::vector<const InstanceRecord*> ready;
   for (const auto& rec : instances_) {
-    if (rec.stage == stage && !rec.host->is_down()) ready.push_back(&rec);
+    if (rec.stage != stage || rec.host->is_down()) continue;
+    if (machine_down_[rec.machine.value()]) continue;
+    ready.push_back(&rec);
   }
-  if (ready.empty()) return EndpointId::invalid();
+  if (ready.empty()) {
+    // Zero live replicas: the caller fails the frame deliberately
+    // instead of sending it into the void. Counted so the fault plane
+    // can report how many frames died in routing.
+    ++routing_failures_[static_cast<std::size_t>(stage)];
+    count_event("mar_routing_failures_total",
+                "resolve() calls that found zero live replicas for a stage", stage);
+    return EndpointId::invalid();
+  }
   auto& counter = rr_counters_[static_cast<std::size_t>(stage)];
   const InstanceRecord* pick = ready[counter % ready.size()];
   ++counter;
@@ -147,12 +182,19 @@ void Orchestrator::watchdog_tick() {
   if (!watchdog_enabled_) return;
   for (std::size_t i = 0; i < instances_.size(); ++i) {
     InstanceRecord& rec = instances_[i];
-    if (rec.host->is_down() && !rec.restart_pending) {
+    // Replicas the failover path owns (being evicted/respawned) and
+    // replicas on a down machine (reboot_machine restores those) are
+    // not the watchdog's to restart.
+    if (rec.host->is_down() && !rec.restart_pending && !rec.failover_pending &&
+        !rec.host->is_decommissioned() && !machine_down_[rec.machine.value()]) {
       rec.restart_pending = true;
       rt_.schedule_after(redeploy_delay_, [this, i, alive = alive_] {
         if (!*alive) return;
-        instances_[i].host->restart();
-        instances_[i].restart_pending = false;
+        InstanceRecord& r = instances_[i];
+        r.restart_pending = false;
+        if (r.failover_pending || r.host->is_decommissioned()) return;
+        r.host->restart();
+        r.last_ack = rt_.now();
         ++redeploys_;
       });
     }
@@ -165,6 +207,166 @@ void Orchestrator::watchdog_tick() {
 void Orchestrator::kill_instance(InstanceId id) {
   if (id.value() >= instances_.size()) return;
   instances_[id.value()].host->kill();
+}
+
+void Orchestrator::enable_failover(FailoverConfig config) {
+  failover_config_ = config;
+  if (failover_enabled_) return;
+  failover_enabled_ = true;
+  const SimTime now = rt_.now();
+  for (auto& rec : instances_) rec.last_ack = now;
+  telemetry::Tracer::instance().set_track_name(telemetry::kFaultTrack, "fault plane");
+  rt_.schedule_after(failover_config_.heartbeat_interval, [this, alive = alive_] {
+    if (*alive) heartbeat_tick();
+  });
+}
+
+void Orchestrator::heartbeat_tick() {
+  if (!failover_enabled_) return;
+  const SimTime now = rt_.now();
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    InstanceRecord& rec = instances_[i];
+    if (rec.failover_pending) continue;
+    if (!rec.host->is_down() && !machine_down_[rec.machine.value()]) {
+      rec.last_ack = now;  // probe acked
+      continue;
+    }
+    if (now - rec.last_ack < failover_config_.suspicion_timeout) continue;
+    // Suspicion confirmed: evict the replica (its memory and endpoint
+    // are released, in-flight traffic toward it is dropped by the
+    // network) and schedule a replacement on a surviving machine.
+    ++suspected_;
+    rec.failover_pending = true;
+    rec.host->decommission();
+    count_event("mar_failover_suspected_total",
+                "replicas declared dead after missing heartbeats", rec.stage);
+    trace_failover(telemetry::spans::kFailover, now, rec.stage);
+    rt_.schedule_after(failover_config_.respawn_delay, [this, i, alive = alive_] {
+      if (*alive) respawn(i);
+    });
+  }
+  rt_.schedule_after(failover_config_.heartbeat_interval, [this, alive = alive_] {
+    if (*alive) heartbeat_tick();
+  });
+}
+
+void Orchestrator::respawn(std::size_t index) {
+  InstanceRecord& rec = instances_[index];
+  const MachineId target = pick_respawn_target(rec);
+  if (!target.valid()) {
+    // Nowhere to place the replacement right now; let the heartbeat
+    // re-suspect the (already decommissioned) replica and retry.
+    rec.failover_pending = false;
+    return;
+  }
+  // Park the dead replica: compute/timer callbacks already scheduled
+  // against it must find the object alive (it absorbs them as no-ops).
+  graveyard_.push_back(std::move(rec.host));
+  rec.machine = target;
+  rec.host = std::make_unique<dsp::ServiceHost>(
+      rt_, machine(target), InstanceId{static_cast<std::uint32_t>(index)}, rec.config,
+      *rec.costs, rec.factory(), rng_.fork());
+  ++respawns_;
+  count_event("mar_failover_respawn_total",
+              "replicas respawned on a surviving machine after eviction", rec.stage);
+  trace_failover(telemetry::spans::kFailover, rt_.now(), rec.stage);
+  // Route repair is implicit: the replacement keeps its InstanceId, so
+  // round-robin and endpoint_of() pins now map to the new ingress.
+  const SimDuration cold = rec.costs->instance_cold_start;
+  if (cold > 0) {
+    // The replacement is dead-to-the-world until the image is pulled
+    // and the process boots; failover_pending stays set so the
+    // heartbeat does not re-suspect a replica that is still starting.
+    rec.host->kill();
+    rt_.schedule_after(cold, [this, index, alive = alive_] {
+      if (!*alive) return;
+      InstanceRecord& r = instances_[index];
+      r.host->restart();
+      r.last_ack = rt_.now();
+      r.failover_pending = false;
+    });
+  } else {
+    rec.last_ack = rt_.now();
+    rec.failover_pending = false;
+  }
+}
+
+MachineId Orchestrator::pick_respawn_target(const InstanceRecord& rec) const {
+  const std::uint64_t need = rec.costs->stage(rec.config.stage).base_memory_bytes;
+  const auto live_replicas_on = [this](MachineId id) {
+    return static_cast<std::size_t>(
+        std::count_if(instances_.begin(), instances_.end(), [&](const InstanceRecord& r) {
+          return r.machine == id && !r.failover_pending && !r.host->is_decommissioned();
+        }));
+  };
+  const auto pick = [&](bool occupied_only) {
+    MachineId best = MachineId::invalid();
+    std::size_t best_replicas = std::numeric_limits<std::size_t>::max();
+    std::uint64_t best_free = 0;
+    for (const auto& m : machines_) {
+      if (machine_down_[m->id().value()]) continue;
+      if (rec.config.uses_gpu && m->spec().gpus.empty()) continue;
+      const std::uint64_t cap = m->memory().capacity();
+      const std::uint64_t free_mem = cap - std::min(cap, m->memory().used());
+      if (free_mem < need) continue;
+      const std::size_t replicas = live_replicas_on(m->id());
+      if (occupied_only && replicas == 0) continue;
+      if (replicas < best_replicas || (replicas == best_replicas && free_mem > best_free)) {
+        best = m->id();
+        best_replicas = replicas;
+        best_free = free_mem;
+      }
+    }
+    return best;
+  };
+  if (failover_config_.prefer_occupied_machines) {
+    const MachineId local = pick(/*occupied_only=*/true);
+    if (local.valid()) return local;
+  }
+  return pick(/*occupied_only=*/false);
+}
+
+void Orchestrator::set_machine_down(MachineId m, bool down) {
+  machine_down_.at(m.value()) = down;
+}
+
+bool Orchestrator::is_machine_down(MachineId m) const {
+  return machine_down_.at(m.value());
+}
+
+void Orchestrator::reboot_machine(MachineId m, SimDuration down_for) {
+  if (machine_down_.at(m.value())) return;  // already rebooting
+  machine_down_[m.value()] = true;
+  for (auto& rec : instances_) {
+    if (rec.machine == m) rec.host->kill();
+  }
+  rt_.schedule_after(down_for, [this, m, alive = alive_] {
+    if (!*alive) return;
+    machine_down_[m.value()] = false;
+    // Cold-restart the instances still placed here; ones failover has
+    // moved (or is moving) elsewhere are not ours to revive.
+    for (std::size_t i = 0; i < instances_.size(); ++i) {
+      InstanceRecord& rec = instances_[i];
+      if (rec.machine != m || rec.failover_pending || rec.host->is_decommissioned()) continue;
+      if (!rec.host->is_down() || rec.restart_pending) continue;
+      rec.restart_pending = true;
+      const SimDuration cold = rec.costs != nullptr ? rec.costs->reboot_cold_start : 0;
+      rt_.schedule_after(cold, [this, i, alive2 = alive_] {
+        if (!*alive2) return;
+        InstanceRecord& r = instances_[i];
+        r.restart_pending = false;
+        if (r.failover_pending || r.host->is_decommissioned()) return;
+        r.host->restart();
+        r.last_ack = rt_.now();
+      });
+    }
+  });
+}
+
+std::uint64_t Orchestrator::routing_failures() const {
+  std::uint64_t total = 0;
+  for (const auto n : routing_failures_) total += n;
+  return total;
 }
 
 }  // namespace mar::orchestra

@@ -42,6 +42,23 @@ struct MonitorSample {
   std::vector<MachineSample> machines;
 };
 
+// Heartbeat-driven failure detection + respawn (the fault plane's
+// recovery half). Instances ack a liveness probe every
+// `heartbeat_interval`; one whose last ack is older than
+// `suspicion_timeout` is declared dead (suspect -> evict) and a
+// replacement is scheduled on a surviving machine after
+// `respawn_delay` plus the cost model's instance_cold_start.
+struct FailoverConfig {
+  SimDuration heartbeat_interval = millis(250.0);
+  SimDuration suspicion_timeout = millis(750.0);
+  SimDuration respawn_delay = seconds(1.0);
+  // Cluster-local placement (Oakestra-style): prefer respawn targets
+  // that already run a live replica of the deployment, falling back to
+  // any feasible machine. Keeps a failover from scattering a LAN
+  // pipeline across the WAN.
+  bool prefer_occupied_machines = true;
+};
+
 class Orchestrator final : public dsp::Router {
  public:
   explicit Orchestrator(dsp::SimRuntime& rt, Rng rng = Rng{42});
@@ -80,10 +97,41 @@ class Orchestrator final : public dsp::Router {
 
   // --- failure handling ---------------------------------------------------
   // Watchdog: poll replica liveness every `detection_interval`; dead
-  // replicas are re-deployed (restarted) after `redeploy_delay`.
+  // replicas are re-deployed (restarted in place) after `redeploy_delay`.
   void enable_auto_restart(SimDuration detection_interval, SimDuration redeploy_delay);
   void kill_instance(InstanceId id);
   [[nodiscard]] std::uint64_t redeploy_count() const { return redeploys_; }
+
+  // Heartbeat failover: suspect -> evict -> respawn on a surviving
+  // machine -> route repair (resolve() immediately stops handing out
+  // the dead replica; the respawned one keeps its InstanceId, so
+  // endpoint_of() pins re-map automatically).
+  void enable_failover(FailoverConfig config);
+  [[nodiscard]] bool failover_enabled() const { return failover_enabled_; }
+  [[nodiscard]] std::uint64_t failover_suspected() const { return suspected_; }
+  [[nodiscard]] std::uint64_t failover_respawns() const { return respawns_; }
+
+  // Machine-level faults: a down machine is excluded from routing and
+  // from respawn placement. reboot_machine kills every instance on the
+  // machine, marks it down for `down_for`, then brings it back and
+  // cold-restarts instances still placed there.
+  void set_machine_down(MachineId m, bool down);
+  [[nodiscard]] bool is_machine_down(MachineId m) const;
+  void reboot_machine(MachineId m, SimDuration down_for);
+
+  // Routing failures: resolve() calls that found zero live replicas
+  // (also exported as mar_routing_failures_total{stage=...}).
+  [[nodiscard]] std::uint64_t routing_failures(Stage stage) const {
+    return routing_failures_[static_cast<std::size_t>(stage)];
+  }
+  [[nodiscard]] std::uint64_t routing_failures() const;
+
+  // Replicas retired by failover (kept parked so event-loop callbacks
+  // scheduled against them stay safe); exposed so experiment reports
+  // can also aggregate the counters of dead replicas.
+  [[nodiscard]] const std::vector<std::unique_ptr<dsp::ServiceHost>>& retired_hosts() const {
+    return graveyard_;
+  }
 
  private:
   struct InstanceRecord {
@@ -91,10 +139,20 @@ class Orchestrator final : public dsp::Router {
     MachineId machine;
     std::unique_ptr<dsp::ServiceHost> host;
     bool restart_pending = false;
+    // Respawn bookkeeping: everything needed to rebuild the replica on
+    // another machine after a failover eviction.
+    dsp::HostConfig config;
+    const hw::CostModel* costs = nullptr;
+    ServiceletFactory factory;
+    SimTime last_ack = 0;
+    bool failover_pending = false;
   };
 
   void monitor_tick();
   void watchdog_tick();
+  void heartbeat_tick();
+  void respawn(std::size_t index);
+  [[nodiscard]] MachineId pick_respawn_target(const InstanceRecord& rec) const;
 
   dsp::SimRuntime& rt_;
   Rng rng_;
@@ -110,6 +168,14 @@ class Orchestrator final : public dsp::Router {
   SimDuration detection_interval_ = 0;
   SimDuration redeploy_delay_ = 0;
   std::uint64_t redeploys_ = 0;
+
+  bool failover_enabled_ = false;
+  FailoverConfig failover_config_;
+  std::uint64_t suspected_ = 0;
+  std::uint64_t respawns_ = 0;
+  std::array<std::uint64_t, kNumStages> routing_failures_{};
+  std::vector<bool> machine_down_;
+  std::vector<std::unique_ptr<dsp::ServiceHost>> graveyard_;
 
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };

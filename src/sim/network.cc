@@ -51,13 +51,31 @@ void SimNetwork::set_link(MachineId a, MachineId b, const LinkModel& model) {
   links_[link_key(b, a)] = model;
 }
 
-const LinkModel& SimNetwork::link_between(MachineId a, MachineId b) const {
+void SimNetwork::set_link_override(MachineId a, MachineId b, const LinkModel& model) {
+  link_overrides_[link_key(a, b)] = model;
+  link_overrides_[link_key(b, a)] = model;
+}
+
+void SimNetwork::clear_link_override(MachineId a, MachineId b) {
+  link_overrides_.erase(link_key(a, b));
+  link_overrides_.erase(link_key(b, a));
+}
+
+const LinkModel& SimNetwork::base_link(MachineId a, MachineId b) const {
   if (a == b) {
     static const LinkModel kLoopback = LinkModel::loopback();
     return kLoopback;
   }
   auto it = links_.find(link_key(a, b));
   return it == links_.end() ? default_link_ : it->second;
+}
+
+const LinkModel& SimNetwork::link_between(MachineId a, MachineId b) const {
+  if (!link_overrides_.empty()) {
+    auto it = link_overrides_.find(link_key(a, b));
+    if (it != link_overrides_.end()) return it->second;
+  }
+  return base_link(a, b);
 }
 
 void SimNetwork::send(EndpointId from, EndpointId to, wire::FramePacket pkt) {

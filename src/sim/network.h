@@ -37,6 +37,16 @@ class SimNetwork {
   // Install a symmetric link between two machines (both directions).
   void set_link(MachineId a, MachineId b, const LinkModel& model);
 
+  // Fault injection: temporarily replace the effective link model
+  // between two machines (both directions) without touching the base
+  // model installed by set_link. Used for blackout / degradation
+  // windows; clear restores the base model.
+  void set_link_override(MachineId a, MachineId b, const LinkModel& model);
+  void clear_link_override(MachineId a, MachineId b);
+  // The base (non-overridden) model between two machines, for composing
+  // degradations on top of the installed link.
+  [[nodiscard]] const LinkModel& base_link(MachineId a, MachineId b) const;
+
   // Send `pkt` from `from` to `to`. Unknown endpoints drop silently
   // (like UDP to a closed port).
   void send(EndpointId from, EndpointId to, wire::FramePacket pkt);
@@ -65,6 +75,7 @@ class SimNetwork {
   Rng rng_;
   std::vector<Endpoint> endpoints_;
   std::unordered_map<std::uint64_t, LinkModel> links_;  // key: a<<32|b
+  std::unordered_map<std::uint64_t, LinkModel> link_overrides_;
   // Per-directed-link transmitter availability (shared bandwidth).
   std::unordered_map<std::uint64_t, SimTime> tx_free_at_;
   LinkModel default_link_ = LinkModel::loopback();

@@ -65,12 +65,15 @@ inline constexpr const char* kTailDrop = "pkt_taildrop";
 inline constexpr const char* kFetchTimeout = "fetch_timeout";
 inline constexpr const char* kUdpTx = "udp_tx";
 inline constexpr const char* kUdpRx = "udp_rx";
+inline constexpr const char* kFault = "fault";        // injected fault window
+inline constexpr const char* kFailover = "failover";  // suspect -> respawn span
 }  // namespace spans
 
 // Well-known track ids. Service replicas use their InstanceId value as
 // the track, so these start well above any realistic replica count.
 inline constexpr std::uint32_t kNetworkTrack = 9000;
 inline constexpr std::uint32_t kEngineTrack = 9100;    // single-process vision engine
+inline constexpr std::uint32_t kFaultTrack = 9200;     // injected faults / recovery
 inline constexpr std::uint32_t kClientTrackBase = 10000;  // + ClientId
 
 struct TraceEvent {

@@ -318,5 +318,115 @@ TEST_F(HostFixture, StateStoreOverwriteRefreshesExpiry) {
   EXPECT_TRUE(store.take(ClientId{1}, FrameId{1}));
 }
 
+// --- state store crash path ----------------------------------------------------------
+
+TEST_F(HostFixture, StateStoreClearDropsEverythingAndFreesMemory) {
+  ServiceHost& host = make_host(IngressMode::kDropWhenBusy);
+  const std::uint64_t base = host.memory_used();
+  StateStore store(host, seconds(1.0), 4096);
+  store.put(ClientId{1}, FrameId{1});
+  store.put(ClientId{1}, FrameId{2});
+  store.put(ClientId{2}, FrameId{1});
+  ASSERT_TRUE(store.take(ClientId{1}, FrameId{1}));
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.lost_to_crash(), 2u);
+  EXPECT_EQ(host.memory_used(), base);
+  // Post-crash fetches must miss — this is scAtteR's failure mode.
+  EXPECT_FALSE(store.take(ClientId{1}, FrameId{2}));
+  EXPECT_FALSE(store.take(ClientId{2}, FrameId{1}));
+}
+
+TEST_F(HostFixture, StateStoreSweepAfterClearIsSafe) {
+  ServiceHost& host = make_host(IngressMode::kDropWhenBusy);
+  StateStore store(host, millis(500.0), 1024);
+  store.put(ClientId{1}, FrameId{1});  // schedules the sweep timer
+  store.clear();
+  loop.run_until(seconds(2.0));
+  loop.run();  // the pending sweep fires against an empty map
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.orphaned(), 0u);  // cleared entries are crash losses, not orphans
+  EXPECT_EQ(store.lost_to_crash(), 1u);
+}
+
+TEST_F(HostFixture, StateStoreOrphanAndCrashCountsAreDistinct) {
+  ServiceHost& host = make_host(IngressMode::kDropWhenBusy);
+  StateStore store(host, millis(500.0), 1024);
+  store.put(ClientId{1}, FrameId{1});
+  loop.run_until(seconds(2.0));
+  loop.run();  // entry 1 times out -> orphaned
+  store.put(ClientId{1}, FrameId{2});
+  store.clear();  // entry 2 dies in the crash
+  EXPECT_EQ(store.orphaned(), 1u);
+  EXPECT_EQ(store.lost_to_crash(), 1u);
+}
+
+TEST_F(HostFixture, StateStoreSweepTimerAfterDestructionIsSafe) {
+  ServiceHost& host = make_host(IngressMode::kDropWhenBusy);
+  const std::uint64_t base = host.memory_used();
+  {
+    StateStore store(host, millis(500.0), 1024);
+    store.put(ClientId{1}, FrameId{1});  // sweep timer now pending
+  }
+  // The store is gone but its timer is still queued; the alive_ guard
+  // must keep it from touching freed memory.
+  loop.run_until(seconds(2.0));
+  loop.run();
+  EXPECT_EQ(host.memory_used(), base);
+}
+
+// --- crash semantics on the host -------------------------------------------------------
+
+class KillAwareServicelet : public Servicelet {
+ public:
+  void process(wire::FramePacket) override { host().finish_current(); }
+  void on_killed() override { ++kills_; }
+  int kills_ = 0;
+};
+
+TEST_F(HostFixture, KillNotifiesServicelet) {
+  HostConfig cfg;
+  cfg.stage = Stage::kSift;
+  auto servicelet = std::make_unique<KillAwareServicelet>();
+  KillAwareServicelet* raw = servicelet.get();
+  ServiceHost host(rt, machine, InstanceId{7}, cfg, costs, std::move(servicelet), Rng{3});
+  host.kill();
+  EXPECT_EQ(raw->kills_, 1);
+}
+
+TEST_F(HostFixture, SendWhileDownIsSuppressedAndCounted) {
+  ServiceHost& host = make_host(IngressMode::kDropWhenBusy);
+  host.kill();
+  wire::FramePacket pkt;
+  pkt.header.client = ClientId{1};
+  pkt.header.frame = FrameId{1};
+  host.send(src, std::move(pkt));
+  EXPECT_EQ(host.stats().tx_suppressed, 1u);
+}
+
+TEST_F(HostFixture, SendToInvalidEndpointCountsUnroutable) {
+  ServiceHost& host = make_host(IngressMode::kDropWhenBusy);
+  wire::FramePacket pkt;
+  pkt.header.client = ClientId{1};
+  pkt.header.frame = FrameId{2};
+  host.send(EndpointId{}, std::move(pkt));
+  EXPECT_EQ(host.stats().tx_unroutable, 1u);
+}
+
+TEST_F(HostFixture, DecommissionReturnsMachineMemoryExactlyOnce) {
+  const std::uint64_t before = machine.memory().used();
+  ServiceHost& host = make_host(IngressMode::kDropWhenBusy);
+  StateStore store(host, seconds(10.0), 4096);
+  store.put(ClientId{1}, FrameId{1});
+  EXPECT_GT(machine.memory().used(), before);
+  host.decommission();
+  EXPECT_TRUE(host.is_decommissioned());
+  EXPECT_EQ(machine.memory().used(), before);
+  host.decommission();  // idempotent: no double free
+  EXPECT_EQ(machine.memory().used(), before);
+  host.restart();  // no resurrection after eviction
+  EXPECT_TRUE(host.is_down());
+}
+
 }  // namespace
 }  // namespace mar::dsp

@@ -1,0 +1,178 @@
+// Fault plane tests: plan grammar, opt-in neutrality, deterministic
+// replay (same seed + same plan => bit-identical results), and the
+// behavioral signatures of the windowed fault kinds.
+//
+// Runs under the `tsan` ctest label: the replay test is the
+// determinism witness the fault experiments lean on, and it must hold
+// when the vision pool threads are instrumented too.
+#include <gtest/gtest.h>
+
+#include "expt/experiment.h"
+#include "fault/fault_plan.h"
+
+namespace mar {
+namespace {
+
+using expt::ExperimentConfig;
+using expt::ExperimentResult;
+using expt::Site;
+using expt::SymbolicPlacement;
+using fault::FaultKind;
+using fault::FaultPlan;
+
+// --- plan grammar ------------------------------------------------------------
+
+TEST(FaultPlan, ParsesCrashEntry) {
+  const auto plan = FaultPlan::parse("crash@10s:stage=sift,replica=1");
+  ASSERT_TRUE(plan.is_ok());
+  ASSERT_EQ(plan.value().faults.size(), 1u);
+  const auto& f = plan.value().faults[0];
+  EXPECT_EQ(f.kind, FaultKind::kInstanceCrash);
+  EXPECT_EQ(f.at, seconds(10.0));
+  EXPECT_EQ(f.stage, Stage::kSift);
+  EXPECT_EQ(f.replica, 1u);
+}
+
+TEST(FaultPlan, ParsesEveryKindAndRoundTrips) {
+  const char* text =
+      "crash@500ms:stage=matching,replica=0; "
+      "reboot@1s+2s:machine=1; "
+      "blackout@2s+250ms:link=3-0; "
+      "degrade@3s+1s:link=0-1,loss=0.05,latency=10ms; "
+      "lossburst@4s+1s:link=0-2,loss=0.2; "
+      "brownout@5s+2s:machine=0,frac=0.25";
+  const auto plan = FaultPlan::parse(text);
+  ASSERT_TRUE(plan.is_ok()) << plan.status().message();
+  ASSERT_EQ(plan.value().faults.size(), 6u);
+  EXPECT_EQ(plan.value().faults[1].kind, FaultKind::kMachineReboot);
+  EXPECT_EQ(plan.value().faults[1].duration, seconds(2.0));
+  EXPECT_EQ(plan.value().faults[3].loss_rate, 0.05);
+  EXPECT_EQ(plan.value().faults[3].extra_latency, millis(10.0));
+  EXPECT_EQ(plan.value().faults[5].capacity_fraction, 0.25);
+
+  // to_string() must re-parse to the same plan (stable logging form).
+  const auto again = FaultPlan::parse(plan.value().to_string());
+  ASSERT_TRUE(again.is_ok()) << again.status().message();
+  EXPECT_EQ(again.value().to_string(), plan.value().to_string());
+  ASSERT_EQ(again.value().faults.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(again.value().faults[i].kind, plan.value().faults[i].kind) << i;
+    EXPECT_EQ(again.value().faults[i].at, plan.value().faults[i].at) << i;
+    EXPECT_EQ(again.value().faults[i].duration, plan.value().faults[i].duration) << i;
+  }
+}
+
+TEST(FaultPlan, RejectsMalformedEntries) {
+  EXPECT_FALSE(FaultPlan::parse("melt@1s").is_ok());                    // unknown kind
+  EXPECT_FALSE(FaultPlan::parse("crash 10s").is_ok());                  // missing '@'
+  EXPECT_FALSE(FaultPlan::parse("crash@ten").is_ok());                  // malformed time
+  EXPECT_FALSE(FaultPlan::parse("crash@1s:stage=warp").is_ok());        // unknown stage
+  EXPECT_FALSE(FaultPlan::parse("crash@1s:color=red").is_ok());         // unknown key
+  EXPECT_FALSE(FaultPlan::parse("blackout@1s+1s:link=01").is_ok());     // malformed link
+  EXPECT_FALSE(FaultPlan::parse("degrade@1s:link=0-1,loss=x").is_ok());  // malformed loss
+}
+
+TEST(FaultPlan, EmptyTextIsEmptyPlan) {
+  const auto plan = FaultPlan::parse("");
+  ASSERT_TRUE(plan.is_ok());
+  EXPECT_TRUE(plan.value().empty());
+}
+
+// --- experiment-level behavior -----------------------------------------------
+
+ExperimentConfig base_cfg() {
+  ExperimentConfig cfg;
+  cfg.mode = core::PipelineMode::kScatter;
+  cfg.placement = SymbolicPlacement::single(Site::kE1);
+  cfg.num_clients = 2;
+  cfg.warmup = seconds(2.0);
+  cfg.duration = seconds(8.0);
+  cfg.seed = 77;
+  return cfg;
+}
+
+bool same_perf(const ExperimentResult& a, const ExperimentResult& b) {
+  return a.fps_mean == b.fps_mean && a.fps_median == b.fps_median &&
+         a.e2e_ms_mean == b.e2e_ms_mean && a.e2e_ms_p95 == b.e2e_ms_p95 &&
+         a.success_rate == b.success_rate && a.jitter_ms == b.jitter_ms &&
+         a.per_client_fps == b.per_client_fps;
+}
+
+TEST(FaultExperiment, ArmedButIdlePlaneIsANoOp) {
+  // Opt-in criterion: turning the machinery on without any fault that
+  // fires inside the window must not perturb the run at all — no extra
+  // RNG draws, no event reordering visible in the metrics.
+  const ExperimentResult plain = expt::run_experiment(base_cfg());
+
+  ExperimentConfig armed = base_cfg();
+  armed.failover = orchestra::FailoverConfig{};
+  armed.fault_plan = FaultPlan::parse("crash@1000s:stage=sift,replica=0").value();
+  const ExperimentResult idle = expt::run_experiment(armed);
+
+  EXPECT_TRUE(same_perf(plain, idle));
+  EXPECT_TRUE(idle.fault.enabled);
+  EXPECT_EQ(idle.fault.injected, 0u);  // scheduled beyond the window end
+  EXPECT_EQ(idle.fault.suspected, 0u);
+  EXPECT_FALSE(plain.fault.enabled);
+}
+
+TEST(FaultExperiment, SameSeedSamePlanIsBitIdentical) {
+  ExperimentConfig cfg = base_cfg();
+  cfg.placement = SymbolicPlacement::replicated({1, 2, 1, 1, 1}, Site::kE2, Site::kE1);
+  cfg.duration = seconds(12.0);
+  cfg.costs.state_fetch_retries = 1;
+  cfg.fault_plan = FaultPlan::parse("crash@3s:stage=sift,replica=0").value();
+  orchestra::FailoverConfig fo;
+  fo.heartbeat_interval = millis(200.0);
+  fo.suspicion_timeout = millis(600.0);
+  fo.respawn_delay = millis(800.0);
+  cfg.failover = fo;
+
+  const ExperimentResult a = expt::run_experiment(cfg);
+  const ExperimentResult b = expt::run_experiment(cfg);
+
+  EXPECT_TRUE(same_perf(a, b));
+  EXPECT_EQ(a.fault.injected, b.fault.injected);
+  EXPECT_EQ(a.fault.suspected, b.fault.suspected);
+  EXPECT_EQ(a.fault.respawns, b.fault.respawns);
+  EXPECT_EQ(a.fault.state_lost, b.fault.state_lost);
+  EXPECT_EQ(a.fault.fetch_timeouts, b.fault.fetch_timeouts);
+  EXPECT_EQ(a.fault.fetch_retries, b.fault.fetch_retries);
+  EXPECT_EQ(a.fault.tx_suppressed, b.fault.tx_suppressed);
+  EXPECT_EQ(a.fault.routing_failures, b.fault.routing_failures);
+  // The crash actually happened (the replay is not vacuous).
+  EXPECT_EQ(a.fault.injected, 1u);
+  EXPECT_GE(a.fault.suspected, 1u);
+  EXPECT_GE(a.fault.respawns, 1u);
+}
+
+TEST(FaultExperiment, BlackoutOnClientLinkDropsDeliveries) {
+  const ExperimentResult plain = expt::run_experiment(base_cfg());
+
+  // Machines are ordered E1=0, E2=1, C=2, clients from 3 up; this
+  // blacks out client 0's uplink for 3 s of the 8 s window.
+  ExperimentConfig cfg = base_cfg();
+  cfg.fault_plan = FaultPlan::parse("blackout@2s+3s:link=3-0").value();
+  const ExperimentResult dark = expt::run_experiment(cfg);
+
+  EXPECT_EQ(dark.fault.injected, 1u);
+  EXPECT_LT(dark.success_rate, plain.success_rate);
+  EXPECT_LT(dark.per_client_fps[0], plain.per_client_fps[0]);
+}
+
+TEST(FaultExperiment, BrownoutShrinksThroughput) {
+  const ExperimentResult plain = expt::run_experiment(base_cfg());
+
+  // frac=0.05 leaves E1 a single core (the floor), serializing the
+  // whole pipeline; milder brownouts can hide inside spare cores.
+  ExperimentConfig cfg = base_cfg();
+  cfg.fault_plan = FaultPlan::parse("brownout@1s+6s:machine=0,frac=0.05").value();
+  const ExperimentResult slow = expt::run_experiment(cfg);
+
+  EXPECT_EQ(slow.fault.injected, 1u);
+  EXPECT_LT(slow.fps_mean, plain.fps_mean);
+  EXPECT_LT(slow.success_rate, plain.success_rate);
+}
+
+}  // namespace
+}  // namespace mar

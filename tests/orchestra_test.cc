@@ -169,6 +169,97 @@ TEST_F(OrchFixture, WatchdogRedeploysDeadInstance) {
   EXPECT_EQ(orch.redeploy_count(), 1u);
 }
 
+TEST_F(OrchFixture, ResolveWithNoReplicasCountsRoutingFailure) {
+  EXPECT_FALSE(orch.resolve(Stage::kLsh, {}).valid());
+  EXPECT_EQ(orch.routing_failures(Stage::kLsh), 1u);
+  EXPECT_EQ(orch.routing_failures(), 1u);
+}
+
+TEST_F(OrchFixture, ResolveWithAllReplicasDeadCountsRoutingFailure) {
+  const InstanceId a = deploy_null(Stage::kSift, e1);
+  orch.kill_instance(a);
+  EXPECT_FALSE(orch.resolve(Stage::kSift, {}).valid());
+  EXPECT_FALSE(orch.resolve(Stage::kSift, {}).valid());
+  EXPECT_EQ(orch.routing_failures(Stage::kSift), 2u);
+  EXPECT_EQ(orch.routing_failures(Stage::kLsh), 0u);
+}
+
+TEST_F(OrchFixture, DownMachineExcludedFromResolve) {
+  deploy_null(Stage::kSift, e1);
+  const InstanceId b = deploy_null(Stage::kSift, e2);
+  orch.set_machine_down(e1, true);
+  EXPECT_TRUE(orch.is_machine_down(e1));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(orch.resolve(Stage::kSift, {}), orch.endpoint_of(b));
+  }
+  orch.set_machine_down(e1, false);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 4; ++i) seen.insert(orch.resolve(Stage::kSift, {}).value());
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST_F(OrchFixture, FailoverLeavesHealthyInstancesAlone) {
+  const InstanceId a = deploy_null(Stage::kSift, e1);
+  orch.enable_failover(FailoverConfig{});
+  loop.run_until(seconds(10.0));
+  EXPECT_EQ(orch.failover_suspected(), 0u);
+  EXPECT_EQ(orch.failover_respawns(), 0u);
+  EXPECT_FALSE(orch.host(a).is_down());
+}
+
+TEST_F(OrchFixture, FailoverEvictsRespawnsAndRepairsRoutes) {
+  const InstanceId a = deploy_null(Stage::kSift, e1);
+  const InstanceId b = deploy_null(Stage::kSift, e2);
+  FailoverConfig fo;
+  fo.heartbeat_interval = millis(100.0);
+  fo.suspicion_timeout = millis(300.0);
+  fo.respawn_delay = millis(200.0);
+  orch.enable_failover(fo);
+  loop.run_until(seconds(1.0));
+  const EndpointId old_ep = orch.endpoint_of(a);
+  orch.kill_instance(a);
+
+  // During suspicion + respawn, resolve() only hands out the survivor.
+  loop.run_until(seconds(1.5));
+  EXPECT_EQ(orch.failover_suspected(), 1u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(orch.resolve(Stage::kSift, {}), orch.endpoint_of(b));
+  }
+
+  // After respawn + cold start the replica is back, with the same
+  // InstanceId but a fresh host (the old one is parked in the
+  // graveyard), and round-robin covers both replicas again.
+  loop.run_until(seconds(4.0));
+  EXPECT_EQ(orch.failover_respawns(), 1u);
+  EXPECT_EQ(orch.retired_hosts().size(), 1u);
+  EXPECT_FALSE(orch.host(a).is_down());
+  const EndpointId new_ep = orch.endpoint_of(a);
+  EXPECT_TRUE(new_ep.valid());
+  EXPECT_NE(new_ep, old_ep);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 4; ++i) seen.insert(orch.resolve(Stage::kSift, {}).value());
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_TRUE(seen.count(new_ep.value()));
+}
+
+TEST_F(OrchFixture, RebootMachineCyclesItsInstances) {
+  const InstanceId a = deploy_null(Stage::kSift, e1);
+  const InstanceId enc = deploy_null(Stage::kEncoding, e1);
+  loop.run_until(seconds(1.0));
+  orch.reboot_machine(e1, seconds(1.0));
+  EXPECT_TRUE(orch.is_machine_down(e1));
+  EXPECT_TRUE(orch.host(a).is_down());
+  EXPECT_TRUE(orch.host(enc).is_down());
+  EXPECT_FALSE(orch.resolve(Stage::kSift, {}).valid());  // nothing live anywhere
+  EXPECT_GE(orch.routing_failures(Stage::kSift), 1u);
+  // down_for (1 s) + reboot cold start (2 s) later, everything is back.
+  loop.run_until(seconds(6.0));
+  EXPECT_FALSE(orch.is_machine_down(e1));
+  EXPECT_FALSE(orch.host(a).is_down());
+  EXPECT_FALSE(orch.host(enc).is_down());
+  EXPECT_TRUE(orch.resolve(Stage::kSift, {}).valid());
+}
+
 TEST_F(OrchFixture, WatchdogHandlesRepeatedFailures) {
   const InstanceId a = deploy_null(Stage::kSift, e1);
   orch.enable_auto_restart(millis(500.0), millis(500.0));
