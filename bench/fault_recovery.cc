@@ -36,7 +36,9 @@
 #include <vector>
 
 #include "bench/fig_util.h"
+#include "expt/forensics.h"
 #include "fault/fault_plan.h"
+#include "telemetry/trace.h"
 
 using namespace mar;
 using namespace mar::bench;
@@ -62,6 +64,12 @@ struct RunOutcome {
 };
 
 RunOutcome run_one(core::PipelineMode mode, std::uint64_t seed) {
+  // One trace ring per run; tail retention keeps the crash-window
+  // frames (drop-flushed and fault/outlier promotions) so the dip can
+  // be inspected frame by frame. The retention plane is telemetry-only
+  // — the determinism gate below compares its counters across the
+  // same-seed rerun along with the delivered-frame series.
+  telemetry::Tracer::instance().clear();
   ExperimentConfig cfg;
   cfg.mode = mode;
   // sift x2 so the pipeline survives the crash: replica 0 on E2 (the
@@ -73,6 +81,8 @@ RunOutcome run_one(core::PipelineMode mode, std::uint64_t seed) {
   cfg.seed = seed;
   // One bounded retry before a fetch deadline fails the frame.
   cfg.costs.state_fetch_retries = 1;
+  cfg.trace_sample_every = 0;
+  cfg.retention.emplace();
 
   const auto plan = fault::FaultPlan::parse("crash@10s:stage=sift,replica=0");
   if (!plan.is_ok()) {
@@ -156,7 +166,12 @@ bool identical(const RunOutcome& a, const RunOutcome& b) {
          a.r.fault.suspected == b.r.fault.suspected &&
          a.r.fault.respawns == b.r.fault.respawns &&
          a.r.fault.tx_suppressed == b.r.fault.tx_suppressed &&
-         a.r.fault.routing_failures == b.r.fault.routing_failures;
+         a.r.fault.routing_failures == b.r.fault.routing_failures &&
+         // Tail retention rides along in every run; its verdicts must
+         // reproduce bit-for-bit too.
+         a.r.retention.frames_closed == b.r.retention.frames_closed &&
+         a.r.retention.retained_total() == b.r.retention.retained_total() &&
+         a.r.retention.drop_flushed == b.r.retention.drop_flushed;
 }
 
 }  // namespace
@@ -166,6 +181,8 @@ int main() {
               kClients);
 
   constexpr std::uint64_t kSeed = 9100;
+  telemetry::Tracer::instance().reserve(1u << 20);
+  telemetry::Tracer::instance().set_enabled(true);
   const RunOutcome sc = run_one(core::PipelineMode::kScatter, kSeed);
   const RunOutcome pp = run_one(core::PipelineMode::kScatterPP, kSeed);
   // Determinism witness: the same seed + plan must reproduce scAtteR's
@@ -240,6 +257,31 @@ int main() {
        << ",\n  \"gates_failed\": " << failures << "\n}\n";
   const char* out_path = "BENCH_fault_recovery.json";
   if (write_text_file(out_path, json.str())) std::printf("wrote %s\n", out_path);
+
+  // Frame forensics epilogue: the trace ring still holds the final
+  // (scAtteR rerun) crash run's retained traces — reconstruct its
+  // worst frames so the report names where the dip's latency went.
+  // Stdout only; the JSON above is already written.
+  {
+    expt::print_banner("Tail retention, per system");
+    Table rt({"system", "frames closed", "retained", "drop-flushed", "recycled"});
+    for (const auto& row : rows) {
+      const auto& ret = row.o->r.retention;
+      rt.add_row({row.name, std::to_string(ret.frames_closed),
+                  std::to_string(ret.retained_total()), std::to_string(ret.drop_flushed),
+                  std::to_string(ret.recycled)});
+    }
+    rt.print();
+
+    const expt::TraceLog log = expt::from_tracer(telemetry::Tracer::instance());
+    expt::print_banner("Worst retained frames of the final run (frame forensics)");
+    for (std::uint32_t id : expt::worst_trace_ids(log, 3)) {
+      if (const auto tl = expt::reconstruct_frame(log, id)) {
+        std::fputs(expt::render_timeline(*tl).c_str(), stdout);
+        std::fputc('\n', stdout);
+      }
+    }
+  }
 
   if (failures > 0) {
     std::fprintf(stderr, "FAIL: %d gate(s) violated\n", failures);

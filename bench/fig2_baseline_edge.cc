@@ -20,6 +20,7 @@
 #include <sstream>
 
 #include "bench/fig_util.h"
+#include "expt/forensics.h"
 #include "telemetry/trace.h"
 
 using namespace mar;
@@ -179,6 +180,20 @@ int main(int argc, char** argv) {
     json << "\n  ]\n}\n";
     if (write_text_file("BENCH_fig2_baseline_edge.json", json.str())) {
       std::printf("wrote BENCH_fig2_baseline_edge.json\n");
+    }
+  }
+
+  // Frame forensics epilogue: name the final run's worst frames,
+  // reconstructed hop by hop from its retained traces. Stdout only —
+  // the JSON above is already written and stays byte-identical.
+  {
+    const expt::TraceLog log = expt::from_tracer(tracer);
+    expt::print_banner("Worst frames of the final run (frame forensics)");
+    for (std::uint32_t id : expt::worst_trace_ids(log, 3)) {
+      if (const auto tl = expt::reconstruct_frame(log, id)) {
+        std::fputs(expt::render_timeline(*tl).c_str(), stdout);
+        std::fputc('\n', stdout);
+      }
     }
   }
 

@@ -1,0 +1,254 @@
+// Tail-retention acceptance bench: does the flight-recorder keep the
+// frames the paper's analysis actually needs?
+//
+// A fig2-style edge run under scAtteR++ (placement C2, 2 clients) with
+// tail retention on and head sampling off (trace_sample_every = 0 —
+// the tail policy, not the frame counter, decides what survives). The
+// steady state is healthy (~27 FPS/client, no drops); at t=+20 s a
+// scripted 3 s brownout cuts E2 to 5 % CPU, so the sidecar queues
+// back up and the run contains exactly the traffic tail tracing
+// exists for: a burst of stale drops at dequeue, an SLO-violation
+// window, and p99 outliers — then full recovery.
+//
+// Gates (ISSUE 5 acceptance):
+//  * >= 95 % of stale-dropped frames have a retained trace — distinct
+//    trace ids with a drop_stale instant in the durable ring vs the
+//    hosts' dropped_stale counters (both measurement-window scoped),
+//  * >= 95 % of SLO-breaching frames retained (retained_slo over
+//    slo_breach_frames),
+//  * total retained traces <= 10 % of frames (closed + drop-flushed),
+//  * at least one mar_frame_e2e_ms exemplar whose trace_id resolves
+//    via expt::reconstruct_frame() to a retained trace,
+//  * frame_forensics-style --worst 3 reconstruction yields a complete
+//    capture->verdict timeline for each (printed below the tables).
+//
+// Emits BENCH_tail_forensics.json and tail_forensics_events.log (the
+// latter is what `frame_forensics` consumes; both are run artifacts).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/fig_util.h"
+#include "expt/forensics.h"
+#include "fault/fault_plan.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
+
+using namespace mar;
+using namespace mar::bench;
+
+namespace {
+
+constexpr int kClients = 2;
+constexpr double kDurationS = 60.0;
+constexpr double kMaxRetainedFrac = 0.10;
+constexpr double kMinCoverage = 0.95;
+
+struct Gate {
+  std::string name;
+  bool pass = false;
+  std::string detail;
+};
+
+void print_gates(const std::vector<Gate>& gates) {
+  expt::print_banner("Acceptance gates");
+  for (const auto& g : gates) {
+    std::printf("  [%s] %s (%s)\n", g.pass ? "PASS" : "FAIL", g.name.c_str(),
+                g.detail.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int, char**) {
+  std::printf("Tail retention & frame forensics: scAtteR++ brownout run, %d clients\n",
+              kClients);
+
+  auto& tracer = telemetry::Tracer::instance();
+  tracer.reserve(1u << 20);
+  tracer.set_enabled(true);
+  tracer.clear();
+  telemetry::MetricRegistry::instance().set_enabled(true);
+
+  ExperimentConfig cfg;
+  cfg.mode = core::PipelineMode::kScatterPP;
+  cfg.placement = SymbolicPlacement::single(Site::kE2);  // fig2's C2
+  cfg.num_clients = kClients;
+  cfg.duration = seconds(kDurationS);
+  cfg.seed = 7001;
+  // Tail retention decides what survives; head sampling is off.
+  cfg.trace_sample_every = 0;
+  cfg.retention.emplace();
+  cfg.retention->baseline_every = 128;
+  cfg.retention->outlier_factor = 1.2;
+  // SLO sized to the healthy steady state (~27 FPS/client, p95 ~50 ms)
+  // so only the brownout dip violates it; the short window lets the
+  // watchdog clear soon after recovery instead of smearing the breach
+  // over the whole run.
+  expt::SloTargets slo;
+  slo.min_fps = 22.0;
+  slo.max_e2e_p99_ms = 120.0;
+  slo.window = seconds(2.0);
+  slo.warmup = seconds(1.0);
+  cfg.slo = slo;
+
+  // Machine 1 is E2 (testbed adds E1, E2, cloud, clients in order).
+  const auto plan = fault::FaultPlan::parse("brownout@20s+3s:machine=1,frac=0.05");
+  if (!plan.is_ok()) {
+    std::fprintf(stderr, "bad fault plan: %s\n", plan.status().message().c_str());
+    return 2;
+  }
+  cfg.fault_plan = plan.value();
+
+  expt::Experiment e(cfg);
+  e.run();
+  const ExperimentResult r = e.result();
+  const expt::RetentionReport& ret = r.retention;
+
+  // Window-scoped stale drops: the hosts' counters reset at the window
+  // start, so only trace events at/after it are comparable.
+  std::uint64_t stale_dropped = 0;
+  for (Stage s : kStages) {
+    for (const dsp::ServiceHost* h : e.deployment().hosts_of(s)) {
+      stale_dropped += h->stats().dropped_stale;
+    }
+  }
+  const expt::TraceLog log = expt::from_tracer(tracer);
+  std::set<std::uint32_t> stale_traced;
+  for (const auto& ev : log.events) {
+    if (ev.trace_id != 0 && ev.ts >= e.window_start() &&
+        ev.phase == telemetry::TracePhase::kInstant &&
+        std::strcmp(ev.name, telemetry::spans::kDropStale) == 0) {
+      stale_traced.insert(ev.trace_id);
+    }
+  }
+
+  const std::uint64_t frames_resolved = ret.frames_closed + ret.drop_flushed;
+  const double stale_cov =
+      stale_dropped ? static_cast<double>(stale_traced.size()) /
+                          static_cast<double>(stale_dropped)
+                    : 0.0;
+  const double slo_cov =
+      ret.slo_breach_frames ? static_cast<double>(ret.retained_slo) /
+                                  static_cast<double>(ret.slo_breach_frames)
+                            : 0.0;
+  const double retained_frac =
+      frames_resolved ? static_cast<double>(ret.retained_total()) /
+                            static_cast<double>(frames_resolved)
+                      : 1.0;
+
+  Table summary({"frames", "retained", "kept %", "stale drops", "stale traced",
+                 "slo frames", "kept slo"});
+  summary.add_row({std::to_string(frames_resolved), std::to_string(ret.retained_total()),
+               jnum(100.0 * retained_frac), std::to_string(stale_dropped),
+               std::to_string(stale_traced.size()), std::to_string(ret.slo_breach_frames),
+               std::to_string(ret.retained_slo)});
+  summary.print();
+  Table split({"kept slo", "kept fault", "kept outlier", "kept base", "drop-flushed",
+               "recycled", "evicted", "truncated"});
+  split.add_row({std::to_string(ret.retained_slo), std::to_string(ret.retained_fault),
+             std::to_string(ret.retained_outlier), std::to_string(ret.retained_baseline),
+             std::to_string(ret.drop_flushed), std::to_string(ret.recycled),
+             std::to_string(ret.evicted), std::to_string(ret.truncated)});
+  split.print();
+
+  // Exemplar gate: a bucket exemplar of mar_frame_e2e_ms must point at
+  // a trace that reconstructs as retained.
+  auto& hist = telemetry::MetricRegistry::instance().histogram(
+      "mar_frame_e2e_ms", "End-to-end frame latency (capture to result).",
+      telemetry::FixedHistogram::default_latency_ms_bounds());
+  std::uint32_t exemplar_id = 0;
+  double exemplar_ms = 0.0;
+  bool exemplar_resolves = false;
+  for (const auto& ex : hist.exemplars()) {
+    if (ex.trace_id == 0) continue;
+    const auto tl = expt::reconstruct_frame(log, ex.trace_id);
+    if (tl && tl->retain_reason != telemetry::RetainReason::kNone) {
+      exemplar_id = ex.trace_id;
+      exemplar_ms = ex.value;
+      exemplar_resolves = true;
+      break;
+    }
+  }
+
+  // Worst-3 forensics, the frame_forensics --worst 3 view.
+  const auto worst = expt::worst_trace_ids(log, 3);
+  std::size_t worst_complete = 0;
+  expt::print_banner("Worst retained frames (capture->verdict)");
+  for (std::uint32_t id : worst) {
+    const auto tl = expt::reconstruct_frame(log, id);
+    if (!tl) continue;
+    if (tl->complete()) ++worst_complete;
+    std::fputs(expt::render_timeline(*tl).c_str(), stdout);
+    std::fputc('\n', stdout);
+  }
+
+  tracer.write_event_log("tail_forensics_events.log");
+  std::printf("wrote tail_forensics_events.log (%zu events) — inspect with "
+              "./build/examples/frame_forensics\n",
+              log.events.size());
+
+  std::vector<Gate> gates;
+  gates.push_back({"stale-dropped frames have retained traces",
+                   stale_dropped > 0 && stale_cov >= kMinCoverage,
+                   jnum(100.0 * stale_cov) + "% of " + std::to_string(stale_dropped)});
+  gates.push_back({"SLO-breaching frames retained",
+                   ret.slo_breach_frames > 0 && slo_cov >= kMinCoverage,
+                   jnum(100.0 * slo_cov) + "% of " + std::to_string(ret.slo_breach_frames)});
+  gates.push_back({"retained traces <= 10% of frames", retained_frac <= kMaxRetainedFrac,
+                   jnum(100.0 * retained_frac) + "%"});
+  gates.push_back({"histogram exemplar resolves to a retained trace", exemplar_resolves,
+                   exemplar_resolves
+                       ? "trace_id=" + std::to_string(exemplar_id) + " @ " +
+                             jnum(exemplar_ms) + " ms"
+                       : "no exemplar resolved"});
+  gates.push_back({"worst-3 timelines complete",
+                   worst.size() == 3 && worst_complete == worst.size(),
+                   std::to_string(worst_complete) + "/" + std::to_string(worst.size())});
+  print_gates(gates);
+
+  int failed = 0;
+  for (const auto& g : gates) failed += g.pass ? 0 : 1;
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"tail_forensics\",\n";
+  json << "  \"clients\": " << kClients << ",\n";
+  json << "  \"duration_s\": " << jnum(kDurationS) << ",\n";
+  json << "  \"frames_resolved\": " << frames_resolved << ",\n";
+  json << "  \"frames_closed\": " << ret.frames_closed << ",\n";
+  json << "  \"retained_total\": " << ret.retained_total() << ",\n";
+  json << "  \"retained_frac\": " << jnum(retained_frac) << ",\n";
+  json << "  \"retained_slo\": " << ret.retained_slo << ",\n";
+  json << "  \"retained_fault\": " << ret.retained_fault << ",\n";
+  json << "  \"retained_outlier\": " << ret.retained_outlier << ",\n";
+  json << "  \"retained_baseline\": " << ret.retained_baseline << ",\n";
+  json << "  \"drop_flushed\": " << ret.drop_flushed << ",\n";
+  json << "  \"recycled\": " << ret.recycled << ",\n";
+  json << "  \"evicted\": " << ret.evicted << ",\n";
+  json << "  \"truncated\": " << ret.truncated << ",\n";
+  json << "  \"stale_dropped\": " << stale_dropped << ",\n";
+  json << "  \"stale_traced\": " << stale_traced.size() << ",\n";
+  json << "  \"stale_coverage\": " << jnum(stale_cov) << ",\n";
+  json << "  \"slo_breach_frames\": " << ret.slo_breach_frames << ",\n";
+  json << "  \"slo_coverage\": " << jnum(slo_cov) << ",\n";
+  json << "  \"exemplar_trace_id\": " << exemplar_id << ",\n";
+  json << "  \"fps_mean\": " << jnum(r.fps_mean) << ",\n";
+  json << "  \"e2e_ms_mean\": " << jnum(r.e2e_ms_mean) << ",\n";
+  json << "  \"gates_failed\": " << failed << "\n}\n";
+  if (!write_text_file("BENCH_tail_forensics.json", json.str())) {
+    std::fprintf(stderr, "failed to write BENCH_tail_forensics.json\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_tail_forensics.json\n");
+  if (failed) {
+    std::printf("%d gate(s) FAILED\n", failed);
+    return 1;
+  }
+  std::printf("all acceptance gates PASSED\n");
+  return 0;
+}

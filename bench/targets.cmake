@@ -23,6 +23,7 @@ mar_bench(fig12_sidecar_all_e1)
 mar_bench(table1_headline)
 
 mar_bench(fault_recovery)
+mar_bench(tail_forensics)
 
 mar_bench(ablation_scatterpp_parts)
 mar_bench(ablation_sidecar_threshold)

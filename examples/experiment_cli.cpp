@@ -16,7 +16,20 @@
 //   --out          write a .csv/.json/.prom report
 //   --trace_out    write a Chrome trace-event JSON (Perfetto)
 //   --metrics_out  write span-derived Prometheus text from the tracer
-//   --trace-sample trace every Nth frame per client (default 1)
+//   --trace_sample trace every Nth frame per client when tracing is
+//                  on (default 1 = every frame, 0 = none; --trace-sample
+//                  is accepted as an alias). Head sampling: the frames
+//                  it picks go straight to the durable ring.
+//   --events_out   write the raw trace-event log frame_forensics reads
+//
+// Tail-based retention (composes with --trace_sample; typical use sets
+// --trace_sample 0 and lets the tail policy keep the interesting frames):
+//   --retain                enable tail retention (flight-record every
+//                           frame; promote on SLO breach, drop, fault
+//                           window, p99 outlier, 1-in-N baseline)
+//   --retain_baseline N     deterministic 1-in-N baseline (default 64)
+//   --retain_outlier_factor F  promote when e2e >= F * rolling p99
+//                              (default 1.0; 0 disables)
 //
 // Fault plane (strictly opt-in; see src/fault/fault_plan.h for the
 // plan grammar — times are relative to the measurement window start):
@@ -67,6 +80,7 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string trace_path;
   std::string metrics_path;
+  std::string events_path;
   std::string placement_spec = "e2";
   std::string fault_plan_text;
   orchestra::FailoverConfig failover;
@@ -100,8 +114,18 @@ int main(int argc, char** argv) {
       trace_path = next();
     } else if (arg == "--metrics_out") {
       metrics_path = next();
-    } else if (arg == "--trace-sample") {
+    } else if (arg == "--trace-sample" || arg == "--trace_sample") {
       cfg.trace_sample_every = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--events_out") {
+      events_path = next();
+    } else if (arg == "--retain") {
+      if (!cfg.retention) cfg.retention.emplace();
+    } else if (arg == "--retain_baseline") {
+      if (!cfg.retention) cfg.retention.emplace();
+      cfg.retention->baseline_every = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--retain_outlier_factor") {
+      if (!cfg.retention) cfg.retention.emplace();
+      cfg.retention->outlier_factor = std::atof(next());
     } else if (arg == "--fault_plan") {
       fault_plan_text = next();
     } else if (arg == "--heartbeat_ms") {
@@ -139,7 +163,8 @@ int main(int argc, char** argv) {
     }
   }
   if (failover_requested) cfg.failover = failover;
-  if (!trace_path.empty() || !metrics_path.empty()) {
+  if (!trace_path.empty() || !metrics_path.empty() || !events_path.empty() ||
+      cfg.retention) {
     telemetry::Tracer::instance().set_enabled(true);
   }
 
@@ -176,6 +201,20 @@ int main(int argc, char** argv) {
     fault_t.print();
   }
 
+  if (r.retention.enabled) {
+    Table ret({"closed", "slo-breach", "kept slo", "kept fault", "kept outlier",
+               "kept base", "drop-flushed", "recycled"});
+    ret.add_row({std::to_string(r.retention.frames_closed),
+                 std::to_string(r.retention.slo_breach_frames),
+                 std::to_string(r.retention.retained_slo),
+                 std::to_string(r.retention.retained_fault),
+                 std::to_string(r.retention.retained_outlier),
+                 std::to_string(r.retention.retained_baseline),
+                 std::to_string(r.retention.drop_flushed),
+                 std::to_string(r.retention.recycled)});
+    ret.print();
+  }
+
   if (!out_path.empty()) {
     if (write_report(r, out_path)) {
       std::printf("wrote %s\n", out_path.c_str());
@@ -192,6 +231,14 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(tracer.dropped()));
     } else {
       std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+      return 1;
+    }
+  }
+  if (!events_path.empty()) {
+    if (tracer.write_event_log(events_path)) {
+      std::printf("wrote %s — inspect with frame_forensics\n", events_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", events_path.c_str());
       return 1;
     }
   }

@@ -65,8 +65,12 @@ void trace_engine_frame(std::uint64_t frame, const vision::StageTimings& t,
 
 // A short simulated deployment so the exported trace shows the
 // distributed side: sidecar queueing, RPC hand-offs, link transit, and
-// matching's state-fetch round trips to sift.
-void run_traced_sim() {
+// matching's state-fetch round trips to sift. With retention on, the
+// run flight-records every frame and promotes only the interesting
+// ones; the TailSampler's exemplar-carrying observations land in the
+// registry's mar_frame_e2e_ms histogram, so /metrics links latency
+// buckets to retained trace ids.
+expt::RetentionReport run_traced_sim(bool with_retention) {
   expt::ExperimentConfig cfg;
   cfg.mode = core::PipelineMode::kScatterPP;
   // Sidecar ingress *and* stateful sift: one run exercises both the
@@ -75,7 +79,11 @@ void run_traced_sim() {
   cfg.num_clients = 2;
   cfg.warmup = seconds(1.0);
   cfg.duration = seconds(4.0);
-  (void)expt::run_experiment(cfg);
+  if (with_retention) {
+    cfg.retention.emplace();
+    cfg.trace_sample_every = 0;  // tail retention picks the frames
+  }
+  return expt::run_experiment(cfg).retention;
 }
 
 }  // namespace
@@ -211,10 +219,22 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", pgm_path.c_str());
   }
 
-  // 4) Optional distributed trace export.
-  if (!trace_out.empty()) {
+  // 4) Distributed trace export (with --trace_out), and/or a retention
+  // run so the metrics plane serves histogram exemplars.
+  if (!trace_out.empty() || metrics_server.running()) {
     std::printf("\nrunning a short simulated deployment for the trace...\n");
-    run_traced_sim();
+    if (metrics_server.running()) telemetry::Tracer::instance().set_enabled(true);
+    const expt::RetentionReport retention = run_traced_sim(metrics_server.running());
+    if (retention.enabled) {
+      std::printf("tail retention kept %llu of %llu closed frames "
+                  "(%llu drop-flushed); exemplars on /metrics\n",
+                  static_cast<unsigned long long>(retention.retained_total() -
+                                                  retention.drop_flushed),
+                  static_cast<unsigned long long>(retention.frames_closed),
+                  static_cast<unsigned long long>(retention.drop_flushed));
+    }
+  }
+  if (!trace_out.empty()) {
     auto& tracer = telemetry::Tracer::instance();
     if (!tracer.write_chrome_trace(trace_out)) {
       std::fprintf(stderr, "failed to write %s\n", trace_out.c_str());
@@ -236,6 +256,7 @@ int main(int argc, char** argv) {
   if (metrics_server.running() && serve_ms > 0) {
     std::printf("\nserving metrics for %ld ms more on port %u...\n", serve_ms,
                 metrics_server.port());
+    std::fflush(stdout);  // scripts wait on this line before scraping
     std::this_thread::sleep_for(std::chrono::milliseconds(serve_ms));
   }
   proc_sampler.stop();

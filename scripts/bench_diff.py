@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Compare fresh BENCH_*.json files against the committed baselines.
+
+Every bench run is deterministic (fixed seeds), so day-to-day the fresh
+numbers match the baselines exactly; this gate exists for the day a
+code change moves a headline metric. A *regression* — worse in the
+metric's own direction (lower fps, higher e2e latency, slower MTTR,
+lower retention coverage) — beyond the tolerance fails the gate.
+Improvements and sub-tolerance drift only print, so intentional wins
+just need a baseline refresh, not a fight with the gate.
+
+Usage:
+    scripts/bench_diff.py [--baselines bench/baselines] [--fresh build/bench]
+                          [--tolerance 0.15]
+
+Baselines are committed under bench/baselines/ (an exception to the
+BENCH_*.json gitignore rule). Refresh one by copying the fresh file
+over it and committing the diff alongside the change that moved it.
+
+Exit status: 0 clean, 1 regression(s), 2 usage/missing-files.
+"""
+import argparse
+import json
+import os
+import re
+import sys
+
+# Headline metrics per bench: (path-regex, direction). Paths are dotted,
+# with list elements keyed by their "name"/"clients" field when present
+# (e.g. "systems.scAtteR.runs.clients=2.fps"). Only scalars matched here
+# are gated; everything else in the JSON is informational.
+HEADLINES = {
+    "fig2_baseline_edge": [
+        (r"placements\..*\.runs\..*\.fps$", "higher"),
+        (r"placements\..*\.runs\..*\.e2e_ms$", "lower"),
+        (r"placements\..*\.runs\..*\.success_rate$", "higher"),
+    ],
+    "fig5_utilization": [
+        (r"systems\..*\.runs\..*\.fps$", "higher"),
+        (r"systems\..*\.runs\..*\.e2e_ms$", "lower"),
+    ],
+    "fault_recovery": [
+        (r"systems\..*\.baseline_fps$", "higher"),
+        (r"systems\..*\.mttr_s$", "lower"),
+        (r"systems\..*\.frames_lost$", "lower"),
+        (r"gates_failed$", "zero"),
+    ],
+    "tail_forensics": [
+        (r"stale_coverage$", "higher"),
+        (r"slo_coverage$", "higher"),
+        (r"retained_frac$", "lower"),
+        (r"fps_mean$", "higher"),
+        (r"gates_failed$", "zero"),
+    ],
+}
+
+
+def flatten(node, prefix=""):
+    """Yield (dotted_path, number) for every numeric scalar in the doc."""
+    if isinstance(node, bool):
+        return
+    if isinstance(node, (int, float)):
+        yield prefix, float(node)
+    elif isinstance(node, dict):
+        for key, val in node.items():
+            yield from flatten(val, f"{prefix}.{key}" if prefix else key)
+    elif isinstance(node, list):
+        for i, item in enumerate(node):
+            if isinstance(item, dict):
+                tag = item.get("name") or (
+                    f"clients={item['clients']}" if "clients" in item else str(i))
+            else:
+                tag = str(i)
+            yield from flatten(item, f"{prefix}.{tag}" if prefix else str(tag))
+
+
+def bench_key(path):
+    """BENCH_fig2_baseline_edge.json -> fig2_baseline_edge."""
+    name = os.path.basename(path)
+    name = re.sub(r"^BENCH_", "", name)
+    return re.sub(r"\.json$", "", name)
+
+
+def compare(base_path, fresh_path, tolerance):
+    key = bench_key(base_path)
+    rules = HEADLINES.get(key)
+    if rules is None:
+        print(f"  {key}: no headline rules registered, skipping")
+        return []
+    with open(base_path) as f:
+        base = dict(flatten(json.load(f)))
+    with open(fresh_path) as f:
+        fresh = dict(flatten(json.load(f)))
+
+    regressions = []
+    checked = 0
+    for pattern, direction in rules:
+        rx = re.compile(pattern)
+        for path, old in base.items():
+            if not rx.search(path):
+                continue
+            if path not in fresh:
+                regressions.append(f"{key}: {path} vanished from fresh run")
+                continue
+            new = fresh[path]
+            checked += 1
+            if direction == "zero":
+                if new != 0:
+                    regressions.append(f"{key}: {path} = {new:g} (must be 0)")
+                continue
+            delta = new - old
+            rel = delta / abs(old) if old else (0.0 if delta == 0 else float("inf"))
+            worse = rel < -tolerance if direction == "higher" else rel > tolerance
+            if worse:
+                regressions.append(
+                    f"{key}: {path} {old:g} -> {new:g} ({rel:+.1%}, "
+                    f"tolerance {tolerance:.0%}, direction {direction})")
+            elif abs(rel) > 1e-12:
+                print(f"  {key}: {path} {old:g} -> {new:g} ({rel:+.1%}) within tolerance")
+    print(f"  {key}: {checked} headline metrics checked")
+    return regressions
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baselines", default="bench/baselines")
+    ap.add_argument("--fresh", default="build/bench")
+    ap.add_argument("--tolerance", type=float, default=0.15)
+    args = ap.parse_args()
+
+    if not os.path.isdir(args.baselines):
+        print(f"bench_diff: baseline dir {args.baselines} missing", file=sys.stderr)
+        return 2
+    baselines = sorted(
+        os.path.join(args.baselines, f)
+        for f in os.listdir(args.baselines) if f.endswith(".json"))
+    if not baselines:
+        print(f"bench_diff: no baselines in {args.baselines}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    missing = []
+    for base_path in baselines:
+        fresh_path = os.path.join(args.fresh, os.path.basename(base_path))
+        if not os.path.isfile(fresh_path):
+            missing.append(fresh_path)
+            continue
+        regressions.extend(compare(base_path, fresh_path, args.tolerance))
+
+    if missing:
+        for path in missing:
+            print(f"bench_diff: fresh result {path} missing (bench not run?)",
+                  file=sys.stderr)
+        return 2
+    if regressions:
+        print(f"bench_diff: {len(regressions)} regression(s) beyond "
+              f"{args.tolerance:.0%}:", file=sys.stderr)
+        for r in regressions:
+            print(f"  REGRESSION {r}", file=sys.stderr)
+        return 1
+    print("bench_diff: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

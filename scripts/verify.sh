@@ -1,6 +1,8 @@
 #!/usr/bin/env sh
-# Convenience verification: tier-1 tests + the fault-recovery gates +
-# a traced quickstart run + a live /metrics scrape.
+# Convenience verification: tier-1 tests + the fault-recovery and
+# tail-forensics gates + the bench-regression diff + a traced
+# quickstart run + a live /metrics scrape (exemplar-aware) + a UBSan
+# pass over the telemetry/forensics tests.
 #
 # Builds (if needed), runs the full ctest suite, runs the quickstart
 # with --trace_out and fails if the trace JSON is missing, empty, or
@@ -32,6 +34,27 @@ FAULT_JSON="$BUILD_DIR/bench/BENCH_fault_recovery.json"
 grep -q '"gates_failed": 0' "$FAULT_JSON" || {
   echo "verify: FAIL — fault-recovery gates violated (see $FAULT_JSON)" >&2; exit 1; }
 echo "verify: fault recovery OK"
+
+# Tail-retention gate: the tail_forensics bench enforces its own
+# coverage/budget/exemplar gates (>=95% of stale-dropped and
+# SLO-breaching frames retained, <=10% of frames kept, every exemplar
+# resolving to a retained trace) and records them in its JSON.
+(cd "$BUILD_DIR/bench" && ./tail_forensics)
+TAIL_JSON="$BUILD_DIR/bench/BENCH_tail_forensics.json"
+grep -q '"gates_failed": 0' "$TAIL_JSON" || {
+  echo "verify: FAIL — tail-forensics gates violated (see $TAIL_JSON)" >&2; exit 1; }
+echo "verify: tail forensics OK"
+
+# Bench-regression gate: fresh headline numbers vs the committed
+# baselines in bench/baselines/ (>15% regression in a metric's own
+# direction fails; see bench/TRAJECTORY.md for the refresh policy).
+(cd "$BUILD_DIR/bench" && ./fig2_baseline_edge && ./fig5_utilization)
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/bench_diff.py --fresh "$BUILD_DIR/bench" || {
+    echo "verify: FAIL — bench regression vs bench/baselines" >&2; exit 1; }
+else
+  echo "verify: SKIP bench_diff (no python3)"
+fi
 
 # Traced quickstart: outputs land under out/ (gitignored).
 OUT_DIR="$BUILD_DIR/out"
@@ -80,6 +103,16 @@ for _ in $(seq 1 100); do
 done
 [ -n "$PORT" ] || { echo "verify: FAIL — quickstart never announced a metrics port" >&2; exit 1; }
 
+# Scrape only after the retention sim has filled the registry (the
+# "serving metrics for ..." line comes after it) — exemplars are part
+# of the contract below.
+READY=""
+for _ in $(seq 1 600); do
+  if grep -q "serving metrics for" "$METRICS_LOG"; then READY=1; break; fi
+  sleep 0.1
+done
+[ -n "$READY" ] || { echo "verify: FAIL — quickstart never reached its serve phase" >&2; exit 1; }
+
 fetch() {
   if command -v curl >/dev/null 2>&1; then
     curl -sf "http://127.0.0.1:$PORT$1"
@@ -100,11 +133,20 @@ if command -v python3 >/dev/null 2>&1; then
   python3 - "$SCRAPE" <<'EOF'
 import sys
 names = set()
+exemplars = 0
 with open(sys.argv[1]) as f:
     for line in f:
         line = line.rstrip("\n")
         if not line or line.startswith("#"):
             continue
+        # Histogram bucket lines may carry an OpenMetrics exemplar
+        # suffix: name_bucket{le="x"} 7 # {trace_id="42"} 3.5
+        if " # {" in line:
+            line, _, suffix = line.partition(" # {")
+            assert suffix.startswith('trace_id="'), f"bad exemplar: {suffix!r}"
+            assert "_bucket" in line.split(" ")[0], \
+                f"exemplar outside a bucket line: {line!r}"
+            exemplars += 1
         # Every sample line must be "<name>[{labels}] <value>".
         head, _, value = line.rpartition(" ")
         assert head, f"unparseable line: {line!r}"
@@ -113,7 +155,8 @@ with open(sys.argv[1]) as f:
 for required in ("mar_service_ms_bucket", "mar_frame_e2e_ms_bucket",
                  "mar_process_rss_bytes", "mar_process_cpu_percent"):
     assert required in names, f"/metrics is missing {required}"
-print(f"verify: /metrics OK ({len(names)} series names, Prometheus-parseable)")
+assert exemplars >= 1, "no histogram exemplars on /metrics (retention run absent?)"
+print(f"verify: /metrics OK ({len(names)} series names, {exemplars} exemplars)")
 EOF
 else
   for required in mar_service_ms_bucket mar_process_rss_bytes; do
@@ -126,5 +169,17 @@ fi
 kill "$QS_PID" 2>/dev/null || true
 wait "$QS_PID" 2>/dev/null || true
 trap - EXIT
+
+# UBSan pass: the telemetry/forensics layers are full of enum
+# round-trips, packed exemplar words, and reinterpreted trace ids —
+# build just their tests with -DMAR_SANITIZE=undefined and run the
+# `ubsan`-labeled subset.
+UBSAN_DIR="${BUILD_DIR}-ubsan"
+cmake -B "$UBSAN_DIR" -S . -DMAR_SANITIZE=undefined
+cmake --build "$UBSAN_DIR" -j"$(nproc 2>/dev/null || echo 2)" \
+  --target flight_recorder_test forensics_test telemetry_conformance_test
+(cd "$UBSAN_DIR" && ctest -L ubsan --output-on-failure) || {
+  echo "verify: FAIL — ubsan-labeled tests under MAR_SANITIZE=undefined" >&2; exit 1; }
+echo "verify: ubsan OK"
 
 echo "verify: PASSED"

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "telemetry/flight_recorder.h"
+
 namespace mar::core {
 
 ArClient::ArClient(dsp::Runtime& rt, hw::Machine& machine, dsp::Router& router,
@@ -42,14 +44,23 @@ void ArClient::send_frame() {
 
   // Distributed tracing: stamp every Nth frame with a trace id; the id
   // propagates through every derived message so each hop can attribute
-  // spans to this frame's timeline.
+  // spans to this frame's timeline. Head-sampled frames record straight
+  // into the durable ring; with trace_all_frames, the frames head
+  // sampling skips get an id plus a flight-recorder buffer instead, and
+  // survive only if the retention policy promotes them at completion.
   auto& tracer = telemetry::Tracer::instance();
-  if (tracer.enabled() && config_.trace_sample_every != 0 &&
-      pkt.header.frame.value() % config_.trace_sample_every == 0) {
-    pkt.header.trace.trace_id = tracer.next_trace_id();
-    tracer.begin(telemetry::kClientTrackBase + config_.id.value(),
-                 telemetry::spans::kFrameE2e, rt_.now(), pkt.header.client,
-                 pkt.header.frame, Stage::kPrimary);
+  if (tracer.enabled()) {
+    const bool head_sampled = config_.trace_sample_every != 0 &&
+                              pkt.header.frame.value() % config_.trace_sample_every == 0;
+    if (head_sampled || config_.trace_all_frames) {
+      pkt.header.trace.trace_id = tracer.next_trace_id();
+      if (!head_sampled) {
+        telemetry::FlightRecorder::instance().open(pkt.header.trace.trace_id);
+      }
+      tracer.begin(telemetry::kClientTrackBase + config_.id.value(),
+                   telemetry::spans::kFrameE2e, rt_.now(), pkt.header.client,
+                   pkt.header.frame, Stage::kPrimary, 0.0, pkt.header.trace.trace_id);
+    }
   }
 
   rt_.send(endpoint_, router_.resolve(Stage::kPrimary, pkt.header), std::move(pkt));
@@ -71,13 +82,18 @@ void ArClient::on_result(const wire::FramePacket& pkt) {
     if (tracer.enabled() && pkt.header.trace.active()) {
       tracer.end(telemetry::kClientTrackBase + config_.id.value(),
                  telemetry::spans::kFrameE2e, rt_.now(), pkt.header.client,
-                 pkt.header.frame, Stage::kPrimary);
+                 pkt.header.frame, Stage::kPrimary, 0.0, pkt.header.trace.trace_id);
     }
   }
 
   const SimTime now = rt_.now();
   const double e2e_ms = to_millis(now - pkt.header.capture_ts);
   if (config_.on_frame) config_.on_frame(now, e2e_ms, pkt.header.match_ok);
+  // The frame is closed: everything it will ever record has been
+  // recorded, so the retention verdict can be taken now.
+  if (config_.on_frame_closed) {
+    config_.on_frame_closed(pkt.header, now, e2e_ms, pkt.header.match_ok);
+  }
 
   if (!pkt.header.match_ok) return;
 

@@ -25,13 +25,24 @@ struct ClientConfig {
   // Small per-client phase offset so concurrent clients do not send in
   // lockstep (virtual clients start at different instants in reality).
   SimDuration phase_offset = 0;
-  // Distributed tracing: sample every Nth frame for tracing when the
-  // global Tracer is enabled (1 = trace every frame, 0 = never trace).
-  std::uint32_t trace_sample_every = 1;
+  // Distributed tracing (head sampling): sample every Nth frame for
+  // tracing when the global Tracer is enabled (1 = trace every frame,
+  // 0 = never trace). Same default as telemetry::kDefaultTraceSampleEvery
+  // and the experiment_cli --trace_sample flag.
+  std::uint32_t trace_sample_every = telemetry::kDefaultTraceSampleEvery;
+  // Tail-based retention: when true, frames that head sampling skips
+  // still get a trace id and a FlightRecorder buffer, so the retention
+  // policy can promote them at completion. Head-sampled frames keep
+  // going straight to the durable ring — the two compose.
+  bool trace_all_frames = false;
   // Invoked for every delivered result, after stats are updated:
   // (arrival time, E2E latency in ms, recognition success). SLO
   // watchdogs and live exporters hook in here.
   std::function<void(SimTime, double, bool)> on_frame;
+  // Invoked after on_frame with the frame's full header (including its
+  // trace context) — the completion point where expt::TailSampler takes
+  // the promote/recycle verdict for flight-recorded frames.
+  std::function<void(const wire::FrameHeader&, SimTime, double, bool)> on_frame_closed;
 };
 
 struct ClientStats {

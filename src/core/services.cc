@@ -141,7 +141,7 @@ void MatchingService::request_state(wire::FramePacket pkt) {
     if (tracer.enabled() && pending_->pkt.header.trace.active()) {
       tracer.begin(host().instance().value(), telemetry::spans::kStateFetch,
                    host().runtime().now(), pending_->client, pending_->frame,
-                   Stage::kMatching);
+                   Stage::kMatching, 0.0, pending_->pkt.header.trace.trace_id);
     }
   }
   send_fetch();
@@ -185,10 +185,11 @@ void MatchingService::on_fetch_timeout() {
   auto& tracer = telemetry::Tracer::instance();
   if (tracer.enabled() && pending_->pkt.header.trace.active()) {
     const auto now = host().runtime().now();
+    const std::uint32_t tid = pending_->pkt.header.trace.trace_id;
     tracer.end(host().instance().value(), telemetry::spans::kStateFetch, now,
-               pending_->client, pending_->frame, Stage::kMatching);
+               pending_->client, pending_->frame, Stage::kMatching, 0.0, tid);
     tracer.instant(host().instance().value(), telemetry::spans::kFetchTimeout, now,
-                   pending_->client, pending_->frame, Stage::kMatching);
+                   pending_->client, pending_->frame, Stage::kMatching, 0.0, tid);
   }
   pending_.reset();
   host().finish_current();
@@ -209,7 +210,7 @@ bool MatchingService::consume_inline(wire::FramePacket& pkt) {
     if (tracer.enabled() && frame.header.trace.active()) {
       tracer.end(host().instance().value(), telemetry::spans::kStateFetch,
                  host().runtime().now(), frame.header.client, frame.header.frame,
-                 Stage::kMatching);
+                 Stage::kMatching, 0.0, frame.header.trace.trace_id);
     }
   }
 

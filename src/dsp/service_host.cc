@@ -166,7 +166,8 @@ void ServiceHost::pump() {
       if (tracer.enabled() && q.pkt.header.trace.active()) {
         tracer.complete(instance_.value(), telemetry::spans::kRpcHandoff, handoff_start,
                         costs_.sidecar_rpc_overhead, q.pkt.header.client,
-                        q.pkt.header.frame, config_.stage);
+                        q.pkt.header.frame, config_.stage, 0.0,
+                        q.pkt.header.trace.trace_id);
       }
     }
     rt_.schedule_after(costs_.sidecar_rpc_overhead,

@@ -186,24 +186,29 @@ class ServiceHost {
   void dispatch(wire::FramePacket pkt, SimDuration queue_time, SimTime dispatch_ts = -1);
   void pump();
 
-  // Tracing: record an event on this replica's track for a traced frame.
+  // Tracing: record an event on this replica's track for a traced
+  // frame. The header's trace id rides along so flight-recorded frames
+  // buffer their events until the completion-point retention verdict.
   void trace_begin(const char* name, const wire::FrameHeader& h, SimTime ts,
                    double value = 0.0) {
     auto& tracer = telemetry::Tracer::instance();
     if (tracer.enabled() && h.trace.active()) {
-      tracer.begin(instance_.value(), name, ts, h.client, h.frame, config_.stage, value);
+      tracer.begin(instance_.value(), name, ts, h.client, h.frame, config_.stage, value,
+                   h.trace.trace_id);
     }
   }
   void trace_end(const char* name, const wire::FrameHeader& h, SimTime ts) {
     auto& tracer = telemetry::Tracer::instance();
     if (tracer.enabled() && h.trace.active()) {
-      tracer.end(instance_.value(), name, ts, h.client, h.frame, config_.stage);
+      tracer.end(instance_.value(), name, ts, h.client, h.frame, config_.stage, 0.0,
+                 h.trace.trace_id);
     }
   }
   void trace_instant(const char* name, const wire::FrameHeader& h, SimTime ts) {
     auto& tracer = telemetry::Tracer::instance();
     if (tracer.enabled() && h.trace.active()) {
-      tracer.instant(instance_.value(), name, ts, h.client, h.frame, config_.stage);
+      tracer.instant(instance_.value(), name, ts, h.client, h.frame, config_.stage, 0.0,
+                     h.trace.trace_id);
     }
   }
 

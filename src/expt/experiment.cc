@@ -96,6 +96,14 @@ void Experiment::build() {
     slo_ = std::make_unique<SloWatchdog>(*config_.slo, "pipeline", config_.num_clients);
   }
 
+  if (config_.retention) {
+    auto& recorder = telemetry::FlightRecorder::instance();
+    recorder.configure(config_.retention->flight_buffers);
+    recorder.set_enabled(true);
+    tail_ = std::make_unique<TailSampler>(*config_.retention);
+    tail_->set_slo(slo_.get());
+  }
+
   Rng client_rng(config_.seed ^ 0xc11e57);
   for (int i = 0; i < config_.num_clients; ++i) {
     core::ClientConfig cc;
@@ -108,6 +116,13 @@ void Experiment::build() {
       cc.on_frame = [this](SimTime t, double e2e_ms, bool success) {
         slo_->observe_frame(t, e2e_ms, success);
         slo_->evaluate(t);
+      };
+    }
+    if (tail_) {
+      cc.trace_all_frames = true;
+      cc.on_frame_closed = [this](const wire::FrameHeader& h, SimTime t, double e2e_ms,
+                                  bool success) {
+        tail_->on_frame_closed(h, t, e2e_ms, success);
       };
     }
     auto client = std::make_unique<core::ArClient>(
@@ -146,9 +161,14 @@ void Experiment::run() {
         std::make_unique<fault::FaultInjector>(testbed_->runtime(), testbed_->orchestrator());
     injector_->arm(*config_.fault_plan);
   }
+  if (tail_ && injector_) tail_->set_injector(injector_.get());
 
   testbed_->loop().run_until(config_.warmup + config_.duration);
   for (auto& c : clients_) c->stop();
+  // The completion verdicts all happened during the run; dropping the
+  // global gate keeps a later retention-less experiment in the same
+  // process from paying the flight-recorder lookup.
+  if (tail_) telemetry::FlightRecorder::instance().set_enabled(false);
   ran_ = true;
 }
 
@@ -342,6 +362,8 @@ ExperimentResult Experiment::result() const {
     account(orch.host(InstanceId{static_cast<std::uint32_t>(i)}));
   }
   for (const auto& dead : orch.retired_hosts()) account(*dead);
+
+  if (tail_) res.retention = tail_->report();
   return res;
 }
 

@@ -13,6 +13,7 @@
 #include "core/client.h"
 #include "core/frame_flow.h"
 #include "expt/deployment.h"
+#include "expt/retention.h"
 #include "expt/slo.h"
 #include "expt/testbed.h"
 #include "fault/fault_plan.h"
@@ -71,10 +72,20 @@ struct ExperimentConfig {
   TestbedConfig testbed;
   std::uint64_t seed = 1;
   bool monitor = false;  // enable the orchestrator's hardware monitor
-  // Distributed tracing: trace every Nth frame per client when the
-  // global telemetry::Tracer is enabled (1 = every frame, 0 = none).
+  // Distributed tracing (head sampling): trace every Nth frame per
+  // client when the global telemetry::Tracer is enabled (1 = every
+  // frame, 0 = none). Same default as core::ClientConfig and the
+  // experiment_cli --trace_sample flag (telemetry::kDefaultTraceSampleEvery).
   // Long many-client runs should sample (e.g. 8) to bound trace volume.
-  std::uint32_t trace_sample_every = 1;
+  std::uint32_t trace_sample_every = telemetry::kDefaultTraceSampleEvery;
+  // Tail-based trace retention (strictly opt-in; unset changes nothing
+  // about the run). When set, every frame is flight-recorded and
+  // promoted to the durable ring only on SLO breach, drop, fault
+  // window, p99 outlier, or the 1-in-N baseline. Composes with head
+  // sampling: frames head sampling already traces stay durable, so a
+  // retention run usually sets trace_sample_every to 0 (or a sparse N)
+  // and lets the tail policy pick the interesting frames.
+  std::optional<TailRetentionConfig> retention;
   // > 0: sample every machine's CPU/GPU busy integrals, resident
   // memory, and replica state bytes at this interval during the
   // measurement window, producing ExperimentResult::timelines. The
@@ -172,6 +183,8 @@ struct ExperimentResult {
   std::vector<MachineTimeline> timelines;
   SloReport slo;
   FaultReport fault;
+  // Populated (enabled=true) only when ExperimentConfig::retention set.
+  RetentionReport retention;
 
   // Sum of a per-service metric across replicas of `stage`.
   [[nodiscard]] double stage_mem_gb(Stage stage) const;
@@ -226,6 +239,7 @@ class Experiment {
   std::vector<telemetry::Accumulator> replica_memory_bytes_;
   std::vector<MachineSampler> machine_samplers_;
   std::unique_ptr<SloWatchdog> slo_;
+  std::unique_ptr<TailSampler> tail_;
   std::unique_ptr<fault::FaultInjector> injector_;
   SimTime window_start_ = 0;
   bool ran_ = false;

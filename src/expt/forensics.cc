@@ -1,0 +1,307 @@
+#include "expt/forensics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace mar::expt {
+namespace {
+
+using telemetry::TraceEvent;
+using telemetry::TracePhase;
+
+bool is_terminal_drop_name(const char* name) {
+  namespace spans = telemetry::spans;
+  static constexpr const char* kDropNames[] = {
+      spans::kDropBusy, spans::kDropStale, spans::kDropOverflow, spans::kDropDown,
+      spans::kPacketLoss, spans::kTailDrop, spans::kFetchTimeout,
+  };
+  for (const char* d : kDropNames) {
+    if (std::strcmp(name, d) == 0) return true;
+  }
+  return false;
+}
+
+std::string fmt_ms(double ms) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+}  // namespace
+
+TraceLog from_tracer(const telemetry::Tracer& tracer) {
+  TraceLog log;
+  log.events = tracer.snapshot();
+  log.track_names = tracer.track_names();
+  return log;
+}
+
+std::optional<TraceLog> parse_trace_log(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("# mar-trace-events v1", 0) != 0) {
+    return std::nullopt;
+  }
+  TraceLog log;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "track") {
+      std::uint32_t track = 0;
+      ls >> track;
+      std::string name;
+      std::getline(ls, name);
+      if (!name.empty() && name.front() == ' ') name.erase(0, 1);
+      log.track_names[track] = name;
+      continue;
+    }
+    if (tag != "ev") continue;
+    TraceEvent e;
+    unsigned phase = 0, stage = 0;
+    std::string name;
+    if (!(ls >> e.ts >> e.dur >> e.value >> phase >> stage >> e.track >> e.lane >>
+          e.client >> e.frame >> e.trace_id >> name)) {
+      continue;  // malformed line
+    }
+    e.phase = static_cast<TracePhase>(phase);
+    e.stage = static_cast<Stage>(stage);
+    log.name_storage.push_back(std::move(name));
+    e.name = log.name_storage.back().c_str();
+    log.events.push_back(e);
+  }
+  return log;
+}
+
+std::optional<TraceLog> load_trace_log(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return std::nullopt;
+  std::ostringstream body;
+  body << f.rdbuf();
+  return parse_trace_log(body.str());
+}
+
+std::optional<FrameTimeline> reconstruct_frame(const TraceLog& log,
+                                               std::uint32_t trace_id) {
+  if (trace_id == 0) return std::nullopt;
+  FrameTimeline tl;
+  tl.trace_id = trace_id;
+  bool any = false;
+
+  // Begin/end pairing per {track, name, stage}, record order — the
+  // same key the Tracer's exporters use, scoped to this one frame.
+  using Key = std::tuple<std::uint32_t, std::string, std::uint8_t>;
+  std::map<Key, std::vector<std::pair<SimTime, double>>> open;
+
+  for (const TraceEvent& e : log.events) {
+    if (e.trace_id != trace_id) continue;
+    if (!any) {
+      tl.capture_ts = e.ts;
+      tl.client = e.client;
+      tl.frame = e.frame;
+      any = true;
+    }
+    tl.last_ts = std::max(tl.last_ts, e.ts + (e.phase == TracePhase::kComplete ? e.dur : 0));
+    const Key key{e.track, e.name, static_cast<std::uint8_t>(e.stage)};
+    switch (e.phase) {
+      case TracePhase::kBegin:
+        open[key].push_back({e.ts, e.value});
+        break;
+      case TracePhase::kEnd: {
+        TimelineHop hop;
+        auto it = open.find(key);
+        if (it != open.end() && !it->second.empty()) {
+          hop.start = it->second.back().first;
+          hop.value = it->second.back().second;
+          it->second.pop_back();
+        } else {
+          hop.start = e.ts;  // clipped begin: zero-length marker
+        }
+        hop.end = e.ts;
+        hop.track = log.track_label(e.track);
+        hop.name = e.name;
+        hop.stage = e.stage;
+        hop.phase = TracePhase::kEnd;
+        tl.hops.push_back(std::move(hop));
+        if (std::strcmp(e.name, telemetry::spans::kFrameE2e) == 0) {
+          tl.verdict = "result";
+        }
+        break;
+      }
+      case TracePhase::kComplete: {
+        TimelineHop hop;
+        hop.start = e.ts;
+        hop.end = e.ts + e.dur;
+        hop.track = log.track_label(e.track);
+        hop.name = e.name;
+        hop.stage = e.stage;
+        hop.phase = TracePhase::kComplete;
+        hop.value = e.value;
+        tl.hops.push_back(std::move(hop));
+        break;
+      }
+      case TracePhase::kInstant: {
+        if (std::strcmp(e.name, telemetry::spans::kRetained) == 0) {
+          tl.retain_reason = static_cast<telemetry::RetainReason>(
+              static_cast<int>(e.value));
+          break;  // synthetic marker, not a hop
+        }
+        TimelineHop hop;
+        hop.start = e.ts;
+        hop.end = e.ts;
+        hop.track = log.track_label(e.track);
+        hop.name = e.name;
+        hop.stage = e.stage;
+        hop.phase = TracePhase::kInstant;
+        hop.value = e.value;
+        tl.hops.push_back(std::move(hop));
+        if (is_terminal_drop_name(e.name)) tl.verdict = e.name;
+        break;
+      }
+      case TracePhase::kCounter:
+        break;  // counters are not frame-scoped
+    }
+  }
+  if (!any) return std::nullopt;
+
+  // Spans still open at the end of the log (the frame died mid-hop, or
+  // the run ended): surface them as open hops so the timeline shows
+  // where the frame was stuck.
+  for (auto& [key, starts] : open) {
+    for (const auto& [start, value] : starts) {
+      TimelineHop hop;
+      hop.start = start;
+      hop.end = start;
+      hop.track = log.track_label(std::get<0>(key));
+      hop.name = std::get<1>(key);
+      hop.stage = static_cast<Stage>(std::get<2>(key));
+      hop.phase = TracePhase::kBegin;
+      hop.value = value;
+      hop.open = true;
+      tl.hops.push_back(std::move(hop));
+    }
+  }
+
+  std::stable_sort(tl.hops.begin(), tl.hops.end(),
+                   [](const TimelineHop& a, const TimelineHop& b) {
+                     return a.start < b.start;
+                   });
+  return tl;
+}
+
+std::string render_timeline(const FrameTimeline& tl) {
+  std::ostringstream out;
+  out << "== trace " << tl.trace_id << " · client " << tl.client << " frame "
+      << tl.frame << " · verdict " << tl.verdict;
+  if (tl.retain_reason != telemetry::RetainReason::kNone) {
+    out << " · retained: " << telemetry::to_string(tl.retain_reason);
+  }
+  out << " ==\n";
+  out << "capture at " << fmt_ms(to_millis(tl.capture_ts)) << " ms, verdict at +"
+      << fmt_ms(tl.span_ms()) << " ms\n\ntimeline:\n";
+
+  for (const TimelineHop& hop : tl.hops) {
+    out << "  +" << fmt_ms(to_millis(hop.start - tl.capture_ts)) << " ms  ";
+    char line[160];
+    if (hop.phase == TracePhase::kInstant) {
+      std::snprintf(line, sizeof(line), "%-22s %-14s [instant, stage=%s]",
+                    hop.name.c_str(), hop.track.c_str(), to_string(hop.stage));
+    } else if (hop.open) {
+      std::snprintf(line, sizeof(line), "%-22s %-14s [still open, stage=%s]",
+                    hop.name.c_str(), hop.track.c_str(), to_string(hop.stage));
+    } else {
+      std::snprintf(line, sizeof(line), "%-22s %-14s %8s ms  [stage=%s]",
+                    hop.name.c_str(), hop.track.c_str(), fmt_ms(hop.dur_ms()).c_str(),
+                    to_string(hop.stage));
+    }
+    out << line << "\n";
+  }
+
+  // Per-hop budget: how the capture→verdict span divides over hops with
+  // real durations (instants and the e2e envelope itself excluded).
+  const double span = tl.span_ms();
+  out << "\nper-hop budget (of " << fmt_ms(span) << " ms capture->verdict):\n";
+  char header[120];
+  std::snprintf(header, sizeof(header), "  %-22s %-14s %10s %8s\n", "hop", "track",
+                "dur_ms", "% e2e");
+  out << header;
+  double accounted = 0.0;
+  for (const TimelineHop& hop : tl.hops) {
+    if (hop.phase == TracePhase::kInstant || hop.open) continue;
+    if (hop.name == telemetry::spans::kFrameE2e) continue;
+    const double ms = hop.dur_ms();
+    accounted += ms;
+    char row[120];
+    std::snprintf(row, sizeof(row), "  %-22s %-14s %10s %8.1f\n", hop.name.c_str(),
+                  hop.track.c_str(), fmt_ms(ms).c_str(),
+                  span > 0.0 ? 100.0 * ms / span : 0.0);
+    out << row;
+  }
+  char total[120];
+  std::snprintf(total, sizeof(total), "  %-22s %-14s %10s %8.1f\n", "(accounted)", "",
+                fmt_ms(accounted).c_str(), span > 0.0 ? 100.0 * accounted / span : 0.0);
+  out << total;
+  return out.str();
+}
+
+namespace {
+
+// Per-id first/last timestamps plus drop verdicts in one pass.
+struct IdSpan {
+  SimTime first = 0;
+  SimTime last = 0;
+  bool dropped = false;
+};
+
+std::vector<std::pair<std::uint32_t, IdSpan>> id_spans(const TraceLog& log) {
+  std::vector<std::pair<std::uint32_t, IdSpan>> order;
+  std::unordered_map<std::uint32_t, std::size_t> index;
+  for (const TraceEvent& e : log.events) {
+    if (e.trace_id == 0) continue;
+    auto [it, inserted] = index.try_emplace(e.trace_id, order.size());
+    if (inserted) order.push_back({e.trace_id, IdSpan{e.ts, e.ts, false}});
+    IdSpan& s = order[it->second].second;
+    s.last = std::max(s.last, e.ts + (e.phase == TracePhase::kComplete ? e.dur : 0));
+    if (e.phase == TracePhase::kInstant && is_terminal_drop_name(e.name)) {
+      s.dropped = true;
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> worst_trace_ids(const TraceLog& log, std::size_t n) {
+  auto spans = id_spans(log);
+  std::stable_sort(spans.begin(), spans.end(), [](const auto& a, const auto& b) {
+    return a.second.last - a.second.first > b.second.last - b.second.first;
+  });
+  std::vector<std::uint32_t> out;
+  for (const auto& [id, span] : spans) {
+    if (out.size() >= n) break;
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> dropped_trace_ids(const TraceLog& log) {
+  std::vector<std::uint32_t> out;
+  for (const auto& [id, span] : id_spans(log)) {
+    if (span.dropped) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> all_trace_ids(const TraceLog& log) {
+  std::vector<std::uint32_t> out;
+  for (const auto& [id, span] : id_spans(log)) out.push_back(id);
+  return out;
+}
+
+}  // namespace mar::expt

@@ -1,0 +1,107 @@
+#include "expt/retention.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mar::expt {
+
+TailSampler::TailSampler(TailRetentionConfig config)
+    : config_(config),
+      e2e_histogram_(telemetry::MetricRegistry::instance().histogram(
+          "mar_frame_e2e_ms", "End-to-end frame latency (capture to result).",
+          telemetry::FixedHistogram::default_latency_ms_bounds())) {
+  window_.reserve(config_.outlier_window);
+}
+
+void TailSampler::observe_rolling(double e2e_ms) {
+  if (config_.outlier_window == 0) return;
+  if (window_.size() < config_.outlier_window) {
+    window_.push_back(e2e_ms);
+  } else {
+    window_[window_next_] = e2e_ms;
+    window_full_ = true;
+  }
+  window_next_ = (window_next_ + 1) % config_.outlier_window;
+
+  // Warmed up once a quarter of the window (or the whole window for
+  // tiny configs) has filled; until then the outlier bar is unknown and
+  // outlier promotion stays off rather than firing on the first frames.
+  const std::size_t warm = std::max<std::size_t>(1, config_.outlier_window / 4);
+  if (window_.size() < warm) return;
+  if (report_.frames_closed % kRecomputeEvery != 0 && rolling_p99_ms_ > 0.0) return;
+
+  std::vector<double> sorted = window_;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(0.99 * static_cast<double>(sorted.size()))) - 1;
+  std::nth_element(sorted.begin(),
+                   sorted.begin() + static_cast<std::ptrdiff_t>(rank), sorted.end());
+  rolling_p99_ms_ = sorted[rank];
+}
+
+telemetry::RetainReason TailSampler::classify(double e2e_ms) {
+  using telemetry::RetainReason;
+  if (config_.promote_on_slo && slo_ != nullptr && slo_->violating()) {
+    return RetainReason::kSlo;
+  }
+  if (config_.promote_on_fault && injector_ != nullptr &&
+      injector_->active_windows() > 0) {
+    return RetainReason::kFault;
+  }
+  if (config_.outlier_factor > 0.0 && rolling_p99_ms_ > 0.0 &&
+      e2e_ms >= config_.outlier_factor * rolling_p99_ms_) {
+    return RetainReason::kOutlier;
+  }
+  if (config_.baseline_every != 0 &&
+      report_.frames_closed % config_.baseline_every == 0) {
+    return RetainReason::kBaseline;
+  }
+  return RetainReason::kNone;
+}
+
+void TailSampler::on_frame_closed(const wire::FrameHeader& h, SimTime ts, double e2e_ms,
+                                  bool /*success*/) {
+  using telemetry::RetainReason;
+  // Counted independently of the promotion verdict: the coverage
+  // denominator for "SLO-breaching frames with a retained trace".
+  if (slo_ != nullptr && slo_->violating()) ++report_.slo_breach_frames;
+  const RetainReason reason = classify(e2e_ms);
+  ++report_.frames_closed;
+  observe_rolling(e2e_ms);
+
+  bool promoted = false;
+  if (h.trace.active()) {
+    auto& recorder = telemetry::FlightRecorder::instance();
+    if (reason != RetainReason::kNone) {
+      // false means no flight buffer held this id — the frame was
+      // head-sampled (already durable) or its slot was evicted.
+      promoted = recorder.promote(h.trace.trace_id, h.client, h.frame, ts, reason);
+      if (promoted) {
+        switch (reason) {
+          case RetainReason::kSlo: ++report_.retained_slo; break;
+          case RetainReason::kFault: ++report_.retained_fault; break;
+          case RetainReason::kOutlier: ++report_.retained_outlier; break;
+          case RetainReason::kBaseline: ++report_.retained_baseline; break;
+          default: break;
+        }
+      }
+    } else if (recorder.recycle(h.trace.trace_id)) {
+      ++report_.recycled;
+    }
+  }
+
+  // Exemplars point only at traces guaranteed to be in the durable
+  // ring — i.e. buffers this verdict just promoted.
+  e2e_histogram_.observe(e2e_ms, promoted ? h.trace.trace_id : 0);
+}
+
+RetentionReport TailSampler::report() const {
+  RetentionReport out = report_;
+  out.enabled = true;
+  const auto stats = telemetry::FlightRecorder::instance().stats();
+  out.drop_flushed = stats.drop_flushed;
+  out.evicted = stats.evicted;
+  out.truncated = stats.truncated;
+  return out;
+}
+
+}  // namespace mar::expt

@@ -1,0 +1,119 @@
+// Tail-based trace retention policy: the decision half of the
+// telemetry::FlightRecorder.
+//
+// Clients running with ClientConfig::trace_all_frames give every frame
+// a trace id and a flight-recorder buffer; at the completion point
+// (ClientConfig::on_frame_closed) the TailSampler decides the buffer's
+// fate. Promotion reasons, in precedence order:
+//
+//   kSlo      — the frame closed while the run's SloWatchdog was in a
+//               violation window (hook: SloWatchdog::violating()).
+//   kFault    — the frame closed inside an active injected-fault window
+//               (hook: fault::FaultInjector::active_windows()).
+//   kOutlier  — the frame's E2E latency reached outlier_factor × the
+//               rolling p99 over the last outlier_window closed frames.
+//   kBaseline — deterministic 1-in-N background sample, so healthy
+//               traffic stays represented in the retained set.
+//
+// Anything else recycles. Frames that never close — terminal drop/loss
+// instants — are flushed by the FlightRecorder itself (kDrop) and never
+// reach the sampler.
+//
+// Every closed frame is also observed into the registry's
+// mar_frame_e2e_ms histogram; promoted frames attach their trace id as
+// the bucket's exemplar, so a latency spike on /metrics points straight
+// at a retained trace.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+#include "fault/injector.h"
+#include "expt/slo.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/registry.h"
+#include "wire/message.h"
+
+namespace mar::expt {
+
+struct TailRetentionConfig {
+  // Deterministic 1-in-N baseline sample of healthy frames (0 = none).
+  std::uint32_t baseline_every = 64;
+  // Promote when e2e_ms >= outlier_factor * rolling_p99 (and the
+  // rolling window has warmed up). <= 0 disables outlier promotion.
+  double outlier_factor = 1.0;
+  // Closed frames in the rolling-p99 window.
+  std::size_t outlier_window = 512;
+  // Flight-recorder slots (rounded up to a power of two). Sized for
+  // the frames simultaneously in flight, not the total frame count.
+  std::size_t flight_buffers = 1024;
+  bool promote_on_slo = true;
+  bool promote_on_fault = true;
+};
+
+// Counters the run reports next to the SLO/fault planes. `enabled`
+// false means retention was not configured and every other field is 0.
+struct RetentionReport {
+  bool enabled = false;
+  std::uint64_t frames_closed = 0;
+  // Frames that closed while the SLO watchdog was violating —
+  // independent of retention, the denominator for SLO coverage.
+  std::uint64_t slo_breach_frames = 0;
+  std::uint64_t retained_slo = 0;
+  std::uint64_t retained_fault = 0;
+  std::uint64_t retained_outlier = 0;
+  std::uint64_t retained_baseline = 0;
+  std::uint64_t recycled = 0;
+  // FlightRecorder stats, snapshotted at report time.
+  std::uint64_t drop_flushed = 0;
+  std::uint64_t evicted = 0;
+  std::uint64_t truncated = 0;
+
+  [[nodiscard]] std::uint64_t retained_total() const {
+    return retained_slo + retained_fault + retained_outlier + retained_baseline +
+           drop_flushed;
+  }
+};
+
+// Completion-point retention verdicts. Single-threaded like the event
+// loop that drives it; the hooks it reads (watchdog, injector) are
+// plain member reads.
+class TailSampler {
+ public:
+  explicit TailSampler(TailRetentionConfig config);
+
+  // Optional hooks; null pointers disable the corresponding reason.
+  void set_slo(const SloWatchdog* slo) { slo_ = slo; }
+  void set_injector(const fault::FaultInjector* injector) { injector_ = injector; }
+
+  // The ClientConfig::on_frame_closed hook: decide promote/recycle for
+  // one closed frame.
+  void on_frame_closed(const wire::FrameHeader& h, SimTime ts, double e2e_ms,
+                       bool success);
+
+  [[nodiscard]] RetentionReport report() const;
+  [[nodiscard]] double rolling_p99_ms() const { return rolling_p99_ms_; }
+
+ private:
+  [[nodiscard]] telemetry::RetainReason classify(double e2e_ms);
+  void observe_rolling(double e2e_ms);
+
+  TailRetentionConfig config_;
+  const SloWatchdog* slo_ = nullptr;
+  const fault::FaultInjector* injector_ = nullptr;
+  telemetry::FixedHistogram& e2e_histogram_;
+
+  // Rolling-p99 ring over the last outlier_window closed frames,
+  // recomputed every kRecomputeEvery closes (sorting per frame would be
+  // O(n log n) on the hot path for no accuracy gain).
+  static constexpr std::uint64_t kRecomputeEvery = 64;
+  std::vector<double> window_;
+  std::size_t window_next_ = 0;
+  bool window_full_ = false;
+  double rolling_p99_ms_ = 0.0;
+
+  RetentionReport report_;
+};
+
+}  // namespace mar::expt

@@ -18,7 +18,7 @@ void trace_udp(const wire::FramePacket& pkt, const char* name) {
   (void)registered;
   tracer.instant(telemetry::kNetworkTrack, name, telemetry::trace_wallclock_now(),
                  pkt.header.client, pkt.header.frame, pkt.header.stage,
-                 static_cast<double>(pkt.wire_size()));
+                 static_cast<double>(pkt.wire_size()), pkt.header.trace.trace_id);
 }
 
 }  // namespace

@@ -34,27 +34,31 @@ void send_all(int fd, const std::string& data) {
   std::size_t off = 0;
   while (off < data.size()) {
     const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
-    if (n <= 0) return;
+    if (n < 0 && errno == EINTR) continue;  // a signal mid-write is not an abort
+    if (n <= 0) return;  // client went away (EPIPE/ECONNRESET): stop quietly
     off += static_cast<std::size_t>(n);
   }
 }
 
-// Read until the end of the request head ("\r\n\r\n") or timeout. A
-// scrape request fits in one segment, but don't rely on it.
-bool read_request_head(int fd, std::string* head) {
+enum class ReadHeadResult { kOk, kClosedOrTimeout, kTooLarge };
+
+// Read until the end of the request head ("\r\n\r\n"), timeout, or the
+// size cap. A scrape request fits in one segment, but don't rely on it.
+ReadHeadResult read_request_head(int fd, std::string* head) {
   char buf[2048];
-  while (head->size() < kMaxRequestBytes) {
-    pollfd pfd{fd, POLLIN, 0};
-    if (::poll(&pfd, 1, kRequestTimeoutMs) <= 0) return false;
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) return false;
-    head->append(buf, static_cast<std::size_t>(n));
+  while (true) {
     if (head->find("\r\n\r\n") != std::string::npos ||
         head->find("\n\n") != std::string::npos) {
-      return true;
+      return ReadHeadResult::kOk;
     }
+    if (head->size() >= kMaxRequestBytes) return ReadHeadResult::kTooLarge;
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, kRequestTimeoutMs) <= 0) return ReadHeadResult::kClosedOrTimeout;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return ReadHeadResult::kClosedOrTimeout;
+    head->append(buf, static_cast<std::size_t>(n));
   }
-  return false;
 }
 
 // "GET /metrics HTTP/1.1" -> method, path (query string stripped).
@@ -138,7 +142,16 @@ void HttpServer::serve_loop() {
 
 void HttpServer::handle_connection(int fd) {
   std::string head;
-  if (!read_request_head(fd, &head)) return;  // slow or oversized client: drop
+  switch (read_request_head(fd, &head)) {
+    case ReadHeadResult::kOk:
+      break;
+    case ReadHeadResult::kClosedOrTimeout:
+      return;  // slow or vanished client: drop silently
+    case ReadHeadResult::kTooLarge:
+      send_all(fd, make_response(431, "Request Header Fields Too Large", "text/plain",
+                                 "request head exceeds 8 KiB\n"));
+      return;
+  }
 
   std::string method, path;
   if (!parse_request_line(head, &method, &path)) {

@@ -21,10 +21,10 @@ void trace_net(const wire::FramePacket& pkt, const char* name, SimTime ts,
   if (dur >= 0) {
     tracer.complete(telemetry::kNetworkTrack, name, ts, dur, pkt.header.client,
                     pkt.header.frame, pkt.header.stage,
-                    static_cast<double>(pkt.wire_size()));
+                    static_cast<double>(pkt.wire_size()), pkt.header.trace.trace_id);
   } else {
     tracer.instant(telemetry::kNetworkTrack, name, ts, pkt.header.client,
-                   pkt.header.frame, pkt.header.stage);
+                   pkt.header.frame, pkt.header.stage, 0.0, pkt.header.trace.trace_id);
   }
 }
 

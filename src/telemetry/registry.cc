@@ -20,12 +20,42 @@ std::string fmt(double v) {
   return buf;
 }
 
+// Prometheus exposition format: inside a label value, backslash, double
+// quote, and newline must be escaped (\\, \", \n).
+std::string escape_label_value(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// HELP text escapes only backslash and newline (quotes are legal there).
+std::string escape_help(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string render_labels(const Labels& labels) {
   if (labels.empty()) return "";
   std::string out = "{";
   for (std::size_t i = 0; i < labels.size(); ++i) {
     if (i) out += ",";
-    out += labels[i].first + "=\"" + labels[i].second + "\"";
+    out += labels[i].first + "=\"" + escape_label_value(labels[i].second) + "\"";
   }
   return out + "}";
 }
@@ -51,6 +81,7 @@ FixedHistogram::FixedHistogram(std::vector<double> bounds) : bounds_(std::move(b
   for (auto& s : shards_) {
     s.buckets = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
   }
+  exemplars_ = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
 }
 
 std::size_t FixedHistogram::bucket_of(double v) const {
@@ -85,6 +116,19 @@ std::vector<std::uint64_t> FixedHistogram::bucket_counts() const {
   return out;
 }
 
+std::vector<FixedHistogram::Exemplar> FixedHistogram::exemplars() const {
+  std::vector<Exemplar> out(exemplars_.size());
+  for (std::size_t i = 0; i < exemplars_.size(); ++i) {
+    const std::uint64_t packed = exemplars_[i].load(std::memory_order_relaxed);
+    out[i].trace_id = static_cast<std::uint32_t>(packed & 0xffffffffu);
+    const auto bits = static_cast<std::uint32_t>(packed >> 32);
+    float f;
+    __builtin_memcpy(&f, &bits, sizeof(f));
+    out[i].value = static_cast<double>(f);
+  }
+  return out;
+}
+
 double FixedHistogram::quantile(double q) const {
   const auto counts = bucket_counts();
   std::uint64_t total = 0;
@@ -114,6 +158,7 @@ void FixedHistogram::reset() {
     for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
     s.sum.store(0.0);
   }
+  for (auto& e : exemplars_) e.store(0, std::memory_order_relaxed);
 }
 
 MetricRegistry& MetricRegistry::instance() {
@@ -183,7 +228,7 @@ std::string MetricRegistry::prometheus_text() const {
     const char* type = fam->kind == Kind::kCounter     ? "counter"
                        : fam->kind == Kind::kGauge     ? "gauge"
                                                        : "histogram";
-    out << "# HELP " << fam->name << ' ' << fam->help << '\n';
+    out << "# HELP " << fam->name << ' ' << escape_help(fam->help) << '\n';
     out << "# TYPE " << fam->name << ' ' << type << '\n';
     for (const auto& child : fam->children) {
       switch (fam->kind) {
@@ -196,16 +241,24 @@ std::string MetricRegistry::prometheus_text() const {
         case Kind::kHistogram: {
           const FixedHistogram& h = *child->histogram;
           const auto counts = h.bucket_counts();
+          const auto exemplars = h.exemplars();
+          // An OpenMetrics exemplar suffix on a bucket line:
+          //   name_bucket{le="x"} 7 # {trace_id="42"} 3.5
+          auto exemplar_suffix = [&](std::size_t i) -> std::string {
+            if (exemplars[i].trace_id == 0) return "";
+            return " # {trace_id=\"" + std::to_string(exemplars[i].trace_id) + "\"} " +
+                   fmt(exemplars[i].value);
+          };
           std::uint64_t cumulative = 0;
           for (std::size_t i = 0; i < h.bounds().size(); ++i) {
             cumulative += counts[i];
             out << fam->name << "_bucket"
                 << render_labels_plus(child->labels, "le", fmt(h.bounds()[i])) << ' '
-                << cumulative << '\n';
+                << cumulative << exemplar_suffix(i) << '\n';
           }
           cumulative += counts.back();
           out << fam->name << "_bucket" << render_labels_plus(child->labels, "le", "+Inf")
-              << ' ' << cumulative << '\n';
+              << ' ' << cumulative << exemplar_suffix(h.bounds().size()) << '\n';
           out << fam->name << "_sum" << child->label_text << ' ' << fmt(h.sum()) << '\n';
           out << fam->name << "_count" << child->label_text << ' ' << cumulative << '\n';
           break;
@@ -234,6 +287,15 @@ std::string MetricRegistry::statusz_text() const {
           const FixedHistogram& h = *child->histogram;
           out << "count=" << h.count() << " mean=" << fmt(h.mean())
               << " p50=" << fmt(h.quantile(0.50)) << " p99=" << fmt(h.quantile(0.99));
+          // Highest bucket holding an exemplar ≈ the worst retained
+          // sample — the trace id to feed to frame_forensics.
+          const auto exemplars = h.exemplars();
+          for (std::size_t i = exemplars.size(); i-- > 0;) {
+            if (exemplars[i].trace_id == 0) continue;
+            out << " exemplar=trace_id:" << exemplars[i].trace_id << '@'
+                << fmt(exemplars[i].value) << "ms";
+            break;
+          }
           break;
         }
       }

@@ -131,11 +131,30 @@ class FixedHistogram {
   // implicit. Defaults cover sub-ms kernels to multi-second stalls.
   static const std::vector<double>& default_latency_ms_bounds();
 
-  void observe(double v) {
+  // The last exemplar observed into a bucket: a trace_id that landed
+  // there plus the (float-precision) observed value, rendered as an
+  // OpenMetrics `# {trace_id="..."} value` suffix on the bucket line.
+  // trace_id 0 means the bucket has no exemplar.
+  struct Exemplar {
+    std::uint32_t trace_id = 0;
+    double value = 0.0;
+  };
+
+  void observe(double v) { observe(v, 0); }
+  // Exemplar-carrying observation: `trace_id` ties this sample to a
+  // retained trace (see telemetry::FlightRecorder). Pass 0 when the
+  // frame was not retained — the sample still counts, without an
+  // exemplar. A single relaxed store (value+id packed into one word)
+  // keeps the pair coherent without locking.
+  void observe(double v, std::uint32_t trace_id) {
     if (!metrics_enabled()) return;
+    const std::size_t b = bucket_of(v);
     Shard& s = shards_[internal::lane_shard()];
-    s.buckets[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    s.buckets[b].fetch_add(1, std::memory_order_relaxed);
     s.sum.add(v);
+    if (trace_id != 0) {
+      exemplars_[b].store(pack_exemplar(trace_id, v), std::memory_order_relaxed);
+    }
   }
 
   [[nodiscard]] std::uint64_t count() const;
@@ -146,6 +165,9 @@ class FixedHistogram {
   }
   // Per-bucket (non-cumulative) counts, one extra entry for +Inf.
   [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  // Per-bucket exemplars, one entry per bucket (+Inf last); entries
+  // with trace_id 0 carry no exemplar.
+  [[nodiscard]] std::vector<Exemplar> exemplars() const;
   [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
   // Quantile estimate (q in [0,1]) by linear interpolation inside the
   // bucket that crosses rank q; exact enough for /statusz p50/p99.
@@ -157,12 +179,22 @@ class FixedHistogram {
   void reset();
   [[nodiscard]] std::size_t bucket_of(double v) const;
 
+  // value (float bits) in the high word, trace_id in the low word, so
+  // one relaxed store publishes a coherent pair.
+  static std::uint64_t pack_exemplar(std::uint32_t trace_id, double v) {
+    const float f = static_cast<float>(v);
+    std::uint32_t bits;
+    __builtin_memcpy(&bits, &f, sizeof(bits));
+    return (static_cast<std::uint64_t>(bits) << 32) | trace_id;
+  }
+
   struct Shard {
     std::vector<std::atomic<std::uint64_t>> buckets;  // bounds_.size() + 1
     internal::AtomicDouble sum;
   };
   std::vector<double> bounds_;
   std::array<Shard, internal::kMetricShards> shards_;
+  std::vector<std::atomic<std::uint64_t>> exemplars_;  // bounds_.size() + 1
 };
 
 // The process-wide registry. Families are created on first use and live

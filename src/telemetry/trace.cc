@@ -10,6 +10,7 @@
 #include <tuple>
 
 #include "common/parallel.h"
+#include "telemetry/flight_recorder.h"
 
 namespace mar::telemetry {
 namespace {
@@ -82,14 +83,9 @@ void Tracer::clear() {
 
 void Tracer::record(std::uint32_t track, const char* name, SimTime ts, SimDuration dur,
                     ClientId client, FrameId frame, Stage stage, TracePhase phase,
-                    double value) {
+                    double value, std::uint32_t trace_id) {
   if (!enabled()) return;
-  const std::uint64_t idx = next_.fetch_add(1, std::memory_order_relaxed);
-  if (idx >= events_.size()) {
-    dropped_.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
-  TraceEvent& e = events_[idx];
+  TraceEvent e;
   e.ts = ts;
   e.dur = dur;
   e.value = value;
@@ -97,9 +93,38 @@ void Tracer::record(std::uint32_t track, const char* name, SimTime ts, SimDurati
   e.frame = frame.value();
   e.client = client.value();
   e.track = track;
+  e.trace_id = trace_id;
   e.stage = stage;
   e.phase = phase;
   e.lane = static_cast<std::uint16_t>(parallel_lane());
+
+  // Tail retention: flight-recorded frames buffer their events until
+  // the completion-point verdict instead of going durable immediately.
+  if (trace_id != 0 && flight_recording_enabled() &&
+      FlightRecorder::instance().try_record(e)) {
+    return;
+  }
+
+  const std::uint64_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= events_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_[idx] = e;
+}
+
+std::size_t Tracer::append(const TraceEvent* events, std::size_t n) {
+  if (!enabled() || n == 0) return 0;
+  const std::uint64_t start = next_.fetch_add(n, std::memory_order_relaxed);
+  if (start >= events_.size()) {
+    dropped_.fetch_add(n, std::memory_order_relaxed);
+    return 0;
+  }
+  const std::size_t fit =
+      std::min<std::size_t>(n, events_.size() - static_cast<std::size_t>(start));
+  std::copy(events, events + fit, events_.begin() + static_cast<std::ptrdiff_t>(start));
+  if (fit < n) dropped_.fetch_add(n - fit, std::memory_order_relaxed);
+  return fit;
 }
 
 void Tracer::set_track_name(std::uint32_t track, std::string name) {
@@ -111,6 +136,11 @@ std::string Tracer::track_name(std::uint32_t track) const {
   std::lock_guard<std::mutex> lk(meta_mu_);
   auto it = track_names_.find(track);
   return it == track_names_.end() ? "track#" + std::to_string(track) : it->second;
+}
+
+std::unordered_map<std::uint32_t, std::string> Tracer::track_names() const {
+  std::lock_guard<std::mutex> lk(meta_mu_);
+  return track_names_;
 }
 
 std::size_t Tracer::size() const {
@@ -205,6 +235,12 @@ std::string Tracer::chrome_trace_json() const {
     }
   }
 
+  // Trace ids link spans back to retained flight-recorder timelines;
+  // omitted when zero so untraced events keep their old shape.
+  auto trace_arg = [](std::uint32_t id) {
+    return id ? ",\"trace\":" + std::to_string(id) : std::string();
+  };
+
   std::map<SpanKey, std::vector<std::size_t>> open;
   const std::size_t n = size();
   for (std::size_t i = 0; i < n; ++i) {
@@ -222,20 +258,22 @@ std::string Tracer::chrome_trace_json() const {
         sep() << "{\"ph\":\"X\",\"pid\":" << b.track << ",\"tid\":" << b.lane
               << ",\"ts\":" << fmt_us(b.ts) << ",\"dur\":" << fmt_us(e.ts - b.ts)
               << ",\"name\":\"" << b.name << "\",\"cat\":\"" << stage_name
-              << "\",\"args\":{\"client\":" << b.client << ",\"frame\":" << b.frame << "}}";
+              << "\",\"args\":{\"client\":" << b.client << ",\"frame\":" << b.frame
+              << trace_arg(b.trace_id) << "}}";
         break;
       }
       case TracePhase::kComplete:
         sep() << "{\"ph\":\"X\",\"pid\":" << e.track << ",\"tid\":" << e.lane
               << ",\"ts\":" << fmt_us(e.ts) << ",\"dur\":" << fmt_us(e.dur)
               << ",\"name\":\"" << e.name << "\",\"cat\":\"" << stage_name
-              << "\",\"args\":{\"client\":" << e.client << ",\"frame\":" << e.frame << "}}";
+              << "\",\"args\":{\"client\":" << e.client << ",\"frame\":" << e.frame
+              << trace_arg(e.trace_id) << "}}";
         break;
       case TracePhase::kInstant:
         sep() << "{\"ph\":\"i\",\"pid\":" << e.track << ",\"tid\":" << e.lane
               << ",\"ts\":" << fmt_us(e.ts) << ",\"name\":\"" << e.name
               << "\",\"cat\":\"" << stage_name << "\",\"s\":\"p\",\"args\":{\"client\":"
-              << e.client << ",\"frame\":" << e.frame << "}}";
+              << e.client << ",\"frame\":" << e.frame << trace_arg(e.trace_id) << "}}";
         break;
       case TracePhase::kCounter:
         sep() << "{\"ph\":\"C\",\"pid\":" << e.track << ",\"ts\":" << fmt_us(e.ts)
@@ -301,6 +339,42 @@ std::string Tracer::prometheus_text() const {
         << to_string(static_cast<Stage>(key.second)) << "\"} " << count << "\n";
   }
   return out.str();
+}
+
+std::string Tracer::event_log_text() const {
+  // One line per event, whitespace-separated, name last (names are
+  // static identifiers without spaces; track names may contain spaces
+  // and therefore go last on their own lines too).
+  std::ostringstream out;
+  out << "# mar-trace-events v1\n";
+  {
+    std::lock_guard<std::mutex> lk(meta_mu_);
+    std::map<std::uint32_t, std::string> ordered(track_names_.begin(),
+                                                 track_names_.end());
+    for (const auto& [track, name] : ordered) {
+      out << "track " << track << " " << name << "\n";
+    }
+  }
+  const std::size_t n = size();
+  char val[48];
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEvent& e = events_[i];
+    std::snprintf(val, sizeof(val), "%.9g", e.value);
+    out << "ev " << e.ts << " " << e.dur << " " << val << " "
+        << static_cast<unsigned>(e.phase) << " " << static_cast<unsigned>(e.stage) << " "
+        << e.track << " " << e.lane << " " << e.client << " " << e.frame << " "
+        << e.trace_id << " " << e.name << "\n";
+  }
+  return out.str();
+}
+
+bool Tracer::write_event_log(const std::string& path) const {
+  const std::string body = event_log_text();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
 }
 
 SimTime trace_wallclock_now() {

@@ -67,7 +67,19 @@ inline constexpr const char* kUdpTx = "udp_tx";
 inline constexpr const char* kUdpRx = "udp_rx";
 inline constexpr const char* kFault = "fault";        // injected fault window
 inline constexpr const char* kFailover = "failover";  // suspect -> respawn span
+// Synthetic instant appended when a flight-recorder buffer is promoted
+// into the durable ring; `value` holds the RetainReason.
+inline constexpr const char* kRetained = "retained";
 }  // namespace spans
+
+// Head-sampling default shared by core::ClientConfig::trace_sample_every,
+// expt::ExperimentConfig::trace_sample_every, and the experiment_cli
+// --trace_sample flag: every frame is stamped when the tracer is on.
+// Tail-based retention (expt::TailRetentionConfig) composes with head
+// sampling instead of replacing it — head-sampled frames keep going
+// straight to the durable ring; the other frames are flight-recorded
+// and only promoted when the retention policy keeps them.
+inline constexpr std::uint32_t kDefaultTraceSampleEvery = 1;
 
 // Well-known track ids. Service replicas use their InstanceId value as
 // the track, so these start well above any realistic replica count.
@@ -84,6 +96,7 @@ struct TraceEvent {
   std::uint64_t frame = FrameId::kInvalid;
   std::uint32_t client = ClientId::kInvalid;
   std::uint32_t track = 0;
+  std::uint32_t trace_id = 0;  // FrameHeader TraceContext id; 0 = untraced
   Stage stage = Stage::kPrimary;
   TracePhase phase = TracePhase::kInstant;
   std::uint16_t lane = 0;  // thread-pool lane of the recording thread
@@ -114,26 +127,36 @@ class Tracer {
   void clear();
 
   // --- recording (thread-safe, wait-free) ----------------------------
+  // `trace_id` ties the event to a FrameHeader's TraceContext. Events
+  // with a nonzero id are offered to the FlightRecorder first (tail
+  // retention); untracked ids fall through to the durable ring.
   void begin(std::uint32_t track, const char* name, SimTime ts, ClientId client,
-             FrameId frame, Stage stage, double value = 0.0) {
-    record(track, name, ts, 0, client, frame, stage, TracePhase::kBegin, value);
+             FrameId frame, Stage stage, double value = 0.0, std::uint32_t trace_id = 0) {
+    record(track, name, ts, 0, client, frame, stage, TracePhase::kBegin, value, trace_id);
   }
   void end(std::uint32_t track, const char* name, SimTime ts, ClientId client,
-           FrameId frame, Stage stage, double value = 0.0) {
-    record(track, name, ts, 0, client, frame, stage, TracePhase::kEnd, value);
+           FrameId frame, Stage stage, double value = 0.0, std::uint32_t trace_id = 0) {
+    record(track, name, ts, 0, client, frame, stage, TracePhase::kEnd, value, trace_id);
   }
   void instant(std::uint32_t track, const char* name, SimTime ts, ClientId client,
-               FrameId frame, Stage stage, double value = 0.0) {
-    record(track, name, ts, 0, client, frame, stage, TracePhase::kInstant, value);
+               FrameId frame, Stage stage, double value = 0.0, std::uint32_t trace_id = 0) {
+    record(track, name, ts, 0, client, frame, stage, TracePhase::kInstant, value, trace_id);
   }
   void complete(std::uint32_t track, const char* name, SimTime ts, SimDuration dur,
-                ClientId client, FrameId frame, Stage stage, double value = 0.0) {
-    record(track, name, ts, dur, client, frame, stage, TracePhase::kComplete, value);
+                ClientId client, FrameId frame, Stage stage, double value = 0.0,
+                std::uint32_t trace_id = 0) {
+    record(track, name, ts, dur, client, frame, stage, TracePhase::kComplete, value,
+           trace_id);
   }
   void counter(std::uint32_t track, const char* name, SimTime ts, double value) {
     record(track, name, ts, 0, ClientId::invalid(), FrameId::invalid(), Stage::kPrimary,
-           TracePhase::kCounter, value);
+           TracePhase::kCounter, value, 0);
   }
+
+  // Bulk transfer into the durable ring (flight-recorder promotion):
+  // claims a contiguous block of slots and copies the events verbatim.
+  // Returns how many fit; the remainder counts toward dropped().
+  std::size_t append(const TraceEvent* events, std::size_t n);
 
   // Nonzero id for a FrameHeader's TraceContext.
   [[nodiscard]] std::uint32_t next_trace_id() {
@@ -144,6 +167,7 @@ class Tracer {
   // --- track metadata -------------------------------------------------
   void set_track_name(std::uint32_t track, std::string name);
   [[nodiscard]] std::string track_name(std::uint32_t track) const;
+  [[nodiscard]] std::unordered_map<std::uint32_t, std::string> track_names() const;
 
   // --- inspection ------------------------------------------------------
   [[nodiscard]] std::size_t size() const;
@@ -169,10 +193,16 @@ class Tracer {
   [[nodiscard]] std::string chrome_trace_json() const;
   bool write_chrome_trace(const std::string& path) const;
   [[nodiscard]] std::string prometheus_text() const;
+  // Line-oriented raw event log ("# mar-trace-events v1"), the format
+  // the frame_forensics CLI reads back (expt::load_trace_log). Unlike
+  // the Chrome JSON, it keeps unmatched begins and trace ids verbatim.
+  [[nodiscard]] std::string event_log_text() const;
+  bool write_event_log(const std::string& path) const;
 
  private:
   void record(std::uint32_t track, const char* name, SimTime ts, SimDuration dur,
-              ClientId client, FrameId frame, Stage stage, TracePhase phase, double value);
+              ClientId client, FrameId frame, Stage stage, TracePhase phase, double value,
+              std::uint32_t trace_id);
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> next_{0};

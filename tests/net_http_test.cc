@@ -149,5 +149,84 @@ TEST(HttpServer, StartWhileRunningFails) {
   s.stop();
 }
 
+// A response far larger than any socket buffer forces send() to return
+// short writes; the body must still arrive complete and byte-exact.
+TEST(HttpServer, LargeResponseSurvivesPartialWrites) {
+  std::string big(4u << 20, '\0');
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<char>('a' + (i * 31) % 26);
+  }
+  HttpServer s;
+  s.handle("/big", "application/octet-stream", [&big] { return big; });
+  ASSERT_TRUE(s.start(0).is_ok());
+  const std::string response =
+      http_get_raw(s.port(), "GET /big HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: " + std::to_string(big.size())),
+            std::string::npos);
+  EXPECT_EQ(body_of(response), big);
+  s.stop();
+}
+
+// A request head past the 8 KiB cap gets a 431 rather than a silent
+// hang-up, so a misbehaving scraper sees why it was refused.
+TEST_F(HttpFixture, OversizedRequestHeadIs431) {
+  std::string request = "GET /" + std::string(10000, 'q') + " HTTP/1.1\r\nHost: x\r\n\r\n";
+  const std::string response = http_get_raw(server.port(), request);
+  EXPECT_NE(response.find("HTTP/1.1 431 "), std::string::npos);
+}
+
+// A client that disappears mid-response (EPIPE territory) must not
+// take the accept thread down; the next request still gets served.
+TEST(HttpServer, ClientAbortMidResponseDoesNotKillServer) {
+  std::string big(4u << 20, 'z');
+  HttpServer s;
+  s.handle("/big", "application/octet-stream", [&big] { return big; });
+  ASSERT_TRUE(s.start(0).is_ok());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(s.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string request = "GET /big HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  char buf[1024];
+  (void)::recv(fd, buf, sizeof(buf), 0);  // read a sliver of the response
+  // Abort hard: RST on close so the server's next send() fails.
+  linger lg{1, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  ::close(fd);
+
+  const std::string response =
+      http_get_raw(s.port(), "GET /big HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_EQ(body_of(response).size(), big.size());
+  s.stop();
+}
+
+// Teardown with a connected-but-silent client: stop() must come back
+// (bounded by the request timeout) instead of hanging on the join.
+TEST(HttpServer, StopWithIdleConnectionReturns) {
+  HttpServer s;
+  s.handle("/x", "text/plain", [] { return std::string("x"); });
+  ASSERT_TRUE(s.start(0).is_ok());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(s.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  // Never send anything; the server is blocked in read_request_head.
+  s.stop();
+  EXPECT_FALSE(s.running());
+  ::close(fd);
+}
+
 }  // namespace
 }  // namespace mar::net

@@ -1,0 +1,330 @@
+// Exposition-format conformance: a strict line parser over everything
+// the process can serve at /metrics — MetricRegistry::prometheus_text()
+// and Tracer::prometheus_text(). Prometheus scrapers are unforgiving;
+// one unescaped quote in a label value corrupts every sample after it,
+// so the contract is pinned here: label-value escaping (\\ \" \n), HELP
+// escaping, cumulative buckets, +Inf == _count, _sum/_count presence,
+// and OpenMetrics exemplar suffixes on bucket lines only.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
+
+namespace mar::telemetry {
+namespace {
+
+struct Sample {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;  // unescaped values
+  std::string value_text;
+  double value = 0.0;
+  bool has_exemplar = false;
+  std::uint32_t exemplar_trace_id = 0;
+  double exemplar_value = 0.0;
+
+  [[nodiscard]] std::string label(const std::string& key) const {
+    for (const auto& [k, v] : labels) {
+      if (k == key) return v;
+    }
+    return "";
+  }
+};
+
+bool is_name_char(char c, bool first) {
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':') return true;
+  return !first && std::isdigit(static_cast<unsigned char>(c));
+}
+
+// Strict value token: a C double or the Prometheus spellings +Inf/-Inf/NaN.
+bool parse_value(const std::string& text, double* out) {
+  if (text == "+Inf") {
+    *out = HUGE_VAL;
+    return true;
+  }
+  if (text == "-Inf") {
+    *out = -HUGE_VAL;
+    return true;
+  }
+  if (text == "NaN") {
+    *out = 0.0;
+    return true;
+  }
+  if (text.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+// One sample line, strictly:
+//   name[{k="v",...}] value[ # {trace_id="N"} value]
+// Returns nullopt (and records a test failure) on any grammar breach.
+std::optional<Sample> parse_sample(const std::string& line) {
+  Sample s;
+  std::size_t i = 0;
+  while (i < line.size() && is_name_char(line[i], i == 0)) ++i;
+  if (i == 0) {
+    ADD_FAILURE() << "sample must start with a metric name: " << line;
+    return std::nullopt;
+  }
+  s.name = line.substr(0, i);
+
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    while (i < line.size() && line[i] != '}') {
+      std::size_t k0 = i;
+      while (i < line.size() && is_name_char(line[i], i == k0)) ++i;
+      if (i == k0 || i + 1 >= line.size() || line[i] != '=' || line[i + 1] != '"') {
+        ADD_FAILURE() << "bad label at col " << k0 << ": " << line;
+        return std::nullopt;
+      }
+      std::string key = line.substr(k0, i - k0);
+      i += 2;  // past ="
+      std::string val;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\') {
+          if (i + 1 >= line.size()) break;
+          const char esc = line[i + 1];
+          if (esc == '\\') {
+            val += '\\';
+          } else if (esc == '"') {
+            val += '"';
+          } else if (esc == 'n') {
+            val += '\n';
+          } else {
+            ADD_FAILURE() << "illegal escape \\" << esc << " in: " << line;
+            return std::nullopt;
+          }
+          i += 2;
+          continue;
+        }
+        if (line[i] == '\n') {
+          ADD_FAILURE() << "raw newline inside label value: " << line;
+          return std::nullopt;
+        }
+        val += line[i++];
+      }
+      if (i >= line.size()) {
+        ADD_FAILURE() << "unterminated label value: " << line;
+        return std::nullopt;
+      }
+      ++i;  // closing quote
+      s.labels.emplace_back(std::move(key), std::move(val));
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+    if (i >= line.size() || line[i] != '}') {
+      ADD_FAILURE() << "unterminated label set: " << line;
+      return std::nullopt;
+    }
+    ++i;
+  }
+
+  if (i >= line.size() || line[i] != ' ') {
+    ADD_FAILURE() << "expected space before value: " << line;
+    return std::nullopt;
+  }
+  ++i;
+  std::size_t v0 = i;
+  while (i < line.size() && line[i] != ' ') ++i;
+  s.value_text = line.substr(v0, i - v0);
+  if (!parse_value(s.value_text, &s.value)) {
+    ADD_FAILURE() << "unparseable value '" << s.value_text << "' in: " << line;
+    return std::nullopt;
+  }
+
+  if (i < line.size()) {
+    // Only an OpenMetrics exemplar may follow: ` # {trace_id="N"} value`
+    const std::string rest = line.substr(i);
+    const std::string prefix = " # {trace_id=\"";
+    if (rest.compare(0, prefix.size(), prefix) != 0) {
+      ADD_FAILURE() << "trailing garbage after value: " << line;
+      return std::nullopt;
+    }
+    std::size_t j = prefix.size();
+    std::size_t d0 = j;
+    while (j < rest.size() && std::isdigit(static_cast<unsigned char>(rest[j]))) ++j;
+    if (j == d0 || rest.compare(j, 3, "\"} ") != 0) {
+      ADD_FAILURE() << "malformed exemplar: " << line;
+      return std::nullopt;
+    }
+    s.exemplar_trace_id =
+        static_cast<std::uint32_t>(std::strtoul(rest.substr(d0, j - d0).c_str(), nullptr, 10));
+    double exv = 0.0;
+    if (!parse_value(rest.substr(j + 3), &exv)) {
+      ADD_FAILURE() << "unparseable exemplar value: " << line;
+      return std::nullopt;
+    }
+    s.has_exemplar = true;
+    s.exemplar_value = exv;
+  }
+  return s;
+}
+
+// Parse a whole exposition body; validates comment lines too.
+std::vector<Sample> parse_exposition(const std::string& body) {
+  std::vector<Sample> out;
+  std::istringstream lines(body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# HELP name text" / "# TYPE name kind" — and HELP text must
+      // not smuggle a raw newline (it would have split the line).
+      std::istringstream ls(line);
+      std::string hash, kind, name;
+      ls >> hash >> kind >> name;
+      EXPECT_TRUE(kind == "HELP" || kind == "TYPE") << line;
+      EXPECT_FALSE(name.empty()) << line;
+      continue;
+    }
+    if (auto s = parse_sample(line)) out.push_back(std::move(*s));
+  }
+  return out;
+}
+
+struct ConformanceTest : ::testing::Test {
+  void SetUp() override {
+    registry().set_enabled(true);
+    registry().reset_values();
+  }
+  void TearDown() override {
+    registry().reset_values();
+    registry().set_enabled(false);
+  }
+  static MetricRegistry& registry() { return MetricRegistry::instance(); }
+};
+
+TEST_F(ConformanceTest, LabelValueEscapingRoundTrips) {
+  const std::string nasty = "pa\\th \"quoted\"\nline2";
+  registry().counter("conf_escape_total", "escape probe", {{"site", nasty}}).inc(3);
+
+  const std::string body = registry().prometheus_text();
+  // The raw text must carry the escaped forms...
+  EXPECT_NE(body.find("site=\"pa\\\\th \\\"quoted\\\"\\nline2\""), std::string::npos)
+      << body;
+  // ...and the strict parser must recover the original value exactly.
+  bool found = false;
+  for (const Sample& s : parse_exposition(body)) {
+    if (s.name == "conf_escape_total") {
+      found = true;
+      EXPECT_EQ(s.label("site"), nasty);
+      EXPECT_EQ(s.value, 3.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ConformanceTest, HelpTextEscapesBackslashAndNewline) {
+  registry().counter("conf_help_total", "line1\nline2 \\ backslash").inc();
+  const std::string body = registry().prometheus_text();
+  EXPECT_NE(body.find("# HELP conf_help_total line1\\nline2 \\\\ backslash"),
+            std::string::npos)
+      << body;
+  parse_exposition(body);  // still one line per sample / comment
+}
+
+TEST_F(ConformanceTest, HistogramBucketsAreCumulativeAndInfEqualsCount) {
+  auto& h = registry().histogram("conf_lat_ms", "latency probe",
+                                 {1.0, 5.0, 25.0}, {{"stage", "sift"}});
+  const double obs[] = {0.5, 0.7, 3.0, 10.0, 100.0, 400.0};
+  for (double v : obs) h.observe(v);
+
+  std::map<std::string, std::uint64_t> bucket;  // le -> cumulative
+  std::uint64_t count = 0;
+  bool saw_sum = false, saw_count = false;
+  double sum = 0.0;
+  for (const Sample& s : parse_exposition(registry().prometheus_text())) {
+    if (s.name == "conf_lat_ms_bucket" && s.label("stage") == "sift") {
+      bucket[s.label("le")] = static_cast<std::uint64_t>(s.value);
+    } else if (s.name == "conf_lat_ms_sum") {
+      saw_sum = true;
+      sum = s.value;
+    } else if (s.name == "conf_lat_ms_count") {
+      saw_count = true;
+      count = static_cast<std::uint64_t>(s.value);
+    }
+  }
+  ASSERT_TRUE(saw_sum);
+  ASSERT_TRUE(saw_count);
+  ASSERT_EQ(bucket.size(), 4u);  // 3 bounds + +Inf
+  EXPECT_EQ(bucket["1"], 2u);
+  EXPECT_EQ(bucket["5"], 3u);
+  EXPECT_EQ(bucket["25"], 4u);
+  EXPECT_EQ(bucket["+Inf"], 6u);
+  EXPECT_EQ(bucket["+Inf"], count) << "+Inf bucket must equal _count";
+  EXPECT_LE(bucket["1"], bucket["5"]);
+  EXPECT_LE(bucket["5"], bucket["25"]);
+  EXPECT_LE(bucket["25"], bucket["+Inf"]);
+  EXPECT_DOUBLE_EQ(sum, 0.5 + 0.7 + 3.0 + 10.0 + 100.0 + 400.0);
+}
+
+TEST_F(ConformanceTest, ExemplarsRideOnlyOnBucketLines) {
+  auto& h = registry().histogram("conf_exm_ms", "exemplar probe", {10.0, 50.0});
+  h.observe(3.0);                 // no exemplar
+  h.observe(30.0, /*trace_id=*/77);
+  h.observe(500.0, /*trace_id=*/91);
+
+  std::size_t exemplars = 0;
+  for (const Sample& s : parse_exposition(registry().prometheus_text())) {
+    if (!s.has_exemplar) continue;
+    ++exemplars;
+    EXPECT_NE(s.name.find("_bucket"), std::string::npos)
+        << "exemplar outside a bucket line: " << s.name;
+    if (s.name == "conf_exm_ms_bucket" && s.label("le") == "50") {
+      EXPECT_EQ(s.exemplar_trace_id, 77u);
+      EXPECT_DOUBLE_EQ(s.exemplar_value, 30.0);
+    }
+    if (s.name == "conf_exm_ms_bucket" && s.label("le") == "+Inf") {
+      EXPECT_EQ(s.exemplar_trace_id, 91u);
+    }
+  }
+  EXPECT_EQ(exemplars, 2u);
+}
+
+TEST_F(ConformanceTest, StatuszNamesTheWorstExemplar) {
+  auto& h = registry().histogram("conf_statusz_ms", "statusz probe", {10.0});
+  h.observe(4.0, 5);
+  h.observe(80.0, 6);
+  const std::string statusz = registry().statusz_text();
+  EXPECT_NE(statusz.find("exemplar=trace_id:6"), std::string::npos) << statusz;
+}
+
+TEST_F(ConformanceTest, TracerExpositionIsStrictlyParseable) {
+  auto& tracer = Tracer::instance();
+  tracer.reserve(1024);
+  tracer.set_enabled(true);
+  tracer.clear();
+  tracer.begin(0, spans::kService, 1000, ClientId{0}, FrameId{1}, Stage::kSift);
+  tracer.end(0, spans::kService, 3'000'000, ClientId{0}, FrameId{1}, Stage::kSift);
+  tracer.instant(0, spans::kDropStale, 4'000'000, ClientId{0}, FrameId{2}, Stage::kSift);
+
+  const auto samples = parse_exposition(tracer.prometheus_text());
+  bool saw_span = false, saw_instant = false;
+  for (const Sample& s : samples) {
+    EXPECT_FALSE(s.has_exemplar) << s.name;  // tracer gauges carry none
+    if (s.name == "mar_trace_span_ms" && s.label("span") == spans::kService) {
+      saw_span = true;
+      EXPECT_EQ(s.label("stage"), "sift");
+    }
+    if (s.name == "mar_trace_instants_total" && s.label("event") == spans::kDropStale) {
+      saw_instant = true;
+      EXPECT_EQ(s.value, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_instant);
+  tracer.clear();
+  tracer.set_enabled(false);
+}
+
+}  // namespace
+}  // namespace mar::telemetry
