@@ -1,0 +1,268 @@
+// Capacity planning at population scale (ROADMAP north star).
+//
+// Three questions, answered on the partitioned DES + fluid-cohort
+// engine (expt::CapacityEngine):
+//   1. How many E2-class machines serve 100k users at 25 FPS, for
+//      scAtteR vs scAtteR++?  (detailed single-box density search +
+//      memory bound)
+//   2. How fast is the parallel engine?  Self-speedup curve over
+//      1/2/4/8 threads against the sequential engine on a detailed +
+//      aggregate population workload.
+//   3. Is the parallel engine exact?  Determinism gate: every thread
+//      count must reproduce the sequential run's completion digest
+//      bit-for-bit, and the fluid tail must agree with the detailed
+//      probes' FPS within 5% at moderate load.
+//
+// Writes BENCH_capacity.json. Smoke knobs: --population, --machines,
+// --detailed_clients, --duration_s, --sim_threads (comma list).
+//
+// Honesty note: wall-clock speedup is reported together with the host
+// core count; the >=4x-at-8-threads gate is only meaningful (and only
+// enforced) when the host actually has >= 8 hardware threads.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/fig_util.h"
+#include "common/parallel.h"
+#include "expt/capacity.h"
+
+namespace {
+
+using mar::bench::jnum;
+using mar::bench::jstr;
+using mar::expt::CapacityConfig;
+using mar::expt::CapacityEngine;
+using mar::expt::CapacityPlan;
+using mar::expt::CapacityResult;
+
+double wall_seconds(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+struct SpeedupPoint {
+  int threads = 0;  // 0 = sequential engine (no pool dispatch at all)
+  double wall_s = 0.0;
+  double events_per_sec = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t digest = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double population = 100000.0;
+  int machines = 8;
+  int detailed = 1000;
+  double duration_s = 10.0;
+  double session_mean_s = 300.0;
+  double roaming = 0.125;
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&](const char* name) -> const char* {
+      const std::size_t n = std::strlen(name);
+      return arg.compare(0, n, name) == 0 && arg.size() > n ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = val("--population=")) population = std::atof(v);
+    if (const char* v = val("--machines=")) machines = std::atoi(v);
+    if (const char* v = val("--detailed_clients=")) detailed = std::atoi(v);
+    if (const char* v = val("--duration_s=")) duration_s = std::atof(v);
+    if (const char* v = val("--session_mean_s=")) session_mean_s = std::atof(v);
+    if (const char* v = val("--roaming=")) roaming = std::atof(v);
+    if (const char* v = val("--sim_threads=")) {
+      thread_counts.clear();
+      std::stringstream ss(v);
+      std::string tok;
+      while (std::getline(ss, tok, ',')) thread_counts.push_back(std::atoi(tok.c_str()));
+    }
+  }
+
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  std::printf("capacity_planning: %d machines, %.0f fluid sessions, %d detailed probes, "
+              "%.0fs sim, host threads=%u\n",
+              machines, population, detailed, duration_s, hw_threads);
+
+  // --- 1. machines per 100k users, scAtteR vs scAtteR++ --------------
+  CapacityConfig base;
+  base.machines = machines;
+  base.detailed_clients = detailed;
+  base.duration = mar::seconds(duration_s);
+  base.population.mean_population = population;
+  base.population.session_mean_s = session_mean_s;
+  base.roaming_fraction = roaming;
+
+  std::vector<CapacityPlan> plans;
+  for (const auto mode :
+       {mar::core::PipelineMode::kScatter, mar::core::PipelineMode::kScatterPP}) {
+    CapacityConfig cfg = base;
+    cfg.mode = mode;
+    plans.push_back(CapacityEngine::plan_machines(cfg));
+    const CapacityPlan& p = plans.back();
+    std::printf("  %-9s %d clients/box (%s-bound, gpu %d / mem %d)  ->  %d machines per "
+                "100k users  [fps %.1f, success %.3f at plan]\n",
+                p.mode.c_str(), p.clients_per_box, p.binding_constraint.c_str(),
+                p.gpu_bound_clients, p.memory_bound_clients, p.machines_per_100k,
+                p.fps_at_plan, p.success_at_plan);
+  }
+
+  // --- 2+3. self-speedup curve + determinism digests -----------------
+  // scAtteR++ workload: detailed probes (with roaming cross-partition
+  // traffic) over the fluid population.
+  CapacityConfig load = base;
+  load.mode = mar::core::PipelineMode::kScatterPP;
+
+  std::vector<SpeedupPoint> curve;
+  {
+    SpeedupPoint seq;
+    seq.threads = 0;
+    CapacityEngine engine(load);
+    const auto t0 = std::chrono::steady_clock::now();
+    const CapacityResult r = engine.run(1);
+    seq.wall_s = wall_seconds(t0);
+    seq.events = r.events_fired;
+    seq.events_per_sec = seq.wall_s > 0 ? static_cast<double>(r.events_fired) / seq.wall_s : 0;
+    seq.digest = r.digest;
+    curve.push_back(seq);
+    std::printf("  sequential: %llu events in %.2fs (%.2f M events/s), digest %016llx\n",
+                static_cast<unsigned long long>(seq.events), seq.wall_s,
+                seq.events_per_sec / 1e6, static_cast<unsigned long long>(seq.digest));
+  }
+  CapacityResult parallel_result;  // kept for the fluid-vs-detailed gate
+  for (const int t : thread_counts) {
+    SpeedupPoint pt;
+    pt.threads = t;
+    mar::set_parallel_threads(t);
+    CapacityEngine engine(load);
+    const auto t0 = std::chrono::steady_clock::now();
+    const CapacityResult r = engine.run(t);
+    pt.wall_s = wall_seconds(t0);
+    pt.events = r.events_fired;
+    pt.events_per_sec = pt.wall_s > 0 ? static_cast<double>(r.events_fired) / pt.wall_s : 0;
+    pt.digest = r.digest;
+    curve.push_back(pt);
+    parallel_result = r;
+    std::printf("  %d threads: %.2fs (%.2f M events/s), speedup %.2fx, digest %016llx\n", t,
+                pt.wall_s, pt.events_per_sec / 1e6,
+                curve.front().wall_s > 0 ? curve.front().wall_s / pt.wall_s : 0.0,
+                static_cast<unsigned long long>(pt.digest));
+  }
+  mar::set_parallel_threads(0);  // restore default
+
+  // Gates.
+  int gates_failed = 0;
+  bool digests_equal = true;
+  for (const SpeedupPoint& pt : curve) {
+    if (pt.digest != curve.front().digest) digests_equal = false;
+  }
+  if (!digests_equal) {
+    ++gates_failed;
+    std::printf("  GATE FAILED: parallel digest != sequential digest\n");
+  }
+
+  // Fluid-vs-detailed agreement: the cohort tail and the per-frame
+  // probes describe the same population, so their served/offered FPS
+  // ratios must agree when the machines aren't saturated. At overload
+  // the two models sag by different mechanisms (fluid truncation vs
+  // per-frame queueing/loss), so the gate arms only when the fluid tail
+  // is actually being served near target.
+  const double fluid_ratio = parallel_result.fluid_target_fps > 0.0
+                                 ? parallel_result.fluid_session_fps /
+                                       parallel_result.fluid_target_fps
+                                 : 0.0;
+  const double detailed_ratio = parallel_result.detailed_target_fps_mean > 0.0
+                                    ? parallel_result.detailed_fps_mean /
+                                          parallel_result.detailed_target_fps_mean
+                                    : 0.0;
+  const bool agreement_armed = fluid_ratio >= 0.5 && detailed_ratio > 0.0;
+  double fluid_detailed_gap = 0.0;
+  std::printf("  fluid %.2f/%.0f fps per session vs detailed %.2f/%.0f fps per client\n",
+              parallel_result.fluid_session_fps, parallel_result.fluid_target_fps,
+              parallel_result.detailed_fps_mean, parallel_result.detailed_target_fps_mean);
+  if (agreement_armed) {
+    fluid_detailed_gap = detailed_ratio - fluid_ratio;
+    std::printf("  aggregate-vs-detailed served ratio gap: %+.1f%%\n",
+                100.0 * fluid_detailed_gap);
+    if (fluid_detailed_gap > 0.05 || fluid_detailed_gap < -0.05) {
+      ++gates_failed;
+      std::printf("  GATE FAILED: aggregate-vs-detailed FPS gap exceeds 5%%\n");
+    }
+  }
+
+  // Speedup gate, armed only on hosts that can express it.
+  double speedup8 = 0.0;
+  for (const SpeedupPoint& pt : curve) {
+    if (pt.threads == 8 && curve.front().wall_s > 0) {
+      speedup8 = curve.front().wall_s / pt.wall_s;
+    }
+  }
+  const bool speedup_gate_armed = hw_threads >= 8;
+  if (speedup_gate_armed && speedup8 > 0.0 && speedup8 < 4.0) {
+    ++gates_failed;
+    std::printf("  GATE FAILED: 8-thread self-speedup %.2fx < 4x\n", speedup8);
+  }
+  if (parallel_result.lookahead_violations > 0) {
+    ++gates_failed;
+    std::printf("  GATE FAILED: %llu lookahead violations\n",
+                static_cast<unsigned long long>(parallel_result.lookahead_violations));
+  }
+
+  std::ostringstream j;
+  j << "{\n  \"bench\": \"capacity_planning\",\n";
+  j << "  \"host_hardware_threads\": " << hw_threads << ",\n";
+  j << "  \"config\": {\"machines\": " << machines << ", \"population\": " << jnum(population)
+    << ", \"detailed_clients\": " << detailed << ", \"duration_s\": " << jnum(duration_s)
+    << "},\n";
+  j << "  \"plans\": [\n";
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    const CapacityPlan& p = plans[i];
+    j << "    {\"mode\": " << jstr(p.mode) << ", \"clients_per_box\": " << p.clients_per_box
+      << ", \"machines_per_100k\": " << p.machines_per_100k
+      << ", \"binding_constraint\": " << jstr(p.binding_constraint)
+      << ", \"gpu_bound_clients\": " << p.gpu_bound_clients
+      << ", \"memory_bound_clients\": " << p.memory_bound_clients
+      << ", \"fps_at_plan\": " << jnum(p.fps_at_plan)
+      << ", \"success_at_plan\": " << jnum(p.success_at_plan) << "}"
+      << (i + 1 < plans.size() ? ",\n" : "\n");
+  }
+  j << "  ],\n  \"speedup_curve\": [\n";
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const SpeedupPoint& pt = curve[i];
+    char digest_hex[32];
+    std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
+                  static_cast<unsigned long long>(pt.digest));
+    j << "    {\"threads\": " << pt.threads << ", \"wall_s\": " << jnum(pt.wall_s)
+      << ", \"events\": " << pt.events << ", \"events_per_sec\": " << jnum(pt.events_per_sec)
+      << ", \"speedup\": "
+      << jnum(curve.front().wall_s > 0 && pt.wall_s > 0 ? curve.front().wall_s / pt.wall_s
+                                                        : 0.0)
+      << ", \"digest\": " << jstr(digest_hex) << "}"
+      << (i + 1 < curve.size() ? ",\n" : "\n");
+  }
+  j << "  ],\n";
+  j << "  \"events_per_sec_sequential\": " << jnum(curve.front().events_per_sec) << ",\n";
+  j << "  \"speedup_8t\": " << jnum(speedup8) << ",\n";
+  j << "  \"speedup_gate_armed\": " << (speedup_gate_armed ? "true" : "false") << ",\n";
+  j << "  \"digests_equal\": " << (digests_equal ? "true" : "false") << ",\n";
+  j << "  \"fluid_session_fps\": " << jnum(parallel_result.fluid_session_fps) << ",\n";
+  j << "  \"fluid_target_fps\": " << jnum(parallel_result.fluid_target_fps) << ",\n";
+  j << "  \"detailed_fps_mean\": " << jnum(parallel_result.detailed_fps_mean) << ",\n";
+  j << "  \"detailed_target_fps_mean\": " << jnum(parallel_result.detailed_target_fps_mean)
+    << ",\n";
+  j << "  \"agreement_armed\": " << (agreement_armed ? "true" : "false") << ",\n";
+  j << "  \"fluid_detailed_gap\": " << jnum(fluid_detailed_gap) << ",\n";
+  j << "  \"fluid_sessions_mean\": " << jnum(parallel_result.fluid_sessions_mean) << ",\n";
+  j << "  \"messages_posted\": " << parallel_result.messages_posted << ",\n";
+  j << "  \"lookahead_violations\": " << parallel_result.lookahead_violations << ",\n";
+  j << "  \"windows_run\": " << parallel_result.windows_run << ",\n";
+  j << "  \"gates_failed\": " << gates_failed << "\n}\n";
+  if (!mar::bench::write_text_file("BENCH_capacity.json", j.str())) {
+    std::printf("  (could not write BENCH_capacity.json)\n");
+  }
+  std::printf("  gates_failed: %d -> BENCH_capacity.json\n", gates_failed);
+  return gates_failed == 0 ? 0 : 1;
+}

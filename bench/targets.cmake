@@ -24,6 +24,7 @@ mar_bench(table1_headline)
 
 mar_bench(fault_recovery)
 mar_bench(tail_forensics)
+mar_bench(capacity_planning)
 
 mar_bench(ablation_scatterpp_parts)
 mar_bench(ablation_sidecar_threshold)

@@ -45,10 +45,30 @@ grep -q '"gates_failed": 0' "$TAIL_JSON" || {
   echo "verify: FAIL — tail-forensics gates violated (see $TAIL_JSON)" >&2; exit 1; }
 echo "verify: tail forensics OK"
 
+# Capacity-planning gate: a balanced smoke config on which the
+# aggregate-vs-detailed agreement gate arms. The bench's own gates
+# require the parallel digest to equal the sequential digest, the
+# fluid tail's served/offered ratio to track the detailed probes
+# within 5%, and zero conservative-lookahead violations.
+(cd "$BUILD_DIR/bench" && ./capacity_planning --population=3 --machines=2 \
+    --detailed_clients=2 --session_mean_s=20 --duration_s=20 --roaming=1.0 \
+    --sim_threads=2,4)
+CAP_JSON="$BUILD_DIR/bench/BENCH_capacity.json"
+grep -q '"gates_failed": 0' "$CAP_JSON" || {
+  echo "verify: FAIL — capacity-planning gates violated (see $CAP_JSON)" >&2; exit 1; }
+grep -q '"digests_equal": true' "$CAP_JSON" || {
+  echo "verify: FAIL — parallel capacity digest != sequential" >&2; exit 1; }
+grep -q '"agreement_armed": true' "$CAP_JSON" || {
+  echo "verify: FAIL — fluid-vs-detailed agreement gate never armed" >&2; exit 1; }
+echo "verify: capacity planning OK"
+
 # Bench-regression gate: fresh headline numbers vs the committed
 # baselines in bench/baselines/ (>15% regression in a metric's own
 # direction fails; see bench/TRAJECTORY.md for the refresh policy).
-(cd "$BUILD_DIR/bench" && ./fig2_baseline_edge && ./fig5_utilization)
+# capacity_planning re-runs at its default full-scale config here so
+# the diff compares like against like (the smoke run above overwrote
+# BENCH_capacity.json with tiny-config numbers).
+(cd "$BUILD_DIR/bench" && ./fig2_baseline_edge && ./fig5_utilization && ./capacity_planning)
 if command -v python3 >/dev/null 2>&1; then
   python3 scripts/bench_diff.py --fresh "$BUILD_DIR/bench" || {
     echo "verify: FAIL — bench regression vs bench/baselines" >&2; exit 1; }
@@ -181,5 +201,18 @@ cmake --build "$UBSAN_DIR" -j"$(nproc 2>/dev/null || echo 2)" \
 (cd "$UBSAN_DIR" && ctest -L ubsan --output-on-failure) || {
   echo "verify: FAIL — ubsan-labeled tests under MAR_SANITIZE=undefined" >&2; exit 1; }
 echo "verify: ubsan OK"
+
+# TSan pass: the partitioned DES runs windows concurrently on the
+# thread pool, so its determinism suites must hold under thread
+# instrumentation. Build just those two tsan-labeled binaries with
+# -DMAR_SANITIZE=thread and run them directly (the full tsan label set
+# is `ctest -L tsan` in a complete sanitizer build).
+TSAN_DIR="${BUILD_DIR}-tsan"
+cmake -B "$TSAN_DIR" -S . -DMAR_SANITIZE=thread
+cmake --build "$TSAN_DIR" -j"$(nproc 2>/dev/null || echo 2)" \
+  --target sim_partition_test capacity_test
+(cd "$TSAN_DIR/tests" && ./sim_partition_test && ./capacity_test) || {
+  echo "verify: FAIL — partitioned-engine tests under MAR_SANITIZE=thread" >&2; exit 1; }
+echo "verify: tsan OK"
 
 echo "verify: PASSED"

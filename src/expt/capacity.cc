@@ -1,0 +1,527 @@
+#include "expt/capacity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "telemetry/registry.h"
+
+namespace mar::expt {
+namespace {
+
+// Pool units per GPU kernel slot: fluid cohorts negotiate fractional
+// slot shares at this granularity while detailed frames take whole
+// slots, on the same ResourcePool.
+constexpr std::uint32_t kUnitsPerSlot = 1000;
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+struct CapacityCounters {
+  telemetry::Counter& fluid_frames;
+  telemetry::Gauge& sessions;
+};
+
+CapacityCounters& capacity_counters() {
+  auto& reg = telemetry::MetricRegistry::instance();
+  static CapacityCounters c{
+      reg.counter("mar_capacity_fluid_frames_total",
+                  "Frames served by the fluid cohort tail of capacity runs"),
+      reg.gauge("mar_capacity_active_sessions",
+                "Concurrent fluid sessions across all capacity partitions"),
+  };
+  return c;
+}
+
+}  // namespace
+
+// Per-machine partition state. Everything here is written either by
+// the thread running this partition's window or by the coordinator at
+// the window barrier — never both within one window.
+struct CapacityEngine::Partition {
+  hw::ResourcePool pool;
+  hw::MemoryAccount memory;
+  sim::ClientCohort cohort;
+  std::uint32_t held = 0;          // pool units the cohort currently holds
+  std::uint64_t cohort_mem = 0;    // bytes currently booked for the cohort
+  std::uint64_t digest = kFnvOffset;
+  std::uint64_t dropped_busy = 0;   // scAtteR drop-when-busy losses
+  std::uint64_t dropped_stale = 0;  // scAtteR++ dequeue staleness drops
+  double fluid_frames_acc = 0.0;    // served fluid frames not yet counted
+  double meas_start_busy = 0.0;     // pool busy integral at warmup end
+  double last_busy = 0.0;           // ... at the previous timeline sample
+  SimTime last_sample_t = 0;
+  double mem_integral = 0.0;        // ∫ used dt over the measurement window
+  double sessions_integral = 0.0;   // ∫ active dt over the measurement window
+  CapacityMachineReport report;
+
+  Partition(sim::EventLoop& loop, std::uint32_t capacity_units, std::uint64_t memory_bytes,
+            sim::CohortConfig cohort_config)
+      : pool(loop, capacity_units), memory(loop, memory_bytes), cohort(cohort_config) {}
+};
+
+// A detailed per-frame probe client. Frame generation, RNG draws, and
+// stats all live in the home partition; the serving partition only ever
+// sees pre-sampled durations.
+struct CapacityEngine::ProbeClient {
+  std::uint32_t idx = 0;
+  int home = 0;
+  int serve = 0;
+  double fps = 25.0;
+  SimDuration interval = 0;
+  SimTime next_t = 0;
+  std::uint64_t frame_counter = 0;
+  Rng rng{0};
+  std::uint64_t delivered = 0;  // frames whose outcome reached the client
+  std::uint64_t successes = 0;  // delivered within the latency budget
+  double e2e_sum_ms = 0.0;      // over successful frames
+};
+
+CapacityEngine::CapacityEngine(CapacityConfig config) : config_(std::move(config)) {}
+CapacityEngine::~CapacityEngine() = default;
+
+std::uint64_t CapacityEngine::session_memory_bytes(const CapacityConfig& config,
+                                                   core::PipelineMode mode) {
+  if (mode == core::PipelineMode::kScatterPP) {
+    return config.costs.sidecar_client_buffer_bytes;
+  }
+  // Stateful sift retains one state entry per frame for state_timeout:
+  // a 25 FPS session pins fps * timeout entries at steady state.
+  const double entries = config.target_fps * to_seconds(config.costs.state_timeout);
+  return static_cast<std::uint64_t>(entries *
+                                    static_cast<double>(config.costs.state_entry_bytes));
+}
+
+SimDuration CapacityEngine::frame_gpu_time(const CapacityConfig& config) {
+  double total = 0.0;
+  for (int s = 0; s < kNumStages; ++s) {
+    total += static_cast<double>(config.costs.stage(static_cast<Stage>(s)).gpu_time);
+  }
+  const double speed =
+      config.machine_spec.gpus.empty() ? 1.0 : config.machine_spec.gpus[0].speed_factor;
+  return static_cast<SimDuration>(total / std::max(speed, 1e-9));
+}
+
+void CapacityEngine::build() {
+  if (built_) return;
+  built_ = true;
+  population_ = std::make_unique<PopulationModel>(config_.population, config_.seed + 0x5eed);
+  engine_ = std::make_unique<sim::PartitionedEngine>(config_.machines, config_.cross_latency);
+  frame_gpu_time_ = frame_gpu_time(config_);
+  service_cv_ = config_.costs.stage(Stage::kSift).noise_cv;
+  t_end_ = config_.warmup + config_.duration;
+  next_sample_ = config_.warmup + config_.timeline_interval;
+
+  std::uint32_t slots = 0;
+  for (const auto& g : config_.machine_spec.gpus) slots += g.slots;
+  pool_capacity_units_ = std::max<std::uint32_t>(slots, 1) * kUnitsPerSlot;
+
+  sim::CohortConfig cc;
+  cc.target_fps = population_->mean_session_fps();
+  cc.service_time = frame_gpu_time_;
+  cc.session_mean_s = config_.population.session_mean_s;
+  cc.memory_per_session = session_memory_bytes(config_, config_.mode);
+
+  const int P = config_.machines;
+  parts_.reserve(static_cast<std::size_t>(P));
+  for (int p = 0; p < P; ++p) {
+    parts_.push_back(std::make_unique<Partition>(engine_->loop(p), pool_capacity_units_,
+                                                 config_.machine_spec.memory_bytes, cc));
+    parts_.back()->report.name =
+        config_.machine_spec.name + "#" + std::to_string(p);
+  }
+
+  // Probe clients: homes round-robin across machines, device classes
+  // stratified over the mix, roaming spread evenly (Bresenham) so any
+  // prefix of clients has ~roaming_fraction roamers.
+  Rng master(config_.seed);
+  const auto& mix = population_->mix();
+  const int n = config_.detailed_clients;
+  const std::uint64_t session_bytes = session_memory_bytes(config_, config_.mode);
+  probes_.reserve(static_cast<std::size_t>(std::max(n, 0)));
+  for (int i = 0; i < n; ++i) {
+    auto c = std::make_unique<ProbeClient>();
+    c->idx = static_cast<std::uint32_t>(i);
+    c->home = i % P;
+    const double f = std::clamp(config_.roaming_fraction, 0.0, 1.0);
+    const bool roams = P > 1 && std::floor((i + 1) * f) > std::floor(i * f);
+    c->serve = roams ? (c->home + 1) % P : c->home;
+    const double u = (i + 0.5) / n;
+    double cum = 0.0;
+    c->fps = mix.empty() ? config_.target_fps : mix.back().fps;
+    for (const DeviceClass& d : mix) {
+      cum += d.weight;
+      if (u < cum) {
+        c->fps = d.fps;
+        break;
+      }
+    }
+    c->interval = static_cast<SimDuration>(static_cast<double>(kSecond) / c->fps);
+    c->rng = master.fork();
+    c->next_t = static_cast<SimTime>(c->rng.uniform(0.0, static_cast<double>(c->interval)));
+    parts_[static_cast<std::size_t>(c->serve)]->memory.allocate(session_bytes);
+    probes_.push_back(std::move(c));
+  }
+  for (auto& c : probes_) schedule_frame(*c);
+}
+
+void CapacityEngine::schedule_frame(ProbeClient& c) {
+  if (c.next_t >= t_end_) return;
+  const SimTime t = c.next_t;
+  c.next_t += c.interval;
+  ProbeClient* pc = &c;
+  engine_->loop(c.home).schedule_at(t, [this, pc] {
+    const SimTime born = engine_->loop(pc->home).now();
+    // All randomness for the frame is drawn here, in the home
+    // partition, so the serving side runs on pre-sampled durations.
+    const SimDuration service =
+        hw::CostModel::sample(frame_gpu_time_, service_cv_, pc->rng);
+    const std::uint64_t frame = pc->frame_counter++;
+    const std::uint32_t idx = pc->idx;
+    const int home = pc->home;
+    const int serve = pc->serve;
+    const SimTime at_edge = born + config_.access_latency;
+    if (serve == home) {
+      engine_->loop(home).schedule_at(at_edge, [this, serve, born, service, idx, frame, home] {
+        begin_service(serve, born, service, idx, frame, home);
+      });
+    } else if (config_.mode == core::PipelineMode::kScatter) {
+      // Stateful pipeline: the roaming client's session state lives on
+      // its home sift, so serving elsewhere first pays a state-fetch
+      // round trip (serve -> home -> serve) before touching the GPU.
+      engine_->post(home, serve, at_edge + config_.cross_latency,
+                    [this, serve, born, service, idx, frame, home] {
+                      const SimTime now = engine_->loop(serve).now();
+                      engine_->post(
+                          serve, home, now + config_.cross_latency,
+                          [this, serve, born, service, idx, frame, home] {
+                            engine_->loop(home).schedule_after(
+                                config_.costs.state_fetch_cpu,
+                                [this, serve, born, service, idx, frame, home] {
+                                  const SimTime n2 = engine_->loop(home).now();
+                                  engine_->post(home, serve, n2 + config_.cross_latency,
+                                                [this, serve, born, service, idx, frame,
+                                                 home] {
+                                                  begin_service(serve, born, service, idx,
+                                                                frame, home);
+                                                });
+                                });
+                          });
+                    });
+    } else {
+      engine_->post(home, serve, at_edge + config_.cross_latency,
+                    [this, serve, born, service, idx, frame, home] {
+                      begin_service(serve, born, service, idx, frame, home);
+                    });
+    }
+    schedule_frame(*pc);
+  });
+}
+
+void CapacityEngine::begin_service(int part, SimTime born, SimDuration service,
+                                   std::uint32_t client_idx, std::uint64_t frame_idx,
+                                   int home) {
+  Partition& P = *parts_[static_cast<std::size_t>(part)];
+  auto run_and_deliver = [this, part, born, service, client_idx, frame_idx, home]() {
+    engine_->loop(part).schedule_after(
+        service, [this, part, born, client_idx, frame_idx, home] {
+          parts_[static_cast<std::size_t>(part)]->pool.release(kUnitsPerSlot);
+          const auto deliver = [this, born, client_idx, frame_idx, home] {
+            engine_->loop(home).schedule_after(
+                config_.access_latency, [this, born, client_idx, frame_idx, home] {
+                  finish_frame(home, client_idx, frame_idx, born, /*served=*/true);
+                });
+          };
+          if (part == home) {
+            deliver();
+          } else {
+            const SimTime now = engine_->loop(part).now();
+            engine_->post(part, home, now + config_.cross_latency, deliver);
+          }
+        });
+  };
+
+  if (config_.mode == core::PipelineMode::kScatter) {
+    // Drop-when-busy ingress: no queue in front of the GPUs.
+    const std::uint32_t got = P.pool.try_acquire(kUnitsPerSlot);
+    if (got < kUnitsPerSlot) {
+      if (got > 0) P.pool.release(got);
+      ++P.dropped_busy;
+      const auto notify = [this, born, client_idx, frame_idx, home] {
+        engine_->loop(home).schedule_after(
+            config_.access_latency, [this, born, client_idx, frame_idx, home] {
+              finish_frame(home, client_idx, frame_idx, born, /*served=*/false);
+            });
+      };
+      if (part == home) {
+        notify();
+      } else {
+        const SimTime now = engine_->loop(part).now();
+        engine_->post(part, home, now + config_.cross_latency, notify);
+      }
+      return;
+    }
+    run_and_deliver();
+    return;
+  }
+
+  // scAtteR++: sidecar hand-off, FIFO queue for a slot, staleness check
+  // at dequeue (a frame that waited past the XR budget is stale and not
+  // worth GPU time).
+  engine_->loop(part).schedule_after(
+      config_.costs.sidecar_rpc_overhead,
+      [this, part, born, client_idx, frame_idx, home, run_and_deliver] {
+        Partition& S = *parts_[static_cast<std::size_t>(part)];
+        S.pool.acquire(kUnitsPerSlot, [this, part, born, client_idx, frame_idx, home,
+                                       run_and_deliver] {
+          Partition& Q = *parts_[static_cast<std::size_t>(part)];
+          const SimTime now = engine_->loop(part).now();
+          if (now - born > config_.costs.sidecar_threshold) {
+            // Defer the release one event: releasing inline would grant
+            // the next waiter from inside this grant, and a run of
+            // consecutive stale frames would drain the queue as real
+            // stack recursion.
+            engine_->loop(part).schedule_after(0, [this, part] {
+              parts_[static_cast<std::size_t>(part)]->pool.release(kUnitsPerSlot);
+            });
+            ++Q.dropped_stale;
+            const auto notify = [this, born, client_idx, frame_idx, home] {
+              engine_->loop(home).schedule_after(
+                  config_.access_latency, [this, born, client_idx, frame_idx, home] {
+                    finish_frame(home, client_idx, frame_idx, born, /*served=*/false);
+                  });
+            };
+            if (part == home) {
+              notify();
+            } else {
+              engine_->post(part, home, now + config_.cross_latency, notify);
+            }
+            return;
+          }
+          run_and_deliver();
+        });
+      });
+}
+
+void CapacityEngine::finish_frame(int home, std::uint32_t client_idx,
+                                  std::uint64_t frame_idx, SimTime born, bool served) {
+  Partition& H = *parts_[static_cast<std::size_t>(home)];
+  const SimTime now = engine_->loop(home).now();
+  const bool success = served && (now - born) <= config_.costs.sidecar_threshold;
+  H.digest = fnv_mix(H.digest, client_idx);
+  H.digest = fnv_mix(H.digest, frame_idx);
+  H.digest = fnv_mix(H.digest, static_cast<std::uint64_t>(now));
+  H.digest = fnv_mix(H.digest, success ? 1 : 0);
+  if (born < config_.warmup) return;
+  ProbeClient& c = *probes_[client_idx];
+  ++c.delivered;
+  if (success) {
+    ++c.successes;
+    c.e2e_sum_ms += to_millis(now - born);
+  }
+}
+
+void CapacityEngine::on_window(SimTime wstart, SimTime wend) {
+  const double dt = to_seconds(wend - wstart);
+  if (!measuring_ && wend >= config_.warmup) {
+    measuring_ = true;
+    meas_start_ = wend;
+    for (auto& part : parts_) {
+      part->meas_start_busy = part->pool.busy_integral();
+      part->last_busy = part->meas_start_busy;
+      part->last_sample_t = wend;
+    }
+  }
+  const bool fluid = config_.population.mean_population > 0.0;
+  const double rate_per_machine =
+      fluid ? population_->arrival_rate((wstart + wend) / 2) / config_.machines : 0.0;
+  const double slot_rate =
+      static_cast<double>(kSecond) / static_cast<double>(frame_gpu_time_);
+  double total_sessions = 0.0;
+  double fluid_frames_delta = 0.0;
+  for (auto& part : parts_) {
+    Partition& P = *part;
+    if (fluid) {
+      // Renegotiate the cohort's slice: hand everything back first —
+      // release() drains any frame-level waiters before the cohort
+      // re-acquires, so detailed probes always outrank the fluid tail.
+      if (P.held > 0) {
+        P.pool.release(P.held);
+        P.held = 0;
+      }
+      const double projected =
+          P.cohort.active_sessions() + rate_per_machine * dt * 0.5;
+      const double demand_slots =
+          projected * P.cohort.config().target_fps / slot_rate;
+      const auto want = static_cast<std::uint32_t>(
+          std::min(demand_slots * kUnitsPerSlot + 0.5,
+                   static_cast<double>(pool_capacity_units_)));
+      if (want > 0) P.held = P.pool.try_acquire(want);
+      const sim::CohortWindow w = P.cohort.advance(
+          wend - wstart, rate_per_machine,
+          static_cast<double>(P.held) / static_cast<double>(kUnitsPerSlot));
+      P.fluid_frames_acc += w.served_fps * dt;
+      fluid_frames_delta += w.served_fps * dt;
+      if (measuring_ && wstart >= config_.warmup) {
+        fluid_fps_weighted_ += w.session_fps * w.active * dt;
+        fluid_session_weight_ += w.active * dt;
+      }
+      // Book the cohort's resident state (sift entries / sidecar
+      // buffers) against the machine's memory account.
+      const std::uint64_t mem = P.cohort.memory_bytes();
+      if (mem > P.cohort_mem) {
+        P.memory.allocate(mem - P.cohort_mem);
+      } else if (mem < P.cohort_mem) {
+        P.memory.free(P.cohort_mem - mem);
+      }
+      P.cohort_mem = mem;
+      total_sessions += w.active;
+    }
+    if (measuring_ && wstart >= config_.warmup) {
+      P.mem_integral += static_cast<double>(P.memory.used()) * dt;
+      P.sessions_integral += P.cohort.active_sessions() * dt;
+    }
+  }
+  if (fluid) {
+    auto& counters = capacity_counters();
+    counters.sessions.set(total_sessions);
+    if (fluid_frames_delta >= 1.0) {
+      counters.fluid_frames.inc(static_cast<std::uint64_t>(fluid_frames_delta));
+    }
+  }
+  if (config_.timeline_interval > 0 && measuring_ && wend >= next_sample_) {
+    const double span = to_seconds(wend - parts_[0]->last_sample_t);
+    for (auto& part : parts_) {
+      Partition& P = *part;
+      const double busy = P.pool.busy_integral();
+      CapacityTimelinePoint pt;
+      pt.t_s = to_seconds(wend - config_.warmup);
+      pt.gpu = span > 0.0 ? (busy - P.last_busy) /
+                                (span * static_cast<double>(kSecond) *
+                                 static_cast<double>(pool_capacity_units_))
+                          : 0.0;
+      pt.mem_gb = static_cast<double>(P.memory.used()) / (1024.0 * 1024.0 * 1024.0);
+      pt.sessions = P.cohort.active_sessions();
+      P.report.timeline.push_back(pt);
+      P.last_busy = busy;
+      P.last_sample_t = wend;
+    }
+    next_sample_ += config_.timeline_interval;
+  }
+}
+
+CapacityResult CapacityEngine::run(int threads) {
+  build();
+  if (!ran_) {
+    ran_ = true;
+    engine_->run_until(t_end_, threads,
+                       [this](SimTime a, SimTime b) { on_window(a, b); });
+  }
+
+  CapacityResult r;
+  r.mode = to_string(config_.mode);
+  r.machines = config_.machines;
+  r.detailed_clients = config_.detailed_clients;
+  r.duration_s = to_seconds(config_.duration);
+  const double meas_s = to_seconds(t_end_ - meas_start_);
+
+  double fps_sum = 0.0;
+  double target_sum = 0.0;
+  std::uint64_t delivered = 0;
+  std::uint64_t successes = 0;
+  double e2e_sum = 0.0;
+  for (const auto& c : probes_) {
+    fps_sum += meas_s > 0.0 ? static_cast<double>(c->successes) / meas_s : 0.0;
+    target_sum += c->fps;
+    delivered += c->delivered;
+    successes += c->successes;
+    e2e_sum += c->e2e_sum_ms;
+  }
+  r.detailed_fps_mean = probes_.empty() ? 0.0 : fps_sum / static_cast<double>(probes_.size());
+  r.detailed_target_fps_mean =
+      probes_.empty() ? 0.0 : target_sum / static_cast<double>(probes_.size());
+  r.detailed_success_rate =
+      delivered > 0 ? static_cast<double>(successes) / static_cast<double>(delivered) : 0.0;
+  r.detailed_e2e_ms_mean = successes > 0 ? e2e_sum / static_cast<double>(successes) : 0.0;
+
+  r.fluid_session_fps =
+      fluid_session_weight_ > 0.0 ? fluid_fps_weighted_ / fluid_session_weight_ : 0.0;
+  r.fluid_target_fps = population_ ? population_->mean_session_fps() : 0.0;
+  double sessions_mean_total = 0.0;
+  std::uint64_t digest = kFnvOffset;
+  for (const auto& part : parts_) {
+    const Partition& P = *part;
+    r.fluid_frames_served += P.fluid_frames_acc;
+    digest = fnv_mix(digest, P.digest);
+    CapacityMachineReport rep = P.report;
+    const double cap_ns = static_cast<double>(pool_capacity_units_) *
+                          static_cast<double>(kSecond) * (meas_s > 0.0 ? meas_s : 1.0);
+    rep.gpu_util = meas_s > 0.0 ? (P.pool.busy_integral() - P.meas_start_busy) / cap_ns : 0.0;
+    rep.mem_gb_mean =
+        meas_s > 0.0 ? P.mem_integral / meas_s / (1024.0 * 1024.0 * 1024.0) : 0.0;
+    rep.fluid_sessions_mean = meas_s > 0.0 ? P.sessions_integral / meas_s : 0.0;
+    sessions_mean_total += rep.fluid_sessions_mean;
+    r.machine_reports.push_back(std::move(rep));
+  }
+  r.fluid_sessions_mean = sessions_mean_total;
+  r.digest = digest;
+  r.events_fired = engine_->events_fired();
+  r.messages_posted = engine_->messages_posted();
+  r.lookahead_violations = engine_->lookahead_violations();
+  r.windows_run = engine_->windows_run();
+  return r;
+}
+
+CapacityPlan CapacityEngine::plan_machines(const CapacityConfig& config,
+                                           double min_fraction) {
+  CapacityPlan plan;
+  plan.mode = to_string(config.mode);
+  const std::uint64_t session_bytes = session_memory_bytes(config, config.mode);
+  const int memory_bound =
+      session_bytes > 0
+          ? static_cast<int>(std::min<std::uint64_t>(
+                config.machine_spec.memory_bytes / session_bytes, 100000))
+          : 100000;
+  plan.memory_bound_clients = memory_bound;
+
+  // Walk the density up on a single detailed-only box until the SLO
+  // (min_fraction of target FPS and of frame successes) breaks.
+  const int cap = std::min(64, memory_bound);
+  for (int n = 1; n <= cap; ++n) {
+    CapacityConfig probe = config;
+    probe.machines = 1;
+    probe.detailed_clients = n;
+    probe.roaming_fraction = 0.0;
+    probe.population.mean_population = 0.0;
+    probe.population.device_mix = {DeviceClass{"plan", config.target_fps, 1.0}};
+    probe.warmup = seconds(2.0);
+    probe.duration = seconds(20.0);
+    probe.timeline_interval = 0;
+    CapacityEngine engine(probe);
+    const CapacityResult r = engine.run(1);
+    if (r.detailed_fps_mean < min_fraction * config.target_fps ||
+        r.detailed_success_rate < min_fraction) {
+      break;
+    }
+    plan.gpu_bound_clients = n;
+    plan.fps_at_plan = r.detailed_fps_mean;
+    plan.success_at_plan = r.detailed_success_rate;
+  }
+  plan.clients_per_box = plan.gpu_bound_clients;
+  plan.binding_constraint =
+      plan.clients_per_box >= memory_bound ? "memory" : "gpu";
+  plan.machines_per_100k =
+      plan.clients_per_box > 0
+          ? static_cast<int>((100000 + plan.clients_per_box - 1) / plan.clients_per_box)
+          : 0;
+  return plan;
+}
+
+}  // namespace mar::expt

@@ -1,0 +1,191 @@
+// Capacity-planning engine: population-scale simulation on the
+// partitioned DES.
+//
+// The per-figure Experiment runner drives every client frame-by-frame
+// through the full service pipeline on one shared EventLoop — perfect
+// for 6-client QoS figures, hopeless for "how many E2 boxes serve 100k
+// users". CapacityEngine is the scale path: one partition (= one
+// sim::PartitionedEngine logical process) per edge machine, each with
+// its own GPU ResourcePool and MemoryAccount; a small set of detailed
+// probe clients that pay per-frame event cost; and a sim::ClientCohort
+// fluid tail per machine that carries the rest of the population,
+// renegotiating pool capacity once per conservative-sync window.
+//
+// The two pipeline modes keep their paper-level mechanisms:
+//   scAtteR     — stateful, drop-when-busy ingress: a frame arriving
+//                 while every GPU slot is busy is lost (Erlang-loss
+//                 behaviour); roaming clients pay a cross-partition
+//                 state-fetch round trip before service.
+//   scAtteR++   — stateless + sidecar queue: frames wait FIFO for a
+//                 slot and are dropped at dequeue only when older than
+//                 the staleness threshold (M/G/c with reneging); no
+//                 state fetch, roaming or not.
+//
+// Determinism: every RNG draw for a frame happens in its client's home
+// partition; cross-partition work carries pre-sampled durations, and
+// all cohort/pool renegotiation runs on the coordinator between
+// windows. Each partition folds its frame completions into an FNV-1a
+// digest; the combined digest — and every result field — is
+// bit-identical at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "core/frame_flow.h"
+#include "expt/population.h"
+#include "hw/cost_model.h"
+#include "hw/machine.h"
+#include "hw/resource.h"
+#include "sim/cohort.h"
+#include "sim/partition.h"
+
+namespace mar::expt {
+
+struct CapacityConfig {
+  core::PipelineMode mode = core::PipelineMode::kScatter;
+  // Edge machines; one partition each.
+  int machines = 4;
+  hw::MachineSpec machine_spec = hw::MachineSpec::edge2();
+  hw::CostModel costs = hw::CostModel::standard();
+  // Fluid population carried by the per-machine cohorts (sessions are
+  // spread uniformly across machines). mean_population 0 disables the
+  // fluid tail (detailed-only run).
+  PopulationConfig population;
+  // Detailed per-frame probe clients, round-robined across machines.
+  int detailed_clients = 8;
+  // Fraction of detailed clients whose frames are served by the next
+  // machine over — the cross-partition traffic (scAtteR pays the
+  // state-fetch round trip on these).
+  double roaming_fraction = 0.125;
+  // Client access link (one way) and inter-machine link (one way). The
+  // inter-machine latency is the engine's conservative lookahead.
+  SimDuration access_latency = millis(15.0);
+  SimDuration cross_latency = millis(2.0);
+  SimDuration warmup = seconds(2.0);
+  SimDuration duration = seconds(30.0);
+  double target_fps = 25.0;
+  // A frame is successful when delivered within the XR latency budget
+  // (costs.sidecar_threshold, 100 ms).
+  std::uint64_t seed = 1;
+  // Utilization timeline sample spacing (0 = no timeline).
+  SimDuration timeline_interval = seconds(1.0);
+};
+
+struct CapacityTimelinePoint {
+  double t_s = 0.0;
+  double gpu = 0.0;     // mean GPU utilization since the previous point
+  double mem_gb = 0.0;  // resident memory at sample time
+  double sessions = 0.0;  // fluid sessions on this machine
+};
+
+struct CapacityMachineReport {
+  std::string name;
+  double gpu_util = 0.0;  // mean over the measurement window
+  double mem_gb_mean = 0.0;
+  double fluid_sessions_mean = 0.0;
+  std::vector<CapacityTimelinePoint> timeline;
+};
+
+struct CapacityResult {
+  std::string mode;
+  int machines = 0;
+  int detailed_clients = 0;
+  double duration_s = 0.0;
+  // Detailed probes: successful frames per client per second, and the
+  // delivered-within-budget ratio.
+  double detailed_fps_mean = 0.0;
+  double detailed_target_fps_mean = 0.0;  // mean offered rate of the probes
+  double detailed_success_rate = 0.0;
+  double detailed_e2e_ms_mean = 0.0;
+  // Fluid tail: per-session served FPS (mean over windows, weighted by
+  // active sessions) and the mean concurrent fluid population.
+  double fluid_session_fps = 0.0;
+  double fluid_target_fps = 0.0;  // the cohorts' offered per-session rate
+  double fluid_sessions_mean = 0.0;
+  double fluid_frames_served = 0.0;
+  // Engine telemetry for the run.
+  std::uint64_t events_fired = 0;
+  std::uint64_t messages_posted = 0;
+  std::uint64_t lookahead_violations = 0;
+  std::uint64_t windows_run = 0;
+  // FNV-1a over every partition's frame-completion stream, combined in
+  // partition index order. Equal digests = identical trajectories.
+  std::uint64_t digest = 0;
+  std::vector<CapacityMachineReport> machine_reports;
+};
+
+// Output of the machines-per-100k-users planning search.
+struct CapacityPlan {
+  std::string mode;
+  int clients_per_box = 0;
+  // ceil(100000 / clients_per_box); 0 when no density sustains the SLO.
+  int machines_per_100k = 0;
+  std::string binding_constraint;  // "gpu" or "memory"
+  int gpu_bound_clients = 0;
+  int memory_bound_clients = 0;
+  // Measured QoS at the planned density (one box, detailed clients).
+  double fps_at_plan = 0.0;
+  double success_at_plan = 0.0;
+};
+
+class CapacityEngine {
+ public:
+  explicit CapacityEngine(CapacityConfig config);
+  ~CapacityEngine();
+
+  // Run to warmup + duration. threads <= 1 is the sequential engine;
+  // threads > 1 fans windows out over the process ThreadPool (bounded
+  // by mar::set_parallel_threads / MAR_THREADS like everything else).
+  CapacityResult run(int threads);
+
+  // Find the highest per-box client density whose detailed simulation
+  // holds >= min_fraction of target FPS and success rate, then convert
+  // to machines per 100k users. Pure function of (config, mode): runs
+  // its own short single-machine simulations.
+  static CapacityPlan plan_machines(const CapacityConfig& config, double min_fraction = 0.85);
+
+  // Resident bytes one session pins on its serving machine under
+  // `mode` (scAtteR: per-frame sift state retained for state_timeout;
+  // scAtteR++: the sidecar's per-client buffer).
+  static std::uint64_t session_memory_bytes(const CapacityConfig& config,
+                                            core::PipelineMode mode);
+
+  // Effective GPU time one frame costs on the configured machine.
+  static SimDuration frame_gpu_time(const CapacityConfig& config);
+
+ private:
+  struct Partition;  // per-machine state (pool, cohort, probes, digest)
+  struct ProbeClient;
+
+  void build();
+  void schedule_frame(ProbeClient& c);
+  void begin_service(int part, SimTime born, SimDuration service,
+                     std::uint32_t client_idx, std::uint64_t frame_idx, int home);
+  void finish_frame(int home, std::uint32_t client_idx, std::uint64_t frame_idx,
+                    SimTime born, bool success);
+  void on_window(SimTime wstart, SimTime wend);
+
+  CapacityConfig config_;
+  std::unique_ptr<PopulationModel> population_;
+  std::unique_ptr<sim::PartitionedEngine> engine_;
+  std::vector<std::unique_ptr<Partition>> parts_;
+  std::vector<std::unique_ptr<ProbeClient>> probes_;
+  std::uint32_t pool_capacity_units_ = 0;
+  SimDuration frame_gpu_time_ = 0;
+  double service_cv_ = 0.15;
+  SimTime t_end_ = 0;
+  SimTime next_sample_ = 0;
+  SimTime meas_start_ = 0;
+  bool measuring_ = false;
+  double fluid_fps_weighted_ = 0.0;    // sum(session_fps * active * dt)
+  double fluid_session_weight_ = 0.0;  // sum(active * dt)
+  bool built_ = false;
+  bool ran_ = false;
+};
+
+}  // namespace mar::expt

@@ -1,0 +1,90 @@
+#include "expt/population.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mar::expt {
+
+std::vector<DeviceClass> PopulationConfig::default_mix() {
+  // Phones dominate; headsets push the 30 FPS XR budget; tablets run
+  // conservative capture rates.
+  return {
+      DeviceClass{"phone", 25.0, 0.70},
+      DeviceClass{"headset", 30.0, 0.20},
+      DeviceClass{"tablet", 15.0, 0.10},
+  };
+}
+
+PopulationModel::PopulationModel(PopulationConfig config, std::uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {
+  mix_ = config_.device_mix.empty() ? PopulationConfig::default_mix() : config_.device_mix;
+  double total = 0.0;
+  for (const DeviceClass& d : mix_) total += std::max(d.weight, 0.0);
+  if (total <= 0.0) total = 1.0;
+  for (DeviceClass& d : mix_) d.weight = std::max(d.weight, 0.0) / total;
+}
+
+double PopulationModel::arrival_rate(SimTime t) const {
+  const double ts = std::max(config_.session_mean_s, 1e-9);
+  const double base = config_.mean_population / ts;
+  const double amp = std::clamp(config_.diurnal_amplitude, 0.0, 1.0);
+  if (amp == 0.0 || config_.diurnal_period_s <= 0.0) return base;
+  const double phase =
+      2.0 * 3.14159265358979323846 * to_seconds(t) / config_.diurnal_period_s +
+      config_.diurnal_phase;
+  return base * (1.0 + amp * std::sin(phase));
+}
+
+double PopulationModel::expected_population(SimTime t) const {
+  return arrival_rate(t) * std::max(config_.session_mean_s, 1e-9);
+}
+
+double PopulationModel::mean_session_fps() const {
+  double fps = 0.0;
+  for (const DeviceClass& d : mix_) fps += d.weight * d.fps;
+  return fps;
+}
+
+std::vector<SessionArrival> PopulationModel::sample_arrivals(SimTime t0, SimTime t1) {
+  std::vector<SessionArrival> out;
+  if (t1 <= t0) return out;
+  // Thinning: propose at the window's peak rate, accept with
+  // rate(t)/peak. Exact for any bounded rate function.
+  const double peak = config_.mean_population / std::max(config_.session_mean_s, 1e-9) *
+                      (1.0 + std::clamp(config_.diurnal_amplitude, 0.0, 1.0));
+  if (peak <= 0.0) return out;
+  double t = to_seconds(t0);
+  const double end = to_seconds(t1);
+  while (true) {
+    t += rng_.exponential(1.0 / peak);
+    if (t >= end) break;
+    const SimTime at = seconds(t);
+    if (rng_.next_double() * peak > arrival_rate(at)) continue;  // thinned
+    SessionArrival a;
+    a.at = at;
+    a.duration = seconds(rng_.exponential(std::max(config_.session_mean_s, 1e-9)));
+    const double u = rng_.next_double();
+    double cum = 0.0;
+    a.device_class = 0;
+    for (std::size_t i = 0; i < mix_.size(); ++i) {
+      cum += mix_[i].weight;
+      if (u < cum) {
+        a.device_class = static_cast<int>(i);
+        break;
+      }
+    }
+    out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<SimDuration> PopulationModel::ramp_starts(int n, SimDuration ramp) {
+  std::vector<SimDuration> starts;
+  starts.reserve(static_cast<std::size_t>(std::max(n, 0)));
+  for (int i = 0; i < n; ++i) {
+    starts.push_back(n > 1 ? ramp * i / n : 0);
+  }
+  return starts;
+}
+
+}  // namespace mar::expt

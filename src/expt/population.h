@@ -1,0 +1,88 @@
+// Population workload generator.
+//
+// The paper's figures stream a handful of scripted clients; capacity
+// planning needs a *population*: sessions that arrive as a Poisson
+// process whose rate follows a diurnal curve, stay for an exponential
+// holding time, and come from a mix of device classes (phones,
+// headsets, tablets) with different offered frame rates. The model is
+// split into a deterministic rate function (drives the fluid
+// ClientCohort tail) and a seeded sampler (draws discrete arrivals for
+// the detailed per-frame clients), so the fluid and detailed halves of
+// a capacity run describe the same workload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace mar::expt {
+
+struct DeviceClass {
+  std::string name;
+  double fps = 25.0;     // offered camera frame rate
+  double weight = 1.0;   // share of arriving sessions (normalized)
+};
+
+struct PopulationConfig {
+  // Steady-state session population at the diurnal mean (= arrival
+  // rate * mean session length, by Little's law).
+  double mean_population = 100000.0;
+  // Mean session holding time; sessions churn out exponentially.
+  double session_mean_s = 300.0;
+  // Diurnal load curve: rate(t) = base * (1 + amplitude * sin(...)).
+  // amplitude 0 gives a flat Poisson process.
+  double diurnal_amplitude = 0.3;
+  double diurnal_period_s = 86400.0;
+  double diurnal_phase = 0.0;  // radians; 0 starts at the mean, rising
+  std::vector<DeviceClass> device_mix;  // empty = default_mix()
+
+  static std::vector<DeviceClass> default_mix();
+};
+
+// One sampled session arrival.
+struct SessionArrival {
+  SimTime at = 0;
+  SimDuration duration = 0;
+  int device_class = 0;
+};
+
+class PopulationModel {
+ public:
+  explicit PopulationModel(PopulationConfig config, std::uint64_t seed);
+
+  [[nodiscard]] const PopulationConfig& config() const { return config_; }
+  [[nodiscard]] const std::vector<DeviceClass>& mix() const { return mix_; }
+
+  // Session arrival rate (sessions/s) at simulated time t — the
+  // deterministic fluid drive. Never negative (amplitude is clamped).
+  [[nodiscard]] double arrival_rate(SimTime t) const;
+
+  // Expected concurrent sessions at t (quasi-static Little's law; exact
+  // for diurnal periods >> session length, which holds for the paper's
+  // minutes-long AR sessions against an hours-scale load curve).
+  [[nodiscard]] double expected_population(SimTime t) const;
+
+  // Offered frames/s per session, averaged over the device mix.
+  [[nodiscard]] double mean_session_fps() const;
+
+  // Draw the discrete arrivals in [t0, t1) by thinning against the
+  // window's peak rate. Consumes the model's own RNG stream: calling
+  // with the same seed and the same window sequence reproduces the
+  // same arrivals bit-for-bit.
+  std::vector<SessionArrival> sample_arrivals(SimTime t0, SimTime t1);
+
+  // Start times for n clients ramping up linearly over `ramp` (client 0
+  // at 0, client n-1 just before ramp's end) — the autoscaler smoke
+  // test's arrival schedule.
+  [[nodiscard]] static std::vector<SimDuration> ramp_starts(int n, SimDuration ramp);
+
+ private:
+  PopulationConfig config_;
+  std::vector<DeviceClass> mix_;  // weights normalized to sum 1
+  Rng rng_;
+};
+
+}  // namespace mar::expt

@@ -26,6 +26,16 @@ void ResourcePool::acquire(std::uint32_t units, Grant on_grant) {
   waiters_.push_back(Waiter{units, std::move(on_grant)});
 }
 
+std::uint32_t ResourcePool::try_acquire(std::uint32_t units) {
+  if (!waiters_.empty()) return 0;  // frame-level requests have priority
+  const std::uint32_t free_units = in_use_ >= capacity_ ? 0 : capacity_ - in_use_;
+  const std::uint32_t granted = units < free_units ? units : free_units;
+  if (granted == 0) return 0;
+  account();
+  take(granted);
+  return granted;
+}
+
 void ResourcePool::release(std::uint32_t units) {
   account();
   in_use_ = units > in_use_ ? 0 : in_use_ - units;

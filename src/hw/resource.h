@@ -28,6 +28,11 @@ class ResourcePool {
   // virtual time) once they are allocated. Caller must release() later.
   void acquire(std::uint32_t units, Grant on_grant);
 
+  // Non-queuing acquire for fluid cohort holdings: take `units` now if
+  // they fit (and no frame-level waiter is queued ahead), else take
+  // nothing. Returns the units actually taken; caller releases them.
+  std::uint32_t try_acquire(std::uint32_t units);
+
   // Return `units` units and hand them to waiting requests.
   void release(std::uint32_t units);
 

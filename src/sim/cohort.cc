@@ -1,0 +1,60 @@
+#include "sim/cohort.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mar::sim {
+
+double ClientCohort::demand_units() const {
+  if (config_.service_time <= 0) return 0.0;
+  const double unit_rate = static_cast<double>(kSecond) / static_cast<double>(config_.service_time);
+  return active_ * config_.target_fps / unit_rate;
+}
+
+CohortWindow ClientCohort::advance(SimDuration window, double arrival_rate,
+                                   double capacity_units) {
+  CohortWindow w;
+  const double dt = to_seconds(window);
+  if (dt <= 0.0) {
+    w.active = active_;
+    return w;
+  }
+
+  // Fluid session dynamics ds/dt = lambda - s/Ts, integrated in closed
+  // form over the window; the load calculation uses the window-mean
+  // population so short windows don't alias the churn.
+  const double ts = std::max(config_.session_mean_s, 1e-9);
+  const double s0 = active_;
+  const double s_inf = arrival_rate * ts;
+  const double decay = std::exp(-dt / ts);
+  const double s1 = s_inf + (s0 - s_inf) * decay;
+  // Exact window mean of the exponential trajectory.
+  const double s_mean = s_inf + (s0 - s_inf) * (1.0 - decay) * ts / dt;
+
+  w.arrivals = arrival_rate * dt;
+  w.departures = std::max(0.0, s0 - s1 + w.arrivals);
+  w.active = std::max(0.0, s1);
+  active_ = w.active;
+  sessions_arrived_ += w.arrivals;
+
+  const double unit_rate =
+      config_.service_time > 0
+          ? static_cast<double>(kSecond) / static_cast<double>(config_.service_time)
+          : 0.0;
+  w.offered_fps = s_mean * config_.target_fps;
+  const double max_service_fps = capacity_units * unit_rate;
+  w.served_fps = config_.service_time > 0 ? std::min(w.offered_fps, max_service_fps)
+                                          : w.offered_fps;
+  w.session_fps = s_mean > 1e-9 ? w.served_fps / s_mean : 0.0;
+  w.demand_units = unit_rate > 0.0 ? w.offered_fps / unit_rate : 0.0;
+  w.utilization =
+      capacity_units > 1e-9 && unit_rate > 0.0 ? w.served_fps / max_service_fps : 0.0;
+
+  frames_offered_ += w.offered_fps * dt;
+  frames_served_ += w.served_fps * dt;
+  return w;
+}
+
+void ClientCohort::remove_sessions(double n) { active_ = std::max(0.0, active_ - n); }
+
+}  // namespace mar::sim

@@ -1,0 +1,91 @@
+// Flow-level aggregate client model.
+//
+// Simulating 100k+ AR clients frame-by-frame is 10^7 events per
+// simulated second — and for the long tail of healthy clients, every
+// one of those events tells the same story. A ClientCohort replaces N
+// per-frame clients with a fluid approximation advanced once per
+// conservative-sync window: sessions arrive at a (population-model
+// driven) rate, churn out exponentially, and their offered frame load
+// is served by the capacity units the cohort holds on its machine's
+// ResourcePool. Only SLO-interesting clients — probes, or sessions
+// promoted out of a cohort whose fluid FPS degrades — pay per-frame
+// event cost (see expt::CapacityEngine).
+//
+// The model is deliberately RNG-free: a cohort advance is a closed-form
+// function of (state, window, arrival rate, capacity), so the fluid
+// tail adds zero nondeterminism to the partitioned engine's digest.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace mar::sim {
+
+struct CohortConfig {
+  // Per-session offered frame rate (the paper's 25-30 FPS camera).
+  double target_fps = 25.0;
+  // Mean per-frame service demand of one capacity unit (one GPU slot
+  // serves 1/service_time frames per second).
+  SimDuration service_time = 0;
+  // Mean session duration; sessions churn out at rate active/mean.
+  double session_mean_s = 300.0;
+  // Resident bytes one active session pins on the serving machine
+  // (scAtteR: sift state entries; scAtteR++: sidecar client buffers).
+  std::uint64_t memory_per_session = 0;
+};
+
+// Flow stats for one advanced window.
+struct CohortWindow {
+  double arrivals = 0.0;    // fluid sessions that arrived
+  double departures = 0.0;  // fluid sessions that churned out
+  double active = 0.0;      // sessions after the advance
+  double offered_fps = 0.0;   // aggregate frames/s the cohort wanted
+  double served_fps = 0.0;    // aggregate frames/s capacity admitted
+  double session_fps = 0.0;   // served / active — the cohort's QoS
+  double demand_units = 0.0;  // capacity units needed for offered load
+  double utilization = 0.0;   // served demand / granted capacity
+};
+
+class ClientCohort {
+ public:
+  explicit ClientCohort(CohortConfig config) : config_(config) {}
+
+  // Advance the fluid state over a `window`-long interval with the
+  // given session arrival rate (sessions/s) and `capacity_units`
+  // service slots granted to this cohort. Frames offered beyond
+  // capacity are dropped (AR frames are latency-bound: a frame that
+  // cannot be served now is stale, exactly like the sidecar's
+  // staleness threshold), so overload shows up as session_fps sagging
+  // below target_fps rather than as an unbounded backlog.
+  CohortWindow advance(SimDuration window, double arrival_rate, double capacity_units);
+
+  [[nodiscard]] double active_sessions() const { return active_; }
+  // Capacity units needed to serve the current population at target
+  // fps — what the cohort asks its partition's pool for next window.
+  [[nodiscard]] double demand_units() const;
+  [[nodiscard]] std::uint64_t memory_bytes() const {
+    return static_cast<std::uint64_t>(active_ * static_cast<double>(config_.memory_per_session));
+  }
+  [[nodiscard]] const CohortConfig& config() const { return config_; }
+
+  // Promotion/demotion between the fluid tail and detailed per-frame
+  // clients: the capacity engine moves sessions out when the cohort
+  // becomes SLO-interesting (and back when a probe's session ends).
+  void remove_sessions(double n);
+  void add_sessions(double n) { active_ += n; }
+
+  // Cumulative flow totals since construction.
+  [[nodiscard]] double frames_offered() const { return frames_offered_; }
+  [[nodiscard]] double frames_served() const { return frames_served_; }
+  [[nodiscard]] double sessions_arrived() const { return sessions_arrived_; }
+
+ private:
+  CohortConfig config_;
+  double active_ = 0.0;
+  double frames_offered_ = 0.0;
+  double frames_served_ = 0.0;
+  double sessions_arrived_ = 0.0;
+};
+
+}  // namespace mar::sim

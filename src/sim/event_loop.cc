@@ -1,39 +1,118 @@
 #include "sim/event_loop.h"
 
+#include <algorithm>
 #include <limits>
 #include <utility>
 
+#include "telemetry/registry.h"
+
 namespace mar::sim {
+namespace {
+
+// Process-wide sim-engine health counters, shared by every loop (all
+// partitions of a partitioned run sum into the same series). Created
+// once; inc() is a single relaxed load when metrics are disabled.
+struct SimCounters {
+  telemetry::Counter& fired;
+  telemetry::Counter& cancelled;
+  telemetry::Counter& clamped;
+};
+
+SimCounters& sim_counters() {
+  auto& reg = telemetry::MetricRegistry::instance();
+  static SimCounters c{
+      reg.counter("mar_sim_events_fired_total",
+                  "Simulation events executed across all event loops"),
+      reg.counter("mar_sim_events_cancelled_total",
+                  "Scheduled simulation events cancelled before firing"),
+      reg.counter("mar_sim_schedule_clamped_total",
+                  "Schedules clamped forward (negative delay or past timestamp)"),
+  };
+  return c;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  slots_.reserve(64);
+  heap_.reserve(64);
+}
 
 EventId EventLoop::schedule_at(SimTime t, Callback fn) {
-  auto ev = std::make_shared<Event>();
-  ev->time = t < now_ ? now_ : t;
-  ev->seq = next_seq_++;
-  ev->fn = std::move(fn);
-  live_.emplace(ev->seq, ev);
-  queue_.push(std::move(ev));
-  return EventId{next_seq_ - 1};
+  if (t < now_) {
+    t = now_;
+    ++stats_.past_time_clamps;
+    sim_counters().clamped.inc();
+  }
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.armed = true;
+  heap_.push_back(HeapEntry{t, next_seq_++, slot, s.gen});
+  std::push_heap(heap_.begin(), heap_.end(), FiresLater{});
+  ++live_;
+  ++stats_.scheduled;
+  return EventId{slot, s.gen};
+}
+
+EventId EventLoop::schedule_after(SimDuration delay, Callback fn) {
+  if (delay < 0) {
+    delay = 0;
+    ++stats_.negative_delay_clamps;
+    sim_counters().clamped.inc();
+  }
+  return schedule_at(now_ + delay, std::move(fn));
 }
 
 void EventLoop::cancel(EventId id) {
-  auto it = live_.find(id.seq);
-  if (it == live_.end()) return;
-  if (auto ev = it->second.lock()) ev->cancelled = true;
-  live_.erase(it);
+  if (id.slot >= slots_.size()) return;
+  Slot& s = slots_[id.slot];
+  if (s.gen != id.gen || !s.armed) return;
+  // Invalidate the id and release the closure now; the stale heap entry
+  // is reclaimed lazily when it surfaces in fire_next.
+  bump_gen(s);
+  s.armed = false;
+  s.fn = nullptr;
+  --live_;
+  ++stats_.cancelled;
+  sim_counters().cancelled.inc();
 }
 
 bool EventLoop::fire_next(SimTime deadline, bool bounded) {
-  while (!queue_.empty()) {
-    std::shared_ptr<Event> ev = queue_.top();
-    if (ev->cancelled) {
-      queue_.pop();
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    Slot& s = slots_[top.slot];
+    if (top.gen != s.gen) {
+      // Cancelled: the slot was re-generationed; reclaim it.
+      free_.push_back(top.slot);
+      std::pop_heap(heap_.begin(), heap_.end(), FiresLater{});
+      heap_.pop_back();
       continue;
     }
-    if (bounded && ev->time > deadline) return false;
-    queue_.pop();
-    live_.erase(ev->seq);
-    now_ = ev->time;
-    ev->fn();
+    if (bounded && top.time > deadline) return false;
+    const SimTime t = top.time;
+    const std::uint32_t slot = top.slot;
+    std::pop_heap(heap_.begin(), heap_.end(), FiresLater{});
+    heap_.pop_back();
+    // Consume the slot before invoking so the callback can schedule new
+    // events (possibly reusing this very slot).
+    Callback fn = std::move(s.fn);
+    s.fn = nullptr;
+    s.armed = false;
+    bump_gen(s);
+    free_.push_back(slot);
+    --live_;
+    ++stats_.fired;
+    sim_counters().fired.inc();
+    now_ = t;
+    fn();
     return true;
   }
   return false;

@@ -4,30 +4,60 @@
 // order (FIFO among equal timestamps), and `now()` jumps instantly
 // between events, so a five-minute ten-client experiment completes in
 // milliseconds of wall time.
+//
+// Storage is a slab: event callbacks live in reusable slots handed out
+// from a free list, and the priority queue is a flat binary heap of
+// POD entries (time, seq, slot, generation) — no per-event shared_ptr
+// or hash-map churn on the hot path. Cancellation is lazy: cancel()
+// bumps the slot's generation (invalidating the EventId and releasing
+// the callback immediately) and the stale heap entry is reclaimed when
+// it surfaces. Generation checks make stale ids — including ids whose
+// slot has since been reused — safe no-ops.
+//
+// Engine health is observable: every loop counts scheduled / fired /
+// cancelled events and clamped schedules, and mirrors the totals into
+// the process-wide MetricRegistry (mar_sim_events_fired_total,
+// mar_sim_events_cancelled_total, mar_sim_schedule_clamped_total) so a
+// sim whose virtual time is advancing through cancelled-only queues or
+// silently clamping negative delays shows up on /metrics like
+// everything else.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "common/time.h"
 
 namespace mar::sim {
 
-// Token for cancelling a scheduled event.
+// Token for cancelling a scheduled event. Generation-checked: a
+// default-constructed id, an already-fired id, and an id whose slot was
+// recycled all fail the check and cancel() is a safe no-op.
 struct EventId {
-  std::uint64_t seq = 0;
-  [[nodiscard]] bool valid() const { return seq != 0; }
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;  // 0 = never issued
+  [[nodiscard]] bool valid() const { return gen != 0; }
+};
+
+// Per-loop accounting (monotone over the loop's lifetime).
+struct EventLoopStats {
+  std::uint64_t scheduled = 0;
+  std::uint64_t fired = 0;
+  std::uint64_t cancelled = 0;
+  // schedule_after(delay < 0) clamped to "now" — almost always a logic
+  // bug upstream (e.g. a negative backoff), previously silent.
+  std::uint64_t negative_delay_clamps = 0;
+  // schedule_at(t < now) clamped forward (documented behaviour, but
+  // worth counting: a busy loop of past-time schedules is a spin).
+  std::uint64_t past_time_clamps = 0;
 };
 
 class EventLoop {
  public:
   using Callback = std::function<void()>;
 
-  EventLoop() = default;
+  EventLoop();
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
@@ -36,10 +66,10 @@ class EventLoop {
   // Schedule `fn` at absolute time `t` (clamped to `now()` if in the past).
   EventId schedule_at(SimTime t, Callback fn);
 
-  // Schedule `fn` after a relative delay.
-  EventId schedule_after(SimDuration delay, Callback fn) {
-    return schedule_at(now_ + (delay > 0 ? delay : 0), std::move(fn));
-  }
+  // Schedule `fn` after a relative delay. Negative delays are clamped
+  // to zero and counted (stats().negative_delay_clamps +
+  // mar_sim_schedule_clamped_total) instead of silently swallowed.
+  EventId schedule_after(SimDuration delay, Callback fn);
 
   // Cancel a pending event. Safe to call on already-fired or invalid ids.
   void cancel(EventId id);
@@ -51,29 +81,48 @@ class EventLoop {
   std::size_t run_until(SimTime deadline);
 
   // Number of pending (non-cancelled) events.
-  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+  [[nodiscard]] std::size_t pending() const { return live_; }
+
+  [[nodiscard]] const EventLoopStats& stats() const { return stats_; }
 
  private:
-  struct Event {
+  // Slab slot: callback storage plus the generation that validates
+  // EventIds. A slot cycles armed -> (fired | cancelled) -> free.
+  struct Slot {
+    Callback fn;
+    std::uint32_t gen = 1;
+    bool armed = false;
+  };
+  // Flat heap entry; PODs move in O(1) during sift, no allocation.
+  struct HeapEntry {
     SimTime time;
     std::uint64_t seq;
-    Callback fn;
-    bool cancelled = false;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
-  struct Order {
-    bool operator()(const std::shared_ptr<Event>& a, const std::shared_ptr<Event>& b) const {
-      if (a->time != b->time) return a->time > b->time;
-      return a->seq > b->seq;  // FIFO among ties
+  // std::push_heap keeps the *largest* element on top; "largest" here
+  // means "fires latest", so the top of the heap is the earliest event.
+  struct FiresLater {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;  // FIFO among ties
     }
   };
 
-  // Fires the next non-cancelled event, if any. Returns false when drained.
+  // Fires the next non-cancelled event, if any. Returns false when
+  // drained (or, when bounded, when the next event is past `deadline`).
   bool fire_next(SimTime deadline, bool bounded);
+  void bump_gen(Slot& s) {
+    if (++s.gen == 0) s.gen = 1;  // 0 stays the never-issued sentinel
+  }
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
-  std::priority_queue<std::shared_ptr<Event>, std::vector<std::shared_ptr<Event>>, Order> queue_;
-  std::unordered_map<std::uint64_t, std::weak_ptr<Event>> live_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::vector<HeapEntry> heap_;
+  std::size_t live_ = 0;
+  EventLoopStats stats_;
 };
 
 }  // namespace mar::sim

@@ -1,0 +1,86 @@
+#include "sim/partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "common/parallel.h"
+
+namespace mar::sim {
+
+PartitionedEngine::PartitionedEngine(int partitions, SimDuration lookahead)
+    : lookahead_(lookahead > 0 ? lookahead : 1) {
+  assert(partitions > 0);
+  parts_.reserve(static_cast<std::size_t>(partitions));
+  for (int p = 0; p < partitions; ++p) parts_.push_back(std::make_unique<Partition>());
+}
+
+void PartitionedEngine::post(int src, int dst, SimTime t, Callback fn) {
+  Partition& from = *parts_[static_cast<std::size_t>(src)];
+  if (t < window_end_) {
+    // Conservative-bound violation: the destination may already have
+    // run past `t` in this window. Deliver at the barrier instead.
+    t = window_end_;
+    from.outbox.push_back(Message{t, src, dst, from.next_msg_seq++, std::move(fn)});
+    from.outbox.back().seq |= kViolationFlag;
+    return;
+  }
+  from.outbox.push_back(Message{t, src, dst, from.next_msg_seq++, std::move(fn)});
+}
+
+void PartitionedEngine::run_window(int p, SimTime wend) {
+  parts_[static_cast<std::size_t>(p)]->loop.run_until(wend);
+}
+
+void PartitionedEngine::merge_outboxes() {
+  scratch_.clear();
+  for (auto& part : parts_) {
+    for (Message& m : part->outbox) scratch_.push_back(std::move(m));
+    part->outbox.clear();
+  }
+  // Total order on (arrival, source, emission): unique per message and
+  // independent of which thread ran which partition, so the seq numbers
+  // the destination loops assign to equal-time events — and with them
+  // the whole downstream trajectory — are thread-count invariant.
+  std::sort(scratch_.begin(), scratch_.end(), [](const Message& a, const Message& b) {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.src != b.src) return a.src < b.src;
+    return (a.seq & ~kViolationFlag) < (b.seq & ~kViolationFlag);
+  });
+  for (Message& m : scratch_) {
+    ++posted_;
+    if (m.seq & kViolationFlag) ++violations_;
+    parts_[static_cast<std::size_t>(m.dst)]->loop.schedule_at(m.t, std::move(m.fn));
+  }
+  scratch_.clear();
+}
+
+void PartitionedEngine::run_until(SimTime deadline, int threads,
+                                  const std::function<void(SimTime, SimTime)>& on_window) {
+  const int P = partitions();
+  while (window_end_ < deadline) {
+    window_start_ = window_end_;
+    window_end_ = std::min(window_start_ + lookahead_, deadline);
+    ++windows_;
+    const SimTime wend = window_end_;
+    if (threads > 1 && P > 1) {
+      // One chunk per partition; the pool join is the window barrier
+      // (and the happens-before edge that publishes the outboxes).
+      parallel_for(0, P, /*grain=*/1, [this, wend](std::int64_t b, std::int64_t e) {
+        for (std::int64_t p = b; p < e; ++p) run_window(static_cast<int>(p), wend);
+      });
+    } else {
+      for (int p = 0; p < P; ++p) run_window(p, wend);
+    }
+    merge_outboxes();
+    if (on_window) on_window(window_start_, window_end_);
+  }
+}
+
+std::uint64_t PartitionedEngine::events_fired() const {
+  std::uint64_t total = 0;
+  for (const auto& part : parts_) total += part->loop.stats().fired;
+  return total;
+}
+
+}  // namespace mar::sim

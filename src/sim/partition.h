@@ -1,0 +1,113 @@
+// Parallel logical-process DES: conservative-lookahead partitions.
+//
+// The simulation is split into P logical processes ("partitions"), one
+// per hw machine (clients co-located with their access link live in
+// their machine's partition). Each partition owns a private EventLoop;
+// events inside a partition only touch partition-local state. The only
+// way state crosses a partition boundary is post(): a timestamped
+// callback delivered into the destination partition's queue at a
+// barrier.
+//
+// Synchronization is conservative: time advances in windows of
+// `lookahead` = the minimum cross-partition link latency (from the
+// SimNetwork topology). Because any cross-partition message sent
+// during window [W, W+L) arrives no earlier than W+L, every partition
+// can run its window to completion without seeing a message from a
+// concurrently-running peer — so windows execute in parallel on the
+// process-wide ThreadPool with zero locks on the event hot path.
+//
+// Determinism: outboxes are per-source buffers written only by the
+// thread running that partition; at the window barrier they are merged
+// in (arrival time, source partition, source sequence) order and
+// scheduled into the destination loops. Since each partition's
+// execution is internally sequential and the merge order is a pure
+// function of message content, the event trajectory — and therefore
+// every result bit — is identical at any thread count, including the
+// sequential (threads <= 1) engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/time.h"
+#include "sim/event_loop.h"
+
+namespace mar::sim {
+
+class PartitionedEngine {
+ public:
+  using Callback = EventLoop::Callback;
+
+  // `lookahead` must be > 0; it is the conservative bound every
+  // cross-partition post must respect.
+  PartitionedEngine(int partitions, SimDuration lookahead);
+
+  [[nodiscard]] int partitions() const { return static_cast<int>(parts_.size()); }
+  [[nodiscard]] SimDuration lookahead() const { return lookahead_; }
+
+  // The partition's private event queue. Only the thread currently
+  // running partition `p` (or the coordinator between windows) may
+  // touch it.
+  [[nodiscard]] EventLoop& loop(int p) { return parts_[static_cast<std::size_t>(p)]->loop; }
+
+  // End of the window currently executing (or about to execute).
+  [[nodiscard]] SimTime window_end() const { return window_end_; }
+
+  // Cross-partition send: run `fn` on partition `dst` at absolute time
+  // `t`. Must be called from partition `src`'s running window (or
+  // before the first window). Arrival times that violate the
+  // conservative bound (t <= the current window's end) are clamped to
+  // just after the window boundary and counted — a correctly modelled
+  // topology (every cross-partition delay >= lookahead) never clamps.
+  void post(int src, int dst, SimTime t, Callback fn);
+
+  // Advance every partition to `deadline` in lookahead-sized windows.
+  // threads <= 1 runs partitions in index order on the calling thread
+  // (the sequential engine); threads > 1 fans each window out over the
+  // process ThreadPool. The trajectory is bit-identical either way.
+  // `on_window` (optional) runs on the coordinator thread after each
+  // window's barrier with the window's [start, end] — capacity cohorts
+  // and samplers hook here.
+  void run_until(SimTime deadline, int threads,
+                 const std::function<void(SimTime, SimTime)>& on_window = nullptr);
+
+  // --- engine telemetry ------------------------------------------------
+  [[nodiscard]] std::uint64_t events_fired() const;
+  [[nodiscard]] std::uint64_t messages_posted() const { return posted_; }
+  [[nodiscard]] std::uint64_t lookahead_violations() const { return violations_; }
+  [[nodiscard]] std::uint64_t windows_run() const { return windows_; }
+
+ private:
+  struct Message {
+    SimTime t;
+    int src;
+    int dst;
+    std::uint64_t seq;  // per-source emission counter
+    Callback fn;
+  };
+  struct Partition {
+    EventLoop loop;
+    std::vector<Message> outbox;  // written only by this partition's runner
+    std::uint64_t next_msg_seq = 0;
+  };
+
+  // High bit of Message::seq marks a clamped (bound-violating) post;
+  // counted at the barrier so workers never touch shared counters.
+  static constexpr std::uint64_t kViolationFlag = 1ULL << 63;
+
+  void run_window(int p, SimTime wend);
+  void merge_outboxes();
+
+  std::vector<std::unique_ptr<Partition>> parts_;
+  std::vector<Message> scratch_;  // barrier merge buffer, coordinator-only
+  SimDuration lookahead_;
+  SimTime window_start_ = 0;
+  SimTime window_end_ = 0;
+  std::uint64_t posted_ = 0;
+  std::uint64_t violations_ = 0;
+  std::uint64_t windows_ = 0;
+};
+
+}  // namespace mar::sim

@@ -2,6 +2,7 @@
 
 #include "expt/autoscaler.h"
 #include "expt/experiment.h"
+#include "expt/population.h"
 #include "expt/report.h"
 
 namespace mar::expt {
@@ -94,6 +95,47 @@ TEST(Deployment, AddReplicaJoinsRouting) {
   // The new replica received traffic through the round-robin router.
   EXPECT_GT(e.testbed().orchestrator().host(added).stats().received, 0u);
   EXPECT_EQ(e.deployment().hosts_of(Stage::kSift).size(), 2u);
+}
+
+// --- population-driven ramp smoke test -------------------------------------
+
+// Arrivals ramp 1 -> N over the warmup-adjacent window (the population
+// generator's linear ramp schedule, fed through client_stagger), the
+// SLO watchdog holds per-client FPS, and the app-aware scaler absorbs
+// the growing load.
+TEST(AutoScaler, HoldsFpsThroughPopulationRamp) {
+  constexpr int kClients = 10;
+  const SimDuration ramp = seconds(10.0);
+  const auto starts = PopulationModel::ramp_starts(kClients, ramp);
+  ASSERT_EQ(starts.size(), static_cast<std::size_t>(kClients));
+
+  ExperimentConfig cfg = overloaded_config(kClients);
+  // phase_offset = i * stagger reproduces the generator's schedule:
+  // ramp_starts is linear, so the per-client spacing is starts[1].
+  cfg.client_stagger = starts[1];
+  cfg.duration = seconds(30.0);
+  SloTargets slo;
+  slo.min_fps = 10.0;
+  cfg.slo = slo;
+
+  const ExperimentResult base = run_experiment(cfg);  // no scaler: sags
+
+  Experiment e(cfg);
+  e.build();
+  AutoScaler::Config sc;
+  sc.signal = AutoScaler::Signal::kApplication;
+  AutoScaler scaler(e.deployment(), sc);
+  scaler.start();
+  e.run();
+  const ExperimentResult scaled = e.result();
+
+  // The scaler reacted while the ramp was still filling in, and the
+  // watchdog-tracked FPS ends up strictly better than unscaled.
+  EXPECT_GT(scaler.events().size(), 0u);
+  EXPECT_GT(e.deployment().instances().size(), 5u);
+  EXPECT_GT(scaled.fps_mean, base.fps_mean * 1.1);
+  ASSERT_TRUE(scaled.slo.enabled);
+  EXPECT_GT(scaled.slo.window_fps, base.slo.window_fps);
 }
 
 // --- report export ---------------------------------------------------------

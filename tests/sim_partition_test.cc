@@ -1,0 +1,224 @@
+// PartitionedEngine conservative-sync semantics and ClientCohort fluid
+// model. The determinism tests run the same workload at several thread
+// counts and demand bit-identical trajectories; the whole binary
+// carries the `tsan` ctest label so a MAR_SANITIZE=thread build proves
+// the window barrier actually publishes the outboxes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "sim/cohort.h"
+#include "sim/partition.h"
+
+namespace mar::sim {
+namespace {
+
+constexpr SimDuration kLookahead = 1'000;
+
+// --- window / lookahead mechanics ------------------------------------------
+
+TEST(PartitionedEngine, RunsLocalEventsAndCountsWindows) {
+  PartitionedEngine eng(2, kLookahead);
+  int fired = 0;
+  eng.loop(0).schedule_at(100, [&] { ++fired; });
+  eng.loop(1).schedule_at(4'500, [&] { ++fired; });
+  eng.run_until(10'000, /*threads=*/1);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(eng.events_fired(), 2u);
+  EXPECT_EQ(eng.windows_run(), 10u);  // 10'000 / lookahead
+  EXPECT_EQ(eng.loop(0).now(), 10'000);
+  EXPECT_EQ(eng.loop(1).now(), 10'000);
+}
+
+TEST(PartitionedEngine, DeadlineNotMultipleOfLookaheadTruncatesLastWindow) {
+  PartitionedEngine eng(2, kLookahead);
+  eng.run_until(2'500, /*threads=*/1);
+  EXPECT_EQ(eng.windows_run(), 3u);
+  EXPECT_EQ(eng.loop(0).now(), 2'500);
+}
+
+TEST(PartitionedEngine, CrossPartitionPostDeliversAtRequestedTime) {
+  PartitionedEngine eng(2, kLookahead);
+  SimTime delivered_at = -1;
+  eng.loop(0).schedule_at(500, [&] {
+    // now + lookahead is the tight legal bound: equal to the running
+    // window's end, never earlier.
+    eng.post(0, 1, eng.loop(0).now() + kLookahead,
+             [&] { delivered_at = eng.loop(1).now(); });
+  });
+  eng.run_until(5'000, /*threads=*/1);
+  EXPECT_EQ(delivered_at, 1'500);
+  EXPECT_EQ(eng.messages_posted(), 1u);
+  EXPECT_EQ(eng.lookahead_violations(), 0u);
+}
+
+TEST(PartitionedEngine, ViolatingPostIsClampedToWindowEndAndCounted) {
+  PartitionedEngine eng(2, kLookahead);
+  SimTime delivered_at = -1;
+  eng.loop(0).schedule_at(500, [&] {
+    // t = 700 < window end 1'000: partition 1 may already be past 700.
+    eng.post(0, 1, 700, [&] { delivered_at = eng.loop(1).now(); });
+  });
+  eng.run_until(5'000, /*threads=*/1);
+  EXPECT_EQ(delivered_at, 1'000);  // clamped to the window boundary
+  EXPECT_EQ(eng.lookahead_violations(), 1u);
+  EXPECT_EQ(eng.messages_posted(), 1u);
+}
+
+TEST(PartitionedEngine, OnWindowHookSeesEveryBarrier) {
+  PartitionedEngine eng(3, kLookahead);
+  std::vector<std::pair<SimTime, SimTime>> windows;
+  eng.run_until(3'000, /*threads=*/1,
+                [&](SimTime ws, SimTime we) { windows.emplace_back(ws, we); });
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0], (std::pair<SimTime, SimTime>{0, 1'000}));
+  EXPECT_EQ(windows[2], (std::pair<SimTime, SimTime>{2'000, 3'000}));
+}
+
+TEST(PartitionedEngine, ResumesAcrossMultipleRunUntilCalls) {
+  PartitionedEngine eng(2, kLookahead);
+  int fired = 0;
+  eng.loop(0).schedule_at(1'500, [&] { ++fired; });
+  eng.run_until(1'000, /*threads=*/1);
+  EXPECT_EQ(fired, 0);
+  eng.run_until(2'000, /*threads=*/1);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.windows_run(), 2u);
+}
+
+// --- determinism across thread counts --------------------------------------
+
+// A ping-ring workload: every partition runs a periodic local process
+// that draws from its own RNG and posts work to the next partition
+// over. Each partition appends observations only to its own trace (the
+// single-writer rule the engine guarantees), and the traces are folded
+// into one FNV-1a digest in partition order.
+std::uint64_t ring_workload_digest(int partitions, int threads) {
+  set_parallel_threads(threads);
+  PartitionedEngine eng(partitions, kLookahead);
+  std::vector<std::vector<std::uint64_t>> trace(static_cast<std::size_t>(partitions));
+  std::vector<Rng> rng;
+  rng.reserve(static_cast<std::size_t>(partitions));
+  for (int p = 0; p < partitions; ++p) rng.emplace_back(0x9e377 + static_cast<std::uint64_t>(p));
+
+  std::function<void(int)> tick = [&](int p) {
+    EventLoop& loop = eng.loop(p);
+    const std::uint64_t draw =
+        static_cast<std::uint64_t>(rng[static_cast<std::size_t>(p)].uniform_int(0, 1 << 20));
+    trace[static_cast<std::size_t>(p)].push_back(
+        static_cast<std::uint64_t>(loop.now()) * 31 + draw);
+    const int dst = (p + 1) % partitions;
+    // Draws happen here, in p's window; the message carries the value.
+    eng.post(p, dst, loop.now() + kLookahead + static_cast<SimDuration>(draw % 500),
+             [&trace, &eng, dst, draw] {
+               trace[static_cast<std::size_t>(dst)].push_back(
+                   static_cast<std::uint64_t>(eng.loop(dst).now()) ^ draw);
+             });
+    loop.schedule_after(250 + 37 * static_cast<SimDuration>(p), [&tick, p] { tick(p); });
+  };
+  for (int p = 0; p < partitions; ++p) {
+    eng.loop(p).schedule_at(10 * p, [&tick, p] { tick(p); });
+  }
+  eng.run_until(200 * kLookahead, threads);
+  set_parallel_threads(0);
+
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const auto& t : trace) {
+    for (const std::uint64_t v : t) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    }
+  }
+  EXPECT_EQ(eng.lookahead_violations(), 0u);
+  return h;
+}
+
+TEST(PartitionedEngine, TrajectoryBitIdenticalAcrossThreadCounts) {
+  const std::uint64_t sequential = ring_workload_digest(4, 1);
+  for (const int threads : {2, 4, 8}) {
+    EXPECT_EQ(ring_workload_digest(4, threads), sequential) << "threads=" << threads;
+  }
+}
+
+TEST(PartitionedEngine, SinglePartitionDegeneratesToPlainLoop) {
+  EXPECT_EQ(ring_workload_digest(1, 1), ring_workload_digest(1, 4));
+}
+
+// --- fluid cohort -----------------------------------------------------------
+
+CohortConfig cohort_config() {
+  CohortConfig c;
+  c.target_fps = 25.0;
+  c.service_time = millis(40.0);  // one capacity unit serves exactly 25 fps
+  c.session_mean_s = 20.0;
+  c.memory_per_session = 1 << 20;
+  return c;
+}
+
+TEST(ClientCohort, ConvergesToLittlesLaw) {
+  ClientCohort cohort(cohort_config());
+  // lambda * Ts = 10/s * 20s = 200 steady-state sessions.
+  for (int i = 0; i < 2'000; ++i) cohort.advance(millis(100.0), 10.0, 1e9);
+  EXPECT_NEAR(cohort.active_sessions(), 200.0, 0.01);
+}
+
+TEST(ClientCohort, ClosedFormMatchesSingleExponentialStep) {
+  ClientCohort cohort(cohort_config());
+  cohort.add_sessions(100.0);
+  const CohortWindow w = cohort.advance(seconds(5.0), 0.0, 1e9);
+  // No arrivals: s(t) = s0 * e^(-t/Ts).
+  EXPECT_NEAR(w.active, 100.0 * std::exp(-5.0 / 20.0), 1e-9);
+  EXPECT_NEAR(w.departures, 100.0 - w.active, 1e-9);
+}
+
+TEST(ClientCohort, AmpleCapacityServesOfferedLoad) {
+  ClientCohort cohort(cohort_config());
+  cohort.add_sessions(100.0);
+  // 100 sessions * 25 fps need 100 units; grant 200.
+  const CohortWindow w = cohort.advance(millis(10.0), 0.0, 200.0);
+  EXPECT_NEAR(w.served_fps, w.offered_fps, 1e-9);
+  EXPECT_NEAR(w.session_fps, 25.0, 1e-6);
+  EXPECT_NEAR(w.demand_units, w.offered_fps / 25.0, 1e-9);
+  EXPECT_LT(w.utilization, 0.51);
+}
+
+TEST(ClientCohort, ScarceCapacityTruncatesServedFps) {
+  ClientCohort cohort(cohort_config());
+  cohort.add_sessions(100.0);
+  // Grant half the needed units: session fps sags to ~12.5, not a backlog.
+  const CohortWindow w = cohort.advance(millis(10.0), 0.0, 50.0);
+  EXPECT_NEAR(w.served_fps, 50.0 * 25.0, 1e-6);
+  EXPECT_NEAR(w.session_fps, 12.5, 0.01);
+  EXPECT_NEAR(w.utilization, 1.0, 1e-9);
+}
+
+TEST(ClientCohort, AdvanceIsDeterministic) {
+  ClientCohort a(cohort_config());
+  ClientCohort b(cohort_config());
+  for (int i = 0; i < 500; ++i) {
+    const double rate = 5.0 + 3.0 * std::sin(i * 0.01);
+    const CohortWindow wa = a.advance(millis(100.0), rate, 40.0);
+    const CohortWindow wb = b.advance(millis(100.0), rate, 40.0);
+    ASSERT_EQ(wa.active, wb.active);
+    ASSERT_EQ(wa.served_fps, wb.served_fps);
+  }
+  EXPECT_EQ(a.frames_served(), b.frames_served());
+}
+
+TEST(ClientCohort, PromotionMovesSessionsWithoutCreatingThem) {
+  ClientCohort cohort(cohort_config());
+  cohort.add_sessions(10.0);
+  cohort.remove_sessions(4.0);
+  EXPECT_NEAR(cohort.active_sessions(), 6.0, 1e-12);
+  EXPECT_EQ(cohort.memory_bytes(), 6u << 20);
+  cohort.remove_sessions(100.0);  // over-removal clamps at zero
+  EXPECT_EQ(cohort.active_sessions(), 0.0);
+}
+
+}  // namespace
+}  // namespace mar::sim

@@ -6,6 +6,7 @@
 #include "sim/event_loop.h"
 #include "sim/link.h"
 #include "sim/network.h"
+#include "telemetry/registry.h"
 
 namespace mar::sim {
 namespace {
@@ -115,6 +116,128 @@ TEST(EventLoop, TimeNeverGoesBackwards) {
   }
   loop.run();
   EXPECT_TRUE(monotone);
+}
+
+// --- slab storage + accounting ---------------------------------------------
+
+TEST(EventLoop, SlabReusesSlotsAfterFire) {
+  EventLoop loop;
+  const EventId first = loop.schedule_at(10, [] {});
+  loop.run();
+  // The freed slot is handed back out, with a fresh generation so the
+  // old id cannot alias the new event.
+  const EventId second = loop.schedule_at(20, [] {});
+  EXPECT_EQ(second.slot, first.slot);
+  EXPECT_NE(second.gen, first.gen);
+}
+
+TEST(EventLoop, StaleCancelAfterSlotReuseIsNoOp) {
+  EventLoop loop;
+  const EventId stale = loop.schedule_at(10, [] {});
+  loop.run();  // fires; slot returns to the free list
+
+  bool fired = false;
+  loop.schedule_at(20, [&] { fired = true; });  // reuses the slot
+  loop.cancel(stale);  // generation mismatch: must not kill the new event
+  loop.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventLoop, StaleCancelAfterCancelAndReuseIsNoOp) {
+  EventLoop loop;
+  const EventId stale = loop.schedule_at(10, [] {});
+  loop.cancel(stale);
+  bool fired = false;
+  loop.schedule_at(20, [&] { fired = true; });
+  loop.cancel(stale);  // double-cancel across a reuse boundary
+  loop.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventLoop, StatsCountScheduledFiredCancelled) {
+  EventLoop loop;
+  const EventId a = loop.schedule_at(10, [] {});
+  loop.schedule_at(20, [] {});
+  loop.schedule_at(30, [] {});
+  loop.cancel(a);
+  loop.cancel(a);  // idempotent: must not double-count
+  loop.run();
+  EXPECT_EQ(loop.stats().scheduled, 3u);
+  EXPECT_EQ(loop.stats().fired, 2u);
+  EXPECT_EQ(loop.stats().cancelled, 1u);
+}
+
+TEST(EventLoop, NegativeDelayClampsToNowAndCounts) {
+  EventLoop loop;
+  SimTime fired_at = -1;
+  loop.schedule_at(100, [&] {
+    loop.schedule_after(-50, [&] { fired_at = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(fired_at, 100);  // clamped to "now", not swallowed
+  EXPECT_EQ(loop.stats().negative_delay_clamps, 1u);
+  EXPECT_EQ(loop.stats().past_time_clamps, 0u);
+}
+
+TEST(EventLoop, PastTimeScheduleCounts) {
+  EventLoop loop;
+  loop.schedule_at(100, [&] { loop.schedule_at(10, [] {}); });
+  loop.run();
+  EXPECT_EQ(loop.stats().past_time_clamps, 1u);
+  EXPECT_EQ(loop.stats().negative_delay_clamps, 0u);
+}
+
+TEST(EventLoop, RunUntilOverCancelledOnlyQueueFiresNothing) {
+  EventLoop loop;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 16; ++i) ids.push_back(loop.schedule_at(i * 10, [] {}));
+  for (const EventId id : ids) loop.cancel(id);
+  EXPECT_EQ(loop.pending(), 0u);
+  // run_until must reclaim the stale heap entries, fire nothing, and
+  // still land now() on the deadline.
+  EXPECT_EQ(loop.run_until(1'000), 0u);
+  EXPECT_EQ(loop.now(), 1'000);
+  EXPECT_EQ(loop.stats().fired, 0u);
+  EXPECT_EQ(loop.stats().cancelled, 16u);
+}
+
+TEST(EventLoop, MixedChurnKeepsAccountingConsistent) {
+  EventLoop loop;
+  Rng rng(11);
+  std::vector<EventId> live;
+  for (int i = 0; i < 2'000; ++i) {
+    live.push_back(loop.schedule_at(rng.uniform_int(0, 10'000), [] {}));
+    if (i % 3 == 0) {
+      loop.cancel(live[static_cast<std::size_t>(rng.uniform_int(0, i))]);
+    }
+  }
+  loop.run();
+  const EventLoopStats& s = loop.stats();
+  EXPECT_EQ(s.scheduled, 2'000u);
+  EXPECT_EQ(s.fired + s.cancelled, 2'000u);
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoop, MirrorsTotalsIntoMetricRegistry) {
+  auto& reg = telemetry::MetricRegistry::instance();
+  reg.set_enabled(true);
+  auto& fired = reg.counter("mar_sim_events_fired_total", "");
+  auto& cancelled = reg.counter("mar_sim_events_cancelled_total", "");
+  auto& clamped = reg.counter("mar_sim_schedule_clamped_total", "");
+  const std::uint64_t fired0 = fired.value();
+  const std::uint64_t cancelled0 = cancelled.value();
+  const std::uint64_t clamped0 = clamped.value();
+
+  EventLoop loop;
+  const EventId a = loop.schedule_at(10, [] {});
+  loop.cancel(a);
+  loop.schedule_at(20, [&] { loop.schedule_after(-1, [] {}); });
+  loop.run();
+
+  EXPECT_EQ(fired.value() - fired0, 2u);      // the t=20 event + the clamped one
+  EXPECT_EQ(cancelled.value() - cancelled0, 1u);
+  EXPECT_EQ(clamped.value() - clamped0, 1u);
+  reg.set_enabled(false);
 }
 
 // --- link model -----------------------------------------------------------
