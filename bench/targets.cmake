@@ -26,6 +26,10 @@ mar_bench(fault_recovery)
 mar_bench(tail_forensics)
 mar_bench(capacity_planning)
 
+# Live-transport duel over real UDP sockets; needs the net layer.
+mar_bench(lossy_link)
+target_link_libraries(lossy_link PRIVATE mar_net)
+
 mar_bench(ablation_scatterpp_parts)
 mar_bench(ablation_sidecar_threshold)
 mar_bench(ablation_app_aware)

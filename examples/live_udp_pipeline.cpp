@@ -1,35 +1,49 @@
-// Live distributed pipeline over real UDP sockets.
+// Live distributed pipeline over real UDP sockets, served by ONE
+// epoll event loop.
 //
-// Runs the five scAtteR++ services as threads, each bound to its own
-// UDP socket, moving real frames/features/Fisher vectors through the
-// shared wire format (serialize -> fragment -> reassemble -> parse) —
-// the live-mode counterpart of the simulated deployment. The client
-// thread streams synthetic camera frames and measures end-to-end
-// latency of the returned detections.
+// The five scAtteR++ services and every client share a single
+// net::EpollLoop: each service is a UDP socket whose readable handler
+// runs the stage inline, clients are timer-driven frame sources, and
+// the transport's housekeeping (NACK backoff, reassembly GC) rides a
+// periodic timer on the same loop. No thread-per-socket — one process
+// serves 6 sockets by default and hundreds with --clients=N, which is
+// the shape a production edge box needs (ROADMAP item 3).
 //
-// Build & run:  ./build/examples/live_udp_pipeline
+// The full production transport is switchable from the command line:
 //
-//   --metrics_port=N   serve live /metrics, /healthz, /statusz on port N
-//                      (0 = ephemeral; the bound port is printed). The
-//                      scrape shows per-service latency histograms, frame
-//                      and drop counters, and the process's CPU/RSS from
-//                      /proc — the real-substrate half of the metrics
-//                      plane the simulator also exports.
-#include <atomic>
+//   --rtx              receiver-driven NACK retransmission + ACKs
+//   --fec_group=K      one XOR-parity datagram per K data fragments
+//   --loss=P           deterministic transmit-loss harness (0..1) on
+//                      every channel, so the recovery tiers have
+//                      something to recover from on loopback
+//   --adaptive         sender-side quality stepping: clients shrink
+//                      their frames under sustained loss (CloudAR-
+//                      style fidelity adaptation) and recover slowly
+//   --clients=N        number of concurrent client sockets (default 1)
+//   --frames=N         frames per client (default 12)
+//   --metrics_port=N   serve live /metrics, /healthz, /statusz on port
+//                      N (0 = ephemeral; the bound port is printed).
+//                      The scrape includes the transport counters:
+//                      mar_net_rtx_total, mar_net_fec_repairs_total,
+//                      mar_net_frames_unrecoverable_total.
+//
+// Build & run:  ./build/examples/live_udp_pipeline --loss=0.05 --rtx --fec_group=4
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/bytes.h"
+#include "net/adaptive.h"
+#include "net/epoll_loop.h"
 #include "net/frame_channel.h"
 #include "net/http.h"
 #include "telemetry/procstat.h"
 #include "telemetry/registry.h"
 #include "vision/engine.h"
+#include "vision/image.h"
 #include "vision/serialize.h"
 #include "video/scene.h"
 
@@ -82,29 +96,67 @@ bool unpack2(std::span<const std::uint8_t> bytes, std::vector<std::uint8_t>& a,
   return r.ok();
 }
 
+struct Flags {
+  int metrics_port = -1;  // -1 = metrics plane off
+  int clients = 1;
+  int frames = 12;
+  int frame_period_ms = 250;
+  bool rtx = false;
+  int fec_group = 0;
+  double loss = 0.0;
+  bool adaptive = false;
+};
+
+bool parse_flags(int argc, char** argv, Flags& f) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto intval = [&](const char* prefix, int& out) {
+      if (arg.rfind(prefix, 0) != 0) return false;
+      out = std::atoi(arg.c_str() + std::strlen(prefix));
+      return true;
+    };
+    if (intval("--metrics_port=", f.metrics_port) || intval("--clients=", f.clients) ||
+        intval("--frames=", f.frames) || intval("--period_ms=", f.frame_period_ms) ||
+        intval("--fec_group=", f.fec_group)) {
+      continue;
+    }
+    if (arg == "--rtx") {
+      f.rtx = true;
+    } else if (arg == "--adaptive") {
+      f.adaptive = true;
+    } else if (arg.rfind("--loss=", 0) == 0) {
+      f.loss = std::atof(arg.c_str() + std::strlen("--loss="));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  f.clients = std::max(1, f.clients);
+  f.frames = std::max(1, f.frames);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  int metrics_port = -1;  // -1 = metrics plane off
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--metrics_port=", 0) == 0) {
-      metrics_port = std::atoi(arg.c_str() + std::strlen("--metrics_port="));
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
-      return 2;
-    }
+  Flags flags;
+  if (!parse_flags(argc, argv, flags)) return 2;
+
+  constexpr int kStages = 5;
+  std::printf("Live UDP pipeline: %d services + %d client(s) on one epoll loop\n", kStages,
+              flags.clients);
+  if (flags.loss > 0.0 || flags.rtx || flags.fec_group > 0) {
+    std::printf("transport: loss=%.0f%% rtx=%s fec_group=%d adaptive=%s\n",
+                flags.loss * 100.0, flags.rtx ? "on" : "off", flags.fec_group,
+                flags.adaptive ? "on" : "off");
   }
 
-  std::printf("Live UDP pipeline: 5 services + 1 client on loopback\n");
-
-  // Live metrics plane: per-stage latency histograms updated by the
-  // service threads (sharded cells — no contention), frame/drop
-  // counters, and OS-level CPU/RSS gauges from /proc.
+  // Live metrics plane: per-stage latency histograms, frame/drop
+  // counters, transport recovery counters, and CPU/RSS from /proc.
   auto& registry = telemetry::MetricRegistry::instance();
   const char* stage_names[] = {"primary", "sift", "encoding", "lsh", "matching"};
-  telemetry::FixedHistogram* stage_hist[5];
-  for (int s = 0; s < 5; ++s) {
+  telemetry::FixedHistogram* stage_hist[kStages];
+  for (int s = 0; s < kStages; ++s) {
     stage_hist[s] = &registry.histogram(
         "mar_service_ms", "Per-frame service processing latency (ms).",
         telemetry::FixedHistogram::default_latency_ms_bounds(), {{"stage", stage_names[s]}});
@@ -113,18 +165,18 @@ int main(int argc, char** argv) {
       "mar_frame_e2e_ms", "Client-observed capture-to-result latency (ms).",
       telemetry::FixedHistogram::default_latency_ms_bounds());
   telemetry::Counter& frames_sent_total =
-      registry.counter("mar_frames_sent_total", "Frames the client sent.");
+      registry.counter("mar_frames_sent_total", "Frames the clients sent.");
   telemetry::Counter& results_total =
-      registry.counter("mar_results_total", "Results delivered to the client.");
+      registry.counter("mar_results_total", "Results delivered to the clients.");
   telemetry::Counter& parse_drops_total = registry.counter(
       "mar_parse_drops_total", "Packets dropped by a service on a malformed payload.");
 
   net::HttpServer metrics_server;
   telemetry::ProcStatSampler proc_sampler(registry);
-  if (metrics_port >= 0) {
+  if (flags.metrics_port >= 0) {
     registry.set_enabled(true);
     net::serve_metrics(metrics_server, registry);
-    if (auto st = metrics_server.start(static_cast<std::uint16_t>(metrics_port));
+    if (auto st = metrics_server.start(static_cast<std::uint16_t>(flags.metrics_port));
         !st.is_ok()) {
       std::fprintf(stderr, "metrics server failed: %s\n", st.message().c_str());
       return 1;
@@ -135,8 +187,9 @@ int main(int argc, char** argv) {
     std::fflush(stdout);  // scripts poll a redirected log for this line
   }
 
-  // One shared, pre-trained engine; each stage thread uses only its
-  // stage's (const) part, matching owns the tracker.
+  // One shared, pre-trained engine; stages use only their (const)
+  // part, matching owns the tracker. Everything runs on the loop
+  // thread, so no synchronization is needed anywhere below.
   video::WorkplaceScene scene(640, 360);
   vision::EngineParams params;
   params.working_width = 320;
@@ -152,151 +205,253 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // Open one channel per stage + the client.
-  constexpr int kStages = 5;
-  std::vector<net::FrameChannel> channels(kStages + 1);
-  std::vector<net::SockAddr> addrs(kStages + 1);
-  for (int i = 0; i <= kStages; ++i) {
-    if (!channels[static_cast<std::size_t>(i)].open(0).is_ok()) {
+  net::ChannelOptions copts;
+  copts.enable_rtx = flags.rtx;
+  copts.fec_group = flags.fec_group;
+  copts.rtx.nack_timeout = std::chrono::milliseconds(10);
+  copts.tx_loss_rate = flags.loss;
+
+  // One channel per stage + one per client, all on the same loop.
+  const int n_channels = kStages + flags.clients;
+  std::vector<net::FrameChannel> channels;
+  channels.reserve(static_cast<std::size_t>(n_channels));
+  std::vector<net::SockAddr> addrs(static_cast<std::size_t>(n_channels));
+  for (int i = 0; i < n_channels; ++i) {
+    copts.tx_loss_seed = static_cast<std::uint64_t>(i) + 1;
+    channels.emplace_back(copts);
+    if (!channels.back().open(0).is_ok()) {
       std::fprintf(stderr, "socket open failed\n");
       return 1;
     }
-    addrs[static_cast<std::size_t>(i)] =
-        channels[static_cast<std::size_t>(i)].local_addr().value();
+    addrs[static_cast<std::size_t>(i)] = channels.back().local_addr().value();
   }
-  const net::SockAddr client_addr = addrs[kStages];
-
-  std::atomic<bool> stop{false};
-  std::vector<std::thread> workers;
-
-  auto service = [&](int stage) {
-    auto& ch = channels[static_cast<std::size_t>(stage)];
-    const net::SockAddr next =
-        stage + 1 < kStages ? addrs[static_cast<std::size_t>(stage + 1)] : client_addr;
-    while (!stop.load(std::memory_order_relaxed)) {
-      auto received = ch.poll(20);
-      if (!received) continue;
-      wire::FramePacket& pkt = received->packet;
-      const auto t0 = Clock::now();
-      switch (static_cast<Stage>(stage)) {
-        case Stage::kPrimary: {
-          const vision::Image img = decode_image(pkt.payload);
-          pkt.payload = encode_image(engine.preprocess(img));
-          break;
-        }
-        case Stage::kSift: {
-          const vision::Image img = decode_image(pkt.payload);
-          const auto features = engine.extract(img, img);
-          pkt.payload = vision::serialize_features(features.features);
-          pkt.header.carries_state = true;  // stateless pipeline
-          break;
-        }
-        case Stage::kEncoding: {
-          const auto features = vision::parse_features(pkt.payload);
-          if (!features) {
-            parse_drops_total.inc();
-            continue;
-          }
-          const auto fisher = engine.encode(*features);
-          pkt.payload = pack2(vision::serialize_features(*features),
-                              vision::serialize_floats(fisher));
-          break;
-        }
-        case Stage::kLsh: {
-          std::vector<std::uint8_t> feat_blob, fisher_blob;
-          if (!unpack2(pkt.payload, feat_blob, fisher_blob)) {
-            parse_drops_total.inc();
-            continue;
-          }
-          const auto fisher = vision::parse_floats(fisher_blob);
-          if (!fisher) {
-            parse_drops_total.inc();
-            continue;
-          }
-          const auto candidates = engine.lookup(*fisher);
-          pkt.payload = pack2(feat_blob, vision::serialize_ids(candidates));
-          break;
-        }
-        case Stage::kMatching: {
-          std::vector<std::uint8_t> feat_blob, id_blob;
-          if (!unpack2(pkt.payload, feat_blob, id_blob)) {
-            parse_drops_total.inc();
-            continue;
-          }
-          const auto features = vision::parse_features(feat_blob);
-          const auto candidates = vision::parse_ids(id_blob);
-          if (!features || !candidates) {
-            parse_drops_total.inc();
-            continue;
-          }
-          vision::ExtractedFeatures ef;
-          ef.features = *features;
-          pkt.payload = vision::serialize_detections(engine.match_and_pose(ef, *candidates));
-          pkt.header.kind = wire::MessageKind::kResult;
-          pkt.header.match_ok = !pkt.payload.empty();
-          break;
-        }
-        case Stage::kResult:
-          continue;
-      }
-      stage_hist[static_cast<std::size_t>(stage)]->observe(
-          std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
-      pkt.header.stage = static_cast<Stage>(stage + 1);
-      pkt.header.payload_bytes = static_cast<std::uint32_t>(pkt.payload.size());
-      ch.send(pkt, next);
-    }
+  auto client_channel = [&](int c) -> net::FrameChannel& {
+    return channels[static_cast<std::size_t>(kStages + c)];
+  };
+  auto client_addr = [&](std::uint32_t client_id) {  // ClientId{c+1} -> addr
+    return addrs[static_cast<std::size_t>(kStages) + client_id - 1];
   };
 
-  workers.reserve(kStages);
-  for (int s = 0; s < kStages; ++s) workers.emplace_back(service, s);
+  // Per-client progress + adaptive quality state.
+  struct ClientState {
+    int frames_sent = 0;
+    int results = 0;
+    int recognized = 0;
+    double total_e2e_ms = 0.0;
+    net::AdaptiveQuality quality;
+    std::uint64_t last_frags = 0, last_rtx = 0;
+  };
+  net::AdaptiveConfig acfg;
+  acfg.down_threshold = 0.05;
+  std::vector<ClientState> clients(static_cast<std::size_t>(flags.clients),
+                                   ClientState{0, 0, 0, 0.0, net::AdaptiveQuality(acfg), 0, 0});
 
-  // Client: stream frames at ~4 FPS (CPU-bound SIFT on one core) and
-  // collect results.
-  constexpr int kFrames = 12;
-  auto& client_ch = channels[kStages];
-  int results = 0, recognized = 0;
-  double total_e2e_ms = 0.0;
-
-  std::thread sender([&] {
-    for (int i = 0; i < kFrames && !stop.load(); ++i) {
-      wire::FramePacket pkt;
-      pkt.header.client = ClientId{1};
-      pkt.header.frame = FrameId{static_cast<std::uint64_t>(i)};
-      pkt.header.stage = Stage::kPrimary;
-      pkt.header.capture_ts = now_ns();
-      pkt.payload = encode_image(scene.render(static_cast<double>(i) / 4.0));
-      pkt.header.payload_bytes = static_cast<std::uint32_t>(pkt.payload.size());
-      client_ch.send(pkt, addrs[0]);
-      frames_sent_total.inc();
-      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  auto run_stage = [&](int stage, net::FrameChannel::Received& received) {
+    wire::FramePacket& pkt = received.packet;
+    const auto t0 = Clock::now();
+    switch (static_cast<Stage>(stage)) {
+      case Stage::kPrimary: {
+        const vision::Image img = decode_image(pkt.payload);
+        pkt.payload = encode_image(engine.preprocess(img));
+        break;
+      }
+      case Stage::kSift: {
+        const vision::Image img = decode_image(pkt.payload);
+        const auto features = engine.extract(img, img);
+        pkt.payload = vision::serialize_features(features.features);
+        pkt.header.carries_state = true;  // stateless pipeline
+        break;
+      }
+      case Stage::kEncoding: {
+        const auto features = vision::parse_features(pkt.payload);
+        if (!features) {
+          parse_drops_total.inc();
+          return;
+        }
+        const auto fisher = engine.encode(*features);
+        pkt.payload = pack2(vision::serialize_features(*features),
+                            vision::serialize_floats(fisher));
+        break;
+      }
+      case Stage::kLsh: {
+        std::vector<std::uint8_t> feat_blob, fisher_blob;
+        if (!unpack2(pkt.payload, feat_blob, fisher_blob)) {
+          parse_drops_total.inc();
+          return;
+        }
+        const auto fisher = vision::parse_floats(fisher_blob);
+        if (!fisher) {
+          parse_drops_total.inc();
+          return;
+        }
+        const auto candidates = engine.lookup(*fisher);
+        pkt.payload = pack2(feat_blob, vision::serialize_ids(candidates));
+        break;
+      }
+      case Stage::kMatching: {
+        std::vector<std::uint8_t> feat_blob, id_blob;
+        if (!unpack2(pkt.payload, feat_blob, id_blob)) {
+          parse_drops_total.inc();
+          return;
+        }
+        const auto features = vision::parse_features(feat_blob);
+        const auto candidates = vision::parse_ids(id_blob);
+        if (!features || !candidates) {
+          parse_drops_total.inc();
+          return;
+        }
+        vision::ExtractedFeatures ef;
+        ef.features = *features;
+        pkt.payload = vision::serialize_detections(engine.match_and_pose(ef, *candidates));
+        pkt.header.kind = wire::MessageKind::kResult;
+        pkt.header.match_ok = !pkt.payload.empty();
+        break;
+      }
+      case Stage::kResult:
+        return;
     }
-  });
+    stage_hist[stage]->observe(
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+    pkt.header.stage = static_cast<Stage>(stage + 1);
+    pkt.header.payload_bytes = static_cast<std::uint32_t>(pkt.payload.size());
+    const net::SockAddr next = stage + 1 < kStages
+                                   ? addrs[static_cast<std::size_t>(stage + 1)]
+                                   : client_addr(pkt.header.client.value());
+    channels[static_cast<std::size_t>(stage)].send(pkt, next);
+  };
 
-  const auto deadline = Clock::now() + std::chrono::seconds(15);
-  while (results < kFrames && Clock::now() < deadline) {
-    auto received = client_ch.poll(50);
-    if (!received) continue;
-    ++results;
-    const double e2e_ms =
-        static_cast<double>(now_ns() - received->packet.header.capture_ts) / 1e6;
-    total_e2e_ms += e2e_ms;
-    results_total.inc();
-    e2e_hist.observe(e2e_ms);
-    const auto detections = vision::parse_detections(received->packet.payload);
-    const std::size_t n_det = detections ? detections->size() : 0;
-    if (n_det > 0) ++recognized;
-    std::printf("frame %llu: %zu detections, E2E %.0f ms\n",
-                static_cast<unsigned long long>(received->packet.header.frame.value()), n_det,
-                e2e_ms);
+  net::EpollLoop loop;
+  if (auto st = loop.init(); !st.is_ok()) {
+    std::fprintf(stderr, "epoll init failed: %s\n", st.message().c_str());
+    return 1;
   }
 
-  stop.store(true);
-  sender.join();
-  for (auto& w : workers) w.join();
+  // Service handlers: drain the stage socket, run the stage inline.
+  for (int s = 0; s < kStages; ++s) {
+    loop.add(channels[static_cast<std::size_t>(s)].fd(), [&, s] {
+      while (auto received = channels[static_cast<std::size_t>(s)].poll(0)) {
+        run_stage(s, *received);
+      }
+    });
+  }
+
+  // Client result handlers.
+  for (int c = 0; c < flags.clients; ++c) {
+    loop.add(client_channel(c).fd(), [&, c] {
+      ClientState& st = clients[static_cast<std::size_t>(c)];
+      while (auto received = client_channel(c).poll(0)) {
+        ++st.results;
+        const double e2e_ms =
+            static_cast<double>(now_ns() - received->packet.header.capture_ts) / 1e6;
+        st.total_e2e_ms += e2e_ms;
+        results_total.inc();
+        e2e_hist.observe(e2e_ms);
+        const auto detections = vision::parse_detections(received->packet.payload);
+        const std::size_t n_det = detections ? detections->size() : 0;
+        if (n_det > 0) ++st.recognized;
+        if (flags.clients == 1) {
+          std::printf("frame %llu: %zu detections, E2E %.0f ms%s\n",
+                      static_cast<unsigned long long>(
+                          received->packet.header.frame.value()),
+                      n_det, e2e_ms,
+                      received->fec_repairs > 0 ? " (FEC-repaired)" : "");
+        }
+      }
+    });
+  }
+
+  // Client frame sources: periodic timers on the same loop, staggered
+  // so multi-client runs do not send in lockstep.
+  for (int c = 0; c < flags.clients; ++c) {
+    const auto period = std::chrono::milliseconds(flags.frame_period_ms);
+    const auto stagger =
+        std::chrono::milliseconds(flags.frame_period_ms * c / std::max(1, flags.clients));
+    loop.schedule_after(stagger, [&, c] {
+      ClientState& st = clients[static_cast<std::size_t>(c)];
+      if (st.frames_sent >= flags.frames) return;
+      net::FrameChannel& ch = client_channel(c);
+      // Feed the quality controller the previous frame's transport
+      // outcome (fragments first-sent vs retransmitted on this hop).
+      if (flags.adaptive && st.frames_sent > 0) {
+        st.quality.on_frame(ch.fragments_sent() - st.last_frags,
+                            ch.rtx_fragments_sent() - st.last_rtx, /*delivered=*/true);
+      }
+      st.last_frags = ch.fragments_sent();
+      st.last_rtx = ch.rtx_fragments_sent();
+
+      wire::FramePacket pkt;
+      pkt.header.client = ClientId{static_cast<std::uint32_t>(c) + 1};
+      pkt.header.frame = FrameId{static_cast<std::uint64_t>(st.frames_sent)};
+      pkt.header.stage = Stage::kPrimary;
+      pkt.header.capture_ts = now_ns();
+      vision::Image img = scene.render(static_cast<double>(st.frames_sent) / 4.0);
+      if (flags.adaptive && st.quality.scale() < 1.0) {
+        // Fidelity adaptation: smaller frames fragment less, so each
+        // frame survives a lossy hop superlinearly more often.
+        const double s = st.quality.scale();
+        img = vision::resize(img, std::max(64, static_cast<int>(img.width() * s)),
+                             std::max(36, static_cast<int>(img.height() * s)));
+      }
+      pkt.payload = encode_image(img);
+      pkt.header.payload_bytes = static_cast<std::uint32_t>(pkt.payload.size());
+      ch.send(pkt, addrs[0]);
+      ++st.frames_sent;
+      frames_sent_total.inc();
+    }, period);
+  }
+
+  // Transport housekeeping: NACK backoff deadlines and reassembly GC
+  // tick even when no datagrams arrive.
+  loop.schedule_after(std::chrono::milliseconds(5), [&] {
+    for (auto& ch : channels) ch.tick();
+  }, std::chrono::milliseconds(5));
+
+  const int want_results = flags.frames * flags.clients;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(flags.frames * flags.frame_period_ms + 15000);
+  loop.run([&] {
+    int results = 0;
+    for (const auto& st : clients) results += st.results;
+    return results < want_results && Clock::now() < deadline;
+  });
+
   proc_sampler.stop();
   metrics_server.stop();
 
-  std::printf("\ndelivered %d/%d frames, %d with detections, mean E2E %.0f ms\n", results,
-              kFrames, recognized, results ? total_e2e_ms / results : 0.0);
+  int results = 0, recognized = 0, sent = 0;
+  double total_e2e = 0.0;
+  std::uint64_t rtx = 0, repairs = 0, unrecoverable = 0, harness_dropped = 0;
+  int min_level = 99;
+  for (int c = 0; c < flags.clients; ++c) {
+    const ClientState& st = clients[static_cast<std::size_t>(c)];
+    results += st.results;
+    recognized += st.recognized;
+    sent += st.frames_sent;
+    total_e2e += st.total_e2e_ms;
+    min_level = std::min(min_level, st.quality.level());
+  }
+  for (const auto& ch : channels) {
+    rtx += ch.rtx_fragments_sent();
+    repairs += ch.fec_repairs();
+    unrecoverable += ch.frames_unrecoverable();
+    harness_dropped += ch.harness_dropped();
+  }
+
+  std::printf("\nserved %zu sockets on one epoll loop (%llu events, %llu timer fires)\n",
+              channels.size(), static_cast<unsigned long long>(loop.events_dispatched()),
+              static_cast<unsigned long long>(loop.timers_fired()));
+  std::printf("delivered %d/%d frames, %d with detections, mean E2E %.0f ms\n", results,
+              sent, recognized, results ? total_e2e / results : 0.0);
+  if (flags.loss > 0.0 || flags.rtx || flags.fec_group > 0) {
+    std::printf("transport: %llu datagrams harness-dropped, %llu fragments retransmitted, "
+                "%llu FEC repairs, %llu frames unrecoverable\n",
+                static_cast<unsigned long long>(harness_dropped),
+                static_cast<unsigned long long>(rtx),
+                static_cast<unsigned long long>(repairs),
+                static_cast<unsigned long long>(unrecoverable));
+  }
+  if (flags.adaptive) {
+    std::printf("adaptive: lowest quality level reached %d\n", min_level);
+  }
   return results > 0 ? 0 : 1;
 }

@@ -52,6 +52,14 @@ HEADLINES = {
         (r"fps_mean$", "higher"),
         (r"gates_failed$", "zero"),
     ],
+    # Live UDP transport duel. Success rates are deterministic (seeded
+    # tx-loss harness); mean_e2e_ms is wall-clock and deliberately not
+    # gated.
+    "lossy_link": [
+        (r"runs\..*\.success_rate$", "higher"),
+        (r"runs\..*\.delivered$", "higher"),
+        (r"gates_failed$", "zero"),
+    ],
     # The committed events_per_sec baseline is deliberately set well
     # below the measured rate (sandbagged ~2x): wall-clock throughput
     # varies with host load, so the gate catches engine-level

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Fail when curated docs reference repo paths that no longer exist.
+
+The architecture/experiment docs are full of pointers like
+`src/net/fragment.cc` or `scripts/verify.sh`; refactors silently
+strand them. This lint extracts every path-like token from the curated
+doc set and checks it against the working tree.
+
+Only docs that describe THIS repo are linted. ROADMAP/PAPERS/SNIPPETS/
+ISSUE/CHANGES quote external repos, papers, and historical states, so
+they are exempt by design.
+
+Rules:
+  * a token must contain a '/' and end in a known source/doc extension,
+    or be a bare top-level *.md/script reference;
+  * `{a,b}` brace groups expand (src/net/fragment.{h,cc} checks both);
+  * tokens containing '*', '<', '$', or 'N' placeholders are skipped;
+  * paths under build/, out/, or starting with http are skipped.
+
+Usage: scripts/docs_lint.py [repo-root]   (exit 1 on stale references)
+"""
+import itertools
+import os
+import re
+import sys
+
+LINTED_DOCS = [
+    "README.md",
+    "ARCHITECTURE.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "bench/TRAJECTORY.md",
+]
+
+# Things that look like repo paths: dir/file.ext with an optional
+# {h,cc}-style brace suffix. Extensions limited to what the repo uses.
+PATH_RE = re.compile(
+    r"\b[A-Za-z0-9_.\-]+(?:/[A-Za-z0-9_.\-{},]+)+"
+    r"\.(?:h|cc|cpp|cmake|md|py|sh|json|txt|yaml)\b"
+    r"|\b[A-Za-z0-9_.\-]+/CMakeLists\.txt\b")
+
+SKIP_PREFIXES = ("build/", "out/", "http", "bench/BENCH_")
+SKIP_IF_CONTAINS = ("*", "<", "$", "...")
+
+
+def expand_braces(token):
+    """src/net/fragment.{h,cc} -> [src/net/fragment.h, src/net/fragment.cc]."""
+    m = re.search(r"\{([^{}]*)\}", token)
+    if not m:
+        return [token]
+    head, tail = token[:m.start()], token[m.end():]
+    return list(itertools.chain.from_iterable(
+        expand_braces(head + alt + tail) for alt in m.group(1).split(",")))
+
+
+def candidate_paths(text):
+    for raw in PATH_RE.findall(text):
+        if any(s in raw for s in SKIP_IF_CONTAINS):
+            continue
+        for token in expand_braces(raw):
+            if token.startswith(SKIP_PREFIXES):
+                continue
+            # BENCH_*.json are run artifacts, not tracked files.
+            if os.path.basename(token).startswith("BENCH_"):
+                continue
+            yield token
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    stale = []
+    checked = 0
+    for doc in LINTED_DOCS:
+        doc_path = os.path.join(root, doc)
+        if not os.path.isfile(doc_path):
+            stale.append((doc, 0, doc + " (linted doc itself is missing)"))
+            continue
+        with open(doc_path) as f:
+            for lineno, line in enumerate(f, 1):
+                for token in candidate_paths(line):
+                    checked += 1
+                    # Docs may use include-style paths ("vision/engine.h"),
+                    # which are rooted at src/ like the -I flag.
+                    if not os.path.exists(os.path.join(root, token)) and \
+                       not os.path.exists(os.path.join(root, "src", token)):
+                        stale.append((doc, lineno, token))
+    if stale:
+        print(f"docs_lint: {len(stale)} stale path reference(s):", file=sys.stderr)
+        for doc, lineno, token in stale:
+            print(f"  {doc}:{lineno}: {token}", file=sys.stderr)
+        return 1
+    print(f"docs_lint: OK ({checked} path references across {len(LINTED_DOCS)} docs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,6 +62,25 @@ grep -q '"agreement_armed": true' "$CAP_JSON" || {
   echo "verify: FAIL — fluid-vs-detailed agreement gate never armed" >&2; exit 1; }
 echo "verify: capacity planning OK"
 
+# Lossy-link gate: the live-transport duel over real UDP sockets. Its
+# own gates require FEC+rtx to strictly beat fire-and-forget at 5% and
+# 10% per-datagram loss, at least one FEC-only recovery, and the
+# mar_net_* recovery counters visible on a live /metrics scrape.
+(cd "$BUILD_DIR/bench" && ./lossy_link)
+LOSSY_JSON="$BUILD_DIR/bench/BENCH_lossy_link.json"
+grep -q '"gates_failed": 0' "$LOSSY_JSON" || {
+  echo "verify: FAIL — lossy-link gates violated (see $LOSSY_JSON)" >&2; exit 1; }
+echo "verify: lossy link OK"
+
+# Docs lint: path references in the curated docs must resolve against
+# the working tree (stale pointers after refactors fail verify).
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/docs_lint.py || {
+    echo "verify: FAIL — stale path references in docs" >&2; exit 1; }
+else
+  echo "verify: SKIP docs_lint (no python3)"
+fi
+
 # Bench-regression gate: fresh headline numbers vs the committed
 # baselines in bench/baselines/ (>15% regression in a metric's own
 # direction fails; see bench/TRAJECTORY.md for the refresh policy).

@@ -1,0 +1,54 @@
+#include "net/adaptive.h"
+
+#include <algorithm>
+
+namespace mar::net {
+
+AdaptiveQuality::AdaptiveQuality(AdaptiveConfig cfg) : cfg_(cfg) {
+  cfg_.max_level = std::max(cfg_.max_level, cfg_.min_level);
+  level_ = std::clamp(cfg_.initial_level, cfg_.min_level, cfg_.max_level);
+}
+
+void AdaptiveQuality::on_frame(std::size_t fragments_sent,
+                               std::size_t fragments_retransmitted, bool delivered) {
+  ++frames_;
+  ++since_downgrade_;
+  double frame_loss;
+  if (!delivered) {
+    frame_loss = 1.0;
+  } else if (fragments_sent == 0) {
+    frame_loss = 0.0;
+  } else {
+    frame_loss = std::min(
+        1.0, static_cast<double>(fragments_retransmitted) / static_cast<double>(fragments_sent));
+  }
+  ewma_ = cfg_.ewma_alpha * frame_loss + (1.0 - cfg_.ewma_alpha) * ewma_;
+
+  if (ewma_ > cfg_.down_threshold) {
+    clean_streak_ = 0;
+    if (level_ > cfg_.min_level && since_downgrade_ >= cfg_.cooldown_frames) {
+      --level_;
+      ++downgrades_;
+      since_downgrade_ = 0;
+    }
+    return;
+  }
+  if (ewma_ < cfg_.up_threshold && frame_loss == 0.0) {
+    if (++clean_streak_ >= cfg_.hold_frames && level_ < cfg_.max_level) {
+      ++level_;
+      ++upgrades_;
+      clean_streak_ = 0;
+    }
+  } else {
+    clean_streak_ = 0;
+  }
+}
+
+double AdaptiveQuality::scale() const {
+  if (cfg_.max_level == cfg_.min_level) return 1.0;
+  const double frac = static_cast<double>(level_ - cfg_.min_level) /
+                      static_cast<double>(cfg_.max_level - cfg_.min_level);
+  return 0.4 + 0.6 * frac;
+}
+
+}  // namespace mar::net

@@ -1,0 +1,69 @@
+// Sender-side adaptive frame sizing under loss.
+//
+// CloudAR-style fidelity adaptation: the sender watches its own
+// transport outcomes (fraction of a frame's fragments that needed
+// retransmission, frames that never completed) through an EWMA loss
+// estimate, and steps a discrete quality level down when sustained
+// loss crosses a threshold — smaller frames mean fewer fragments,
+// which under per-fragment loss means a superlinearly better chance
+// the frame survives (the same math as sim::LinkModel::survives).
+// Recovery is deliberately slower than decay: the level steps back up
+// only after `hold_frames` consecutive clean frames.
+//
+// Pure logic, no clock, no transport dependency: the live pipeline
+// feeds it FrameChannel outcomes; a simulated client could feed it
+// LinkModel::deliver outcomes — one loss-recovery story for both
+// substrates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mar::net {
+
+struct AdaptiveConfig {
+  int min_level = 0;
+  int max_level = 3;
+  int initial_level = 3;
+  // EWMA of per-frame fragment-loss fraction; >down steps the level
+  // down, <up (held for hold_frames frames) steps it back up.
+  double ewma_alpha = 0.25;
+  double down_threshold = 0.08;
+  double up_threshold = 0.02;
+  int hold_frames = 16;
+  // Frames between consecutive down-steps, so one burst cannot slam
+  // the quality to the floor before the smaller frames take effect.
+  int cooldown_frames = 4;
+};
+
+class AdaptiveQuality {
+ public:
+  explicit AdaptiveQuality(AdaptiveConfig cfg = {});
+
+  // Report one frame's transport outcome. `fragments_sent` counts the
+  // first transmission only; `fragments_retransmitted` everything the
+  // NACK path resent; `delivered` false means the frame was abandoned.
+  void on_frame(std::size_t fragments_sent, std::size_t fragments_retransmitted,
+                bool delivered);
+
+  [[nodiscard]] int level() const { return level_; }
+  // Linear payload scale for the current level in (0, 1]:
+  // max_level -> 1.0, min_level -> roughly 0.4.
+  [[nodiscard]] double scale() const;
+  [[nodiscard]] double loss_estimate() const { return ewma_; }
+  [[nodiscard]] std::uint64_t downgrades() const { return downgrades_; }
+  [[nodiscard]] std::uint64_t upgrades() const { return upgrades_; }
+  [[nodiscard]] std::uint64_t frames_seen() const { return frames_; }
+
+ private:
+  AdaptiveConfig cfg_;
+  int level_;
+  double ewma_ = 0.0;
+  int clean_streak_ = 0;
+  int since_downgrade_ = 0;
+  std::uint64_t frames_ = 0;
+  std::uint64_t downgrades_ = 0;
+  std::uint64_t upgrades_ = 0;
+};
+
+}  // namespace mar::net

@@ -1,0 +1,128 @@
+#include "net/epoll_loop.h"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace mar::net {
+
+EpollLoop::~EpollLoop() { close(); }
+
+Status EpollLoop::init() {
+  close();
+  epfd_ = ::epoll_create1(0);
+  if (epfd_ < 0) return {StatusCode::kInternal, std::strerror(errno)};
+  return Status::ok();
+}
+
+void EpollLoop::close() {
+  if (epfd_ >= 0) {
+    ::close(epfd_);
+    epfd_ = -1;
+  }
+  handlers_.clear();
+  timers_.clear();
+  cancelled_.clear();
+}
+
+Status EpollLoop::add(int fd, Handler on_readable) {
+  if (epfd_ < 0) return {StatusCode::kUnavailable, "loop not initialized"};
+  if (fd < 0) return {StatusCode::kInvalidArgument, "bad fd"};
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    return {StatusCode::kInternal, std::strerror(errno)};
+  }
+  handlers_[fd] = std::move(on_readable);
+  return Status::ok();
+}
+
+Status EpollLoop::remove(int fd) {
+  if (epfd_ < 0) return {StatusCode::kUnavailable, "loop not initialized"};
+  if (handlers_.erase(fd) == 0) return {StatusCode::kNotFound, "fd not watched"};
+  if (::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr) < 0) {
+    return {StatusCode::kInternal, std::strerror(errno)};
+  }
+  return Status::ok();
+}
+
+std::uint64_t EpollLoop::schedule_after(std::chrono::milliseconds delay, Handler fn,
+                                        std::chrono::milliseconds period) {
+  Timer t;
+  t.deadline = Clock::now() + delay;
+  t.period = period;
+  t.id = next_timer_id_++;
+  t.fn = std::move(fn);
+  const std::uint64_t id = t.id;
+  timers_.push_back(std::move(t));
+  std::push_heap(timers_.begin(), timers_.end(), timer_later);
+  return id;
+}
+
+void EpollLoop::cancel(std::uint64_t timer_id) { cancelled_.push_back(timer_id); }
+
+void EpollLoop::fire_due_timers(Clock::time_point now) {
+  while (!timers_.empty() && timers_.front().deadline <= now) {
+    std::pop_heap(timers_.begin(), timers_.end(), timer_later);
+    Timer t = std::move(timers_.back());
+    timers_.pop_back();
+    const auto cancelled_it = std::find(cancelled_.begin(), cancelled_.end(), t.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    ++timers_fired_;
+    t.fn();
+    if (t.period.count() > 0) {
+      t.deadline = now + t.period;
+      timers_.push_back(std::move(t));
+      std::push_heap(timers_.begin(), timers_.end(), timer_later);
+    }
+  }
+}
+
+int EpollLoop::run_once(int max_wait_ms) {
+  if (epfd_ < 0) return -1;
+  const auto now = Clock::now();
+  int wait_ms = max_wait_ms;
+  if (!timers_.empty()) {
+    const auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+        timers_.front().deadline - now);
+    const int until_ms = static_cast<int>(std::max<std::int64_t>(0, until.count()));
+    wait_ms = max_wait_ms < 0 ? until_ms : std::min(max_wait_ms, until_ms);
+  }
+
+  epoll_event events[64];
+  int n;
+  do {
+    n = ::epoll_wait(epfd_, events, 64, wait_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return -1;
+
+  int fired = 0;
+  for (int i = 0; i < n; ++i) {
+    // Re-lookup per event: a handler may remove other fds mid-batch.
+    const auto it = handlers_.find(events[i].data.fd);
+    if (it == handlers_.end()) continue;
+    ++events_dispatched_;
+    ++fired;
+    it->second();
+  }
+  const auto after = Clock::now();
+  const std::uint64_t timers_before = timers_fired_;
+  fire_due_timers(after);
+  fired += static_cast<int>(timers_fired_ - timers_before);
+  return fired;
+}
+
+void EpollLoop::run(const std::function<bool()>& keep_going, int max_wait_ms) {
+  while (keep_going()) {
+    if (run_once(max_wait_ms) < 0) return;
+  }
+}
+
+}  // namespace mar::net

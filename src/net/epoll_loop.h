@@ -1,0 +1,84 @@
+// Single-threaded epoll event loop for the live transport.
+//
+// One loop owns every socket of a live deployment — service ingress,
+// client channels, hundreds of them if need be — replacing the
+// thread-per-socket pattern the first live_udp_pipeline used. Handlers
+// run inline on the loop thread (no locking anywhere), and a deadline
+// timer heap drives the transport's housekeeping (NACK backoff ticks,
+// reassembly GC, periodic frame capture) off the same epoll_wait call:
+// the wait timeout is clamped to the nearest timer deadline, so timers
+// fire without a dedicated thread and without busy-polling.
+//
+// Level-triggered EPOLLIN only — the transport's sockets are drained
+// by their handlers (FrameChannel::poll(0) until empty), which is the
+// pattern level-triggering makes safe by construction.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mar::net {
+
+class EpollLoop {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using Handler = std::function<void()>;
+
+  EpollLoop() = default;
+  ~EpollLoop();
+  EpollLoop(const EpollLoop&) = delete;
+  EpollLoop& operator=(const EpollLoop&) = delete;
+
+  Status init();
+  [[nodiscard]] bool is_open() const { return epfd_ >= 0; }
+  void close();
+
+  // Watch `fd` for readability; `on_readable` must drain it.
+  Status add(int fd, Handler on_readable);
+  Status remove(int fd);
+  [[nodiscard]] std::size_t watched() const { return handlers_.size(); }
+
+  // One-shot (period == 0) or periodic timer; returns a cancel token.
+  std::uint64_t schedule_after(std::chrono::milliseconds delay, Handler fn,
+                               std::chrono::milliseconds period = std::chrono::milliseconds(0));
+  void cancel(std::uint64_t timer_id);
+
+  // Dispatch ready fds and due timers, waiting at most `max_wait_ms`
+  // (clamped to the nearest timer deadline). Returns the number of
+  // handlers fired, or -1 on epoll failure.
+  int run_once(int max_wait_ms);
+
+  // Loop until `keep_going` returns false.
+  void run(const std::function<bool()>& keep_going, int max_wait_ms = 50);
+
+  [[nodiscard]] std::uint64_t events_dispatched() const { return events_dispatched_; }
+  [[nodiscard]] std::uint64_t timers_fired() const { return timers_fired_; }
+
+ private:
+  struct Timer {
+    Clock::time_point deadline;
+    std::chrono::milliseconds period{0};
+    std::uint64_t id = 0;
+    Handler fn;
+  };
+  // Min-heap ordering (latest deadline at front of the heap's array).
+  static bool timer_later(const Timer& a, const Timer& b) {
+    return a.deadline > b.deadline || (a.deadline == b.deadline && a.id > b.id);
+  }
+  void fire_due_timers(Clock::time_point now);
+
+  int epfd_ = -1;
+  std::unordered_map<int, Handler> handlers_;
+  std::vector<Timer> timers_;  // heap by timer_later
+  std::vector<std::uint64_t> cancelled_;
+  std::uint64_t next_timer_id_ = 1;
+  std::uint64_t events_dispatched_ = 0;
+  std::uint64_t timers_fired_ = 0;
+};
+
+}  // namespace mar::net

@@ -7,13 +7,25 @@
 namespace mar::net {
 namespace {
 constexpr std::uint8_t kFragMagic = 0xF7;
+constexpr std::uint8_t kParityMagic = 0xF8;
+
+std::size_t fragment_count(std::size_t message_bytes) {
+  return message_bytes == 0 ? 1
+                            : (message_bytes + kMaxFragmentPayload - 1) / kMaxFragmentPayload;
 }
+
+// Data-fragment payload length at `index` of a `total_bytes` message.
+std::size_t fragment_len(std::size_t total_bytes, std::size_t index, std::size_t count) {
+  if (index + 1 < count) return kMaxFragmentPayload;
+  return total_bytes - index * kMaxFragmentPayload;
+}
+
+}  // namespace
 
 std::vector<std::vector<std::uint8_t>> fragment_message(std::span<const std::uint8_t> message,
                                                         std::uint32_t message_id) {
   std::vector<std::vector<std::uint8_t>> out;
-  const std::size_t count =
-      message.empty() ? 1 : (message.size() + kMaxFragmentPayload - 1) / kMaxFragmentPayload;
+  const std::size_t count = fragment_count(message.size());
   out.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     const std::size_t offset = i * kMaxFragmentPayload;
@@ -30,49 +42,244 @@ std::vector<std::vector<std::uint8_t>> fragment_message(std::span<const std::uin
   return out;
 }
 
-std::optional<std::vector<std::uint8_t>> Reassembler::add(
-    std::span<const std::uint8_t> datagram) {
-  ByteReader r(datagram);
-  if (r.get_u8() != kFragMagic) return std::nullopt;
-  const std::uint32_t id = r.get_u32();
-  const std::uint16_t index = r.get_u16();
-  const std::uint16_t count = r.get_u16();
-  const std::uint32_t len = r.get_u32();
-  if (!r.ok() || count == 0 || index >= count || len != r.remaining()) return std::nullopt;
-
-  Partial& p = partial_[id];
-  if (p.fragments.empty()) {
-    p.fragments.resize(count);
-    p.first_seen = std::chrono::steady_clock::now();
+std::vector<std::vector<std::uint8_t>> fec_parity_fragments(
+    std::span<const std::uint8_t> message, std::uint32_t message_id, int group_size) {
+  std::vector<std::vector<std::uint8_t>> out;
+  if (group_size <= 0) return out;
+  const std::size_t k = static_cast<std::size_t>(std::min(group_size, 255));
+  const std::size_t count = fragment_count(message.size());
+  const std::size_t groups = (count + k - 1) / k;
+  out.reserve(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t first = g * k;
+    const std::size_t last = std::min(first + k, count);
+    // Parity spans the group's longest fragment; shorter fragments XOR
+    // in as if zero-padded.
+    std::size_t parity_len = 0;
+    for (std::size_t i = first; i < last; ++i) {
+      parity_len = std::max(parity_len, fragment_len(message.size(), i, count));
+    }
+    std::vector<std::uint8_t> parity(parity_len, 0);
+    for (std::size_t i = first; i < last; ++i) {
+      const std::size_t offset = i * kMaxFragmentPayload;
+      const std::size_t len = fragment_len(message.size(), i, count);
+      for (std::size_t b = 0; b < len; ++b) parity[b] ^= message[offset + b];
+    }
+    ByteWriter w(kParityHeaderBytes + parity_len);
+    w.put_u8(kParityMagic);
+    w.put_u32(message_id);
+    w.put_u16(static_cast<std::uint16_t>(g));
+    w.put_u16(static_cast<std::uint16_t>(count));
+    w.put_u8(static_cast<std::uint8_t>(k));
+    w.put_u32(static_cast<std::uint32_t>(message.size()));
+    w.put_u32(static_cast<std::uint32_t>(parity_len));
+    w.put_bytes(parity);
+    out.push_back(std::move(w).take());
   }
+  return out;
+}
+
+Reassembler::Partial* Reassembler::find_or_create(std::uint32_t id, std::uint16_t count,
+                                                  std::chrono::steady_clock::time_point now) {
+  auto it = partial_.find(id);
+  if (it == partial_.end()) {
+    // A straggler for a message already delivered (or given up on):
+    // duplicate retransmission that crossed the ACK, or a late parity
+    // datagram. Starting a fresh partial here would re-deliver the
+    // message — drop it instead.
+    if (done_.count(id) != 0) return nullptr;
+    if (partial_.size() >= max_pending_) {
+      // Cap the reassembly window: evict the stalest partial so memory
+      // stays bounded under sustained partial loss.
+      auto stalest = partial_.begin();
+      for (auto cand = partial_.begin(); cand != partial_.end(); ++cand) {
+        if (cand->second.last_activity < stalest->second.last_activity) stalest = cand;
+      }
+      partial_.erase(stalest);
+      ++evicted_;
+    }
+    it = partial_.emplace(id, Partial{}).first;
+    it->second.fragments.resize(count);
+    it->second.first_seen = now;
+  }
+  Partial& p = it->second;
   if (p.fragments.size() != count) {
-    partial_.erase(id);  // inconsistent metadata; drop the message
-    return std::nullopt;
+    partial_.erase(it);  // inconsistent metadata; drop the message
+    return nullptr;
   }
-  if (p.fragments[index].empty()) {
-    p.fragments[index] = r.get_bytes(len);
-    ++p.received;
-  }
-  if (p.received < count) return std::nullopt;
+  p.last_activity = now;
+  return &p;
+}
 
+std::uint32_t Reassembler::try_repair_group(Partial& p, std::uint16_t group) {
+  if (p.fec_k == 0) return 0;
+  const auto parity_it = p.parity.find(group);
+  if (parity_it == p.parity.end()) return 0;
+  const std::size_t count = p.fragments.size();
+  const std::size_t first = static_cast<std::size_t>(group) * p.fec_k;
+  const std::size_t last = std::min(first + p.fec_k, count);
+  std::size_t missing = count;  // sentinel: none
+  for (std::size_t i = first; i < last; ++i) {
+    if (!p.fragments[i].empty() || fragment_len(p.total_bytes, i, count) == 0) continue;
+    if (missing != count) return 0;  // two+ losses: parity cannot help
+    missing = i;
+  }
+  if (missing == count) return 0;
+  const std::size_t len = fragment_len(p.total_bytes, missing, count);
+  if (len > parity_it->second.size()) return 0;  // malformed parity
+  std::vector<std::uint8_t> rebuilt(parity_it->second.begin(),
+                                    parity_it->second.begin() + static_cast<std::ptrdiff_t>(len));
+  for (std::size_t i = first; i < last; ++i) {
+    if (i == missing) continue;
+    const auto& frag = p.fragments[i];
+    for (std::size_t b = 0; b < std::min(len, frag.size()); ++b) rebuilt[b] ^= frag[b];
+  }
+  p.fragments[missing] = std::move(rebuilt);
+  ++p.received;
+  ++p.repairs;
+  ++fec_repairs_;
+  return 1;
+}
+
+Reassembler::AddResult Reassembler::complete(std::uint32_t id, Partial& p) {
+  AddResult r;
+  r.id = id;
+  r.accepted = true;
+  r.message_repairs = p.repairs;
   std::vector<std::uint8_t> message;
   for (const auto& frag : p.fragments) {
     message.insert(message.end(), frag.begin(), frag.end());
   }
   partial_.erase(id);
-  return message;
+  remember_done(id);
+  r.message = std::move(message);
+  return r;
+}
+
+void Reassembler::remember_done(std::uint32_t id) {
+  if (!done_.insert(id).second) return;
+  done_order_.push_back(id);
+  while (done_order_.size() > kCompletedMemory) {
+    done_.erase(done_order_.front());
+    done_order_.pop_front();
+  }
+}
+
+Reassembler::AddResult Reassembler::accept_data(std::span<const std::uint8_t> datagram) {
+  AddResult result;
+  ByteReader r(datagram);
+  r.get_u8();  // magic, already checked
+  const std::uint32_t id = r.get_u32();
+  const std::uint16_t index = r.get_u16();
+  const std::uint16_t count = r.get_u16();
+  const std::uint32_t len = r.get_u32();
+  if (!r.ok() || count == 0 || index >= count || len != r.remaining()) return result;
+
+  Partial* p = find_or_create(id, count, std::chrono::steady_clock::now());
+  if (p == nullptr) return result;
+  result.id = id;
+  result.accepted = true;
+  const bool was_empty = p->fragments[index].empty();
+  // An empty payload is only valid for the single fragment of an empty
+  // message; receive it as "present" via the received count.
+  if (was_empty && (len > 0 || (count == 1 && p->received == 0))) {
+    p->fragments[index] = r.get_bytes(len);
+    ++p->received;
+    // This arrival may make another fragment of its group repairable
+    // (k-2 present + parity -> k-1 present + parity).
+    if (p->fec_k > 0) {
+      result.repaired = try_repair_group(*p, static_cast<std::uint16_t>(index / p->fec_k));
+    }
+  }
+  if (p->received < count) return result;
+  auto done = complete(id, *p);
+  done.repaired = result.repaired;
+  return done;
+}
+
+Reassembler::AddResult Reassembler::accept_parity(std::span<const std::uint8_t> datagram) {
+  AddResult result;
+  ByteReader r(datagram);
+  r.get_u8();  // magic
+  const std::uint32_t id = r.get_u32();
+  const std::uint16_t group = r.get_u16();
+  const std::uint16_t count = r.get_u16();
+  const std::uint8_t k = r.get_u8();
+  const std::uint32_t total_bytes = r.get_u32();
+  const std::uint32_t len = r.get_u32();
+  if (!r.ok() || count == 0 || k == 0 || len != r.remaining()) return result;
+  // The header's total size must agree with its fragment count.
+  if (fragment_count(total_bytes) != count) return result;
+  if (static_cast<std::size_t>(group) * k >= count) return result;
+
+  Partial* p = find_or_create(id, count, std::chrono::steady_clock::now());
+  if (p == nullptr) return result;
+  result.id = id;
+  result.accepted = true;
+  if (p->fec_k == 0) {
+    p->fec_k = k;
+    p->total_bytes = total_bytes;
+  } else if (p->fec_k != k || p->total_bytes != total_bytes) {
+    return result;  // conflicting parity metadata: ignore the datagram
+  }
+  p->parity.emplace(group, r.get_bytes(len));
+  result.repaired = try_repair_group(*p, group);
+  if (p->received < p->fragments.size()) return result;
+  auto done = complete(id, *p);
+  done.repaired = result.repaired;
+  return done;
+}
+
+Reassembler::AddResult Reassembler::add_ex(std::span<const std::uint8_t> datagram) {
+  if (datagram.size() < kFragmentHeaderBytes) return {};
+  switch (datagram[0]) {
+    case kFragMagic:
+      return accept_data(datagram);
+    case kParityMagic:
+      return accept_parity(datagram);
+    default:
+      return {};
+  }
 }
 
 void Reassembler::garbage_collect() {
   const auto now = std::chrono::steady_clock::now();
   for (auto it = partial_.begin(); it != partial_.end();) {
-    if (now - it->second.first_seen > timeout_) {
+    if (now - it->second.last_activity > timeout_) {
       it = partial_.erase(it);
       ++expired_;
     } else {
       ++it;
     }
   }
+}
+
+bool Reassembler::abandon(std::uint32_t id) {
+  remember_done(id);  // late fragments must not restart the NACK cycle
+  return partial_.erase(id) > 0;
+}
+
+std::vector<Reassembler::PendingMessage> Reassembler::pending_messages() const {
+  std::vector<PendingMessage> out;
+  out.reserve(partial_.size());
+  for (const auto& [id, p] : partial_) {
+    out.push_back(PendingMessage{id, static_cast<std::uint16_t>(p.fragments.size()),
+                                 p.received, p.last_activity});
+  }
+  return out;
+}
+
+std::vector<std::uint16_t> Reassembler::missing_fragments(std::uint32_t id) const {
+  std::vector<std::uint16_t> out;
+  const auto it = partial_.find(id);
+  if (it == partial_.end()) return out;
+  const Partial& p = it->second;
+  for (std::size_t i = 0; i < p.fragments.size(); ++i) {
+    if (p.fragments[i].empty()) out.push_back(static_cast<std::uint16_t>(i));
+  }
+  // The single fragment of an empty message is "present but empty".
+  if (p.fragments.size() == 1 && p.received == 1) out.clear();
+  return out;
 }
 
 }  // namespace mar::net

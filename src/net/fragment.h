@@ -1,53 +1,145 @@
-// Datagram fragmentation/reassembly for large frames.
+// Datagram fragmentation/reassembly for large frames, with optional
+// XOR-parity FEC and the introspection hooks the NACK retransmission
+// controller (net/rtx.h) needs.
 //
 // A serialized FramePacket can exceed 400 KB; UDP datagrams top out
 // near 64 KB, so the live transport splits messages into numbered
-// fragments and reassembles them on the far side. Incomplete messages
-// are garbage-collected after a timeout — a lost fragment loses the
-// whole frame, mirroring the simulator's fragment-level loss model.
+// fragments and reassembles them on the far side. Three recovery tiers
+// stack on that base:
+//
+//   * fire-and-forget (the original behavior): a lost fragment loses
+//     the whole frame, mirroring sim::LinkModel::survives;
+//   * XOR-parity FEC: the sender appends one parity datagram per
+//     group of k data fragments (fec_parity_fragments); a single loss
+//     inside a group repairs locally, without a round trip;
+//   * NACK retransmission: the receiver asks for the still-missing
+//     fragments (net::RtxController) with exponential backoff and a
+//     per-frame budget.
+//
+// Incomplete messages are garbage-collected after an inactivity
+// timeout, and the set of in-flight partials is capped (max_pending)
+// so a hostile or badly lossy peer cannot grow memory without bound —
+// beyond the cap the stalest partial is evicted and counted.
+//
+// Completed (and explicitly abandoned) message ids are remembered in a
+// bounded ring so stragglers — a late parity datagram, a duplicate
+// retransmission that crossed the completion ACK — cannot resurrect a
+// message and deliver it twice. (A parity datagram over a one-fragment
+// group IS that fragment, so without the memory a message could
+// complete once from data and again from its own parity.)
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace mar::net {
 
 inline constexpr std::size_t kMaxFragmentPayload = 60 * 1024;
 inline constexpr std::size_t kFragmentHeaderBytes = 13;
+inline constexpr std::size_t kParityHeaderBytes = 18;
+inline constexpr std::size_t kDefaultMaxPending = 64;
+// How many completed/abandoned message ids a Reassembler remembers in
+// order to drop late duplicates and stray parity.
+inline constexpr std::size_t kCompletedMemory = 1024;
 
 // Split `message` into fragment datagrams (each ready to send).
 [[nodiscard]] std::vector<std::vector<std::uint8_t>> fragment_message(
     std::span<const std::uint8_t> message, std::uint32_t message_id);
 
+// XOR-parity datagrams for `message`'s data fragments, one per group
+// of `group_size` (k) fragments, including the final partial group.
+// Each parity payload is the XOR of its group's payloads zero-padded
+// to the group's longest fragment; the header carries enough (k, total
+// message bytes) for the receiver to rebuild any single missing
+// fragment of the group. group_size <= 0 yields no parity.
+[[nodiscard]] std::vector<std::vector<std::uint8_t>> fec_parity_fragments(
+    std::span<const std::uint8_t> message, std::uint32_t message_id, int group_size);
+
 class Reassembler {
  public:
-  explicit Reassembler(std::chrono::milliseconds timeout = std::chrono::milliseconds(500))
-      : timeout_(timeout) {}
+  explicit Reassembler(std::chrono::milliseconds timeout = std::chrono::milliseconds(500),
+                       std::size_t max_pending = kDefaultMaxPending)
+      : timeout_(timeout), max_pending_(max_pending == 0 ? 1 : max_pending) {}
+
+  // Everything add_ex learned from one datagram.
+  struct AddResult {
+    // Set when this datagram completed a message.
+    std::optional<std::vector<std::uint8_t>> message;
+    std::uint32_t id = 0;            // message id (valid when accepted)
+    bool accepted = false;           // datagram parsed as fragment/parity
+    std::uint32_t repaired = 0;      // FEC repairs performed by this add
+    std::uint32_t message_repairs = 0;  // total repairs of the completed message
+  };
 
   // Feed one received datagram; returns the full message when this
   // fragment completes it.
-  std::optional<std::vector<std::uint8_t>> add(std::span<const std::uint8_t> datagram);
+  std::optional<std::vector<std::uint8_t>> add(std::span<const std::uint8_t> datagram) {
+    return add_ex(datagram).message;
+  }
+  AddResult add_ex(std::span<const std::uint8_t> datagram);
 
-  // Drop partial messages older than the timeout.
+  // Drop partial messages idle longer than the timeout.
   void garbage_collect();
+
+  // Forget a partial message (retransmission budget exhausted).
+  bool abandon(std::uint32_t id);
+
+  // --- introspection for the NACK controller -------------------------
+  struct PendingMessage {
+    std::uint32_t id = 0;
+    std::uint16_t count = 0;     // expected data fragments
+    std::size_t received = 0;
+    std::chrono::steady_clock::time_point last_activity;
+  };
+  [[nodiscard]] std::vector<PendingMessage> pending_messages() const;
+  [[nodiscard]] std::vector<std::uint16_t> missing_fragments(std::uint32_t id) const;
 
   [[nodiscard]] std::size_t pending() const { return partial_.size(); }
   [[nodiscard]] std::uint64_t expired() const { return expired_; }
+  // Partials dropped by the max-pending cap (stalest-first eviction).
+  [[nodiscard]] std::uint64_t evicted() const { return evicted_; }
+  // Single-loss groups rebuilt from parity, no round trip needed.
+  [[nodiscard]] std::uint64_t fec_repairs() const { return fec_repairs_; }
 
  private:
   struct Partial {
     std::vector<std::vector<std::uint8_t>> fragments;
     std::size_t received = 0;
+    std::uint32_t repairs = 0;
+    // FEC bookkeeping, populated by the first parity datagram seen.
+    std::uint8_t fec_k = 0;
+    std::uint32_t total_bytes = 0;
+    std::unordered_map<std::uint16_t, std::vector<std::uint8_t>> parity;
     std::chrono::steady_clock::time_point first_seen;
+    std::chrono::steady_clock::time_point last_activity;
   };
 
+  AddResult accept_data(std::span<const std::uint8_t> datagram);
+  AddResult accept_parity(std::span<const std::uint8_t> datagram);
+  Partial* find_or_create(std::uint32_t id, std::uint16_t count,
+                          std::chrono::steady_clock::time_point now);
+  // Try to rebuild the single missing fragment of `group`; returns the
+  // number of repairs performed (0 or 1).
+  std::uint32_t try_repair_group(Partial& p, std::uint16_t group);
+  AddResult complete(std::uint32_t id, Partial& p);
+  // Record `id` as done (completed or abandoned): late datagrams for it
+  // are dropped instead of resurrecting the message.
+  void remember_done(std::uint32_t id);
+
   std::chrono::milliseconds timeout_;
+  std::size_t max_pending_;
   std::unordered_map<std::uint32_t, Partial> partial_;
+  std::unordered_set<std::uint32_t> done_;
+  std::deque<std::uint32_t> done_order_;  // FIFO eviction for done_
   std::uint64_t expired_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::uint64_t fec_repairs_ = 0;
 };
 
 }  // namespace mar::net

@@ -1,5 +1,7 @@
 #include "net/frame_channel.h"
 
+#include <atomic>
+
 #include "telemetry/registry.h"
 #include "telemetry/trace.h"
 
@@ -21,50 +23,199 @@ void trace_udp(const wire::FramePacket& pkt, const char* name) {
                  static_cast<double>(pkt.wire_size()), pkt.header.trace.trace_id);
 }
 
+// Recovery markers carry the message id in `value` — there is no frame
+// header to borrow ids from at the fragment layer.
+void trace_recovery(const char* name, std::uint32_t message_id) {
+  auto& tracer = telemetry::Tracer::instance();
+  if (!tracer.enabled()) return;
+  tracer.instant(telemetry::kNetworkTrack, name, telemetry::trace_wallclock_now(),
+                 ClientId::invalid(), FrameId::invalid(), Stage::kPrimary,
+                 static_cast<double>(message_id));
+}
+
+// Process-wide recovery counters, shared by every channel (and by the
+// simulator's mirrored loss-recovery path in sim::SimNetwork).
+struct RecoveryCounters {
+  telemetry::Counter& rtx;
+  telemetry::Counter& nacks;
+  telemetry::Counter& fec_repairs;
+  telemetry::Counter& unrecoverable;
+};
+RecoveryCounters& recovery_counters() {
+  static RecoveryCounters counters = [] {
+    auto& r = telemetry::MetricRegistry::instance();
+    return RecoveryCounters{
+        r.counter("mar_net_rtx_total", "Fragments retransmitted in answer to NACKs"),
+        r.counter("mar_net_nacks_total", "NACK control datagrams sent by receivers"),
+        r.counter("mar_net_fec_repairs_total",
+                  "Fragments rebuilt from XOR parity without a round trip"),
+        r.counter("mar_net_frames_unrecoverable_total",
+                  "Frames abandoned after FEC+retransmission could not complete them"),
+    };
+  }();
+  return counters;
+}
+
 }  // namespace
+
+std::uint32_t FrameChannel::allocate_id_space() {
+  static std::atomic<std::uint32_t> next_block{0};
+  return (next_block.fetch_add(1, std::memory_order_relaxed) & 0xFFFu) << 20;
+}
+
+bool FrameChannel::harness_send(const std::vector<std::uint8_t>& datagram,
+                                const SockAddr& dst, Status* first_error) {
+  if (opts_.tx_loss_rate > 0.0 && loss_rng_.bernoulli(opts_.tx_loss_rate)) {
+    ++harness_dropped_;
+    return true;  // "sent" into the void, like a real lossy link
+  }
+  const auto result = socket_.send_to(datagram, dst);
+  if (!result.is_ok()) {
+    if (first_error != nullptr && first_error->is_ok()) *first_error = result.status();
+    return false;
+  }
+  return true;
+}
 
 Status FrameChannel::send(const wire::FramePacket& pkt, const SockAddr& dst) {
   const std::vector<std::uint8_t> message = wire::serialize(pkt);
-  const auto fragments = fragment_message(message, next_message_id_++);
+  const std::uint32_t id = next_message_id_++;
+  auto fragments = fragment_message(message, id);
+  Status error = Status::ok();
   for (const auto& frag : fragments) {
-    const auto result = socket_.send_to(frag, dst);
-    if (!result.is_ok()) {
-      ++send_errors_;
-      telemetry::MetricRegistry::instance()
-          .counter("mar_net_send_errors_total", "FrameChannel messages that failed mid-send")
-          .inc();
-      return result.status();
+    ++fragments_sent_;
+    harness_send(frag, dst, &error);
+    if (!error.is_ok()) break;
+  }
+  if (error.is_ok() && opts_.fec_group > 0) {
+    for (const auto& parity : fec_parity_fragments(message, id, opts_.fec_group)) {
+      harness_send(parity, dst, &error);
+      if (!error.is_ok()) break;
     }
+  }
+  if (!error.is_ok()) {
+    ++send_errors_;
+    telemetry::MetricRegistry::instance()
+        .counter("mar_net_send_errors_total", "FrameChannel messages that failed mid-send")
+        .inc();
+    return error;
+  }
+  if (opts_.enable_rtx) {
+    rtx_.retain(id, std::move(fragments), RtxController::Clock::now());
   }
   ++sent_;
   trace_udp(pkt, telemetry::spans::kUdpTx);
   return Status::ok();
 }
 
+void FrameChannel::handle_control(const UdpSocket::Datagram& datagram) {
+  if (const auto ack = parse_ack(datagram.data)) {
+    rtx_.handle_ack(*ack);
+    return;
+  }
+  const auto nack = parse_nack(datagram.data);
+  if (!nack) return;
+  const auto resend = rtx_.handle_nack(*nack);
+  Status error = Status::ok();
+  for (const auto* frag : resend) {
+    ++rtx_fragments_sent_;
+    harness_send(*frag, datagram.from, &error);
+  }
+  if (!resend.empty()) {
+    recovery_counters().rtx.inc(resend.size());
+    trace_recovery(telemetry::spans::kUdpRtx, nack->message_id);
+  }
+}
+
+void FrameChannel::housekeeping() {
+  const auto now = RtxController::Clock::now();
+  if (opts_.enable_rtx) {
+    auto due = rtx_.due(reassembler_, now);
+    for (const auto& decision : due.nacks) {
+      const auto origin = origin_.find(decision.id);
+      if (origin == origin_.end()) continue;
+      const auto nack =
+          encode_nack(NackInfo{decision.id, decision.count, decision.missing});
+      (void)socket_.send_to(nack, origin->second);  // control: never harness-dropped
+      recovery_counters().nacks.inc();
+      trace_recovery(telemetry::spans::kUdpNack, decision.id);
+    }
+    for (std::uint32_t id : due.abandon) {
+      reassembler_.abandon(id);
+      origin_.erase(id);
+      ++frames_unrecoverable_;
+      recovery_counters().unrecoverable.inc();
+      trace_recovery(telemetry::spans::kUnrecoverable, id);
+    }
+    rtx_.expire_retained(now);
+  }
+  reassembler_.garbage_collect();
+  // GC expiry and cap eviction both end an incoming frame for good.
+  const std::uint64_t gone = reassembler_.expired() + reassembler_.evicted();
+  if (gone > counted_expired_) {
+    const std::uint64_t delta = gone - counted_expired_;
+    frames_unrecoverable_ += delta;
+    recovery_counters().unrecoverable.inc(delta);
+    counted_expired_ = gone;
+  }
+  // Keep the NACK-target map in lockstep with the reassembly window.
+  if (!origin_.empty()) {
+    std::unordered_set<std::uint32_t> live;
+    for (const auto& m : reassembler_.pending_messages()) live.insert(m.id);
+    for (auto it = origin_.begin(); it != origin_.end();) {
+      it = live.count(it->first) == 0 ? origin_.erase(it) : std::next(it);
+    }
+  }
+}
+
 std::optional<FrameChannel::Received> FrameChannel::poll(int timeout_ms) {
   if (!socket_.is_open()) return std::nullopt;
   if (timeout_ms > 0 && !socket_.wait_readable(timeout_ms)) {
-    reassembler_.garbage_collect();
+    housekeeping();
     return std::nullopt;
   }
   while (auto datagram = socket_.receive()) {
-    if (auto message = reassembler_.add(datagram->data)) {
-      if (auto pkt = wire::parse(*message)) {
-        ++received_;
-        trace_udp(*pkt, telemetry::spans::kUdpRx);
-        return Received{std::move(*pkt), datagram->from};
-      }
-      // Complete reassembly, undecodable bytes: corrupt or foreign
-      // traffic. Counted instead of silently swallowed.
-      ++parse_errors_;
-      telemetry::MetricRegistry::instance()
-          .counter("mar_net_parse_errors_total",
-                   "reassembled messages that failed wire::parse")
-          .inc();
+    if (is_control_datagram(datagram->data)) {
+      if (opts_.enable_rtx) handle_control(*datagram);
+      continue;
     }
+    auto added = reassembler_.add_ex(datagram->data);
+    if (added.accepted) {
+      if (added.repaired > 0) {
+        recovery_counters().fec_repairs.inc(added.repaired);
+        trace_recovery(telemetry::spans::kFecRepair, added.id);
+      }
+      if (!added.message) origin_[added.id] = datagram->from;
+    }
+    if (!added.message) continue;
+    const bool was_nacked = rtx_.nacked(added.id);
+    rtx_.forget(added.id);
+    origin_.erase(added.id);
+    if (opts_.enable_rtx) {
+      (void)socket_.send_to(encode_ack(added.id), datagram->from);
+    }
+    if (added.message_repairs > 0 && !was_nacked) ++frames_fec_only_;
+    if (auto pkt = wire::parse(*added.message)) {
+      ++received_;
+      trace_udp(*pkt, telemetry::spans::kUdpRx);
+      housekeeping();
+      return Received{std::move(*pkt), datagram->from, added.message_repairs};
+    }
+    // Complete reassembly, undecodable bytes: corrupt or foreign
+    // traffic. Counted instead of silently swallowed.
+    ++parse_errors_;
+    telemetry::MetricRegistry::instance()
+        .counter("mar_net_parse_errors_total",
+                 "reassembled messages that failed wire::parse")
+        .inc();
   }
-  reassembler_.garbage_collect();
+  housekeeping();
   return std::nullopt;
+}
+
+void FrameChannel::tick() {
+  if (!socket_.is_open()) return;
+  housekeeping();
 }
 
 }  // namespace mar::net

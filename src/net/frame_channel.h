@@ -1,39 +1,98 @@
 // FrameChannel: FramePacket transport over a real UDP socket —
 // serialize, fragment, send; receive, reassemble, parse. This is the
 // live-mode counterpart of the simulator's SimNetwork::send.
+//
+// Beyond the original fire-and-forget behavior, a channel can enable
+// the production recovery tiers (see net/fragment.h and net/rtx.h):
+//
+//   * fec_group = k: one XOR-parity datagram rides along per k data
+//     fragments, so a single loss per group repairs locally;
+//   * enable_rtx: the receiving side NACKs still-missing fragments
+//     (exponential backoff, bounded rounds) and the sending side
+//     retains fragments to answer from; completed messages are ACKed
+//     so the sender can release buffers early.
+//
+// Both directions run over the same socket; control datagrams (NACK /
+// ACK) share it with fragments, disambiguated by the first byte.
+//
+// For deterministic loss experiments (bench/lossy_link, tests) the
+// channel has a transmit-side loss harness: a seeded Bernoulli drop of
+// outgoing data/parity datagrams — including retransmissions — while
+// control datagrams pass untouched so recovery counters stay exactly
+// reproducible. Real channels obviously lose control traffic too; the
+// backoff schedule already covers that case (a lost NACK is just a
+// louder round later).
 #pragma once
 
 #include <optional>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "net/fragment.h"
+#include "net/rtx.h"
 #include "net/udp.h"
 #include "wire/message.h"
 
 namespace mar::net {
 
+struct ChannelOptions {
+  // Receiver-driven NACK retransmission (and completion ACKs).
+  bool enable_rtx = false;
+  RtxConfig rtx;
+  // XOR-parity FEC group size (data fragments per parity); 0 = off.
+  int fec_group = 0;
+  // Reassembly bounds.
+  std::chrono::milliseconds reassembly_timeout{500};
+  std::size_t max_pending = kDefaultMaxPending;
+  // Deterministic transmit-loss harness (tests/bench only).
+  double tx_loss_rate = 0.0;
+  std::uint64_t tx_loss_seed = 1;
+};
+
 class FrameChannel {
  public:
+  FrameChannel() : FrameChannel(ChannelOptions{}) {}
+  explicit FrameChannel(ChannelOptions opts)
+      : opts_(opts),
+        reassembler_(opts.reassembly_timeout, opts.max_pending),
+        rtx_(opts.rtx),
+        loss_rng_(opts.tx_loss_seed),
+        next_message_id_(allocate_id_space() + 1) {}
+
   // Bind to `port` (0 = ephemeral).
   Status open(std::uint16_t port = 0) { return socket_.open(port); }
   [[nodiscard]] Result<SockAddr> local_addr() const { return socket_.local_addr(); }
   [[nodiscard]] bool is_open() const { return socket_.is_open(); }
+  // Raw fd for event-loop registration (EpollLoop::add). Handlers
+  // should drain with poll(0) until it returns nothing.
+  [[nodiscard]] int fd() const { return socket_.fd(); }
+  [[nodiscard]] const ChannelOptions& options() const { return opts_; }
 
-  // Serialize + fragment + transmit. Returns the first send error, if any.
+  // Serialize + fragment (+ parity) + transmit (+ retain for rtx).
+  // Returns the first send error, if any.
   Status send(const wire::FramePacket& pkt, const SockAddr& dst);
 
   struct Received {
     wire::FramePacket packet;
     SockAddr from;
+    std::uint32_t fec_repairs = 0;  // repairs that went into this message
   };
   // Wait up to `timeout_ms` and return the next complete packet, if
-  // one finishes reassembly. Partial messages are GC'd on the way.
+  // one finishes reassembly. Control datagrams are answered, NACK
+  // deadlines checked, and partial messages GC'd on the way.
   std::optional<Received> poll(int timeout_ms);
+
+  // Housekeeping only (NACK backoff, retain expiry, reassembly GC) —
+  // what poll() does after draining, for timer-driven epoll callers.
+  void tick();
 
   [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t messages_received() const { return received_; }
   [[nodiscard]] std::uint64_t reassembly_expired() const { return reassembler_.expired(); }
+  [[nodiscard]] std::uint64_t reassembly_evicted() const { return reassembler_.evicted(); }
   // Messages that failed mid-transmit (some fragments unsent) and
   // reassembled messages that failed to parse — both also exported as
   // mar_net_*_errors_total registry counters.
@@ -41,14 +100,51 @@ class FrameChannel {
   [[nodiscard]] std::uint64_t parse_errors() const { return parse_errors_; }
   [[nodiscard]] std::uint64_t socket_recv_errors() const { return socket_.recv_errors(); }
 
+  // --- recovery statistics (also mar_net_* registry counters) --------
+  // Data fragments sent first-shot vs resent in answer to NACKs.
+  [[nodiscard]] std::uint64_t fragments_sent() const { return fragments_sent_; }
+  [[nodiscard]] std::uint64_t rtx_fragments_sent() const { return rtx_fragments_sent_; }
+  [[nodiscard]] std::uint64_t nacks_sent() const { return rtx_.nacks_sent(); }
+  [[nodiscard]] std::uint64_t fec_repairs() const { return reassembler_.fec_repairs(); }
+  // Messages completed where FEC repaired a loss and no NACK was ever
+  // needed — recovery without a round trip.
+  [[nodiscard]] std::uint64_t frames_fec_only() const { return frames_fec_only_; }
+  // Incoming frames given up for good: rtx budget exhausted, GC'd
+  // while incomplete, or evicted by the pending cap.
+  [[nodiscard]] std::uint64_t frames_unrecoverable() const { return frames_unrecoverable_; }
+  // Datagrams the loss harness swallowed.
+  [[nodiscard]] std::uint64_t harness_dropped() const { return harness_dropped_; }
+
  private:
+  // Transmit one data/parity datagram through the loss harness.
+  bool harness_send(const std::vector<std::uint8_t>& datagram, const SockAddr& dst,
+                    Status* first_error);
+  void handle_control(const UdpSocket::Datagram& datagram);
+  void housekeeping();
+  // Message ids are only unique per sender, but one receiving socket
+  // reassembles traffic from MANY senders (N clients -> one stage).
+  // Give each channel in the process a disjoint 2^20-id block so ids
+  // never collide inside a shared Reassembler.
+  static std::uint32_t allocate_id_space();
+
+  ChannelOptions opts_;
   UdpSocket socket_;
   Reassembler reassembler_;
-  std::uint32_t next_message_id_ = 1;
+  RtxController rtx_;
+  Rng loss_rng_;
+  // Where each partially received message came from (NACK target).
+  std::unordered_map<std::uint32_t, SockAddr> origin_;
+  std::uint32_t next_message_id_;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t send_errors_ = 0;
   std::uint64_t parse_errors_ = 0;
+  std::uint64_t fragments_sent_ = 0;
+  std::uint64_t rtx_fragments_sent_ = 0;
+  std::uint64_t frames_fec_only_ = 0;
+  std::uint64_t frames_unrecoverable_ = 0;
+  std::uint64_t harness_dropped_ = 0;
+  std::uint64_t counted_expired_ = 0;  // expiry deltas already counted
 };
 
 }  // namespace mar::net

@@ -1,0 +1,143 @@
+#include "net/rtx.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/bytes.h"
+
+namespace mar::net {
+namespace {
+constexpr std::uint8_t kNackMagic = 0xF9;
+constexpr std::uint8_t kAckMagic = 0xFA;
+}  // namespace
+
+std::vector<std::uint8_t> encode_nack(const NackInfo& nack) {
+  ByteWriter w(9 + 2 * nack.missing.size());
+  w.put_u8(kNackMagic);
+  w.put_u32(nack.message_id);
+  w.put_u16(nack.count);
+  w.put_u16(static_cast<std::uint16_t>(nack.missing.size()));
+  for (std::uint16_t idx : nack.missing) w.put_u16(idx);
+  return std::move(w).take();
+}
+
+std::optional<NackInfo> parse_nack(std::span<const std::uint8_t> datagram) {
+  if (datagram.empty() || datagram[0] != kNackMagic) return std::nullopt;
+  ByteReader r(datagram);
+  r.get_u8();
+  NackInfo nack;
+  nack.message_id = r.get_u32();
+  nack.count = r.get_u16();
+  const std::uint16_t n = r.get_u16();
+  if (!r.ok() || r.remaining() != 2u * n) return std::nullopt;
+  nack.missing.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) nack.missing.push_back(r.get_u16());
+  return nack;
+}
+
+std::vector<std::uint8_t> encode_ack(std::uint32_t message_id) {
+  ByteWriter w(5);
+  w.put_u8(kAckMagic);
+  w.put_u32(message_id);
+  return std::move(w).take();
+}
+
+std::optional<std::uint32_t> parse_ack(std::span<const std::uint8_t> datagram) {
+  if (datagram.size() != 5 || datagram[0] != kAckMagic) return std::nullopt;
+  ByteReader r(datagram);
+  r.get_u8();
+  return r.get_u32();
+}
+
+bool is_control_datagram(std::span<const std::uint8_t> datagram) {
+  return !datagram.empty() && (datagram[0] == kNackMagic || datagram[0] == kAckMagic);
+}
+
+void RtxController::retain(std::uint32_t id, std::vector<std::vector<std::uint8_t>> fragments,
+                           Clock::time_point now) {
+  if (retained_.size() >= cfg_.max_retained && retained_.find(id) == retained_.end()) {
+    auto oldest = retained_.begin();
+    for (auto it = retained_.begin(); it != retained_.end(); ++it) {
+      if (it->second.since < oldest->second.since) oldest = it;
+    }
+    retained_.erase(oldest);
+  }
+  RetainedMessage& m = retained_[id];
+  m.fragments = std::move(fragments);
+  m.budget_left = cfg_.rtx_budget;
+  m.since = now;
+}
+
+std::vector<const std::vector<std::uint8_t>*> RtxController::handle_nack(
+    const NackInfo& nack) {
+  std::vector<const std::vector<std::uint8_t>*> out;
+  const auto it = retained_.find(nack.message_id);
+  if (it == retained_.end()) return out;
+  RetainedMessage& m = it->second;
+  for (std::uint16_t idx : nack.missing) {
+    if (idx >= m.fragments.size()) continue;
+    if (m.budget_left == 0) {
+      ++budget_exhausted_;
+      break;
+    }
+    out.push_back(&m.fragments[idx]);
+    --m.budget_left;
+    ++rtx_fragments_;
+  }
+  return out;
+}
+
+void RtxController::expire_retained(Clock::time_point now) {
+  for (auto it = retained_.begin(); it != retained_.end();) {
+    if (now - it->second.since > cfg_.retain_for) {
+      it = retained_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+RtxController::Due RtxController::due(const Reassembler& reassembler, Clock::time_point now) {
+  Due out;
+  const auto pending = reassembler.pending_messages();
+  std::unordered_set<std::uint32_t> live;
+  live.reserve(pending.size());
+  for (const auto& m : pending) {
+    live.insert(m.id);
+    NackSchedule& s = schedule_[m.id];
+    if (!s.armed || m.received > s.seen_received) {
+      // New message, or progress since the last look: the next NACK
+      // waits for the flow to stall, not for a fixed point in time.
+      s.seen_received = m.received;
+      if (s.rounds == 0) s.next_at = m.last_activity + cfg_.nack_timeout;
+      s.armed = true;
+    }
+    if (now < s.next_at) continue;
+    if (s.rounds >= cfg_.max_rounds) {
+      out.abandon.push_back(m.id);
+      ++frames_abandoned_;
+      continue;
+    }
+    auto missing = reassembler.missing_fragments(m.id);
+    if (missing.empty()) continue;
+    out.nacks.push_back(NackDecision{m.id, m.count, std::move(missing)});
+    ++s.rounds;
+    ++nacks_sent_;
+    const double mult = std::pow(cfg_.backoff, s.rounds);
+    s.next_at = now + std::chrono::duration_cast<Clock::duration>(cfg_.nack_timeout * mult);
+  }
+  // Drop schedule state for messages the reassembler no longer tracks
+  // (completed, GC'd, or abandoned) so this map stays bounded too.
+  for (auto it = schedule_.begin(); it != schedule_.end();) {
+    if (live.count(it->first) == 0) {
+      it = schedule_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (std::uint32_t id : out.abandon) schedule_.erase(id);
+  return out;
+}
+
+}  // namespace mar::net

@@ -1,0 +1,126 @@
+// Receiver-driven NACK retransmission for the fragment transport.
+//
+// The receiver watches the Reassembler's incomplete messages; once a
+// message has been idle past the NACK timeout it sends the sender the
+// list of still-missing fragment indexes. Rounds back off
+// exponentially and stop after a per-frame budget — a frame that
+// cannot be completed within the budget is abandoned and counted
+// (mar_net_frames_unrecoverable_total), never waited on forever.
+//
+// The sender half retains a copy of each message's data fragments for
+// a bounded window (count- and age-capped) and answers NACKs from that
+// buffer, within a per-message retransmitted-fragment budget.
+//
+// The controller is a pure, clock-injected state machine: every method
+// takes `now`, nothing sleeps, so the backoff schedule is unit-testable
+// without wall-clock waits. net::FrameChannel drives it from poll();
+// the epoll live path drives it from a housekeeping timer.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/fragment.h"
+
+namespace mar::net {
+
+struct RtxConfig {
+  // Receiver: NACK rounds per message before giving the frame up.
+  int max_rounds = 4;
+  // Receiver: wait after the last fragment arrival before the first
+  // NACK; doubles (backoff factor) each further round.
+  std::chrono::milliseconds nack_timeout{25};
+  double backoff = 2.0;
+  // Sender: how long and how many messages to keep for retransmission.
+  std::chrono::milliseconds retain_for{1500};
+  std::size_t max_retained = 64;
+  // Sender: max fragments retransmitted per message (all rounds).
+  std::size_t rtx_budget = 64;
+};
+
+// Control datagrams share the sockets with fragments; first byte
+// disambiguates (data 0xF7, parity 0xF8, NACK 0xF9, ACK 0xFA).
+struct NackInfo {
+  std::uint32_t message_id = 0;
+  std::uint16_t count = 0;  // expected data fragments (diagnostic)
+  std::vector<std::uint16_t> missing;
+};
+[[nodiscard]] std::vector<std::uint8_t> encode_nack(const NackInfo& nack);
+[[nodiscard]] std::optional<NackInfo> parse_nack(std::span<const std::uint8_t> datagram);
+[[nodiscard]] std::vector<std::uint8_t> encode_ack(std::uint32_t message_id);
+[[nodiscard]] std::optional<std::uint32_t> parse_ack(std::span<const std::uint8_t> datagram);
+[[nodiscard]] bool is_control_datagram(std::span<const std::uint8_t> datagram);
+
+class RtxController {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit RtxController(RtxConfig cfg = {}) : cfg_(cfg) {}
+  [[nodiscard]] const RtxConfig& config() const { return cfg_; }
+
+  // --- sender half ----------------------------------------------------
+  // Keep `fragments` (data fragments, by index) for retransmission.
+  void retain(std::uint32_t id, std::vector<std::vector<std::uint8_t>> fragments,
+              Clock::time_point now);
+  // Fragments to resend for a NACK, within the per-message budget.
+  // Returned pointers stay valid until the message is released.
+  [[nodiscard]] std::vector<const std::vector<std::uint8_t>*> handle_nack(
+      const NackInfo& nack);
+  void handle_ack(std::uint32_t id) { retained_.erase(id); }
+  // Age out retained messages past cfg.retain_for.
+  void expire_retained(Clock::time_point now);
+  [[nodiscard]] std::size_t retained() const { return retained_.size(); }
+  [[nodiscard]] std::uint64_t fragments_retransmitted() const { return rtx_fragments_; }
+  [[nodiscard]] std::uint64_t rtx_budget_exhausted() const { return budget_exhausted_; }
+
+  // --- receiver half --------------------------------------------------
+  struct NackDecision {
+    std::uint32_t id = 0;
+    std::uint16_t count = 0;
+    std::vector<std::uint16_t> missing;
+  };
+  struct Due {
+    std::vector<NackDecision> nacks;   // send these now
+    std::vector<std::uint32_t> abandon;  // budget exhausted: drop these
+  };
+  // Inspect the reassembler's incomplete messages and return the NACKs
+  // whose (backed-off) deadline has passed, advancing the schedule.
+  [[nodiscard]] Due due(const Reassembler& reassembler, Clock::time_point now);
+  // Forget receiver-side schedule state for a completed/abandoned id.
+  void forget(std::uint32_t id) { schedule_.erase(id); }
+  [[nodiscard]] std::uint64_t nacks_sent() const { return nacks_sent_; }
+  [[nodiscard]] std::uint64_t frames_abandoned() const { return frames_abandoned_; }
+  // Whether any NACK was ever issued for `id` (distinguishes FEC-only
+  // recoveries from round-trip ones).
+  [[nodiscard]] bool nacked(std::uint32_t id) const {
+    auto it = schedule_.find(id);
+    return it != schedule_.end() && it->second.rounds > 0;
+  }
+
+ private:
+  struct RetainedMessage {
+    std::vector<std::vector<std::uint8_t>> fragments;
+    std::size_t budget_left = 0;
+    Clock::time_point since;
+  };
+  struct NackSchedule {
+    int rounds = 0;
+    std::size_t seen_received = 0;  // progress resets the timer
+    Clock::time_point next_at{};
+    bool armed = false;
+  };
+
+  RtxConfig cfg_;
+  std::unordered_map<std::uint32_t, RetainedMessage> retained_;
+  std::unordered_map<std::uint32_t, NackSchedule> schedule_;
+  std::uint64_t rtx_fragments_ = 0;
+  std::uint64_t budget_exhausted_ = 0;
+  std::uint64_t nacks_sent_ = 0;
+  std::uint64_t frames_abandoned_ = 0;
+};
+
+}  // namespace mar::net

@@ -9,11 +9,33 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/time.h"
 
 namespace mar::sim {
+
+// Loss-recovery knobs mirroring the live transport (net/fragment.h,
+// net/rtx.h): XOR-parity FEC repairs a single loss per k-fragment
+// group without a round trip; NACK retransmission re-requests the rest
+// for up to `rtx_rounds` receiver-driven rounds, each costing one
+// extra RTT. Both default off, which keeps every existing experiment
+// bit-identical (survives() draws exactly one Bernoulli per message).
+struct LinkRecovery {
+  int fec_group = 0;   // data fragments per parity datagram; 0 = off
+  int rtx_rounds = 0;  // NACK rounds before the frame is abandoned
+  [[nodiscard]] bool enabled() const { return fec_group > 0 || rtx_rounds > 0; }
+};
+
+// What happened to one message on a lossy link with recovery on.
+struct DeliveryOutcome {
+  bool delivered = true;
+  int fragments = 0;     // first-shot data fragments
+  int fec_repairs = 0;   // single-loss groups repaired by parity
+  int rtx_fragments = 0; // fragments retransmitted across all rounds
+  int rtx_rounds = 0;    // rounds actually used (extra RTTs to charge)
+};
 
 struct LinkModel {
   // One-way propagation delay (RTT / 2 for symmetric links).
@@ -31,6 +53,10 @@ struct LinkModel {
   // Mobility emulation: extra delay added with `oscillation_prob`.
   SimDuration oscillation_delay = 0;
   double oscillation_prob = 0.0;
+  // Loss recovery (FEC + NACK retransmission), mirroring the live
+  // transport. Off by default: survives() stays the delivery model and
+  // existing runs stay bit-identical.
+  LinkRecovery recovery;
 
   // Loopback (intra-machine) link: effectively free, lossless.
   static LinkModel loopback() {
@@ -62,6 +88,61 @@ struct LinkModel {
   }
 
   static constexpr std::size_t kMtuBytes = 1400;
+
+  // Per-fragment delivery with the recovery tiers applied — the sim
+  // mirror of net::FrameChannel's FEC + NACK machinery. Fragments are
+  // lost independently; a group with exactly one data loss repairs
+  // from its parity datagram (if that parity itself survived); the
+  // rest go through up to `recovery.rtx_rounds` retransmission rounds,
+  // each round costing the caller one extra RTT (DeliveryOutcome::
+  // rtx_rounds). Draws rng only when recovery is enabled; otherwise
+  // call survives().
+  [[nodiscard]] DeliveryOutcome deliver(std::size_t bytes, Rng& rng) const {
+    DeliveryOutcome out;
+    out.fragments = static_cast<int>((bytes + kMtuBytes - 1) / kMtuBytes);
+    if (out.fragments == 0) out.fragments = 1;
+    if (loss_rate <= 0.0) return out;
+    // First shot: which data fragments were lost.
+    std::vector<int> missing;
+    for (int i = 0; i < out.fragments; ++i) {
+      if (rng.bernoulli(loss_rate)) missing.push_back(i);
+    }
+    // FEC pass: a group with exactly one loss repairs iff its parity
+    // datagram also survived the link.
+    if (recovery.fec_group > 0 && !missing.empty()) {
+      const int k = recovery.fec_group;
+      std::vector<int> still_missing;
+      std::size_t cursor = 0;
+      const int groups = (out.fragments + k - 1) / k;
+      for (int g = 0; g < groups; ++g) {
+        const int lo = g * k;
+        const int hi = std::min(lo + k, out.fragments);
+        std::size_t first = cursor;
+        while (cursor < missing.size() && missing[cursor] < hi) ++cursor;
+        const std::size_t lost_in_group = cursor - first;
+        const bool parity_survived = !rng.bernoulli(loss_rate);
+        if (lost_in_group == 1 && parity_survived) {
+          ++out.fec_repairs;
+        } else {
+          for (std::size_t i = first; i < cursor; ++i) still_missing.push_back(missing[i]);
+        }
+      }
+      missing.swap(still_missing);
+    }
+    // NACK rounds: each still-missing fragment is resent, and may be
+    // lost again.
+    while (!missing.empty() && out.rtx_rounds < recovery.rtx_rounds) {
+      ++out.rtx_rounds;
+      std::vector<int> still_missing;
+      for (int idx : missing) {
+        ++out.rtx_fragments;
+        if (rng.bernoulli(loss_rate)) still_missing.push_back(idx);
+      }
+      missing.swap(still_missing);
+    }
+    out.delivered = missing.empty();
+    return out;
+  }
 
   // Propagation + jitter + mobility delay for one datagram (the
   // bandwidth/serialization part is handled by the network's shared

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "telemetry/registry.h"
 #include "telemetry/trace.h"
 
 namespace mar::sim {
@@ -86,7 +87,38 @@ void SimNetwork::send(EndpointId from, EndpointId to, wire::FramePacket pkt) {
   const MachineId src = endpoints_[from.value()].machine;
   const MachineId dst_machine = endpoints_[to.value()].machine;
   const LinkModel& link = link_between(src, dst_machine);
-  if (!link.survives(bytes, rng_)) {
+  // Recovery-enabled links share the live transport's loss story:
+  // FEC repairs single losses in place, NACK rounds re-request the
+  // rest at one extra RTT each, and only budget exhaustion loses the
+  // frame (same counters as net::FrameChannel).
+  SimDuration recovery_delay = 0;
+  if (link.recovery.enabled() && link.loss_rate > 0.0) {
+    const DeliveryOutcome outcome = link.deliver(bytes, rng_);
+    auto& registry = telemetry::MetricRegistry::instance();
+    if (outcome.fec_repairs > 0) {
+      registry
+          .counter("mar_net_fec_repairs_total",
+                   "Fragments rebuilt from XOR parity without a round trip")
+          .inc(static_cast<std::uint64_t>(outcome.fec_repairs));
+      trace_net(pkt, telemetry::spans::kFecRepair, loop_.now(), /*dur=*/-1);
+    }
+    if (outcome.rtx_fragments > 0) {
+      registry.counter("mar_net_rtx_total", "Fragments retransmitted in answer to NACKs")
+          .inc(static_cast<std::uint64_t>(outcome.rtx_fragments));
+      trace_net(pkt, telemetry::spans::kUdpRtx, loop_.now(), /*dur=*/-1);
+    }
+    if (!outcome.delivered) {
+      ++lost_;
+      registry
+          .counter("mar_net_frames_unrecoverable_total",
+                   "Frames abandoned after FEC+retransmission could not complete them")
+          .inc();
+      trace_net(pkt, telemetry::spans::kUnrecoverable, loop_.now(), /*dur=*/-1);
+      return;
+    }
+    // Each NACK round waits out one more round trip.
+    recovery_delay = static_cast<SimDuration>(outcome.rtx_rounds) * 2 * link.latency;
+  } else if (!link.survives(bytes, rng_)) {
     ++lost_;
     trace_net(pkt, telemetry::spans::kPacketLoss, loop_.now(), /*dur=*/-1);
     return;
@@ -110,7 +142,7 @@ void SimNetwork::send(EndpointId from, EndpointId to, wire::FramePacket pkt) {
     serialization = (start - now) + serialization;
   }
 
-  const SimDuration delay = link.propagation_delay(rng_) + serialization;
+  const SimDuration delay = link.propagation_delay(rng_) + serialization + recovery_delay;
   trace_net(pkt, telemetry::spans::kLink, loop_.now(), delay);
   loop_.schedule_after(delay, [this, to, p = std::move(pkt)]() mutable {
     Endpoint& dst = endpoints_[to.value()];

@@ -65,6 +65,14 @@ inline constexpr const char* kTailDrop = "pkt_taildrop";
 inline constexpr const char* kFetchTimeout = "fetch_timeout";
 inline constexpr const char* kUdpTx = "udp_tx";
 inline constexpr const char* kUdpRx = "udp_rx";
+// Live-transport recovery markers (value carries the message id):
+// a NACK sent by a receiver, fragments retransmitted by the sender in
+// answer, a single-loss group rebuilt from XOR parity, and a frame
+// abandoned after the retransmission budget ran dry.
+inline constexpr const char* kUdpNack = "udp_nack";
+inline constexpr const char* kUdpRtx = "udp_rtx";
+inline constexpr const char* kFecRepair = "fec_repair";
+inline constexpr const char* kUnrecoverable = "frame_unrecoverable";
 inline constexpr const char* kFault = "fault";        // injected fault window
 inline constexpr const char* kFailover = "failover";  // suspect -> respawn span
 // Synthetic instant appended when a flight-recorder buffer is promoted

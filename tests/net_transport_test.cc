@@ -1,0 +1,560 @@
+// Production-transport tests: XOR-parity FEC repair, the NACK
+// retransmission controller (clock-injected, no sleeps), the epoll
+// event loop, sender-side adaptive quality, and the recovery-enabled
+// FrameChannel end to end on loopback.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/rng.h"
+#include "net/adaptive.h"
+#include "net/epoll_loop.h"
+#include "net/fragment.h"
+#include "net/frame_channel.h"
+#include "net/rtx.h"
+
+namespace mar::net {
+namespace {
+
+using std::chrono::milliseconds;
+
+std::vector<std::uint8_t> random_blob(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+// --- FEC ----------------------------------------------------------------------
+
+TEST(Fec, ParityRepairsSingleLossPerGroup) {
+  const auto msg = random_blob(5 * kMaxFragmentPayload - 1000, 1);  // 5 fragments
+  const auto frags = fragment_message(msg, 50);
+  const auto parity = fec_parity_fragments(msg, 50, 4);
+  ASSERT_EQ(frags.size(), 5u);
+  ASSERT_EQ(parity.size(), 2u);  // groups {0..3} and {4}
+
+  Reassembler r;
+  Reassembler::AddResult done;
+  // Drop fragment 1; deliver the rest plus both parity datagrams.
+  for (std::size_t i = 0; i < frags.size(); ++i) {
+    if (i == 1) continue;
+    done = r.add_ex(frags[i]);
+    EXPECT_FALSE(done.message.has_value());
+  }
+  done = r.add_ex(parity[0]);  // repairs fragment 1 -> completes
+  if (!done.message) done = r.add_ex(parity[1]);
+  ASSERT_TRUE(done.message.has_value());
+  EXPECT_EQ(*done.message, msg);
+  EXPECT_EQ(done.message_repairs, 1u);
+  EXPECT_EQ(r.fec_repairs(), 1u);
+}
+
+TEST(Fec, ParityArrivingFirstRepairsOnLastDataFragment) {
+  const auto msg = random_blob(3 * kMaxFragmentPayload, 2);  // 3 fragments, one group
+  const auto frags = fragment_message(msg, 51);
+  const auto parity = fec_parity_fragments(msg, 51, 4);
+  ASSERT_EQ(parity.size(), 1u);
+
+  Reassembler r;
+  EXPECT_FALSE(r.add_ex(parity[0]).message.has_value());
+  EXPECT_FALSE(r.add_ex(frags[0]).message.has_value());
+  // Fragment 1 lost; fragment 2's arrival makes 1 the group's single
+  // missing index, so the pending parity finishes the job.
+  const auto done = r.add_ex(frags[2]);
+  ASSERT_TRUE(done.message.has_value());
+  EXPECT_EQ(*done.message, msg);
+  EXPECT_EQ(done.repaired, 1u);
+}
+
+TEST(Fec, TwoLossesInOneGroupAreBeyondParity) {
+  const auto msg = random_blob(4 * kMaxFragmentPayload, 3);
+  const auto frags = fragment_message(msg, 52);
+  const auto parity = fec_parity_fragments(msg, 52, 4);
+  Reassembler r;
+  r.add_ex(frags[0]);
+  r.add_ex(frags[3]);  // fragments 1 and 2 lost
+  const auto res = r.add_ex(parity[0]);
+  EXPECT_FALSE(res.message.has_value());
+  EXPECT_EQ(res.repaired, 0u);
+  EXPECT_EQ(r.pending(), 1u);
+}
+
+TEST(Fec, UnevenTailGroupRepairs) {
+  // 5 fragments at k=4: the tail group holds a single fragment, whose
+  // parity is a plain copy — losing it must still repair.
+  const auto msg = random_blob(4 * kMaxFragmentPayload + 500, 4);
+  const auto frags = fragment_message(msg, 53);
+  const auto parity = fec_parity_fragments(msg, 53, 4);
+  ASSERT_EQ(frags.size(), 5u);
+  Reassembler r;
+  for (std::size_t i = 0; i < 4; ++i) r.add_ex(frags[i]);  // fragment 4 lost
+  const auto done = r.add_ex(parity[1]);
+  ASSERT_TRUE(done.message.has_value());
+  EXPECT_EQ(*done.message, msg);
+}
+
+TEST(Fec, ConflictingParityMetadataRejected) {
+  const auto msg = random_blob(2 * kMaxFragmentPayload, 5);
+  auto parity = fec_parity_fragments(msg, 54, 4);
+  ASSERT_EQ(parity.size(), 1u);
+  // total_bytes inconsistent with the fragment count -> rejected.
+  auto bad = parity[0];
+  bad[10] = 0xFF;  // clobber total_bytes (bytes 10..13 little-endian)
+  bad[11] = 0xFF;
+  bad[12] = 0xFF;
+  bad[13] = 0x00;
+  Reassembler r;
+  const auto res = r.add_ex(bad);
+  EXPECT_FALSE(res.accepted);
+  EXPECT_EQ(r.pending(), 0u);
+}
+
+TEST(Fec, LateParityCannotResurrectCompletedMessage) {
+  // Regression: a parity datagram over a 1-fragment group IS that
+  // fragment, so without completed-id memory the message would deliver
+  // twice (and cascade through a pipeline).
+  const auto msg = random_blob(1000, 6);
+  const auto frags = fragment_message(msg, 55);
+  const auto parity = fec_parity_fragments(msg, 55, 4);
+  ASSERT_EQ(frags.size(), 1u);
+  ASSERT_EQ(parity.size(), 1u);
+  Reassembler r;
+  ASSERT_TRUE(r.add_ex(frags[0]).message.has_value());
+  const auto again = r.add_ex(parity[0]);
+  EXPECT_FALSE(again.message.has_value());
+  EXPECT_FALSE(again.accepted);
+  EXPECT_EQ(r.pending(), 0u);
+}
+
+TEST(Fec, LateDuplicateDataCannotResurrectEither) {
+  const auto msg = random_blob(2 * kMaxFragmentPayload, 7);
+  const auto frags = fragment_message(msg, 56);
+  Reassembler r;
+  r.add_ex(frags[0]);
+  ASSERT_TRUE(r.add_ex(frags[1]).message.has_value());
+  const auto dup = r.add_ex(frags[0]);  // crossed the completion
+  EXPECT_FALSE(dup.accepted);
+  EXPECT_EQ(r.pending(), 0u);
+}
+
+// --- Reassembler bounds -------------------------------------------------------
+
+TEST(Reassembler, MaxPendingCapEvictsStalest) {
+  Reassembler r(milliseconds(60'000), /*max_pending=*/3);
+  const auto msg = random_blob(2 * kMaxFragmentPayload, 8);
+  for (std::uint32_t id = 1; id <= 3; ++id) {
+    r.add_ex(fragment_message(msg, id)[0]);
+    std::this_thread::sleep_for(milliseconds(2));  // distinct last_activity
+  }
+  EXPECT_EQ(r.pending(), 3u);
+  EXPECT_EQ(r.evicted(), 0u);
+  r.add_ex(fragment_message(msg, 4)[0]);
+  EXPECT_EQ(r.pending(), 3u);
+  EXPECT_EQ(r.evicted(), 1u);
+  // The stalest partial (id 1) is the one that went.
+  bool saw1 = false, saw4 = false;
+  for (const auto& m : r.pending_messages()) {
+    saw1 |= m.id == 1;
+    saw4 |= m.id == 4;
+  }
+  EXPECT_FALSE(saw1);
+  EXPECT_TRUE(saw4);
+}
+
+TEST(Reassembler, GcExpiryCounterIsAccurate) {
+  Reassembler r(milliseconds(0));
+  const auto msg = random_blob(2 * kMaxFragmentPayload, 9);
+  r.add_ex(fragment_message(msg, 70)[0]);
+  r.add_ex(fragment_message(msg, 71)[0]);
+  std::this_thread::sleep_for(milliseconds(2));
+  r.garbage_collect();
+  EXPECT_EQ(r.pending(), 0u);
+  EXPECT_EQ(r.expired(), 2u);
+  r.garbage_collect();  // idempotent: nothing left to expire
+  EXPECT_EQ(r.expired(), 2u);
+}
+
+TEST(Reassembler, TruncatedAndGarbageDatagramsRejected) {
+  const auto msg = random_blob(1000, 10);
+  auto frag = fragment_message(msg, 80)[0];
+  Reassembler r;
+  // Truncated below the header.
+  const std::vector<std::uint8_t> stub(frag.begin(), frag.begin() + kFragmentHeaderBytes - 1);
+  EXPECT_FALSE(r.add_ex(stub).accepted);
+  // Truncated payload (len field no longer matches remaining bytes).
+  const std::vector<std::uint8_t> cut(frag.begin(), frag.end() - 10);
+  EXPECT_FALSE(r.add_ex(cut).accepted);
+  // Unknown magic.
+  auto alien = frag;
+  alien[0] = 0x42;
+  EXPECT_FALSE(r.add_ex(alien).accepted);
+  // index >= count.
+  auto bad_index = frag;
+  bad_index[5] = 9;  // index u16 little-endian at offset 5
+  EXPECT_FALSE(r.add_ex(bad_index).accepted);
+  EXPECT_EQ(r.pending(), 0u);
+  // The intact original still round-trips.
+  EXPECT_TRUE(r.add_ex(frag).message.has_value());
+}
+
+TEST(Reassembler, AbandonBlocksResurrection) {
+  const auto msg = random_blob(3 * kMaxFragmentPayload, 11);
+  const auto frags = fragment_message(msg, 90);
+  Reassembler r;
+  r.add_ex(frags[0]);
+  EXPECT_EQ(r.pending(), 1u);
+  EXPECT_TRUE(r.abandon(90));
+  EXPECT_EQ(r.pending(), 0u);
+  // Stragglers for the abandoned id must not restart reassembly (and
+  // with it the NACK cycle).
+  EXPECT_FALSE(r.add_ex(frags[1]).accepted);
+  EXPECT_EQ(r.pending(), 0u);
+  EXPECT_FALSE(r.abandon(90));  // nothing left to drop
+}
+
+TEST(Reassembler, MissingFragmentsReportsGaps) {
+  const auto msg = random_blob(3 * kMaxFragmentPayload, 12);
+  const auto frags = fragment_message(msg, 91);
+  Reassembler r;
+  r.add_ex(frags[0]);
+  r.add_ex(frags[2]);
+  EXPECT_EQ(r.missing_fragments(91), (std::vector<std::uint16_t>{1}));
+  EXPECT_TRUE(r.missing_fragments(999).empty());  // unknown id
+}
+
+// --- NACK/ACK wire ------------------------------------------------------------
+
+TEST(RtxWire, NackRoundTrip) {
+  const NackInfo in{0xDEADBEEF, 7, {0, 3, 6}};
+  const auto wire = encode_nack(in);
+  EXPECT_TRUE(is_control_datagram(wire));
+  const auto out = parse_nack(wire);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->message_id, in.message_id);
+  EXPECT_EQ(out->count, in.count);
+  EXPECT_EQ(out->missing, in.missing);
+}
+
+TEST(RtxWire, AckRoundTripAndDiscrimination) {
+  const auto ack = encode_ack(1234);
+  EXPECT_TRUE(is_control_datagram(ack));
+  EXPECT_EQ(parse_ack(ack), std::optional<std::uint32_t>(1234));
+  EXPECT_FALSE(parse_nack(ack).has_value());
+  const auto frag = fragment_message(random_blob(10, 13), 1)[0];
+  EXPECT_FALSE(is_control_datagram(frag));
+  EXPECT_FALSE(parse_ack(frag).has_value());
+  // Truncated NACK (missing list shorter than advertised).
+  auto nack = encode_nack(NackInfo{1, 2, {0, 1}});
+  nack.pop_back();
+  EXPECT_FALSE(parse_nack(nack).has_value());
+}
+
+// --- RtxController (clock-injected, no sleeps) --------------------------------
+
+TEST(RtxController, NackBackoffScheduleAndAbandon) {
+  RtxConfig cfg;
+  cfg.max_rounds = 2;
+  cfg.nack_timeout = milliseconds(25);
+  cfg.backoff = 2.0;
+  RtxController rtx(cfg);
+
+  const auto msg = random_blob(2 * kMaxFragmentPayload, 14);
+  const auto frags = fragment_message(msg, 300);
+  Reassembler r;
+  r.add_ex(frags[0]);  // fragment 1 missing
+  const auto t0 = RtxController::Clock::now();
+
+  // Within the quiet window: arms, nothing due.
+  EXPECT_TRUE(rtx.due(r, t0).nacks.empty());
+  // Past the stall timeout: first NACK with the missing index.
+  auto due = rtx.due(r, t0 + milliseconds(30));
+  ASSERT_EQ(due.nacks.size(), 1u);
+  EXPECT_EQ(due.nacks[0].id, 300u);
+  EXPECT_EQ(due.nacks[0].missing, (std::vector<std::uint16_t>{1}));
+  EXPECT_TRUE(rtx.nacked(300));
+  // Immediately after: backed off, not due again.
+  EXPECT_TRUE(rtx.due(r, t0 + milliseconds(31)).nacks.empty());
+  // After backoff^1 * timeout: round two.
+  due = rtx.due(r, t0 + milliseconds(30 + 51));
+  ASSERT_EQ(due.nacks.size(), 1u);
+  // Budget exhausted on the next deadline: abandon, schedule dropped.
+  due = rtx.due(r, t0 + milliseconds(30 + 51 + 101));
+  EXPECT_TRUE(due.nacks.empty());
+  ASSERT_EQ(due.abandon.size(), 1u);
+  EXPECT_EQ(due.abandon[0], 300u);
+  EXPECT_EQ(rtx.frames_abandoned(), 1u);
+  EXPECT_EQ(rtx.nacks_sent(), 2u);
+}
+
+TEST(RtxController, ScheduleForgetsCompletedMessages) {
+  RtxController rtx;
+  const auto msg = random_blob(2 * kMaxFragmentPayload, 15);
+  const auto frags = fragment_message(msg, 301);
+  Reassembler r;
+  r.add_ex(frags[0]);
+  (void)rtx.due(r, RtxController::Clock::now());
+  r.add_ex(frags[1]);  // completes; no longer pending
+  (void)rtx.due(r, RtxController::Clock::now());
+  EXPECT_FALSE(rtx.nacked(301));  // schedule entry pruned
+}
+
+TEST(RtxController, SenderRetainAnswersWithinBudget) {
+  RtxConfig cfg;
+  cfg.rtx_budget = 2;
+  RtxController rtx(cfg);
+  const auto now = RtxController::Clock::now();
+  const auto msg = random_blob(3 * kMaxFragmentPayload, 16);
+  auto frags = fragment_message(msg, 400);
+  const auto frag1 = frags[1];
+  rtx.retain(400, std::move(frags), now);
+  EXPECT_EQ(rtx.retained(), 1u);
+
+  auto resend = rtx.handle_nack(NackInfo{400, 3, {1}});
+  ASSERT_EQ(resend.size(), 1u);
+  EXPECT_EQ(*resend[0], frag1);
+  // Out-of-range indexes are skipped, unknown ids answer nothing.
+  EXPECT_TRUE(rtx.handle_nack(NackInfo{400, 3, {9}}).empty());
+  EXPECT_TRUE(rtx.handle_nack(NackInfo{999, 3, {0}}).empty());
+  // Budget (2): one more fragment, then exhausted.
+  EXPECT_EQ(rtx.handle_nack(NackInfo{400, 3, {0, 2}}).size(), 1u);
+  EXPECT_EQ(rtx.rtx_budget_exhausted(), 1u);
+  EXPECT_EQ(rtx.fragments_retransmitted(), 2u);
+}
+
+TEST(RtxController, RetainedMessagesAgeOutAndAckReleases) {
+  RtxConfig cfg;
+  cfg.retain_for = milliseconds(100);
+  cfg.max_retained = 2;
+  RtxController rtx(cfg);
+  const auto t0 = RtxController::Clock::now();
+  const auto msg = random_blob(100, 17);
+  rtx.retain(1, fragment_message(msg, 1), t0);
+  rtx.retain(2, fragment_message(msg, 2), t0 + milliseconds(10));
+  rtx.retain(3, fragment_message(msg, 3), t0 + milliseconds(20));  // evicts oldest (1)
+  EXPECT_EQ(rtx.retained(), 2u);
+  EXPECT_TRUE(rtx.handle_nack(NackInfo{1, 1, {0}}).empty());
+
+  rtx.handle_ack(2);
+  EXPECT_EQ(rtx.retained(), 1u);
+  rtx.expire_retained(t0 + milliseconds(200));
+  EXPECT_EQ(rtx.retained(), 0u);
+}
+
+// --- EpollLoop ----------------------------------------------------------------
+
+struct PipePair {
+  int fds[2] = {-1, -1};
+  PipePair() { EXPECT_EQ(::pipe(fds), 0); }
+  ~PipePair() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+};
+
+TEST(EpollLoop, DispatchesReadableFds) {
+  EpollLoop loop;
+  ASSERT_TRUE(loop.init().is_ok());
+  PipePair p;
+  int fired = 0;
+  ASSERT_TRUE(loop.add(p.fds[0], [&] {
+    char buf[8];
+    (void)::read(p.fds[0], buf, sizeof(buf));
+    ++fired;
+  }).is_ok());
+  EXPECT_EQ(loop.watched(), 1u);
+
+  EXPECT_EQ(loop.run_once(0), 0);  // nothing readable yet
+  ASSERT_EQ(::write(p.fds[1], "x", 1), 1);
+  EXPECT_GE(loop.run_once(100), 1);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.events_dispatched(), 1u);
+
+  ASSERT_TRUE(loop.remove(p.fds[0]).is_ok());
+  EXPECT_EQ(loop.watched(), 0u);
+  ASSERT_EQ(::write(p.fds[1], "y", 1), 1);
+  EXPECT_EQ(loop.run_once(0), 0);  // removed fd no longer dispatches
+}
+
+TEST(EpollLoop, OneShotAndPeriodicTimers) {
+  EpollLoop loop;
+  ASSERT_TRUE(loop.init().is_ok());
+  int one_shot = 0, periodic = 0;
+  loop.schedule_after(milliseconds(5), [&] { ++one_shot; });
+  loop.schedule_after(milliseconds(2), [&] { ++periodic; }, milliseconds(2));
+
+  const auto deadline = EpollLoop::Clock::now() + milliseconds(500);
+  while ((one_shot < 1 || periodic < 3) && EpollLoop::Clock::now() < deadline) {
+    loop.run_once(20);
+  }
+  EXPECT_EQ(one_shot, 1);
+  EXPECT_GE(periodic, 3);
+  EXPECT_GE(loop.timers_fired(), 4u);
+}
+
+TEST(EpollLoop, CancelledTimerNeverFires) {
+  EpollLoop loop;
+  ASSERT_TRUE(loop.init().is_ok());
+  int fired = 0;
+  const auto id = loop.schedule_after(milliseconds(1), [&] { ++fired; });
+  loop.cancel(id);
+  const auto deadline = EpollLoop::Clock::now() + milliseconds(50);
+  while (EpollLoop::Clock::now() < deadline) loop.run_once(10);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EpollLoop, TimersFireInDeadlineOrder) {
+  EpollLoop loop;
+  ASSERT_TRUE(loop.init().is_ok());
+  std::vector<int> order;
+  loop.schedule_after(milliseconds(8), [&] { order.push_back(2); });
+  loop.schedule_after(milliseconds(2), [&] { order.push_back(1); });
+  const auto deadline = EpollLoop::Clock::now() + milliseconds(500);
+  while (order.size() < 2 && EpollLoop::Clock::now() < deadline) loop.run_once(20);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EpollLoop, RunHonorsKeepGoing) {
+  EpollLoop loop;
+  ASSERT_TRUE(loop.init().is_ok());
+  int ticks = 0;
+  loop.schedule_after(milliseconds(1), [&] { ++ticks; }, milliseconds(1));
+  loop.run([&] { return ticks < 3; }, /*max_wait_ms=*/5);
+  EXPECT_GE(ticks, 3);
+}
+
+// --- AdaptiveQuality ----------------------------------------------------------
+
+TEST(Adaptive, StepsDownUnderSustainedLossAndHonorsCooldown) {
+  AdaptiveConfig cfg;
+  cfg.cooldown_frames = 4;
+  AdaptiveQuality q(cfg);
+  EXPECT_EQ(q.level(), cfg.max_level);
+  EXPECT_DOUBLE_EQ(q.scale(), 1.0);
+
+  // 30% of fragments needing retransmission: EWMA crosses the 8%
+  // threshold quickly, but cooldown spaces the downgrades out.
+  int frames_to_first_drop = 0;
+  while (q.level() == cfg.max_level && frames_to_first_drop < 50) {
+    q.on_frame(10, 3, true);
+    ++frames_to_first_drop;
+  }
+  EXPECT_LT(frames_to_first_drop, 10);
+  EXPECT_EQ(q.level(), cfg.max_level - 1);
+  const auto down_before = q.downgrades();
+  q.on_frame(10, 3, true);  // inside the cooldown window
+  EXPECT_EQ(q.downgrades(), down_before);
+}
+
+TEST(Adaptive, UndeliveredFrameCountsAsTotalLoss) {
+  AdaptiveQuality q;
+  q.on_frame(10, 0, /*delivered=*/false);
+  EXPECT_GT(q.loss_estimate(), 0.2);  // alpha * 1.0
+}
+
+TEST(Adaptive, RecoversOnlyAfterSustainedCleanFrames) {
+  AdaptiveConfig cfg;
+  cfg.hold_frames = 8;
+  AdaptiveQuality q(cfg);
+  while (q.level() > cfg.min_level) q.on_frame(10, 6, true);
+  EXPECT_EQ(q.level(), cfg.min_level);
+  EXPECT_GT(q.downgrades(), 0u);
+  EXPECT_LT(q.scale(), 1.0);
+  EXPECT_GE(q.scale(), 0.39);
+
+  int clean = 0;
+  while (q.level() < cfg.max_level && clean < 500) {
+    q.on_frame(10, 0, true);
+    ++clean;
+  }
+  EXPECT_EQ(q.level(), cfg.max_level);
+  // Decay of the EWMA plus hold_frames per step: strictly slower than
+  // the way down.
+  EXPECT_GT(clean, cfg.hold_frames);
+  EXPECT_EQ(q.upgrades(), static_cast<std::uint64_t>(cfg.max_level - cfg.min_level));
+}
+
+// --- FrameChannel with recovery on --------------------------------------------
+
+TEST(FrameChannelRecovery, LossyLinkRecoversWithFecAndRtx) {
+  ChannelOptions sender_opts;
+  sender_opts.enable_rtx = true;
+  sender_opts.fec_group = 4;
+  sender_opts.tx_loss_rate = 0.15;
+  sender_opts.tx_loss_seed = 1234;
+  ChannelOptions receiver_opts;
+  receiver_opts.enable_rtx = true;
+  receiver_opts.rtx.nack_timeout = milliseconds(5);
+
+  FrameChannel sender(sender_opts), receiver(receiver_opts);
+  ASSERT_TRUE(sender.open(0).is_ok());
+  ASSERT_TRUE(receiver.open(0).is_ok());
+  const SockAddr dst = SockAddr::loopback(receiver.local_addr().value().port);
+
+  int delivered = 0;
+  constexpr int kFrames = 8;
+  for (int f = 0; f < kFrames; ++f) {
+    wire::FramePacket pkt;
+    pkt.header.frame = FrameId{static_cast<std::uint64_t>(f)};
+    pkt.payload = random_blob(280'000, 100 + static_cast<std::uint64_t>(f));
+    pkt.header.payload_bytes = static_cast<std::uint32_t>(pkt.payload.size());
+    ASSERT_TRUE(sender.send(pkt, dst).is_ok());
+    const auto deadline = std::chrono::steady_clock::now() + milliseconds(500);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (auto rx = receiver.poll(1)) {
+        EXPECT_EQ(rx->packet.payload, pkt.payload);
+        ++delivered;
+        break;
+      }
+      sender.poll(0);
+    }
+  }
+  // At 15% per-datagram loss a fire-and-forget 5-fragment frame
+  // survives ~44% of the time; with FEC + NACK every frame lands.
+  EXPECT_EQ(delivered, kFrames);
+  EXPECT_GT(sender.harness_dropped(), 0u);
+  EXPECT_GT(receiver.fec_repairs() + sender.rtx_fragments_sent(), 0u);
+  EXPECT_EQ(receiver.frames_unrecoverable(), 0u);
+}
+
+TEST(FrameChannelRecovery, TwoSendersShareOneReceiverWithoutIdCollision) {
+  // Regression: channels allocate disjoint message-id blocks; two
+  // senders whose counters both start at "first message" must not
+  // interleave into one corrupted reassembly.
+  FrameChannel a, b, rx;
+  ASSERT_TRUE(a.open(0).is_ok());
+  ASSERT_TRUE(b.open(0).is_ok());
+  ASSERT_TRUE(rx.open(0).is_ok());
+  const SockAddr dst = SockAddr::loopback(rx.local_addr().value().port);
+
+  wire::FramePacket pa, pb;
+  pa.header.client = ClientId{1};
+  pa.payload = random_blob(200'000, 21);
+  pb.header.client = ClientId{2};
+  pb.payload = random_blob(200'000, 22);
+  ASSERT_TRUE(a.send(pa, dst).is_ok());
+  ASSERT_TRUE(b.send(pb, dst).is_ok());
+
+  int got_a = 0, got_b = 0;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (got_a + got_b < 2 && std::chrono::steady_clock::now() < deadline) {
+    if (auto rx_pkt = rx.poll(10)) {
+      if (rx_pkt->packet.header.client == ClientId{1}) {
+        EXPECT_EQ(rx_pkt->packet.payload, pa.payload);
+        ++got_a;
+      } else {
+        EXPECT_EQ(rx_pkt->packet.payload, pb.payload);
+        ++got_b;
+      }
+    }
+  }
+  EXPECT_EQ(got_a, 1);
+  EXPECT_EQ(got_b, 1);
+}
+
+}  // namespace
+}  // namespace mar::net

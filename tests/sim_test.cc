@@ -284,6 +284,80 @@ TEST(LinkModel, SerializationDelayScalesWithBytes) {
   EXPECT_EQ(unlimited.serialization_delay(1 << 30), 0);
 }
 
+TEST(LinkModel, RecoveryDisabledByDefault) {
+  const LinkModel m;
+  EXPECT_FALSE(m.recovery.enabled());
+  // With loss off, deliver() is a pure computation: no rng draws, so
+  // the legacy survives() sequence stays bit-identical.
+  LinkModel lossless;
+  Rng a(7), b(7);
+  const auto out = lossless.deliver(250 * 1024, a);
+  EXPECT_TRUE(out.delivered);
+  EXPECT_EQ(out.fragments, static_cast<int>((250 * 1024 + LinkModel::kMtuBytes - 1) /
+                                            LinkModel::kMtuBytes));
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(LinkModel, RecoveryBeatsFireAndForget) {
+  LinkModel plain;
+  plain.loss_rate = 0.02;
+  LinkModel recovering = plain;
+  recovering.recovery.fec_group = 4;
+  recovering.recovery.rtx_rounds = 3;
+
+  Rng rng_plain(11), rng_rec(11);
+  constexpr std::size_t kBytes = 250 * 1024;  // ~180 fragments
+  int plain_ok = 0, rec_ok = 0;
+  std::int64_t repairs = 0, rtx = 0, rounds = 0;
+  for (int i = 0; i < 3'000; ++i) {
+    plain_ok += plain.survives(kBytes, rng_plain) ? 1 : 0;
+    const DeliveryOutcome out = recovering.deliver(kBytes, rng_rec);
+    rec_ok += out.delivered ? 1 : 0;
+    repairs += out.fec_repairs;
+    rtx += out.rtx_fragments;
+    rounds += out.rtx_rounds;
+  }
+  // ~180 fragments at 2% loss: fire-and-forget survives ~2.6% of the
+  // time; FEC + 3 NACK rounds recovers essentially always.
+  EXPECT_LT(plain_ok, 300);
+  EXPECT_GT(rec_ok, 2'900);
+  EXPECT_GT(repairs, 0);
+  EXPECT_GT(rtx, 0);
+  EXPECT_GT(rounds, 0);
+}
+
+TEST(LinkModel, FecAloneRepairsOnlySingleLossGroups) {
+  LinkModel m;
+  m.loss_rate = 0.05;
+  m.recovery.fec_group = 4;  // no rtx rounds
+  Rng rng(13);
+  int delivered = 0, trials = 4'000;
+  std::int64_t repairs = 0;
+  for (int i = 0; i < trials; ++i) {
+    const DeliveryOutcome out = m.deliver(8 * LinkModel::kMtuBytes, rng);
+    delivered += out.delivered ? 1 : 0;
+    repairs += out.fec_repairs;
+    EXPECT_EQ(out.rtx_rounds, 0);
+  }
+  // 8 fragments at 5%: plain survival ~66%; parity lifts it but cannot
+  // reach the rtx-backed ~100%.
+  EXPECT_GT(delivered, static_cast<int>(trials * 0.85));
+  EXPECT_LT(delivered, trials);
+  EXPECT_GT(repairs, 0);
+}
+
+TEST(LinkModel, RtxRoundsAreBoundedByBudget) {
+  LinkModel m;
+  m.loss_rate = 0.5;  // brutal: most messages need every round
+  m.recovery.rtx_rounds = 2;
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const DeliveryOutcome out = m.deliver(20 * LinkModel::kMtuBytes, rng);
+    EXPECT_LE(out.rtx_rounds, 2);
+    if (!out.delivered) EXPECT_EQ(out.rtx_rounds, 2);  // gave up only after both
+  }
+}
+
 TEST(LinkModel, OscillationAddsDelaySometimes) {
   LinkModel m;
   m.latency = millis(5.0);
