@@ -30,6 +30,11 @@ mar_bench(capacity_planning)
 mar_bench(lossy_link)
 target_link_libraries(lossy_link PRIVATE mar_net)
 
+# Profiling-plane gate: real vision pipeline + sampling profiler.
+mar_bench(profile_attribution)
+target_link_libraries(profile_attribution PRIVATE mar_vision mar_video mar_net
+                                                  Threads::Threads)
+
 mar_bench(ablation_scatterpp_parts)
 mar_bench(ablation_sidecar_threshold)
 mar_bench(ablation_app_aware)

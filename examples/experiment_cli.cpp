@@ -22,6 +22,13 @@
 //                  it picks go straight to the durable ring.
 //   --events_out   write the raw trace-event log frame_forensics reads
 //
+// Profiling (the DES burns real CPU in the event loop; the profiler
+// shows where — see docs/EXPERIMENTS.md "finding the hot loop"):
+//   --profile        sample this process with the in-process CPU profiler
+//   --profile_hz N   sampling rate (default 99)
+//   --profile_out P  artifact prefix (default "experiment_profile"):
+//                    P.folded, P.speedscope.json, P.heap.folded
+//
 // Tail-based retention (composes with --trace_sample; typical use sets
 // --trace_sample 0 and lets the tail policy keep the interesting frames):
 //   --retain                enable tail retention (flight-record every
@@ -46,6 +53,7 @@
 #include "expt/experiment.h"
 #include "expt/report.h"
 #include "expt/table.h"
+#include "telemetry/profiler.h"
 #include "telemetry/trace.h"
 
 using namespace mar;
@@ -85,6 +93,9 @@ int main(int argc, char** argv) {
   std::string fault_plan_text;
   orchestra::FailoverConfig failover;
   bool failover_requested = false;
+  bool profile = false;
+  int profile_hz = 99;
+  std::string profile_out = "experiment_profile";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -126,6 +137,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--retain_outlier_factor") {
       if (!cfg.retention) cfg.retention.emplace();
       cfg.retention->outlier_factor = std::atof(next());
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (arg == "--profile_hz") {
+      profile_hz = std::atoi(next());
+    } else if (arg == "--profile_out") {
+      profile_out = next();
     } else if (arg == "--fault_plan") {
       fault_plan_text = next();
     } else if (arg == "--heartbeat_ms") {
@@ -168,10 +185,33 @@ int main(int argc, char** argv) {
     telemetry::Tracer::instance().set_enabled(true);
   }
 
+  if (profile) {
+    if (auto st = telemetry::Profiler::instance().start(profile_hz); !st.is_ok()) {
+      std::fprintf(stderr, "profiler failed to start: %s\n", st.message().c_str());
+      return 1;
+    }
+  }
+
   std::printf("running %s on %s with %d client(s), %.0f s window...\n",
               to_string(cfg.mode), cfg.placement.to_label().c_str(), cfg.num_clients,
               to_seconds(cfg.duration));
   const ExperimentResult r = run_experiment(cfg);
+
+  if (profile) {
+    const telemetry::ProfileReport prof_report = telemetry::Profiler::instance().stop();
+    const telemetry::AllocReport allocs = telemetry::Profiler::instance().alloc_report();
+    if (write_profile_artifacts(prof_report, allocs, profile_out, "experiment_cli")) {
+      std::printf("profiler: %llu samples (%.0f%% attributed); wrote %s.folded, "
+                  "%s.speedscope.json\n",
+                  static_cast<unsigned long long>(prof_report.samples),
+                  100.0 * prof_report.attributed_fraction(), profile_out.c_str(),
+                  profile_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write profile artifacts at %s.*\n",
+                   profile_out.c_str());
+      return 1;
+    }
+  }
 
   Table qos({"FPS/client", "E2E ms", "p95 ms", "success %", "jitter ms"});
   qos.add_row({Table::num(r.fps_mean, 1), Table::num(r.e2e_ms_mean, 1),

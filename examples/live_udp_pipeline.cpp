@@ -21,11 +21,16 @@
 //                      style fidelity adaptation) and recover slowly
 //   --clients=N        number of concurrent client sockets (default 1)
 //   --frames=N         frames per client (default 12)
-//   --metrics_port=N   serve live /metrics, /healthz, /statusz on port
+//   --metrics_port=N   serve live /metrics, /healthz, /statusz (and
+//                      GET /debug/pprof/{profile,heap,cmdline}) on port
 //                      N (0 = ephemeral; the bound port is printed).
 //                      The scrape includes the transport counters:
 //                      mar_net_rtx_total, mar_net_fec_repairs_total,
-//                      mar_net_frames_unrecoverable_total.
+//                      mar_net_frames_unrecoverable_total, and the
+//                      per-channel mar_net_receiver_loss_ratio gauge.
+//   --profile          sample the run with the in-process CPU profiler
+//   --profile_hz=N     sampling rate (default 99)
+//   --profile_out=P    artifact prefix (default "live_udp_profile")
 //
 // Build & run:  ./build/examples/live_udp_pipeline --loss=0.05 --rtx --fec_group=4
 #include <chrono>
@@ -39,8 +44,10 @@
 #include "net/adaptive.h"
 #include "net/epoll_loop.h"
 #include "net/frame_channel.h"
+#include "expt/report.h"
 #include "net/http.h"
 #include "telemetry/procstat.h"
+#include "telemetry/profiler.h"
 #include "telemetry/registry.h"
 #include "vision/engine.h"
 #include "vision/image.h"
@@ -105,6 +112,9 @@ struct Flags {
   int fec_group = 0;
   double loss = 0.0;
   bool adaptive = false;
+  bool profile = false;
+  int profile_hz = 99;
+  std::string profile_out = "live_udp_profile";
 };
 
 bool parse_flags(int argc, char** argv, Flags& f) {
@@ -117,13 +127,17 @@ bool parse_flags(int argc, char** argv, Flags& f) {
     };
     if (intval("--metrics_port=", f.metrics_port) || intval("--clients=", f.clients) ||
         intval("--frames=", f.frames) || intval("--period_ms=", f.frame_period_ms) ||
-        intval("--fec_group=", f.fec_group)) {
+        intval("--fec_group=", f.fec_group) || intval("--profile_hz=", f.profile_hz)) {
       continue;
     }
     if (arg == "--rtx") {
       f.rtx = true;
     } else if (arg == "--adaptive") {
       f.adaptive = true;
+    } else if (arg == "--profile") {
+      f.profile = true;
+    } else if (arg.rfind("--profile_out=", 0) == 0) {
+      f.profile_out = arg.c_str() + std::strlen("--profile_out=");
     } else if (arg.rfind("--loss=", 0) == 0) {
       f.loss = std::atof(arg.c_str() + std::strlen("--loss="));
     } else {
@@ -176,6 +190,8 @@ int main(int argc, char** argv) {
   if (flags.metrics_port >= 0) {
     registry.set_enabled(true);
     net::serve_metrics(metrics_server, registry);
+    net::serve_pprof(metrics_server);
+    telemetry::Profiler::instance().publish_to_registry();
     if (auto st = metrics_server.start(static_cast<std::uint16_t>(flags.metrics_port));
         !st.is_ok()) {
       std::fprintf(stderr, "metrics server failed: %s\n", st.message().c_str());
@@ -406,6 +422,13 @@ int main(int argc, char** argv) {
     for (auto& ch : channels) ch.tick();
   }, std::chrono::milliseconds(5));
 
+  if (flags.profile) {
+    if (auto st = telemetry::Profiler::instance().start(flags.profile_hz); !st.is_ok()) {
+      std::fprintf(stderr, "profiler failed to start: %s\n", st.message().c_str());
+      return 1;
+    }
+  }
+
   const int want_results = flags.frames * flags.clients;
   const auto deadline =
       Clock::now() + std::chrono::milliseconds(flags.frames * flags.frame_period_ms + 15000);
@@ -414,6 +437,22 @@ int main(int argc, char** argv) {
     for (const auto& st : clients) results += st.results;
     return results < want_results && Clock::now() < deadline;
   });
+
+  if (flags.profile) {
+    const telemetry::ProfileReport prof_report = telemetry::Profiler::instance().stop();
+    const telemetry::AllocReport allocs = telemetry::Profiler::instance().alloc_report();
+    if (expt::write_profile_artifacts(prof_report, allocs, flags.profile_out,
+                                      "live_udp_pipeline")) {
+      std::printf("profiler: %llu samples (%.0f%% attributed); wrote %s.folded, "
+                  "%s.speedscope.json\n",
+                  static_cast<unsigned long long>(prof_report.samples),
+                  100.0 * prof_report.attributed_fraction(), flags.profile_out.c_str(),
+                  flags.profile_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write profile artifacts at %s.*\n",
+                   flags.profile_out.c_str());
+    }
+  }
 
   proc_sampler.stop();
   metrics_server.stop();
@@ -443,12 +482,17 @@ int main(int argc, char** argv) {
   std::printf("delivered %d/%d frames, %d with detections, mean E2E %.0f ms\n", results,
               sent, recognized, results ? total_e2e / results : 0.0);
   if (flags.loss > 0.0 || flags.rtx || flags.fec_group > 0) {
+    double max_loss_ratio = 0.0;
+    for (const auto& ch : channels) {
+      max_loss_ratio = std::max(max_loss_ratio, ch.receiver_loss_ratio());
+    }
     std::printf("transport: %llu datagrams harness-dropped, %llu fragments retransmitted, "
-                "%llu FEC repairs, %llu frames unrecoverable\n",
+                "%llu FEC repairs, %llu frames unrecoverable, "
+                "max receiver-observed loss %.1f%%\n",
                 static_cast<unsigned long long>(harness_dropped),
                 static_cast<unsigned long long>(rtx),
                 static_cast<unsigned long long>(repairs),
-                static_cast<unsigned long long>(unrecoverable));
+                static_cast<unsigned long long>(unrecoverable), max_loss_ratio * 100.0);
   }
   if (flags.adaptive) {
     std::printf("adaptive: lowest quality level reached %d\n", min_level);

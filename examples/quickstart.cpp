@@ -18,8 +18,17 @@
 //   --out_dir=DIR      directory for output artifacts (default: out)
 //   --metrics_port=N   serve live /metrics, /healthz, /statusz on port N
 //                      (0 = pick an ephemeral port; printed at startup)
+//                      (also mounts GET /debug/pprof/{profile,heap,cmdline})
 //   --serve_ms=N       keep the metrics server up N ms after the run so
-//                      a scraper can read the final state
+//                      a scraper can read the final state; a background
+//                      demo-load thread keeps the vision pipeline busy so
+//                      /debug/pprof/profile?seconds=1 captures real stages
+//   --profile          sample the engine run with the in-process CPU
+//                      profiler and write collapsed-stack + speedscope
+//                      artifacts (plus .heap.folded alloc attribution)
+//   --profile_hz=N     sampling rate for --profile (default 99)
+//   --profile_out=P    artifact prefix (default <out_dir>/quickstart_profile)
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -29,8 +38,10 @@
 #include <thread>
 
 #include "expt/experiment.h"
+#include "expt/report.h"
 #include "net/http.h"
 #include "telemetry/procstat.h"
+#include "telemetry/profiler.h"
 #include "telemetry/registry.h"
 #include "telemetry/trace.h"
 #include "video/scene.h"
@@ -93,6 +104,9 @@ int main(int argc, char** argv) {
   std::string out_dir = "out";
   int metrics_port = -1;  // -1 = metrics plane off
   long serve_ms = 0;
+  bool profile = false;
+  int profile_hz = 99;
+  std::string profile_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value_of = [&](const char* flag) -> const char* {
@@ -110,6 +124,12 @@ int main(int argc, char** argv) {
       metrics_port = std::atoi(v);
     } else if (const char* v = value_of("--serve_ms")) {
       serve_ms = std::atol(v);
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (const char* v = value_of("--profile_hz")) {
+      profile_hz = std::atoi(v);
+    } else if (const char* v = value_of("--profile_out")) {
+      profile_out = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s (see examples/quickstart.cpp)\n", arg.c_str());
       return 2;
@@ -126,6 +146,8 @@ int main(int argc, char** argv) {
   if (metrics_port >= 0) {
     registry.set_enabled(true);
     net::serve_metrics(metrics_server, registry);
+    net::serve_pprof(metrics_server);
+    telemetry::Profiler::instance().publish_to_registry();
     if (auto st = metrics_server.start(static_cast<std::uint16_t>(metrics_port));
         !st.is_ok()) {
       std::fprintf(stderr, "metrics server failed: %s\n", st.message().c_str());
@@ -164,6 +186,17 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("trained on %zu reference objects\n\n", engine.num_references());
+
+  // Arm the sampling profiler over the engine run. start() also turns
+  // on stage/alloc attribution, so the .heap.folded artifact shows the
+  // per-stage allocation story (the pyramid dwarfs everything else).
+  if (profile) {
+    if (auto st = telemetry::Profiler::instance().start(profile_hz); !st.is_ok()) {
+      std::fprintf(stderr, "profiler failed to start: %s\n", st.message().c_str());
+      return 1;
+    }
+    std::printf("profiling at %d Hz\n\n", profile_hz);
+  }
 
   // 2) Replay the camera and run the pipeline per frame.
   video::VideoSource source(scene, /*fps=*/30.0);
@@ -211,6 +244,29 @@ int main(int argc, char** argv) {
   std::printf("  matching (pose+track):  %6.1f ms\n", total.match_ms / frames);
   std::printf("frames with detections: %d/%d\n", frames_with_detections, frames);
 
+  // Profiler report: collapsed stacks + speedscope + alloc attribution.
+  if (profile) {
+    const telemetry::ProfileReport prof_report = telemetry::Profiler::instance().stop();
+    const telemetry::AllocReport allocs = telemetry::Profiler::instance().alloc_report();
+    std::error_code prof_ec;
+    std::filesystem::create_directories(out_dir, prof_ec);
+    const std::string prefix =
+        profile_out.empty() ? out_dir + "/quickstart_profile" : profile_out;
+    if (!expt::write_profile_artifacts(prof_report, allocs, prefix, "quickstart")) {
+      std::fprintf(stderr, "failed to write profile artifacts at %s.*\n", prefix.c_str());
+      return 1;
+    }
+    std::printf("\nprofiler: %llu samples (%.0f%% attributed to stages, %llu dropped), "
+                "%.1f MB attributed allocations\n",
+                static_cast<unsigned long long>(prof_report.samples),
+                100.0 * prof_report.attributed_fraction(),
+                static_cast<unsigned long long>(prof_report.dropped),
+                static_cast<double>(allocs.total_bytes()) / (1024.0 * 1024.0));
+    std::printf("wrote %s.folded and %s.speedscope.json — open the latter at "
+                "https://speedscope.app\n",
+                prefix.c_str(), prefix.c_str());
+  }
+
   // 3) Dump one frame for inspection (outputs stay out of the repo root).
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);
@@ -253,11 +309,25 @@ int main(int argc, char** argv) {
   }
 
   // 5) Hold the metrics plane so a scraper can read the final state.
+  // A background demo-load thread keeps the vision pipeline busy so a
+  // live /debug/pprof/profile?seconds=N capture sees real stage frames
+  // (the endpoint arms timers for all threads alive at capture start).
   if (metrics_server.running() && serve_ms > 0) {
+    std::atomic<bool> demo_stop{false};
+    std::thread demo_load([&] {
+      std::uint64_t i = 0;
+      while (!demo_stop.load(std::memory_order_relaxed)) {
+        (void)engine.process(source.frame(i % 30));
+        ++i;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
     std::printf("\nserving metrics for %ld ms more on port %u...\n", serve_ms,
                 metrics_server.port());
     std::fflush(stdout);  // scripts wait on this line before scraping
     std::this_thread::sleep_for(std::chrono::milliseconds(serve_ms));
+    demo_stop.store(true, std::memory_order_relaxed);
+    demo_load.join();
   }
   proc_sampler.stop();
   metrics_server.stop();

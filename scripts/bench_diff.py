@@ -73,6 +73,16 @@ HEADLINES = {
         (r"gates_failed$", "zero"),
         (r"lookahead_violations$", "zero"),
     ],
+    # Profiling plane. attributed_fraction is sandbagged in the
+    # baseline (the bench's own hard gate is 0.70; measured runs sit
+    # near 1.0) so the 15% tolerance floor stays below the gate.
+    # overhead_pct and samples are wall-clock/scheduler-dependent and
+    # deliberately not gated here — the bench gates overhead itself.
+    "profile": [
+        (r"attributed_fraction$", "higher"),
+        (r"sift_alloc_dominance$", "higher"),
+        (r"gates_failed$", "zero"),
+    ],
 }
 
 

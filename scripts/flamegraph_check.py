@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Validate a collapsed-stack ("folded") profile file.
+
+The in-process profiler (src/telemetry/profiler.h) and the
+/debug/pprof/profile endpoint emit the flamegraph.pl input format: one
+stack per line, semicolon-separated frames root-first, a space, and a
+positive sample count:
+
+    sift;sift_pyramid;mar::vision::SiftDetector::detect 17
+
+This checker is what verify.sh runs against a live
+/debug/pprof/profile?seconds=1 scrape: it fails on structurally broken
+lines (no count, non-numeric count, empty frames) and can require a
+substring so the gate proves the profile saw *the pipeline* and not
+just, say, the HTTP accept loop.
+
+Usage:
+    scripts/flamegraph_check.py PATH [--min-lines N] [--min-samples N]
+                                [--require SUBSTR ...]
+
+PATH may be "-" for stdin. Exit status: 0 valid, 1 invalid, 2 usage.
+"""
+import argparse
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", help="folded profile file, or - for stdin")
+    parser.add_argument("--min-lines", type=int, default=1,
+                        help="minimum distinct stacks (default 1)")
+    parser.add_argument("--min-samples", type=int, default=1,
+                        help="minimum total sample count (default 1)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="SUBSTR",
+                        help="substring that must appear in some stack "
+                             "(repeatable; each must match)")
+    args = parser.parse_args()
+
+    try:
+        stream = sys.stdin if args.path == "-" else open(args.path)
+    except OSError as err:
+        print(f"flamegraph_check: cannot open {args.path}: {err}", file=sys.stderr)
+        return 2
+
+    lines = 0
+    samples = 0
+    unmatched = {substr: True for substr in args.require}
+    with stream:
+        for lineno, raw in enumerate(stream, 1):
+            line = raw.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue  # comments/blank are fine (provenance headers)
+            stack, sep, count_text = line.rpartition(" ")
+            if not sep or not stack:
+                print(f"flamegraph_check: line {lineno}: no 'stack count' "
+                      f"split: {line!r}", file=sys.stderr)
+                return 1
+            try:
+                count = int(count_text)
+            except ValueError:
+                print(f"flamegraph_check: line {lineno}: sample count "
+                      f"{count_text!r} is not an integer", file=sys.stderr)
+                return 1
+            if count <= 0:
+                print(f"flamegraph_check: line {lineno}: non-positive count "
+                      f"{count}", file=sys.stderr)
+                return 1
+            if any(frame == "" for frame in stack.split(";")):
+                print(f"flamegraph_check: line {lineno}: empty frame in "
+                      f"{stack!r}", file=sys.stderr)
+                return 1
+            lines += 1
+            samples += count
+            for substr in args.require:
+                if substr in stack:
+                    unmatched[substr] = False
+
+    if lines < args.min_lines:
+        print(f"flamegraph_check: {lines} stack(s), need >= {args.min_lines}",
+              file=sys.stderr)
+        return 1
+    if samples < args.min_samples:
+        print(f"flamegraph_check: {samples} sample(s), need >= "
+              f"{args.min_samples}", file=sys.stderr)
+        return 1
+    missing = [s for s, miss in unmatched.items() if miss]
+    if missing:
+        print(f"flamegraph_check: no stack contains: {missing}",
+              file=sys.stderr)
+        return 1
+    print(f"flamegraph_check: OK ({lines} stacks, {samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

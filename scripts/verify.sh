@@ -72,6 +72,16 @@ grep -q '"gates_failed": 0' "$LOSSY_JSON" || {
   echo "verify: FAIL — lossy-link gates violated (see $LOSSY_JSON)" >&2; exit 1; }
 echo "verify: lossy link OK"
 
+# Profiling-plane gate: the sampling profiler must attribute >= 70% of
+# CPU samples to named pipeline stages on the real vision engine, the
+# sift allocation story must dwarf the stateless stages, and the
+# mar_profile_* counters must show on a live scrape.
+(cd "$BUILD_DIR/bench" && ./profile_attribution)
+PROFILE_JSON="$BUILD_DIR/bench/BENCH_profile.json"
+grep -q '"gates_failed": 0' "$PROFILE_JSON" || {
+  echo "verify: FAIL — profile-attribution gates violated (see $PROFILE_JSON)" >&2; exit 1; }
+echo "verify: profile attribution OK"
+
 # Docs lint: path references in the curated docs must resolve against
 # the working tree (stale pointers after refactors fail verify).
 if command -v python3 >/dev/null 2>&1; then
@@ -205,6 +215,30 @@ else
   echo "verify: /metrics OK (grep checks)"
 fi
 
+# Live pprof plane, scraped from the same serving quickstart: a 1 s
+# CPU capture must come back as valid folded stacks that include the
+# vision pipeline (a demo-load thread keeps the engine busy during the
+# serve window), the heap endpoint must attribute the sift pyramid,
+# and cmdline must name the binary. Runs after the /metrics checks —
+# the capture blocks the single accept thread for its full duration.
+PPROF="$OUT_DIR/pprof_profile.folded"
+fetch "/debug/pprof/profile?seconds=1" >"$PPROF" || {
+  echo "verify: FAIL — /debug/pprof/profile unreachable" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/flamegraph_check.py "$PPROF" --min-samples 5 --require vision || {
+    echo "verify: FAIL — /debug/pprof/profile capture invalid (see $PPROF)" >&2; exit 1; }
+else
+  [ -s "$PPROF" ] || { echo "verify: FAIL — pprof capture empty" >&2; exit 1; }
+fi
+HEAP="$OUT_DIR/pprof_heap.folded"
+fetch "/debug/pprof/heap" >"$HEAP" || {
+  echo "verify: FAIL — /debug/pprof/heap unreachable" >&2; exit 1; }
+grep -q "sift_pyramid" "$HEAP" || {
+  echo "verify: FAIL — heap profile missing sift_pyramid attribution" >&2; exit 1; }
+fetch "/debug/pprof/cmdline" | grep -q "quickstart" || {
+  echo "verify: FAIL — /debug/pprof/cmdline does not name the binary" >&2; exit 1; }
+echo "verify: pprof plane OK"
+
 kill "$QS_PID" 2>/dev/null || true
 wait "$QS_PID" 2>/dev/null || true
 trap - EXIT
@@ -222,15 +256,17 @@ cmake --build "$UBSAN_DIR" -j"$(nproc 2>/dev/null || echo 2)" \
 echo "verify: ubsan OK"
 
 # TSan pass: the partitioned DES runs windows concurrently on the
-# thread pool, so its determinism suites must hold under thread
-# instrumentation. Build just those two tsan-labeled binaries with
-# -DMAR_SANITIZE=thread and run them directly (the full tsan label set
-# is `ctest -L tsan` in a complete sanitizer build).
+# thread pool, and the profiler's signal handler + start/stop quiesce
+# protocol race against attribution from worker threads. Build just
+# those tsan-labeled binaries with -DMAR_SANITIZE=thread and run them
+# directly (the full tsan label set is `ctest -L tsan` in a complete
+# sanitizer build).
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DMAR_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j"$(nproc 2>/dev/null || echo 2)" \
-  --target sim_partition_test capacity_test
-(cd "$TSAN_DIR/tests" && ./sim_partition_test && ./capacity_test) || {
+  --target sim_partition_test capacity_test telemetry_profiler_test
+(cd "$TSAN_DIR/tests" && ./sim_partition_test && ./capacity_test \
+   && ./telemetry_profiler_test) || {
   echo "verify: FAIL — partitioned-engine tests under MAR_SANITIZE=thread" >&2; exit 1; }
 echo "verify: tsan OK"
 

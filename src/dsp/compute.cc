@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "telemetry/profiler.h"
+
 namespace mar::dsp {
 
 ComputeContext::ComputeContext(Runtime& rt, hw::Machine& machine, bool uses_gpu, Rng rng)
@@ -59,6 +61,11 @@ void ComputeContext::run(SimDuration cpu_mean, SimDuration gpu_mean, double nois
 
 void ComputeContext::run_stage(const hw::CostModel& costs, Stage stage,
                                std::function<void()> done) {
+  // Stage names from to_string() are string literals, so they are safe
+  // to hand to the profiler. In a DES run this annotates the event-loop
+  // CPU spent scheduling each stage (the modeled service time itself
+  // burns no real CPU).
+  telemetry::ProfScope prof(to_string(stage));
   const hw::StageCost& c = costs.stage(stage);
   run(c.cpu_time, c.gpu_time, c.noise_cv, std::move(done));
 }

@@ -1,6 +1,7 @@
 #include "dsp/state_store.h"
 
 #include "dsp/service_host.h"
+#include "telemetry/profiler.h"
 
 namespace mar::dsp {
 
@@ -24,6 +25,10 @@ void StateStore::put(ClientId client, FrameId frame) {
     return;
   }
   host_.alloc_app_memory(entry_bytes_);
+  // Mirror the modeled per-frame state bytes into the allocation
+  // profiler so simulated stateful services show up in /debug/pprof/heap
+  // next to the real vision allocations.
+  telemetry::profile_alloc_as("dsp_state", entry_bytes_);
   if (!sweep_scheduled_) {
     sweep_scheduled_ = true;
     host_.runtime().schedule_after(kSweepInterval, [this, alive = alive_] {

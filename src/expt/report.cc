@@ -199,4 +199,25 @@ bool write_report(const ExperimentResult& result, const std::string& path) {
   return ok;
 }
 
+namespace {
+bool write_text(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+}  // namespace
+
+bool write_profile_artifacts(const telemetry::ProfileReport& profile,
+                             const telemetry::AllocReport& allocs,
+                             const std::string& prefix, const std::string& name) {
+  bool ok = write_text(prefix + ".folded", profile.folded_text());
+  ok = write_text(prefix + ".speedscope.json", profile.speedscope_json(name)) && ok;
+  if (!allocs.stages.empty()) {
+    ok = write_text(prefix + ".heap.folded", allocs.folded_text()) && ok;
+  }
+  return ok;
+}
+
 }  // namespace mar::expt

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "expt/experiment.h"
+#include "telemetry/profiler.h"
 
 namespace mar::expt {
 
@@ -21,5 +22,15 @@ namespace mar::expt {
 
 // Write a format based on the path suffix (.csv / .json / .prom).
 bool write_report(const ExperimentResult& result, const std::string& path);
+
+// Profiling artifacts for a finished run, written next to the report:
+//   <prefix>.folded          — collapsed stacks, flamegraph.pl-ready
+//   <prefix>.speedscope.json — https://speedscope.app "sampled" profile
+//   <prefix>.heap.folded     — allocation attribution (stage bytes/calls)
+// The heap file is only written when the allocation report is
+// non-empty. `name` labels the speedscope profile tab.
+bool write_profile_artifacts(const telemetry::ProfileReport& profile,
+                             const telemetry::AllocReport& allocs,
+                             const std::string& prefix, const std::string& name);
 
 }  // namespace mar::expt

@@ -95,6 +95,7 @@ Reassembler::Partial* Reassembler::find_or_create(std::uint32_t id, std::uint16_
       for (auto cand = partial_.begin(); cand != partial_.end(); ++cand) {
         if (cand->second.last_activity < stalest->second.last_activity) stalest = cand;
       }
+      fragments_expected_done_ += stalest->second.fragments.size();
       partial_.erase(stalest);
       ++evicted_;
     }
@@ -150,6 +151,7 @@ Reassembler::AddResult Reassembler::complete(std::uint32_t id, Partial& p) {
   for (const auto& frag : p.fragments) {
     message.insert(message.end(), frag.begin(), frag.end());
   }
+  fragments_expected_done_ += p.fragments.size();
   partial_.erase(id);
   remember_done(id);
   r.message = std::move(message);
@@ -246,6 +248,7 @@ void Reassembler::garbage_collect() {
   const auto now = std::chrono::steady_clock::now();
   for (auto it = partial_.begin(); it != partial_.end();) {
     if (now - it->second.last_activity > timeout_) {
+      fragments_expected_done_ += it->second.fragments.size();
       it = partial_.erase(it);
       ++expired_;
     } else {
@@ -256,7 +259,11 @@ void Reassembler::garbage_collect() {
 
 bool Reassembler::abandon(std::uint32_t id) {
   remember_done(id);  // late fragments must not restart the NACK cycle
-  return partial_.erase(id) > 0;
+  const auto it = partial_.find(id);
+  if (it == partial_.end()) return false;
+  fragments_expected_done_ += it->second.fragments.size();
+  partial_.erase(it);
+  return true;
 }
 
 std::vector<Reassembler::PendingMessage> Reassembler::pending_messages() const {

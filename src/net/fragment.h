@@ -106,6 +106,13 @@ class Reassembler {
   [[nodiscard]] std::uint64_t evicted() const { return evicted_; }
   // Single-loss groups rebuilt from parity, no round trip needed.
   [[nodiscard]] std::uint64_t fec_repairs() const { return fec_repairs_; }
+  // Cumulative expected data fragments of settled messages (completed,
+  // abandoned, expired, or evicted): the denominator for a
+  // receiver-observed loss-rate estimate (see FrameChannel's
+  // mar_net_receiver_loss_ratio gauge).
+  [[nodiscard]] std::uint64_t fragments_expected_done() const {
+    return fragments_expected_done_;
+  }
 
  private:
   struct Partial {
@@ -140,6 +147,7 @@ class Reassembler {
   std::uint64_t expired_ = 0;
   std::uint64_t evicted_ = 0;
   std::uint64_t fec_repairs_ = 0;
+  std::uint64_t fragments_expected_done_ = 0;
 };
 
 }  // namespace mar::net

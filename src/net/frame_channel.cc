@@ -134,6 +134,12 @@ void FrameChannel::housekeeping() {
     for (const auto& decision : due.nacks) {
       const auto origin = origin_.find(decision.id);
       if (origin == origin_.end()) continue;
+      // First NACK for this message: everything still missing now was
+      // (almost certainly) lost on the wire. Later rounds re-request a
+      // subset of the same fragments, so only the first one counts.
+      if (loss_counted_.insert(decision.id).second) {
+        fragments_lost_observed_ += decision.missing.size();
+      }
       const auto nack =
           encode_nack(NackInfo{decision.id, decision.count, decision.missing});
       (void)socket_.send_to(nack, origin->second);  // control: never harness-dropped
@@ -158,14 +164,40 @@ void FrameChannel::housekeeping() {
     recovery_counters().unrecoverable.inc(delta);
     counted_expired_ = gone;
   }
-  // Keep the NACK-target map in lockstep with the reassembly window.
-  if (!origin_.empty()) {
+  // Keep the NACK-target map (and loss bookkeeping) in lockstep with
+  // the reassembly window; settled ids never NACK again (done_ memory).
+  if (!origin_.empty() || !loss_counted_.empty()) {
     std::unordered_set<std::uint32_t> live;
     for (const auto& m : reassembler_.pending_messages()) live.insert(m.id);
     for (auto it = origin_.begin(); it != origin_.end();) {
       it = live.count(it->first) == 0 ? origin_.erase(it) : std::next(it);
     }
+    for (auto it = loss_counted_.begin(); it != loss_counted_.end();) {
+      it = live.count(*it) == 0 ? loss_counted_.erase(it) : std::next(it);
+    }
   }
+  publish_receiver_loss();
+}
+
+double FrameChannel::receiver_loss_ratio() const {
+  const std::uint64_t denom = reassembler_.fragments_expected_done();
+  if (denom == 0) return 0.0;
+  const std::uint64_t lost = reassembler_.fec_repairs() + fragments_lost_observed_;
+  return static_cast<double>(lost) / static_cast<double>(denom);
+}
+
+void FrameChannel::publish_receiver_loss() {
+  if (reassembler_.fragments_expected_done() == 0) return;  // nothing settled yet
+  if (loss_gauge_ == nullptr) {
+    const auto addr = socket_.local_addr();
+    if (!addr.is_ok()) return;
+    loss_gauge_ = &telemetry::MetricRegistry::instance().gauge(
+        "mar_net_receiver_loss_ratio",
+        "Receiver-observed fragment loss estimate: (FEC repairs + fragments "
+        "missing at first NACK) / expected fragments of settled messages",
+        {{"channel", std::to_string(addr.value().port)}});
+  }
+  loss_gauge_->set(receiver_loss_ratio());
 }
 
 std::optional<FrameChannel::Received> FrameChannel::poll(int timeout_ms) {

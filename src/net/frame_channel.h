@@ -36,6 +36,10 @@
 #include "net/udp.h"
 #include "wire/message.h"
 
+namespace mar::telemetry {
+class Gauge;
+}
+
 namespace mar::net {
 
 struct ChannelOptions {
@@ -114,6 +118,14 @@ class FrameChannel {
   [[nodiscard]] std::uint64_t frames_unrecoverable() const { return frames_unrecoverable_; }
   // Datagrams the loss harness swallowed.
   [[nodiscard]] std::uint64_t harness_dropped() const { return harness_dropped_; }
+  // Receiver-observed fragment-loss estimate, also exported as the
+  // mar_net_receiver_loss_ratio{channel=<local port>} gauge: fragments
+  // this side had to recover (FEC repairs + fragments reported missing
+  // when a message first went to NACK) over the expected fragments of
+  // all settled incoming messages. An estimate — a late reordered
+  // fragment counts as "lost" once its message NACKed — but it tracks
+  // the wire loss rate closely enough to validate a lossy-link setup.
+  [[nodiscard]] double receiver_loss_ratio() const;
 
  private:
   // Transmit one data/parity datagram through the loss harness.
@@ -121,6 +133,7 @@ class FrameChannel {
                     Status* first_error);
   void handle_control(const UdpSocket::Datagram& datagram);
   void housekeeping();
+  void publish_receiver_loss();
   // Message ids are only unique per sender, but one receiving socket
   // reassembles traffic from MANY senders (N clients -> one stage).
   // Give each channel in the process a disjoint 2^20-id block so ids
@@ -145,6 +158,11 @@ class FrameChannel {
   std::uint64_t frames_unrecoverable_ = 0;
   std::uint64_t harness_dropped_ = 0;
   std::uint64_t counted_expired_ = 0;  // expiry deltas already counted
+  // Receiver loss accounting: message ids whose missing fragments were
+  // already added to fragments_lost_observed_ (first NACK only).
+  std::unordered_set<std::uint32_t> loss_counted_;
+  std::uint64_t fragments_lost_observed_ = 0;
+  telemetry::Gauge* loss_gauge_ = nullptr;  // created once the port is known
 };
 
 }  // namespace mar::net

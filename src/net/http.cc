@@ -1,8 +1,13 @@
 #include "net/http.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
+#include <thread>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -11,6 +16,8 @@
 #include <unistd.h>
 
 #include "common/log.h"
+#include "telemetry/build_info.h"
+#include "telemetry/profiler.h"
 
 namespace mar::net {
 namespace {
@@ -61,8 +68,9 @@ ReadHeadResult read_request_head(int fd, std::string* head) {
   }
 }
 
-// "GET /metrics HTTP/1.1" -> method, path (query string stripped).
-bool parse_request_line(const std::string& head, std::string* method, std::string* path) {
+// "GET /metrics?x=1 HTTP/1.1" -> method, path, query ("" if none).
+bool parse_request_line(const std::string& head, std::string* method, std::string* path,
+                        std::string* query) {
   const std::size_t eol = head.find_first_of("\r\n");
   const std::string line = head.substr(0, eol);
   const std::size_t sp1 = line.find(' ');
@@ -71,8 +79,12 @@ bool parse_request_line(const std::string& head, std::string* method, std::strin
   if (sp2 == std::string::npos) return false;
   *method = line.substr(0, sp1);
   *path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  const std::size_t query = path->find('?');
-  if (query != std::string::npos) path->resize(query);
+  query->clear();
+  const std::size_t qmark = path->find('?');
+  if (qmark != std::string::npos) {
+    *query = path->substr(qmark + 1);
+    path->resize(qmark);
+  }
   return !method->empty() && !path->empty() && path->front() == '/' &&
          line.compare(sp2 + 1, 5, "HTTP/") == 0;
 }
@@ -82,6 +94,11 @@ bool parse_request_line(const std::string& head, std::string* method, std::strin
 HttpServer::~HttpServer() { stop(); }
 
 void HttpServer::handle(std::string path, std::string content_type, Handler fn) {
+  handle_query(std::move(path), std::move(content_type),
+               [fn = std::move(fn)](const std::string&) { return fn(); });
+}
+
+void HttpServer::handle_query(std::string path, std::string content_type, HandlerEx fn) {
   routes_.push_back(Route{std::move(path), std::move(content_type), std::move(fn)});
 }
 
@@ -153,8 +170,8 @@ void HttpServer::handle_connection(int fd) {
       return;
   }
 
-  std::string method, path;
-  if (!parse_request_line(head, &method, &path)) {
+  std::string method, path, query;
+  if (!parse_request_line(head, &method, &path, &query)) {
     send_all(fd, make_response(400, "Bad Request", "text/plain", "bad request\n"));
     return;
   }
@@ -165,7 +182,7 @@ void HttpServer::handle_connection(int fd) {
   }
   for (const Route& route : routes_) {
     if (route.path == path) {
-      send_all(fd, make_response(200, "OK", route.content_type, route.fn()));
+      send_all(fd, make_response(200, "OK", route.content_type, route.fn(query)));
       return;
     }
   }
@@ -174,18 +191,102 @@ void HttpServer::handle_connection(int fd) {
 
 void serve_metrics(HttpServer& server, telemetry::MetricRegistry& registry,
                    std::function<std::string()> statusz_extra) {
+  telemetry::register_build_info_metric();
   server.handle("/metrics", "text/plain; version=0.0.4; charset=utf-8",
                 [&registry] { return registry.prometheus_text(); });
   server.handle("/healthz", "text/plain", [] { return std::string("ok\n"); });
   server.handle("/statusz", "text/plain",
                 [&registry, extra = std::move(statusz_extra)] {
-                  std::string body = registry.statusz_text();
+                  std::string body = telemetry::build_info_line() + '\n';
+                  body += registry.statusz_text();
                   if (extra) {
                     body += '\n';
                     body += extra();
                   }
                   return body;
                 });
+}
+
+std::string query_param(const std::string& query, const std::string& key) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      return query.substr(eq + 1, amp - eq - 1);
+    }
+    pos = amp + 1;
+  }
+  return "";
+}
+
+namespace {
+
+long query_long(const std::string& query, const std::string& key, long fallback) {
+  const std::string v = query_param(query, key);
+  if (v.empty()) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v.c_str(), &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+}  // namespace
+
+void serve_pprof(HttpServer& server) {
+  telemetry::Profiler::instance().publish_to_registry();
+  server.handle("/debug/pprof", "text/plain", [] {
+    return std::string(
+        "mar profiling endpoints:\n"
+        "  /debug/pprof/profile?seconds=5&hz=99[&format=speedscope]  CPU capture\n"
+        "  /debug/pprof/heap                                         alloc attribution\n"
+        "  /debug/pprof/cmdline                                      process argv\n");
+  });
+  server.handle_query(
+      "/debug/pprof/profile", "text/plain", [](const std::string& query) -> std::string {
+        auto& profiler = telemetry::Profiler::instance();
+        const long seconds = std::clamp(query_long(query, "seconds", 5), 1L, 60L);
+        const int hz = static_cast<int>(std::clamp(query_long(query, "hz", 99), 1L, 1000L));
+        const bool speedscope = query_param(query, "format") == "speedscope";
+        telemetry::ProfileReport report;
+        if (profiler.running()) {
+          // A capture is already in flight (e.g. --profile): report its
+          // progress instead of fighting over the SIGPROF timers.
+          report = profiler.snapshot();
+        } else {
+          const Status st = profiler.start(hz);
+          if (!st.is_ok()) return "profile unavailable: " + st.to_string() + '\n';
+          std::this_thread::sleep_for(std::chrono::seconds(seconds));
+          report = profiler.stop();
+        }
+        if (speedscope) return report.speedscope_json("live-profile");
+        std::string out = report.folded_text();
+        if (out.empty()) out = "(no samples: process idle during capture window)\n";
+        return out;
+      });
+  server.handle("/debug/pprof/heap", "text/plain", [] {
+    const telemetry::AllocReport report = telemetry::Profiler::instance().alloc_report();
+    std::string out = report.folded_text();
+    if (out.empty()) {
+      out = "(no allocation samples: enable with --profile or Profiler::set_attribution)\n";
+    }
+    return out;
+  });
+  server.handle("/debug/pprof/cmdline", "text/plain", [] {
+    std::string out;
+    if (std::FILE* f = std::fopen("/proc/self/cmdline", "r")) {
+      char buf[4096];
+      const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+      std::fclose(f);
+      out.assign(buf, n);
+      for (char& c : out) {
+        if (c == '\0') c = ' ';
+      }
+    }
+    out += '\n';
+    return out;
+  });
 }
 
 }  // namespace mar::net

@@ -28,6 +28,9 @@ namespace mar::net {
 class HttpServer {
  public:
   using Handler = std::function<std::string()>;
+  // Query-aware variant: receives the raw query string (the part after
+  // '?', possibly empty). Parse it with net::query_param().
+  using HandlerEx = std::function<std::string(const std::string& query)>;
 
   HttpServer() = default;
   ~HttpServer();
@@ -38,6 +41,10 @@ class HttpServer {
   // Register a GET handler producing the response body. Call before
   // start(); `content_type` goes out verbatim in the response header.
   void handle(std::string path, std::string content_type, Handler fn);
+  // Same, for handlers that read the query string (/debug/pprof/profile
+  // uses seconds=/hz=). The handler runs on the single accept thread, so
+  // a long-running handler blocks other scrapes for its duration.
+  void handle_query(std::string path, std::string content_type, HandlerEx fn);
 
   // Bind (0 = ephemeral), listen, and launch the accept thread.
   Status start(std::uint16_t port);
@@ -52,7 +59,7 @@ class HttpServer {
   struct Route {
     std::string path;
     std::string content_type;
-    Handler fn;
+    HandlerEx fn;  // plain Handlers are wrapped, ignoring the query
   };
 
   void serve_loop();
@@ -72,5 +79,19 @@ class HttpServer {
 // per-service tables).
 void serve_metrics(HttpServer& server, telemetry::MetricRegistry& registry,
                    std::function<std::string()> statusz_extra = nullptr);
+
+// Register the live profiling endpoints against telemetry::Profiler:
+//   /debug/pprof          index
+//   /debug/pprof/profile  on-demand CPU capture; ?seconds=N (default 5,
+//                         clamped to [1,60]), ?hz=N (default 99),
+//                         ?format=folded|speedscope. Blocks the serve
+//                         thread for the capture window. If a capture
+//                         is already running, returns its snapshot.
+//   /debug/pprof/heap     allocation attribution, folded "stage bytes"
+//   /debug/pprof/cmdline  /proc/self/cmdline, NUL -> space
+void serve_pprof(HttpServer& server);
+
+// "seconds=3&hz=97" -> query_param(q, "hz") == "97"; "" when absent.
+[[nodiscard]] std::string query_param(const std::string& query, const std::string& key);
 
 }  // namespace mar::net

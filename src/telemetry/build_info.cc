@@ -1,0 +1,49 @@
+#include "telemetry/build_info.h"
+
+#include <mutex>
+
+#include "telemetry/registry.h"
+
+#ifndef MAR_GIT_SHA
+#define MAR_GIT_SHA "unknown"
+#endif
+#ifndef MAR_BUILD_TYPE
+#define MAR_BUILD_TYPE "unknown"
+#endif
+#ifndef MAR_SANITIZE_NAME
+#define MAR_SANITIZE_NAME "none"
+#endif
+
+namespace mar::telemetry {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{MAR_GIT_SHA, MAR_BUILD_TYPE, MAR_SANITIZE_NAME};
+  return info;
+}
+
+std::string build_info_line() {
+  const BuildInfo& b = build_info();
+  return "build: git_sha=" + b.git_sha + " build_type=" + b.build_type +
+         " sanitizer=" + b.sanitizer;
+}
+
+void register_build_info_metric() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const BuildInfo& b = build_info();
+    auto& registry = MetricRegistry::instance();
+    Gauge& g = registry.gauge(
+        "mar_build_info",
+        "Build identity (constant 1; git_sha/build_type/sanitizer in labels)",
+        {{"git_sha", b.git_sha}, {"build_type", b.build_type}, {"sanitizer", b.sanitizer}});
+    // Gauge::set() is gated on the process-wide metrics switch, so an
+    // early registration (before set_enabled(true)) would render 0 —
+    // and reset_values() in tests would zero it again. A collect hook
+    // re-asserts the constant before every scrape instead.
+    registry.add_collect_hook([&g] {
+      if (metrics_enabled()) g.set(1.0);
+    });
+  });
+}
+
+}  // namespace mar::telemetry

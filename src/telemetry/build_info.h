@@ -1,0 +1,28 @@
+// Build identity for the metrics plane: which exact binary produced a
+// scrape, a profile, or a BENCH_*.json. Rendered as the Prometheus
+// convention gauge mar_build_info{git_sha,build_type,sanitizer} 1 —
+// value constant, identity in the labels — and as a /statusz header
+// line. The label values are baked in at compile time by
+// src/telemetry/CMakeLists.txt (MAR_GIT_SHA et al.).
+#pragma once
+
+#include <string>
+
+namespace mar::telemetry {
+
+struct BuildInfo {
+  std::string git_sha;     // short HEAD sha, "unknown" outside a checkout
+  std::string build_type;  // CMAKE_BUILD_TYPE, e.g. "RelWithDebInfo"
+  std::string sanitizer;   // MAR_SANITIZE value or "none"
+};
+
+[[nodiscard]] const BuildInfo& build_info();
+
+// One-line human rendering for /statusz and bench JSON provenance.
+[[nodiscard]] std::string build_info_line();
+
+// Register the mar_build_info gauge with MetricRegistry::instance().
+// Idempotent; serve_metrics() calls it so every /metrics carries it.
+void register_build_info_metric();
+
+}  // namespace mar::telemetry

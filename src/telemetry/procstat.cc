@@ -14,9 +14,9 @@ namespace {
 // parsing starts after the last ')'. Field numbers below are 1-based
 // per proc(5): minflt=10, majflt=12, utime=14, stime=15, threads=20,
 // vsize=23, rss=24 (pages).
-bool read_proc_self_stat(ProcStatSample* out) {
+bool read_proc_self_stat(const std::string& stat_path, ProcStatSample* out) {
 #ifdef __linux__
-  std::FILE* f = std::fopen("/proc/self/stat", "r");
+  std::FILE* f = std::fopen(stat_path.c_str(), "r");
   if (f == nullptr) return false;
   char buf[1024];
   const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
@@ -53,6 +53,7 @@ bool read_proc_self_stat(ProcStatSample* out) {
   out->rss_bytes = static_cast<std::uint64_t>(rss_pages > 0 ? rss_pages : 0) * page;
   return true;
 #else
+  (void)stat_path;
   (void)out;
   return false;
 #endif
@@ -73,7 +74,7 @@ void read_rusage(ProcStatSample* out) {
 
 ProcStatSample ProcStatReader::sample() {
   ProcStatSample s;
-  if (!read_proc_self_stat(&s)) read_rusage(&s);
+  if (!read_proc_self_stat(stat_path_, &s)) read_rusage(&s);
   s.ok = s.cpu_seconds > 0.0 || s.rss_bytes > 0;
 
   const auto now = std::chrono::steady_clock::now();

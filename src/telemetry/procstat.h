@@ -28,11 +28,17 @@ struct ProcStatSample {
 
 // Stateful reader: cpu_percent is the delta against the previous call
 // (0 on the first). Safe to call from one thread at a time.
+// `stat_path` overrides /proc/self/stat — tests point it at a missing
+// or malformed file to exercise the getrusage() fallback.
 class ProcStatReader {
  public:
+  ProcStatReader() = default;
+  explicit ProcStatReader(std::string stat_path) : stat_path_(std::move(stat_path)) {}
+
   ProcStatSample sample();
 
  private:
+  std::string stat_path_ = "/proc/self/stat";
   double last_cpu_seconds_ = -1.0;
   std::chrono::steady_clock::time_point last_wall_{};
 };

@@ -1,0 +1,714 @@
+#include "telemetry/profiler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include <cxxabi.h>
+#include <dirent.h>
+#include <dlfcn.h>
+#include <pthread.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#include "common/parallel.h"
+#include "telemetry/registry.h"
+
+// Some libcs spell the SIGEV_THREAD_ID tid field differently; glibc
+// hides it inside _sigev_un unless this macro is provided.
+#ifndef sigev_notify_thread_id
+#define sigev_notify_thread_id _sigev_un._tid
+#endif
+
+namespace mar::telemetry {
+namespace profiler_internal {
+
+std::atomic<bool> g_prof_enabled{false};
+thread_local ThreadProf t_prof;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Sample ring: MPSC, written by SIGPROF handlers, drained by the
+// collector thread. Slots are claimed with a head fetch_add plus a
+// per-slot state CAS; a full ring drops the sample (counted). The slot
+// array is allocated on first start() and intentionally never freed so
+// a straggling signal can never touch freed memory.
+// ---------------------------------------------------------------------
+
+constexpr std::uint32_t kSlotFree = 0;
+constexpr std::uint32_t kSlotWriting = 1;
+constexpr std::uint32_t kSlotFull = 2;
+
+struct RawSample {
+  std::atomic<std::uint32_t> state{kSlotFree};
+  std::uint32_t tid = 0;
+  std::uint16_t n_pcs = 0;
+  std::uint16_t n_stages = 0;
+  void* pcs[kMaxStackPcs];
+  const char* stages[kMaxStageDepth];
+};
+
+constexpr std::size_t kRingSlots = 1u << 13;  // 8192 ≈ 80 s of 99 Hz
+
+RawSample* g_slots = nullptr;  // leaked by design (signal safety)
+std::atomic<std::uint64_t> g_head{0};
+std::atomic<std::uint64_t> g_dropped{0};
+
+// Handler gate + in-flight count. The handler increments g_in_handler
+// FIRST (before reading anything shared), so start()/stop() can quiesce
+// by waiting for it to reach zero after flipping g_sampling.
+std::atomic<bool> g_sampling{false};
+std::atomic<int> g_in_handler{0};
+
+void sigprof_handler(int /*signo*/, siginfo_t* /*info*/, void* ucontext) {
+  // Async-signal-safe subset only: atomics, signal fences, syscall(2),
+  // and reads of memory proven mapped. No malloc, no locks, no stdio.
+  g_in_handler.fetch_add(1, std::memory_order_acq_rel);
+  if (g_sampling.load(std::memory_order_acquire)) {
+    const int saved_errno = errno;
+    const std::uint64_t seq = g_head.fetch_add(1, std::memory_order_relaxed);
+    RawSample& slot = g_slots[seq & (kRingSlots - 1)];
+    std::uint32_t expect = kSlotFree;
+    if (!slot.state.compare_exchange_strong(expect, kSlotWriting, std::memory_order_acquire,
+                                            std::memory_order_relaxed)) {
+      g_dropped.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      slot.tid = static_cast<std::uint32_t>(::syscall(SYS_gettid));
+
+      // Stage annotation snapshot: same-thread, so depth/names are a
+      // consistent prefix (names are stored before the depth bump,
+      // fenced in scope_enter_slow()).
+      const ThreadProf& tp = t_prof;
+      int depth = tp.depth.load(std::memory_order_relaxed);
+      std::atomic_signal_fence(std::memory_order_acquire);
+      if (depth < 0) depth = 0;
+      if (depth > kMaxStageDepth) depth = kMaxStageDepth;
+      for (int i = 0; i < depth; ++i) slot.stages[i] = tp.stages[i];
+      slot.n_stages = static_cast<std::uint16_t>(depth);
+
+      // PC capture: interrupted pc always; then a frame-pointer walk,
+      // but only when this thread's stack bounds are known — every
+      // dereference is then inside [sp, stack_hi), which is mapped.
+      std::uint16_t n = 0;
+#if defined(__x86_64__)
+      const auto* uc = static_cast<const ucontext_t*>(ucontext);
+      auto* pc = reinterpret_cast<void*>(uc->uc_mcontext.gregs[REG_RIP]);
+      auto* fp = reinterpret_cast<char*>(uc->uc_mcontext.gregs[REG_RBP]);
+      auto* sp = reinterpret_cast<char*>(uc->uc_mcontext.gregs[REG_RSP]);
+#elif defined(__aarch64__)
+      const auto* uc = static_cast<const ucontext_t*>(ucontext);
+      auto* pc = reinterpret_cast<void*>(uc->uc_mcontext.pc);
+      auto* fp = reinterpret_cast<char*>(uc->uc_mcontext.regs[29]);
+      auto* sp = reinterpret_cast<char*>(uc->uc_mcontext.sp);
+#else
+      void* pc = nullptr;
+      char* fp = nullptr;
+      char* sp = nullptr;
+      (void)ucontext;
+#endif
+      if (pc != nullptr) slot.pcs[n++] = pc;
+      if (tp.bounds_ready.load(std::memory_order_acquire)) {
+        auto* hi = static_cast<char*>(tp.stack_hi);
+        char* lo = sp != nullptr ? sp : static_cast<char*>(tp.stack_lo);
+        while (n < kMaxStackPcs && fp != nullptr) {
+          // Two-pointer frame record: [fp] = caller fp, [fp+8] = return
+          // address. Validate alignment and range before every read.
+          if (reinterpret_cast<std::uintptr_t>(fp) % sizeof(void*) != 0) break;
+          if (fp < lo || fp + 2 * sizeof(void*) > hi) break;
+          void* const* frame = reinterpret_cast<void* const*>(fp);
+          void* ret = frame[1];
+          auto* next = static_cast<char*>(frame[0]);
+          if (ret == nullptr) break;
+          slot.pcs[n++] = ret;
+          if (next <= fp) break;  // must walk strictly toward the root
+          fp = next;
+        }
+      }
+      slot.n_pcs = n;
+      slot.state.store(kSlotFull, std::memory_order_release);
+    }
+    errno = saved_errno;
+  }
+  g_in_handler.fetch_sub(1, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------
+// Allocation attribution: a small lock-free open-addressed table keyed
+// by interned stage pointer, with per-lane sharded byte/call cells
+// (same lane_shard() discipline as MetricRegistry counters). Stages are
+// string literals, so the table never grows past a few dozen entries.
+// ---------------------------------------------------------------------
+
+constexpr std::size_t kAllocCells = 64;  // power of two
+const char* const kUnattributed = "(unattributed)";
+
+struct AllocCell {
+  std::atomic<const char*> stage{nullptr};
+  std::atomic<std::uint64_t> bytes[internal::kMetricShards];
+  std::atomic<std::uint64_t> calls[internal::kMetricShards];
+};
+
+AllocCell g_alloc_cells[kAllocCells];
+std::atomic<std::uint64_t> g_alloc_dropped{0};  // table-full overflow
+
+AllocCell* alloc_cell_for(const char* stage) {
+  auto h = reinterpret_cast<std::uintptr_t>(stage);
+  std::size_t idx = (h >> 4) * 0x9E3779B9u & (kAllocCells - 1);
+  for (std::size_t probe = 0; probe < kAllocCells; ++probe) {
+    AllocCell& cell = g_alloc_cells[(idx + probe) & (kAllocCells - 1)];
+    const char* cur = cell.stage.load(std::memory_order_acquire);
+    if (cur == stage) return &cell;
+    if (cur == nullptr) {
+      const char* expect = nullptr;
+      if (cell.stage.compare_exchange_strong(expect, stage, std::memory_order_acq_rel)) {
+        return &cell;
+      }
+      if (expect == stage) return &cell;  // lost the race to ourselves
+    }
+  }
+  return nullptr;  // table full — drop, counted
+}
+
+// Resolve this thread's stack bounds once, from normal (non-signal)
+// context. Works for the main thread too: glibc's pthread_getattr_np
+// reports the grow-on-demand main stack's full extent, and addresses
+// in [sp, hi) are always mapped for both thread kinds.
+void ensure_stack_bounds(ThreadProf& tp) {
+  if (tp.bounds_ready.load(std::memory_order_relaxed)) return;
+  pthread_attr_t attr;
+  if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+    void* lo = nullptr;
+    std::size_t size = 0;
+    if (pthread_attr_getstack(&attr, &lo, &size) == 0 && lo != nullptr && size > 0) {
+      tp.stack_lo = lo;
+      tp.stack_hi = static_cast<char*>(lo) + size;
+      tp.bounds_ready.store(true, std::memory_order_release);
+    }
+    pthread_attr_destroy(&attr);
+  }
+}
+
+}  // namespace
+
+void scope_enter_slow(const char* stage) {
+  ThreadProf& tp = t_prof;
+  ensure_stack_bounds(tp);
+  const int d = tp.depth.load(std::memory_order_relaxed);
+  if (d >= 0 && d < kMaxStageDepth) tp.stages[d] = stage;
+  // Name visible before the depth bump, from this thread's own signal
+  // handler's point of view.
+  std::atomic_signal_fence(std::memory_order_release);
+  tp.depth.store(d + 1, std::memory_order_relaxed);
+}
+
+void scope_leave_slow() {
+  ThreadProf& tp = t_prof;
+  const int d = tp.depth.load(std::memory_order_relaxed);
+  if (d > 0) tp.depth.store(d - 1, std::memory_order_relaxed);
+}
+
+void record_alloc_slow(const char* stage, std::size_t bytes) {
+  if (stage == nullptr) {
+    const ThreadProf& tp = t_prof;
+    const int d = tp.depth.load(std::memory_order_relaxed);
+    stage = (d > 0 && d <= kMaxStageDepth) ? tp.stages[d - 1]
+            : d > kMaxStageDepth           ? tp.stages[kMaxStageDepth - 1]
+                                           : kUnattributed;
+  }
+  AllocCell* cell = alloc_cell_for(stage);
+  if (cell == nullptr) {
+    g_alloc_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::size_t shard = internal::lane_shard();
+  cell->bytes[shard].fetch_add(bytes, std::memory_order_relaxed);
+  cell->calls[shard].fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace profiler_internal
+
+namespace {
+
+using namespace profiler_internal;  // NOLINT(google-build-using-namespace)
+
+// Linux per-thread CPU clock id, as glibc's MAKE_THREAD_CPUCLOCK
+// encodes it: CPUCLOCK_SCHED (2) | CPUCLOCK_PERTHREAD_MASK (4) in the
+// low bits, ~tid above. Lets us arm a CPU-time timer for a sibling
+// thread found via /proc/self/task without holding its pthread_t.
+clockid_t thread_cpu_clockid(pid_t tid) {
+  return static_cast<clockid_t>((~static_cast<unsigned int>(tid)) << 3 | 6u);
+}
+
+std::vector<pid_t> list_task_tids() {
+  std::vector<pid_t> tids;
+  DIR* dir = ::opendir("/proc/self/task");
+  if (dir == nullptr) {
+    tids.push_back(static_cast<pid_t>(::syscall(SYS_gettid)));
+    return tids;
+  }
+  while (dirent* ent = ::readdir(dir)) {
+    if (ent->d_name[0] == '.') continue;
+    tids.push_back(static_cast<pid_t>(std::strtol(ent->d_name, nullptr, 10)));
+  }
+  ::closedir(dir);
+  return tids;
+}
+
+// Wait for in-flight SIGPROF handlers to retire (bounded; a handler is
+// a few hundred instructions, so this never spins long).
+void quiesce_handlers() {
+  for (int spin = 0; spin < 20000; ++spin) {
+    if (g_in_handler.load(std::memory_order_acquire) == 0) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+std::string demangled(const char* name) {
+  int status = 0;
+  char* out = abi::__cxa_demangle(name, nullptr, nullptr, &status);
+  if (status != 0 || out == nullptr) {
+    std::free(out);
+    return name;
+  }
+  std::string s(out);
+  std::free(out);
+  // Trim template/arg spam so folded frames stay one readable token.
+  const std::size_t paren = s.find('(');
+  if (paren != std::string::npos) s.resize(paren);
+  return s;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// The folded-stack aggregation the collector builds incrementally.
+struct Aggregation {
+  std::unordered_map<std::string, std::uint64_t> folded;
+  std::uint64_t samples = 0;
+  std::uint64_t attributed = 0;
+};
+
+class ProfilerImpl {
+ public:
+  static ProfilerImpl& get() {
+    static ProfilerImpl* impl = new ProfilerImpl();  // immortal, like the ring
+    return *impl;
+  }
+
+  Status start(int hz) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (running_) return Status(StatusCode::kInternal, "profiler already running");
+    hz_ = std::clamp(hz, 1, 1000);
+
+    if (g_slots == nullptr) g_slots = new RawSample[kRingSlots];
+    if (!install_handler()) {
+      return Status(StatusCode::kInternal, "sigaction(SIGPROF) failed");
+    }
+
+    // Previous-epoch stragglers must retire before the ring resets.
+    quiesce_handlers();
+    for (std::size_t i = 0; i < kRingSlots; ++i) {
+      g_slots[i].state.store(kSlotFree, std::memory_order_relaxed);
+    }
+    g_head.store(0, std::memory_order_relaxed);
+    g_dropped.store(0, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> alk(agg_mu_);
+      agg_ = Aggregation{};
+    }
+
+    g_prof_enabled.store(true, std::memory_order_relaxed);
+    g_sampling.store(true, std::memory_order_release);
+
+    // One CPU-time timer per live thread. Threads spawned later are not
+    // covered until the next start() (documented limitation).
+    timers_.clear();
+    const long ns = 1000000000L / hz_;
+    const itimerspec spec{{0, ns}, {0, ns}};
+    for (pid_t tid : list_task_tids()) {
+      sigevent sev{};
+      sev.sigev_notify = SIGEV_THREAD_ID;
+      sev.sigev_signo = SIGPROF;
+      sev.sigev_notify_thread_id = tid;
+      timer_t t{};
+      if (::timer_create(thread_cpu_clockid(tid), &sev, &t) != 0) continue;
+      if (::timer_settime(t, 0, &spec, nullptr) != 0) {
+        ::timer_delete(t);
+        continue;
+      }
+      timers_.push_back(t);
+    }
+    if (timers_.empty()) {
+      g_sampling.store(false, std::memory_order_release);
+      return Status(StatusCode::kUnavailable, "no per-thread cpu timers could be armed");
+    }
+
+    threads_profiled_ = static_cast<int>(timers_.size());
+    start_time_ = std::chrono::steady_clock::now();
+    collector_stop_ = false;
+    collector_ = std::thread([this] { collector_loop(); });
+    running_ = true;
+    return Status::ok();
+  }
+
+  ProfileReport stop() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!running_) return last_report_;
+    g_sampling.store(false, std::memory_order_release);
+    for (timer_t t : timers_) ::timer_delete(t);
+    timers_.clear();
+    quiesce_handlers();
+    {
+      std::lock_guard<std::mutex> clk(collector_mu_);
+      collector_stop_ = true;
+    }
+    collector_cv_.notify_all();
+    if (collector_.joinable()) collector_.join();  // final drain inside
+    running_ = false;
+    last_report_ = make_report();
+    return last_report_;
+  }
+
+  [[nodiscard]] bool running() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return running_;
+  }
+
+  [[nodiscard]] ProfileReport snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!running_) return last_report_;
+    return make_report();
+  }
+
+  void reset_alloc() {
+    for (auto& cell : g_alloc_cells) {
+      for (std::size_t s = 0; s < internal::kMetricShards; ++s) {
+        cell.bytes[s].store(0, std::memory_order_relaxed);
+        cell.calls[s].store(0, std::memory_order_relaxed);
+      }
+    }
+    g_alloc_dropped.store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(publish_mu_);
+    published_.clear();
+  }
+
+  [[nodiscard]] AllocReport alloc_report() const {
+    // Merge cells by stage *content* (two TUs may intern the same
+    // literal at different addresses).
+    std::map<std::string, AllocReport::Stage> merged;
+    for (const auto& cell : g_alloc_cells) {
+      const char* stage = cell.stage.load(std::memory_order_acquire);
+      if (stage == nullptr) continue;
+      AllocReport::Stage& st = merged[stage];
+      st.stage = stage;
+      for (std::size_t s = 0; s < internal::kMetricShards; ++s) {
+        const std::uint64_t b = cell.bytes[s].load(std::memory_order_relaxed);
+        st.bytes += b;
+        st.lane_bytes[s] += b;
+        st.calls += cell.calls[s].load(std::memory_order_relaxed);
+      }
+    }
+    AllocReport report;
+    for (auto& [_, st] : merged) {
+      if (st.calls != 0) report.stages.push_back(std::move(st));
+    }
+    std::sort(report.stages.begin(), report.stages.end(),
+              [](const auto& a, const auto& b) { return a.bytes > b.bytes; });
+    return report;
+  }
+
+  // Collect hook body: sync mar_profile_* into the registry. Runs
+  // before each scrape, outside the registry's family lock.
+  void publish_metrics() {
+    auto& reg = MetricRegistry::instance();
+    std::lock_guard<std::mutex> lk(publish_mu_);
+    ProfileReport rep;
+    {
+      std::lock_guard<std::mutex> mlk(mu_);
+      rep = running_ ? make_report() : last_report_;
+      reg.gauge("mar_profile_sampling_hz", "Active CPU-sampling rate (0 = not sampling)")
+          .set(running_ ? hz_ : 0);
+    }
+    publish_counter(reg, "mar_profile_samples_total", "CPU samples collected", rep.samples);
+    publish_counter(reg, "mar_profile_samples_dropped_total",
+                    "CPU samples dropped (ring full)", rep.dropped);
+    publish_counter(reg, "mar_profile_samples_attributed_total",
+                    "CPU samples with >=1 named stage frame", rep.attributed);
+    for (const auto& st : alloc_report().stages) {
+      publish_counter(reg, "mar_profile_alloc_bytes_total",
+                      "Frame-path bytes attributed per stage", st.bytes,
+                      {{"stage", st.stage}});
+      publish_counter(reg, "mar_profile_alloc_calls_total",
+                      "Frame-path allocation calls per stage", st.calls,
+                      {{"stage", st.stage}});
+    }
+  }
+
+ private:
+  ProfilerImpl() = default;
+
+  static bool install_handler() {
+    struct sigaction sa{};
+    sa.sa_sigaction = &sigprof_handler;
+    sa.sa_flags = SA_SIGINFO | SA_RESTART;
+    sigemptyset(&sa.sa_mask);
+    return ::sigaction(SIGPROF, &sa, nullptr) == 0;
+  }
+
+  void collector_loop() {
+    std::unique_lock<std::mutex> lk(collector_mu_);
+    while (!collector_stop_) {
+      collector_cv_.wait_for(lk, std::chrono::milliseconds(20));
+      drain();
+    }
+    drain();  // final sweep after stop() disarmed the timers
+  }
+
+  // Move full ring slots into the folded aggregation; symbolize leaves
+  // here, far from the signal handler.
+  void drain() {
+    std::lock_guard<std::mutex> alk(agg_mu_);
+    for (std::size_t i = 0; i < kRingSlots; ++i) {
+      RawSample& slot = g_slots[i];
+      if (slot.state.load(std::memory_order_acquire) != kSlotFull) continue;
+      fold(slot);
+      slot.state.store(kSlotFree, std::memory_order_release);
+    }
+  }
+
+  void fold(const RawSample& s) {
+    std::string key;
+    key.reserve(96);
+    for (int i = 0; i < s.n_stages; ++i) {
+      if (!key.empty()) key += ';';
+      key += s.stages[i];
+    }
+    // Append the code frames root-first under the stage annotation;
+    // pcs[] is leaf-first. Cap code frames to keep folded lines sane.
+    constexpr int kMaxCodeFrames = 6;
+    const int n_code = std::min<int>(s.n_pcs, kMaxCodeFrames);
+    for (int i = n_code; i-- > 0;) {
+      if (!key.empty()) key += ';';
+      key += symbolize(s.pcs[i]);
+    }
+    if (key.empty()) key = "(unknown)";
+    agg_.folded[key] += 1;
+    agg_.samples += 1;
+    if (s.n_stages > 0) agg_.attributed += 1;
+  }
+
+  std::string symbolize(void* pc) {
+    auto it = symbols_.find(pc);
+    if (it != symbols_.end()) return it->second;
+    std::string name;
+    Dl_info info{};
+    if (::dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
+      name = demangled(info.dli_sname);
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "0x%" PRIxPTR, reinterpret_cast<std::uintptr_t>(pc));
+      name = buf;
+    }
+    symbols_.emplace(pc, name);
+    return name;
+  }
+
+  [[nodiscard]] ProfileReport make_report() const {
+    ProfileReport rep;
+    rep.hz = hz_;
+    rep.threads_profiled = threads_profiled_;
+    rep.duration_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time_).count();
+    rep.dropped = g_dropped.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> alk(agg_mu_);
+    rep.samples = agg_.samples;
+    rep.attributed = agg_.attributed;
+    rep.folded.assign(agg_.folded.begin(), agg_.folded.end());
+    std::sort(rep.folded.begin(), rep.folded.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    return rep;
+  }
+
+  void publish_counter(MetricRegistry& reg, const std::string& name, const std::string& help,
+                       std::uint64_t total, const Labels& labels = {}) {
+    // Counters are monotone; publish only the positive delta since the
+    // last sync (publish_mu_ held by caller).
+    std::string key = name;
+    for (const auto& [k, v] : labels) key += "|" + k + "=" + v;
+    std::uint64_t& last = published_[key];
+    if (total > last) {
+      reg.counter(name, help, labels).inc(total - last);
+      last = total;
+    }
+  }
+
+  mutable std::mutex mu_;  // start/stop/snapshot serialization
+  bool running_ = false;
+  int hz_ = 0;
+  int threads_profiled_ = 0;
+  std::chrono::steady_clock::time_point start_time_{};
+  std::vector<timer_t> timers_;
+  ProfileReport last_report_;
+
+  std::thread collector_;
+  std::mutex collector_mu_;
+  std::condition_variable collector_cv_;
+  bool collector_stop_ = false;
+
+  mutable std::mutex agg_mu_;
+  Aggregation agg_;
+  std::unordered_map<void*, std::string> symbols_;
+
+  std::mutex publish_mu_;
+  std::unordered_map<std::string, std::uint64_t> published_;
+};
+
+}  // namespace
+
+// --------------------------- reports ---------------------------------
+
+std::uint64_t ProfileReport::stage_samples(const std::string& stage) const {
+  std::uint64_t total = 0;
+  for (const auto& [key, count] : folded) {
+    std::size_t pos = 0;
+    while (pos <= key.size()) {
+      const std::size_t end = key.find(';', pos);
+      const std::size_t stop = end == std::string::npos ? key.size() : end;
+      if (key.compare(pos, stop - pos, stage) == 0) {
+        total += count;
+        break;
+      }
+      if (end == std::string::npos) break;
+      pos = end + 1;
+    }
+  }
+  return total;
+}
+
+std::string ProfileReport::folded_text() const {
+  std::ostringstream out;
+  for (const auto& [key, count] : folded) out << key << ' ' << count << '\n';
+  return out.str();
+}
+
+std::string ProfileReport::speedscope_json(const std::string& name) const {
+  // Frame table + per-stack index lists, weights = sample counts.
+  std::vector<std::string> frames;
+  std::unordered_map<std::string, std::size_t> frame_index;
+  std::ostringstream samples_json;
+  std::ostringstream weights_json;
+  bool first = true;
+  for (const auto& [key, count] : folded) {
+    samples_json << (first ? "" : ",") << '[';
+    bool inner_first = true;
+    std::size_t pos = 0;
+    while (pos <= key.size()) {
+      const std::size_t end = key.find(';', pos);
+      const std::size_t stop = end == std::string::npos ? key.size() : end;
+      const std::string frame = key.substr(pos, stop - pos);
+      auto [it, inserted] = frame_index.emplace(frame, frames.size());
+      if (inserted) frames.push_back(frame);
+      samples_json << (inner_first ? "" : ",") << it->second;
+      inner_first = false;
+      if (end == std::string::npos) break;
+      pos = end + 1;
+    }
+    samples_json << ']';
+    weights_json << (first ? "" : ",") << count;
+    first = false;
+  }
+
+  std::ostringstream out;
+  out << "{\"$schema\":\"https://www.speedscope.app/file-format-schema.json\","
+      << "\"shared\":{\"frames\":[";
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    out << (i ? "," : "") << "{\"name\":\"" << json_escape(frames[i]) << "\"}";
+  }
+  out << "]},\"profiles\":[{\"type\":\"sampled\",\"name\":\"" << json_escape(name)
+      << "\",\"unit\":\"none\",\"startValue\":0,\"endValue\":" << samples
+      << ",\"samples\":[" << samples_json.str() << "],\"weights\":[" << weights_json.str()
+      << "]}],\"name\":\"" << json_escape(name) << "\",\"activeProfileIndex\":0,"
+      << "\"exporter\":\"mar-profiler\"}";
+  return out.str();
+}
+
+std::uint64_t AllocReport::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& st : stages) total += st.bytes;
+  return total;
+}
+
+const AllocReport::Stage* AllocReport::find(const std::string& name) const {
+  for (const auto& st : stages) {
+    if (st.stage == name) return &st;
+  }
+  return nullptr;
+}
+
+std::string AllocReport::folded_text() const {
+  std::ostringstream out;
+  for (const auto& st : stages) out << st.stage << ' ' << st.bytes << '\n';
+  return out.str();
+}
+
+// --------------------------- Profiler --------------------------------
+
+Profiler& Profiler::instance() {
+  static Profiler p;
+  return p;
+}
+
+Status Profiler::start(int hz) { return ProfilerImpl::get().start(hz); }
+
+ProfileReport Profiler::stop() { return ProfilerImpl::get().stop(); }
+
+bool Profiler::running() const { return ProfilerImpl::get().running(); }
+
+ProfileReport Profiler::snapshot() const { return ProfilerImpl::get().snapshot(); }
+
+void Profiler::set_attribution(bool on) {
+  profiler_internal::g_prof_enabled.store(on, std::memory_order_relaxed);
+}
+
+AllocReport Profiler::alloc_report() const { return ProfilerImpl::get().alloc_report(); }
+
+void Profiler::reset_alloc() { ProfilerImpl::get().reset_alloc(); }
+
+void Profiler::publish_to_registry() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    MetricRegistry::instance().add_collect_hook([] { ProfilerImpl::get().publish_metrics(); });
+  });
+}
+
+}  // namespace mar::telemetry

@@ -1,0 +1,205 @@
+// Continuous profiling plane: a signal-driven sampling CPU profiler and
+// a frame-path allocation profiler, both built to coexist with the hot
+// pipeline the rest of src/telemetry measures.
+//
+// CPU sampling: start(hz) arms one POSIX per-thread CPU-time timer
+// (timer_create + SIGEV_THREAD_ID) per live thread at `hz`; each SIGPROF
+// delivery runs an async-signal-safe handler that snapshots the
+// interrupted thread's stage-annotation stack (see ProfScope) plus a
+// frame-pointer walk of its call stack into a lock-free MPSC ring. A
+// collector thread drains the ring every few tens of milliseconds and
+// folds samples into weighted stacks; symbolization (dladdr + demangle)
+// happens there, never in the handler. stop() disarms, quiesces
+// in-flight handlers, and returns the aggregated ProfileReport.
+//
+// Allocation attribution: the frame/pyramid/descriptor choke points in
+// src/vision and src/dsp call profile_alloc()/profile_alloc_as(), which
+// attribute bytes + call counts to the innermost active ProfScope stage
+// (or an explicit stage name), sharded per pool lane exactly like
+// MetricRegistry counters. alloc_report() merges the shards.
+//
+// Cost contract (same discipline as metrics_enabled()): with profiling
+// disabled, ProfScope and profile_alloc() are ONE relaxed atomic load.
+// The async-signal-safe subset used by the handler is documented in
+// ARCHITECTURE.md §10.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mar::telemetry {
+
+namespace profiler_internal {
+
+// Process-wide switch for the cheap attribution paths (stage scopes and
+// allocation counting). Flipped by Profiler::set_attribution() and by
+// Profiler::start(); never flipped back by stop() so a profile can be
+// re-armed without losing alloc accounting.
+extern std::atomic<bool> g_prof_enabled;
+
+inline constexpr int kMaxStageDepth = 8;   // nested ProfScope frames kept
+inline constexpr int kMaxStackPcs = 24;    // frame-pointer walk depth
+
+// Per-thread annotation state read by the SIGPROF handler. `depth` is
+// the push/pop cursor (may exceed kMaxStageDepth; extra levels are
+// counted but unnamed); names are interned string literals, written
+// before the depth store with a signal fence so the handler — which
+// interrupts this same thread — always sees a consistent prefix.
+struct ThreadProf {
+  const char* stages[kMaxStageDepth];
+  std::atomic<int> depth{0};
+  // Thread stack bounds for the handler's frame-pointer walk, resolved
+  // once per thread on first ProfScope entry (pthread_getattr_np is not
+  // async-signal-safe, so it cannot run in the handler). Threads that
+  // never enter a ProfScope get leaf-PC-only samples.
+  void* stack_lo = nullptr;
+  void* stack_hi = nullptr;
+  std::atomic<bool> bounds_ready{false};
+};
+
+extern thread_local ThreadProf t_prof;
+
+void scope_enter_slow(const char* stage);
+void scope_leave_slow();
+void record_alloc_slow(const char* stage, std::size_t bytes);
+
+}  // namespace profiler_internal
+
+// One relaxed load; mirrors metrics_enabled().
+[[nodiscard]] inline bool profiling_enabled() {
+  return profiler_internal::g_prof_enabled.load(std::memory_order_relaxed);
+}
+
+// RAII stage annotation. `stage` MUST be a string literal (or otherwise
+// immortal): the signal handler and the alloc table store the pointer,
+// not a copy. Scopes nest; samples attribute to the full stage stack,
+// allocations to the innermost frame.
+class ProfScope {
+ public:
+  explicit ProfScope(const char* stage) {
+    if (!profiling_enabled()) return;
+    profiler_internal::scope_enter_slow(stage);
+    armed_ = true;
+  }
+  ~ProfScope() {
+    if (armed_) profiler_internal::scope_leave_slow();
+  }
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  bool armed_ = false;
+};
+
+// Attribute `bytes` to the calling thread's innermost ProfScope stage
+// ("(unattributed)" when no scope is active). Called from the Image
+// constructor and friends — one relaxed load when profiling is off.
+inline void profile_alloc(std::size_t bytes) {
+  if (!profiling_enabled()) return;
+  profiler_internal::record_alloc_slow(nullptr, bytes);
+}
+
+// Attribute `bytes` to an explicit stage name (string literal), for
+// choke points that are not lexically inside their stage's ProfScope
+// (e.g. descriptor vectors grown by a callee shared across stages).
+inline void profile_alloc_as(const char* stage, std::size_t bytes) {
+  if (!profiling_enabled()) return;
+  profiler_internal::record_alloc_slow(stage, bytes);
+}
+
+// Aggregated CPU profile. `folded` holds collapsed stacks — frames
+// root-first, joined by ';', the leaf being the symbolized interrupted
+// PC — with sample counts, sorted heaviest first.
+struct ProfileReport {
+  int hz = 0;
+  double duration_s = 0.0;
+  std::uint64_t samples = 0;     // collected into the aggregation
+  std::uint64_t dropped = 0;     // lost to a full ring
+  std::uint64_t attributed = 0;  // samples carrying >= 1 stage frame
+  int threads_profiled = 0;      // per-thread timers armed at start()
+
+  std::vector<std::pair<std::string, std::uint64_t>> folded;
+
+  // Fraction of samples that resolved to at least one named stage frame
+  // (the bench/profile_attribution gate input).
+  [[nodiscard]] double attributed_fraction() const {
+    return samples ? static_cast<double>(attributed) / static_cast<double>(samples) : 0.0;
+  }
+  // Samples whose stack contains `stage` as a frame.
+  [[nodiscard]] std::uint64_t stage_samples(const std::string& stage) const;
+
+  // Collapsed-stack text ("a;b;leaf 42\n" per line) — the flamegraph.pl
+  // / speedscope-import interchange format.
+  [[nodiscard]] std::string folded_text() const;
+  // speedscope "sampled" profile JSON (https://www.speedscope.app).
+  [[nodiscard]] std::string speedscope_json(const std::string& name) const;
+};
+
+// Allocation attribution snapshot, merged across lanes and stages.
+struct AllocReport {
+  struct Stage {
+    std::string stage;
+    std::uint64_t bytes = 0;
+    std::uint64_t calls = 0;
+    // Per-pool-lane byte split (lane & 7, like internal::lane_shard()).
+    std::array<std::uint64_t, 8> lane_bytes{};
+  };
+  std::vector<Stage> stages;  // sorted by bytes, heaviest first
+
+  [[nodiscard]] std::uint64_t total_bytes() const;
+  [[nodiscard]] const Stage* find(const std::string& name) const;
+  // "stage bytes" folded lines (heap flamegraph interchange).
+  [[nodiscard]] std::string folded_text() const;
+};
+
+// The process-wide sampling profiler. start()/stop() are serialized
+// internally; one capture at a time.
+class Profiler {
+ public:
+  static Profiler& instance();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  // Arm per-thread CPU-time timers at `hz` (clamped to [1, 1000]) for
+  // every thread in /proc/self/task and start the collector. Also
+  // enables attribution. Fails if already running.
+  Status start(int hz = 99);
+
+  // Disarm, quiesce in-flight handlers, drain the ring, and return the
+  // final aggregation. No-op (empty report) if not running.
+  ProfileReport stop();
+
+  [[nodiscard]] bool running() const;
+
+  // Aggregation so far (while running) or the last completed report.
+  [[nodiscard]] ProfileReport snapshot() const;
+
+  // Enable/disable stage scopes + allocation counting without CPU
+  // sampling (quickstart --profile uses this; start() implies it).
+  void set_attribution(bool on);
+  [[nodiscard]] bool attribution_enabled() const { return profiling_enabled(); }
+
+  // Allocation attribution snapshot / reset (reset also clears the
+  // per-stage registry counters' published baseline).
+  [[nodiscard]] AllocReport alloc_report() const;
+  void reset_alloc();
+
+  // Register the mar_profile_* collect hook with MetricRegistry::
+  // instance() (idempotent): samples/dropped/attributed counters, a
+  // sampling-rate gauge, and per-stage alloc bytes/calls counters are
+  // synced before every scrape.
+  void publish_to_registry();
+
+ private:
+  Profiler() = default;
+};
+
+}  // namespace mar::telemetry

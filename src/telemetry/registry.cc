@@ -221,7 +221,24 @@ FixedHistogram& MetricRegistry::histogram(const std::string& name, const std::st
   return *child.histogram;
 }
 
+void MetricRegistry::add_collect_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lk(hooks_mu_);
+  collect_hooks_.push_back(std::move(hook));
+}
+
+void MetricRegistry::run_collect_hooks() const {
+  // Copy under the list lock, run unlocked: hooks call counter()/
+  // gauge() (which takes mu_) to sync their series pre-scrape.
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard<std::mutex> lk(hooks_mu_);
+    hooks = collect_hooks_;
+  }
+  for (const auto& hook : hooks) hook();
+}
+
 std::string MetricRegistry::prometheus_text() const {
+  run_collect_hooks();
   std::lock_guard<std::mutex> lk(mu_);
   std::ostringstream out;
   for (const auto& fam : families_) {
@@ -270,6 +287,7 @@ std::string MetricRegistry::prometheus_text() const {
 }
 
 std::string MetricRegistry::statusz_text() const {
+  run_collect_hooks();
   std::lock_guard<std::mutex> lk(mu_);
   std::ostringstream out;
   out << "== metrics snapshot ==\n";
@@ -286,7 +304,8 @@ std::string MetricRegistry::statusz_text() const {
         case Kind::kHistogram: {
           const FixedHistogram& h = *child->histogram;
           out << "count=" << h.count() << " mean=" << fmt(h.mean())
-              << " p50=" << fmt(h.quantile(0.50)) << " p99=" << fmt(h.quantile(0.99));
+              << " p50=" << fmt(h.quantile(0.50)) << " p90=" << fmt(h.quantile(0.90))
+              << " p99=" << fmt(h.quantile(0.99));
           // Highest bucket holding an exemplar ≈ the worst retained
           // sample — the trace id to feed to frame_forensics.
           const auto exemplars = h.exemplars();

@@ -22,6 +22,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -217,6 +218,12 @@ class MetricRegistry {
   FixedHistogram& histogram(const std::string& name, const std::string& help,
                             std::vector<double> bounds, const Labels& labels = {});
 
+  // Register a pre-scrape sync hook: every prometheus_text()/
+  // statusz_text() call runs all hooks BEFORE taking the family lock,
+  // so hooks may freely create/update metrics (the profiler publishes
+  // its mar_profile_* series this way). Hooks live forever.
+  void add_collect_hook(std::function<void()> hook);
+
   // Prometheus plaintext exposition (text/plain; version=0.0.4),
   // families in registration order, children in creation order.
   [[nodiscard]] std::string prometheus_text() const;
@@ -247,9 +254,13 @@ class MetricRegistry {
 
   Family& family_of(const std::string& name, const std::string& help, Kind kind);
   Child& child_of(Family& fam, const Labels& labels);
+  void run_collect_hooks() const;
 
   mutable std::mutex mu_;  // guards families_ layout, not metric cells
   std::vector<std::unique_ptr<Family>> families_;
+
+  mutable std::mutex hooks_mu_;  // guards the hook list, never held while running one
+  std::vector<std::function<void()>> collect_hooks_;
 };
 
 }  // namespace mar::telemetry

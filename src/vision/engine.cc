@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/parallel.h"
+#include "telemetry/profiler.h"
 
 namespace mar::vision {
 namespace {
@@ -149,26 +150,49 @@ FrameResult ArEngine::process(const Image& frame) {
   FrameResult result;
   if (!trained_) return result;
 
+  // Stage scopes mirror the paper's five services; the profiler
+  // attributes CPU samples and frame allocations to the innermost
+  // scope active on the sampled thread.
   auto t0 = std::chrono::steady_clock::now();
-  const Image pre = preprocess(frame);
+  Image pre;
+  {
+    telemetry::ProfScope prof("preprocess");
+    pre = preprocess(frame);
+  }
   result.timings.preprocess_ms = ms_since(t0);
 
   t0 = std::chrono::steady_clock::now();
-  const ExtractedFeatures features = extract(pre, frame);
+  ExtractedFeatures features;
+  {
+    telemetry::ProfScope prof("sift");
+    features = extract(pre, frame);
+  }
   result.feature_count = features.features.size();
   result.timings.extract_ms = ms_since(t0);
 
   t0 = std::chrono::steady_clock::now();
-  const std::vector<float> fisher = encode(features.features);
+  std::vector<float> fisher;
+  {
+    telemetry::ProfScope prof("encoding");
+    fisher = encode(features.features);
+    telemetry::profile_alloc_as("encoding", fisher.size() * sizeof(float));
+  }
   result.timings.encode_ms = ms_since(t0);
 
   t0 = std::chrono::steady_clock::now();
-  const std::vector<std::uint32_t> candidates = lookup(fisher);
+  std::vector<std::uint32_t> candidates;
+  {
+    telemetry::ProfScope prof("lsh");
+    candidates = lookup(fisher);
+  }
   result.timings.lookup_ms = ms_since(t0);
 
   t0 = std::chrono::steady_clock::now();
-  result.detections = match_and_pose(features, candidates);
-  result.tracks = tracker_.update(result.detections);
+  {
+    telemetry::ProfScope prof("matching");
+    result.detections = match_and_pose(features, candidates);
+    result.tracks = tracker_.update(result.detections);
+  }
   result.timings.match_ms = ms_since(t0);
   return result;
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/parallel.h"
+#include "telemetry/profiler.h"
 
 namespace mar::vision {
 
@@ -31,6 +32,7 @@ std::vector<float> FisherEncoder::encode(
                                            std::vector<double>(fv_dim, 0.0));
   parallel_for_chunks(0, n_desc, kDescGrain, [&](std::int64_t chunk, std::int64_t i0,
                                                  std::int64_t i1) {
+    telemetry::ProfScope prof("fisher_accum");
     std::vector<double>& acc = partial[static_cast<std::size_t>(chunk)];
     for (std::int64_t i = i0; i < i1; ++i) {
       const auto& x = descriptors[static_cast<std::size_t>(i)];

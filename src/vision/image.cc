@@ -56,8 +56,10 @@ Image gaussian_blur(const Image& src, float sigma) {
   const int xr = std::max(xl, w - radius);
 
   Image tmp(w, h);
-  // Horizontal pass, row-parallel.
+  // Horizontal pass, row-parallel. The per-chunk ProfScope annotates
+  // whichever pool worker (or the caller) runs the chunk.
   parallel_for(0, h, kRowGrain, [&](std::int64_t y0, std::int64_t y1) {
+    telemetry::ProfScope prof("img_blur");
     for (int y = static_cast<int>(y0); y < static_cast<int>(y1); ++y) {
       const float* srow = src.data().data() + static_cast<std::size_t>(y) * w;
       float* trow = tmp.data().data() + static_cast<std::size_t>(y) * w;
@@ -83,6 +85,7 @@ Image gaussian_blur(const Image& src, float sigma) {
   // pixel loop: each tap reads one (possibly replicated) source row.
   Image out(w, h);
   parallel_for(0, h, kRowGrain, [&](std::int64_t y0, std::int64_t y1) {
+    telemetry::ProfScope prof("img_blur");
     std::vector<const float*> rows(static_cast<std::size_t>(2 * radius + 1));
     for (int y = static_cast<int>(y0); y < static_cast<int>(y1); ++y) {
       for (int i = -radius; i <= radius; ++i) {

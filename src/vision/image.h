@@ -8,13 +8,20 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/profiler.h"
+
 namespace mar::vision {
 
 class Image {
  public:
   Image() = default;
+  // The frame-path allocation choke point: every frame, pyramid level,
+  // and DoG plane passes through here, so the allocation profiler hooks
+  // the byte count (one relaxed load when profiling is off).
   Image(int width, int height, float fill = 0.0f)
-      : width_(width), height_(height), data_(static_cast<std::size_t>(width * height), fill) {}
+      : width_(width), height_(height), data_(static_cast<std::size_t>(width * height), fill) {
+    telemetry::profile_alloc(data_.size() * sizeof(float));
+  }
 
   [[nodiscard]] int width() const { return width_; }
   [[nodiscard]] int height() const { return height_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/profiler.h"
 #include "vision/fisher.h"
 
 namespace mar::vision {
@@ -54,6 +55,7 @@ std::vector<LshIndex::Candidate> LshIndex::query(const std::vector<float>& v) co
 }
 
 std::vector<std::uint32_t> LshIndex::nearest(const std::vector<float>& v, int k) const {
+  telemetry::ProfScope prof("lsh_query");
   std::vector<std::pair<float, std::uint32_t>> scored;
   const auto candidates = query(v);
   if (!candidates.empty()) {

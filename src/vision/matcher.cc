@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/parallel.h"
+#include "telemetry/profiler.h"
 
 namespace mar::vision {
 
@@ -26,6 +27,7 @@ std::vector<Match> match_features(const FeatureList& query, const FeatureList& t
   std::vector<Match> slots(query.size(), Match{0, -1, 0.0f});
   parallel_for(0, static_cast<std::int64_t>(query.size()), 32,
                [&](std::int64_t q0, std::int64_t q1) {
+                 telemetry::ProfScope prof("match_distance");
                  for (std::int64_t qi = q0; qi < q1; ++qi) {
                    float best = std::numeric_limits<float>::max();
                    float second = std::numeric_limits<float>::max();

@@ -5,6 +5,7 @@
 #include <iterator>
 
 #include "common/parallel.h"
+#include "telemetry/profiler.h"
 
 namespace mar::vision {
 namespace {
@@ -26,6 +27,10 @@ struct ScaleSpace {
 };
 
 ScaleSpace build_scale_space(const Image& input, const SiftParams& p) {
+  // The pyramid is sift's 1.6->4.8 GB story (Fig. 2/5): every Gaussian
+  // and DoG plane allocated below lands in the profiler under this
+  // stage via the Image constructor hook.
+  telemetry::ProfScope prof("sift_pyramid");
   ScaleSpace ss;
   Image base = input;
   ss.base_scale = 1.0f;
@@ -322,6 +327,9 @@ FeatureList SiftDetector::detect(const Image& image) const {
           static_cast<std::size_t>(ThreadPool::num_chunks(1, h - 1, kBandRows)));
       parallel_for_chunks(1, h - 1, kBandRows, [&](std::int64_t band, std::int64_t y0,
                                                    std::int64_t y1) {
+        // Per-chunk scope: pool workers have their own (empty) stage
+        // stacks, so each band annotates its own thread.
+        telemetry::ProfScope prof_band("sift_extrema");
         FeatureList& band_features = bands[static_cast<std::size_t>(band)];
         std::vector<float> angles;
         for (int y = static_cast<int>(y0); y < static_cast<int>(y1); ++y) {
@@ -388,6 +396,8 @@ FeatureList SiftDetector::detect(const Image& image) const {
                      });
     features.resize(static_cast<std::size_t>(params_.max_features));
   }
+  // Keypoint + 128-float descriptor storage for this frame's output.
+  telemetry::profile_alloc_as("sift_descriptors", features.size() * sizeof(Feature));
   return features;
 }
 

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -10,6 +13,7 @@
 #include <unistd.h>
 
 #include "net/http.h"
+#include "telemetry/profiler.h"
 #include "telemetry/registry.h"
 
 namespace mar::net {
@@ -206,6 +210,97 @@ TEST(HttpServer, ClientAbortMidResponseDoesNotKillServer) {
   EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
   EXPECT_EQ(body_of(response).size(), big.size());
   s.stop();
+}
+
+// --- query_param -----------------------------------------------------------
+
+TEST(QueryParam, ParsesKeysExactly) {
+  EXPECT_EQ(query_param("seconds=3&hz=97", "hz"), "97");
+  EXPECT_EQ(query_param("seconds=3&hz=97", "seconds"), "3");
+  EXPECT_EQ(query_param("seconds=3&hz=97", "format"), "");
+  EXPECT_EQ(query_param("", "hz"), "");
+  // Keys must match whole, not by prefix or suffix.
+  EXPECT_EQ(query_param("xhz=1&hz=2", "hz"), "2");
+  EXPECT_EQ(query_param("hzz=1", "hz"), "");
+  // Empty values and flag-style tokens don't derail later pairs.
+  EXPECT_EQ(query_param("a=&verbose&b=4", "b"), "4");
+  EXPECT_EQ(query_param("a=&b=4", "a"), "");
+}
+
+// --- /debug/pprof ----------------------------------------------------------
+
+struct PprofFixture : ::testing::Test {
+  void SetUp() override {
+    serve_pprof(server);
+    ASSERT_TRUE(server.start(0).is_ok());
+  }
+  void TearDown() override {
+    server.stop();
+    auto& profiler = telemetry::Profiler::instance();
+    if (profiler.running()) (void)profiler.stop();
+    profiler.set_attribution(false);
+    profiler.reset_alloc();
+  }
+  HttpServer server;
+};
+
+TEST_F(PprofFixture, IndexListsEndpoints) {
+  const std::string response = http_get(server.port(), "/debug/pprof");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(body_of(response).find("/debug/pprof/profile"), std::string::npos);
+  EXPECT_NE(body_of(response).find("/debug/pprof/heap"), std::string::npos);
+}
+
+TEST_F(PprofFixture, HeapReportsAttributedAllocations) {
+  // Empty table: the endpoint explains itself instead of returning "".
+  EXPECT_NE(body_of(http_get(server.port(), "/debug/pprof/heap"))
+                .find("no allocation samples"),
+            std::string::npos);
+
+  telemetry::Profiler::instance().set_attribution(true);
+  telemetry::profile_alloc_as("sift_pyramid", 12345);
+  const std::string response = http_get(server.port(), "/debug/pprof/heap");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(body_of(response).find("sift_pyramid 12345"), std::string::npos);
+}
+
+TEST_F(PprofFixture, CmdlineNamesThisBinary) {
+  const std::string response = http_get(server.port(), "/debug/pprof/cmdline");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(body_of(response).find("net_http_test"), std::string::npos);
+}
+
+TEST_F(PprofFixture, ProfileCapturesBusyStageOverHttp) {
+  // Keep a stage busy for the whole capture window so the 1 s scrape
+  // has something to attribute.
+  std::atomic<bool> stop_burn{false};
+  std::thread burner([&stop_burn] {
+    volatile double sink = 0.0;
+    while (!stop_burn.load(std::memory_order_relaxed)) {
+      // Scope re-created per iteration: ProfScope arms at construction,
+      // and the profiler is only enabled once the HTTP request lands.
+      telemetry::ProfScope scope("http_burn_stage");
+      for (int i = 0; i < 100'000; ++i) sink = sink + static_cast<double>(i) * 1e-9;
+    }
+    (void)sink;
+  });
+  const std::string response =
+      http_get(server.port(), "/debug/pprof/profile?seconds=1&hz=200");
+  stop_burn.store(true, std::memory_order_relaxed);
+  burner.join();
+
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  const std::string body = body_of(response);
+  EXPECT_NE(body.find("http_burn_stage"), std::string::npos) << body;
+  // Folded format: every line is "stack count" with a positive count.
+  std::istringstream lines(body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    EXPECT_GT(std::strtoul(line.c_str() + sp + 1, nullptr, 10), 0u) << line;
+  }
 }
 
 // Teardown with a connected-but-silent client: stop() must come back

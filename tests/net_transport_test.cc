@@ -16,6 +16,7 @@
 #include "net/fragment.h"
 #include "net/frame_channel.h"
 #include "net/rtx.h"
+#include "telemetry/registry.h"
 
 namespace mar::net {
 namespace {
@@ -519,6 +520,75 @@ TEST(FrameChannelRecovery, LossyLinkRecoversWithFecAndRtx) {
   EXPECT_GT(sender.harness_dropped(), 0u);
   EXPECT_GT(receiver.fec_repairs() + sender.rtx_fragments_sent(), 0u);
   EXPECT_EQ(receiver.frames_unrecoverable(), 0u);
+}
+
+TEST(FrameChannelRecovery, ReceiverLossRatioReflectsObservedLoss) {
+  telemetry::MetricRegistry::instance().set_enabled(true);
+  ChannelOptions sender_opts;
+  sender_opts.enable_rtx = true;
+  sender_opts.fec_group = 4;
+  sender_opts.tx_loss_rate = 0.2;
+  sender_opts.tx_loss_seed = 77;
+  ChannelOptions receiver_opts;
+  receiver_opts.enable_rtx = true;
+  receiver_opts.rtx.nack_timeout = milliseconds(5);
+
+  FrameChannel sender(sender_opts), receiver(receiver_opts);
+  ASSERT_TRUE(sender.open(0).is_ok());
+  ASSERT_TRUE(receiver.open(0).is_ok());
+  const SockAddr dst = SockAddr::loopback(receiver.local_addr().value().port);
+
+  // Before any message settles the estimate is a defined 0, not NaN.
+  EXPECT_EQ(receiver.receiver_loss_ratio(), 0.0);
+
+  int delivered = 0;
+  constexpr int kFrames = 6;
+  for (int f = 0; f < kFrames; ++f) {
+    wire::FramePacket pkt;
+    pkt.header.frame = FrameId{static_cast<std::uint64_t>(f)};
+    pkt.payload = random_blob(280'000, 500 + static_cast<std::uint64_t>(f));
+    pkt.header.payload_bytes = static_cast<std::uint32_t>(pkt.payload.size());
+    ASSERT_TRUE(sender.send(pkt, dst).is_ok());
+    const auto deadline = std::chrono::steady_clock::now() + milliseconds(500);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (receiver.poll(1)) {
+        ++delivered;
+        break;
+      }
+      sender.poll(0);
+    }
+  }
+  ASSERT_EQ(delivered, kFrames);
+
+  // 20% harness loss over ~30 fragments: the receiver must have seen
+  // *some* loss (FEC repair or NACK), and the ratio stays a ratio.
+  ASSERT_GT(sender.harness_dropped(), 0u);
+  const double ratio = receiver.receiver_loss_ratio();
+  EXPECT_GT(ratio, 0.0);
+  EXPECT_LE(ratio, 1.0);
+  // Housekeeping published the per-channel gauge once a message settled.
+  EXPECT_NE(telemetry::MetricRegistry::instance().prometheus_text().find(
+                "mar_net_receiver_loss_ratio{"),
+            std::string::npos);
+
+  // A clean channel reports zero: the estimate never invents loss.
+  FrameChannel clean_tx, clean_rx;
+  ASSERT_TRUE(clean_tx.open(0).is_ok());
+  ASSERT_TRUE(clean_rx.open(0).is_ok());
+  wire::FramePacket pkt;
+  pkt.payload = random_blob(100'000, 7);
+  pkt.header.payload_bytes = static_cast<std::uint32_t>(pkt.payload.size());
+  ASSERT_TRUE(clean_tx.send(pkt, SockAddr::loopback(clean_rx.local_addr().value().port))
+                  .is_ok());
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  bool got = false;
+  while (!got && std::chrono::steady_clock::now() < deadline) {
+    got = clean_rx.poll(5).has_value();
+  }
+  ASSERT_TRUE(got);
+  EXPECT_EQ(clean_rx.receiver_loss_ratio(), 0.0);
+  telemetry::MetricRegistry::instance().set_enabled(false);
+  telemetry::MetricRegistry::instance().reset_values();
 }
 
 TEST(FrameChannelRecovery, TwoSendersShareOneReceiverWithoutIdCollision) {

@@ -1,0 +1,196 @@
+// Profiling-plane tests: stage-scope + allocation attribution, the
+// signal-driven CPU sampler, and the start/stop lifecycle under
+// concurrent attribution traffic (this file carries the tsan label).
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/profiler.h"
+
+namespace mar::telemetry {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Burn real CPU time (the sampler's timers are CPU-clock driven, so
+// sleeping produces no samples).
+void burn_cpu_ms(int ms) {
+  volatile double sink = 0.0;
+  const auto until = Clock::now() + std::chrono::milliseconds(ms);
+  while (Clock::now() < until) {
+    for (int i = 0; i < 1000; ++i) sink = sink + static_cast<double>(i) * 1e-9;
+  }
+  (void)sink;
+}
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Profiler::instance().set_attribution(false);
+    Profiler::instance().reset_alloc();
+  }
+  void TearDown() override {
+    if (Profiler::instance().running()) (void)Profiler::instance().stop();
+    Profiler::instance().set_attribution(false);
+    Profiler::instance().reset_alloc();
+  }
+};
+
+TEST_F(ProfilerTest, DisabledScopesAndAllocsAreNoOps) {
+  ASSERT_FALSE(profiling_enabled());
+  {
+    ProfScope scope("sift");
+    profile_alloc(4096);
+    profile_alloc_as("encoding", 4096);
+  }
+  EXPECT_TRUE(Profiler::instance().alloc_report().stages.empty());
+}
+
+TEST_F(ProfilerTest, AllocAttributesToInnermostScope) {
+  Profiler::instance().set_attribution(true);
+  {
+    ProfScope outer("sift");
+    profile_alloc(100);
+    {
+      ProfScope inner("sift_pyramid");
+      profile_alloc(1000);
+      profile_alloc(1000);
+    }
+  }
+  profile_alloc(7);  // no scope active on this thread anymore
+
+  const AllocReport report = Profiler::instance().alloc_report();
+  const AllocReport::Stage* outer_stage = report.find("sift");
+  const AllocReport::Stage* inner_stage = report.find("sift_pyramid");
+  const AllocReport::Stage* unattributed = report.find("(unattributed)");
+  ASSERT_NE(outer_stage, nullptr);
+  ASSERT_NE(inner_stage, nullptr);
+  ASSERT_NE(unattributed, nullptr);
+  EXPECT_EQ(outer_stage->bytes, 100u);
+  EXPECT_EQ(outer_stage->calls, 1u);
+  EXPECT_EQ(inner_stage->bytes, 2000u);
+  EXPECT_EQ(inner_stage->calls, 2u);
+  EXPECT_EQ(unattributed->bytes, 7u);
+  EXPECT_EQ(report.total_bytes(), 2107u);
+
+  // Explicit-stage attribution wins over the active scope.
+  {
+    ProfScope scope("matching");
+    profile_alloc_as("dsp_state", 55);
+  }
+  const AllocReport after = Profiler::instance().alloc_report();
+  ASSERT_NE(after.find("dsp_state"), nullptr);
+  EXPECT_EQ(after.find("dsp_state")->bytes, 55u);
+
+  // Folded output carries one "stage bytes" line per stage.
+  const std::string folded = after.folded_text();
+  EXPECT_NE(folded.find("sift_pyramid 2000"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, ResetAllocClears) {
+  Profiler::instance().set_attribution(true);
+  profile_alloc_as("sift", 123);
+  ASSERT_FALSE(Profiler::instance().alloc_report().stages.empty());
+  Profiler::instance().reset_alloc();
+  EXPECT_TRUE(Profiler::instance().alloc_report().stages.empty());
+}
+
+TEST_F(ProfilerTest, CpuSamplingAttributesBusyScope) {
+  ASSERT_TRUE(Profiler::instance().start(500).is_ok());
+  {
+    ProfScope scope("spin_stage");
+    burn_cpu_ms(300);
+  }
+  const ProfileReport report = Profiler::instance().stop();
+  EXPECT_FALSE(Profiler::instance().running());
+  EXPECT_EQ(report.hz, 500);
+  EXPECT_GT(report.duration_s, 0.0);
+  ASSERT_GT(report.samples, 0u);
+  EXPECT_GT(report.stage_samples("spin_stage"), 0u);
+  EXPECT_GT(report.attributed_fraction(), 0.0);
+
+  const std::string folded = report.folded_text();
+  EXPECT_NE(folded.find("spin_stage"), std::string::npos);
+  // Every folded line is "stack count"; counts sum to `samples`.
+  std::uint64_t total = 0;
+  for (const auto& [stack, count] : report.folded) {
+    EXPECT_FALSE(stack.empty());
+    total += count;
+  }
+  EXPECT_EQ(total, report.samples);
+
+  const std::string speedscope = report.speedscope_json("test");
+  EXPECT_NE(speedscope.find("\"$schema\""), std::string::npos);
+  EXPECT_NE(speedscope.find("spin_stage"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, StartWhileRunningFails) {
+  ASSERT_TRUE(Profiler::instance().start(99).is_ok());
+  EXPECT_TRUE(Profiler::instance().running());
+  EXPECT_FALSE(Profiler::instance().start(99).is_ok());
+  (void)Profiler::instance().stop();
+}
+
+TEST_F(ProfilerTest, StopWhenNotRunningIsEmptyNoOp) {
+  ASSERT_FALSE(Profiler::instance().running());
+  const ProfileReport report = Profiler::instance().stop();
+  EXPECT_EQ(report.samples, 0u);
+  EXPECT_TRUE(report.folded.empty());
+}
+
+TEST_F(ProfilerTest, SnapshotIsMonotonicWhileRunning) {
+  ASSERT_TRUE(Profiler::instance().start(500).is_ok());
+  ProfScope scope("snap_stage");
+  burn_cpu_ms(150);
+  const ProfileReport first = Profiler::instance().snapshot();
+  burn_cpu_ms(150);
+  const ProfileReport second = Profiler::instance().snapshot();
+  EXPECT_GE(second.samples, first.samples);
+  const ProfileReport final_report = Profiler::instance().stop();
+  EXPECT_GE(final_report.samples, second.samples);
+  // The last completed report stays queryable after stop().
+  EXPECT_EQ(Profiler::instance().snapshot().samples, final_report.samples);
+}
+
+// The tsan-label centerpiece: worker threads hammer scopes and allocs
+// while the main thread cycles start/stop. The quiesce protocol must
+// keep handler-vs-reset and scope-vs-sampler accesses race-free.
+TEST_F(ProfilerTest, StartStopRestartUnderConcurrentAttribution) {
+  std::atomic<bool> stop_workers{false};
+  std::vector<std::thread> workers;
+  workers.reserve(3);
+  for (int w = 0; w < 3; ++w) {
+    workers.emplace_back([&stop_workers] {
+      while (!stop_workers.load(std::memory_order_relaxed)) {
+        ProfScope outer("worker_outer");
+        profile_alloc(64);
+        {
+          ProfScope inner("worker_inner");
+          profile_alloc(32);
+          burn_cpu_ms(1);
+        }
+      }
+    });
+  }
+
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    ASSERT_TRUE(Profiler::instance().start(500).is_ok());
+    burn_cpu_ms(60);
+    const ProfileReport report = Profiler::instance().stop();
+    EXPECT_GE(report.samples, 0u);
+  }
+
+  stop_workers.store(true, std::memory_order_relaxed);
+  for (auto& t : workers) t.join();
+
+  const AllocReport allocs = Profiler::instance().alloc_report();
+  ASSERT_NE(allocs.find("worker_inner"), nullptr);
+  EXPECT_GT(allocs.find("worker_inner")->bytes, 0u);
+}
+
+}  // namespace
+}  // namespace mar::telemetry

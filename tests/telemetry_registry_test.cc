@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -7,6 +8,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "telemetry/build_info.h"
 #include "telemetry/procstat.h"
 #include "telemetry/registry.h"
 
@@ -203,6 +205,69 @@ TEST_F(RegistryFixture, StatuszSnapshotRendersAllKinds) {
   EXPECT_NE(text.find("count=1"), std::string::npos);
 }
 
+TEST_F(RegistryFixture, StatuszRendersHistogramQuantiles) {
+  FixedHistogram& h = reg.histogram("t_quant_ms", "quantile hist",
+                               {1.0, 2.0, 4.0, 8.0, 16.0});
+  for (int i = 0; i < 90; ++i) h.observe(0.5);   // below first bucket
+  for (int i = 0; i < 9; ++i) h.observe(3.0);    // p90 in the (2,4] bucket
+  h.observe(12.0);                               // p99 in the (8,16] bucket
+  const std::string text = reg.statusz_text();
+  const auto line_at = text.find("t_quant_ms");
+  ASSERT_NE(line_at, std::string::npos);
+  const std::string line = text.substr(line_at, text.find('\n', line_at) - line_at);
+  EXPECT_NE(line.find("p50="), std::string::npos) << line;
+  EXPECT_NE(line.find("p90="), std::string::npos) << line;
+  EXPECT_NE(line.find("p99="), std::string::npos) << line;
+  // The rendered quantiles obey the same interpolation as quantile().
+  EXPECT_LE(h.quantile(0.50), 1.0);
+  EXPECT_GT(h.quantile(0.99), h.quantile(0.50));
+}
+
+TEST_F(RegistryFixture, CollectHooksRunBeforeEveryScrape) {
+  // Hooks persist for the process lifetime (the registry is a
+  // singleton), so capture state that outlives this test.
+  static std::atomic<int> fired{0};
+  Gauge& g = reg.gauge("t_hook_gauge", "collect-hook target");
+  reg.add_collect_hook([&g] { fired.fetch_add(1); g.set(42.0); });
+
+  const int before = fired.load();
+  const std::string prom = reg.prometheus_text();
+  EXPECT_GT(fired.load(), before);
+  EXPECT_NE(prom.find("t_hook_gauge 42"), std::string::npos);
+
+  // statusz scrapes run the same hooks, and a reset_values() in between
+  // is repaired by the hook before the text is rendered.
+  reg.reset_values();
+  const std::string sz = reg.statusz_text();
+  EXPECT_NE(sz.find("t_hook_gauge: 42"), std::string::npos);
+}
+
+TEST_F(RegistryFixture, BuildInfoMetricSurvivesResetViaCollectHook) {
+  register_build_info_metric();
+  register_build_info_metric();  // idempotent
+  const std::string prom = reg.prometheus_text();
+  const auto at = prom.find("mar_build_info{");
+  ASSERT_NE(at, std::string::npos);
+  const std::string line = prom.substr(at, prom.find('\n', at) - at);
+  EXPECT_NE(line.find("git_sha=\""), std::string::npos) << line;
+  EXPECT_NE(line.find("build_type=\""), std::string::npos) << line;
+  EXPECT_NE(line.find("sanitizer=\""), std::string::npos) << line;
+  EXPECT_EQ(line.substr(line.size() - 2), " 1") << line;
+
+  // The identity gauge is constant-1 by convention: a reset_values()
+  // must not leave a scrape showing 0.
+  reg.reset_values();
+  const std::string again = reg.prometheus_text();
+  const auto at2 = again.find("mar_build_info{");
+  ASSERT_NE(at2, std::string::npos);
+  const std::string line2 = again.substr(at2, again.find('\n', at2) - at2);
+  EXPECT_EQ(line2.substr(line2.size() - 2), " 1") << line2;
+
+  // The human header used by /statusz carries the same identity.
+  const std::string header = build_info_line();
+  EXPECT_NE(header.find(build_info().build_type), std::string::npos);
+}
+
 TEST_F(RegistryFixture, ResetValuesKeepsFamilies) {
   Counter& c = reg.counter("t_reset_total", "reset");
   c.inc(9);
@@ -226,6 +291,17 @@ TEST(ProcStat, ReaderSmoke) {
   EXPECT_TRUE(s2.ok);
   EXPECT_GE(s2.cpu_percent, 0.0);
   EXPECT_GE(s2.cpu_seconds, s.cpu_seconds);
+}
+
+TEST(ProcStat, GetrusageFallbackWhenStatUnreadable) {
+  // Pointing the reader at a missing stat file forces the portable
+  // getrusage() path: CPU time and peak RSS must still come back.
+  ProcStatReader reader("/nonexistent/definitely_missing_stat");
+  const ProcStatSample s = reader.sample();
+  EXPECT_TRUE(s.ok);
+  EXPECT_GT(s.rss_bytes, 0u);       // ru_maxrss (peak, not current)
+  EXPECT_GE(s.cpu_seconds, 0.0);
+  EXPECT_EQ(s.num_threads, 0u);     // /proc-only field stays unset
 }
 
 TEST(ProcStat, SamplerPublishesGauges) {
