@@ -15,7 +15,7 @@
 #include <cstdio>
 
 #include "bench/fig_util.h"
-#include "expt/autoscaler.h"
+#include "ctrl/scale_policy.h"
 
 using namespace mar;
 using namespace mar::bench;
@@ -40,17 +40,17 @@ Outcome run_policy(const char* policy, int clients) {
   expt::Experiment e(cfg);
   e.build();
 
-  std::unique_ptr<expt::AutoScaler> scaler;
+  std::unique_ptr<ctrl::ScalePolicy> scaler;
   if (std::string(policy) != "none") {
-    expt::AutoScaler::Config sc;
+    ctrl::ScalePolicy::Config sc;
     if (std::string(policy) == "hardware") {
-      sc.signal = expt::AutoScaler::Signal::kHardware;
-      sc.threshold = 0.70;
+      sc.signal = ctrl::ScalePolicy::Signal::kHardware;
+      sc.up_threshold = 0.70;
     } else {
-      sc.signal = expt::AutoScaler::Signal::kApplication;
-      sc.threshold = 0.10;
+      sc.signal = ctrl::ScalePolicy::Signal::kApplication;
+      sc.up_threshold = 0.10;
     }
-    scaler = std::make_unique<expt::AutoScaler>(e.deployment(), sc);
+    scaler = std::make_unique<ctrl::ScalePolicy>(e.deployment(), sc);
     scaler->start();
   }
   e.run();

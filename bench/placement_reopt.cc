@@ -1,0 +1,325 @@
+// Closed-loop placement + scaling vs a static deployment (ROADMAP
+// item 2; paper §6, Insights I/IV).
+//
+// scAtteR++ clients ramp onto a static C2 (all-E2) deployment, hold a
+// ~15s congested plateau (the E2 box serves ~77% of the offered
+// frames), then all but one leave. Two runs race over the identical
+// offered load:
+//   static — the seed deployment, untouched,
+//   reopt  — ctrl::ScalePolicy + ctrl::ReOptimizer closing the loop on
+//            the SLO watchdog (scale-up under sustained breach,
+//            drain-based scale-down after the ramp-down).
+// A third run repeats `reopt` with the same seed: the whole control
+// loop must be bit-identical (action-sequence digest + peak p99).
+//
+// Gates (all counted in gates_failed):
+//   1. reopt strictly beats static on plateau ("peak") E2E p99,
+//   2. reopt retires >= 1 replica within scale_down_slack_s of the
+//      ramp-down, with zero frames lost on the drain path,
+//   3. same-seed rerun is bit-identical (digest + peak p99),
+//   4. the control actions are visible on /metrics (mar_ctrl_*),
+//   5. PlacementSearch: same seed => same plan + evaluation digest.
+//
+// Writes BENCH_placement.json. Smoke knobs: --clients, --duration_s,
+// --down_at_s, --seed.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/fig_util.h"
+#include "ctrl/placement_search.h"
+#include "ctrl/reoptimizer.h"
+#include "ctrl/scale_policy.h"
+#include "telemetry/registry.h"
+
+using namespace mar;
+using namespace mar::bench;
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  return h * kFnvPrime;
+}
+
+double p99_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const auto rank =
+      static_cast<std::size_t>(0.99 * static_cast<double>(v.size() - 1) + 0.5);
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(rank), v.end());
+  return v[rank];
+}
+
+struct RunResult {
+  double peak_p99_ms = 0.0;   // E2E p99 over the overload plateau
+  double peak_fps = 0.0;      // delivered FPS (all clients) on the plateau
+  double fps_mean = 0.0;
+  std::size_t final_instances = 0;
+  std::uint64_t scale_ups = 0;
+  std::uint64_t scale_downs = 0;
+  std::uint64_t replans = 0;
+  std::uint64_t retired = 0;
+  std::uint64_t forced_retires = 0;
+  std::uint64_t drain_frames_lost = 0;
+  double first_retire_after_down_s = -1.0;  // relative to the ramp-down
+  std::uint64_t digest = kFnvOffset;        // control actions + peak p99
+};
+
+struct BenchKnobs {
+  int clients = 3;
+  double duration_s = 45.0;
+  double down_at_s = 25.0;
+  double plateau_start_s = 10.0;
+  double scale_down_slack_s = 10.0;
+  std::uint64_t seed = 42000;
+};
+
+ExperimentConfig experiment_config(const BenchKnobs& k) {
+  ExperimentConfig cfg;
+  cfg.mode = core::PipelineMode::kScatterPP;
+  cfg.placement = SymbolicPlacement::single(Site::kE2);
+  cfg.num_clients = k.clients;
+  cfg.client_stagger = millis(500.0);  // ramp-up: one client every 0.5s
+  cfg.warmup = seconds(2.0);
+  cfg.duration = seconds(k.duration_s);
+  cfg.seed = k.seed;
+  expt::SloTargets slo;
+  slo.min_fps = 24.0;
+  cfg.slo = slo;
+  return cfg;
+}
+
+RunResult run_once(const BenchKnobs& k, bool closed_loop) {
+  ExperimentConfig cfg = experiment_config(k);
+
+  std::vector<double> plateau_e2e;
+  std::uint64_t plateau_frames = 0;
+  cfg.on_frame_hook = [&](SimTime t, double e2e_ms, bool success) {
+    if (!success) return;
+    if (t < seconds(k.plateau_start_s) || t >= seconds(k.down_at_s)) return;
+    plateau_e2e.push_back(e2e_ms);
+    ++plateau_frames;
+  };
+
+  expt::Experiment e(cfg);
+  e.build();
+
+  std::unique_ptr<ctrl::ScalePolicy> policy;
+  std::unique_ptr<ctrl::ReOptimizer> reopt;
+  if (closed_loop) {
+    ctrl::ScalePolicy::Config sc;
+    // Between the plateau's ~37 fps per replica and the post-ramp-down
+    // ~12: the down arm stays quiet at full load and only drains after
+    // the clients actually leave.
+    sc.down_ingress_fps = 30.0;
+    sc.max_replicas_per_stage = 2;
+    policy = std::make_unique<ctrl::ScalePolicy>(e.deployment(), sc);
+    ctrl::ReOptimizerConfig rc;
+    rc.interval = millis(500.0);
+    rc.breach_ticks = 2;
+    rc.clear_ticks = 4;
+    rc.cooldown = seconds(2.0);
+    // Replan arm: when scale-up caps out and the breach persists, run
+    // the placement search and move the pipeline to the winning plan.
+    rc.allow_replan = true;
+    rc.replan_after_blocked = 3;
+    rc.search.seed = k.seed;
+    rc.search.offered_clients = k.clients;
+    reopt = std::make_unique<ctrl::ReOptimizer>(*policy, e.slo_watchdog(), rc);
+    reopt->start();
+  }
+
+  // Ramp-down: every client but the first leaves at down_at_s.
+  e.testbed().runtime().schedule_after(seconds(k.down_at_s), [&] {
+    for (std::size_t i = 1; i < e.clients().size(); ++i) e.clients()[i]->stop();
+  });
+  e.run();
+
+  RunResult out;
+  out.peak_p99_ms = p99_of(plateau_e2e);
+  out.peak_fps = static_cast<double>(plateau_frames) /
+                 (k.down_at_s - k.plateau_start_s);
+  out.fps_mean = e.result().fps_mean;
+  out.final_instances = e.deployment().instances().size();
+  if (policy) {
+    out.scale_ups = policy->scale_ups();
+    out.retired = policy->retired();
+    out.forced_retires = policy->forced_retires();
+    out.drain_frames_lost = policy->drain_frames_lost();
+    for (const auto& ev : policy->events()) {
+      if ((ev.kind == ctrl::ScalePolicy::Event::Kind::kRetire ||
+           ev.kind == ctrl::ScalePolicy::Event::Kind::kForcedRetire) &&
+          ev.t >= seconds(k.down_at_s) && out.first_retire_after_down_s < 0.0) {
+        out.first_retire_after_down_s = to_seconds(ev.t - seconds(k.down_at_s));
+      }
+    }
+  }
+  if (reopt) {
+    out.scale_downs = reopt->scale_down_actions();
+    out.replans = reopt->replans();
+    for (const auto& a : reopt->actions()) {
+      out.digest = fnv_mix(out.digest, static_cast<std::uint64_t>(a.kind));
+      out.digest = fnv_mix(out.digest, static_cast<std::uint64_t>(a.t));
+      out.digest = fnv_mix(out.digest, static_cast<std::uint64_t>(a.stage));
+    }
+  }
+  std::uint64_t p99_bits = 0;
+  static_assert(sizeof(p99_bits) == sizeof(out.peak_p99_ms));
+  std::memcpy(&p99_bits, &out.peak_p99_ms, sizeof(p99_bits));
+  out.digest = fnv_mix(out.digest, p99_bits);
+  out.digest = fnv_mix(out.digest, out.final_instances);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchKnobs k;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&](const char* name) -> const char* {
+      const std::size_t n = std::strlen(name);
+      return arg.compare(0, n, name) == 0 && arg.size() > n ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = val("--clients=")) k.clients = std::atoi(v);
+    if (const char* v = val("--duration_s=")) k.duration_s = std::atof(v);
+    if (const char* v = val("--down_at_s=")) k.down_at_s = std::atof(v);
+    if (const char* v = val("--seed=")) k.seed = std::strtoull(v, nullptr, 10);
+  }
+
+  std::printf("placement_reopt: %d scAtteR++ clients on C2, ramp-down at %.0fs, %.0fs run\n",
+              k.clients, k.down_at_s, k.duration_s);
+
+  const RunResult rs = run_once(k, /*closed_loop=*/false);
+  const RunResult rr = run_once(k, /*closed_loop=*/true);
+  const RunResult rr2 = run_once(k, /*closed_loop=*/true);  // same seed: must be identical
+
+  Table t({"run", "peak p99 (ms)", "peak FPS", "FPS/client", "replicas end", "retired"});
+  t.add_row({"static", Table::num(rs.peak_p99_ms, 1), Table::num(rs.peak_fps, 1),
+             Table::num(rs.fps_mean, 1), std::to_string(rs.final_instances), "-"});
+  t.add_row({"reopt", Table::num(rr.peak_p99_ms, 1), Table::num(rr.peak_fps, 1),
+             Table::num(rr.fps_mean, 1), std::to_string(rr.final_instances),
+             std::to_string(rr.retired)});
+  t.print();
+
+  const double p99_improvement_pct =
+      rs.peak_p99_ms > 0.0 ? 100.0 * (rs.peak_p99_ms - rr.peak_p99_ms) / rs.peak_p99_ms
+                           : 0.0;
+  std::printf("  plateau p99: static %.1fms -> reopt %.1fms (%+.1f%%), scale-ups %llu, "
+              "scale-downs %llu, replans %llu\n",
+              rs.peak_p99_ms, rr.peak_p99_ms, p99_improvement_pct,
+              static_cast<unsigned long long>(rr.scale_ups),
+              static_cast<unsigned long long>(rr.scale_downs),
+              static_cast<unsigned long long>(rr.replans));
+  if (rr.first_retire_after_down_s >= 0.0) {
+    std::printf("  first retire %.1fs after ramp-down, drain losses %llu (forced %llu)\n",
+                rr.first_retire_after_down_s,
+                static_cast<unsigned long long>(rr.drain_frames_lost),
+                static_cast<unsigned long long>(rr.forced_retires));
+  }
+
+  int gates_failed = 0;
+  if (!(rr.peak_p99_ms < rs.peak_p99_ms)) {
+    ++gates_failed;
+    std::printf("  GATE FAILED: reopt plateau p99 %.1fms !< static %.1fms\n", rr.peak_p99_ms,
+                rs.peak_p99_ms);
+  }
+  const bool scaled_down_in_time = rr.retired >= 1 &&
+                                   rr.first_retire_after_down_s >= 0.0 &&
+                                   rr.first_retire_after_down_s <= k.scale_down_slack_s;
+  if (!scaled_down_in_time) {
+    ++gates_failed;
+    std::printf("  GATE FAILED: no retire within %.0fs of the ramp-down\n",
+                k.scale_down_slack_s);
+  }
+  if (rr.drain_frames_lost != 0) {
+    ++gates_failed;
+    std::printf("  GATE FAILED: %llu frames lost on the drain path\n",
+                static_cast<unsigned long long>(rr.drain_frames_lost));
+  }
+  const bool rerun_identical = rr.digest == rr2.digest && rr.peak_p99_ms == rr2.peak_p99_ms;
+  if (!rerun_identical) {
+    ++gates_failed;
+    std::printf("  GATE FAILED: same-seed rerun diverged (%016llx vs %016llx)\n",
+                static_cast<unsigned long long>(rr.digest),
+                static_cast<unsigned long long>(rr2.digest));
+  }
+  const std::string metrics = telemetry::MetricRegistry::instance().prometheus_text();
+  const bool metrics_visible = metrics.find("mar_ctrl_scale_up_total") != std::string::npos &&
+                               metrics.find("mar_ctrl_scale_down_total") != std::string::npos &&
+                               metrics.find("mar_ctrl_drain_retired_total") != std::string::npos;
+  if (!metrics_visible) {
+    ++gates_failed;
+    std::printf("  GATE FAILED: mar_ctrl_* counters missing from /metrics\n");
+  }
+
+  // --- placement search determinism ---------------------------------
+  ctrl::PlacementSearchConfig pc;
+  pc.seed = k.seed;
+  pc.offered_clients = 6;
+  pc.eval_duration = seconds(4.0);
+  ctrl::PlacementSearch sa(pc);
+  const ctrl::PlacementSearch::Result pa = sa.run();
+  ctrl::PlacementSearch sb(pc);
+  const ctrl::PlacementSearch::Result pb = sb.run();
+  std::printf("  placement search: best %s (score %.3f, p99 %.1fms, %d machines), "
+              "%llu evals / %llu cached, digest %016llx\n",
+              pa.best.label().c_str(), pa.best_score.score, pa.best_score.e2e_p99_ms,
+              pa.best_score.machines, static_cast<unsigned long long>(pa.evaluations),
+              static_cast<unsigned long long>(pa.cache_hits),
+              static_cast<unsigned long long>(pa.digest));
+  const bool search_deterministic =
+      pa.digest == pb.digest && pa.best.key() == pb.best.key();
+  if (!search_deterministic) {
+    ++gates_failed;
+    std::printf("  GATE FAILED: same-seed placement search diverged\n");
+  }
+
+  char run_digest[32], search_digest[32];
+  std::snprintf(run_digest, sizeof(run_digest), "%016llx",
+                static_cast<unsigned long long>(rr.digest));
+  std::snprintf(search_digest, sizeof(search_digest), "%016llx",
+                static_cast<unsigned long long>(pa.digest));
+  std::ostringstream j;
+  j << "{\n  \"bench\": \"placement_reopt\",\n";
+  j << "  \"config\": {\"clients\": " << k.clients << ", \"duration_s\": "
+    << jnum(k.duration_s) << ", \"down_at_s\": " << jnum(k.down_at_s)
+    << ", \"seed\": " << k.seed << "},\n";
+  j << "  \"static\": {\"peak_p99_ms\": " << jnum(rs.peak_p99_ms)
+    << ", \"peak_fps\": " << jnum(rs.peak_fps) << ", \"fps_mean\": " << jnum(rs.fps_mean)
+    << ", \"final_instances\": " << rs.final_instances << "},\n";
+  j << "  \"reopt\": {\"peak_p99_ms\": " << jnum(rr.peak_p99_ms)
+    << ", \"peak_fps\": " << jnum(rr.peak_fps) << ", \"fps_mean\": " << jnum(rr.fps_mean)
+    << ", \"final_instances\": " << rr.final_instances
+    << ", \"scale_ups\": " << rr.scale_ups << ", \"scale_downs\": " << rr.scale_downs
+    << ", \"replans\": " << rr.replans
+    << ", \"retired\": " << rr.retired << ", \"forced_retires\": " << rr.forced_retires
+    << ", \"drain_frames_lost\": " << rr.drain_frames_lost
+    << ", \"first_retire_after_down_s\": " << jnum(rr.first_retire_after_down_s)
+    << ", \"digest\": " << jstr(run_digest) << "},\n";
+  j << "  \"p99_improvement_pct\": " << jnum(p99_improvement_pct) << ",\n";
+  j << "  \"rerun_identical\": " << (rerun_identical ? "true" : "false") << ",\n";
+  j << "  \"metrics_visible\": " << (metrics_visible ? "true" : "false") << ",\n";
+  j << "  \"search\": {\"best\": " << jstr(pa.best.label())
+    << ", \"score\": " << jnum(pa.best_score.score)
+    << ", \"e2e_p99_ms\": " << jnum(pa.best_score.e2e_p99_ms)
+    << ", \"fps\": " << jnum(pa.best_score.fps)
+    << ", \"machines\": " << pa.best_score.machines
+    << ", \"state_mbytes_s\": " << jnum(pa.best_score.state_mbytes_s)
+    << ", \"evaluations\": " << pa.evaluations << ", \"cache_hits\": " << pa.cache_hits
+    << ", \"digest\": " << jstr(search_digest)
+    << ", \"deterministic\": " << (search_deterministic ? "true" : "false") << "},\n";
+  j << "  \"gates_failed\": " << gates_failed << "\n}\n";
+  if (!write_text_file("BENCH_placement.json", j.str())) {
+    std::printf("  (could not write BENCH_placement.json)\n");
+  }
+  std::printf("  gates_failed: %d -> BENCH_placement.json\n", gates_failed);
+  return gates_failed == 0 ? 0 : 1;
+}

@@ -38,6 +38,11 @@ target_link_libraries(profile_attribution PRIVATE mar_vision mar_video mar_net
 mar_bench(ablation_scatterpp_parts)
 mar_bench(ablation_sidecar_threshold)
 mar_bench(ablation_app_aware)
+target_link_libraries(ablation_app_aware PRIVATE mar_ctrl)
+
+# Closed-loop control plane vs static placement; needs src/ctrl.
+mar_bench(placement_reopt)
+target_link_libraries(placement_reopt PRIVATE mar_ctrl)
 mar_bench(ablation_vertical_scaling)
 
 add_executable(vision_microbench ${CMAKE_SOURCE_DIR}/bench/vision_microbench.cc)

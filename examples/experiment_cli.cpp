@@ -46,10 +46,25 @@
 //   --respawn_ms    eviction -> respawn delay      (default 1000)
 // Any of the three timing knobs (or a fault plan with a crash/reboot)
 // enables heartbeat failover.
+//
+// Control plane (src/ctrl; see ARCHITECTURE.md §11):
+//   --placement_search  run the deterministic multi-objective placement
+//                       search first and deploy its winning plan
+//                       (overrides --placement)
+//   --reopt             close the loop during the run: ScalePolicy +
+//                       ReOptimizer (scale-up under sustained drops,
+//                       drain-based scale-down, mar_ctrl_* counters);
+//                       prints a control-action summary table
+//   --drain_ms D        drain deadline before a force-retire (default
+//                       10000; only meaningful with --reopt)
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "ctrl/placement_search.h"
+#include "ctrl/reoptimizer.h"
+#include "ctrl/scale_policy.h"
 #include "expt/experiment.h"
 #include "expt/report.h"
 #include "expt/table.h"
@@ -96,6 +111,9 @@ int main(int argc, char** argv) {
   bool profile = false;
   int profile_hz = 99;
   std::string profile_out = "experiment_profile";
+  bool placement_search = false;
+  bool reopt = false;
+  double drain_ms = 10000.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -154,6 +172,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--respawn_ms") {
       failover.respawn_delay = millis(std::atof(next()));
       failover_requested = true;
+    } else if (arg == "--placement_search") {
+      placement_search = true;
+    } else if (arg == "--reopt") {
+      reopt = true;
+    } else if (arg == "--drain_ms") {
+      drain_ms = std::atof(next());
     } else if (arg == "--help") {
       std::printf("see the header of examples/experiment_cli.cpp for usage\n");
       return 0;
@@ -163,6 +187,22 @@ int main(int argc, char** argv) {
     }
   }
   cfg.placement = parse_placement(placement_spec);
+  if (placement_search) {
+    ctrl::PlacementSearchConfig pc;
+    pc.seed = cfg.seed;
+    pc.mode = cfg.mode;
+    pc.costs = cfg.costs;
+    pc.target_fps = cfg.client_fps;
+    pc.offered_clients = cfg.num_clients;
+    ctrl::PlacementSearch search(pc);
+    const ctrl::PlacementSearch::Result found = search.run();
+    std::printf("placement search: best %s (score %.3f, predicted p99 %.1f ms, "
+                "%d machines, %llu evals)\n",
+                found.best.label().c_str(), found.best_score.score,
+                found.best_score.e2e_p99_ms, found.best_score.machines,
+                static_cast<unsigned long long>(found.evaluations));
+    cfg.placement = found.best.to_placement();
+  }
   if (!fault_plan_text.empty()) {
     auto plan = fault::FaultPlan::parse(fault_plan_text);
     if (!plan.is_ok()) {
@@ -195,7 +235,21 @@ int main(int argc, char** argv) {
   std::printf("running %s on %s with %d client(s), %.0f s window...\n",
               to_string(cfg.mode), cfg.placement.to_label().c_str(), cfg.num_clients,
               to_seconds(cfg.duration));
-  const ExperimentResult r = run_experiment(cfg);
+  Experiment e(cfg);
+  e.build();
+  std::unique_ptr<ctrl::ScalePolicy> policy;
+  std::unique_ptr<ctrl::ReOptimizer> reoptimizer;
+  if (reopt) {
+    ctrl::ScalePolicy::Config sc;
+    sc.drain_deadline = millis(drain_ms);
+    policy = std::make_unique<ctrl::ScalePolicy>(e.deployment(), sc);
+    reoptimizer =
+        std::make_unique<ctrl::ReOptimizer>(*policy, e.slo_watchdog(),
+                                            ctrl::ReOptimizerConfig{});
+    reoptimizer->start();
+  }
+  e.run();
+  const ExperimentResult r = e.result();
 
   if (profile) {
     const telemetry::ProfileReport prof_report = telemetry::Profiler::instance().stop();
@@ -239,6 +293,19 @@ int main(int argc, char** argv) {
                      std::to_string(r.fault.state_lost), std::to_string(r.fault.fetch_timeouts),
                      std::to_string(r.fault.tx_suppressed)});
     fault_t.print();
+  }
+
+  if (reoptimizer) {
+    Table ctrl_t({"scale-ups", "scale-downs", "replans", "blocked", "retired",
+                  "forced", "drain loss"});
+    ctrl_t.add_row({std::to_string(reoptimizer->scale_up_actions()),
+                    std::to_string(reoptimizer->scale_down_actions()),
+                    std::to_string(reoptimizer->replans()),
+                    std::to_string(reoptimizer->blocked()),
+                    std::to_string(policy->retired()),
+                    std::to_string(policy->forced_retires()),
+                    std::to_string(policy->drain_frames_lost())});
+    ctrl_t.print();
   }
 
   if (r.retention.enabled) {

@@ -1,23 +1,30 @@
-// Orchestrated failure recovery.
+// Orchestrated failure recovery, then a live drain.
 //
-// Deploys scAtteR++ and kills the single-instance lsh service mid-run;
-// the orchestrator's watchdog detects the dead replica and re-deploys
-// it (paper §3.2: Oakestra "automatically re-deploys services upon
-// failures"). Delivered framerate collapses while the stage is gone
-// and recovers after the restart.
+// Act 1: deploys scAtteR++ and kills the single-instance lsh service
+// mid-run; the orchestrator's watchdog detects the dead replica and
+// re-deploys it (paper §3.2: Oakestra "automatically re-deploys
+// services upon failures"). Delivered framerate collapses while the
+// stage is gone and recovers after the restart.
+//
+// Act 2: at t=20s the control plane drains one of the two sift
+// replicas live — routing stops immediately, in-flight frames finish,
+// and the replica retires without losing a frame (the scale-down half
+// of src/ctrl's drain-before-decommission path).
 //
 // Build & run:  ./build/examples/orchestrated_failover
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "ctrl/scale_policy.h"
 #include "expt/experiment.h"
 
 using namespace mar;
 using namespace mar::expt;
 
 int main() {
-  std::printf("Failure injection: killing the only lsh instance at t=10s\n\n");
+  std::printf("Failure injection: killing the only lsh instance at t=10s,\n"
+              "then draining a surplus sift replica at t=20s\n\n");
 
   ExperimentConfig cfg;
   cfg.mode = core::PipelineMode::kScatterPP;
@@ -39,6 +46,17 @@ int main() {
     orch.kill_instance(victim);
   });
 
+  // The live drain: mark the second sift replica draining at t=20s;
+  // the policy's monitor retires it once its queue and in-flight work
+  // settle.
+  ctrl::ScalePolicy policy(e.deployment(), ctrl::ScalePolicy::Config{});
+  const InstanceId surplus = orch.instances_of(Stage::kSift).back();
+  e.testbed().loop().schedule_at(seconds(20.0), [&policy, surplus] {
+    std::printf("t=20s  draining sift instance %u (routing stops now)\n",
+                surplus.value());
+    policy.drain(surplus);
+  });
+
   e.run();
 
   // Per-second successful-frame rate across all clients.
@@ -56,5 +74,9 @@ int main() {
   }
   std::printf("\nredeploys performed by the watchdog: %llu\n",
               static_cast<unsigned long long>(orch.redeploy_count()));
+  std::printf("drain: retired %llu replica(s), %llu forced, %llu frame(s) lost\n",
+              static_cast<unsigned long long>(policy.retired()),
+              static_cast<unsigned long long>(policy.forced_retires()),
+              static_cast<unsigned long long>(policy.drain_frames_lost()));
   return 0;
 }

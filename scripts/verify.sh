@@ -82,6 +82,18 @@ grep -q '"gates_failed": 0' "$PROFILE_JSON" || {
   echo "verify: FAIL — profile-attribution gates violated (see $PROFILE_JSON)" >&2; exit 1; }
 echo "verify: profile attribution OK"
 
+# Control-plane gate: the closed loop (scale-up under breach, drain-
+# based scale-down after the ramp-down, same-seed bit-identical rerun,
+# deterministic placement search) must strictly beat the static
+# deployment on plateau E2E p99 and lose zero frames on the drain path.
+(cd "$BUILD_DIR/bench" && ./placement_reopt)
+PLACEMENT_JSON="$BUILD_DIR/bench/BENCH_placement.json"
+grep -q '"gates_failed": 0' "$PLACEMENT_JSON" || {
+  echo "verify: FAIL — placement/reopt gates violated (see $PLACEMENT_JSON)" >&2; exit 1; }
+grep -q '"rerun_identical": true' "$PLACEMENT_JSON" || {
+  echo "verify: FAIL — closed-loop rerun not bit-identical" >&2; exit 1; }
+echo "verify: placement reopt OK"
+
 # Docs lint: path references in the curated docs must resolve against
 # the working tree (stale pointers after refactors fail verify).
 if command -v python3 >/dev/null 2>&1; then

@@ -1,0 +1,35 @@
+// Shared telemetry for control-plane actions: every scale/drain/replan
+// decision is exported as a mar_ctrl_* counter and, when tracing is
+// on, as an instant on the dedicated control-plane track so forensics
+// timelines show *why* a replica appeared or drained next to the
+// frames it affected.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
+
+namespace mar::ctrl {
+
+inline void ctrl_count(const char* name, const char* help, Stage stage) {
+  telemetry::MetricRegistry::instance()
+      .counter(name, help, {{"stage", std::string(to_string(stage))}})
+      .inc();
+}
+
+inline void ctrl_count(const char* name, const char* help, const char* reason) {
+  telemetry::MetricRegistry::instance()
+      .counter(name, help, {{"reason", std::string(reason)}})
+      .inc();
+}
+
+inline void ctrl_trace(const char* what, SimTime ts, Stage stage, double value = 0.0) {
+  auto& tracer = telemetry::Tracer::instance();
+  if (tracer.enabled()) {
+    tracer.instant(telemetry::kCtrlTrack, what, ts, ClientId{0}, FrameId{0}, stage, value);
+  }
+}
+
+}  // namespace mar::ctrl

@@ -1,0 +1,320 @@
+#include "ctrl/placement_search.h"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "core/frame_flow.h"
+#include "expt/testbed.h"
+
+namespace mar::ctrl {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+hw::MachineSpec spec_for(expt::Site site) {
+  switch (site) {
+    case expt::Site::kE1:
+      return hw::MachineSpec::edge1();
+    case expt::Site::kE2:
+      return hw::MachineSpec::edge2();
+    case expt::Site::kCloud:
+      return hw::MachineSpec::cloud();
+  }
+  return hw::MachineSpec::edge2();
+}
+
+// One-way latencies mirroring the Testbed's default link table, so the
+// fast evaluator prices a candidate split the way the full DES would.
+SimDuration access_latency_to(expt::Site site) {
+  const expt::TestbedConfig tb{};
+  switch (site) {
+    case expt::Site::kE1:
+      return tb.client_e1.latency;
+    case expt::Site::kE2:
+      return tb.client_e1.latency + tb.e1_e2.latency;
+    case expt::Site::kCloud:
+      return tb.client_cloud.latency;
+  }
+  return tb.client_e1.latency;
+}
+
+SimDuration cross_latency_between(expt::Site a, expt::Site b) {
+  const expt::TestbedConfig tb{};
+  if (a == b) return 0;
+  if (a == expt::Site::kCloud || b == expt::Site::kCloud) return tb.edge_cloud.latency;
+  return tb.e1_e2.latency;
+}
+
+Stage gpu_heavy_stage(const hw::CostModel& costs) {
+  Stage heavy = Stage::kSift;
+  SimDuration best = 0;
+  for (int s = 0; s < kNumStages; ++s) {
+    const auto stage = static_cast<Stage>(s);
+    if (costs.stage(stage).gpu_time > best) {
+      best = costs.stage(stage).gpu_time;
+      heavy = stage;
+    }
+  }
+  return heavy;
+}
+
+}  // namespace
+
+expt::SymbolicPlacement CandidatePlan::to_placement() const {
+  expt::SymbolicPlacement p;
+  for (int s = 0; s < kNumStages; ++s) {
+    const int n = std::max(replicas[static_cast<std::size_t>(s)], 1);
+    for (int r = 0; r < n; ++r) {
+      p.replicas[static_cast<std::size_t>(s)].push_back(site[static_cast<std::size_t>(s)]);
+    }
+  }
+  return p;
+}
+
+std::string CandidatePlan::label() const {
+  std::string out;
+  for (int s = 0; s < kNumStages; ++s) {
+    if (s) out += '.';
+    out += expt::to_string(site[static_cast<std::size_t>(s)]);
+    if (replicas[static_cast<std::size_t>(s)] > 1) {
+      out += 'x';
+      out += std::to_string(replicas[static_cast<std::size_t>(s)]);
+    }
+  }
+  return out;
+}
+
+std::uint32_t CandidatePlan::key() const {
+  std::uint32_t k = 0;
+  for (int s = 0; s < kNumStages; ++s) {
+    const auto site_bits = static_cast<std::uint32_t>(site[static_cast<std::size_t>(s)]) & 3u;
+    const auto rep_bits =
+        static_cast<std::uint32_t>(std::clamp(replicas[static_cast<std::size_t>(s)], 1, 4) - 1) &
+        3u;
+    k |= (site_bits | (rep_bits << 2)) << (s * 4);
+  }
+  return k;
+}
+
+CandidatePlan CandidatePlan::uniform(expt::Site site) {
+  CandidatePlan p;
+  p.site.fill(site);
+  p.replicas.fill(1);
+  return p;
+}
+
+PlacementSearch::PlacementSearch(PlacementSearchConfig config) : config_(std::move(config)) {}
+
+PlanScore PlacementSearch::evaluate(const CandidatePlan& plan) {
+  const auto hit = memo_.find(plan.key());
+  if (hit != memo_.end()) return hit->second;
+
+  // Distinct sites, in stage order, define the evaluator's partitions.
+  std::vector<expt::Site> sites;
+  std::array<int, kNumStages> part_of{};
+  for (int s = 0; s < kNumStages; ++s) {
+    const expt::Site st = plan.site[static_cast<std::size_t>(s)];
+    auto it = std::find(sites.begin(), sites.end(), st);
+    if (it == sites.end()) {
+      part_of[static_cast<std::size_t>(s)] = static_cast<int>(sites.size());
+      sites.push_back(st);
+    } else {
+      part_of[static_cast<std::size_t>(s)] = static_cast<int>(it - sites.begin());
+    }
+  }
+
+  const Stage heavy = gpu_heavy_stage(config_.costs);
+  const int heavy_reps = std::clamp(
+      plan.replicas[static_cast<std::size_t>(heavy)], 1, std::max(config_.max_replicas, 1));
+
+  expt::CapacityConfig cc;
+  cc.mode = config_.mode;
+  cc.machines = static_cast<int>(sites.size());
+  cc.costs = config_.costs;
+  // The GPU-heavy stage's site is the bottleneck box; replicating that
+  // stage multiplies its slot pool (extra boxes show up in the machine
+  // objective instead of as magically bigger GPUs elsewhere).
+  cc.machine_spec = spec_for(plan.site[static_cast<std::size_t>(heavy)]);
+  for (auto& g : cc.machine_spec.gpus) g.slots *= static_cast<std::uint32_t>(heavy_reps);
+  cc.access_latency = access_latency_to(plan.site[0]);
+  // The partitioned engine prices every cross hop with one latency;
+  // use the smallest used pair so the conservative lookahead stays
+  // valid (an underestimate for mixed edge+cloud splits — the latency
+  // objective still separates them via the access link).
+  SimDuration cross = millis(2.0);
+  bool first = true;
+  for (std::size_t a = 0; a < sites.size(); ++a) {
+    for (std::size_t b = a + 1; b < sites.size(); ++b) {
+      const SimDuration l = cross_latency_between(sites[a], sites[b]);
+      if (first || l < cross) {
+        cross = l;
+        first = false;
+      }
+    }
+  }
+  cc.cross_latency = cross;
+  cc.population.mean_population = config_.fluid_population;
+  cc.warmup = config_.eval_warmup;
+  cc.duration = config_.eval_duration;
+  cc.target_fps = config_.target_fps;
+  cc.seed = config_.seed;
+  cc.timeline_interval = 0;
+  // Probes sit where the plan puts the work: homed at the client
+  // attach partition (first stage's site), served by the GPU-heavy
+  // stage's partition — a split plan pays the cross-partition hop (and
+  // scAtteR its state-fetch round trip) on every probe frame.
+  const int home = part_of[0];
+  const int serve = part_of[static_cast<std::size_t>(heavy)];
+  for (int i = 0; i < std::max(config_.offered_clients, 1); ++i) {
+    cc.probe_set.push_back(expt::CapacityProbeSpec{home, serve, config_.target_fps});
+  }
+
+  expt::CapacityEngine engine(cc);
+  const expt::CapacityResult r = engine.run(/*threads=*/1);
+
+  PlanScore s;
+  s.e2e_p99_ms = r.detailed_e2e_p99_ms;
+  s.fps = r.detailed_fps_mean;
+  s.success = r.detailed_success_rate;
+  int extras = 0;
+  for (int st = 0; st < kNumStages; ++st) {
+    extras += std::max(plan.replicas[static_cast<std::size_t>(st)] - 1, 0);
+  }
+  s.machines = static_cast<int>(sites.size()) + extras;
+
+  // Predicted cross-site transfer: consecutive-hop payloads that cross
+  // a site boundary, plus scAtteR's out-of-band state fetch when the
+  // stateful sift and the matcher are split.
+  const bool in_band = config_.mode == core::PipelineMode::kScatterPP;
+  double bytes_per_frame = 0.0;
+  for (int st = 0; st + 1 < kNumStages; ++st) {
+    if (plan.site[static_cast<std::size_t>(st)] == plan.site[static_cast<std::size_t>(st + 1)])
+      continue;
+    bytes_per_frame +=
+        static_cast<double>(core::payload_for_hop(static_cast<Stage>(st + 1), in_band));
+  }
+  if (config_.mode == core::PipelineMode::kScatter &&
+      plan.site[static_cast<std::size_t>(Stage::kSift)] !=
+          plan.site[static_cast<std::size_t>(Stage::kMatching)]) {
+    bytes_per_frame += static_cast<double>(config_.costs.state_entry_bytes);
+  }
+  const double offered_fps = static_cast<double>(config_.offered_clients) * config_.target_fps;
+  s.state_mbytes_s = bytes_per_frame * offered_fps / 1e6;
+
+  const double budget = to_millis(config_.costs.sidecar_threshold);
+  const double lat =
+      (s.success > 0.0 && s.e2e_p99_ms > 0.0 ? s.e2e_p99_ms : 2.0 * budget) / budget;
+  const double shortfall = std::max(0.0, 1.0 - s.fps / config_.target_fps);
+  s.score = config_.w_latency * lat + config_.w_fps * shortfall +
+            config_.w_machines * static_cast<double>(s.machines) / 3.0 +
+            config_.w_state * s.state_mbytes_s / 10.0;
+  if (s.success < 0.5) s.score += 10.0;  // infeasible plans sink
+
+  memo_.emplace(plan.key(), s);
+  return s;
+}
+
+PlanScore PlacementSearch::evaluate_tracked(const CandidatePlan& plan, Result& out) {
+  const bool cached = memo_.count(plan.key()) > 0;
+  const PlanScore s = evaluate(plan);
+  if (cached) {
+    ++out.cache_hits;
+  } else {
+    ++out.evaluations;
+  }
+  out.digest = fnv_mix(out.digest, plan.key());
+  out.digest = fnv_mix(out.digest, std::bit_cast<std::uint64_t>(s.score));
+  return s;
+}
+
+CandidatePlan PlacementSearch::mutate(const CandidatePlan& parent, Rng& rng) const {
+  CandidatePlan child = parent;
+  const auto s = static_cast<std::size_t>(rng.uniform_int(0, kNumStages - 1));
+  const int num_sites = config_.allow_cloud ? 3 : 2;
+  if (s == 0 || rng.uniform(0.0, 1.0) < 0.5) {
+    // Site flip (to a different allowed site).
+    const int cur = static_cast<int>(child.site[s]);
+    const int step = 1 + static_cast<int>(rng.uniform_int(0, num_sites - 2));
+    child.site[s] = static_cast<expt::Site>((cur + step) % num_sites);
+  } else {
+    // Replica nudge (the primary never replicates).
+    const int delta = rng.uniform(0.0, 1.0) < 0.5 ? 1 : -1;
+    child.replicas[s] =
+        std::clamp(child.replicas[s] + delta, 1, std::max(config_.max_replicas, 1));
+  }
+  child.replicas[0] = 1;
+  return child;
+}
+
+PlacementSearch::Result PlacementSearch::run() {
+  Result out;
+  out.digest = kFnvOffset;
+  Rng rng(config_.seed ^ 0x9e3779b97f4a7c15ULL);
+
+  // Seed population: the paper's baseline placements, then mutants.
+  std::vector<CandidatePlan> pop;
+  pop.push_back(CandidatePlan::uniform(expt::Site::kE2));  // C2
+  pop.push_back(CandidatePlan::uniform(expt::Site::kE1));  // C1
+  if (config_.allow_cloud) pop.push_back(CandidatePlan::uniform(expt::Site::kCloud));
+  CandidatePlan c12 = CandidatePlan::uniform(expt::Site::kE2);
+  c12.site[0] = expt::Site::kE1;
+  c12.site[1] = expt::Site::kE1;
+  pop.push_back(c12);  // C12 = {E1,E1,E2,E2,E2}
+  CandidatePlan c21 = CandidatePlan::uniform(expt::Site::kE1);
+  c21.site[0] = expt::Site::kE2;
+  c21.site[1] = expt::Site::kE2;
+  pop.push_back(c21);  // C21 = {E2,E2,E1,E1,E1}
+  while (static_cast<int>(pop.size()) < config_.population) {
+    const auto pick = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pop.size()) - 1));
+    pop.push_back(mutate(pop[pick], rng));
+  }
+
+  struct Scored {
+    CandidatePlan plan;
+    PlanScore score;
+  };
+  Scored best{};
+  for (int gen = 0; gen <= std::max(config_.generations, 0); ++gen) {
+    std::vector<Scored> scored;
+    scored.reserve(pop.size());
+    for (const CandidatePlan& p : pop) scored.push_back(Scored{p, evaluate_tracked(p, out)});
+    std::stable_sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+      if (a.score.score != b.score.score) return a.score.score < b.score.score;
+      return a.plan.key() < b.plan.key();
+    });
+    best = scored.front();
+    if (gen == std::max(config_.generations, 0)) break;
+    const auto elites = static_cast<std::size_t>(
+        std::clamp<int>(config_.elites, 1, static_cast<int>(scored.size())));
+    std::vector<CandidatePlan> next;
+    next.reserve(pop.size());
+    for (std::size_t i = 0; i < elites; ++i) next.push_back(scored[i].plan);
+    const std::size_t half = std::max<std::size_t>(scored.size() / 2, 1);
+    while (next.size() < pop.size()) {
+      // Tournament of two over the fitter half.
+      const auto a = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(half) - 1));
+      const auto b = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(half) - 1));
+      next.push_back(mutate(scored[std::min(a, b)].plan, rng));
+    }
+    pop = std::move(next);
+  }
+
+  out.best = best.plan;
+  out.best_score = best.score;
+  return out;
+}
+
+}  // namespace mar::ctrl

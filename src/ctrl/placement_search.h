@@ -1,0 +1,108 @@
+// ctrl::PlacementSearch — deterministic multi-objective placement
+// search over C1/C2/C12/C21-style plans.
+//
+// The genome is per-stage {site, replica count}; the search is a
+// seeded small genetic algorithm in the shape of Herabad et al.
+// (arXiv:2403.12849): elitist survival, tournament parents, point
+// mutations over site/replica genes, memoized evaluations. Candidate
+// plans are scored on four objectives — predicted E2E p99, delivered
+// FPS against the target, machine count (the energy objective of
+// arXiv:1611.09243: every occupied box and extra replica costs), and
+// predicted cross-site state-transfer bytes — using the capacity
+// engine's fluid model as the fast evaluator: one partition per
+// distinct site, probes homed at the client attach point and served
+// where the GPU-heavy stage lives, so split placements pay real
+// cross-partition latency and scAtteR pays its state-fetch round trip.
+//
+// Same seed => same evaluation sequence => the same plan and digest,
+// at any point in any process (the evaluator runs single-threaded and
+// the partitioned engine is bit-identical regardless).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/rng.h"
+#include "expt/capacity.h"
+#include "expt/experiment.h"
+#include "hw/cost_model.h"
+
+namespace mar::ctrl {
+
+struct CandidatePlan {
+  std::array<expt::Site, kNumStages> site{};  // site of every replica of the stage
+  std::array<int, kNumStages> replicas{};     // >= 1; primary is always 1
+
+  [[nodiscard]] expt::SymbolicPlacement to_placement() const;
+  [[nodiscard]] std::string label() const;  // e.g. "E2.E2x2.E2.E2.E2"
+  // Packed genome (4 bits per stage: 2 site + 2 replica) — memo key
+  // and digest input.
+  [[nodiscard]] std::uint32_t key() const;
+
+  static CandidatePlan uniform(expt::Site site);  // C1/C2/cloud-style
+};
+
+struct PlanScore {
+  double e2e_p99_ms = 0.0;
+  double fps = 0.0;
+  double success = 0.0;
+  int machines = 0;          // occupied sites + extra replicas
+  double state_mbytes_s = 0.0;  // predicted cross-site transfer
+  double score = 0.0;           // weighted objective; lower is better
+};
+
+struct PlacementSearchConfig {
+  std::uint64_t seed = 1;
+  core::PipelineMode mode = core::PipelineMode::kScatterPP;
+  hw::CostModel costs = hw::CostModel::standard();
+  double target_fps = 25.0;
+  // Offered load the evaluator simulates: detailed probes at
+  // target_fps, plus an optional fluid background population.
+  int offered_clients = 6;
+  double fluid_population = 0.0;
+  int max_replicas = 3;
+  // GA shape: population per generation, generations after the seeded
+  // first one, elites carried over unchanged.
+  int population = 6;
+  int generations = 4;
+  int elites = 2;
+  SimDuration eval_warmup = seconds(1.0);
+  SimDuration eval_duration = seconds(6.0);
+  // Objective weights over normalized terms (lower total = better):
+  // p99/budget, FPS shortfall vs target, (sites+extras)/3, MB/s / 10.
+  double w_latency = 1.0;
+  double w_fps = 2.0;
+  double w_machines = 0.3;
+  double w_state = 0.15;
+  bool allow_cloud = true;
+};
+
+class PlacementSearch {
+ public:
+  explicit PlacementSearch(PlacementSearchConfig config);
+
+  // Evaluate one plan on the capacity engine's fluid model (memoized).
+  [[nodiscard]] PlanScore evaluate(const CandidatePlan& plan);
+
+  struct Result {
+    CandidatePlan best;
+    PlanScore best_score;
+    std::uint64_t evaluations = 0;  // capacity-engine runs (cache misses)
+    std::uint64_t cache_hits = 0;
+    std::uint64_t digest = 0;  // FNV over (key, score bits) in eval order
+  };
+  Result run();
+
+  [[nodiscard]] const PlacementSearchConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] CandidatePlan mutate(const CandidatePlan& parent, Rng& rng) const;
+  PlanScore evaluate_tracked(const CandidatePlan& plan, Result& out);
+
+  PlacementSearchConfig config_;
+  std::map<std::uint32_t, PlanScore> memo_;
+};
+
+}  // namespace mar::ctrl

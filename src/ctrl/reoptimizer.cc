@@ -1,0 +1,135 @@
+#include "ctrl/reoptimizer.h"
+
+#include <array>
+
+#include "ctrl/ctrl_telemetry.h"
+
+namespace mar::ctrl {
+
+ReOptimizer::ReOptimizer(ScalePolicy& policy, expt::SloWatchdog* watchdog,
+                         ReOptimizerConfig config)
+    : policy_(policy), watchdog_(watchdog), config_(config) {}
+
+ReOptimizer::~ReOptimizer() { *alive_ = false; }
+
+void ReOptimizer::start() {
+  if (running_) return;
+  running_ = true;
+  telemetry::Tracer::instance().set_track_name(telemetry::kCtrlTrack, "control plane");
+  auto& rt = policy_.deployment().testbed().runtime();
+  rt.schedule_after(config_.interval, [this, alive = alive_] {
+    if (*alive) tick();
+  });
+}
+
+void ReOptimizer::record_blocked(SimTime now, Stage stage, double signal,
+                                 const char* reason) {
+  ++blocked_;
+  actions_.push_back(CtrlAction{now, CtrlAction::Kind::kBlocked, stage, signal, reason});
+  ctrl_count("mar_ctrl_blocked_total",
+             "control actions withheld (cooldown, fault in flight, replica cap)", reason);
+  ctrl_trace(telemetry::spans::kCtrlBlocked, now, stage, signal);
+}
+
+void ReOptimizer::try_replan(SimTime now) {
+  auto& deployment = policy_.deployment();
+  auto& orch = deployment.orchestrator();
+  PlacementSearch search(config_.search);
+  const PlacementSearch::Result res = search.run();
+  ++replans_;
+  capped_run_ = 0;
+  breach_run_ = 0;
+  last_action_t_ = now;
+  actions_.push_back(CtrlAction{now, CtrlAction::Kind::kReplan, Stage::kPrimary,
+                                res.best_score.score, ""});
+  ctrl_count("mar_ctrl_replan_total",
+             "placement searches run and applied by the closed loop", "search");
+  ctrl_trace(telemetry::spans::kCtrlReplan, now, Stage::kPrimary, res.best_score.score);
+
+  // Apply: rebuild replicas whose stage the winning plan places on a
+  // different site (same InstanceId, respawn machinery). Draining or
+  // retired replicas are left to finish their exit.
+  auto machine_for = [&](expt::Site site) {
+    switch (site) {
+      case expt::Site::kE1:
+        return deployment.testbed().e1();
+      case expt::Site::kE2:
+        return deployment.testbed().e2();
+      case expt::Site::kCloud:
+        return deployment.testbed().cloud();
+    }
+    return deployment.testbed().e1();
+  };
+  for (int s = 0; s < kNumStages; ++s) {
+    const auto stage = static_cast<Stage>(s);
+    const MachineId target = machine_for(res.best.site[static_cast<std::size_t>(s)]);
+    for (InstanceId id : orch.instances_of(stage)) {
+      if (orch.is_retired(id) || orch.is_draining(id)) continue;
+      if (orch.host(id).machine().id() == target) continue;
+      orch.move_instance(id, target);
+    }
+  }
+}
+
+void ReOptimizer::tick() {
+  auto& deployment = policy_.deployment();
+  auto& orch = deployment.orchestrator();
+  const SimTime now = deployment.testbed().runtime().now();
+
+  const ScalePolicy::Reading r = policy_.read_worst();
+  const double up_threshold = policy_.config().up_threshold;
+  // Overload = the watchdog says frames miss their budget AND a stage
+  // is actually shedding load. Without a watchdog the drop scan alone
+  // decides. A breach with clean queues (e.g. half the clients walked
+  // away and the per-client FPS denominator is stale) must not trigger
+  // a pointless scale-up.
+  const bool shedding = r.signal >= up_threshold;
+  const bool overloaded = watchdog_ ? (watchdog_->violating() && shedding) : shedding;
+  breach_run_ = overloaded ? breach_run_ + 1 : 0;
+  clear_run_ = overloaded ? 0 : clear_run_ + 1;
+
+  const bool fault_hold =
+      orch.failover_enabled() && orch.failover_suspected() > orch.failover_respawns();
+  const bool cooling = now - last_action_t_ < config_.cooldown;
+
+  if (breach_run_ >= config_.breach_ticks) {
+    if (fault_hold) {
+      record_blocked(now, r.stage, r.signal, "fault");
+    } else if (cooling) {
+      record_blocked(now, r.stage, r.signal, "cooldown");
+    } else {
+      const InstanceId id = policy_.scale_up(r.stage, r.signal);
+      if (id.valid()) {
+        ++scale_ups_;
+        capped_run_ = 0;
+        breach_run_ = 0;
+        last_action_t_ = now;
+        actions_.push_back(
+            CtrlAction{now, CtrlAction::Kind::kScaleUp, r.stage, r.signal, ""});
+      } else {
+        ++capped_run_;
+        if (config_.allow_replan && capped_run_ >= config_.replan_after_blocked) {
+          try_replan(now);
+        } else {
+          record_blocked(now, r.stage, r.signal, "capped");
+        }
+      }
+    }
+  } else if (clear_run_ >= config_.clear_ticks && !fault_hold && !cooling) {
+    Stage stage = Stage::kPrimary;
+    double ingress = 0.0;
+    if (policy_.scale_down_candidate(&stage, &ingress) &&
+        policy_.scale_down(stage, ingress)) {
+      ++scale_downs_;
+      clear_run_ = 0;
+      last_action_t_ = now;
+      actions_.push_back(CtrlAction{now, CtrlAction::Kind::kScaleDown, stage, ingress, ""});
+    }
+  }
+
+  deployment.testbed().runtime().schedule_after(config_.interval, [this, alive = alive_] {
+    if (*alive) tick();
+  });
+}
+
+}  // namespace mar::ctrl

@@ -1,0 +1,93 @@
+// ctrl::ReOptimizer — the closed loop. Every tick it reads the
+// sensors (SloWatchdog breach/clear state, the ScalePolicy's per-stage
+// drop/ingress scan, in-flight failover on the fault plane), decides
+// with hysteresis and a cooldown, and actuates:
+//
+//   sustained breach + shedding stage  -> scale UP the worst stage
+//   scale-up capped repeatedly         -> (optional) PlacementSearch
+//                                         replan, applied live via
+//                                         Orchestrator::move_instance
+//   sustained quiet + idle replicas    -> scale DOWN (drain + retire)
+//
+// Guard rails: actions respect a cooldown (no thrash), a breach must
+// persist breach_ticks consecutive ticks (no one-window panic), quiet
+// must persist clear_ticks ticks, and while a failover is in flight
+// (suspected > respawned) the loop holds — a crash mid-cooldown is the
+// fault plane's to fix first, and blocked decisions are counted
+// (mar_ctrl_blocked_total{reason}) rather than silently skipped.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "ctrl/placement_search.h"
+#include "ctrl/scale_policy.h"
+#include "expt/slo.h"
+
+namespace mar::ctrl {
+
+struct ReOptimizerConfig {
+  SimDuration interval = millis(500.0);
+  // Hysteresis: consecutive violating ticks before acting up,
+  // consecutive quiet ticks before acting down.
+  int breach_ticks = 3;
+  int clear_ticks = 6;
+  SimDuration cooldown = seconds(3.0);
+  // Replan arm: after this many capped scale-up attempts, run a
+  // PlacementSearch and apply the winning plan via move_instance.
+  bool allow_replan = false;
+  int replan_after_blocked = 3;
+  PlacementSearchConfig search;
+};
+
+struct CtrlAction {
+  enum class Kind { kScaleUp, kScaleDown, kReplan, kBlocked };
+  SimTime t = 0;
+  Kind kind = Kind::kScaleUp;
+  Stage stage = Stage::kPrimary;
+  double signal = 0.0;
+  const char* reason = "";  // blocked actions: "cooldown" | "fault" | "capped"
+};
+
+class ReOptimizer {
+ public:
+  // `watchdog` may be null: the loop then acts on the drop-ratio scan
+  // alone. With a watchdog, scale-up requires breach AND a shedding
+  // stage (a breach with clean queues — e.g. clients leaving — is not
+  // a capacity problem).
+  ReOptimizer(ScalePolicy& policy, expt::SloWatchdog* watchdog, ReOptimizerConfig config);
+  ~ReOptimizer();
+
+  void start();
+
+  [[nodiscard]] const std::vector<CtrlAction>& actions() const { return actions_; }
+  [[nodiscard]] std::uint64_t scale_up_actions() const { return scale_ups_; }
+  [[nodiscard]] std::uint64_t scale_down_actions() const { return scale_downs_; }
+  [[nodiscard]] std::uint64_t replans() const { return replans_; }
+  [[nodiscard]] std::uint64_t blocked() const { return blocked_; }
+  [[nodiscard]] const ReOptimizerConfig& config() const { return config_; }
+
+ private:
+  void tick();
+  void record_blocked(SimTime now, Stage stage, double signal, const char* reason);
+  void try_replan(SimTime now);
+
+  ScalePolicy& policy_;
+  expt::SloWatchdog* watchdog_;
+  ReOptimizerConfig config_;
+  std::vector<CtrlAction> actions_;
+  int breach_run_ = 0;
+  int clear_run_ = 0;
+  int capped_run_ = 0;
+  SimTime last_action_t_ = std::numeric_limits<SimTime>::min() / 2;
+  std::uint64_t scale_ups_ = 0;
+  std::uint64_t scale_downs_ = 0;
+  std::uint64_t replans_ = 0;
+  std::uint64_t blocked_ = 0;
+  bool running_ = false;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace mar::ctrl

@@ -1,0 +1,261 @@
+#include "ctrl/scale_policy.h"
+
+#include "ctrl/ctrl_telemetry.h"
+
+namespace mar::ctrl {
+
+ScalePolicy::ScalePolicy(expt::Deployment& deployment, Config config)
+    : deployment_(deployment), config_(config) {}
+
+ScalePolicy::~ScalePolicy() { *alive_ = false; }
+
+void ScalePolicy::start() {
+  if (running_) return;
+  running_ = true;
+  deployment_.testbed().runtime().schedule_after(config_.interval, [this, alive = alive_] {
+    if (*alive) tick();
+  });
+}
+
+MachineId ScalePolicy::spill_machine() const {
+  switch (config_.spill_site) {
+    case expt::Site::kE1:
+      return deployment_.testbed().e1();
+    case expt::Site::kE2:
+      return deployment_.testbed().e2();
+    case expt::Site::kCloud:
+      return deployment_.testbed().cloud();
+  }
+  return deployment_.testbed().e1();
+}
+
+ScalePolicy::Reading ScalePolicy::read_worst() {
+  auto& orch = deployment_.orchestrator();
+  const SimTime now = deployment_.testbed().runtime().now();
+  const double dt_s = to_seconds(now - last_scan_t_);
+  last_scan_t_ = now;
+
+  Reading app;  // worst application signal, always computed for window_
+  for (int s = 0; s < kNumStages; ++s) {
+    const auto stage = static_cast<Stage>(s);
+    std::uint64_t received = 0, dropped = 0;
+    for (dsp::ServiceHost* host : deployment_.hosts_of(stage)) {
+      received += host->stats().received;
+      dropped += host->stats().dropped_total();
+    }
+    StageCounters& prev = last_[static_cast<std::size_t>(s)];
+    if (received < prev.received || dropped < prev.dropped) {
+      // Stats window was reset (warmup boundary); resynchronize.
+      prev = StageCounters{received, dropped};
+      window_[static_cast<std::size_t>(s)] = StageWindow{};
+      continue;
+    }
+    const std::uint64_t d_recv = received - prev.received;
+    const std::uint64_t d_drop = dropped - prev.dropped;
+    prev.received = received;
+    prev.dropped = dropped;
+    StageWindow& w = window_[static_cast<std::size_t>(s)];
+    const std::size_t live = std::max<std::size_t>(orch.live_replicas(stage), 1);
+    w.ingress_fps = dt_s > 0.0 ? static_cast<double>(d_recv) / dt_s /
+                                     static_cast<double>(live)
+                               : 0.0;
+    w.drop_ratio = d_recv > 0
+                       ? static_cast<double>(d_drop) / static_cast<double>(d_recv)
+                       : 0.0;
+    if (d_recv > 0 && w.drop_ratio > app.signal) {
+      app.signal = w.drop_ratio;
+      app.stage = stage;
+    }
+  }
+  if (config_.signal == Signal::kApplication) return app;
+
+  // Hardware-only view: instantaneous normalized GPU occupancy per
+  // machine; attribute the signal to the busiest stage on the busiest
+  // machine (the orchestrator cannot do better than that).
+  Reading hw;
+  double busiest = 0.0;
+  MachineId busiest_machine = MachineId::invalid();
+  for (std::size_t m = 0; m < orch.num_machines(); ++m) {
+    hw::Machine& machine = orch.machine(MachineId{static_cast<std::uint32_t>(m)});
+    double occupancy = 0.0;
+    for (std::size_t g = 0; g < machine.num_gpus(); ++g) {
+      occupancy += static_cast<double>(machine.gpu(g).in_use()) / machine.gpu(g).capacity();
+    }
+    if (machine.num_gpus()) occupancy /= static_cast<double>(machine.num_gpus());
+    if (occupancy > busiest) {
+      busiest = occupancy;
+      busiest_machine = machine.id();
+    }
+  }
+  if (busiest_machine.valid()) {
+    hw.signal = busiest;
+    // Blindly scale the heaviest-by-utilization stage on that machine.
+    double best_share = -1.0;
+    for (InstanceId id : deployment_.instances()) {
+      dsp::ServiceHost& host = orch.host(id);
+      if (host.machine().id() != busiest_machine) continue;
+      const auto share = static_cast<double>(host.compute().gpu_busy());
+      if (share > best_share) {
+        best_share = share;
+        hw.stage = host.stage();
+      }
+    }
+  }
+  return hw;
+}
+
+InstanceId ScalePolicy::scale_up(Stage stage, double observed_signal) {
+  if (stage == Stage::kPrimary) return InstanceId::invalid();
+  auto& orch = deployment_.orchestrator();
+  if (orch.live_replicas(stage) >=
+      static_cast<std::size_t>(config_.max_replicas_per_stage)) {
+    return InstanceId::invalid();
+  }
+  const InstanceId id = deployment_.add_replica(stage, spill_machine());
+  const SimTime now = deployment_.testbed().runtime().now();
+  events_.push_back(Event{now, Event::Kind::kScaleUp, stage, id, observed_signal});
+  ++scale_ups_;
+  ctrl_count("mar_ctrl_scale_up_total",
+             "replicas added by the control plane's scale-up arm", stage);
+  ctrl_trace(telemetry::spans::kCtrlScaleUp, now, stage, observed_signal);
+  return id;
+}
+
+bool ScalePolicy::scale_down_candidate(Stage* stage, double* ingress_fps) const {
+  auto& orch = deployment_.orchestrator();
+  std::size_t best_replicas = 0;
+  for (int s = 1; s < kNumStages; ++s) {  // the primary never scales
+    const auto st = static_cast<Stage>(s);
+    const std::size_t live = orch.live_replicas(st);
+    if (live <= static_cast<std::size_t>(config_.min_replicas_per_stage)) continue;
+    const StageWindow& w = window_[static_cast<std::size_t>(s)];
+    if (w.drop_ratio > config_.down_threshold) continue;
+    if (config_.down_ingress_fps > 0.0 && w.ingress_fps >= config_.down_ingress_fps) {
+      continue;
+    }
+    if (live > best_replicas) {
+      best_replicas = live;
+      *stage = st;
+      *ingress_fps = w.ingress_fps;
+    }
+  }
+  return best_replicas > 0;
+}
+
+bool ScalePolicy::scale_down(Stage stage, double observed_signal) {
+  auto& orch = deployment_.orchestrator();
+  if (orch.live_replicas(stage) <=
+      static_cast<std::size_t>(config_.min_replicas_per_stage)) {
+    return false;
+  }
+  // Newest live replica first: scale-down unwinds scale-up.
+  const std::vector<InstanceId> ids = orch.instances_of(stage);
+  for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+    const InstanceId id = *it;
+    if (orch.is_retired(id) || orch.is_draining(id)) continue;
+    if (orch.host(id).is_down()) continue;
+    if (!drain(id)) continue;
+    events_.back().observed_signal = observed_signal;
+    ctrl_count("mar_ctrl_scale_down_total",
+               "replicas the control plane decided to drain away", stage);
+    return true;
+  }
+  return false;
+}
+
+bool ScalePolicy::drain(InstanceId id) {
+  auto& orch = deployment_.orchestrator();
+  if (orch.is_retired(id) || orch.is_draining(id)) return false;
+  dsp::ServiceHost& host = orch.host(id);
+  orch.begin_drain(id);
+  Drain d;
+  d.id = id;
+  d.stage = host.stage();
+  d.started = deployment_.testbed().runtime().now();
+  d.quiet_since = -1;
+  d.last_received = host.stats().received;
+  d.dropped_at_begin = host.stats().dropped_total();
+  drains_.push_back(d);
+  ++drains_active_;
+  ++drains_begun_;
+  events_.push_back(Event{d.started, Event::Kind::kDrainBegin, d.stage, id, 0.0});
+  ctrl_count("mar_ctrl_drain_begun_total",
+             "replica drains started (routing stopped, settling)", d.stage);
+  ctrl_trace(telemetry::spans::kCtrlDrain, d.started, d.stage);
+  const std::size_t index = drains_.size() - 1;
+  deployment_.testbed().runtime().schedule_after(config_.drain_poll,
+                                                 [this, index, alive = alive_] {
+                                                   if (*alive) poll_drain(index);
+                                                 });
+  return true;
+}
+
+void ScalePolicy::poll_drain(std::size_t index) {
+  Drain& d = drains_[index];
+  if (d.done) return;
+  auto& orch = deployment_.orchestrator();
+  dsp::ServiceHost& host = orch.host(d.id);
+  const SimTime now = deployment_.testbed().runtime().now();
+  const auto& st = host.stats();
+  if (st.received < d.last_received) {
+    // Stats window reset mid-drain (warmup boundary); resynchronize.
+    d.last_received = st.received;
+    d.dropped_at_begin = st.dropped_total();
+  }
+  const bool quiet =
+      !host.busy() && host.queue_length() == 0 && st.received == d.last_received;
+  if (!quiet) {
+    d.quiet_since = -1;
+    d.last_received = st.received;
+  } else if (d.quiet_since < 0) {
+    d.quiet_since = now;
+  }
+  const bool settled =
+      quiet && d.quiet_since >= 0 && now - d.quiet_since >= config_.drain_settle;
+  const bool expired = now - d.started >= config_.drain_deadline;
+  if (settled || expired) {
+    const std::uint64_t in_flight =
+        settled ? 0
+                : static_cast<std::uint64_t>(host.queue_length()) + (host.busy() ? 1 : 0);
+    const std::uint64_t dropped_during = st.dropped_total() >= d.dropped_at_begin
+                                             ? st.dropped_total() - d.dropped_at_begin
+                                             : 0;
+    drain_frames_lost_ += dropped_during + in_flight;
+    orch.retire_instance(d.id);
+    d.done = true;
+    --drains_active_;
+    ++retired_;
+    const bool forced = expired && !settled;
+    if (forced) ++forced_retires_;
+    events_.push_back(Event{
+        now, forced ? Event::Kind::kForcedRetire : Event::Kind::kRetire, d.stage, d.id,
+        static_cast<double>(dropped_during + in_flight)});
+    ctrl_count(forced ? "mar_ctrl_drain_forced_total" : "mar_ctrl_drain_retired_total",
+               forced ? "drains force-retired at the deadline with work in flight"
+                      : "drains completed cleanly and retired",
+               d.stage);
+    ctrl_trace(telemetry::spans::kCtrlRetire, now, d.stage,
+               static_cast<double>(dropped_during + in_flight));
+    return;
+  }
+  deployment_.testbed().runtime().schedule_after(config_.drain_poll,
+                                                 [this, index, alive = alive_] {
+                                                   if (*alive) poll_drain(index);
+                                                 });
+}
+
+void ScalePolicy::tick() {
+  const Reading r = read_worst();
+  if (r.signal >= config_.up_threshold) {
+    scale_up(r.stage, r.signal);
+  } else if (config_.down_ingress_fps > 0.0) {
+    Stage stage = Stage::kPrimary;
+    double ingress = 0.0;
+    if (scale_down_candidate(&stage, &ingress)) scale_down(stage, ingress);
+  }
+  deployment_.testbed().runtime().schedule_after(config_.interval, [this, alive = alive_] {
+    if (*alive) tick();
+  });
+}
+
+}  // namespace mar::ctrl

@@ -1,0 +1,171 @@
+// ctrl::ScalePolicy — the control plane's scaling actuator, for the
+// application-aware orchestration study (paper §6 and Insights I/IV).
+//
+// The scale-*up* arm is the former expt::AutoScaler: two signals over
+// the same actuation (add a replica of the worst stage):
+//  * kHardware   — what today's orchestrators can see: scale when a
+//    machine's GPU occupancy crosses a threshold. Under scAtteR-style
+//    overload utilization stays LOW (services stall on drops), so this
+//    scaler never reacts.
+//  * kApplication — reads the sidecar's QoS metrics (queue drop ratio)
+//    through the proposed virtualization-boundary hook and scales the
+//    stage that is actually shedding load.
+//
+// The scale-*down* arm is new: drain-before-decommission. A surplus
+// replica is marked draining (the orchestrator stops routing new
+// frames to it immediately), the policy polls it until in-flight
+// frames and sidecar state settle (idle, empty queue, no new arrivals
+// for drain_settle), then retires it through the orchestrator's
+// graveyard-contract path. A drain that does not settle by
+// drain_deadline is force-retired (counted separately) so a stuck
+// replica cannot pin a machine forever.
+//
+// Every action is exported as mar_ctrl_* counters and control-track
+// trace instants — fixing the old AutoScaler's silent ScaleEvents.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "expt/deployment.h"
+#include "expt/experiment.h"
+
+namespace mar::ctrl {
+
+class ScalePolicy {
+ public:
+  enum class Signal { kHardware, kApplication };
+
+  struct Config {
+    Signal signal = Signal::kApplication;
+    // kHardware: mean normalized GPU occupancy that triggers a scale-up.
+    // kApplication: per-stage drop ratio (drops/received per interval).
+    double up_threshold = 0.10;
+    // Scale-down candidate: a stage whose interval drop ratio stays
+    // under down_threshold AND whose per-replica ingress is under
+    // down_ingress_fps may give a replica back (never below
+    // min_replicas_per_stage). down_ingress_fps == 0 disables the
+    // periodic down arm (the ReOptimizer can still drive scale_down()).
+    double down_threshold = 0.02;
+    double down_ingress_fps = 0.0;
+    SimDuration interval = seconds(2.0);
+    int max_replicas_per_stage = 3;
+    int min_replicas_per_stage = 1;
+    // Machine that receives spilled replicas.
+    expt::Site spill_site = expt::Site::kE1;
+    // Drain monitor: poll cadence, how long the replica must sit fully
+    // quiet (not busy, empty queue, no new arrivals) before retiring,
+    // and the deadline after which it is retired regardless.
+    SimDuration drain_poll = millis(100.0);
+    SimDuration drain_settle = millis(300.0);
+    SimDuration drain_deadline = seconds(10.0);
+  };
+
+  struct Event {
+    enum class Kind { kScaleUp, kDrainBegin, kRetire, kForcedRetire };
+    SimTime t = 0;
+    Kind kind = Kind::kScaleUp;
+    Stage stage = Stage::kPrimary;
+    InstanceId instance = InstanceId::invalid();
+    double observed_signal = 0.0;
+  };
+
+  // One signal scan's view of a stage: interval ingress per live
+  // replica and interval drop ratio.
+  struct StageWindow {
+    double ingress_fps = 0.0;
+    double drop_ratio = 0.0;
+  };
+
+  struct Reading {
+    Stage stage = Stage::kPrimary;
+    double signal = 0.0;
+  };
+
+  ScalePolicy(expt::Deployment& deployment, Config config);
+  ~ScalePolicy();
+
+  // Periodic standalone controller: every interval, scan the signal
+  // and scale up (plus the down arm when down_ingress_fps > 0). Run
+  // either this OR a ctrl::ReOptimizer (which drives the actuators
+  // below itself) — both would double-consume the delta-based signal.
+  void start();
+
+  // --- sensors ----------------------------------------------------------
+  // Scan the per-stage signals since the previous scan (delta-based;
+  // resynchronizes across stats-window resets). Always refreshes
+  // stage_window(); the returned worst reading follows config().signal.
+  [[nodiscard]] Reading read_worst();
+  [[nodiscard]] const StageWindow& stage_window(Stage s) const {
+    return window_[static_cast<std::size_t>(s)];
+  }
+
+  // --- actuators --------------------------------------------------------
+  // Add a replica of `stage` on the spill site. Returns the new
+  // instance, or invalid() when the stage is at max_replicas_per_stage
+  // (or is the primary, which never scales).
+  InstanceId scale_up(Stage stage, double observed_signal);
+  // Stage best able to give a replica back under the last scan, by the
+  // down_threshold/down_ingress_fps criteria; false when none can.
+  [[nodiscard]] bool scale_down_candidate(Stage* stage, double* ingress_fps) const;
+  // Drain the newest live replica of `stage` (never below
+  // min_replicas_per_stage); retires once settled or at the deadline.
+  bool scale_down(Stage stage, double observed_signal);
+  // Drain a specific replica (example/demo hook).
+  bool drain(InstanceId id);
+
+  // --- introspection ----------------------------------------------------
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] std::uint64_t scale_ups() const { return scale_ups_; }
+  [[nodiscard]] std::uint64_t drains_begun() const { return drains_begun_; }
+  [[nodiscard]] std::uint64_t retired() const { return retired_; }
+  [[nodiscard]] std::uint64_t forced_retires() const { return forced_retires_; }
+  [[nodiscard]] std::uint64_t drains_active() const { return drains_active_; }
+  // Frames lost on the drain path: drops recorded by a draining
+  // replica between drain-begin and retire, plus frames still queued
+  // or in service when a deadline forced the retire. A clean drain
+  // contributes zero.
+  [[nodiscard]] std::uint64_t drain_frames_lost() const { return drain_frames_lost_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] expt::Deployment& deployment() { return deployment_; }
+
+ private:
+  struct Drain {
+    InstanceId id = InstanceId::invalid();
+    Stage stage = Stage::kPrimary;
+    SimTime started = 0;
+    SimTime quiet_since = -1;
+    std::uint64_t last_received = 0;
+    std::uint64_t dropped_at_begin = 0;
+    bool done = false;
+  };
+
+  void tick();
+  void poll_drain(std::size_t index);
+  [[nodiscard]] MachineId spill_machine() const;
+
+  expt::Deployment& deployment_;
+  Config config_;
+  std::vector<Event> events_;
+  // Per-stage counters at the previous scan (delta-based signals).
+  struct StageCounters {
+    std::uint64_t received = 0;
+    std::uint64_t dropped = 0;
+  };
+  std::array<StageCounters, kNumStages> last_{};
+  std::array<StageWindow, kNumStages> window_{};
+  SimTime last_scan_t_ = 0;
+  std::vector<Drain> drains_;
+  std::uint64_t scale_ups_ = 0;
+  std::uint64_t drains_begun_ = 0;
+  std::uint64_t retired_ = 0;
+  std::uint64_t forced_retires_ = 0;
+  std::uint64_t drains_active_ = 0;
+  std::uint64_t drain_frames_lost_ = 0;
+  bool running_ = false;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace mar::ctrl

@@ -82,6 +82,7 @@ struct CapacityEngine::ProbeClient {
   std::uint64_t delivered = 0;  // frames whose outcome reached the client
   std::uint64_t successes = 0;  // delivered within the latency budget
   double e2e_sum_ms = 0.0;      // over successful frames
+  std::vector<double> e2e_ms;   // per-success samples (for the p99)
 };
 
 CapacityEngine::CapacityEngine(CapacityConfig config) : config_(std::move(config)) {}
@@ -138,31 +139,52 @@ void CapacityEngine::build() {
         config_.machine_spec.name + "#" + std::to_string(p);
   }
 
-  // Probe clients: homes round-robin across machines, device classes
-  // stratified over the mix, roaming spread evenly (Bresenham) so any
-  // prefix of clients has ~roaming_fraction roamers.
+  // Probe clients. With an explicit probe_set the layout is the
+  // caller's; otherwise synthesize the legacy layout — homes
+  // round-robin across machines, device classes stratified over the
+  // mix, roaming spread evenly (Bresenham) so any prefix of clients
+  // has ~roaming_fraction roamers. The RNG fork order is identical in
+  // both paths, so an empty probe_set reproduces historical digests
+  // bit for bit.
   Rng master(config_.seed);
   const auto& mix = population_->mix();
-  const int n = config_.detailed_clients;
   const std::uint64_t session_bytes = session_memory_bytes(config_, config_.mode);
-  probes_.reserve(static_cast<std::size_t>(std::max(n, 0)));
-  for (int i = 0; i < n; ++i) {
+  std::vector<CapacityProbeSpec> specs = config_.probe_set;
+  if (specs.empty()) {
+    const int n = config_.detailed_clients;
+    specs.reserve(static_cast<std::size_t>(std::max(n, 0)));
+    for (int i = 0; i < n; ++i) {
+      CapacityProbeSpec spec;
+      spec.home = i % P;
+      const double f = std::clamp(config_.roaming_fraction, 0.0, 1.0);
+      const bool roams = P > 1 && std::floor((i + 1) * f) > std::floor(i * f);
+      spec.serve = roams ? (spec.home + 1) % P : spec.home;
+      const double u = (i + 0.5) / n;
+      double cum = 0.0;
+      spec.fps = mix.empty() ? config_.target_fps : mix.back().fps;
+      for (const DeviceClass& d : mix) {
+        cum += d.weight;
+        if (u < cum) {
+          spec.fps = d.fps;
+          break;
+        }
+      }
+      specs.push_back(spec);
+    }
+  } else {
+    for (CapacityProbeSpec& spec : specs) {
+      spec.home = std::clamp(spec.home, 0, P - 1);
+      spec.serve = std::clamp(spec.serve, 0, P - 1);
+      if (spec.fps <= 0.0) spec.fps = config_.target_fps;
+    }
+  }
+  probes_.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
     auto c = std::make_unique<ProbeClient>();
     c->idx = static_cast<std::uint32_t>(i);
-    c->home = i % P;
-    const double f = std::clamp(config_.roaming_fraction, 0.0, 1.0);
-    const bool roams = P > 1 && std::floor((i + 1) * f) > std::floor(i * f);
-    c->serve = roams ? (c->home + 1) % P : c->home;
-    const double u = (i + 0.5) / n;
-    double cum = 0.0;
-    c->fps = mix.empty() ? config_.target_fps : mix.back().fps;
-    for (const DeviceClass& d : mix) {
-      cum += d.weight;
-      if (u < cum) {
-        c->fps = d.fps;
-        break;
-      }
-    }
+    c->home = specs[i].home;
+    c->serve = specs[i].serve;
+    c->fps = specs[i].fps;
     c->interval = static_cast<SimDuration>(static_cast<double>(kSecond) / c->fps);
     c->rng = master.fork();
     c->next_t = static_cast<SimTime>(c->rng.uniform(0.0, static_cast<double>(c->interval)));
@@ -325,6 +347,7 @@ void CapacityEngine::finish_frame(int home, std::uint32_t client_idx,
   if (success) {
     ++c.successes;
     c.e2e_sum_ms += to_millis(now - born);
+    c.e2e_ms.push_back(to_millis(now - born));
   }
 }
 
@@ -428,7 +451,7 @@ CapacityResult CapacityEngine::run(int threads) {
   CapacityResult r;
   r.mode = to_string(config_.mode);
   r.machines = config_.machines;
-  r.detailed_clients = config_.detailed_clients;
+  r.detailed_clients = static_cast<int>(probes_.size());
   r.duration_s = to_seconds(config_.duration);
   const double meas_s = to_seconds(t_end_ - meas_start_);
 
@@ -450,6 +473,18 @@ CapacityResult CapacityEngine::run(int threads) {
   r.detailed_success_rate =
       delivered > 0 ? static_cast<double>(successes) / static_cast<double>(delivered) : 0.0;
   r.detailed_e2e_ms_mean = successes > 0 ? e2e_sum / static_cast<double>(successes) : 0.0;
+  std::vector<double> e2e_all;
+  e2e_all.reserve(successes);
+  for (const auto& c : probes_) {
+    e2e_all.insert(e2e_all.end(), c->e2e_ms.begin(), c->e2e_ms.end());
+  }
+  if (!e2e_all.empty()) {
+    const auto rank = static_cast<std::size_t>(
+        0.99 * static_cast<double>(e2e_all.size() - 1) + 0.5);
+    std::nth_element(e2e_all.begin(),
+                     e2e_all.begin() + static_cast<std::ptrdiff_t>(rank), e2e_all.end());
+    r.detailed_e2e_p99_ms = e2e_all[rank];
+  }
 
   r.fluid_session_fps =
       fluid_session_weight_ > 0.0 ? fluid_fps_weighted_ / fluid_session_weight_ : 0.0;

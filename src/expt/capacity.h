@@ -46,6 +46,16 @@
 
 namespace mar::expt {
 
+// Explicit probe placement: one detailed client homed on partition
+// `home` whose frames are served by partition `serve`, offered at
+// `fps`. scAtteR pays the cross-partition state-fetch round trip when
+// serve != home, exactly like the synthesized roaming probes.
+struct CapacityProbeSpec {
+  int home = 0;
+  int serve = 0;
+  double fps = 25.0;
+};
+
 struct CapacityConfig {
   core::PipelineMode mode = core::PipelineMode::kScatter;
   // Edge machines; one partition each.
@@ -58,6 +68,11 @@ struct CapacityConfig {
   PopulationConfig population;
   // Detailed per-frame probe clients, round-robined across machines.
   int detailed_clients = 8;
+  // Non-empty: place probes explicitly instead of synthesizing the
+  // detailed_clients/roaming_fraction layout. ctrl::PlacementSearch
+  // uses this to put probes exactly on the partitions a candidate plan
+  // changes; home/serve indices are clamped to [0, machines).
+  std::vector<CapacityProbeSpec> probe_set;
   // Fraction of detailed clients whose frames are served by the next
   // machine over — the cross-partition traffic (scAtteR pays the
   // state-fetch round trip on these).
@@ -102,6 +117,10 @@ struct CapacityResult {
   double detailed_target_fps_mean = 0.0;  // mean offered rate of the probes
   double detailed_success_rate = 0.0;
   double detailed_e2e_ms_mean = 0.0;
+  // p99 E2E latency over every successful probe frame in the
+  // measurement window (0 when no frame succeeded). The fast-evaluator
+  // hook ctrl::PlacementSearch scores candidate plans on.
+  double detailed_e2e_p99_ms = 0.0;
   // Fluid tail: per-session served FPS (mean over windows, weighted by
   // active sessions) and the mean concurrent fluid population.
   double fluid_session_fps = 0.0;

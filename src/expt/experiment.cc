@@ -112,10 +112,13 @@ void Experiment::build() {
     cc.phase_offset = static_cast<SimDuration>(i) * millis(3.7) +
                       static_cast<SimDuration>(i) * config_.client_stagger;
     cc.trace_sample_every = config_.trace_sample_every;
-    if (slo_) {
+    if (slo_ || config_.on_frame_hook) {
       cc.on_frame = [this](SimTime t, double e2e_ms, bool success) {
-        slo_->observe_frame(t, e2e_ms, success);
-        slo_->evaluate(t);
+        if (slo_) {
+          slo_->observe_frame(t, e2e_ms, success);
+          slo_->evaluate(t);
+        }
+        if (config_.on_frame_hook) config_.on_frame_hook(t, e2e_ms, success);
       };
     }
     if (tail_) {

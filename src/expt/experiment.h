@@ -5,6 +5,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -95,6 +96,11 @@ struct ExperimentConfig {
   // When set, every delivered frame feeds an SLO watchdog (scope
   // "pipeline") and the result carries its final SloReport.
   std::optional<SloTargets> slo;
+  // Extra per-delivered-frame callback (t, e2e_ms, success), invoked
+  // after the SLO watchdog sees the frame. Benches use it to collect
+  // timestamped latency samples (e.g. a peak-window p99) without
+  // touching client internals.
+  std::function<void(SimTime, double, bool)> on_frame_hook;
   // Fault plane (both strictly opt-in: leaving them unset changes
   // nothing about the run — no extra events, no extra RNG draws).
   // Faults fire at their scripted times relative to the start of the
@@ -216,6 +222,9 @@ class Experiment {
   }
   [[nodiscard]] SimTime window_start() const { return window_start_; }
   [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+  // The run's SLO watchdog (nullptr unless ExperimentConfig::slo is
+  // set); the control plane's breach/clear sensor.
+  [[nodiscard]] SloWatchdog* slo_watchdog() { return slo_.get(); }
 
  private:
   void sample_replicas();

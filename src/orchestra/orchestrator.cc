@@ -24,6 +24,13 @@ void trace_failover(const char* what, SimTime ts, Stage stage) {
   }
 }
 
+void trace_ctrl(const char* what, SimTime ts, Stage stage) {
+  auto& tracer = telemetry::Tracer::instance();
+  if (tracer.enabled()) {
+    tracer.instant(telemetry::kCtrlTrack, what, ts, ClientId{0}, FrameId{0}, stage);
+  }
+}
+
 }  // namespace
 
 Orchestrator::Orchestrator(dsp::SimRuntime& rt, Rng rng) : rt_(rt), rng_(rng) {}
@@ -109,6 +116,7 @@ EndpointId Orchestrator::resolve(Stage stage, const wire::FrameHeader& header) {
   std::vector<const InstanceRecord*> ready;
   for (const auto& rec : instances_) {
     if (rec.stage != stage || rec.host->is_down()) continue;
+    if (rec.draining || rec.retired) continue;
     if (machine_down_[rec.machine.value()]) continue;
     ready.push_back(&rec);
   }
@@ -227,6 +235,9 @@ void Orchestrator::heartbeat_tick() {
   for (std::size_t i = 0; i < instances_.size(); ++i) {
     InstanceRecord& rec = instances_[i];
     if (rec.failover_pending) continue;
+    // A retired replica is down *on purpose*; resurrecting it here
+    // would undo a control-plane scale-down.
+    if (rec.retired) continue;
     if (!rec.host->is_down() && !machine_down_[rec.machine.value()]) {
       rec.last_ack = now;  // probe acked
       continue;
@@ -262,6 +273,7 @@ void Orchestrator::respawn(std::size_t index) {
   // Park the dead replica: compute/timer callbacks already scheduled
   // against it must find the object alive (it absorbs them as no-ops).
   graveyard_.push_back(std::move(rec.host));
+  rec.draining = false;  // the replacement starts with a clean slate
   rec.machine = target;
   rec.host = std::make_unique<dsp::ServiceHost>(
       rt_, machine(target), InstanceId{static_cast<std::uint32_t>(index)}, rec.config,
@@ -338,7 +350,7 @@ void Orchestrator::reboot_machine(MachineId m, SimDuration down_for) {
   if (machine_down_.at(m.value())) return;  // already rebooting
   machine_down_[m.value()] = true;
   for (auto& rec : instances_) {
-    if (rec.machine == m) rec.host->kill();
+    if (rec.machine == m && !rec.retired) rec.host->kill();
   }
   rt_.schedule_after(down_for, [this, m, alive = alive_] {
     if (!*alive) return;
@@ -361,6 +373,87 @@ void Orchestrator::reboot_machine(MachineId m, SimDuration down_for) {
       });
     }
   });
+}
+
+void Orchestrator::begin_drain(InstanceId id) {
+  if (id.value() >= instances_.size()) return;
+  InstanceRecord& rec = instances_[id.value()];
+  if (rec.retired || rec.host->is_decommissioned()) return;
+  rec.draining = true;
+}
+
+void Orchestrator::cancel_drain(InstanceId id) {
+  if (id.value() >= instances_.size()) return;
+  instances_[id.value()].draining = false;
+}
+
+bool Orchestrator::is_draining(InstanceId id) const {
+  if (id.value() >= instances_.size()) return false;
+  return instances_[id.value()].draining;
+}
+
+void Orchestrator::retire_instance(InstanceId id) {
+  if (id.value() >= instances_.size()) return;
+  InstanceRecord& rec = instances_[id.value()];
+  if (rec.retired) return;
+  rec.retired = true;
+  rec.draining = false;
+  rec.failover_pending = false;
+  rec.restart_pending = false;
+  if (!rec.host->is_decommissioned()) rec.host->decommission();
+  ++retired_count_;
+}
+
+bool Orchestrator::is_retired(InstanceId id) const {
+  if (id.value() >= instances_.size()) return false;
+  return instances_[id.value()].retired;
+}
+
+bool Orchestrator::move_instance(InstanceId id, MachineId target) {
+  if (id.value() >= instances_.size()) return false;
+  if (target.value() >= machines_.size() || machine_down_[target.value()]) return false;
+  InstanceRecord& rec = instances_[id.value()];
+  if (rec.retired || rec.failover_pending || rec.host->is_decommissioned()) return false;
+  if (rec.machine == target) return false;
+  const std::size_t index = id.value();
+  rec.host->decommission();
+  graveyard_.push_back(std::move(rec.host));
+  rec.draining = false;
+  rec.machine = target;
+  rec.host = std::make_unique<dsp::ServiceHost>(rt_, machine(target), id, rec.config,
+                                                *rec.costs, rec.factory(), rng_.fork());
+  ++moves_;
+  count_event("mar_instance_moves_total",
+              "replicas rebuilt on another machine by a control-plane plan", rec.stage);
+  trace_ctrl(telemetry::spans::kCtrlMove, rt_.now(), rec.stage);
+  const SimDuration cold = rec.costs->instance_cold_start;
+  if (cold > 0) {
+    // Same contract as a failover respawn: dead-to-the-world during
+    // the cold start, shielded from the heartbeat until it boots.
+    rec.failover_pending = true;
+    rec.host->kill();
+    rt_.schedule_after(cold, [this, index, alive = alive_] {
+      if (!*alive) return;
+      InstanceRecord& r = instances_[index];
+      if (r.retired) return;
+      r.host->restart();
+      r.last_ack = rt_.now();
+      r.failover_pending = false;
+    });
+  } else {
+    rec.last_ack = rt_.now();
+  }
+  return true;
+}
+
+std::size_t Orchestrator::live_replicas(Stage stage) const {
+  std::size_t n = 0;
+  for (const auto& rec : instances_) {
+    if (rec.stage != stage || rec.retired || rec.draining) continue;
+    if (rec.host->is_down() || machine_down_[rec.machine.value()]) continue;
+    ++n;
+  }
+  return n;
 }
 
 std::uint64_t Orchestrator::routing_failures() const {

@@ -119,6 +119,41 @@ class Orchestrator final : public dsp::Router {
   [[nodiscard]] bool is_machine_down(MachineId m) const;
   void reboot_machine(MachineId m, SimDuration down_for);
 
+  // --- control plane (drain / retire / move) -----------------------------
+  // Drain-before-decommission: a draining replica is excluded from
+  // resolve() immediately (no new frames are routed to it) but keeps
+  // processing everything already queued or in flight. The control
+  // plane polls the host until it settles, then calls retire_instance.
+  void begin_drain(InstanceId id);
+  void cancel_drain(InstanceId id);
+  [[nodiscard]] bool is_draining(InstanceId id) const;
+
+  // Permanently retire a (normally drained) replica: the host is
+  // decommissioned — killed, memory returned, ingress unbound — and
+  // stays parked inside its record under the same
+  // absorb-stray-callbacks contract as the failover graveyard (the
+  // record keeps ownership so host(id) and the experiment's counter
+  // aggregation remain valid, and nothing is double-counted). Retired
+  // records are skipped by routing, the heartbeat (no resurrection of
+  // a deliberately removed replica), and live_replicas().
+  void retire_instance(InstanceId id);
+  [[nodiscard]] bool is_retired(InstanceId id) const;
+  [[nodiscard]] std::uint64_t retired_instances() const { return retired_count_; }
+
+  // Apply-plan: rebuild the replica on `target` with the same
+  // InstanceId (the failover respawn machinery minus the suspicion);
+  // the old host is parked in the graveyard and frames already routed
+  // toward it are lost, so callers should drain first or move at low
+  // load. Pays instance_cold_start before the replacement serves.
+  // Returns false when infeasible (unknown/down target, same machine,
+  // replica retired or mid-failover).
+  bool move_instance(InstanceId id, MachineId target);
+  [[nodiscard]] std::uint64_t instance_moves() const { return moves_; }
+
+  // Replicas of `stage` able to take new work: not draining, not
+  // retired, not down, and not on a down machine.
+  [[nodiscard]] std::size_t live_replicas(Stage stage) const;
+
   // Routing failures: resolve() calls that found zero live replicas
   // (also exported as mar_routing_failures_total{stage=...}).
   [[nodiscard]] std::uint64_t routing_failures(Stage stage) const {
@@ -146,6 +181,11 @@ class Orchestrator final : public dsp::Router {
     ServiceletFactory factory;
     SimTime last_ack = 0;
     bool failover_pending = false;
+    // Control-plane lifecycle: a draining replica takes no new routes;
+    // a retired one is permanently out (and never resurrected by the
+    // heartbeat or machine reboots).
+    bool draining = false;
+    bool retired = false;
   };
 
   void monitor_tick();
@@ -174,6 +214,8 @@ class Orchestrator final : public dsp::Router {
   std::uint64_t suspected_ = 0;
   std::uint64_t respawns_ = 0;
   std::array<std::uint64_t, kNumStages> routing_failures_{};
+  std::uint64_t retired_count_ = 0;
+  std::uint64_t moves_ = 0;
   std::vector<bool> machine_down_;
   std::vector<std::unique_ptr<dsp::ServiceHost>> graveyard_;
 

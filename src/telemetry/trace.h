@@ -75,6 +75,14 @@ inline constexpr const char* kFecRepair = "fec_repair";
 inline constexpr const char* kUnrecoverable = "frame_unrecoverable";
 inline constexpr const char* kFault = "fault";        // injected fault window
 inline constexpr const char* kFailover = "failover";  // suspect -> respawn span
+// Control-plane actions (ctrl::ScalePolicy / ctrl::ReOptimizer): why a
+// replica appeared, drained, or moved, as forensics-timeline instants.
+inline constexpr const char* kCtrlScaleUp = "ctrl_scale_up";
+inline constexpr const char* kCtrlDrain = "ctrl_drain";      // drain began
+inline constexpr const char* kCtrlRetire = "ctrl_retire";    // drain completed
+inline constexpr const char* kCtrlReplan = "ctrl_replan";    // placement re-applied
+inline constexpr const char* kCtrlBlocked = "ctrl_blocked";  // action withheld
+inline constexpr const char* kCtrlMove = "ctrl_move";        // replica rebuilt elsewhere
 // Synthetic instant appended when a flight-recorder buffer is promoted
 // into the durable ring; `value` holds the RetainReason.
 inline constexpr const char* kRetained = "retained";
@@ -94,6 +102,7 @@ inline constexpr std::uint32_t kDefaultTraceSampleEvery = 1;
 inline constexpr std::uint32_t kNetworkTrack = 9000;
 inline constexpr std::uint32_t kEngineTrack = 9100;    // single-process vision engine
 inline constexpr std::uint32_t kFaultTrack = 9200;     // injected faults / recovery
+inline constexpr std::uint32_t kCtrlTrack = 9300;      // control-plane actions
 inline constexpr std::uint32_t kClientTrackBase = 10000;  // + ClientId
 
 struct TraceEvent {

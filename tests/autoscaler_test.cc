@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "expt/autoscaler.h"
+#include "ctrl/scale_policy.h"
 #include "expt/experiment.h"
 #include "expt/population.h"
 #include "expt/report.h"
@@ -19,13 +19,13 @@ ExperimentConfig overloaded_config(int clients = 6) {
   return cfg;
 }
 
-TEST(AutoScaler, AppAwareScalesUnderOverload) {
+TEST(ScalePolicy, AppAwareScalesUnderOverload) {
   Experiment e(overloaded_config());
   e.build();
-  AutoScaler::Config sc;
-  sc.signal = AutoScaler::Signal::kApplication;
-  sc.threshold = 0.10;
-  AutoScaler scaler(e.deployment(), sc);
+  ctrl::ScalePolicy::Config sc;
+  sc.signal = ctrl::ScalePolicy::Signal::kApplication;
+  sc.up_threshold = 0.10;
+  ctrl::ScalePolicy scaler(e.deployment(), sc);
   scaler.start();
   e.run();
   EXPECT_GT(scaler.events().size(), 0u);
@@ -33,40 +33,40 @@ TEST(AutoScaler, AppAwareScalesUnderOverload) {
   EXPECT_GT(e.deployment().instances().size(), 5u);
 }
 
-TEST(AutoScaler, AppAwareImprovesFps) {
+TEST(ScalePolicy, AppAwareImprovesFps) {
   const ExperimentResult base = run_experiment(overloaded_config());
 
   Experiment e(overloaded_config());
   e.build();
-  AutoScaler::Config sc;
-  sc.signal = AutoScaler::Signal::kApplication;
-  AutoScaler scaler(e.deployment(), sc);
+  ctrl::ScalePolicy::Config sc;
+  sc.signal = ctrl::ScalePolicy::Signal::kApplication;
+  ctrl::ScalePolicy scaler(e.deployment(), sc);
   scaler.start();
   e.run();
   EXPECT_GT(e.result().fps_mean, base.fps_mean * 1.1);
 }
 
-TEST(AutoScaler, IdleSystemNeverScales) {
+TEST(ScalePolicy, IdleSystemNeverScales) {
   ExperimentConfig cfg = overloaded_config(/*clients=*/1);
   Experiment e(cfg);
   e.build();
-  AutoScaler::Config sc;
-  sc.signal = AutoScaler::Signal::kApplication;
-  AutoScaler scaler(e.deployment(), sc);
+  ctrl::ScalePolicy::Config sc;
+  sc.signal = ctrl::ScalePolicy::Signal::kApplication;
+  ctrl::ScalePolicy scaler(e.deployment(), sc);
   scaler.start();
   e.run();
   EXPECT_EQ(scaler.events().size(), 0u);
   EXPECT_EQ(e.deployment().instances().size(), 5u);
 }
 
-TEST(AutoScaler, RespectsReplicaCap) {
+TEST(ScalePolicy, RespectsReplicaCap) {
   Experiment e(overloaded_config(10));
   e.build();
-  AutoScaler::Config sc;
-  sc.signal = AutoScaler::Signal::kApplication;
+  ctrl::ScalePolicy::Config sc;
+  sc.signal = ctrl::ScalePolicy::Signal::kApplication;
   sc.max_replicas_per_stage = 2;
   sc.interval = millis(500.0);
-  AutoScaler scaler(e.deployment(), sc);
+  ctrl::ScalePolicy scaler(e.deployment(), sc);
   scaler.start();
   e.run();
   for (int s = 0; s < kNumStages; ++s) {
@@ -74,13 +74,13 @@ TEST(AutoScaler, RespectsReplicaCap) {
   }
 }
 
-TEST(AutoScaler, HardwareSignalReactsToOccupancyOnly) {
+TEST(ScalePolicy, HardwareSignalReactsToOccupancyOnly) {
   Experiment e(overloaded_config());
   e.build();
-  AutoScaler::Config sc;
-  sc.signal = AutoScaler::Signal::kHardware;
-  sc.threshold = 1.01;  // impossible occupancy: must never fire
-  AutoScaler scaler(e.deployment(), sc);
+  ctrl::ScalePolicy::Config sc;
+  sc.signal = ctrl::ScalePolicy::Signal::kHardware;
+  sc.up_threshold = 1.01;  // impossible occupancy: must never fire
+  ctrl::ScalePolicy scaler(e.deployment(), sc);
   scaler.start();
   e.run();
   EXPECT_EQ(scaler.events().size(), 0u);
@@ -103,7 +103,7 @@ TEST(Deployment, AddReplicaJoinsRouting) {
 // generator's linear ramp schedule, fed through client_stagger), the
 // SLO watchdog holds per-client FPS, and the app-aware scaler absorbs
 // the growing load.
-TEST(AutoScaler, HoldsFpsThroughPopulationRamp) {
+TEST(ScalePolicy, HoldsFpsThroughPopulationRamp) {
   constexpr int kClients = 10;
   const SimDuration ramp = seconds(10.0);
   const auto starts = PopulationModel::ramp_starts(kClients, ramp);
@@ -122,9 +122,9 @@ TEST(AutoScaler, HoldsFpsThroughPopulationRamp) {
 
   Experiment e(cfg);
   e.build();
-  AutoScaler::Config sc;
-  sc.signal = AutoScaler::Signal::kApplication;
-  AutoScaler scaler(e.deployment(), sc);
+  ctrl::ScalePolicy::Config sc;
+  sc.signal = ctrl::ScalePolicy::Signal::kApplication;
+  ctrl::ScalePolicy scaler(e.deployment(), sc);
   scaler.start();
   e.run();
   const ExperimentResult scaled = e.result();
