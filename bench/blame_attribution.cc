@@ -1,0 +1,396 @@
+// Latency-attribution + burn-rate forecasting gate (observability
+// plane; paper §5's "where does the tail come from?" question).
+//
+// Part 1 — attribution. Two traced runs over the same offered load:
+//   scAtteR    — stateful sift; the state-fetch loop and the socket
+//                buffer should own the tail,
+//   scAtteR++  — stateless sift behind the sidecar; no state fetches,
+//                and the RPC hand-off must stay flat across bands.
+// The critical-path extractor decomposes every delivered frame's E2E
+// envelope; the banded blame report must agree with the experiment's
+// own on_frame counters (ground truth) to within kDecompTolPct.
+//
+// Part 2 — forecasting. Clients ramp onto a C2 deployment twice with
+// the same seed: once with the reactive drop-ratio loop, once with the
+// predictive arm (fast-window SLO burn + rising ingress trend) on top.
+// The predictive run must take its first scale-up strictly earlier,
+// and a flat under-capacity workload must produce zero actions.
+//
+// Gates (all counted in gates_failed):
+//   1. trace-derived mean E2E within kDecompTolPct of the hook's mean,
+//      for both modes, with unattributed gap blame under kGapTolPct,
+//   2. scAtteR: p99-band state-fetch blame > p50-band and > 1 ms,
+//   3. scAtteR++: zero state-fetch blame; rpc hand-off flat across
+//      bands (p99 - p50 <= kRpcFlatMs),
+//   4. predictive first scale-up strictly earlier than reactive, with
+//      >= 1 action credited to the predictive arm,
+//   5. flat workload under capacity: zero control actions,
+//   6. same-seed rerun bit-identical (blame + action digest),
+//   7. mar_blame_ms / mar_slo_burn_rate visible on a live /metrics
+//      scrape and the blame JSON served on /debug/blame.
+//
+// Writes BENCH_blame.json. Smoke knobs: --clients, --duration_s,
+// --ramp_clients, --ramp_duration_s, --seed.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "bench/fig_util.h"
+#include "ctrl/reoptimizer.h"
+#include "ctrl/scale_policy.h"
+#include "expt/attribution.h"
+#include "net/http.h"
+#include "telemetry/critical_path.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
+
+using namespace mar;
+using namespace mar::bench;
+using telemetry::PathComponent;
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  return h * kFnvPrime;
+}
+std::uint64_t fnv_double(std::uint64_t h, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return fnv_mix(h, bits);
+}
+
+constexpr double kDecompTolPct = 2.0;  // trace total vs hook mean E2E
+constexpr double kGapTolPct = 2.0;     // unattributed envelope share
+constexpr double kRpcFlatMs = 0.5;     // scAtteR++ hand-off band spread
+
+struct BenchKnobs {
+  int clients = 2;            // attribution runs
+  double duration_s = 8.0;
+  int ramp_clients = 4;       // forecasting ramp
+  double ramp_duration_s = 20.0;
+  double ramp_stagger_s = 2.0;
+  std::uint64_t seed = 47000;
+};
+
+// --- Part 1: traced attribution runs --------------------------------
+
+struct TracedRun {
+  expt::BlameReport report;
+  double hook_mean_e2e_ms = 0.0;  // counter ground truth (all successes)
+  int hook_delivered = 0;
+  double cp_mean_e2e_ms = 0.0;    // mean critical-path envelope
+  double decomp_err_pct = 0.0;
+  double gap_pct = 0.0;           // unattributed share of the envelope
+  std::uint64_t digest = kFnvOffset;
+};
+
+double band_mean(const expt::BlameReport& r, const char* band, PathComponent c) {
+  for (const auto& b : r.bands) {
+    if (b.label == band) return b.mean_ms[static_cast<std::size_t>(c)];
+  }
+  return 0.0;
+}
+
+TracedRun run_traced(const BenchKnobs& k, core::PipelineMode mode) {
+  auto& tracer = telemetry::Tracer::instance();
+  tracer.clear();
+  tracer.set_enabled(true);
+
+  ExperimentConfig cfg;
+  cfg.mode = mode;
+  cfg.placement = SymbolicPlacement::single(Site::kE2);
+  cfg.num_clients = k.clients;
+  cfg.warmup = seconds(1.0);
+  cfg.duration = seconds(k.duration_s);
+  cfg.seed = k.seed;
+
+  double hook_sum = 0.0;
+  int hook_n = 0;
+  cfg.on_frame_hook = [&](SimTime, double e2e_ms, bool success) {
+    if (!success) return;
+    hook_sum += e2e_ms;
+    ++hook_n;
+  };
+
+  expt::Experiment e(cfg);
+  e.build();
+  e.run();
+
+  TracedRun out;
+  out.report = expt::build_blame_report(expt::from_tracer(tracer));
+  tracer.set_enabled(false);
+
+  out.hook_delivered = hook_n;
+  out.hook_mean_e2e_ms = hook_n > 0 ? hook_sum / hook_n : 0.0;
+  double cp_sum = 0.0;
+  double attributed = 0.0;
+  for (const auto& b : out.report.bands) cp_sum += b.mean_total_ms * b.frames;
+  for (int c = 0; c < telemetry::kNumPathComponents; ++c) {
+    if (static_cast<PathComponent>(c) == PathComponent::kGap) continue;
+    attributed += out.report.overall_mean_ms[static_cast<std::size_t>(c)];
+  }
+  const double gap = out.report.overall_mean_ms[static_cast<std::size_t>(PathComponent::kGap)];
+  out.cp_mean_e2e_ms =
+      out.report.frames_delivered > 0 ? cp_sum / out.report.frames_delivered : 0.0;
+  out.decomp_err_pct = out.hook_mean_e2e_ms > 0.0
+                           ? 100.0 * std::abs(out.cp_mean_e2e_ms - out.hook_mean_e2e_ms) /
+                                 out.hook_mean_e2e_ms
+                           : 100.0;
+  out.gap_pct = attributed + gap > 0.0 ? 100.0 * gap / (attributed + gap) : 0.0;
+
+  out.digest = fnv_mix(out.digest, static_cast<std::uint64_t>(out.report.frames_total));
+  out.digest = fnv_mix(out.digest, static_cast<std::uint64_t>(out.report.frames_delivered));
+  out.digest = fnv_double(out.digest, out.report.e2e_p99_ms);
+  for (const auto& b : out.report.bands) {
+    out.digest = fnv_double(out.digest, b.mean_total_ms);
+    for (double v : b.mean_ms) out.digest = fnv_double(out.digest, v);
+  }
+  return out;
+}
+
+// --- Part 2: predictive vs reactive ramp ----------------------------
+
+struct RampRun {
+  double first_scale_up_s = -1.0;  // -1 = never fired
+  std::uint64_t scale_ups = 0;
+  std::uint64_t predictive_ups = 0;
+  std::uint64_t total_actions = 0;
+  double peak_burn = 0.0;  // fast-window burn at the end of the run
+  std::uint64_t digest = kFnvOffset;
+};
+
+RampRun run_ramp(const BenchKnobs& k, bool predictive, bool flat) {
+  ExperimentConfig cfg;
+  cfg.mode = core::PipelineMode::kScatterPP;
+  cfg.placement = SymbolicPlacement::single(Site::kE2);
+  cfg.num_clients = flat ? 1 : k.ramp_clients;
+  cfg.client_stagger = flat ? millis(0.0) : seconds(k.ramp_stagger_s);
+  cfg.warmup = seconds(1.0);
+  cfg.duration = seconds(k.ramp_duration_s);
+  cfg.seed = k.seed;
+  expt::SloTargets slo;
+  slo.min_fps = 24.0;
+  slo.max_e2e_p99_ms = 120.0;  // latency breach leads the drop trigger
+  cfg.slo = slo;
+
+  expt::Experiment e(cfg);
+  e.build();
+
+  ctrl::ScalePolicy::Config sc;
+  sc.max_replicas_per_stage = 2;
+  ctrl::ScalePolicy policy(e.deployment(), sc);
+  ctrl::ReOptimizerConfig rc;
+  rc.interval = millis(250.0);
+  rc.breach_ticks = 3;
+  rc.cooldown = seconds(2.0);
+  rc.predictive = predictive;
+  rc.predict_ticks = 2;
+  ctrl::ReOptimizer reopt(policy, e.slo_watchdog(), rc);
+  reopt.start();
+  e.run();
+
+  RampRun out;
+  out.scale_ups = reopt.scale_up_actions();
+  out.predictive_ups = reopt.predictive_scale_ups();
+  out.total_actions = reopt.actions().size();
+  if (predictive) {
+    out.peak_burn = reopt.burn_rate().fast_burn(e.testbed().runtime().now());
+  }
+  for (const auto& a : reopt.actions()) {
+    if (a.kind == ctrl::CtrlAction::Kind::kScaleUp && out.first_scale_up_s < 0.0) {
+      out.first_scale_up_s = to_seconds(a.t);
+    }
+    out.digest = fnv_mix(out.digest, static_cast<std::uint64_t>(a.kind));
+    out.digest = fnv_mix(out.digest, static_cast<std::uint64_t>(a.t));
+    out.digest = fnv_mix(out.digest, static_cast<std::uint64_t>(a.stage));
+  }
+  return out;
+}
+
+// Minimal blocking HTTP client: one request, read to EOF (the metrics
+// server closes after each response).
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchKnobs k;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&](const char* name) -> const char* {
+      const std::size_t n = std::strlen(name);
+      return arg.compare(0, n, name) == 0 && arg.size() > n ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = val("--clients=")) k.clients = std::atoi(v);
+    if (const char* v = val("--duration_s=")) k.duration_s = std::atof(v);
+    if (const char* v = val("--ramp_clients=")) k.ramp_clients = std::atoi(v);
+    if (const char* v = val("--ramp_duration_s=")) k.ramp_duration_s = std::atof(v);
+    if (const char* v = val("--seed=")) k.seed = std::strtoull(v, nullptr, 10);
+  }
+
+  telemetry::MetricRegistry::instance().set_enabled(true);
+  std::printf("blame_attribution: %d traced clients x %.0fs per mode, %d-client ramp %.0fs\n",
+              k.clients, k.duration_s, k.ramp_clients, k.ramp_duration_s);
+
+  const TracedRun scatter = run_traced(k, core::PipelineMode::kScatter);
+  const TracedRun scatterpp = run_traced(k, core::PipelineMode::kScatterPP);
+  const TracedRun scatter2 = run_traced(k, core::PipelineMode::kScatter);  // same seed
+
+  Table t({"mode", "frames", "delivered", "hook mean (ms)", "trace mean (ms)", "err %",
+           "gap %", "e2e p99 (ms)"});
+  auto row = [&](const char* name, const TracedRun& r) {
+    t.add_row({name, std::to_string(r.report.frames_total),
+               std::to_string(r.report.frames_delivered), Table::num(r.hook_mean_e2e_ms, 2),
+               Table::num(r.cp_mean_e2e_ms, 2), Table::num(r.decomp_err_pct, 3),
+               Table::num(r.gap_pct, 3), Table::num(r.report.e2e_p99_ms, 1)});
+  };
+  row("scatter", scatter);
+  row("scatter++", scatterpp);
+  t.print();
+
+  const double sf_p50 = band_mean(scatter.report, "p50", PathComponent::kStateFetch);
+  const double sf_p99 = band_mean(scatter.report, "p99", PathComponent::kStateFetch);
+  const double pp_sf =
+      scatterpp.report.overall_mean_ms[static_cast<std::size_t>(PathComponent::kStateFetch)];
+  const double pp_rpc_p50 = band_mean(scatterpp.report, "p50", PathComponent::kRpc);
+  const double pp_rpc_p99 = band_mean(scatterpp.report, "p99", PathComponent::kRpc);
+  std::printf("  scatter state_fetch blame: p50 %.2fms -> p99 %.2fms; "
+              "scatter++ state_fetch %.2fms, rpc p50 %.2fms / p99 %.2fms\n",
+              sf_p50, sf_p99, pp_sf, pp_rpc_p50, pp_rpc_p99);
+
+  const RampRun reactive = run_ramp(k, /*predictive=*/false, /*flat=*/false);
+  const RampRun predictive = run_ramp(k, /*predictive=*/true, /*flat=*/false);
+  const RampRun predictive2 = run_ramp(k, /*predictive=*/true, /*flat=*/false);
+  const RampRun flat = run_ramp(k, /*predictive=*/true, /*flat=*/true);
+  std::printf("  ramp first scale-up: reactive %.2fs, predictive %.2fs "
+              "(%llu predictive actions, peak fast burn %.1f); flat run: %llu actions\n",
+              reactive.first_scale_up_s, predictive.first_scale_up_s,
+              static_cast<unsigned long long>(predictive.predictive_ups),
+              predictive.peak_burn, static_cast<unsigned long long>(flat.total_actions));
+
+  int gates_failed = 0;
+  auto gate = [&](bool ok, const char* what) {
+    if (!ok) {
+      ++gates_failed;
+      std::printf("  GATE FAILED: %s\n", what);
+    }
+  };
+  gate(scatter.decomp_err_pct <= kDecompTolPct && scatterpp.decomp_err_pct <= kDecompTolPct,
+       "trace-derived mean E2E diverges >2% from the on_frame ground truth");
+  gate(scatter.gap_pct <= kGapTolPct && scatterpp.gap_pct <= kGapTolPct,
+       "unattributed gap blame exceeds 2% of the envelope");
+  gate(sf_p99 > sf_p50 && sf_p99 > 1.0,
+       "scatter p99-band state-fetch blame does not dominate the tail");
+  gate(pp_sf == 0.0, "scatter++ shows state-fetch blame (stateless sift must have none)");
+  gate(pp_rpc_p99 > 0.0 && pp_rpc_p99 - pp_rpc_p50 <= kRpcFlatMs,
+       "scatter++ rpc hand-off blame is not flat across bands");
+  gate(reactive.first_scale_up_s >= 0.0 && predictive.first_scale_up_s >= 0.0 &&
+           predictive.first_scale_up_s < reactive.first_scale_up_s,
+       "predictive run did not scale up strictly earlier than reactive");
+  gate(predictive.predictive_ups >= 1, "no action credited to the predictive arm");
+  gate(flat.total_actions == 0, "flat under-capacity workload produced control actions");
+  const bool rerun_identical =
+      scatter.digest == scatter2.digest && predictive.digest == predictive2.digest;
+  gate(rerun_identical, "same-seed rerun diverged (blame or action digest)");
+
+  // Live witness: the blame gauges, burn windows, and /debug/blame
+  // payload must be reachable over HTTP, not just in-process.
+  expt::publish_blame_gauges(scatter.report);
+  const std::string blame_json = expt::blame_report_json(scatter.report);
+  net::HttpServer server;
+  net::serve_metrics(server, telemetry::MetricRegistry::instance(),
+                     [&] { return expt::render_blame_table(scatter.report); });
+  server.handle("/debug/blame", "application/json", [&] { return blame_json; });
+  bool witnessed = false;
+  if (server.start(0).is_ok()) {
+    const std::string scrape = http_get(server.port(), "/metrics");
+    const std::string debug = http_get(server.port(), "/debug/blame");
+    witnessed = scrape.find("mar_blame_ms{") != std::string::npos &&
+                scrape.find("mar_slo_burn_rate{") != std::string::npos &&
+                scrape.find("mar_ingress_trend_fps") != std::string::npos &&
+                debug.find("\"bands\"") != std::string::npos;
+    server.stop();
+  }
+  gate(witnessed, "mar_blame_ms / mar_slo_burn_rate / /debug/blame not live-scrapable");
+
+  char sdig[32], pdig[32];
+  std::snprintf(sdig, sizeof(sdig), "%016llx", static_cast<unsigned long long>(scatter.digest));
+  std::snprintf(pdig, sizeof(pdig), "%016llx",
+                static_cast<unsigned long long>(predictive.digest));
+  std::ostringstream j;
+  j << "{\n  \"bench\": \"blame_attribution\",\n";
+  j << "  \"config\": {\"clients\": " << k.clients << ", \"duration_s\": " << jnum(k.duration_s)
+    << ", \"ramp_clients\": " << k.ramp_clients
+    << ", \"ramp_duration_s\": " << jnum(k.ramp_duration_s) << ", \"seed\": " << k.seed
+    << "},\n";
+  auto traced_json = [&](const char* name, const TracedRun& r) {
+    j << "  " << jstr(name) << ": {\"frames_total\": " << r.report.frames_total
+      << ", \"frames_delivered\": " << r.report.frames_delivered
+      << ", \"hook_mean_e2e_ms\": " << jnum(r.hook_mean_e2e_ms)
+      << ", \"trace_mean_e2e_ms\": " << jnum(r.cp_mean_e2e_ms)
+      << ", \"decomp_err_pct\": " << jnum(r.decomp_err_pct)
+      << ", \"gap_pct\": " << jnum(r.gap_pct)
+      << ", \"e2e_p99_ms\": " << jnum(r.report.e2e_p99_ms)
+      << ", \"open_spans\": " << r.report.open_spans
+      << ", \"orphan_ends\": " << r.report.orphan_ends << "},\n";
+  };
+  traced_json("scatter", scatter);
+  traced_json("scatterpp", scatterpp);
+  j << "  \"blame\": {\"scatter_state_fetch_p50_ms\": " << jnum(sf_p50)
+    << ", \"scatter_state_fetch_p99_ms\": " << jnum(sf_p99)
+    << ", \"scatterpp_state_fetch_ms\": " << jnum(pp_sf)
+    << ", \"scatterpp_rpc_p50_ms\": " << jnum(pp_rpc_p50)
+    << ", \"scatterpp_rpc_p99_ms\": " << jnum(pp_rpc_p99) << "},\n";
+  j << "  \"forecast\": {\"reactive_first_scale_up_s\": " << jnum(reactive.first_scale_up_s)
+    << ", \"predictive_first_scale_up_s\": " << jnum(predictive.first_scale_up_s)
+    << ", \"predictive_lead_s\": "
+    << jnum(reactive.first_scale_up_s - predictive.first_scale_up_s)
+    << ", \"predictive_scale_ups\": " << predictive.predictive_ups
+    << ", \"peak_fast_burn\": " << jnum(predictive.peak_burn)
+    << ", \"flat_actions\": " << flat.total_actions << "},\n";
+  j << "  \"digests\": {\"scatter\": " << jstr(sdig) << ", \"predictive\": " << jstr(pdig)
+    << "},\n";
+  j << "  \"rerun_identical\": " << (rerun_identical ? "true" : "false") << ",\n";
+  j << "  \"metrics_witnessed\": " << (witnessed ? "true" : "false") << ",\n";
+  j << "  \"gates_failed\": " << gates_failed << "\n}\n";
+  if (!write_text_file("BENCH_blame.json", j.str())) {
+    std::printf("  (could not write BENCH_blame.json)\n");
+  }
+  std::printf("  gates_failed: %d -> BENCH_blame.json\n", gates_failed);
+  return gates_failed == 0 ? 0 : 1;
+}

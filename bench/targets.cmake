@@ -43,6 +43,10 @@ target_link_libraries(ablation_app_aware PRIVATE mar_ctrl)
 # Closed-loop control plane vs static placement; needs src/ctrl.
 mar_bench(placement_reopt)
 target_link_libraries(placement_reopt PRIVATE mar_ctrl)
+
+# Critical-path blame + predictive-vs-reactive forecast; ctrl + live HTTP.
+mar_bench(blame_attribution)
+target_link_libraries(blame_attribution PRIVATE mar_ctrl mar_net Threads::Threads)
 mar_bench(ablation_vertical_scaling)
 
 add_executable(vision_microbench ${CMAKE_SOURCE_DIR}/bench/vision_microbench.cc)

@@ -54,20 +54,40 @@
 //   --reopt             close the loop during the run: ScalePolicy +
 //                       ReOptimizer (scale-up under sustained drops,
 //                       drain-based scale-down, mar_ctrl_* counters);
-//                       prints a control-action summary table
+//                       prints a control-action summary table and the
+//                       recent-actions log
 //   --drain_ms D        drain deadline before a force-retire (default
 //                       10000; only meaningful with --reopt)
+//   --predict           arm the predictive scale-up arm (burn-rate +
+//                       ingress-trend forecast; implies --reopt)
+//   --burn_fast_s S     fast burn window seconds        (default 5)
+//   --burn_slow_s S     slow burn window seconds        (default 60)
+//   --trend_s S         ingress-trend fit window seconds (default 10)
+//   --burn_budget F     SLO error budget fraction       (default 0.01)
+//
+// Latency attribution (ARCHITECTURE.md §12; needs tracing on):
+//   --blame             print the critical-path blame table after the run
+//   --blame_out PATH    write the blame report JSON (/debug/blame shape)
+//   --metrics_port N    after the run, serve /metrics, /statusz (with the
+//                       blame table + control-plane recent actions) and
+//                       /debug/blame on port N (0 = ephemeral)
+//   --serve_ms N        keep that server up N ms (default 2000)
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "ctrl/placement_search.h"
 #include "ctrl/reoptimizer.h"
 #include "ctrl/scale_policy.h"
+#include "expt/attribution.h"
 #include "expt/experiment.h"
+#include "expt/forensics.h"
 #include "expt/report.h"
 #include "expt/table.h"
+#include "net/http.h"
 #include "telemetry/profiler.h"
 #include "telemetry/trace.h"
 
@@ -114,6 +134,12 @@ int main(int argc, char** argv) {
   bool placement_search = false;
   bool reopt = false;
   double drain_ms = 10000.0;
+  bool predict = false;
+  expt::BurnRateConfig burn_cfg;
+  bool blame_print = false;
+  std::string blame_path;
+  int metrics_port = -1;  // -1 = no post-run server
+  long serve_ms = 2000;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -178,6 +204,25 @@ int main(int argc, char** argv) {
       reopt = true;
     } else if (arg == "--drain_ms") {
       drain_ms = std::atof(next());
+    } else if (arg == "--predict") {
+      predict = true;
+      reopt = true;
+    } else if (arg == "--burn_fast_s") {
+      burn_cfg.fast_window = seconds(std::atof(next()));
+    } else if (arg == "--burn_slow_s") {
+      burn_cfg.slow_window = seconds(std::atof(next()));
+    } else if (arg == "--trend_s") {
+      burn_cfg.trend_window = seconds(std::atof(next()));
+    } else if (arg == "--burn_budget") {
+      burn_cfg.budget = std::atof(next());
+    } else if (arg == "--blame") {
+      blame_print = true;
+    } else if (arg == "--blame_out") {
+      blame_path = next();
+    } else if (arg == "--metrics_port") {
+      metrics_port = std::atoi(next());
+    } else if (arg == "--serve_ms") {
+      serve_ms = std::atol(next());
     } else if (arg == "--help") {
       std::printf("see the header of examples/experiment_cli.cpp for usage\n");
       return 0;
@@ -243,9 +288,10 @@ int main(int argc, char** argv) {
     ctrl::ScalePolicy::Config sc;
     sc.drain_deadline = millis(drain_ms);
     policy = std::make_unique<ctrl::ScalePolicy>(e.deployment(), sc);
-    reoptimizer =
-        std::make_unique<ctrl::ReOptimizer>(*policy, e.slo_watchdog(),
-                                            ctrl::ReOptimizerConfig{});
+    ctrl::ReOptimizerConfig rc;
+    rc.predictive = predict;
+    rc.burn = burn_cfg;
+    reoptimizer = std::make_unique<ctrl::ReOptimizer>(*policy, e.slo_watchdog(), rc);
     reoptimizer->start();
   }
   e.run();
@@ -296,9 +342,10 @@ int main(int argc, char** argv) {
   }
 
   if (reoptimizer) {
-    Table ctrl_t({"scale-ups", "scale-downs", "replans", "blocked", "retired",
-                  "forced", "drain loss"});
+    Table ctrl_t({"scale-ups", "predictive", "scale-downs", "replans", "blocked",
+                  "retired", "forced", "drain loss"});
     ctrl_t.add_row({std::to_string(reoptimizer->scale_up_actions()),
+                    std::to_string(reoptimizer->predictive_scale_ups()),
                     std::to_string(reoptimizer->scale_down_actions()),
                     std::to_string(reoptimizer->replans()),
                     std::to_string(reoptimizer->blocked()),
@@ -306,6 +353,7 @@ int main(int argc, char** argv) {
                     std::to_string(policy->forced_retires()),
                     std::to_string(policy->drain_frames_lost())});
     ctrl_t.print();
+    std::fputs(ctrl::render_recent_actions(*reoptimizer).c_str(), stdout);
   }
 
   if (r.retention.enabled) {
@@ -359,6 +407,53 @@ int main(int argc, char** argv) {
     }
     std::fclose(f);
     std::printf("wrote %s\n", metrics_path.c_str());
+  }
+
+  // Latency attribution: fold the run's traces into a blame report for
+  // the table / JSON file / post-run metrics server.
+  const bool want_blame =
+      blame_print || !blame_path.empty() || metrics_port >= 0;
+  expt::BlameReport blame_report;
+  if (want_blame && tracer.enabled()) {
+    blame_report = expt::build_blame_report(expt::from_tracer(tracer));
+    expt::publish_blame_gauges(blame_report);
+  }
+  if (blame_print) std::fputs(expt::render_blame_table(blame_report).c_str(), stdout);
+  if (!blame_path.empty()) {
+    const std::string json = expt::blame_report_json(blame_report);
+    std::FILE* f = std::fopen(blame_path.c_str(), "w");
+    if (f == nullptr || std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+      std::fprintf(stderr, "failed to write %s\n", blame_path.c_str());
+      if (f != nullptr) std::fclose(f);
+      return 1;
+    }
+    std::fclose(f);
+    std::printf("wrote %s\n", blame_path.c_str());
+  }
+
+  // Post-run metrics plane: final registry state, the blame table and
+  // control-plane recent actions on /statusz, JSON at /debug/blame.
+  if (metrics_port >= 0) {
+    auto& registry = telemetry::MetricRegistry::instance();
+    registry.set_enabled(true);
+    if (want_blame) expt::publish_blame_gauges(blame_report);
+    net::HttpServer server;
+    const std::string statusz_extra =
+        expt::render_blame_table(blame_report) +
+        (reoptimizer ? ctrl::render_recent_actions(*reoptimizer) : std::string());
+    net::serve_metrics(server, registry, [statusz_extra] { return statusz_extra; });
+    const std::string blame_json = expt::blame_report_json(blame_report);
+    server.handle("/debug/blame", "application/json", [blame_json] { return blame_json; });
+    if (auto st = server.start(static_cast<std::uint16_t>(metrics_port)); !st.is_ok()) {
+      std::fprintf(stderr, "metrics server failed: %s\n", st.message().c_str());
+      return 1;
+    }
+    std::printf("serving metrics for %ld ms on port %u (GET /metrics /statusz "
+                "/debug/blame)\n",
+                serve_ms, server.port());
+    std::fflush(stdout);  // scripts wait on this line before scraping
+    std::this_thread::sleep_for(std::chrono::milliseconds(serve_ms));
+    server.stop();
   }
   return 0;
 }

@@ -15,6 +15,8 @@
 // annotated with their retention reason.
 //
 //   --trace ID   reconstruct one frame by trace id
+//   --blame ID   critical path of one frame: each envelope slice blamed
+//                on a component, with per-component self-times
 //   --worst N    the N frames with the widest capture→verdict span
 //   --dropped    every frame whose timeline ends in a drop/loss
 //   --list       one summary line per traced frame
@@ -24,6 +26,7 @@
 #include <string>
 
 #include "expt/forensics.h"
+#include "telemetry/critical_path.h"
 
 using namespace mar;
 using namespace mar::expt;
@@ -51,7 +54,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: frame_forensics <events.log> "
-                 "[--trace ID | --worst N | --dropped | --list]\n");
+                 "[--trace ID | --blame ID | --worst N | --dropped | --list]\n");
     return 2;
   }
   const auto log = load_trace_log(argv[1]);
@@ -66,7 +69,7 @@ int main(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : "0"; };
-    if (arg == "--trace") {
+    if (arg == "--trace" || arg == "--blame") {
       mode = arg;
       trace_id = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--worst") {
@@ -87,6 +90,20 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fputs(render_timeline(*tl).c_str(), stdout);
+    return 0;
+  }
+  if (mode == "--blame") {
+    std::vector<telemetry::TraceEvent> events;
+    for (const auto& e : log->events) {
+      if (e.trace_id == trace_id) events.push_back(e);
+    }
+    if (events.empty()) {
+      std::fprintf(stderr, "trace %u not found in the log\n", trace_id);
+      return 1;
+    }
+    std::fputs(
+        telemetry::render_critical_path(telemetry::extract_critical_path(events)).c_str(),
+        stdout);
     return 0;
   }
   if (mode == "--worst") return render_ids(*log, worst_trace_ids(*log, worst_n), "traced");

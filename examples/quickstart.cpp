@@ -34,10 +34,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 
+#include "expt/attribution.h"
 #include "expt/experiment.h"
+#include "expt/forensics.h"
 #include "expt/report.h"
 #include "net/http.h"
 #include "telemetry/procstat.h"
@@ -143,10 +147,26 @@ int main(int argc, char** argv) {
   auto& registry = telemetry::MetricRegistry::instance();
   net::HttpServer metrics_server;
   telemetry::ProcStatSampler proc_sampler(registry);
+  // Latency-attribution state: filled after the traced sim runs; the
+  // /debug/blame and /statusz handlers run on the serve thread, so the
+  // strings live behind a mutex.
+  struct BlameState {
+    std::mutex mu;
+    std::string json = "{\"frames_total\": 0, \"bands\": []}\n";
+    std::string table = "blame report: no traced frames yet\n";
+  };
+  auto blame = std::make_shared<BlameState>();
   if (metrics_port >= 0) {
     registry.set_enabled(true);
-    net::serve_metrics(metrics_server, registry);
+    net::serve_metrics(metrics_server, registry, [blame] {
+      std::lock_guard<std::mutex> lock(blame->mu);
+      return blame->table;
+    });
     net::serve_pprof(metrics_server);
+    metrics_server.handle("/debug/blame", "application/json", [blame] {
+      std::lock_guard<std::mutex> lock(blame->mu);
+      return blame->json;
+    });
     telemetry::Profiler::instance().publish_to_registry();
     if (auto st = metrics_server.start(static_cast<std::uint16_t>(metrics_port));
         !st.is_ok()) {
@@ -289,6 +309,18 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(retention.frames_closed),
                   static_cast<unsigned long long>(retention.drop_flushed));
     }
+    // Fold the retained traces into the blame report: per-band
+    // component milliseconds as mar_blame_ms gauges, a table on
+    // /statusz, and JSON at /debug/blame.
+    const expt::BlameReport blame_report =
+        expt::build_blame_report(expt::from_tracer(telemetry::Tracer::instance()));
+    expt::publish_blame_gauges(blame_report);
+    {
+      std::lock_guard<std::mutex> lock(blame->mu);
+      blame->json = expt::blame_report_json(blame_report);
+      blame->table = expt::render_blame_table(blame_report);
+    }
+    std::printf("\n%s", expt::render_blame_table(blame_report).c_str());
   }
   if (!trace_out.empty()) {
     auto& tracer = telemetry::Tracer::instance();

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Keep the metric reference honest: every registered mar_* series must
+be documented, and the docs must not name series that do not exist.
+
+Forward check (hard): every double-quoted "mar_*" literal registered in
+src/ must appear somewhere in README.md or ARCHITECTURE.md (the metric
+reference tables live there).
+
+Reverse check (hard): every mar_* token the docs mention must resolve
+to a registered name. A doc token resolves when it equals a registered
+name, extends one (histogram suffixes like mar_frame_e2e_ms_bucket),
+or is a prefix of one (prose shorthand like mar_ctrl_* or the brace
+form mar_ctrl_{scale_up,...}_total truncates to mar_ctrl_). File-level
+exporter names that never touch the registry are allowlisted.
+
+Usage: scripts/metrics_lint.py [--repo .]
+Exit status: 0 clean, 1 violations.
+"""
+import argparse
+import os
+import re
+import sys
+
+SRC_DIRS = ("src", "examples")
+DOC_FILES = ("README.md", "ARCHITECTURE.md")
+
+# Written by expt::to_prometheus / expt file reports, not the live
+# MetricRegistry; documented but never "registered".
+ALLOWLIST = {"mar_fps", "mar_e2e_ms"}
+
+LITERAL = re.compile(r'"(mar_[a-z0-9_]+)"')
+DOC_TOKEN = re.compile(r"(mar_[a-z0-9_*{]+)")
+CMAKE_TARGET = re.compile(r"add_library\(\s*(mar_[a-z0-9_]+)")
+
+
+def cmake_targets(repo):
+    """Library names (mar_core, mar_dsp, ...) share the mar_ prefix but
+    are not metrics; the docs' layer tables mention them freely."""
+    targets = set()
+    for dirpath, _, files in os.walk(os.path.join(repo, "src")):
+        for fname in files:
+            if fname != "CMakeLists.txt":
+                continue
+            with open(os.path.join(dirpath, fname), errors="replace") as f:
+                targets.update(CMAKE_TARGET.findall(f.read()))
+    return targets
+
+
+def registered_names(repo):
+    names = set()
+    for top in SRC_DIRS:
+        for dirpath, _, files in os.walk(os.path.join(repo, top)):
+            for fname in files:
+                if not fname.endswith((".cc", ".h", ".cpp")):
+                    continue
+                with open(os.path.join(dirpath, fname), errors="replace") as f:
+                    names.update(LITERAL.findall(f.read()))
+    return names
+
+
+def doc_tokens(repo):
+    tokens = {}  # token -> first "file:line" mention
+    for doc in DOC_FILES:
+        path = os.path.join(repo, doc)
+        if not os.path.isfile(path):
+            continue
+        with open(path, errors="replace") as f:
+            for lineno, line in enumerate(f, 1):
+                for tok in DOC_TOKEN.findall(line):
+                    # Truncate prose shorthand at the first glob/brace
+                    # (mar_ctrl_{scale_up,..} -> mar_ctrl_) and strip
+                    # punctuation dangle.
+                    tok = re.split(r"[*{]", tok)[0]
+                    if tok in ("mar", "mar_"):
+                        continue
+                    tokens.setdefault(tok, f"{doc}:{lineno}")
+    return tokens
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repo", default=os.path.join(os.path.dirname(__file__), ".."))
+    args = ap.parse_args()
+    repo = os.path.abspath(args.repo)
+
+    registered = registered_names(repo)
+    if not registered:
+        print("metrics_lint: found no registered mar_* names under src/ — "
+              "is --repo right?", file=sys.stderr)
+        return 1
+    docs_text = ""
+    for doc in DOC_FILES:
+        path = os.path.join(repo, doc)
+        if os.path.isfile(path):
+            with open(path, errors="replace") as f:
+                docs_text += f.read()
+
+    failures = []
+    for name in sorted(registered):
+        if name not in docs_text:
+            failures.append(f"registered metric {name} is documented in neither "
+                            f"{' nor '.join(DOC_FILES)}")
+
+    libraries = cmake_targets(repo)
+    for tok, where in sorted(doc_tokens(repo).items()):
+        if tok in ALLOWLIST or tok in registered or tok in libraries:
+            continue
+        # Histogram suffix of a registered name, or prose prefix of one.
+        if any(tok.startswith(r) or r.startswith(tok) for r in registered):
+            continue
+        failures.append(f"{where}: doc names unregistered metric {tok}")
+
+    if failures:
+        print(f"metrics_lint: {len(failures)} violation(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"metrics_lint: OK ({len(registered)} registered mar_* series, "
+          f"all documented)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -94,6 +94,19 @@ grep -q '"rerun_identical": true' "$PLACEMENT_JSON" || {
   echo "verify: FAIL — closed-loop rerun not bit-identical" >&2; exit 1; }
 echo "verify: placement reopt OK"
 
+# Attribution gate: the critical-path decomposition must agree with
+# the experiment's own counters (<=2%), state fetch must own the
+# scAtteR tail while the scAtteR++ hand-off stays flat, the predictive
+# arm must beat the reactive trigger on a ramp and stay silent on a
+# flat workload, and the blame gauges must be live-scrapable.
+(cd "$BUILD_DIR/bench" && ./blame_attribution)
+BLAME_JSON="$BUILD_DIR/bench/BENCH_blame.json"
+grep -q '"gates_failed": 0' "$BLAME_JSON" || {
+  echo "verify: FAIL — blame-attribution gates violated (see $BLAME_JSON)" >&2; exit 1; }
+grep -q '"rerun_identical": true' "$BLAME_JSON" || {
+  echo "verify: FAIL — blame/forecast rerun not bit-identical" >&2; exit 1; }
+echo "verify: blame attribution OK"
+
 # Docs lint: path references in the curated docs must resolve against
 # the working tree (stale pointers after refactors fail verify).
 if command -v python3 >/dev/null 2>&1; then
@@ -101,6 +114,16 @@ if command -v python3 >/dev/null 2>&1; then
     echo "verify: FAIL — stale path references in docs" >&2; exit 1; }
 else
   echo "verify: SKIP docs_lint (no python3)"
+fi
+
+# Metrics lint: every registered mar_* series must be documented in
+# the README/ARCHITECTURE metric tables, and the docs must not name
+# series that no code registers.
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/metrics_lint.py || {
+    echo "verify: FAIL — metric reference out of sync with src/" >&2; exit 1; }
+else
+  echo "verify: SKIP metrics_lint (no python3)"
 fi
 
 # Bench-regression gate: fresh headline numbers vs the committed
@@ -214,7 +237,8 @@ with open(sys.argv[1]) as f:
         float(value)
         names.add(head.split("{")[0])
 for required in ("mar_service_ms_bucket", "mar_frame_e2e_ms_bucket",
-                 "mar_process_rss_bytes", "mar_process_cpu_percent"):
+                 "mar_process_rss_bytes", "mar_process_cpu_percent",
+                 "mar_blame_ms"):
     assert required in names, f"/metrics is missing {required}"
 assert exemplars >= 1, "no histogram exemplars on /metrics (retention run absent?)"
 print(f"verify: /metrics OK ({len(names)} series names, {exemplars} exemplars)")
@@ -226,6 +250,21 @@ else
   done
   echo "verify: /metrics OK (grep checks)"
 fi
+
+# Live blame plane, same serving quickstart: /debug/blame must return
+# the banded JSON built from the retention run's traces, and /statusz
+# must carry the rendered blame table.
+BLAME_OUT="$OUT_DIR/debug_blame.json"
+fetch /debug/blame >"$BLAME_OUT" || {
+  echo "verify: FAIL — /debug/blame unreachable" >&2; exit 1; }
+grep -q '"bands"' "$BLAME_OUT" || {
+  echo "verify: FAIL — /debug/blame payload has no bands" >&2; exit 1; }
+if grep -q '"frames_delivered": 0' "$BLAME_OUT"; then
+  echo "verify: FAIL — /debug/blame saw no delivered frames" >&2; exit 1
+fi
+fetch /statusz | grep -q "blame report" || {
+  echo "verify: FAIL — /statusz missing the blame table" >&2; exit 1; }
+echo "verify: blame plane OK"
 
 # Live pprof plane, scraped from the same serving quickstart: a 1 s
 # CPU capture must come back as valid folded stacks that include the

@@ -1,14 +1,29 @@
 #include "ctrl/reoptimizer.h"
 
 #include <array>
+#include <cstdio>
 
 #include "ctrl/ctrl_telemetry.h"
 
 namespace mar::ctrl {
 
+const char* to_string(CtrlAction::Kind kind) {
+  switch (kind) {
+    case CtrlAction::Kind::kScaleUp:
+      return "scale_up";
+    case CtrlAction::Kind::kScaleDown:
+      return "scale_down";
+    case CtrlAction::Kind::kReplan:
+      return "replan";
+    case CtrlAction::Kind::kBlocked:
+      return "blocked";
+  }
+  return "?";
+}
+
 ReOptimizer::ReOptimizer(ScalePolicy& policy, expt::SloWatchdog* watchdog,
                          ReOptimizerConfig config)
-    : policy_(policy), watchdog_(watchdog), config_(config) {}
+    : policy_(policy), watchdog_(watchdog), config_(config), burn_(config.burn) {}
 
 ReOptimizer::~ReOptimizer() { *alive_ = false; }
 
@@ -71,6 +86,25 @@ void ReOptimizer::try_replan(SimTime now) {
   }
 }
 
+Stage ReOptimizer::predict_target_stage() const {
+  // Before drops appear the drop-ratio scan is silent, so the
+  // predictive arm targets the stage with the highest per-replica
+  // ingress — the fewest replicas per offered frame is the bottleneck.
+  // Primary never scales, so it is excluded.
+  Stage best = Stage::kSift;
+  double best_fps = -1.0;
+  for (int s = 0; s < kNumStages; ++s) {
+    const auto stage = static_cast<Stage>(s);
+    if (stage == Stage::kPrimary) continue;
+    const double fps = policy_.stage_window(stage).ingress_fps;
+    if (fps > best_fps) {
+      best_fps = fps;
+      best = stage;
+    }
+  }
+  return best;
+}
+
 void ReOptimizer::tick() {
   auto& deployment = policy_.deployment();
   auto& orch = deployment.orchestrator();
@@ -88,30 +122,62 @@ void ReOptimizer::tick() {
   breach_run_ = overloaded ? breach_run_ + 1 : 0;
   clear_run_ = overloaded ? 0 : clear_run_ + 1;
 
+  // Predictive arm: feed the burn windows every tick; fire when the
+  // fast window burns AND ingress is rising, for predict_ticks in a
+  // row. Acting on the latency breach (a leading indicator — queues
+  // lengthen before frames shed) front-runs the drop-ratio trigger.
+  bool predict_fire = false;
+  double fast = 0.0;
+  if (config_.predictive && watchdog_ != nullptr) {
+    const double ingress = policy_.stage_window(Stage::kPrimary).ingress_fps;
+    burn_.observe(now, watchdog_->violating(), ingress);
+    burn_.publish(now);
+    fast = burn_.fast_burn(now);
+    const double trend = burn_.ingress_trend_fps_per_s(now);
+    const bool agree = fast >= config_.predict_burn_threshold &&
+                       trend >= config_.predict_trend_fps_per_s;
+    predict_run_ = agree ? predict_run_ + 1 : 0;
+    predict_fire = predict_run_ >= config_.predict_ticks;
+  }
+
   const bool fault_hold =
       orch.failover_enabled() && orch.failover_suspected() > orch.failover_respawns();
   const bool cooling = now - last_action_t_ < config_.cooldown;
 
-  if (breach_run_ >= config_.breach_ticks) {
+  if (breach_run_ >= config_.breach_ticks || predict_fire) {
+    // The reactive trigger knows the shedding stage; a purely
+    // predictive firing picks the bottleneck by per-replica ingress.
+    const bool predictive_only = predict_fire && breach_run_ < config_.breach_ticks;
+    const Stage stage = predictive_only ? predict_target_stage() : r.stage;
+    const double signal = predictive_only ? fast : r.signal;
     if (fault_hold) {
-      record_blocked(now, r.stage, r.signal, "fault");
+      record_blocked(now, stage, signal, "fault");
     } else if (cooling) {
-      record_blocked(now, r.stage, r.signal, "cooldown");
+      record_blocked(now, stage, signal, "cooldown");
     } else {
-      const InstanceId id = policy_.scale_up(r.stage, r.signal);
+      const InstanceId id = policy_.scale_up(stage, signal);
       if (id.valid()) {
         ++scale_ups_;
         capped_run_ = 0;
         breach_run_ = 0;
+        predict_run_ = 0;
         last_action_t_ = now;
-        actions_.push_back(
-            CtrlAction{now, CtrlAction::Kind::kScaleUp, r.stage, r.signal, ""});
+        actions_.push_back(CtrlAction{now, CtrlAction::Kind::kScaleUp, stage, signal,
+                                      predictive_only ? "predictive" : ""});
+        if (predictive_only) {
+          ++predictive_ups_;
+          ctrl_count("mar_ctrl_predictive_total",
+                     "scale-ups fired by the burn-rate + ingress-trend forecast "
+                     "before the reactive drop trigger",
+                     stage);
+          ctrl_trace(telemetry::spans::kCtrlPredict, now, stage, signal);
+        }
       } else {
         ++capped_run_;
         if (config_.allow_replan && capped_run_ >= config_.replan_after_blocked) {
           try_replan(now);
         } else {
-          record_blocked(now, r.stage, r.signal, "capped");
+          record_blocked(now, stage, signal, "capped");
         }
       }
     }
@@ -130,6 +196,30 @@ void ReOptimizer::tick() {
   deployment.testbed().runtime().schedule_after(config_.interval, [this, alive = alive_] {
     if (*alive) tick();
   });
+}
+
+std::string render_recent_actions(const ReOptimizer& reopt, std::size_t n) {
+  const auto& actions = reopt.actions();
+  std::string out = "control plane: recent actions (newest last)\n";
+  if (actions.empty()) {
+    out += "  (none)\n";
+    return out;
+  }
+  const std::size_t first = actions.size() > n ? actions.size() - n : 0;
+  char buf[160];
+  for (std::size_t i = first; i < actions.size(); ++i) {
+    const CtrlAction& a = actions[i];
+    const char* why = a.reason[0] != '\0'                        ? a.reason
+                      : a.kind == CtrlAction::Kind::kScaleUp     ? "reactive"
+                      : a.kind == CtrlAction::Kind::kScaleDown   ? "quiet"
+                      : a.kind == CtrlAction::Kind::kReplan      ? "capped"
+                                                                 : "-";
+    std::snprintf(buf, sizeof(buf), "  t=%8.2fs %-10s stage=%-9s signal=%.3f reason=%s\n",
+                  to_millis(a.t) / 1000.0, to_string(a.kind), to_string(a.stage), a.signal,
+                  why);
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace mar::ctrl

@@ -20,10 +20,12 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "ctrl/placement_search.h"
 #include "ctrl/scale_policy.h"
+#include "expt/attribution.h"
 #include "expt/slo.h"
 
 namespace mar::ctrl {
@@ -40,6 +42,17 @@ struct ReOptimizerConfig {
   bool allow_replan = false;
   int replan_after_blocked = 3;
   PlacementSearchConfig search;
+  // Predictive arm (requires a watchdog): scale up BEFORE drops appear
+  // when the fast burn window and a rising ingress trend agree for
+  // predict_ticks consecutive ticks. The latency-p99 SLO breach is the
+  // leading indicator — queues lengthen before frames shed — so the
+  // predictive loop front-runs the reactive drop-ratio trigger. A flat
+  // workload under capacity never breaches, so it never false-fires.
+  bool predictive = false;
+  expt::BurnRateConfig burn;
+  double predict_burn_threshold = 1.0;     // fast-window burn >= this
+  double predict_trend_fps_per_s = 0.5;    // ingress slope >= this
+  int predict_ticks = 2;                   // consecutive agreeing ticks
 };
 
 struct CtrlAction {
@@ -48,8 +61,12 @@ struct CtrlAction {
   Kind kind = Kind::kScaleUp;
   Stage stage = Stage::kPrimary;
   double signal = 0.0;
-  const char* reason = "";  // blocked actions: "cooldown" | "fault" | "capped"
+  // Blocked actions: "cooldown" | "fault" | "capped". Scale-ups fired
+  // by the predictive arm carry "predictive"; reactive ones "".
+  const char* reason = "";
 };
+
+[[nodiscard]] const char* to_string(CtrlAction::Kind kind);
 
 class ReOptimizer {
  public:
@@ -65,12 +82,17 @@ class ReOptimizer {
   [[nodiscard]] const std::vector<CtrlAction>& actions() const { return actions_; }
   [[nodiscard]] std::uint64_t scale_up_actions() const { return scale_ups_; }
   [[nodiscard]] std::uint64_t scale_down_actions() const { return scale_downs_; }
+  [[nodiscard]] std::uint64_t predictive_scale_ups() const { return predictive_ups_; }
   [[nodiscard]] std::uint64_t replans() const { return replans_; }
   [[nodiscard]] std::uint64_t blocked() const { return blocked_; }
   [[nodiscard]] const ReOptimizerConfig& config() const { return config_; }
+  // Forecasting state (predictive arm): the burn windows + trend fit
+  // the loop feeds each tick. Valid whenever config().predictive.
+  [[nodiscard]] const expt::BurnRate& burn_rate() const { return burn_; }
 
  private:
   void tick();
+  [[nodiscard]] Stage predict_target_stage() const;
   void record_blocked(SimTime now, Stage stage, double signal, const char* reason);
   void try_replan(SimTime now);
 
@@ -81,13 +103,22 @@ class ReOptimizer {
   int breach_run_ = 0;
   int clear_run_ = 0;
   int capped_run_ = 0;
+  int predict_run_ = 0;
+  expt::BurnRate burn_;
   SimTime last_action_t_ = std::numeric_limits<SimTime>::min() / 2;
   std::uint64_t scale_ups_ = 0;
   std::uint64_t scale_downs_ = 0;
+  std::uint64_t predictive_ups_ = 0;
   std::uint64_t replans_ = 0;
   std::uint64_t blocked_ = 0;
   bool running_ = false;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
+
+// Last `n` control decisions, newest last, one line each — the
+// /statusz "recent actions" block (today the decisions are only
+// visible as counters on /metrics).
+[[nodiscard]] std::string render_recent_actions(const ReOptimizer& reopt,
+                                                std::size_t n = 10);
 
 }  // namespace mar::ctrl

@@ -1,0 +1,131 @@
+// Latency attribution + SLO burn forecasting: the analysis layer on
+// top of the raw traces.
+//
+// Two halves:
+//
+//  * Blame reports. build_blame_report() runs the telemetry
+//    critical-path extractor over every traced frame in a TraceLog and
+//    folds delivered frames into percentile bands (p50 = the fast
+//    half, p90, p99, p100 = the worst 1%), ranked by E2E. Each band
+//    reports mean per-component milliseconds and the per-stage
+//    queue/service split, so "why is p99 high?" is answered by a table
+//    instead of a Perfetto session. The report renders three ways:
+//    render_blame_table() for /statusz and CLIs, blame_report_json()
+//    for /debug/blame, and publish_blame_gauges() for
+//    mar_blame_ms{component,percentile} on /metrics.
+//
+//  * BurnRate. Multi-window SLO error-budget burn (fast 5 s / slow
+//    60 s sim-time windows over SloWatchdog breach state — the
+//    Google-SRE multi-window alert shape) plus a least-squares ingress
+//    trend over arrival-rate samples. burn >= 1 means the error budget
+//    is being spent faster than the budget fraction allows; a positive
+//    trend while the fast window burns is the forward-looking signal
+//    ctrl::ReOptimizer's predictive arm acts on before drops start.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+#include "expt/forensics.h"
+#include "telemetry/critical_path.h"
+
+namespace mar::expt {
+
+// One percentile band of the delivered-frame population, ranked by
+// E2E envelope time. lo/hi are rank fractions: p99 = [0.90, 0.99).
+struct BlameBand {
+  std::string label;
+  double lo = 0.0;
+  double hi = 0.0;
+  int frames = 0;
+  double mean_total_ms = 0.0;
+  double max_total_ms = 0.0;
+  // Band-mean milliseconds per component (indexed by PathComponent).
+  std::array<double, telemetry::kNumPathComponents> mean_ms{};
+  // Band-mean queue wait vs service self-time per stage.
+  std::array<double, kNumStages> queue_ms{};
+  std::array<double, kNumStages> service_ms{};
+};
+
+struct BlameReport {
+  int frames_total = 0;       // traced frames in the log
+  int frames_delivered = 0;   // verdict "result" — the banded population
+  int frames_dropped = 0;     // terminal drop/loss verdict
+  int frames_incomplete = 0;  // run clipped mid-flight
+  int open_spans = 0;         // clamped begins across all frames
+  int orphan_ends = 0;        // cross-track orphan ends across all frames
+  double e2e_p99_ms = 0.0;    // p99 of delivered envelope times
+  std::array<double, telemetry::kNumPathComponents> overall_mean_ms{};
+  std::vector<BlameBand> bands;  // p50, p90, p99, p100 (non-empty only)
+};
+
+// Fold every traced frame in the log into a blame report.
+[[nodiscard]] BlameReport build_blame_report(const TraceLog& log);
+
+// Fixed-width blame table (per band: total + every non-zero component).
+[[nodiscard]] std::string render_blame_table(const BlameReport& r);
+
+// JSON for /debug/blame: counts, bands with per-component means, and
+// the per-stage queue/service split.
+[[nodiscard]] std::string blame_report_json(const BlameReport& r);
+
+// Export mar_blame_ms{component,percentile} gauges (band means; the
+// "overall" percentile label carries the all-delivered mean).
+void publish_blame_gauges(const BlameReport& r);
+
+// --- SLO burn-rate forecasting ---------------------------------------
+
+struct BurnRateConfig {
+  SimDuration fast_window = seconds(5.0);
+  SimDuration slow_window = seconds(60.0);
+  // Ingress-trend fit window (least-squares over arrival samples).
+  SimDuration trend_window = seconds(10.0);
+  // Error budget: the fraction of time the SLO is allowed to be in
+  // breach. burn = breach fraction / budget, so burn >= 1 means the
+  // budget is being consumed at or above the allowed rate.
+  double budget = 0.01;
+};
+
+// Tracks SLO breach state and ingress samples over sliding sim-time
+// windows. Feed one observe() per control tick; time must not go
+// backwards. Deterministic: same observations, same numbers.
+class BurnRate {
+ public:
+  explicit BurnRate(BurnRateConfig config = {});
+
+  void observe(SimTime t, bool violating, double ingress_fps);
+
+  // Breach-time fraction over [now - window, now] divided by budget.
+  // 0 with no samples in the window.
+  [[nodiscard]] double burn(SimTime now, SimDuration window) const;
+  [[nodiscard]] double fast_burn(SimTime now) const { return burn(now, cfg_.fast_window); }
+  [[nodiscard]] double slow_burn(SimTime now) const { return burn(now, cfg_.slow_window); }
+
+  // Least-squares slope of ingress_fps over [now - trend_window, now],
+  // in fps per second. 0 until >= 3 samples span nonzero time.
+  [[nodiscard]] double ingress_trend_fps_per_s(SimTime now) const;
+
+  // Export mar_slo_burn_rate{window="fast"|"slow"} and
+  // mar_ingress_trend_fps gauges.
+  void publish(SimTime now) const;
+
+  [[nodiscard]] const BurnRateConfig& config() const { return cfg_; }
+  [[nodiscard]] std::size_t samples() const { return samples_.size(); }
+
+ private:
+  struct Sample {
+    SimTime t;
+    bool violating;
+    double ingress_fps;
+  };
+
+  BurnRateConfig cfg_;
+  std::deque<Sample> samples_;
+};
+
+}  // namespace mar::expt

@@ -144,6 +144,12 @@ void SimNetwork::send(EndpointId from, EndpointId to, wire::FramePacket pkt) {
 
   const SimDuration delay = link.propagation_delay(rng_) + serialization + recovery_delay;
   trace_net(pkt, telemetry::spans::kLink, loop_.now(), delay);
+  if (recovery_delay > 0) {
+    // The recovery wait sits at the tail of the transit: the first
+    // transmission goes out immediately; each NACK round adds an RTT.
+    trace_net(pkt, telemetry::spans::kRtxStall, loop_.now() + (delay - recovery_delay),
+              recovery_delay);
+  }
   loop_.schedule_after(delay, [this, to, p = std::move(pkt)]() mutable {
     Endpoint& dst = endpoints_[to.value()];
     if (dst.alive && dst.handler) dst.handler(std::move(p));

@@ -73,6 +73,11 @@ inline constexpr const char* kUdpNack = "udp_nack";
 inline constexpr const char* kUdpRtx = "udp_rtx";
 inline constexpr const char* kFecRepair = "fec_repair";
 inline constexpr const char* kUnrecoverable = "frame_unrecoverable";
+// Portion of a link transit spent waiting out NACK retransmission
+// rounds (sim::LinkModel folds the recovery wait into the link span's
+// duration; this complete span marks the stalled tail so the
+// critical-path extractor can blame recovery separately from transit).
+inline constexpr const char* kRtxStall = "rtx_stall";
 inline constexpr const char* kFault = "fault";        // injected fault window
 inline constexpr const char* kFailover = "failover";  // suspect -> respawn span
 // Control-plane actions (ctrl::ScalePolicy / ctrl::ReOptimizer): why a
@@ -83,6 +88,7 @@ inline constexpr const char* kCtrlRetire = "ctrl_retire";    // drain completed
 inline constexpr const char* kCtrlReplan = "ctrl_replan";    // placement re-applied
 inline constexpr const char* kCtrlBlocked = "ctrl_blocked";  // action withheld
 inline constexpr const char* kCtrlMove = "ctrl_move";        // replica rebuilt elsewhere
+inline constexpr const char* kCtrlPredict = "ctrl_predict";  // burn+trend fired early
 // Synthetic instant appended when a flight-recorder buffer is promoted
 // into the durable ring; `value` holds the RetainReason.
 inline constexpr const char* kRetained = "retained";

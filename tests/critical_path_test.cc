@@ -1,0 +1,321 @@
+#include "telemetry/critical_path.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "expt/attribution.h"
+#include "expt/forensics.h"
+
+namespace mar::telemetry {
+namespace {
+
+// Raw-event builder: the extractor takes plain TraceEvent arrays, so
+// the edge cases (orphan ends, clamped begins, terminal instants) can
+// be laid out explicitly instead of coaxed out of a simulation run.
+TraceEvent ev(SimTime ts, TracePhase phase, const char* name, std::uint32_t track,
+              Stage stage = Stage::kPrimary, SimDuration dur = 0,
+              std::uint32_t trace_id = 7) {
+  TraceEvent e;
+  e.ts = ts;
+  e.dur = dur;
+  e.name = name;
+  e.frame = 7;
+  e.client = 3;
+  e.track = track;
+  e.trace_id = trace_id;
+  e.stage = stage;
+  e.phase = phase;
+  return e;
+}
+
+constexpr std::uint32_t kClientTrack = kClientTrackBase + 3;
+
+TEST(CriticalPathTest, EmptyInputYieldsIncomplete) {
+  const CriticalPath cp = extract_critical_path(nullptr, 0);
+  EXPECT_FALSE(cp.delivered);
+  EXPECT_EQ(cp.verdict, "incomplete");
+  EXPECT_DOUBLE_EQ(cp.total_ms(), 0.0);
+  EXPECT_TRUE(cp.segments.empty());
+}
+
+// A well-formed chain decomposes with zero gap: every envelope slice
+// lands on exactly one component and the per-stage split matches the
+// spans that produced it.
+TEST(CriticalPathTest, NormalChainDecomposesFully) {
+  std::vector<TraceEvent> events;
+  events.push_back(ev(millis(0), TracePhase::kBegin, spans::kFrameE2e, kClientTrack));
+  events.push_back(
+      ev(millis(0), TracePhase::kComplete, spans::kLink, kNetworkTrack, Stage::kPrimary, millis(10)));
+  events.push_back(ev(millis(10), TracePhase::kBegin, spans::kSocketBuffer, 1));
+  events.push_back(ev(millis(20), TracePhase::kEnd, spans::kSocketBuffer, 1));
+  events.push_back(ev(millis(20), TracePhase::kBegin, spans::kService, 1, Stage::kMatching));
+  // State round trip recorded inside the matching service span: its
+  // slices must fold into kStateFetch, not count as service twice.
+  events.push_back(ev(millis(30), TracePhase::kBegin, spans::kStateFetch, 1, Stage::kMatching));
+  events.push_back(ev(millis(45), TracePhase::kEnd, spans::kStateFetch, 1, Stage::kMatching));
+  events.push_back(ev(millis(60), TracePhase::kEnd, spans::kService, 1, Stage::kMatching));
+  events.push_back(ev(millis(60), TracePhase::kBegin, spans::kSidecarQueue, 2, Stage::kLsh));
+  events.push_back(ev(millis(70), TracePhase::kEnd, spans::kSidecarQueue, 2, Stage::kLsh));
+  events.push_back(ev(millis(70), TracePhase::kBegin, spans::kService, 2, Stage::kLsh));
+  events.push_back(ev(millis(90), TracePhase::kEnd, spans::kService, 2, Stage::kLsh));
+  events.push_back(
+      ev(millis(90), TracePhase::kComplete, spans::kLink, kNetworkTrack, Stage::kPrimary, millis(10)));
+  events.push_back(ev(millis(100), TracePhase::kEnd, spans::kFrameE2e, kClientTrack));
+
+  const CriticalPath cp = extract_critical_path(events);
+  EXPECT_TRUE(cp.delivered);
+  EXPECT_EQ(cp.verdict, "result");
+  EXPECT_EQ(cp.trace_id, 7u);
+  EXPECT_EQ(cp.client, 3u);
+  EXPECT_NEAR(cp.total_ms(), 100.0, 1e-9);
+  EXPECT_EQ(cp.open_spans, 0);
+  EXPECT_EQ(cp.orphan_ends, 0);
+
+  EXPECT_NEAR(cp.blame(PathComponent::kUpload), 10.0, 1e-9);
+  EXPECT_NEAR(cp.blame(PathComponent::kSocketBuffer), 10.0, 1e-9);
+  EXPECT_NEAR(cp.blame(PathComponent::kStateFetch), 15.0, 1e-9);
+  EXPECT_NEAR(cp.blame(PathComponent::kService), 45.0, 1e-9);  // 25 matching + 20 lsh
+  EXPECT_NEAR(cp.blame(PathComponent::kQueue), 10.0, 1e-9);
+  EXPECT_NEAR(cp.blame(PathComponent::kDownload), 10.0, 1e-9);
+  EXPECT_NEAR(cp.blame(PathComponent::kGap), 0.0, 1e-9);
+  EXPECT_NEAR(cp.attributed_ms(), 100.0, 1e-9);
+
+  EXPECT_NEAR(cp.stage_queue_ms[static_cast<std::size_t>(Stage::kPrimary)], 10.0, 1e-9);
+  EXPECT_NEAR(cp.stage_queue_ms[static_cast<std::size_t>(Stage::kLsh)], 10.0, 1e-9);
+  EXPECT_NEAR(cp.stage_service_ms[static_cast<std::size_t>(Stage::kMatching)], 25.0, 1e-9);
+  EXPECT_NEAR(cp.stage_service_ms[static_cast<std::size_t>(Stage::kLsh)], 20.0, 1e-9);
+
+  // Segments tile the envelope: sorted, adjacent, no overlap.
+  ASSERT_FALSE(cp.segments.empty());
+  EXPECT_EQ(cp.segments.front().start, cp.start);
+  EXPECT_EQ(cp.segments.back().end, cp.end);
+  for (std::size_t i = 1; i < cp.segments.size(); ++i) {
+    EXPECT_EQ(cp.segments[i].start, cp.segments[i - 1].end);
+  }
+}
+
+// A begin with no end (run clipped mid-flight, replica died): the wait
+// was real up to the envelope end, so it is clamped there and counted.
+TEST(CriticalPathTest, MissingEndClampsToEnvelopeAndCounts) {
+  std::vector<TraceEvent> events;
+  events.push_back(ev(millis(0), TracePhase::kBegin, spans::kFrameE2e, kClientTrack));
+  events.push_back(ev(millis(10), TracePhase::kBegin, spans::kService, 1, Stage::kSift));
+  events.push_back(ev(millis(50), TracePhase::kEnd, spans::kFrameE2e, kClientTrack));
+
+  const CriticalPath cp = extract_critical_path(events);
+  EXPECT_TRUE(cp.delivered);
+  EXPECT_EQ(cp.open_spans, 1);
+  EXPECT_EQ(cp.orphan_ends, 0);
+  EXPECT_NEAR(cp.blame(PathComponent::kService), 40.0, 1e-9);  // 10..50 clamped
+  EXPECT_NEAR(cp.blame(PathComponent::kGap), 10.0, 1e-9);      // 0..10 uncovered
+  EXPECT_NEAR(cp.stage_service_ms[static_cast<std::size_t>(Stage::kSift)], 40.0, 1e-9);
+}
+
+// The PR 4 failover shape: a respawned replica finishes a span whose
+// begin was recorded on the dead replica's track. The end pairs with
+// nothing (pairing is per {track, name, stage}), the begin never
+// closes — one orphan end, one clamped open span, no double counting.
+TEST(CriticalPathTest, CrossTrackOrphanEndFromFailover) {
+  std::vector<TraceEvent> events;
+  events.push_back(ev(millis(0), TracePhase::kBegin, spans::kFrameE2e, kClientTrack));
+  events.push_back(ev(millis(10), TracePhase::kBegin, spans::kService, 1, Stage::kSift));
+  // Respawn finishes "the same" span on its own track.
+  events.push_back(ev(millis(30), TracePhase::kEnd, spans::kService, 2, Stage::kSift));
+  events.push_back(ev(millis(50), TracePhase::kEnd, spans::kFrameE2e, kClientTrack));
+
+  const CriticalPath cp = extract_critical_path(events);
+  EXPECT_TRUE(cp.delivered);
+  EXPECT_EQ(cp.open_spans, 1);
+  EXPECT_EQ(cp.orphan_ends, 1);
+  // The orphan end contributes no interval; only the clamped begin
+  // blames service time (10..50).
+  EXPECT_NEAR(cp.blame(PathComponent::kService), 40.0, 1e-9);
+  EXPECT_NEAR(cp.blame(PathComponent::kGap), 10.0, 1e-9);
+}
+
+// A frame whose chain ends at a drop instant: not delivered, the
+// instant's name is the verdict, and the envelope closes at the
+// instant so the queue wait that killed it is still attributed.
+TEST(CriticalPathTest, DroppedFrameKeepsInstantVerdict) {
+  std::vector<TraceEvent> events;
+  events.push_back(ev(millis(0), TracePhase::kBegin, spans::kFrameE2e, kClientTrack));
+  events.push_back(
+      ev(millis(0), TracePhase::kComplete, spans::kLink, kNetworkTrack, Stage::kPrimary, millis(10)));
+  events.push_back(ev(millis(10), TracePhase::kBegin, spans::kSidecarQueue, 1, Stage::kSift));
+  events.push_back(ev(millis(30), TracePhase::kEnd, spans::kSidecarQueue, 1, Stage::kSift));
+  events.push_back(ev(millis(30), TracePhase::kInstant, spans::kDropStale, 1, Stage::kSift));
+
+  const CriticalPath cp = extract_critical_path(events);
+  EXPECT_FALSE(cp.delivered);
+  EXPECT_EQ(cp.verdict, "drop_stale");
+  EXPECT_NEAR(cp.total_ms(), 30.0, 1e-9);
+  // Sole link of an undelivered frame is the upload, never download.
+  EXPECT_NEAR(cp.blame(PathComponent::kUpload), 10.0, 1e-9);
+  EXPECT_NEAR(cp.blame(PathComponent::kDownload), 0.0, 1e-9);
+  EXPECT_NEAR(cp.blame(PathComponent::kQueue), 20.0, 1e-9);
+  EXPECT_NEAR(cp.blame(PathComponent::kGap), 0.0, 1e-9);
+}
+
+// Retransmission recovery outranks the link transit it stalls: the
+// rtx_stall overlay claims its slices, the rest stays network.
+TEST(CriticalPathTest, RtxStallOutranksLinkTransit) {
+  std::vector<TraceEvent> events;
+  events.push_back(ev(millis(0), TracePhase::kBegin, spans::kFrameE2e, kClientTrack));
+  events.push_back(
+      ev(millis(0), TracePhase::kComplete, spans::kLink, kNetworkTrack, Stage::kPrimary, millis(10)));
+  events.push_back(
+      ev(millis(10), TracePhase::kComplete, spans::kLink, kNetworkTrack, Stage::kSift, millis(30)));
+  events.push_back(ev(millis(25), TracePhase::kComplete, spans::kRtxStall, kNetworkTrack,
+                      Stage::kSift, millis(15)));
+  events.push_back(
+      ev(millis(40), TracePhase::kComplete, spans::kLink, kNetworkTrack, Stage::kPrimary, millis(10)));
+  events.push_back(ev(millis(50), TracePhase::kEnd, spans::kFrameE2e, kClientTrack));
+
+  const CriticalPath cp = extract_critical_path(events);
+  EXPECT_TRUE(cp.delivered);
+  EXPECT_NEAR(cp.blame(PathComponent::kUpload), 10.0, 1e-9);
+  EXPECT_NEAR(cp.blame(PathComponent::kNetwork), 15.0, 1e-9);   // 10..25
+  EXPECT_NEAR(cp.blame(PathComponent::kRtxStall), 15.0, 1e-9);  // 25..40 overlay wins
+  EXPECT_NEAR(cp.blame(PathComponent::kDownload), 10.0, 1e-9);
+  EXPECT_NEAR(cp.blame(PathComponent::kGap), 0.0, 1e-9);
+}
+
+TEST(CriticalPathTest, RenderIncludesVerdictAndMalformedCounts) {
+  std::vector<TraceEvent> events;
+  events.push_back(ev(millis(0), TracePhase::kBegin, spans::kFrameE2e, kClientTrack));
+  events.push_back(ev(millis(10), TracePhase::kBegin, spans::kService, 1, Stage::kSift));
+  events.push_back(ev(millis(50), TracePhase::kEnd, spans::kFrameE2e, kClientTrack));
+  const CriticalPath cp = extract_critical_path(events);
+  const std::string out = render_critical_path(cp);
+  EXPECT_NE(out.find("(result)"), std::string::npos);
+  EXPECT_NE(out.find("1 open (clamped)"), std::string::npos);
+  EXPECT_NE(out.find("service"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mar::telemetry
+
+namespace mar::expt {
+namespace {
+
+using telemetry::PathComponent;
+using telemetry::TraceEvent;
+using telemetry::TracePhase;
+
+TraceEvent frame_ev(SimTime ts, TracePhase phase, const char* name, std::uint32_t trace_id,
+                    std::uint32_t track = 1, Stage stage = Stage::kSift) {
+  TraceEvent e;
+  e.ts = ts;
+  e.name = name;
+  e.frame = trace_id;
+  e.client = 0;
+  e.track = track;
+  e.trace_id = trace_id;
+  e.stage = stage;
+  e.phase = phase;
+  return e;
+}
+
+// Delivered frames with totals 10..100 ms band into p50/p90/p100 (the
+// p99 band [0.90, 0.99) is empty at n=10 and must be omitted, not
+// emitted with zero frames), and non-result verdicts are counted but
+// never banded.
+TEST(BlameReportTest, BandsPartitionDeliveredPopulation) {
+  TraceLog log;
+  for (std::uint32_t id = 1; id <= 10; ++id) {
+    const SimTime total = millis(10.0 * id);
+    log.events.push_back(
+        frame_ev(0, TracePhase::kBegin, telemetry::spans::kFrameE2e, id, 10000 + id));
+    log.events.push_back(frame_ev(0, TracePhase::kBegin, telemetry::spans::kService, id));
+    log.events.push_back(frame_ev(total, TracePhase::kEnd, telemetry::spans::kService, id));
+    log.events.push_back(
+        frame_ev(total, TracePhase::kEnd, telemetry::spans::kFrameE2e, id, 10000 + id));
+  }
+  // One dropped, one clipped mid-flight.
+  log.events.push_back(
+      frame_ev(0, TracePhase::kBegin, telemetry::spans::kFrameE2e, 11, 10011));
+  log.events.push_back(frame_ev(millis(5), TracePhase::kInstant, telemetry::spans::kDropBusy, 11));
+  log.events.push_back(
+      frame_ev(0, TracePhase::kBegin, telemetry::spans::kFrameE2e, 12, 10012));
+
+  const BlameReport r = build_blame_report(log);
+  EXPECT_EQ(r.frames_total, 12);
+  EXPECT_EQ(r.frames_delivered, 10);
+  EXPECT_EQ(r.frames_dropped, 1);
+  EXPECT_EQ(r.frames_incomplete, 1);
+  EXPECT_NEAR(r.e2e_p99_ms, 100.0, 1e-9);
+
+  // n=10: p50 takes ranks [0,5), p90 [5,9), p99 [9,9) -> skipped,
+  // p100 [9,10). Frames across bands sum to the delivered count.
+  ASSERT_EQ(r.bands.size(), 3u);
+  EXPECT_EQ(r.bands[0].label, "p50");
+  EXPECT_EQ(r.bands[0].frames, 5);
+  EXPECT_NEAR(r.bands[0].mean_total_ms, 30.0, 1e-9);  // mean of 10..50
+  EXPECT_EQ(r.bands[1].label, "p90");
+  EXPECT_EQ(r.bands[1].frames, 4);
+  EXPECT_NEAR(r.bands[1].mean_total_ms, 75.0, 1e-9);  // mean of 60..90
+  EXPECT_EQ(r.bands[2].label, "p100");
+  EXPECT_EQ(r.bands[2].frames, 1);
+  EXPECT_NEAR(r.bands[2].max_total_ms, 100.0, 1e-9);
+  int banded = 0;
+  for (const BlameBand& b : r.bands) banded += b.frames;
+  EXPECT_EQ(banded, r.frames_delivered);
+
+  // Every delivered frame was wall-to-wall service time.
+  EXPECT_NEAR(r.overall_mean_ms[static_cast<std::size_t>(PathComponent::kService)], 55.0, 1e-9);
+
+  const std::string table = render_blame_table(r);
+  EXPECT_NE(table.find("p100"), std::string::npos);
+  const std::string json = blame_report_json(r);
+  EXPECT_NE(json.find("\"bands\""), std::string::npos);
+  EXPECT_NE(json.find("\"frames_delivered\": 10"), std::string::npos);
+}
+
+TEST(BurnRateTest, WindowedBurnIsBreachFractionOverBudget) {
+  BurnRateConfig cfg;
+  cfg.budget = 0.1;
+  BurnRate br(cfg);
+  EXPECT_DOUBLE_EQ(br.fast_burn(seconds(10.0)), 0.0);  // no samples yet
+  for (int t = 1; t <= 10; ++t) {
+    br.observe(seconds(static_cast<double>(t)), /*violating=*/t >= 6, 30.0);
+  }
+  const SimTime now = seconds(10.0);
+  // Fast 5 s window holds t=5..10 (6 samples, 5 breached).
+  EXPECT_NEAR(br.fast_burn(now), (5.0 / 6.0) / 0.1, 1e-9);
+  // Slow 60 s window holds all 10 samples, 5 breached.
+  EXPECT_NEAR(br.slow_burn(now), (5.0 / 10.0) / 0.1, 1e-9);
+}
+
+TEST(BurnRateTest, TrendIsExactOnLinearIngress) {
+  BurnRate br;
+  // Fewer than 3 samples: no fit.
+  br.observe(seconds(1.0), false, 10.0);
+  br.observe(seconds(2.0), false, 12.0);
+  EXPECT_DOUBLE_EQ(br.ingress_trend_fps_per_s(seconds(2.0)), 0.0);
+  // Linear series at 2 fps/s: least squares recovers the slope exactly.
+  for (int t = 3; t <= 9; ++t) {
+    br.observe(seconds(static_cast<double>(t)), false, 8.0 + 2.0 * t);
+  }
+  EXPECT_NEAR(br.ingress_trend_fps_per_s(seconds(9.0)), 2.0, 1e-9);
+  // Flat series: slope 0.
+  BurnRate flat;
+  for (int t = 0; t < 5; ++t) {
+    flat.observe(seconds(static_cast<double>(t)), false, 30.0);
+  }
+  EXPECT_NEAR(flat.ingress_trend_fps_per_s(seconds(4.0)), 0.0, 1e-9);
+}
+
+TEST(BurnRateTest, EvictsSamplesBeyondRetention) {
+  BurnRate br;  // keep = max(slow 60 s, trend 10 s)
+  br.observe(seconds(0.0), true, 30.0);
+  EXPECT_EQ(br.samples(), 1u);
+  br.observe(seconds(200.0), false, 30.0);
+  EXPECT_EQ(br.samples(), 1u);  // t=0 fell out of every window
+  EXPECT_DOUBLE_EQ(br.slow_burn(seconds(200.0)), 0.0);
+}
+
+}  // namespace
+}  // namespace mar::expt

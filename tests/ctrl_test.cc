@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string_view>
 
 #include "ctrl/placement_search.h"
 #include "ctrl/reoptimizer.h"
@@ -228,6 +229,80 @@ TEST(ReOptimizer, CrashDuringCooldownDoesNotWedge) {
   }
   EXPECT_TRUE(acted_after_crash);
   EXPECT_GE(ro.scale_up_actions(), 1u);
+}
+
+// The predictive arm fires on burn + rising ingress agreement during a
+// staggered client ramp — before the reactive drop trigger would — and
+// stamps its actions with the "predictive" reason.
+TEST(ReOptimizer, PredictiveFiresOnRampBeforeDrops) {
+  expt::ExperimentConfig cfg = base_config(4);
+  cfg.client_stagger = seconds(2.0);  // offered load ramps up
+  cfg.duration = seconds(12.0);
+  expt::SloTargets slo;
+  slo.min_fps = 24.0;
+  slo.max_e2e_p99_ms = 120.0;
+  cfg.slo = slo;
+  expt::Experiment e(cfg);
+  e.build();
+
+  ScalePolicy::Config sc;
+  sc.max_replicas_per_stage = 2;
+  ScalePolicy policy(e.deployment(), sc);
+  ReOptimizerConfig rc;
+  rc.interval = millis(250.0);
+  rc.breach_ticks = 3;
+  rc.cooldown = seconds(2.0);
+  rc.predictive = true;
+  rc.predict_ticks = 2;
+  ReOptimizer ro(policy, e.slo_watchdog(), rc);
+  ro.start();
+  e.run();
+
+  EXPECT_GE(ro.predictive_scale_ups(), 1u);
+  bool tagged = false;
+  for (const auto& a : ro.actions()) {
+    if (a.kind == CtrlAction::Kind::kScaleUp &&
+        std::string_view(a.reason) == "predictive") {
+      tagged = true;
+    }
+  }
+  EXPECT_TRUE(tagged);
+  // The forecast state the decision came from is inspectable.
+  EXPECT_GT(ro.burn_rate().samples(), 0u);
+  const std::string metrics = telemetry::MetricRegistry::instance().prometheus_text();
+  EXPECT_NE(metrics.find("mar_ctrl_predictive_total"), std::string::npos);
+  EXPECT_NE(metrics.find("mar_slo_burn_rate"), std::string::npos);
+  // The /statusz action log names the predictive firing too (render
+  // the full history: cooldown-blocked ticks crowd the newest slots).
+  const std::string log = render_recent_actions(ro, ro.actions().size());
+  EXPECT_NE(log.find("predictive"), std::string::npos);
+}
+
+// A flat, healthy workload gives the predictive arm nothing to act on:
+// no burn, no rising trend, zero control actions of any kind.
+TEST(ReOptimizer, PredictiveQuietOnFlatLoad) {
+  expt::ExperimentConfig cfg = base_config(1);
+  cfg.duration = seconds(10.0);
+  expt::SloTargets slo;
+  slo.min_fps = 24.0;
+  slo.max_e2e_p99_ms = 120.0;
+  cfg.slo = slo;
+  expt::Experiment e(cfg);
+  e.build();
+
+  ScalePolicy policy(e.deployment(), ScalePolicy::Config{});
+  ReOptimizerConfig rc;
+  rc.interval = millis(250.0);
+  rc.breach_ticks = 3;
+  rc.cooldown = seconds(2.0);
+  rc.predictive = true;
+  rc.predict_ticks = 2;
+  ReOptimizer ro(policy, e.slo_watchdog(), rc);
+  ro.start();
+  e.run();
+
+  EXPECT_EQ(ro.predictive_scale_ups(), 0u);
+  EXPECT_TRUE(ro.actions().empty());
 }
 
 }  // namespace
